@@ -1,0 +1,129 @@
+//! Helpers for constructing delivery (sender) sets.
+//!
+//! A window adversary's main lever is the choice of the sender sets `S_i`
+//! (`|S_i| >= n - t`). These helpers build the common shapes: everyone, a
+//! fixed exclusion, and the *balanced* selection used by the split-vote
+//! adversary (exclude up to `t` senders from the majority side so that the
+//! delivered values are as close to an even split as possible).
+
+use agreement_model::{Bit, ProcessorId};
+
+/// All `n` senders.
+pub fn full_senders(n: usize) -> Vec<ProcessorId> {
+    ProcessorId::all(n).collect()
+}
+
+/// All senders except those in `excluded` (which must leave at least `n - t`
+/// senders for the result to be a legal delivery set; the caller is
+/// responsible for respecting that budget).
+pub fn senders_excluding(n: usize, excluded: &[ProcessorId]) -> Vec<ProcessorId> {
+    ProcessorId::all(n)
+        .filter(|id| !excluded.contains(id))
+        .collect()
+}
+
+/// Chooses a delivery set of at least `n - t` senders that makes the
+/// delivered `Zero`/`One` values as balanced as possible.
+///
+/// `values[i]` is the value advocated by sender `i`'s fresh message, or `None`
+/// if sender `i` has no fresh value-bearing message this window (e.g. it was
+/// reset and is silent); value-less senders are always included since
+/// excluding them costs exclusion budget without changing the balance.
+///
+/// Returns the chosen sender set together with the resulting delivered counts
+/// `(zeros, ones)`.
+pub fn balanced_senders(
+    values: &[Option<Bit>],
+    t: usize,
+) -> (Vec<ProcessorId>, (usize, usize)) {
+    let n = values.len();
+    let zeros: Vec<usize> = (0..n).filter(|&i| values[i] == Some(Bit::Zero)).collect();
+    let ones: Vec<usize> = (0..n).filter(|&i| values[i] == Some(Bit::One)).collect();
+    let silent: Vec<usize> = (0..n).filter(|&i| values[i].is_none()).collect();
+
+    // Exclude from the majority side only, and only as much as the budget and
+    // the imbalance allow.
+    let imbalance = zeros.len().abs_diff(ones.len());
+    let exclude_count = imbalance.min(t);
+    let (majority, minority) = if zeros.len() >= ones.len() {
+        (&zeros, &ones)
+    } else {
+        (&ones, &zeros)
+    };
+    let excluded: Vec<usize> = majority.iter().copied().take(exclude_count).collect();
+
+    let mut senders: Vec<ProcessorId> = Vec::with_capacity(n - exclude_count);
+    senders.extend(majority.iter().skip(exclude_count).map(|&i| ProcessorId::new(i)));
+    senders.extend(minority.iter().map(|&i| ProcessorId::new(i)));
+    senders.extend(silent.iter().map(|&i| ProcessorId::new(i)));
+    senders.sort_unstable();
+
+    let delivered_majority = majority.len() - excluded.len();
+    let counts = if zeros.len() >= ones.len() {
+        (delivered_majority, ones.len())
+    } else {
+        (zeros.len(), delivered_majority)
+    };
+    (senders, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_senders_lists_everyone() {
+        assert_eq!(full_senders(3).len(), 3);
+        assert_eq!(full_senders(0).len(), 0);
+    }
+
+    #[test]
+    fn senders_excluding_removes_exactly_the_excluded() {
+        let excluded = vec![ProcessorId::new(1), ProcessorId::new(3)];
+        let senders = senders_excluding(5, &excluded);
+        assert_eq!(
+            senders,
+            vec![ProcessorId::new(0), ProcessorId::new(2), ProcessorId::new(4)]
+        );
+    }
+
+    #[test]
+    fn balanced_senders_excludes_majority_up_to_budget() {
+        // 6 zeros, 2 ones, budget 2: exclude 2 zeros -> 4 zeros, 2 ones delivered.
+        let values: Vec<Option<Bit>> = (0..8)
+            .map(|i| Some(if i < 6 { Bit::Zero } else { Bit::One }))
+            .collect();
+        let (senders, (z, o)) = balanced_senders(&values, 2);
+        assert_eq!(senders.len(), 6);
+        assert_eq!((z, o), (4, 2));
+    }
+
+    #[test]
+    fn balanced_senders_does_not_over_exclude_when_already_balanced() {
+        let values: Vec<Option<Bit>> = (0..6)
+            .map(|i| Some(if i % 2 == 0 { Bit::Zero } else { Bit::One }))
+            .collect();
+        let (senders, (z, o)) = balanced_senders(&values, 2);
+        assert_eq!(senders.len(), 6, "no exclusions needed for a perfect split");
+        assert_eq!((z, o), (3, 3));
+    }
+
+    #[test]
+    fn balanced_senders_keeps_silent_processors() {
+        let values = vec![Some(Bit::One), Some(Bit::One), Some(Bit::One), None, None];
+        let (senders, (z, o)) = balanced_senders(&values, 1);
+        // One `One` excluded; both silent senders retained.
+        assert_eq!(senders.len(), 4);
+        assert_eq!((z, o), (0, 2));
+        assert!(senders.contains(&ProcessorId::new(3)));
+        assert!(senders.contains(&ProcessorId::new(4)));
+    }
+
+    #[test]
+    fn balanced_senders_with_zero_budget_excludes_nothing() {
+        let values = vec![Some(Bit::Zero), Some(Bit::One), Some(Bit::One)];
+        let (senders, (z, o)) = balanced_senders(&values, 0);
+        assert_eq!(senders.len(), 3);
+        assert_eq!((z, o), (1, 2));
+    }
+}

@@ -1,0 +1,33 @@
+//! Adversary strategies for the reproduction of Lewko & Lewko (PODC 2013).
+//!
+//! Every adversary the paper defines, uses or argues about is implemented
+//! against the engine interfaces of `agreement-sim`:
+//!
+//! | Adversary | Model | Paper role |
+//! |---|---|---|
+//! | [`RotatingResetAdversary`], [`TargetedResetAdversary`] | acceptable windows | exercise the strongly adaptive adversary's resetting power (Section 2, Theorem 4) |
+//! | [`SplitVoteAdversary`] | acceptable windows | the balancing strategy that forces exponential running time on split inputs (end of Section 3, and the concrete face of Theorem 5) |
+//! | [`LockstepBalancingAdversary`] | asynchronous, crash | the scheduling strategy behind Theorem 17 against forgetful, fully communicative algorithms |
+//! | [`ScheduledCrashAdversary`], [`NonAdaptiveCrashAdversary`] | asynchronous, crash | baseline crash adversaries; the non-adaptive one is what committee protocols tolerate |
+//! | [`AdaptiveCommitteeKiller`] | asynchronous, crash | the introduction's argument that adaptive adversaries defeat committee-based protocols |
+//! | [`EquivocatingAdversary`] | asynchronous, Byzantine | message corruption / lying about coins, which Bracha's reliable broadcast withstands |
+//!
+//! The benign baselines (`FullDeliveryAdversary`, `FairAsyncAdversary`) live
+//! in `agreement-sim` itself.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod byzantine;
+mod crash;
+mod delivery;
+mod lockstep;
+mod split_vote;
+mod strongly_adaptive;
+
+pub use byzantine::EquivocatingAdversary;
+pub use crash::{AdaptiveCommitteeKiller, NonAdaptiveCrashAdversary, ScheduledCrashAdversary};
+pub use delivery::{balanced_senders, full_senders, senders_excluding};
+pub use lockstep::LockstepBalancingAdversary;
+pub use split_vote::SplitVoteAdversary;
+pub use strongly_adaptive::{RotatingResetAdversary, TargetedResetAdversary};

@@ -1,0 +1,174 @@
+//! Strongly adaptive resetting adversaries for the acceptable-window model.
+//!
+//! These adversaries exercise the resetting power of the strongly adaptive
+//! adversary (Section 2): in every acceptable window they reset up to `t`
+//! processors, chosen either blindly (rotating through the identities) or
+//! adaptively (targeting the processors that have made the most progress).
+//! Delivery is otherwise full, so they probe fault tolerance rather than
+//! scheduling slowness; combine with
+//! [`SplitVoteAdversary`](crate::SplitVoteAdversary) for the
+//! slowness experiments.
+
+use agreement_model::ProcessorId;
+use agreement_sim::{SystemView, Window, WindowAdversary};
+
+use crate::delivery::full_senders;
+
+/// Resets a rotating set of `t` processors every window and delivers from
+/// everyone.
+///
+/// Window `w` resets processors `{(w * t) mod n, ..., (w * t + t - 1) mod n}`,
+/// so over `⌈n / t⌉` windows every processor is reset at least once — far more
+/// total failures than a static `t`-bounded adversary could cause, which is
+/// exactly the regime the reset-tolerant protocol is designed for.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RotatingResetAdversary {
+    window: u64,
+}
+
+impl RotatingResetAdversary {
+    /// Creates the adversary.
+    pub fn new() -> Self {
+        RotatingResetAdversary { window: 0 }
+    }
+}
+
+impl WindowAdversary for RotatingResetAdversary {
+    fn name(&self) -> &'static str {
+        "rotating-reset"
+    }
+
+    fn next_window(&mut self, view: &SystemView<'_>) -> Window {
+        let n = view.n();
+        let t = view.t();
+        let start = (self.window as usize).wrapping_mul(t) % n.max(1);
+        let resets: Vec<ProcessorId> = (0..t).map(|k| ProcessorId::new((start + k) % n)).collect();
+        self.window += 1;
+        Window::uniform(&view.config, resets, full_senders(n))
+    }
+}
+
+/// Resets the `t` processors that are *furthest ahead* (highest round number)
+/// every window, and delivers from everyone.
+///
+/// This is the natural adaptive strategy for slowing a round-based protocol:
+/// progress made by the leaders is repeatedly erased. The reset-tolerant
+/// protocol still terminates (Theorem 4) because the `n - t` survivors carry
+/// the round forward and resynchronize the victims.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TargetedResetAdversary;
+
+impl TargetedResetAdversary {
+    /// Creates the adversary.
+    pub fn new() -> Self {
+        TargetedResetAdversary
+    }
+}
+
+impl WindowAdversary for TargetedResetAdversary {
+    fn name(&self) -> &'static str {
+        "targeted-reset"
+    }
+
+    fn next_window(&mut self, view: &SystemView<'_>) -> Window {
+        let n = view.n();
+        let t = view.t();
+        // Rank processors by round (undecided ones first among equals), reset
+        // the t most advanced ones.
+        let mut ranked: Vec<(u64, usize)> = view
+            .digests
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.round.unwrap_or(0), i))
+            .collect();
+        ranked.sort_by(|a, b| b.cmp(a));
+        let resets: Vec<ProcessorId> = ranked
+            .into_iter()
+            .take(t)
+            .map(|(_, i)| ProcessorId::new(i))
+            .collect();
+        Window::uniform(&view.config, resets, full_senders(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agreement_model::{Bit, InputAssignment, SystemConfig};
+    use agreement_protocols::ResetTolerantBuilder;
+    use agreement_sim::{run_windowed, RunLimits, WindowEngine};
+
+    fn cfg(n: usize) -> SystemConfig {
+        SystemConfig::with_sixth_resilience(n).unwrap()
+    }
+
+    #[test]
+    fn rotating_resets_cycle_through_all_processors() {
+        let cfg = cfg(13);
+        let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+        let inputs = InputAssignment::unanimous(13, Bit::One);
+        let mut engine = WindowEngine::new(cfg, inputs, &builder, 1);
+        let mut adversary = RotatingResetAdversary::new();
+        for _ in 0..13 {
+            engine.step_window(&mut adversary);
+        }
+        let outcome = engine.outcome();
+        // t = 2 resets per window over 13 windows.
+        assert_eq!(outcome.resets_performed, 26);
+        assert!(outcome.agreement_holds());
+    }
+
+    #[test]
+    fn rotating_reset_run_still_terminates_and_agrees_on_unanimous_input() {
+        let cfg = cfg(13);
+        let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+        let inputs = InputAssignment::unanimous(13, Bit::Zero);
+        let outcome = run_windowed(
+            cfg,
+            inputs.clone(),
+            &builder,
+            &mut RotatingResetAdversary::new(),
+            3,
+            RunLimits::small(),
+        );
+        assert!(outcome.all_correct_decided());
+        assert!(outcome.is_correct(&inputs));
+        assert_eq!(outcome.decided_value(), Some(Bit::Zero));
+    }
+
+    #[test]
+    fn targeted_reset_run_terminates_and_agrees_on_unanimous_input() {
+        let cfg = cfg(13);
+        let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+        let inputs = InputAssignment::unanimous(13, Bit::One);
+        let outcome = run_windowed(
+            cfg,
+            inputs.clone(),
+            &builder,
+            &mut TargetedResetAdversary::new(),
+            5,
+            RunLimits::small(),
+        );
+        assert!(outcome.all_correct_decided());
+        assert!(outcome.is_correct(&inputs));
+    }
+
+    #[test]
+    fn targeted_reset_produces_valid_windows_even_with_zero_budget() {
+        let cfg = SystemConfig::new(5, 0).unwrap();
+        let builder = ResetTolerantBuilder::with_thresholds(agreement_model::Thresholds::new(
+            5, 5, 5,
+        ));
+        let inputs = InputAssignment::unanimous(5, Bit::One);
+        let outcome = run_windowed(
+            cfg,
+            inputs.clone(),
+            &builder,
+            &mut TargetedResetAdversary::new(),
+            5,
+            RunLimits::small(),
+        );
+        assert_eq!(outcome.resets_performed, 0);
+        assert!(outcome.all_correct_decided());
+    }
+}

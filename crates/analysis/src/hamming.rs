@@ -1,0 +1,103 @@
+//! Hamming geometry on configuration space (Section 4.1 of the paper).
+//!
+//! The lower-bound proof works with the Hamming distance on `Σ^n`: the number
+//! of coordinates (processors) in which two configurations differ, the induced
+//! point-to-set and set-to-set distances (Definitions 6 and 7), and the balls
+//! `B(A, d)` (Definition 8).
+
+/// Hamming distance between two equal-length configurations.
+///
+/// # Panics
+///
+/// Panics if the configurations have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use agreement_analysis::hamming_distance;
+///
+/// assert_eq!(hamming_distance(&[0, 1, 1], &[0, 0, 1]), 1);
+/// assert_eq!(hamming_distance(&[1u8, 1, 1], &[0, 0, 0]), 3);
+/// ```
+pub fn hamming_distance<T: PartialEq>(x: &[T], y: &[T]) -> usize {
+    assert_eq!(x.len(), y.len(), "configurations must have equal length");
+    x.iter().zip(y).filter(|(a, b)| a != b).count()
+}
+
+/// Distance from a point to a set (Definition 6): the minimum distance to any
+/// member, or `None` if the set is empty.
+pub fn distance_to_set<T: PartialEq>(x: &[T], set: &[Vec<T>]) -> Option<usize> {
+    set.iter().map(|a| hamming_distance(x, a)).min()
+}
+
+/// Distance between two sets (Definition 7): the minimum pairwise distance, or
+/// `None` if either set is empty.
+pub fn distance_between_sets<T: PartialEq>(a: &[Vec<T>], b: &[Vec<T>]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for x in a {
+        for y in b {
+            let d = hamming_distance(x, y);
+            best = Some(best.map_or(d, |m| m.min(d)));
+            if best == Some(0) {
+                return best;
+            }
+        }
+    }
+    best
+}
+
+/// Membership in the ball `B(A, d)` (Definition 8): `true` when `x` is within
+/// Hamming distance `d` of the set `A`. An empty `A` has an empty ball.
+pub fn in_ball<T: PartialEq>(x: &[T], set: &[Vec<T>], d: usize) -> bool {
+    distance_to_set(x, set).is_some_and(|dist| dist <= d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_a_metric_on_small_examples() {
+        let a = vec![0u8, 1, 0, 1];
+        let b = vec![1u8, 1, 0, 0];
+        let c = vec![1u8, 0, 0, 0];
+        assert_eq!(hamming_distance(&a, &a), 0);
+        assert_eq!(hamming_distance(&a, &b), hamming_distance(&b, &a));
+        assert!(hamming_distance(&a, &c) <= hamming_distance(&a, &b) + hamming_distance(&b, &c));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = hamming_distance(&[0u8, 1], &[0u8]);
+    }
+
+    #[test]
+    fn point_to_set_distance_is_minimum_over_members() {
+        let set = vec![vec![0u8, 0, 0], vec![1, 1, 1]];
+        assert_eq!(distance_to_set(&[0, 0, 1], &set), Some(1));
+        assert_eq!(distance_to_set(&[1, 1, 0], &set), Some(1));
+        assert_eq!(distance_to_set(&[0, 1, 1], &set), Some(1));
+        assert_eq!(distance_to_set::<u8>(&[0, 1, 1], &[]), None);
+    }
+
+    #[test]
+    fn set_to_set_distance_and_short_circuit() {
+        let a = vec![vec![0u8, 0, 0, 0]];
+        let b = vec![vec![1u8, 1, 1, 1], vec![0, 0, 1, 1]];
+        assert_eq!(distance_between_sets(&a, &b), Some(2));
+        let overlapping = vec![vec![0u8, 0, 0, 0], vec![9, 9, 9, 9]];
+        assert_eq!(distance_between_sets(&a, &overlapping), Some(0));
+        assert_eq!(distance_between_sets::<u8>(&a, &[]), None);
+    }
+
+    #[test]
+    fn ball_membership_matches_definition() {
+        let set = vec![vec![0u8, 0, 0, 0]];
+        assert!(in_ball(&[0, 0, 0, 0], &set, 0));
+        assert!(in_ball(&[0, 0, 0, 1], &set, 1));
+        assert!(!in_ball(&[0, 0, 1, 1], &set, 1));
+        assert!(in_ball(&[1, 1, 1, 1], &set, 4));
+        assert!(!in_ball::<u8>(&[1, 1, 1, 1], &[], 4));
+    }
+}

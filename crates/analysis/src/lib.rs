@@ -1,0 +1,44 @@
+//! Lower-bound machinery for the reproduction of Lewko & Lewko (PODC 2013).
+//!
+//! The paper's main contribution is a technique for proving exponential lower
+//! bounds on the running time of randomized agreement against powerful
+//! adversaries, built from four ingredients — all implemented and numerically
+//! exercised here:
+//!
+//! * **Hamming geometry** on configuration space ([`hamming_distance`],
+//!   [`distance_between_sets`], [`in_ball`]; Definitions 6–8).
+//! * **Product distributions** over configurations, with the coordinate-wise
+//!   interpolation of Lemmas 14/21 ([`ProductDistribution`]).
+//! * **Talagrand's inequality** in its Hamming form (Lemma 9):
+//!   [`talagrand_bound`], [`check_talagrand`], [`worst_case_ratio`], and the
+//!   thresholds [`tau`] / [`eta`] derived from it.
+//! * **The `Z^k` recursion** (Definitions 10–12, Lemmas 11/13), computed
+//!   exactly on an abstract model of the Section 3 protocol
+//!   ([`ZSetAnalysis`], [`MiniResetTolerantKernel`]).
+//!
+//! [`window_bound`], [`success_probability`] and friends expose the concrete
+//! constants of Theorem 5, and [`Summary`] / [`exponential_fit`] are the
+//! statistics used to compare measured running times against that envelope.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod hamming;
+mod lower_bound;
+mod product;
+mod stats;
+mod talagrand;
+mod zsets;
+
+pub use hamming::{distance_between_sets, distance_to_set, hamming_distance, in_ball};
+pub use lower_bound::{
+    alpha, inequality_three_rhs, paper_constant, per_window_failure, success_probability,
+    window_bound,
+};
+pub use product::ProductDistribution;
+pub use stats::{exponential_fit, linear_fit, ExponentialFit, LinearFit, Summary};
+pub use talagrand::{check_talagrand, eta, talagrand_bound, tau, worst_case_ratio, TalagrandCheck};
+pub use zsets::{
+    AbstractConfig, AbstractState, LevelSeparation, MiniResetTolerantKernel, ProductKernel,
+    TransitionKernel, UniformWindow, ZSetAnalysis,
+};

@@ -1,0 +1,129 @@
+//! The quantitative constants of Theorem 5 (and Theorem 17).
+//!
+//! Theorem 5 states: for `t = cn` there are constants `C, α > 0` (depending
+//! only on `c`) such that any algorithm with measure one correctness and
+//! termination admits a strongly adaptive adversary and an input setting under
+//! which, with probability at least `1/2`, the running time is at least
+//! `C·e^{αn}` acceptable windows. The proof sets `α = c²/9` and requires `C`
+//! small enough that
+//!
+//! ```text
+//! C·e^{αn} <= (1/4)·e^{(cn-1)²/8n}      for all n >= 1.      (inequality 3)
+//! ```
+//!
+//! This module computes a valid `C`, the window bound `E = C·e^{αn}`, and the
+//! success-probability lower bound `1 - 2E·e^{-(cn-1)²/8n}`, and exposes them
+//! to the experiments so that measured runs can be compared against the
+//! theorem's envelope.
+
+/// The exponent `α = c²/9` of Theorem 5.
+///
+/// # Panics
+///
+/// Panics unless `0 < c < 1`.
+pub fn alpha(c: f64) -> f64 {
+    assert!(c > 0.0 && c < 1.0, "the fault fraction c must lie in (0, 1)");
+    c * c / 9.0
+}
+
+/// A concrete constant `C` satisfying inequality (3) for every `n >= 1`.
+///
+/// The exponent gap `(cn-1)²/8n - αn = c²n/72 - c/4 + 1/(8n)` is minimized (by
+/// AM–GM over the `n`-dependent terms) at `c/12 - c/4 = -c/6`, so
+/// `C = (1/4)·e^{-c/6}` works for all `n`.
+pub fn paper_constant(c: f64) -> f64 {
+    assert!(c > 0.0 && c < 1.0, "the fault fraction c must lie in (0, 1)");
+    0.25 * (-c / 6.0).exp()
+}
+
+/// The window bound `E = C·e^{αn}`: the number of acceptable windows the
+/// Theorem 5 adversary forces with probability at least 1/2.
+pub fn window_bound(n: usize, c: f64) -> f64 {
+    paper_constant(c) * (alpha(c) * n as f64).exp()
+}
+
+/// The right-hand side of inequality (3): `(1/4)·e^{(cn-1)²/8n}`.
+pub fn inequality_three_rhs(n: usize, c: f64) -> f64 {
+    assert!(n >= 1, "n must be positive");
+    let cn1 = c * n as f64 - 1.0;
+    0.25 * (cn1 * cn1 / (8.0 * n as f64)).exp()
+}
+
+/// The probability lower bound `1 - 2E·e^{-(cn-1)²/8n}` with which the
+/// Theorem 5 adversary keeps the execution undecided for `E` windows. The
+/// theorem's choice of constants makes this at least `1/2` for every `n`.
+pub fn success_probability(n: usize, c: f64) -> f64 {
+    let cn1 = c * n as f64 - 1.0;
+    1.0 - 2.0 * window_bound(n, c) * (-(cn1 * cn1) / (8.0 * n as f64)).exp()
+}
+
+/// The per-window failure envelope `2·e^{-(t-1)²/8n}` from Lemma 14: the
+/// probability that one application of the interpolated window lands in
+/// `Z^{k-1}_0 ∪ Z^{k-1}_1` despite the adversary's choice.
+pub fn per_window_failure(n: usize, t: usize) -> f64 {
+    2.0 * crate::talagrand::eta(n, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_matches_the_paper() {
+        assert!((alpha(1.0 / 6.0) - (1.0 / 36.0) / 9.0).abs() < 1e-12);
+        assert!(alpha(0.5) > alpha(0.1));
+    }
+
+    #[test]
+    fn inequality_three_holds_for_all_small_n_and_many_c() {
+        for &c in &[0.05, 1.0 / 6.0, 0.25, 0.5, 0.9] {
+            for n in 1..=2_000 {
+                let lhs = window_bound(n, c);
+                let rhs = inequality_three_rhs(n, c);
+                assert!(
+                    lhs <= rhs * (1.0 + 1e-12),
+                    "inequality (3) violated at n={n}, c={c}: {lhs} > {rhs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn success_probability_is_at_least_one_half() {
+        for &c in &[0.05, 1.0 / 6.0, 0.25, 0.5, 0.9] {
+            for n in 1..=2_000 {
+                let p = success_probability(n, c);
+                assert!(
+                    p >= 0.5 - 1e-12,
+                    "success probability below 1/2 at n={n}, c={c}: {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_bound_grows_exponentially_in_n() {
+        let c = 1.0 / 6.0;
+        let e10 = window_bound(10, c);
+        let e100 = window_bound(100, c);
+        let e1000 = window_bound(1_000, c);
+        // Ratios of the bound across equal increments of n are constant for an
+        // exponential, and greater than 1.
+        let r1 = e100 / e10;
+        let r2 = e1000 / window_bound(910, c);
+        assert!(r1 > 1.0);
+        assert!((r1 - r2).abs() / r1 < 1e-9);
+    }
+
+    #[test]
+    fn per_window_failure_shrinks_with_t() {
+        assert!(per_window_failure(100, 20) < per_window_failure(100, 10));
+        assert!(per_window_failure(100, 10) <= 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0, 1)")]
+    fn alpha_rejects_degenerate_fractions() {
+        let _ = alpha(1.5);
+    }
+}

@@ -1,0 +1,231 @@
+//! Product distributions over configuration space.
+//!
+//! The heart of the paper's technique is that the configuration reached at the
+//! end of an acceptable window is distributed according to a **product**
+//! distribution `Ω_1 × ... × Ω_n` (each processor samples its local randomness
+//! independently), which is exactly the setting of Talagrand's inequality.
+//! [`ProductDistribution`] represents such a distribution over a finite
+//! per-coordinate alphabet, supports sampling, exact set probabilities (by
+//! enumeration, for small `n`), and the coordinate-wise *interpolation*
+//! `π_j` between two product distributions used in Lemmas 14 and 21.
+
+use agreement_model::ProcessorRng;
+
+/// A product distribution over `{0, .., alphabet-1}^n` with independent,
+/// per-coordinate probability vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductDistribution {
+    coordinates: Vec<Vec<f64>>,
+}
+
+impl ProductDistribution {
+    /// Creates a product distribution from per-coordinate probability vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate's probabilities do not sum to 1 (within 1e-9)
+    /// or contain negative entries, or if coordinates use different alphabet
+    /// sizes.
+    pub fn new(coordinates: Vec<Vec<f64>>) -> Self {
+        assert!(!coordinates.is_empty(), "need at least one coordinate");
+        let alphabet = coordinates[0].len();
+        for (i, probs) in coordinates.iter().enumerate() {
+            assert_eq!(probs.len(), alphabet, "coordinate {i} uses a different alphabet size");
+            assert!(
+                probs.iter().all(|&p| p >= 0.0),
+                "coordinate {i} has a negative probability"
+            );
+            let sum: f64 = probs.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "coordinate {i} probabilities sum to {sum}, not 1"
+            );
+        }
+        ProductDistribution { coordinates }
+    }
+
+    /// The uniform distribution over `{0, 1}^n` (independent fair coins).
+    pub fn uniform_bits(n: usize) -> Self {
+        ProductDistribution::new(vec![vec![0.5, 0.5]; n])
+    }
+
+    /// A biased-coin product distribution over `{0, 1}^n`: coordinate `i`
+    /// equals `1` with probability `ones[i]`.
+    pub fn biased_bits(ones: &[f64]) -> Self {
+        ProductDistribution::new(ones.iter().map(|&p| vec![1.0 - p, p]).collect())
+    }
+
+    /// Number of coordinates `n`.
+    pub fn dimension(&self) -> usize {
+        self.coordinates.len()
+    }
+
+    /// Alphabet size of each coordinate.
+    pub fn alphabet(&self) -> usize {
+        self.coordinates[0].len()
+    }
+
+    /// The probability of a single configuration `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` has the wrong dimension or an out-of-alphabet symbol.
+    pub fn point_probability(&self, point: &[usize]) -> f64 {
+        assert_eq!(point.len(), self.dimension(), "point has the wrong dimension");
+        point
+            .iter()
+            .zip(&self.coordinates)
+            .map(|(&symbol, probs)| probs[symbol])
+            .product()
+    }
+
+    /// The exact probability of an arbitrary set given by its membership
+    /// predicate, computed by enumerating the whole space — use only for small
+    /// `alphabet^n` (the experiments keep `n <= 16` with bits).
+    pub fn set_probability<F: Fn(&[usize]) -> bool>(&self, member: F) -> f64 {
+        let mut total = 0.0;
+        let mut point = vec![0usize; self.dimension()];
+        loop {
+            if member(&point) {
+                total += self.point_probability(&point);
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == point.len() {
+                    return total;
+                }
+                point[i] += 1;
+                if point[i] < self.alphabet() {
+                    break;
+                }
+                point[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Estimates the probability of a set by Monte Carlo sampling.
+    pub fn estimate_probability<F: Fn(&[usize]) -> bool>(
+        &self,
+        member: F,
+        samples: usize,
+        rng: &mut ProcessorRng,
+    ) -> f64 {
+        if samples == 0 {
+            return 0.0;
+        }
+        let hits = (0..samples).filter(|_| member(&self.sample(rng))).count();
+        hits as f64 / samples as f64
+    }
+
+    /// Draws one configuration.
+    pub fn sample(&self, rng: &mut ProcessorRng) -> Vec<usize> {
+        self.coordinates
+            .iter()
+            .map(|probs| {
+                let mut u = rng.range(1 << 24) as f64 / (1u64 << 24) as f64;
+                for (symbol, &p) in probs.iter().enumerate() {
+                    if u < p {
+                        return symbol;
+                    }
+                    u -= p;
+                }
+                probs.len() - 1
+            })
+            .collect()
+    }
+
+    /// The interpolated distribution `π_j` of Lemmas 14 and 21: the first `j`
+    /// coordinates come from `target`, the remaining ones from `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two distributions have different dimensions or alphabets,
+    /// or if `j` exceeds the dimension.
+    pub fn interpolate(&self, target: &ProductDistribution, j: usize) -> ProductDistribution {
+        assert_eq!(self.dimension(), target.dimension(), "dimension mismatch");
+        assert_eq!(self.alphabet(), target.alphabet(), "alphabet mismatch");
+        assert!(j <= self.dimension(), "interpolation index out of range");
+        let coordinates = (0..self.dimension())
+            .map(|i| {
+                if i < j {
+                    target.coordinates[i].clone()
+                } else {
+                    self.coordinates[i].clone()
+                }
+            })
+            .collect();
+        ProductDistribution { coordinates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_bits_assign_equal_mass_to_every_point() {
+        let d = ProductDistribution::uniform_bits(3);
+        assert_eq!(d.dimension(), 3);
+        assert_eq!(d.alphabet(), 2);
+        assert!((d.point_probability(&[0, 1, 0]) - 0.125).abs() < 1e-12);
+        let total = d.set_probability(|_| true);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_bits_probability_matches_construction() {
+        let d = ProductDistribution::biased_bits(&[0.25, 0.75]);
+        assert!((d.point_probability(&[1, 1]) - 0.25 * 0.75).abs() < 1e-12);
+        assert!((d.point_probability(&[0, 0]) - 0.75 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_probability_of_hamming_weight_sets() {
+        let d = ProductDistribution::uniform_bits(4);
+        // Exactly one `1` among four fair bits: 4/16.
+        let p = d.set_probability(|x| x.iter().sum::<usize>() == 1);
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_exact_probabilities_roughly() {
+        let d = ProductDistribution::biased_bits(&[0.9, 0.1, 0.5]);
+        let mut rng = ProcessorRng::from_seed(7);
+        let estimate = d.estimate_probability(|x| x[0] == 1, 20_000, &mut rng);
+        assert!((estimate - 0.9).abs() < 0.02, "estimate {estimate}");
+    }
+
+    #[test]
+    fn interpolation_mixes_coordinates_as_in_the_lemma() {
+        let from = ProductDistribution::biased_bits(&[0.0, 0.0, 0.0]);
+        let to = ProductDistribution::biased_bits(&[1.0, 1.0, 1.0]);
+        let mid = from.interpolate(&to, 2);
+        // First two coordinates always 1, third always 0.
+        assert!((mid.point_probability(&[1, 1, 0]) - 1.0).abs() < 1e-12);
+        assert_eq!(from.interpolate(&to, 0), from);
+        assert_eq!(from.interpolate(&to, 3), to);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn invalid_probabilities_rejected() {
+        let _ = ProductDistribution::new(vec![vec![0.5, 0.6]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "interpolation index out of range")]
+    fn interpolation_index_out_of_range_panics() {
+        let a = ProductDistribution::uniform_bits(2);
+        let b = ProductDistribution::uniform_bits(2);
+        let _ = a.interpolate(&b, 3);
+    }
+
+    #[test]
+    fn monte_carlo_with_zero_samples_is_zero() {
+        let d = ProductDistribution::uniform_bits(2);
+        let mut rng = ProcessorRng::from_seed(1);
+        assert_eq!(d.estimate_probability(|_| true, 0, &mut rng), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Talagrand's inequality in the Hamming-distance form used by the paper
+//! (Lemma 9): for any product distribution over an `n`-coordinate space, any
+//! set `A` and any `d >= 0`,
+//!
+//! ```text
+//! P[A] * (1 - P[B(A, d)]) <= exp(-d^2 / 4n).
+//! ```
+//!
+//! This module provides the numeric bound, the quantities on the left-hand
+//! side for explicitly given sets and distributions, and a randomized checker
+//! that the experiments use to confirm the inequality empirically (experiment
+//! E3).
+
+use agreement_model::ProcessorRng;
+
+use crate::hamming::{distance_to_set, in_ball};
+use crate::product::ProductDistribution;
+
+/// The right-hand side of Lemma 9: `exp(-d^2 / 4n)`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn talagrand_bound(d: usize, n: usize) -> f64 {
+    assert!(n > 0, "dimension must be positive");
+    (-((d as f64).powi(2)) / (4.0 * n as f64)).exp()
+}
+
+/// The threshold `τ = exp(-t^2 / 8n)` used to define the `Z^k` sets
+/// (Lemma 13 / Definition 12).
+pub fn tau(n: usize, t: usize) -> f64 {
+    assert!(n > 0, "dimension must be positive");
+    (-((t as f64).powi(2)) / (8.0 * n as f64)).exp()
+}
+
+/// The degraded threshold `η = exp(-(t-1)^2 / 8n)` of Lemmas 14 and 21.
+pub fn eta(n: usize, t: usize) -> f64 {
+    assert!(n > 0, "dimension must be positive");
+    let tm1 = t.saturating_sub(1) as f64;
+    (-(tm1 * tm1) / (8.0 * n as f64)).exp()
+}
+
+/// Both sides of Lemma 9 for an explicit set `A` (given as a list of points)
+/// under `distribution`, computed exactly by enumeration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TalagrandCheck {
+    /// `P[A]`.
+    pub p_a: f64,
+    /// `P[B(A, d)]`.
+    pub p_ball: f64,
+    /// The left-hand side `P[A] * (1 - P[B(A, d)])`.
+    pub lhs: f64,
+    /// The right-hand side `exp(-d^2/4n)`.
+    pub bound: f64,
+}
+
+impl TalagrandCheck {
+    /// `true` when the inequality holds (up to floating-point slack).
+    pub fn holds(&self) -> bool {
+        self.lhs <= self.bound + 1e-12
+    }
+}
+
+/// Evaluates Lemma 9 exactly for the set `a` and distance `d` under
+/// `distribution` (enumerates the space; use small `n`).
+pub fn check_talagrand(
+    distribution: &ProductDistribution,
+    a: &[Vec<usize>],
+    d: usize,
+) -> TalagrandCheck {
+    let p_a = distribution.set_probability(|x| distance_to_set(x, a) == Some(0));
+    let p_ball = distribution.set_probability(|x| in_ball(x, a, d));
+    let lhs = p_a * (1.0 - p_ball);
+    TalagrandCheck {
+        p_a,
+        p_ball,
+        lhs,
+        bound: talagrand_bound(d, distribution.dimension()),
+    }
+}
+
+/// Draws `sets` random sets (each of `set_size` points sampled from a second,
+/// independent product distribution) and checks Lemma 9 for every `d` in
+/// `0..=n`, returning the worst (largest) ratio `lhs / bound` observed.
+///
+/// A return value `<= 1.0` means the inequality held in every trial.
+pub fn worst_case_ratio(
+    distribution: &ProductDistribution,
+    sets: usize,
+    set_size: usize,
+    seed: u64,
+) -> f64 {
+    let n = distribution.dimension();
+    let mut rng = ProcessorRng::labelled(seed, 0x7A1A);
+    let mut worst: f64 = 0.0;
+    for _ in 0..sets {
+        let a: Vec<Vec<usize>> = (0..set_size).map(|_| distribution.sample(&mut rng)).collect();
+        for d in 0..=n {
+            let check = check_talagrand(distribution, &a, d);
+            if check.bound > 0.0 {
+                worst = worst.max(check.lhs / check.bound);
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_decreases_in_d_and_increases_in_n() {
+        assert!(talagrand_bound(0, 10) == 1.0);
+        assert!(talagrand_bound(5, 10) > talagrand_bound(6, 10));
+        assert!(talagrand_bound(5, 10) < talagrand_bound(5, 20));
+    }
+
+    #[test]
+    fn tau_and_eta_relationship() {
+        // η uses (t-1)^2, so η >= τ always.
+        for n in [4usize, 8, 16, 64] {
+            for t in [1usize, 2, 3, n / 6 + 1] {
+                assert!(eta(n, t) >= tau(n, t));
+                assert!(tau(n, t) > 0.0 && tau(n, t) <= 1.0);
+            }
+        }
+        // τ^2 = e^{-t²/4n} which is exactly the Talagrand bound at d = t.
+        let n = 12;
+        let t = 3;
+        assert!((tau(n, t).powi(2) - talagrand_bound(t, n)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_check_on_a_singleton_set() {
+        let d = ProductDistribution::uniform_bits(6);
+        let a = vec![vec![0usize; 6]];
+        let check = check_talagrand(&d, &a, 2);
+        assert!(check.holds(), "lhs {} bound {}", check.lhs, check.bound);
+        // P[A] = 2^-6, ball of radius 2 has 1 + 6 + 15 = 22 points.
+        assert!((check.p_a - 1.0 / 64.0).abs() < 1e-12);
+        assert!((check.p_ball - 22.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inequality_holds_for_random_sets_under_uniform_and_biased_distributions() {
+        let uniform = ProductDistribution::uniform_bits(8);
+        assert!(worst_case_ratio(&uniform, 10, 4, 1) <= 1.0);
+        let biased = ProductDistribution::biased_bits(&[0.9, 0.1, 0.3, 0.7, 0.5, 0.2, 0.8, 0.6]);
+        assert!(worst_case_ratio(&biased, 10, 4, 2) <= 1.0);
+    }
+
+    #[test]
+    fn far_apart_sets_cannot_both_be_heavy() {
+        // The interpolation corollary the proofs rely on: if A and B are at
+        // Hamming distance > t, then min(P[A], P[B])^2 <= e^{-t²/4n}, i.e. one
+        // of them has probability <= τ.
+        let n = 8;
+        let t = 4;
+        let d = ProductDistribution::uniform_bits(n);
+        // A = strings starting with four zeros, B = strings starting with four ones.
+        let a: Vec<Vec<usize>> = (0..16u32)
+            .map(|suffix| {
+                let mut v = vec![0usize; 4];
+                v.extend((0..4).map(|b| ((suffix >> b) & 1) as usize));
+                v
+            })
+            .collect();
+        let b: Vec<Vec<usize>> = a
+            .iter()
+            .map(|v| {
+                let mut w = vec![1usize; 4];
+                w.extend_from_slice(&v[4..]);
+                w
+            })
+            .collect();
+        let p_a = d.set_probability(|x| crate::hamming::distance_to_set(x, &a) == Some(0));
+        let p_b = d.set_probability(|x| crate::hamming::distance_to_set(x, &b) == Some(0));
+        let min = p_a.min(p_b);
+        assert!(min * min <= talagrand_bound(t, n) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = talagrand_bound(1, 0);
+    }
+}

@@ -1,0 +1,538 @@
+//! The `Z^k_0 / Z^k_1` set recursion of Section 4.2, computed exactly on an
+//! abstract finite model.
+//!
+//! The paper's proof builds, for a fixed algorithm, two sequences of
+//! configuration sets: `Z^0_v` contains the reachable configurations in which
+//! some processor has decided `v`, and `Z^k_v` contains the reachable
+//! configurations from which *every* legal uniform window `R, S, ..., S` leads
+//! into `Z^{k-1}_v` with probability greater than `τ = e^{-t²/8n}`
+//! (Definition 12). Lemma 13 then shows `∆(Z^k_0, Z^k_1) > t` for every `k`.
+//!
+//! Computing these sets for the real protocol state space is impossible (it is
+//! infinite), so — as recorded in DESIGN.md — we instantiate the recursion on
+//! an **abstract model**: each processor's state is summarized by its estimate
+//! bit and whether it has decided ([`AbstractState`]), and a pluggable
+//! [`TransitionKernel`] gives the per-processor (product) distribution of the
+//! next state under a uniform window. [`MiniResetTolerantKernel`] abstracts
+//! the Section 3 protocol in this way. The recursion, reachability and the
+//! Hamming separation are then computed exactly by enumeration for small `n`,
+//! which is what experiment E4 reports.
+
+use agreement_model::Bit;
+
+use crate::hamming::distance_between_sets;
+
+/// The abstract per-processor state: current estimate, decided or not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbstractState {
+    /// Undecided with the given estimate.
+    Undecided(Bit),
+    /// Decided on the given value (absorbing: the output bit is write-once).
+    Decided(Bit),
+}
+
+impl AbstractState {
+    /// All four abstract states.
+    pub const ALL: [AbstractState; 4] = [
+        AbstractState::Undecided(Bit::Zero),
+        AbstractState::Undecided(Bit::One),
+        AbstractState::Decided(Bit::Zero),
+        AbstractState::Decided(Bit::One),
+    ];
+
+    /// The estimate the processor would report in the next sending step.
+    pub fn estimate(self) -> Bit {
+        match self {
+            AbstractState::Undecided(b) | AbstractState::Decided(b) => b,
+        }
+    }
+
+    /// The decided value, if any.
+    pub fn decision(self) -> Option<Bit> {
+        match self {
+            AbstractState::Decided(b) => Some(b),
+            AbstractState::Undecided(_) => None,
+        }
+    }
+}
+
+/// An abstract configuration: one [`AbstractState`] per processor.
+pub type AbstractConfig = Vec<AbstractState>;
+
+/// A uniform window `R, S, ..., S` in the abstract model, identified by its
+/// reset set and sender set (indices into `0..n`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniformWindow {
+    /// The processors reset at the end of the window (`|R| <= t`).
+    pub resets: Vec<usize>,
+    /// The senders every processor hears from (`|S| >= n - t`).
+    pub senders: Vec<usize>,
+}
+
+/// The per-processor next-state distribution induced by one uniform window.
+pub type ProductKernel = Vec<Vec<(AbstractState, f64)>>;
+
+/// An abstract one-window transition kernel.
+pub trait TransitionKernel {
+    /// Number of processors.
+    fn n(&self) -> usize;
+    /// Fault budget per window.
+    fn t(&self) -> usize;
+    /// The product distribution of the next configuration when `window` is
+    /// applied to `config`. Each inner vector must be a probability
+    /// distribution over [`AbstractState`].
+    fn transition(&self, config: &AbstractConfig, window: &UniformWindow) -> ProductKernel;
+}
+
+/// An abstraction of the Section 3 reset-tolerant protocol: every sender in
+/// `S` reports its current estimate; a processor that sees at least
+/// `decide_threshold` matching values decides them, at least `adopt_threshold`
+/// matching values adopts them, and otherwise re-randomizes its estimate.
+/// Reset processors deterministically adopt the majority of what they heard
+/// (the resynchronization step), keeping any prior decision (the output bit is
+/// durable).
+#[derive(Debug, Clone, Copy)]
+pub struct MiniResetTolerantKernel {
+    n: usize,
+    t: usize,
+    decide_threshold: usize,
+    adopt_threshold: usize,
+}
+
+impl MiniResetTolerantKernel {
+    /// Creates the kernel. Mirroring Theorem 4's constraints at small scale,
+    /// `decide_threshold >= adopt_threshold` and `2 * adopt_threshold > n`
+    /// are required.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold constraints are violated.
+    pub fn new(n: usize, t: usize, decide_threshold: usize, adopt_threshold: usize) -> Self {
+        assert!(decide_threshold >= adopt_threshold, "decide threshold below adopt threshold");
+        assert!(2 * adopt_threshold > n, "2 * adopt_threshold must exceed n");
+        assert!(t < n, "fault budget must be below n");
+        MiniResetTolerantKernel {
+            n,
+            t,
+            decide_threshold,
+            adopt_threshold,
+        }
+    }
+
+    /// The natural scaled-down thresholds for a given `(n, t)`:
+    /// decide at `n - t` matching values, adopt at `n - 2t` (requires
+    /// `2(n - 2t) > n`, i.e. `t < n/4`).
+    pub fn scaled(n: usize, t: usize) -> Self {
+        MiniResetTolerantKernel::new(n, t, n - t, n - 2 * t)
+    }
+}
+
+impl TransitionKernel for MiniResetTolerantKernel {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn t(&self) -> usize {
+        self.t
+    }
+
+    fn transition(&self, config: &AbstractConfig, window: &UniformWindow) -> ProductKernel {
+        let zeros = window
+            .senders
+            .iter()
+            .filter(|&&s| config[s].estimate() == Bit::Zero)
+            .count();
+        let ones = window.senders.len() - zeros;
+        let majority = if ones >= zeros { Bit::One } else { Bit::Zero };
+        let top = zeros.max(ones);
+
+        (0..self.n)
+            .map(|i| {
+                let current = config[i];
+                let was_reset = window.resets.contains(&i);
+                // The durable output bit: once decided, always decided.
+                if let Some(v) = current.decision() {
+                    return vec![(AbstractState::Decided(v), 1.0)];
+                }
+                if was_reset {
+                    // Resynchronization: adopt the majority of what was heard.
+                    return vec![(AbstractState::Undecided(majority), 1.0)];
+                }
+                if top >= self.decide_threshold {
+                    vec![(AbstractState::Decided(majority), 1.0)]
+                } else if top >= self.adopt_threshold {
+                    vec![(AbstractState::Undecided(majority), 1.0)]
+                } else {
+                    vec![
+                        (AbstractState::Undecided(Bit::Zero), 0.5),
+                        (AbstractState::Undecided(Bit::One), 0.5),
+                    ]
+                }
+            })
+            .collect()
+    }
+}
+
+/// The exact `Z^k` analysis on an abstract model.
+#[derive(Debug)]
+pub struct ZSetAnalysis {
+    n: usize,
+    t: usize,
+    tau: f64,
+    reachable: Vec<AbstractConfig>,
+    windows: Vec<UniformWindow>,
+}
+
+impl ZSetAnalysis {
+    /// Builds the analysis: enumerates the legal uniform windows and the set
+    /// of configurations reachable (with positive probability) from the
+    /// all-undecided initial configurations.
+    ///
+    /// Enumeration is exponential in `n`; keep `n <= 6` for exact analysis.
+    pub fn new(kernel: &dyn TransitionKernel, tau: f64) -> Self {
+        let n = kernel.n();
+        let t = kernel.t();
+        let windows = Self::enumerate_windows(n, t);
+        let reachable = Self::compute_reachable(kernel, &windows);
+        ZSetAnalysis {
+            n,
+            t,
+            tau,
+            reachable,
+            windows,
+        }
+    }
+
+    /// Number of processors.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The per-window fault budget.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// The probability threshold `τ` used by the recursion.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The reachable configurations.
+    pub fn reachable(&self) -> &[AbstractConfig] {
+        &self.reachable
+    }
+
+    /// The legal uniform windows.
+    pub fn windows(&self) -> &[UniformWindow] {
+        &self.windows
+    }
+
+    fn subsets_of_size_at_least(n: usize, min: usize) -> Vec<Vec<usize>> {
+        (0u32..(1 << n))
+            .filter(|mask| mask.count_ones() as usize >= min)
+            .map(|mask| (0..n).filter(|i| mask & (1 << i) != 0).collect())
+            .collect()
+    }
+
+    fn enumerate_windows(n: usize, t: usize) -> Vec<UniformWindow> {
+        let sender_sets = Self::subsets_of_size_at_least(n, n - t);
+        let reset_sets: Vec<Vec<usize>> = (0u32..(1 << n))
+            .filter(|mask| mask.count_ones() as usize <= t)
+            .map(|mask| (0..n).filter(|i| mask & (1 << i) != 0).collect())
+            .collect();
+        let mut windows = Vec::new();
+        for senders in &sender_sets {
+            for resets in &reset_sets {
+                windows.push(UniformWindow {
+                    resets: resets.clone(),
+                    senders: senders.clone(),
+                });
+            }
+        }
+        windows
+    }
+
+    fn all_initial(n: usize) -> Vec<AbstractConfig> {
+        (0u32..(1 << n))
+            .map(|mask| {
+                (0..n)
+                    .map(|i| {
+                        AbstractState::Undecided(if mask & (1 << i) != 0 { Bit::One } else { Bit::Zero })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn successors_with_positive_probability(kernel: &ProductKernel) -> Vec<AbstractConfig> {
+        let mut configs: Vec<AbstractConfig> = vec![Vec::new()];
+        for coordinate in kernel {
+            let mut next = Vec::with_capacity(configs.len() * coordinate.len());
+            for config in &configs {
+                for (state, probability) in coordinate {
+                    if *probability > 0.0 {
+                        let mut extended = config.clone();
+                        extended.push(*state);
+                        next.push(extended);
+                    }
+                }
+            }
+            configs = next;
+        }
+        configs
+    }
+
+    fn compute_reachable(
+        kernel: &dyn TransitionKernel,
+        windows: &[UniformWindow],
+    ) -> Vec<AbstractConfig> {
+        use std::collections::BTreeSet;
+        let mut reachable: BTreeSet<AbstractConfig> =
+            Self::all_initial(kernel.n()).into_iter().collect();
+        let mut frontier: Vec<AbstractConfig> = reachable.iter().cloned().collect();
+        while let Some(config) = frontier.pop() {
+            for window in windows {
+                let product = kernel.transition(&config, window);
+                for successor in Self::successors_with_positive_probability(&product) {
+                    if reachable.insert(successor.clone()) {
+                        frontier.push(successor);
+                    }
+                }
+            }
+        }
+        reachable.into_iter().collect()
+    }
+
+    /// Probability that one application of `window` to `config` lands in `target`.
+    fn transition_probability_into(
+        kernel: &dyn TransitionKernel,
+        config: &AbstractConfig,
+        window: &UniformWindow,
+        target: &[AbstractConfig],
+    ) -> f64 {
+        let product = kernel.transition(config, window);
+        target
+            .iter()
+            .map(|successor| {
+                successor
+                    .iter()
+                    .enumerate()
+                    .map(|(i, state)| {
+                        product[i]
+                            .iter()
+                            .find(|(s, _)| s == state)
+                            .map_or(0.0, |(_, p)| *p)
+                    })
+                    .product::<f64>()
+            })
+            .sum()
+    }
+
+    /// The base sets `Z^0_0` and `Z^0_1`: reachable configurations containing a
+    /// decision for 0 (respectively 1).
+    pub fn base_sets(&self) -> (Vec<AbstractConfig>, Vec<AbstractConfig>) {
+        let z0: Vec<AbstractConfig> = self
+            .reachable
+            .iter()
+            .filter(|c| c.iter().any(|s| s.decision() == Some(Bit::Zero)))
+            .cloned()
+            .collect();
+        let z1: Vec<AbstractConfig> = self
+            .reachable
+            .iter()
+            .filter(|c| c.iter().any(|s| s.decision() == Some(Bit::One)))
+            .cloned()
+            .collect();
+        (z0, z1)
+    }
+
+    /// One recursion step: `Z^k_v` from `Z^{k-1}_v` per Definition 12.
+    pub fn next_level(
+        &self,
+        kernel: &dyn TransitionKernel,
+        previous: &[AbstractConfig],
+    ) -> Vec<AbstractConfig> {
+        self.reachable
+            .iter()
+            .filter(|config| {
+                self.windows.iter().all(|window| {
+                    Self::transition_probability_into(kernel, config, window, previous) > self.tau
+                })
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Computes `(Z^k_0, Z^k_1)` for `k = 0..=k_max` and returns, for each
+    /// level, the pair of set sizes and their Hamming separation
+    /// (`None` when either set is empty — an empty set is vacuously separated).
+    pub fn separation_profile(
+        &self,
+        kernel: &dyn TransitionKernel,
+        k_max: usize,
+    ) -> Vec<LevelSeparation> {
+        let (mut z0, mut z1) = self.base_sets();
+        let mut profile = Vec::with_capacity(k_max + 1);
+        for level in 0..=k_max {
+            profile.push(LevelSeparation {
+                level,
+                size_zero: z0.len(),
+                size_one: z1.len(),
+                separation: distance_between_sets(&z0, &z1),
+            });
+            if level < k_max {
+                z0 = self.next_level(kernel, &z0);
+                z1 = self.next_level(kernel, &z1);
+            }
+        }
+        profile
+    }
+}
+
+/// The size and Hamming separation of one level of the `Z^k` recursion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelSeparation {
+    /// The recursion depth `k`.
+    pub level: usize,
+    /// `|Z^k_0|`.
+    pub size_zero: usize,
+    /// `|Z^k_1|`.
+    pub size_one: usize,
+    /// `∆(Z^k_0, Z^k_1)`, or `None` if either set is empty.
+    pub separation: Option<usize>,
+}
+
+impl LevelSeparation {
+    /// Lemma 13's claim at this level: the separation exceeds `t` (vacuously
+    /// true when either set is empty).
+    pub fn exceeds(&self, t: usize) -> bool {
+        self.separation.map_or(true, |d| d > t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::talagrand::tau;
+
+    fn kernel4() -> MiniResetTolerantKernel {
+        MiniResetTolerantKernel::scaled(4, 0)
+    }
+
+    #[test]
+    fn abstract_state_accessors() {
+        assert_eq!(AbstractState::Undecided(Bit::One).estimate(), Bit::One);
+        assert_eq!(AbstractState::Decided(Bit::Zero).decision(), Some(Bit::Zero));
+        assert_eq!(AbstractState::Undecided(Bit::Zero).decision(), None);
+        assert_eq!(AbstractState::ALL.len(), 4);
+    }
+
+    #[test]
+    fn scaled_kernel_enforces_threshold_constraints() {
+        let k = MiniResetTolerantKernel::scaled(8, 1);
+        assert_eq!(k.n(), 8);
+        assert_eq!(k.t(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 * adopt_threshold must exceed n")]
+    fn invalid_kernel_thresholds_rejected() {
+        let _ = MiniResetTolerantKernel::new(8, 2, 6, 4);
+    }
+
+    #[test]
+    fn unanimous_configuration_decides_in_one_window() {
+        let kernel = kernel4();
+        let config: AbstractConfig = vec![AbstractState::Undecided(Bit::One); 4];
+        let window = UniformWindow {
+            resets: vec![],
+            senders: vec![0, 1, 2, 3],
+        };
+        let product = kernel.transition(&config, &window);
+        for coordinate in product {
+            assert_eq!(coordinate, vec![(AbstractState::Decided(Bit::One), 1.0)]);
+        }
+    }
+
+    #[test]
+    fn split_configuration_randomizes_everyone() {
+        let kernel = kernel4();
+        let config: AbstractConfig = vec![
+            AbstractState::Undecided(Bit::Zero),
+            AbstractState::Undecided(Bit::Zero),
+            AbstractState::Undecided(Bit::One),
+            AbstractState::Undecided(Bit::One),
+        ];
+        let window = UniformWindow {
+            resets: vec![],
+            senders: vec![0, 1, 2, 3],
+        };
+        let product = kernel.transition(&config, &window);
+        for coordinate in product {
+            assert_eq!(coordinate.len(), 2, "a 2-2 split must re-randomize");
+        }
+    }
+
+    #[test]
+    fn decided_state_is_absorbing() {
+        let kernel = MiniResetTolerantKernel::new(4, 1, 4, 3);
+        let config: AbstractConfig = vec![
+            AbstractState::Decided(Bit::Zero),
+            AbstractState::Undecided(Bit::Zero),
+            AbstractState::Undecided(Bit::Zero),
+            AbstractState::Undecided(Bit::One),
+        ];
+        let window = UniformWindow {
+            resets: vec![0],
+            senders: vec![0, 1, 2],
+        };
+        let product = kernel.transition(&config, &window);
+        assert_eq!(product[0], vec![(AbstractState::Decided(Bit::Zero), 1.0)]);
+    }
+
+    #[test]
+    fn window_enumeration_counts_match_combinatorics() {
+        let kernel = MiniResetTolerantKernel::new(4, 1, 4, 3);
+        let analysis = ZSetAnalysis::new(&kernel, tau(4, 1));
+        // Sender sets: C(4,3) + C(4,4) = 5; reset sets: C(4,0) + C(4,1) = 5.
+        assert_eq!(analysis.windows().len(), 25);
+        assert_eq!(analysis.n(), 4);
+    }
+
+    #[test]
+    fn base_sets_are_disjoint_and_separated_beyond_t() {
+        let kernel = MiniResetTolerantKernel::new(4, 1, 4, 3);
+        let analysis = ZSetAnalysis::new(&kernel, tau(4, 1));
+        let (z0, z1) = analysis.base_sets();
+        assert!(!z0.is_empty() && !z1.is_empty());
+        let separation = distance_between_sets(&z0, &z1).unwrap();
+        assert!(
+            separation > kernel.t(),
+            "Lemma 11 (abstract model): separation {separation} must exceed t {}",
+            kernel.t()
+        );
+    }
+
+    #[test]
+    fn separation_profile_satisfies_lemma_13_on_the_abstract_model() {
+        let kernel = MiniResetTolerantKernel::new(4, 1, 4, 3);
+        let analysis = ZSetAnalysis::new(&kernel, tau(4, 1));
+        let profile = analysis.separation_profile(&kernel, 3);
+        assert_eq!(profile.len(), 4);
+        for level in &profile {
+            assert!(
+                level.exceeds(kernel.t()),
+                "level {} separation {:?} must exceed t",
+                level.level,
+                level.separation
+            );
+        }
+        // Z-set sizes shrink (or stay equal) as k grows: the condition quantifies
+        // over more windows each level.
+        for pair in profile.windows(2) {
+            assert!(pair[1].size_zero <= pair[0].size_zero);
+            assert!(pair[1].size_one <= pair[0].size_one);
+        }
+    }
+}

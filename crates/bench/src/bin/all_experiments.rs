@@ -1,0 +1,16 @@
+//! Regenerates every experiment table (E1-E9) in order.
+//!
+//! Usage: `cargo run --release -p agreement-bench --bin all_experiments [--full]`
+
+use agreement_core::experiments::{run_all, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    for table in run_all(scale) {
+        println!("{table}");
+    }
+}

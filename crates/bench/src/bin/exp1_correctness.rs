@@ -1,0 +1,14 @@
+//! Regenerates experiment E1 (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p agreement-bench --bin exp1_correctness [--full]`
+
+use agreement_core::experiments::{exp1_correctness, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("{}", exp1_correctness(scale));
+}

@@ -1,0 +1,14 @@
+//! Regenerates experiment E2 (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p agreement-bench --bin exp2_exponential_runtime [--full]`
+
+use agreement_core::experiments::{exp2_exponential_runtime, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("{}", exp2_exponential_runtime(scale));
+}

@@ -1,0 +1,14 @@
+//! Regenerates experiment E3 (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p agreement-bench --bin exp3_talagrand [--full]`
+
+use agreement_core::experiments::{exp3_talagrand, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("{}", exp3_talagrand(scale));
+}

@@ -1,0 +1,14 @@
+//! Regenerates experiment E4 (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p agreement-bench --bin exp4_zset_separation [--full]`
+
+use agreement_core::experiments::{exp4_zset_separation, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("{}", exp4_zset_separation(scale));
+}

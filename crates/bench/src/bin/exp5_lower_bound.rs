@@ -1,0 +1,14 @@
+//! Regenerates experiment E5 (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p agreement-bench --bin exp5_lower_bound [--full]`
+
+use agreement_core::experiments::{exp5_lower_bound, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("{}", exp5_lower_bound(scale));
+}

@@ -1,0 +1,14 @@
+//! Regenerates experiment E6 (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p agreement-bench --bin exp6_crash_chains [--full]`
+
+use agreement_core::experiments::{exp6_crash_chains, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("{}", exp6_crash_chains(scale));
+}

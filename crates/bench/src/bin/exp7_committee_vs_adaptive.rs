@@ -1,0 +1,14 @@
+//! Regenerates experiment E7 (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p agreement-bench --bin exp7_committee_vs_adaptive [--full]`
+
+use agreement_core::experiments::{exp7_committee_vs_adaptive, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("{}", exp7_committee_vs_adaptive(scale));
+}

@@ -1,0 +1,14 @@
+//! Regenerates experiment E8 (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p agreement-bench --bin exp8_threshold_sensitivity [--full]`
+
+use agreement_core::experiments::{exp8_threshold_sensitivity, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("{}", exp8_threshold_sensitivity(scale));
+}

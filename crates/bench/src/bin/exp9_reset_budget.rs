@@ -1,0 +1,14 @@
+//! Regenerates experiment E9 (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p agreement-bench --bin exp9_reset_budget [--full]`
+
+use agreement_core::experiments::{exp9_reset_budget, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("{}", exp9_reset_budget(scale));
+}

@@ -1,0 +1,34 @@
+//! High-level experiment harness for the reproduction of Lewko & Lewko,
+//! *"On the Complexity of Asynchronous Agreement Against Powerful
+//! Adversaries"* (PODC 2013).
+//!
+//! This crate ties the workspace together:
+//!
+//! * [`TrialPlan`], [`run_window_trials`], [`run_async_trials`] and
+//!   [`Aggregate`] — run a protocol against an adversary over many seeded
+//!   trials and aggregate agreement/validity/termination rates and
+//!   running-time summaries.
+//! * [`experiments`] — the per-claim experiments E1–E9 indexed in DESIGN.md
+//!   and recorded in EXPERIMENTS.md, each returning a [`Table`].
+//! * [`Table`] — plain-text result tables (what the `agreement-bench`
+//!   binaries print).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use agreement_core::experiments::{exp3_talagrand, Scale};
+//!
+//! // Regenerate the Talagrand-inequality table at reduced scale.
+//! let table = exp3_talagrand(Scale::Quick);
+//! println!("{table}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+mod report;
+mod runner;
+
+pub use report::{fmt_f64, fmt_rate, Table};
+pub use runner::{run_async_trials, run_window_trials, Aggregate, TrialPlan};

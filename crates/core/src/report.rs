@@ -1,0 +1,166 @@
+//! Plain-text tables for experiment output.
+//!
+//! The paper has no numeric tables of its own (it is a theory paper), so every
+//! experiment in this reproduction reports its results as a [`Table`] in the
+//! same shape EXPERIMENTS.md records: a title, a caption tying the numbers to
+//! the paper claim, column headers and rows.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A plain-text results table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    caption: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title, caption and column headers.
+    pub fn new(
+        title: impl Into<String>,
+        caption: impl Into<String>,
+        columns: Vec<&str>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            caption: caption.into(),
+            columns: columns.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity does not match the column headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity must match the number of columns"
+        );
+        self.rows.push(row);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The caption linking the table to a paper claim.
+    pub fn caption(&self) -> &str {
+        &self.caption
+    }
+
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Looks up a cell as text.
+    pub fn cell(&self, row: usize, column: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(column)).map(String::as_str)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        writeln!(f, "{}", self.caption)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+            .collect();
+        writeln!(f, "| {} |", header.join(" | "))?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "|-{}-|", rule.join("-|-"))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect();
+            writeln!(f, "| {} |", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with three decimal places for table cells.
+pub fn fmt_f64(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats a rate (0..=1) as a percentage for table cells.
+pub fn fmt_rate(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trip_and_lookup() {
+        let mut table = Table::new("E0", "sanity", vec!["n", "value"]);
+        table.push_row(vec!["4".to_string(), "1.000".to_string()]);
+        table.push_row(vec!["8".to_string(), "2.000".to_string()]);
+        assert_eq!(table.title(), "E0");
+        assert_eq!(table.columns().len(), 2);
+        assert_eq!(table.rows().len(), 2);
+        assert_eq!(table.cell(1, 1), Some("2.000"));
+        assert_eq!(table.cell(2, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn mismatched_row_rejected() {
+        let mut table = Table::new("E0", "sanity", vec!["n", "value"]);
+        table.push_row(vec!["4".to_string()]);
+    }
+
+    #[test]
+    fn display_renders_markdown_like_table() {
+        let mut table = Table::new("E0", "sanity check", vec!["n", "mean windows"]);
+        table.push_row(vec!["4".to_string(), "1.5".to_string()]);
+        let text = table.to_string();
+        assert!(text.contains("## E0"));
+        assert!(text.contains("| n | mean windows |"));
+        assert!(text.contains("| 4 | 1.5"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f64(1.23456), "1.235");
+        assert_eq!(fmt_rate(0.5), "50.0%");
+        assert_eq!(fmt_rate(1.0), "100.0%");
+    }
+
+    #[test]
+    fn table_serde_round_trip() {
+        let mut table = Table::new("E1", "caption", vec!["a"]);
+        table.push_row(vec!["x".to_string()]);
+        let json = serde_json::to_string(&table).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(table, back);
+    }
+}

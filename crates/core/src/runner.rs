@@ -1,0 +1,221 @@
+//! Multi-trial experiment runner: protocol × adversary × configuration,
+//! repeated over seeds, aggregated into rates and summaries.
+
+use agreement_analysis::Summary;
+use agreement_model::{InputAssignment, ProtocolBuilder, SystemConfig};
+use agreement_sim::{
+    run_async, run_windowed, AsyncAdversary, RunLimits, RunOutcome, WindowAdversary,
+};
+
+/// The static description of a batch of trials.
+#[derive(Debug, Clone)]
+pub struct TrialPlan {
+    /// System configuration.
+    pub cfg: SystemConfig,
+    /// Input assignment used in every trial.
+    pub inputs: InputAssignment,
+    /// Engine limits per trial.
+    pub limits: RunLimits,
+    /// Number of trials.
+    pub trials: u64,
+    /// Base seed; trial `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl TrialPlan {
+    /// A plan with the given configuration and inputs, default limits and 20
+    /// trials.
+    pub fn new(cfg: SystemConfig, inputs: InputAssignment) -> Self {
+        TrialPlan {
+            cfg,
+            inputs,
+            limits: RunLimits::standard(),
+            trials: 20,
+            base_seed: 0x5EED,
+        }
+    }
+
+    /// Sets the number of trials.
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the per-trial limits.
+    pub fn limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+}
+
+/// Aggregated results over a batch of trials.
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    /// Number of trials run.
+    pub trials: u64,
+    /// Fraction of trials in which agreement held.
+    pub agreement_rate: f64,
+    /// Fraction of trials in which validity held.
+    pub validity_rate: f64,
+    /// Fraction of trials in which every correct processor decided within the limit.
+    pub termination_rate: f64,
+    /// Fraction of trials with at least one recorded violation.
+    pub violation_rate: f64,
+    /// Summary of the window/step count at which the last correct processor
+    /// decided (undecided trials contribute the limit).
+    pub decision_time: Summary,
+    /// Summary of the longest message chain before the first decision
+    /// (asynchronous runs only; zero for window runs).
+    pub chain_length: Summary,
+    /// Summary of the number of resetting steps per trial.
+    pub resets: Summary,
+    /// Summary of messages sent per trial.
+    pub messages: Summary,
+}
+
+fn aggregate(outcomes: &[RunOutcome], inputs: &InputAssignment, cap: u64) -> Aggregate {
+    let trials = outcomes.len() as u64;
+    let rate = |pred: &dyn Fn(&RunOutcome) -> bool| {
+        if outcomes.is_empty() {
+            0.0
+        } else {
+            outcomes.iter().filter(|o| pred(o)).count() as f64 / outcomes.len() as f64
+        }
+    };
+    Aggregate {
+        trials,
+        agreement_rate: rate(&|o| o.agreement_holds()),
+        validity_rate: rate(&|o| o.validity_holds(inputs)),
+        termination_rate: rate(&|o| o.all_correct_decided()),
+        violation_rate: rate(&|o| !o.violations.is_empty()),
+        decision_time: Summary::from_samples(
+            &outcomes
+                .iter()
+                .map(|o| o.all_decided_at.unwrap_or(cap) as f64)
+                .collect::<Vec<_>>(),
+        ),
+        chain_length: Summary::from_samples(
+            &outcomes.iter().map(|o| o.longest_chain as f64).collect::<Vec<_>>(),
+        ),
+        resets: Summary::from_samples(
+            &outcomes.iter().map(|o| o.resets_performed as f64).collect::<Vec<_>>(),
+        ),
+        messages: Summary::from_samples(
+            &outcomes.iter().map(|o| o.messages_sent as f64).collect::<Vec<_>>(),
+        ),
+    }
+}
+
+/// Runs `plan.trials` window-model executions, constructing a fresh adversary
+/// per trial with `make_adversary`.
+pub fn run_window_trials<A, F>(
+    plan: &TrialPlan,
+    builder: &dyn ProtocolBuilder,
+    mut make_adversary: F,
+) -> Aggregate
+where
+    A: WindowAdversary,
+    F: FnMut() -> A,
+{
+    let outcomes: Vec<RunOutcome> = (0..plan.trials)
+        .map(|i| {
+            let mut adversary = make_adversary();
+            run_windowed(
+                plan.cfg,
+                plan.inputs.clone(),
+                builder,
+                &mut adversary,
+                plan.base_seed + i,
+                plan.limits,
+            )
+        })
+        .collect();
+    aggregate(&outcomes, &plan.inputs, plan.limits.max_windows)
+}
+
+/// Runs `plan.trials` asynchronous-model executions, constructing a fresh
+/// adversary per trial with `make_adversary`.
+pub fn run_async_trials<A, F>(
+    plan: &TrialPlan,
+    builder: &dyn ProtocolBuilder,
+    mut make_adversary: F,
+) -> Aggregate
+where
+    A: AsyncAdversary,
+    F: FnMut(u64) -> A,
+{
+    let outcomes: Vec<RunOutcome> = (0..plan.trials)
+        .map(|i| {
+            let mut adversary = make_adversary(plan.base_seed + i);
+            run_async(
+                plan.cfg,
+                plan.inputs.clone(),
+                builder,
+                &mut adversary,
+                plan.base_seed + i,
+                plan.limits,
+            )
+        })
+        .collect();
+    aggregate(&outcomes, &plan.inputs, plan.limits.max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agreement_adversary::SplitVoteAdversary;
+    use agreement_model::Bit;
+    use agreement_protocols::{BenOrBuilder, ResetTolerantBuilder};
+    use agreement_sim::{FairAsyncAdversary, FullDeliveryAdversary};
+
+    #[test]
+    fn window_trials_aggregate_perfect_rates_for_unanimous_inputs() {
+        let cfg = SystemConfig::with_sixth_resilience(7).unwrap();
+        let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+        let plan = TrialPlan::new(cfg, InputAssignment::unanimous(7, Bit::One))
+            .trials(5)
+            .limits(RunLimits::small());
+        let aggregate = run_window_trials(&plan, &builder, || FullDeliveryAdversary);
+        assert_eq!(aggregate.trials, 5);
+        assert_eq!(aggregate.agreement_rate, 1.0);
+        assert_eq!(aggregate.validity_rate, 1.0);
+        assert_eq!(aggregate.termination_rate, 1.0);
+        assert_eq!(aggregate.violation_rate, 0.0);
+        assert!(aggregate.decision_time.mean >= 1.0);
+        assert!(aggregate.messages.mean > 0.0);
+    }
+
+    #[test]
+    fn window_trials_with_split_vote_adversary_still_agree() {
+        let cfg = SystemConfig::with_sixth_resilience(13).unwrap();
+        let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+        let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(13))
+            .trials(3)
+            .limits(RunLimits::windows(5_000));
+        let aggregate = run_window_trials(&plan, &builder, SplitVoteAdversary::new);
+        assert_eq!(aggregate.agreement_rate, 1.0);
+        assert_eq!(aggregate.validity_rate, 1.0);
+        assert!(aggregate.decision_time.mean > 1.0);
+    }
+
+    #[test]
+    fn async_trials_aggregate_ben_or_under_fair_scheduling() {
+        let cfg = SystemConfig::new(5, 1).unwrap();
+        let plan = TrialPlan::new(cfg, InputAssignment::unanimous(5, Bit::Zero))
+            .trials(4)
+            .limits(RunLimits::small())
+            .base_seed(99);
+        let aggregate =
+            run_async_trials(&plan, &BenOrBuilder::new(), |_seed| FairAsyncAdversary::default());
+        assert_eq!(aggregate.trials, 4);
+        assert_eq!(aggregate.termination_rate, 1.0);
+        assert_eq!(aggregate.agreement_rate, 1.0);
+        assert!(aggregate.chain_length.mean >= 1.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! System configuration and protocol thresholds.
+//!
+//! [`SystemConfig`] describes the static parameters of the distributed system:
+//! the number of processors `n` and the per-window fault budget `t`.
+//! [`Thresholds`] captures the three thresholds `T1 >= T2 >= T3` that
+//! parameterize the Section 3 reset-tolerant protocol together with the
+//! constraints of Theorem 4.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+
+/// Static parameters of the system: `n` processors, at most `t` of which may be
+/// faulty "at one time" (per acceptable window for the strongly adaptive
+/// adversary, or in total for the crash adversary).
+///
+/// # Examples
+///
+/// ```
+/// use agreement_model::SystemConfig;
+///
+/// let cfg = SystemConfig::new(12, 1)?;
+/// assert_eq!(cfg.n(), 12);
+/// assert_eq!(cfg.t(), 1);
+/// assert_eq!(cfg.quorum(), 11); // n - t
+/// # Ok::<(), agreement_model::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystemConfig {
+    n: usize,
+    t: usize,
+}
+
+impl SystemConfig {
+    /// Creates a configuration with `n` processors and fault budget `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EmptySystem`] when `n == 0`, and
+    /// [`ConfigError::FaultBudgetTooLarge`] when `t >= n`.
+    pub fn new(n: usize, t: usize) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::EmptySystem);
+        }
+        if t >= n {
+            return Err(ConfigError::FaultBudgetTooLarge { n, t });
+        }
+        Ok(SystemConfig { n, t })
+    }
+
+    /// Creates the configuration used throughout the paper's feasibility
+    /// result: `t` is the largest integer strictly below `n / 6`
+    /// (Theorem 4 requires `t < n/6`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EmptySystem`] when `n == 0`.
+    pub fn with_sixth_resilience(n: usize) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::EmptySystem);
+        }
+        // Largest t with 6t < n, i.e. t = ceil(n/6) - 1 when 6 | n, else floor(n/6)... take
+        // the direct characterization: t = (n - 1) / 6 satisfies 6t <= n - 1 < n.
+        let t = (n - 1) / 6;
+        SystemConfig::new(n, t)
+    }
+
+    /// Creates the classical Byzantine-optimal configuration `t = ⌈n/3⌉ - 1`
+    /// (the largest `t` with `3t < n`), used by Bracha's protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EmptySystem`] when `n == 0`.
+    pub fn with_third_resilience(n: usize) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::EmptySystem);
+        }
+        let t = (n - 1) / 3;
+        SystemConfig::new(n, t)
+    }
+
+    /// Number of processors.
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Fault budget: the maximum number of processors that may be faulty at one time.
+    pub const fn t(&self) -> usize {
+        self.t
+    }
+
+    /// The quorum size `n - t`: the number of processors a correct processor
+    /// can always expect to hear from.
+    pub const fn quorum(&self) -> usize {
+        self.n - self.t
+    }
+
+    /// Returns `true` when `t < n/6`, the resilience required by Theorem 4 for
+    /// the reset-tolerant protocol.
+    pub const fn satisfies_sixth_bound(&self) -> bool {
+        6 * self.t < self.n
+    }
+
+    /// Returns `true` when `t < n/3`, the optimal Byzantine resilience
+    /// achieved by Bracha's protocol.
+    pub const fn satisfies_third_bound(&self) -> bool {
+        3 * self.t < self.n
+    }
+
+    /// Returns `true` when `t < n/2`, the crash resilience required by Ben-Or's
+    /// protocol (per the Aguilera–Toueg correctness proof cited in the paper).
+    pub const fn satisfies_half_bound(&self) -> bool {
+        2 * self.t < self.n
+    }
+}
+
+/// The three thresholds `T1 >= T2 >= T3` of the Section 3 reset-tolerant protocol.
+///
+/// Theorem 4 requires, for fault budget `t`:
+///
+/// * `n - 2t >= T1 >= T2 >= T3 + t`
+/// * `2 * T3 > n`
+///
+/// (The paper additionally notes `2 * T3 > T1` must hold for step 3 to be
+/// well-defined; it is implied by `2*T3 > n >= T1` but we check it anyway.)
+///
+/// # Examples
+///
+/// ```
+/// use agreement_model::{SystemConfig, Thresholds};
+///
+/// let cfg = SystemConfig::with_sixth_resilience(13)?;
+/// let th = Thresholds::recommended(&cfg)?;
+/// assert!(th.validate(&cfg).is_ok());
+/// # Ok::<(), agreement_model::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Thresholds {
+    t1: usize,
+    t2: usize,
+    t3: usize,
+}
+
+impl Thresholds {
+    /// Creates an unchecked threshold triple. Call [`Thresholds::validate`] to
+    /// check the Theorem 4 constraints against a concrete configuration.
+    pub const fn new(t1: usize, t2: usize, t3: usize) -> Self {
+        Thresholds { t1, t2, t3 }
+    }
+
+    /// The setting used in the proof of Theorem 4:
+    /// `T1 = n - 2t`, `T2 = T1`, `T3 = n - 3t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ResilienceExceeded`] when `t >= n/6`, in which
+    /// case no valid thresholds exist.
+    pub fn recommended(cfg: &SystemConfig) -> Result<Self, ConfigError> {
+        if !cfg.satisfies_sixth_bound() {
+            return Err(ConfigError::ResilienceExceeded {
+                n: cfg.n(),
+                t: cfg.t(),
+                bound: "t < n/6",
+            });
+        }
+        let th = Thresholds {
+            t1: cfg.n() - 2 * cfg.t(),
+            t2: cfg.n() - 2 * cfg.t(),
+            t3: cfg.n() - 3 * cfg.t(),
+        };
+        th.validate(cfg)?;
+        Ok(th)
+    }
+
+    /// The wait threshold `T1`: number of same-round messages a processor
+    /// waits for in step 2.
+    pub const fn t1(&self) -> usize {
+        self.t1
+    }
+
+    /// The decision threshold `T2`: seeing `T2` matching values allows writing
+    /// the output bit in step 3.
+    pub const fn t2(&self) -> usize {
+        self.t2
+    }
+
+    /// The adoption threshold `T3`: seeing `T3` matching values forces the next
+    /// estimate deterministically in step 3.
+    pub const fn t3(&self) -> usize {
+        self.t3
+    }
+
+    /// Checks every Theorem 4 constraint against `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidThresholds`] naming the first violated
+    /// constraint.
+    pub fn validate(&self, cfg: &SystemConfig) -> Result<(), ConfigError> {
+        let n = cfg.n();
+        let t = cfg.t();
+        if self.t1 == 0 {
+            return Err(ConfigError::InvalidThresholds { constraint: "T1 >= 1" });
+        }
+        if self.t1 > n.saturating_sub(2 * t) {
+            return Err(ConfigError::InvalidThresholds {
+                constraint: "n - 2t >= T1",
+            });
+        }
+        if self.t1 < self.t2 {
+            return Err(ConfigError::InvalidThresholds { constraint: "T1 >= T2" });
+        }
+        if self.t2 < self.t3 + t {
+            return Err(ConfigError::InvalidThresholds {
+                constraint: "T2 >= T3 + t",
+            });
+        }
+        if 2 * self.t3 <= n {
+            return Err(ConfigError::InvalidThresholds { constraint: "2*T3 > n" });
+        }
+        if 2 * self.t3 <= self.t1 {
+            return Err(ConfigError::InvalidThresholds {
+                constraint: "2*T3 > T1",
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns `true` when [`Thresholds::validate`] succeeds.
+    pub fn is_valid_for(&self, cfg: &SystemConfig) -> bool {
+        self.validate(cfg).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_rejects_degenerate_parameters() {
+        assert_eq!(SystemConfig::new(0, 0).unwrap_err(), ConfigError::EmptySystem);
+        assert!(matches!(
+            SystemConfig::new(3, 3).unwrap_err(),
+            ConfigError::FaultBudgetTooLarge { n: 3, t: 3 }
+        ));
+        assert!(SystemConfig::new(1, 0).is_ok());
+    }
+
+    #[test]
+    fn quorum_is_n_minus_t() {
+        let cfg = SystemConfig::new(10, 3).unwrap();
+        assert_eq!(cfg.quorum(), 7);
+    }
+
+    #[test]
+    fn sixth_resilience_picks_largest_valid_t() {
+        for n in 1..=60 {
+            let cfg = SystemConfig::with_sixth_resilience(n).unwrap();
+            assert!(cfg.satisfies_sixth_bound(), "n={n} t={}", cfg.t());
+            // t + 1 would violate the bound (or exceed n - 1).
+            assert!(6 * (cfg.t() + 1) >= n);
+        }
+    }
+
+    #[test]
+    fn third_resilience_picks_largest_valid_t() {
+        for n in 1..=40 {
+            let cfg = SystemConfig::with_third_resilience(n).unwrap();
+            assert!(cfg.satisfies_third_bound(), "n={n} t={}", cfg.t());
+            assert!(3 * (cfg.t() + 1) >= n);
+        }
+    }
+
+    #[test]
+    fn resilience_predicates_are_consistent() {
+        let cfg = SystemConfig::new(12, 1).unwrap();
+        assert!(cfg.satisfies_sixth_bound());
+        assert!(cfg.satisfies_third_bound());
+        assert!(cfg.satisfies_half_bound());
+        let cfg = SystemConfig::new(12, 3).unwrap();
+        assert!(!cfg.satisfies_sixth_bound());
+        assert!(cfg.satisfies_third_bound());
+    }
+
+    #[test]
+    fn recommended_thresholds_satisfy_theorem_4() {
+        for n in 7..=60 {
+            let cfg = SystemConfig::with_sixth_resilience(n).unwrap();
+            let th = Thresholds::recommended(&cfg).unwrap();
+            assert!(th.validate(&cfg).is_ok(), "n={n}");
+            assert_eq!(th.t1(), cfg.n() - 2 * cfg.t());
+            assert_eq!(th.t2(), th.t1());
+            assert_eq!(th.t3(), cfg.n() - 3 * cfg.t());
+        }
+    }
+
+    #[test]
+    fn recommended_thresholds_fail_beyond_sixth_bound() {
+        let cfg = SystemConfig::new(12, 2).unwrap(); // 6t = 12 = n, not strictly below
+        assert!(matches!(
+            Thresholds::recommended(&cfg),
+            Err(ConfigError::ResilienceExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_detects_each_violated_constraint() {
+        let cfg = SystemConfig::new(13, 2).unwrap();
+        // Valid reference point.
+        let ok = Thresholds::new(9, 9, 7);
+        assert!(ok.validate(&cfg).is_ok());
+        // T1 too large.
+        assert!(matches!(
+            Thresholds::new(10, 9, 7).validate(&cfg),
+            Err(ConfigError::InvalidThresholds { constraint: "n - 2t >= T1" })
+        ));
+        // T2 above T1.
+        assert!(matches!(
+            Thresholds::new(8, 9, 7).validate(&cfg),
+            Err(ConfigError::InvalidThresholds { constraint: "T1 >= T2" })
+        ));
+        // T2 < T3 + t.
+        assert!(matches!(
+            Thresholds::new(9, 8, 7).validate(&cfg),
+            Err(ConfigError::InvalidThresholds { constraint: "T2 >= T3 + t" })
+        ));
+        // 2*T3 <= n.
+        assert!(matches!(
+            Thresholds::new(9, 8, 6).validate(&cfg),
+            Err(ConfigError::InvalidThresholds { constraint: "2*T3 > n" })
+        ));
+        // T1 = 0.
+        assert!(matches!(
+            Thresholds::new(0, 0, 0).validate(&cfg),
+            Err(ConfigError::InvalidThresholds { constraint: "T1 >= 1" })
+        ));
+    }
+
+    #[test]
+    fn thresholds_serde_round_trip() {
+        let th = Thresholds::new(9, 9, 7);
+        let json = serde_json::to_string(&th).unwrap();
+        let back: Thresholds = serde_json::from_str(&json).unwrap();
+        assert_eq!(th, back);
+    }
+}

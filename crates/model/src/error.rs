@@ -1,0 +1,130 @@
+//! Error types shared across the agreement workspace.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::value::Bit;
+
+/// Errors produced by the base model types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A byte that is neither `0` nor `1` was interpreted as a [`Bit`].
+    InvalidBit(u8),
+    /// A write-once output register was written twice with different values.
+    ///
+    /// This is precisely the event ruled out by *measure one correctness*
+    /// (Definition 2): the simulation converts it into a reported violation.
+    ConflictingDecision {
+        /// The value already present in the register.
+        existing: Bit,
+        /// The conflicting value of the attempted write.
+        attempted: Bit,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidBit(v) => write!(f, "invalid bit value {v}, expected 0 or 1"),
+            ModelError::ConflictingDecision {
+                existing,
+                attempted,
+            } => write!(
+                f,
+                "conflicting decision: output already {existing}, attempted to write {attempted}"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Errors raised while validating a system configuration or protocol thresholds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The system must contain at least one processor.
+    EmptySystem,
+    /// The fault budget `t` must satisfy `0 <= t < n`.
+    FaultBudgetTooLarge {
+        /// Number of processors.
+        n: usize,
+        /// Requested fault budget.
+        t: usize,
+    },
+    /// The resilience bound required by the protocol was violated
+    /// (e.g. Theorem 4 requires `t < n/6` for the reset-tolerant protocol).
+    ResilienceExceeded {
+        /// Number of processors.
+        n: usize,
+        /// Requested fault budget.
+        t: usize,
+        /// Human-readable description of the bound, e.g. `"t < n/6"`.
+        bound: &'static str,
+    },
+    /// Threshold values violate one of the Theorem 4 constraints.
+    InvalidThresholds {
+        /// Which constraint failed, e.g. `"T1 >= T2"`.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptySystem => write!(f, "system must contain at least one processor"),
+            ConfigError::FaultBudgetTooLarge { n, t } => {
+                write!(f, "fault budget t={t} must be smaller than n={n}")
+            }
+            ConfigError::ResilienceExceeded { n, t, bound } => {
+                write!(f, "fault budget t={t} with n={n} violates the resilience bound {bound}")
+            }
+            ConfigError::InvalidThresholds { constraint } => {
+                write!(f, "threshold constraint violated: {constraint}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_error_messages_are_lowercase_and_informative() {
+        let e = ModelError::InvalidBit(7);
+        assert!(e.to_string().contains('7'));
+        let e = ModelError::ConflictingDecision {
+            existing: Bit::Zero,
+            attempted: Bit::One,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("conflicting decision"));
+        assert!(msg.contains('0') && msg.contains('1'));
+    }
+
+    #[test]
+    fn config_error_messages_mention_parameters() {
+        let e = ConfigError::FaultBudgetTooLarge { n: 4, t: 4 };
+        assert!(e.to_string().contains("t=4"));
+        assert!(e.to_string().contains("n=4"));
+        let e = ConfigError::ResilienceExceeded {
+            n: 12,
+            t: 3,
+            bound: "t < n/6",
+        };
+        assert!(e.to_string().contains("t < n/6"));
+        let e = ConfigError::InvalidThresholds { constraint: "2*T3 > n" };
+        assert!(e.to_string().contains("2*T3 > n"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ModelError>();
+        assert_error::<ConfigError>();
+    }
+}

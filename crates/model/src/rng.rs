@@ -1,0 +1,228 @@
+//! Deterministic randomness plumbing.
+//!
+//! The paper assumes each processor has an unbiased, independent source of
+//! random bits (Section 2). For reproducibility every experiment in this
+//! workspace runs from a single master seed, from which each processor's
+//! random stream is derived with a SplitMix64 hash; distinct processors (and
+//! distinct "forks", e.g. adversary randomness vs. processor randomness) get
+//! statistically independent streams.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::ProcessorId;
+use crate::value::Bit;
+
+/// Stateless SplitMix64 finalizer used to derive substream seeds.
+///
+/// This is the standard SplitMix64 output function; it is a bijection on
+/// `u64`, so distinct (master, stream) pairs yield distinct seeds.
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a substream seed from a master seed and a stream label.
+#[must_use]
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    splitmix64(master ^ splitmix64(stream.wrapping_mul(0xA24B_AED4_963E_E407)))
+}
+
+/// A processor's private source of random bits.
+///
+/// # Examples
+///
+/// ```
+/// use agreement_model::{ProcessorId, ProcessorRng};
+///
+/// let mut a = ProcessorRng::for_processor(42, ProcessorId::new(0));
+/// let mut b = ProcessorRng::for_processor(42, ProcessorId::new(0));
+/// // Same seed and identity: identical streams.
+/// assert_eq!(a.bit(), b.bit());
+/// assert_eq!(a.range(10), b.range(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessorRng {
+    rng: SmallRng,
+}
+
+impl ProcessorRng {
+    /// Creates the random stream of processor `id` under `master` seed.
+    pub fn for_processor(master: u64, id: ProcessorId) -> Self {
+        ProcessorRng {
+            rng: SmallRng::seed_from_u64(derive_seed(master, id.index() as u64)),
+        }
+    }
+
+    /// Creates a random stream for non-processor use (adversary choices,
+    /// workload generation, …) under `master` seed and a caller-chosen label.
+    pub fn labelled(master: u64, label: u64) -> Self {
+        ProcessorRng {
+            rng: SmallRng::seed_from_u64(derive_seed(master, label ^ 0xDEAD_BEEF_CAFE_F00D)),
+        }
+    }
+
+    /// Creates a stream directly from a raw seed.
+    pub fn from_seed(seed: u64) -> Self {
+        ProcessorRng {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples one unbiased random bit.
+    pub fn bit(&mut self) -> Bit {
+        Bit::from(self.rng.gen::<bool>())
+    }
+
+    /// Samples a uniformly random integer in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "range bound must be positive");
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Samples a full-width random `u64` (used for lottery tickets).
+    pub fn ticket(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Samples `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// Derives an independent child stream, labelled by `label`.
+    pub fn fork(&mut self, label: u64) -> ProcessorRng {
+        let base: u64 = self.rng.gen();
+        ProcessorRng {
+            rng: SmallRng::seed_from_u64(derive_seed(base, label)),
+        }
+    }
+
+    /// Produces a random permutation of `0..len` (Fisher–Yates).
+    pub fn permutation(&mut self, len: usize) -> Vec<usize> {
+        let mut items: Vec<usize> = (0..len).collect();
+        for i in (1..len).rev() {
+            let j = self.range(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+        items
+    }
+
+    /// Chooses `k` distinct indices uniformly at random from `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > len`.
+    pub fn choose_distinct(&mut self, len: usize, k: usize) -> Vec<usize> {
+        assert!(k <= len, "cannot choose {k} distinct items from {len}");
+        let mut perm = self.permutation(len);
+        perm.truncate(k);
+        perm.sort_unstable();
+        perm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        assert_ne!(splitmix64(0), 0);
+    }
+
+    #[test]
+    fn derived_seeds_differ_across_streams() {
+        let seeds: BTreeSet<u64> = (0..100).map(|s| derive_seed(7, s)).collect();
+        assert_eq!(seeds.len(), 100);
+    }
+
+    #[test]
+    fn same_processor_same_master_gives_identical_stream() {
+        let mut a = ProcessorRng::for_processor(1, ProcessorId::new(3));
+        let mut b = ProcessorRng::for_processor(1, ProcessorId::new(3));
+        for _ in 0..32 {
+            assert_eq!(a.bit(), b.bit());
+        }
+    }
+
+    #[test]
+    fn different_processors_get_different_streams() {
+        let mut a = ProcessorRng::for_processor(1, ProcessorId::new(0));
+        let mut b = ProcessorRng::for_processor(1, ProcessorId::new(1));
+        let av: Vec<u64> = (0..16).map(|_| a.ticket()).collect();
+        let bv: Vec<u64> = (0..16).map(|_| b.ticket()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn bits_are_roughly_balanced() {
+        let mut rng = ProcessorRng::labelled(99, 0);
+        let ones = (0..10_000).filter(|_| rng.bit().is_one()).count();
+        assert!((3_500..=6_500).contains(&ones), "ones={ones}");
+    }
+
+    #[test]
+    fn range_respects_bound() {
+        let mut rng = ProcessorRng::from_seed(5);
+        for _ in 0..1000 {
+            assert!(rng.range(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "range bound must be positive")]
+    fn range_zero_panics() {
+        let mut rng = ProcessorRng::from_seed(5);
+        let _ = rng.range(0);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = ProcessorRng::from_seed(11);
+        let p = rng.permutation(20);
+        let set: BTreeSet<usize> = p.iter().copied().collect();
+        assert_eq!(set.len(), 20);
+        assert_eq!(*set.iter().max().unwrap(), 19);
+    }
+
+    #[test]
+    fn choose_distinct_yields_sorted_unique_subset() {
+        let mut rng = ProcessorRng::from_seed(12);
+        let chosen = rng.choose_distinct(10, 4);
+        assert_eq!(chosen.len(), 4);
+        assert!(chosen.windows(2).all(|w| w[0] < w[1]));
+        assert!(chosen.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn fork_produces_independent_looking_streams() {
+        let mut parent = ProcessorRng::from_seed(77);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let v1: Vec<u64> = (0..8).map(|_| c1.ticket()).collect();
+        let v2: Vec<u64> = (0..8).map(|_| c2.ticket()).collect();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = ProcessorRng::from_seed(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

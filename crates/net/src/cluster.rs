@@ -1,0 +1,361 @@
+//! A real multi-threaded message-passing cluster.
+//!
+//! The simulator in `agreement-sim` gives the adversary total control; this
+//! module demonstrates that the same protocol state machines are ordinary
+//! message-passing programs. Each processor runs on its own OS thread and
+//! communicates over crossbeam channels (one unbounded channel per processor,
+//! playing the role of its incoming message buffer). Scheduling is whatever
+//! the operating system does — effectively a benign asynchronous adversary —
+//! optionally degraded by silencing a set of processors (sender-side message
+//! drops), which models crashed processors.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use agreement_model::{
+    Bit, Context, InputAssignment, Payload, ProcessorId, ProcessorRng, ProtocolBuilder,
+    SystemConfig,
+};
+
+/// A message on a node's incoming channel.
+#[derive(Debug)]
+enum NodeMsg {
+    /// A protocol message from another node.
+    Protocol(ProcessorId, Payload),
+    /// Ask the node thread to exit.
+    Shutdown,
+}
+
+/// The [`Context`] implementation used by cluster nodes: sends go directly
+/// into the recipients' channels.
+struct NodeContext {
+    id: ProcessorId,
+    cfg: SystemConfig,
+    input: Bit,
+    rng: ProcessorRng,
+    peers: Vec<Sender<NodeMsg>>,
+    decision: Option<Bit>,
+    silenced: bool,
+    conflicting: bool,
+}
+
+impl Context for NodeContext {
+    fn id(&self) -> ProcessorId {
+        self.id
+    }
+
+    fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    fn input(&self) -> Bit {
+        self.input
+    }
+
+    fn send(&mut self, to: ProcessorId, payload: Payload) {
+        if self.silenced {
+            return;
+        }
+        // A send to a node that has already shut down is simply dropped, like
+        // a message to a crashed processor.
+        let _ = self.peers[to.index()].send(NodeMsg::Protocol(self.id, payload));
+    }
+
+    fn random_bit(&mut self) -> Bit {
+        self.rng.bit()
+    }
+
+    fn random_range(&mut self, bound: u64) -> u64 {
+        self.rng.range(bound)
+    }
+
+    fn random_ticket(&mut self) -> u64 {
+        self.rng.ticket()
+    }
+
+    fn decide(&mut self, value: Bit) {
+        match self.decision {
+            None => self.decision = Some(value),
+            Some(existing) if existing != value => self.conflicting = true,
+            Some(_) => {}
+        }
+    }
+
+    fn decision(&self) -> Option<Bit> {
+        self.decision
+    }
+}
+
+/// What a cluster run produced.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Final decision of every processor (`None` if it never decided before
+    /// the deadline).
+    pub decisions: Vec<Option<Bit>>,
+    /// Which processors were silenced (modelled crashes).
+    pub silenced: Vec<bool>,
+    /// Wall-clock duration until every live processor decided (or the deadline).
+    pub elapsed: Duration,
+    /// `true` if the deadline expired before every live processor decided.
+    pub timed_out: bool,
+    /// `true` if any node attempted to overwrite its decision with a
+    /// conflicting value (a correctness violation).
+    pub conflicting_write: bool,
+}
+
+impl ClusterOutcome {
+    /// Agreement: no two decided values differ.
+    pub fn agreement_holds(&self) -> bool {
+        let mut seen = None;
+        for d in self.decisions.iter().flatten() {
+            match seen {
+                None => seen = Some(*d),
+                Some(v) if v != *d => return false,
+                Some(_) => {}
+            }
+        }
+        true
+    }
+
+    /// Validity: every decided value is some processor's input.
+    pub fn validity_holds(&self, inputs: &InputAssignment) -> bool {
+        self.decisions
+            .iter()
+            .flatten()
+            .all(|d| inputs.iter().any(|i| i == *d))
+    }
+
+    /// Every non-silenced processor decided before the deadline.
+    pub fn all_live_decided(&self) -> bool {
+        self.decisions
+            .iter()
+            .zip(&self.silenced)
+            .all(|(d, silenced)| *silenced || d.is_some())
+    }
+}
+
+/// Configuration of a threaded cluster run.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    cfg: SystemConfig,
+    inputs: InputAssignment,
+    master_seed: u64,
+    silenced: Vec<ProcessorId>,
+    deadline: Duration,
+}
+
+impl Cluster {
+    /// Creates a cluster description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not cover exactly `cfg.n()` processors.
+    pub fn new(cfg: SystemConfig, inputs: InputAssignment, master_seed: u64) -> Self {
+        assert_eq!(inputs.len(), cfg.n(), "input assignment must cover every processor");
+        Cluster {
+            cfg,
+            inputs,
+            master_seed,
+            silenced: Vec::new(),
+            deadline: Duration::from_secs(10),
+        }
+    }
+
+    /// Silences the given processors: they run but never send anything,
+    /// modelling crashed processors (at most `t` should be silenced for the
+    /// protocols' guarantees to apply).
+    pub fn silence(mut self, victims: Vec<ProcessorId>) -> Self {
+        self.silenced = victims;
+        self
+    }
+
+    /// Overrides the wall-clock deadline (default: 10 seconds).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Runs `builder`'s protocol on one thread per processor and reports the
+    /// outcome once every live processor has decided or the deadline expires.
+    pub fn run(&self, builder: &dyn ProtocolBuilder) -> ClusterOutcome {
+        let n = self.cfg.n();
+        let started = Instant::now();
+
+        let mut senders: Vec<Sender<NodeMsg>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<NodeMsg>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let (decision_tx, decision_rx) = unbounded::<(ProcessorId, Bit, bool)>();
+
+        let decisions: Vec<Option<Bit>> = vec![None; n];
+        let decisions = std::sync::Arc::new(Mutex::new(decisions));
+
+        let mut handles = Vec::with_capacity(n);
+        for id in ProcessorId::all(n) {
+            let rx = receivers[id.index()].clone();
+            let peers = senders.clone();
+            let decision_tx = decision_tx.clone();
+            let silenced = self.silenced.contains(&id);
+            let mut protocol = builder.build(id, self.inputs.bit(id.index()), &self.cfg);
+            let mut ctx = NodeContext {
+                id,
+                cfg: self.cfg,
+                input: self.inputs.bit(id.index()),
+                rng: ProcessorRng::for_processor(self.master_seed, id),
+                peers,
+                decision: None,
+                silenced,
+                conflicting: false,
+            };
+            handles.push(thread::spawn(move || {
+                protocol.on_start(&mut ctx);
+                let mut reported = false;
+                loop {
+                    if ctx.decision.is_some() && !reported {
+                        reported = true;
+                        let _ = decision_tx.send((id, ctx.decision.unwrap(), ctx.conflicting));
+                    }
+                    match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(NodeMsg::Protocol(from, payload)) => {
+                            protocol.on_message(from, &payload, &mut ctx);
+                        }
+                        Ok(NodeMsg::Shutdown) => break,
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            }));
+        }
+        drop(decision_tx);
+
+        // Collect decisions until every live processor reported or the deadline.
+        let live: Vec<ProcessorId> = ProcessorId::all(n)
+            .filter(|id| !self.silenced.contains(id))
+            .collect();
+        let mut conflicting_write = false;
+        let mut timed_out = false;
+        loop {
+            let decided_live = {
+                let decisions = decisions.lock();
+                live.iter().filter(|id| decisions[id.index()].is_some()).count()
+            };
+            if decided_live == live.len() {
+                break;
+            }
+            if started.elapsed() > self.deadline {
+                timed_out = true;
+                break;
+            }
+            match decision_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok((id, value, conflict)) => {
+                    decisions.lock()[id.index()] = Some(value);
+                    conflicting_write |= conflict;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // Shut the node threads down and wait for them.
+        for tx in &senders {
+            let _ = tx.send(NodeMsg::Shutdown);
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // Drain any decisions that raced with the shutdown.
+        while let Ok((id, value, conflict)) = decision_rx.try_recv() {
+            decisions.lock()[id.index()] = Some(value);
+            conflicting_write |= conflict;
+        }
+
+        let decisions = decisions.lock().clone();
+        ClusterOutcome {
+            decisions,
+            silenced: ProcessorId::all(n).map(|id| self.silenced.contains(&id)).collect(),
+            elapsed: started.elapsed(),
+            timed_out,
+            conflicting_write,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agreement_protocols::{BenOrBuilder, CommitteeBuilder, ResetTolerantBuilder};
+
+    #[test]
+    fn ben_or_cluster_decides_unanimous_input() {
+        let cfg = SystemConfig::new(5, 1).unwrap();
+        let inputs = InputAssignment::unanimous(5, Bit::One);
+        let outcome = Cluster::new(cfg, inputs.clone(), 7).run(&BenOrBuilder::new());
+        assert!(!outcome.timed_out, "cluster run timed out");
+        assert!(outcome.all_live_decided());
+        assert!(outcome.agreement_holds());
+        assert!(outcome.validity_holds(&inputs));
+        assert!(!outcome.conflicting_write);
+    }
+
+    #[test]
+    fn ben_or_cluster_survives_silenced_minority() {
+        let cfg = SystemConfig::new(5, 1).unwrap();
+        let inputs = InputAssignment::unanimous(5, Bit::Zero);
+        let outcome = Cluster::new(cfg, inputs.clone(), 9)
+            .silence(vec![ProcessorId::new(4)])
+            .run(&BenOrBuilder::new());
+        assert!(outcome.all_live_decided());
+        assert!(outcome.agreement_holds());
+        assert!(outcome.validity_holds(&inputs));
+        assert_eq!(outcome.silenced, vec![false, false, false, false, true]);
+    }
+
+    #[test]
+    fn reset_tolerant_cluster_decides_split_input() {
+        // Without an adversary balancing the views, the reset-tolerant
+        // protocol decides quickly even on split inputs at this scale.
+        let cfg = SystemConfig::with_sixth_resilience(7).unwrap();
+        let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+        let inputs = InputAssignment::evenly_split(7);
+        let outcome = Cluster::new(cfg, inputs.clone(), 11)
+            .deadline(Duration::from_secs(30))
+            .run(&builder);
+        assert!(outcome.all_live_decided());
+        assert!(outcome.agreement_holds());
+        assert!(outcome.validity_holds(&inputs));
+    }
+
+    #[test]
+    fn committee_cluster_decides_quickly() {
+        let cfg = SystemConfig::new(9, 2).unwrap();
+        let builder = CommitteeBuilder::random(&cfg, 3, 5);
+        let inputs = InputAssignment::unanimous(9, Bit::One);
+        let outcome = Cluster::new(cfg, inputs.clone(), 13).run(&builder);
+        assert!(outcome.all_live_decided());
+        assert!(outcome.agreement_holds());
+        assert_eq!(
+            outcome.decisions.iter().flatten().copied().collect::<Vec<_>>(),
+            vec![Bit::One; 9]
+        );
+    }
+
+    #[test]
+    fn cluster_times_out_when_quorum_is_unreachable() {
+        // Silencing 3 of 5 processors leaves only 2 < n - t = 4 senders, so
+        // Ben-Or can never assemble a quorum and the run must time out.
+        let cfg = SystemConfig::new(5, 1).unwrap();
+        let inputs = InputAssignment::unanimous(5, Bit::One);
+        let outcome = Cluster::new(cfg, inputs, 3)
+            .silence(vec![ProcessorId::new(0), ProcessorId::new(1), ProcessorId::new(2)])
+            .deadline(Duration::from_millis(500))
+            .run(&BenOrBuilder::new());
+        assert!(outcome.timed_out);
+        assert!(!outcome.all_live_decided());
+    }
+}

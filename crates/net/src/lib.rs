@@ -1,0 +1,32 @@
+//! A threaded message-passing runtime for the agreement protocols.
+//!
+//! `agreement-sim` drives the protocol state machines under a fully
+//! adversary-controlled scheduler; this crate runs the very same state
+//! machines as a real concurrent system — one OS thread per processor, one
+//! crossbeam channel per processor as its incoming buffer — to demonstrate
+//! that the protocols are ordinary message-passing programs and to provide a
+//! wall-clock benchmark target (`net_cluster` in `agreement-bench`).
+//!
+//! See [`Cluster`] for the entry point and [`ClusterOutcome`] for the result.
+//!
+//! # Example
+//!
+//! ```
+//! use agreement_model::{Bit, InputAssignment, SystemConfig};
+//! use agreement_net::Cluster;
+//! use agreement_protocols::BenOrBuilder;
+//!
+//! let cfg = SystemConfig::new(4, 1)?;
+//! let inputs = InputAssignment::unanimous(4, Bit::One);
+//! let outcome = Cluster::new(cfg, inputs.clone(), 42).run(&BenOrBuilder::new());
+//! assert!(outcome.agreement_holds());
+//! assert!(outcome.validity_holds(&inputs));
+//! # Ok::<(), agreement_model::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cluster;
+
+pub use cluster::{Cluster, ClusterOutcome};

@@ -1,0 +1,445 @@
+//! Ben-Or's randomized asynchronous agreement protocol (PODC 1983), in the
+//! crash-failure formulation whose correctness for `t < n/2` is proved by
+//! Aguilera and Toueg (cited as [1] in the paper).
+//!
+//! Each round `r` has two phases:
+//!
+//! * **Phase 1 (report)** — broadcast `(r, x)`; wait for `n - t` round-`r`
+//!   reports. If more than `n/2` of them carry the same value `v`, the
+//!   processor *proposes* `v`; otherwise it proposes `?` (no preference).
+//! * **Phase 2 (proposal)** — broadcast the proposal; wait for `n - t`
+//!   round-`r` proposals. If at least `t + 1` of them propose the same value
+//!   `v`, decide `v`; else if at least one proposes `v`, adopt `x = v`;
+//!   otherwise set `x` to a fresh random bit. Then advance to round `r + 1`.
+//!
+//! The protocol is **forgetful** and **fully communicative** in the sense of
+//! Definitions 15 and 16: each message depends only on the input bit, the
+//! messages received since the previous sending event, and fresh randomness,
+//! and receiving the latest messages from `n - t` processors always triggers a
+//! new broadcast to all `n` processors. It is therefore in the class to which
+//! Theorem 17's exponential lower bound applies.
+
+use agreement_model::{
+    Bit, Context, Payload, ProcessorId, Protocol, ProtocolBuilder, StateDigest, SystemConfig,
+};
+
+use crate::tally::RoundTally;
+
+/// Phase identifiers used as tally keys.
+const PHASE_REPORT: u8 = 1;
+const PHASE_PROPOSAL: u8 = 2;
+
+/// Ben-Or's protocol: single-processor state machine.
+#[derive(Debug)]
+pub struct BenOr {
+    n: usize,
+    t: usize,
+    round: u64,
+    estimate: Bit,
+    waiting_phase: u8,
+    tally: RoundTally,
+    decided: Option<Bit>,
+    reset_count: u64,
+    input: Bit,
+}
+
+impl BenOr {
+    /// Creates the protocol state for a processor with the given input.
+    pub fn new(input: Bit, cfg: &SystemConfig) -> Self {
+        BenOr {
+            n: cfg.n(),
+            t: cfg.t(),
+            round: 1,
+            estimate: input,
+            waiting_phase: PHASE_REPORT,
+            tally: RoundTally::new(),
+            decided: None,
+            reset_count: 0,
+            input,
+        }
+    }
+
+    /// The current round number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The current estimate.
+    pub fn estimate(&self) -> Bit {
+        self.estimate
+    }
+
+    /// The phase (1 or 2) whose quorum the processor is currently waiting for.
+    pub fn waiting_phase(&self) -> u8 {
+        self.waiting_phase
+    }
+
+    fn quorum(&self) -> usize {
+        self.n - self.t
+    }
+
+    fn send_report(&self, ctx: &mut dyn Context) {
+        ctx.broadcast(Payload::Report {
+            round: self.round,
+            value: self.estimate,
+        });
+    }
+
+    fn send_proposal(&self, proposal: Option<Bit>, ctx: &mut dyn Context) {
+        ctx.broadcast(Payload::Proposal {
+            round: self.round,
+            value: proposal,
+        });
+    }
+
+    fn try_progress(&mut self, ctx: &mut dyn Context) {
+        loop {
+            let r = self.round;
+            match self.waiting_phase {
+                PHASE_REPORT => {
+                    if self.tally.total(r, PHASE_REPORT) < self.quorum() {
+                        break;
+                    }
+                    // Strict majority of *all* processors among the received
+                    // reports is required to propose.
+                    let proposal = Bit::ALL
+                        .into_iter()
+                        .find(|&v| 2 * self.tally.count(r, PHASE_REPORT, v) > self.n);
+                    self.send_proposal(proposal, ctx);
+                    self.waiting_phase = PHASE_PROPOSAL;
+                }
+                PHASE_PROPOSAL => {
+                    if self.tally.total(r, PHASE_PROPOSAL) < self.quorum() {
+                        break;
+                    }
+                    let strong = Bit::ALL
+                        .into_iter()
+                        .find(|&v| self.tally.count(r, PHASE_PROPOSAL, v) >= self.t + 1);
+                    let weak = Bit::ALL
+                        .into_iter()
+                        .find(|&v| self.tally.count(r, PHASE_PROPOSAL, v) >= 1);
+                    if let Some(v) = strong {
+                        self.decided = Some(v);
+                        ctx.decide(v);
+                        self.estimate = v;
+                    } else if let Some(v) = weak {
+                        self.estimate = v;
+                    } else {
+                        self.estimate = ctx.random_bit();
+                    }
+                    self.round = r + 1;
+                    self.waiting_phase = PHASE_REPORT;
+                    self.tally.forget_rounds_before(self.round);
+                    self.send_report(ctx);
+                }
+                _ => unreachable!("Ben-Or only has phases 1 and 2"),
+            }
+        }
+    }
+}
+
+impl Protocol for BenOr {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        self.send_report(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessorId, payload: &Payload, ctx: &mut dyn Context) {
+        match payload {
+            Payload::Report { round, value } if *round >= self.round => {
+                self.tally.record(*round, PHASE_REPORT, from, Some(*value));
+            }
+            Payload::Proposal { round, value } if *round >= self.round => {
+                self.tally.record(*round, PHASE_PROPOSAL, from, *value);
+            }
+            _ => return,
+        }
+        self.try_progress(ctx);
+    }
+
+    fn on_reset(&mut self, _ctx: &mut dyn Context) {
+        // Plain Ben-Or was not designed for resetting failures; the closest
+        // faithful behaviour is to restart from round 1 with the input bit.
+        // (It is only run under crash/Byzantine adversaries in this workspace;
+        // the reset-tolerant variant handles the strongly adaptive adversary.)
+        self.reset_count += 1;
+        self.round = 1;
+        self.estimate = self.input;
+        self.waiting_phase = PHASE_REPORT;
+        self.tally.clear();
+    }
+
+    fn digest(&self) -> StateDigest {
+        StateDigest {
+            round: Some(self.round),
+            estimate: Some(self.estimate),
+            decided: self.decided,
+            reset_count: self.reset_count,
+            phase: if self.waiting_phase == PHASE_REPORT {
+                "report"
+            } else {
+                "proposal"
+            },
+        }
+    }
+}
+
+/// Builder for [`BenOr`] instances.
+///
+/// # Examples
+///
+/// ```
+/// use agreement_model::{ProtocolBuilder, SystemConfig};
+/// use agreement_protocols::BenOrBuilder;
+///
+/// let cfg = SystemConfig::new(7, 3)?; // t < n/2
+/// assert_eq!(BenOrBuilder::new().name(), "ben-or");
+/// # Ok::<(), agreement_model::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenOrBuilder;
+
+impl BenOrBuilder {
+    /// Creates the builder.
+    pub fn new() -> Self {
+        BenOrBuilder
+    }
+}
+
+impl ProtocolBuilder for BenOrBuilder {
+    fn name(&self) -> &'static str {
+        "ben-or"
+    }
+
+    fn build(&self, _id: ProcessorId, input: Bit, cfg: &SystemConfig) -> Box<dyn Protocol> {
+        Box::new(BenOr::new(input, cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[derive(Debug)]
+    struct TestCtx {
+        cfg: SystemConfig,
+        sent: Vec<Payload>,
+        decided: Option<Bit>,
+        random_bits: VecDeque<Bit>,
+    }
+
+    impl TestCtx {
+        fn new(n: usize, t: usize) -> Self {
+            TestCtx {
+                cfg: SystemConfig::new(n, t).unwrap(),
+                sent: Vec::new(),
+                decided: None,
+                random_bits: VecDeque::new(),
+            }
+        }
+
+        /// Payloads sent to processor 1 (one copy of each broadcast).
+        fn broadcasts(&self) -> Vec<&Payload> {
+            // `sent` stores every (recipient, payload) pair flattened; since the
+            // context below records only payloads, every n-th entry is one broadcast.
+            self.sent.iter().collect()
+        }
+    }
+
+    impl Context for TestCtx {
+        fn id(&self) -> ProcessorId {
+            ProcessorId::new(0)
+        }
+        fn config(&self) -> SystemConfig {
+            self.cfg
+        }
+        fn input(&self) -> Bit {
+            Bit::Zero
+        }
+        fn send(&mut self, to: ProcessorId, payload: Payload) {
+            if to == ProcessorId::new(1) {
+                self.sent.push(payload);
+            }
+        }
+        fn random_bit(&mut self) -> Bit {
+            self.random_bits.pop_front().unwrap_or(Bit::Zero)
+        }
+        fn random_range(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0);
+            0
+        }
+        fn random_ticket(&mut self) -> u64 {
+            0
+        }
+        fn decide(&mut self, value: Bit) {
+            if self.decided.is_none() {
+                self.decided = Some(value);
+            }
+        }
+        fn decision(&self) -> Option<Bit> {
+            self.decided
+        }
+    }
+
+    fn feed_reports(p: &mut BenOr, ctx: &mut TestCtx, round: u64, zeros: usize, ones: usize) {
+        let mut sender = 0;
+        for _ in 0..zeros {
+            p.on_message(
+                ProcessorId::new(sender),
+                &Payload::Report { round, value: Bit::Zero },
+                ctx,
+            );
+            sender += 1;
+        }
+        for _ in 0..ones {
+            p.on_message(
+                ProcessorId::new(sender),
+                &Payload::Report { round, value: Bit::One },
+                ctx,
+            );
+            sender += 1;
+        }
+    }
+
+    fn feed_proposals(
+        p: &mut BenOr,
+        ctx: &mut TestCtx,
+        round: u64,
+        proposals: &[Option<Bit>],
+    ) {
+        for (i, value) in proposals.iter().enumerate() {
+            p.on_message(
+                ProcessorId::new(i),
+                &Payload::Proposal { round, value: *value },
+                ctx,
+            );
+        }
+    }
+
+    /// n = 7, t = 3: quorum = 4, majority > 3.5 means >= 4, decide needs >= 4 proposals.
+    fn setup(input: Bit) -> (BenOr, TestCtx) {
+        let ctx = TestCtx::new(7, 3);
+        (BenOr::new(input, &ctx.cfg), ctx)
+    }
+
+    #[test]
+    fn start_broadcasts_round_one_report() {
+        let (mut p, mut ctx) = setup(Bit::One);
+        p.on_start(&mut ctx);
+        assert_eq!(ctx.broadcasts().len(), 1);
+        assert!(matches!(
+            ctx.broadcasts()[0],
+            Payload::Report { round: 1, value: Bit::One }
+        ));
+        assert_eq!(p.waiting_phase(), 1);
+    }
+
+    #[test]
+    fn majority_reports_produce_a_value_proposal() {
+        let (mut p, mut ctx) = setup(Bit::Zero);
+        p.on_start(&mut ctx);
+        ctx.sent.clear();
+        feed_reports(&mut p, &mut ctx, 1, 4, 0); // 4 zeros > n/2 = 3.5
+        assert_eq!(p.waiting_phase(), 2);
+        assert!(matches!(
+            ctx.broadcasts()[0],
+            Payload::Proposal { round: 1, value: Some(Bit::Zero) }
+        ));
+    }
+
+    #[test]
+    fn split_reports_produce_a_question_mark_proposal() {
+        let (mut p, mut ctx) = setup(Bit::Zero);
+        p.on_start(&mut ctx);
+        ctx.sent.clear();
+        feed_reports(&mut p, &mut ctx, 1, 2, 2);
+        assert_eq!(p.waiting_phase(), 2);
+        assert!(matches!(
+            ctx.broadcasts()[0],
+            Payload::Proposal { round: 1, value: None }
+        ));
+    }
+
+    #[test]
+    fn strong_proposal_count_decides() {
+        let (mut p, mut ctx) = setup(Bit::Zero);
+        p.on_start(&mut ctx);
+        feed_reports(&mut p, &mut ctx, 1, 4, 0);
+        feed_proposals(&mut p, &mut ctx, 1, &[Some(Bit::Zero); 4]); // t + 1 = 4
+        assert_eq!(ctx.decided, Some(Bit::Zero));
+        assert_eq!(p.estimate(), Bit::Zero);
+        assert_eq!(p.round(), 2, "the protocol keeps participating after deciding");
+    }
+
+    #[test]
+    fn single_proposal_adopts_value_without_deciding() {
+        let (mut p, mut ctx) = setup(Bit::One);
+        p.on_start(&mut ctx);
+        feed_reports(&mut p, &mut ctx, 1, 2, 2);
+        feed_proposals(&mut p, &mut ctx, 1, &[Some(Bit::Zero), None, None, None]);
+        assert_eq!(ctx.decided, None);
+        assert_eq!(p.estimate(), Bit::Zero);
+        assert_eq!(p.round(), 2);
+    }
+
+    #[test]
+    fn all_question_marks_sample_a_random_bit() {
+        let (mut p, mut ctx) = setup(Bit::One);
+        ctx.random_bits.push_back(Bit::One);
+        p.on_start(&mut ctx);
+        feed_reports(&mut p, &mut ctx, 1, 2, 2);
+        feed_proposals(&mut p, &mut ctx, 1, &[None, None, None, None]);
+        assert_eq!(ctx.decided, None);
+        assert_eq!(p.estimate(), Bit::One);
+        assert_eq!(p.round(), 2);
+    }
+
+    #[test]
+    fn sub_quorum_messages_do_not_advance() {
+        let (mut p, mut ctx) = setup(Bit::One);
+        p.on_start(&mut ctx);
+        feed_reports(&mut p, &mut ctx, 1, 2, 1); // 3 < quorum 4
+        assert_eq!(p.waiting_phase(), 1);
+        assert_eq!(p.round(), 1);
+    }
+
+    #[test]
+    fn future_round_messages_are_retained() {
+        let (mut p, mut ctx) = setup(Bit::One);
+        p.on_start(&mut ctx);
+        // Round-2 reports arrive early.
+        feed_reports(&mut p, &mut ctx, 2, 0, 4);
+        assert_eq!(p.round(), 1);
+        // Complete round 1: phase 1 then phase 2 (all abstain -> random, scripted Zero).
+        feed_reports(&mut p, &mut ctx, 1, 2, 2);
+        feed_proposals(&mut p, &mut ctx, 1, &[None, None, None, None]);
+        // The early round-2 reports now immediately complete phase 1 of round 2.
+        assert_eq!(p.round(), 2);
+        assert_eq!(p.waiting_phase(), 2);
+    }
+
+    #[test]
+    fn reset_restarts_from_round_one() {
+        let (mut p, mut ctx) = setup(Bit::One);
+        p.on_start(&mut ctx);
+        feed_reports(&mut p, &mut ctx, 1, 0, 4);
+        assert_eq!(p.waiting_phase(), 2);
+        p.on_reset(&mut ctx);
+        assert_eq!(p.round(), 1);
+        assert_eq!(p.waiting_phase(), 1);
+        assert_eq!(p.estimate(), Bit::One);
+        assert_eq!(p.digest().reset_count, 1);
+    }
+
+    #[test]
+    fn builder_reports_name_and_builds_round_one_state() {
+        let cfg = SystemConfig::new(5, 2).unwrap();
+        let b = BenOrBuilder::new();
+        assert_eq!(b.name(), "ben-or");
+        let p = b.build(ProcessorId::new(3), Bit::Zero, &cfg);
+        let d = p.digest();
+        assert_eq!(d.round, Some(1));
+        assert_eq!(d.estimate, Some(Bit::Zero));
+        assert_eq!(d.phase, "report");
+    }
+}

@@ -1,0 +1,248 @@
+//! Vote tallies: per-round, per-sender bookkeeping of received values.
+//!
+//! Every protocol in this crate repeatedly answers questions of the form "how
+//! many distinct processors have sent me value `v` for round `r` (and phase
+//! `p`)?". [`RoundTally`] centralizes that bookkeeping: it records at most one
+//! vote per sender per key, so a faulty or retransmitting sender can never be
+//! counted twice.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use agreement_model::{Bit, ProcessorId};
+
+/// A per-key tally of binary (or abstaining) votes with one vote per sender.
+///
+/// Keys are `(round, phase)` pairs; protocols that have no phases use phase 0.
+///
+/// # Examples
+///
+/// ```
+/// use agreement_model::{Bit, ProcessorId};
+/// use agreement_protocols::RoundTally;
+///
+/// let mut tally = RoundTally::new();
+/// tally.record(1, 0, ProcessorId::new(0), Some(Bit::One));
+/// tally.record(1, 0, ProcessorId::new(1), Some(Bit::Zero));
+/// // A duplicate vote from the same sender is ignored.
+/// tally.record(1, 0, ProcessorId::new(0), Some(Bit::Zero));
+/// assert_eq!(tally.total(1, 0), 2);
+/// assert_eq!(tally.count(1, 0, Bit::One), 1);
+/// assert_eq!(tally.count(1, 0, Bit::Zero), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoundTally {
+    votes: BTreeMap<(u64, u8), KeyTally>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct KeyTally {
+    voters: BTreeSet<ProcessorId>,
+    zeros: usize,
+    ones: usize,
+    abstains: usize,
+}
+
+impl RoundTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        RoundTally::default()
+    }
+
+    /// Records a vote from `sender` for key `(round, phase)`.
+    ///
+    /// `value` of `None` records an abstention (e.g. Ben-Or's `?` proposal).
+    /// Returns `true` if the vote was counted, `false` if this sender had
+    /// already voted for this key.
+    pub fn record(&mut self, round: u64, phase: u8, sender: ProcessorId, value: Option<Bit>) -> bool {
+        let entry = self.votes.entry((round, phase)).or_default();
+        if !entry.voters.insert(sender) {
+            return false;
+        }
+        match value {
+            Some(Bit::Zero) => entry.zeros += 1,
+            Some(Bit::One) => entry.ones += 1,
+            None => entry.abstains += 1,
+        }
+        true
+    }
+
+    /// Total number of distinct voters recorded for `(round, phase)`.
+    pub fn total(&self, round: u64, phase: u8) -> usize {
+        self.votes
+            .get(&(round, phase))
+            .map_or(0, |k| k.voters.len())
+    }
+
+    /// Number of votes for `value` recorded for `(round, phase)`.
+    pub fn count(&self, round: u64, phase: u8, value: Bit) -> usize {
+        self.votes.get(&(round, phase)).map_or(0, |k| match value {
+            Bit::Zero => k.zeros,
+            Bit::One => k.ones,
+        })
+    }
+
+    /// Number of abstentions (`None` votes) recorded for `(round, phase)`.
+    pub fn abstentions(&self, round: u64, phase: u8) -> usize {
+        self.votes.get(&(round, phase)).map_or(0, |k| k.abstains)
+    }
+
+    /// Returns `true` if `sender` has already voted for `(round, phase)`.
+    pub fn has_voted(&self, round: u64, phase: u8, sender: ProcessorId) -> bool {
+        self.votes
+            .get(&(round, phase))
+            .is_some_and(|k| k.voters.contains(&sender))
+    }
+
+    /// The value with the most votes for `(round, phase)`; ties favour
+    /// [`Bit::One`] (a fixed, publicly known tie-break).
+    pub fn majority_value(&self, round: u64, phase: u8) -> Option<Bit> {
+        let key = self.votes.get(&(round, phase))?;
+        if key.zeros == 0 && key.ones == 0 {
+            return None;
+        }
+        Some(if key.ones >= key.zeros { Bit::One } else { Bit::Zero })
+    }
+
+    /// Returns `Some(v)` if at least `threshold` votes were cast for `v`.
+    /// If both values reach the threshold (only possible when `2 * threshold
+    /// <= total votes`), the larger count wins and ties favour [`Bit::One`].
+    pub fn value_with_at_least(&self, round: u64, phase: u8, threshold: usize) -> Option<Bit> {
+        let key = self.votes.get(&(round, phase))?;
+        let zero_hit = key.zeros >= threshold;
+        let one_hit = key.ones >= threshold;
+        match (zero_hit, one_hit) {
+            (false, false) => None,
+            (true, false) => Some(Bit::Zero),
+            (false, true) => Some(Bit::One),
+            (true, true) => Some(if key.ones >= key.zeros { Bit::One } else { Bit::Zero }),
+        }
+    }
+
+    /// Rounds for which at least `threshold` distinct voters have been
+    /// recorded in phase `phase`, in increasing order.
+    pub fn rounds_with_at_least(&self, phase: u8, threshold: usize) -> Vec<u64> {
+        self.votes
+            .iter()
+            .filter(|((_, p), k)| *p == phase && k.voters.len() >= threshold)
+            .map(|((r, _), _)| *r)
+            .collect()
+    }
+
+    /// Discards all recorded votes for rounds strictly before `round`.
+    /// Keeps the memory footprint of long executions bounded.
+    pub fn forget_rounds_before(&mut self, round: u64) {
+        self.votes.retain(|(r, _), _| *r >= round);
+    }
+
+    /// Discards everything (used when a processor is reset).
+    pub fn clear(&mut self) {
+        self.votes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn duplicate_votes_are_ignored() {
+        let mut t = RoundTally::new();
+        assert!(t.record(1, 0, p(0), Some(Bit::One)));
+        assert!(!t.record(1, 0, p(0), Some(Bit::One)));
+        assert!(!t.record(1, 0, p(0), Some(Bit::Zero)));
+        assert_eq!(t.total(1, 0), 1);
+        assert_eq!(t.count(1, 0, Bit::One), 1);
+        assert_eq!(t.count(1, 0, Bit::Zero), 0);
+        assert!(t.has_voted(1, 0, p(0)));
+        assert!(!t.has_voted(1, 0, p(1)));
+    }
+
+    #[test]
+    fn phases_and_rounds_are_independent_keys() {
+        let mut t = RoundTally::new();
+        t.record(1, 0, p(0), Some(Bit::One));
+        t.record(1, 1, p(0), Some(Bit::Zero));
+        t.record(2, 0, p(0), Some(Bit::Zero));
+        assert_eq!(t.total(1, 0), 1);
+        assert_eq!(t.total(1, 1), 1);
+        assert_eq!(t.total(2, 0), 1);
+        assert_eq!(t.count(1, 1, Bit::Zero), 1);
+    }
+
+    #[test]
+    fn abstentions_count_towards_total_but_not_values() {
+        let mut t = RoundTally::new();
+        t.record(3, 2, p(0), None);
+        t.record(3, 2, p(1), Some(Bit::Zero));
+        assert_eq!(t.total(3, 2), 2);
+        assert_eq!(t.abstentions(3, 2), 1);
+        assert_eq!(t.count(3, 2, Bit::Zero), 1);
+        assert_eq!(t.count(3, 2, Bit::One), 0);
+    }
+
+    #[test]
+    fn majority_value_breaks_ties_towards_one() {
+        let mut t = RoundTally::new();
+        assert_eq!(t.majority_value(1, 0), None);
+        t.record(1, 0, p(0), Some(Bit::Zero));
+        assert_eq!(t.majority_value(1, 0), Some(Bit::Zero));
+        t.record(1, 0, p(1), Some(Bit::One));
+        assert_eq!(t.majority_value(1, 0), Some(Bit::One));
+        t.record(1, 0, p(2), Some(Bit::One));
+        assert_eq!(t.majority_value(1, 0), Some(Bit::One));
+    }
+
+    #[test]
+    fn majority_value_of_only_abstentions_is_none() {
+        let mut t = RoundTally::new();
+        t.record(1, 0, p(0), None);
+        t.record(1, 0, p(1), None);
+        assert_eq!(t.majority_value(1, 0), None);
+    }
+
+    #[test]
+    fn value_with_at_least_respects_threshold() {
+        let mut t = RoundTally::new();
+        for i in 0..5 {
+            t.record(1, 0, p(i), Some(Bit::Zero));
+        }
+        for i in 5..8 {
+            t.record(1, 0, p(i), Some(Bit::One));
+        }
+        assert_eq!(t.value_with_at_least(1, 0, 5), Some(Bit::Zero));
+        assert_eq!(t.value_with_at_least(1, 0, 6), None);
+        assert_eq!(t.value_with_at_least(1, 0, 3), Some(Bit::Zero));
+        assert_eq!(t.value_with_at_least(2, 0, 1), None);
+    }
+
+    #[test]
+    fn rounds_with_at_least_reports_ready_rounds() {
+        let mut t = RoundTally::new();
+        for i in 0..4 {
+            t.record(7, 0, p(i), Some(Bit::One));
+        }
+        for i in 0..2 {
+            t.record(8, 0, p(i), Some(Bit::One));
+        }
+        assert_eq!(t.rounds_with_at_least(0, 3), vec![7]);
+        assert_eq!(t.rounds_with_at_least(0, 1), vec![7, 8]);
+        assert!(t.rounds_with_at_least(1, 1).is_empty());
+    }
+
+    #[test]
+    fn forgetting_old_rounds_keeps_newer_ones() {
+        let mut t = RoundTally::new();
+        t.record(1, 0, p(0), Some(Bit::One));
+        t.record(5, 0, p(0), Some(Bit::One));
+        t.forget_rounds_before(3);
+        assert_eq!(t.total(1, 0), 0);
+        assert_eq!(t.total(5, 0), 1);
+        t.clear();
+        assert_eq!(t.total(5, 0), 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Adversary interfaces: what an adversary sees and what it may decide.
+//!
+//! The paper's adversaries are computationally unbounded, full-information
+//! schedulers: they see all processor states and all message contents, and
+//! they choose the schedule (and failures) subject to the model's constraints.
+//! The traits here expose exactly that interface:
+//!
+//! * [`WindowAdversary`] chooses the next acceptable window (strongly adaptive
+//!   model, Section 2); the engine validates every window against
+//!   Definition 1, so an implementation cannot exceed its power.
+//! * [`AsyncAdversary`] chooses individual steps (message delivery, crashes,
+//!   Byzantine corruption) in the fully asynchronous model of Section 5.
+
+use agreement_model::{Bit, Payload, ProcessorId, StateDigest, SystemConfig};
+
+use crate::buffer::MessageBuffer;
+use crate::window::Window;
+
+/// The full-information view an adversary is given before each decision.
+#[derive(Debug)]
+pub struct SystemView<'a> {
+    /// The static configuration (`n`, `t`).
+    pub config: SystemConfig,
+    /// Index of the decision point: the window index for the window engine,
+    /// the step index for the asynchronous engine.
+    pub time: u64,
+    /// Adversary-visible digests of every processor's internal state.
+    pub digests: &'a [StateDigest],
+    /// The durable output bits (decisions) of every processor.
+    pub outputs: &'a [Option<Bit>],
+    /// Which processors have crashed.
+    pub crashed: &'a [bool],
+    /// Every undelivered message (the adversary reads all contents).
+    pub buffer: &'a MessageBuffer,
+}
+
+impl<'a> SystemView<'a> {
+    /// Number of processors.
+    pub fn n(&self) -> usize {
+        self.config.n()
+    }
+
+    /// The per-window fault budget.
+    pub fn t(&self) -> usize {
+        self.config.t()
+    }
+
+    /// Identities of processors that have not decided yet (and have not crashed).
+    pub fn undecided(&self) -> Vec<ProcessorId> {
+        self.outputs
+            .iter()
+            .enumerate()
+            .filter(|(i, out)| out.is_none() && !self.crashed[*i])
+            .map(|(i, _)| ProcessorId::new(i))
+            .collect()
+    }
+
+    /// Returns `true` if some processor has written its output bit.
+    pub fn any_decided(&self) -> bool {
+        self.outputs.iter().any(Option::is_some)
+    }
+
+    /// Returns `true` if every non-crashed processor has written its output bit.
+    pub fn all_correct_decided(&self) -> bool {
+        self.outputs
+            .iter()
+            .zip(self.crashed)
+            .all(|(out, crashed)| *crashed || out.is_some())
+    }
+
+    /// Counts how many (non-crashed) processors currently hold estimate `value`.
+    pub fn estimate_count(&self, value: Bit) -> usize {
+        self.digests
+            .iter()
+            .zip(self.crashed)
+            .filter(|(d, crashed)| !**crashed && d.estimate == Some(value))
+            .count()
+    }
+
+    /// The highest protocol round any processor has reached.
+    pub fn max_round(&self) -> u64 {
+        self.digests.iter().filter_map(|d| d.round).max().unwrap_or(0)
+    }
+}
+
+/// An adversary for the strongly adaptive (resetting) model: it chooses each
+/// acceptable window.
+pub trait WindowAdversary {
+    /// A short human-readable name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the next acceptable window, given the full-information view
+    /// taken after all sending steps of the window have executed (so the
+    /// buffer already contains the window's fresh messages).
+    ///
+    /// The returned window must satisfy Definition 1; the engine validates it
+    /// and treats a violation as a programming error (panics).
+    fn next_window(&mut self, view: &SystemView<'_>) -> Window;
+}
+
+/// A single scheduling decision of an asynchronous adversary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsyncAction {
+    /// Deliver the oldest undelivered message on the channel `from -> to`.
+    Deliver {
+        /// The sender of the message to deliver.
+        from: ProcessorId,
+        /// The recipient of the message to deliver.
+        to: ProcessorId,
+    },
+    /// Crash processor `id` (it takes no further steps). The engine enforces
+    /// the crash budget `t`.
+    Crash(ProcessorId),
+    /// Replace the payload of the oldest undelivered message on the channel
+    /// `from -> to` before delivering it. Models Byzantine corruption of a
+    /// message sent by a corrupted processor; the engine enforces that only
+    /// processors previously declared corrupted may have their messages
+    /// rewritten.
+    Corrupt {
+        /// The (corrupted) sender whose in-flight message is rewritten.
+        from: ProcessorId,
+        /// The recipient of the rewritten message.
+        to: ProcessorId,
+        /// The replacement payload.
+        payload: Payload,
+    },
+    /// Declare processor `id` Byzantine-corrupted (counts against the budget
+    /// `t`); its future messages may be corrupted or withheld.
+    CorruptProcessor(ProcessorId),
+    /// The adversary stops scheduling: the execution ends (used when the
+    /// adversary has exhausted its strategy).
+    Halt,
+}
+
+/// An adversary for the fully asynchronous model (crash / Byzantine failures).
+pub trait AsyncAdversary {
+    /// A short human-readable name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the next step given the full-information view.
+    fn next_action(&mut self, view: &SystemView<'_>) -> AsyncAction;
+}
+
+/// The benign window adversary: full delivery, no resets. Useful as a
+/// best-case baseline and in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullDeliveryAdversary;
+
+impl WindowAdversary for FullDeliveryAdversary {
+    fn name(&self) -> &'static str {
+        "full-delivery"
+    }
+
+    fn next_window(&mut self, view: &SystemView<'_>) -> Window {
+        Window::full_delivery(&view.config)
+    }
+}
+
+/// The benign asynchronous adversary: delivers the oldest message of the
+/// least-recently-served nonempty channel, never crashes anybody. This yields
+/// a fair, round-robin schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FairAsyncAdversary {
+    cursor: usize,
+}
+
+impl AsyncAdversary for FairAsyncAdversary {
+    fn name(&self) -> &'static str {
+        "fair-round-robin"
+    }
+
+    fn next_action(&mut self, view: &SystemView<'_>) -> AsyncAction {
+        let n = view.n();
+        let channels = n * n;
+        for offset in 0..channels {
+            let idx = (self.cursor + offset) % channels;
+            let from = ProcessorId::new(idx / n);
+            let to = ProcessorId::new(idx % n);
+            if view.crashed[to.index()] {
+                continue;
+            }
+            if view.buffer.pending_on(from, to) > 0 {
+                self.cursor = (idx + 1) % channels;
+                return AsyncAction::Deliver { from, to };
+            }
+        }
+        AsyncAction::Halt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agreement_model::Envelope;
+
+    fn digests(n: usize) -> Vec<StateDigest> {
+        (0..n).map(|_| StateDigest::initial(Bit::Zero)).collect()
+    }
+
+    #[test]
+    fn system_view_helpers() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let digests = digests(4);
+        let outputs = vec![None, Some(Bit::One), None, None];
+        let crashed = vec![false, false, true, false];
+        let buffer = MessageBuffer::new();
+        let view = SystemView {
+            config: cfg,
+            time: 3,
+            digests: &digests,
+            outputs: &outputs,
+            crashed: &crashed,
+            buffer: &buffer,
+        };
+        assert_eq!(view.n(), 4);
+        assert_eq!(view.t(), 1);
+        assert!(view.any_decided());
+        assert!(!view.all_correct_decided());
+        assert_eq!(
+            view.undecided(),
+            vec![ProcessorId::new(0), ProcessorId::new(3)]
+        );
+        assert_eq!(view.estimate_count(Bit::Zero), 3);
+        assert_eq!(view.estimate_count(Bit::One), 0);
+        assert_eq!(view.max_round(), 1);
+    }
+
+    #[test]
+    fn full_delivery_adversary_emits_valid_windows() {
+        let cfg = SystemConfig::new(6, 1).unwrap();
+        let digests = digests(6);
+        let outputs = vec![None; 6];
+        let crashed = vec![false; 6];
+        let buffer = MessageBuffer::new();
+        let view = SystemView {
+            config: cfg,
+            time: 0,
+            digests: &digests,
+            outputs: &outputs,
+            crashed: &crashed,
+            buffer: &buffer,
+        };
+        let mut adv = FullDeliveryAdversary;
+        let w = adv.next_window(&view);
+        assert!(w.validate(&cfg).is_ok());
+        assert_eq!(adv.name(), "full-delivery");
+    }
+
+    #[test]
+    fn fair_async_adversary_serves_channels_round_robin_and_halts_when_empty() {
+        let cfg = SystemConfig::new(2, 0).unwrap();
+        let digests = digests(2);
+        let outputs = vec![None; 2];
+        let crashed = vec![false; 2];
+        let mut buffer = MessageBuffer::new();
+        buffer.enqueue(Envelope::new(
+            ProcessorId::new(0),
+            ProcessorId::new(1),
+            Payload::Decided { value: Bit::One },
+        ));
+        buffer.enqueue(Envelope::new(
+            ProcessorId::new(1),
+            ProcessorId::new(0),
+            Payload::Decided { value: Bit::One },
+        ));
+        let mut adv = FairAsyncAdversary::default();
+        let view = SystemView {
+            config: cfg,
+            time: 0,
+            digests: &digests,
+            outputs: &outputs,
+            crashed: &crashed,
+            buffer: &buffer,
+        };
+        let first = adv.next_action(&view);
+        assert_eq!(
+            first,
+            AsyncAction::Deliver {
+                from: ProcessorId::new(0),
+                to: ProcessorId::new(1)
+            }
+        );
+        // Pretend the first was delivered; the adversary should move on.
+        buffer.pop(ProcessorId::new(0), ProcessorId::new(1));
+        let view = SystemView {
+            config: cfg,
+            time: 1,
+            digests: &digests,
+            outputs: &outputs,
+            crashed: &crashed,
+            buffer: &buffer,
+        };
+        let second = adv.next_action(&view);
+        assert_eq!(
+            second,
+            AsyncAction::Deliver {
+                from: ProcessorId::new(1),
+                to: ProcessorId::new(0)
+            }
+        );
+        buffer.pop(ProcessorId::new(1), ProcessorId::new(0));
+        let view = SystemView {
+            config: cfg,
+            time: 2,
+            digests: &digests,
+            outputs: &outputs,
+            crashed: &crashed,
+            buffer: &buffer,
+        };
+        assert_eq!(adv.next_action(&view), AsyncAction::Halt);
+    }
+
+    #[test]
+    fn fair_async_adversary_skips_crashed_recipients() {
+        let cfg = SystemConfig::new(2, 1).unwrap();
+        let digests = digests(2);
+        let outputs = vec![None; 2];
+        let crashed = vec![false, true];
+        let mut buffer = MessageBuffer::new();
+        buffer.enqueue(Envelope::new(
+            ProcessorId::new(0),
+            ProcessorId::new(1),
+            Payload::Decided { value: Bit::One },
+        ));
+        let mut adv = FairAsyncAdversary::default();
+        let view = SystemView {
+            config: cfg,
+            time: 0,
+            digests: &digests,
+            outputs: &outputs,
+            crashed: &crashed,
+            buffer: &buffer,
+        };
+        assert_eq!(adv.next_action(&view), AsyncAction::Halt);
+    }
+}

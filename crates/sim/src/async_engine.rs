@@ -1,0 +1,597 @@
+//! The fully asynchronous engine: crash and Byzantine failures under
+//! adversarial scheduling (the model of Section 5 of the paper).
+//!
+//! The adversary chooses one step at a time: deliver a specific buffered
+//! message, crash a processor, corrupt an in-flight message of a corrupted
+//! processor, or halt. The only structural constraint (enforced here) is the
+//! fault budget: at most `t` processors may be crashed or corrupted over the
+//! whole execution. Liveness ("all messages to correct processors are
+//! eventually delivered") is the adversary implementation's responsibility;
+//! the run limits bound how long we wait.
+//!
+//! Running time in this model is measured as the length of the longest
+//! *message chain* preceding the first decision: a chain `m_1, ..., m_k` where
+//! `m_i` is received by the sender of `m_{i+1}` before `m_{i+1}` is sent. The
+//! engine tracks per-message causal depths to compute this exactly.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use agreement_model::{
+    Bit, InputAssignment, ProcessorId, ProtocolBuilder, StateDigest, SystemConfig, Trace,
+    TraceEvent,
+};
+
+use crate::adversary::{AsyncAction, AsyncAdversary, SystemView};
+use crate::buffer::MessageBuffer;
+use crate::harness::ProcessorHarness;
+use crate::outcome::{RunLimits, RunOutcome};
+
+/// An execution of the fully asynchronous model with crash/Byzantine faults.
+#[derive(Debug)]
+pub struct AsyncEngine {
+    cfg: SystemConfig,
+    inputs: InputAssignment,
+    harnesses: Vec<ProcessorHarness>,
+    buffer: MessageBuffer,
+    /// Chain depth of each buffered message, kept in lock-step with `buffer`.
+    chains: BTreeMap<(ProcessorId, ProcessorId), VecDeque<u64>>,
+    /// Causal depth of each processor: the longest chain among messages it has received.
+    depth: Vec<u64>,
+    trace: Trace,
+    step_index: u64,
+    crashes_performed: u64,
+    corrupted: Vec<bool>,
+    first_decision_at: Option<u64>,
+    all_decided_at: Option<u64>,
+    chain_at_first_decision: Option<u64>,
+    halted: bool,
+}
+
+impl AsyncEngine {
+    /// Creates the engine, runs every processor's `on_start`, and places the
+    /// initial messages into the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
+    pub fn new(
+        cfg: SystemConfig,
+        inputs: InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+    ) -> Self {
+        assert_eq!(
+            inputs.len(),
+            cfg.n(),
+            "input assignment must cover every processor"
+        );
+        let mut harnesses: Vec<ProcessorHarness> = ProcessorId::all(cfg.n())
+            .map(|id| ProcessorHarness::new(id, inputs.bit(id.index()), cfg, builder, master_seed))
+            .collect();
+        for harness in &mut harnesses {
+            harness.start();
+        }
+        let mut engine = AsyncEngine {
+            depth: vec![0; cfg.n()],
+            chains: BTreeMap::new(),
+            cfg,
+            inputs,
+            harnesses,
+            buffer: MessageBuffer::new(),
+            trace: Trace::new(),
+            step_index: 0,
+            crashes_performed: 0,
+            corrupted: vec![false; cfg.n()],
+            first_decision_at: None,
+            all_decided_at: None,
+            chain_at_first_decision: None,
+            halted: false,
+        };
+        for i in 0..engine.harnesses.len() {
+            engine.flush_outbox(ProcessorId::new(i));
+        }
+        engine.record_decision_progress();
+        engine
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// Number of adversary steps taken so far.
+    pub fn steps_elapsed(&self) -> u64 {
+        self.step_index
+    }
+
+    /// The current output bits of all processors.
+    pub fn decisions(&self) -> Vec<Option<Bit>> {
+        self.harnesses.iter().map(ProcessorHarness::decision).collect()
+    }
+
+    /// The adversary-visible digests of all processors.
+    pub fn digests(&self) -> Vec<StateDigest> {
+        self.harnesses.iter().map(ProcessorHarness::digest).collect()
+    }
+
+    /// Which processors have been crashed so far.
+    pub fn crashed(&self) -> Vec<bool> {
+        self.harnesses.iter().map(ProcessorHarness::is_crashed).collect()
+    }
+
+    /// Which processors have been declared Byzantine-corrupted so far.
+    pub fn corrupted(&self) -> &[bool] {
+        &self.corrupted
+    }
+
+    /// `true` once every non-crashed processor has written its output bit.
+    pub fn all_correct_decided(&self) -> bool {
+        self.harnesses
+            .iter()
+            .all(|h| h.is_crashed() || h.decision().is_some())
+    }
+
+    /// Number of faults (crashes plus corruptions) charged so far.
+    pub fn faults_used(&self) -> usize {
+        self.crashes_performed as usize + self.corrupted.iter().filter(|&&c| c).count()
+    }
+
+    fn flush_outbox(&mut self, id: ProcessorId) {
+        let chain = self.depth[id.index()] + 1;
+        let envelopes = self.harnesses[id.index()].take_outbox();
+        for envelope in envelopes {
+            self.trace.push(TraceEvent::Sent {
+                from: envelope.sender,
+                to: envelope.recipient,
+            });
+            self.chains
+                .entry((envelope.sender, envelope.recipient))
+                .or_default()
+                .push_back(chain);
+            self.buffer.enqueue(envelope);
+        }
+    }
+
+    fn record_decision_progress(&mut self) {
+        if self.first_decision_at.is_none() && self.harnesses.iter().any(|h| h.decision().is_some())
+        {
+            self.first_decision_at = Some(self.step_index);
+        }
+        if self.all_decided_at.is_none() && self.all_correct_decided() {
+            self.all_decided_at = Some(self.step_index);
+        }
+    }
+
+    /// Executes one adversary-chosen step. Returns `false` once the execution
+    /// has halted (adversary gave up) — further calls do nothing.
+    pub fn step(&mut self, adversary: &mut dyn AsyncAdversary) -> bool {
+        if self.halted {
+            return false;
+        }
+        let action = {
+            let digests = self.digests();
+            let outputs = self.decisions();
+            let crashed = self.crashed();
+            let view = SystemView {
+                config: self.cfg,
+                time: self.step_index,
+                digests: &digests,
+                outputs: &outputs,
+                crashed: &crashed,
+                buffer: &self.buffer,
+            };
+            adversary.next_action(&view)
+        };
+        self.step_index += 1;
+        match action {
+            AsyncAction::Deliver { from, to } => self.deliver(from, to),
+            AsyncAction::Crash(id) => self.crash(id),
+            AsyncAction::CorruptProcessor(id) => self.corrupt_processor(id),
+            AsyncAction::Corrupt { from, to, payload } => {
+                if self.corrupted[from.index()] {
+                    if self.buffer.corrupt_head(from, to, payload).is_some() {
+                        self.trace.push(TraceEvent::Corrupted { id: from });
+                    }
+                } else {
+                    self.trace.push(TraceEvent::Violation {
+                        description: format!(
+                            "adversary attempted to corrupt a message of uncorrupted {from}; ignored"
+                        ),
+                    });
+                }
+            }
+            AsyncAction::Halt => {
+                self.halted = true;
+            }
+        }
+        self.record_decision_progress();
+        !self.halted
+    }
+
+    fn deliver(&mut self, from: ProcessorId, to: ProcessorId) {
+        if self.harnesses[to.index()].is_crashed() {
+            return;
+        }
+        let Some(payload) = self.buffer.pop(from, to) else {
+            return;
+        };
+        let chain = self
+            .chains
+            .get_mut(&(from, to))
+            .and_then(VecDeque::pop_front)
+            .unwrap_or(0);
+        self.trace.push(TraceEvent::Delivered { from, to });
+        let before = self.harnesses[to.index()].decision();
+        self.harnesses[to.index()].deliver(from, &payload);
+        let depth = &mut self.depth[to.index()];
+        *depth = (*depth).max(chain);
+        let after = self.harnesses[to.index()].decision();
+        if before.is_none() {
+            if let Some(value) = after {
+                self.trace.push(TraceEvent::Decided {
+                    id: to,
+                    value,
+                    at: self.step_index,
+                });
+                if self.chain_at_first_decision.is_none() {
+                    self.chain_at_first_decision = Some(self.depth[to.index()]);
+                }
+            }
+        }
+        self.flush_outbox(to);
+    }
+
+    fn crash(&mut self, id: ProcessorId) {
+        if self.harnesses[id.index()].is_crashed() {
+            return;
+        }
+        if self.faults_used() >= self.cfg.t() {
+            self.trace.push(TraceEvent::Violation {
+                description: format!(
+                    "adversary attempted to crash {id} beyond the fault budget t={}; ignored",
+                    self.cfg.t()
+                ),
+            });
+            return;
+        }
+        self.harnesses[id.index()].crash();
+        self.buffer.drop_to(id);
+        self.crashes_performed += 1;
+        self.trace.push(TraceEvent::Crashed { id });
+    }
+
+    fn corrupt_processor(&mut self, id: ProcessorId) {
+        if self.corrupted[id.index()] {
+            return;
+        }
+        if self.faults_used() >= self.cfg.t() {
+            self.trace.push(TraceEvent::Violation {
+                description: format!(
+                    "adversary attempted to corrupt {id} beyond the fault budget t={}; ignored",
+                    self.cfg.t()
+                ),
+            });
+            return;
+        }
+        self.corrupted[id.index()] = true;
+    }
+
+    /// Runs adversary steps until every correct processor has decided, the
+    /// adversary halts, or `limits.max_steps` steps have elapsed.
+    pub fn run(&mut self, adversary: &mut dyn AsyncAdversary, limits: RunLimits) -> RunOutcome {
+        while !self.all_correct_decided() && !self.halted && self.step_index < limits.max_steps {
+            self.step(adversary);
+        }
+        self.outcome()
+    }
+
+    /// Produces the outcome snapshot of the execution so far.
+    pub fn outcome(&self) -> RunOutcome {
+        let violations: Vec<String> = self
+            .harnesses
+            .iter()
+            .flat_map(|h| h.violations().iter().cloned())
+            .chain(self.validity_violations())
+            .collect();
+        RunOutcome {
+            decisions: self.decisions(),
+            crashed: self.crashed(),
+            duration: self.step_index,
+            first_decision_at: self.first_decision_at,
+            all_decided_at: self.all_decided_at,
+            violations,
+            messages_sent: self.buffer.enqueued_count(),
+            messages_delivered: self.buffer.delivered_count(),
+            resets_performed: 0,
+            crashes_performed: self.crashes_performed,
+            longest_chain: self.chain_at_first_decision.unwrap_or(0),
+            halted_by_adversary: self.halted,
+            trace: self.trace.clone(),
+        }
+    }
+
+    fn validity_violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if let Some(unanimous) = self.inputs.unanimous_value() {
+            for harness in &self.harnesses {
+                if let Some(decided) = harness.decision() {
+                    if decided != unanimous {
+                        violations.push(format!(
+                            "{} decided {decided} although every input is {unanimous}",
+                            harness.id()
+                        ));
+                    }
+                }
+            }
+        }
+        let mut decided_values = self.harnesses.iter().filter_map(ProcessorHarness::decision);
+        if let Some(first) = decided_values.next() {
+            if decided_values.any(|other| other != first) {
+                violations.push("processors decided conflicting values".to_string());
+            }
+        }
+        violations
+    }
+}
+
+/// Convenience: build an asynchronous engine, run it, return the outcome.
+pub fn run_async(
+    cfg: SystemConfig,
+    inputs: InputAssignment,
+    builder: &dyn ProtocolBuilder,
+    adversary: &mut dyn AsyncAdversary,
+    master_seed: u64,
+    limits: RunLimits,
+) -> RunOutcome {
+    let mut engine = AsyncEngine::new(cfg, inputs, builder, master_seed);
+    engine.run(adversary, limits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::FairAsyncAdversary;
+    use agreement_model::{Context, Payload, Protocol, ProtocolBuilder};
+
+    /// Waits for `n - t` round-1 reports (its own included) and decides the
+    /// majority value among them.
+    #[derive(Debug)]
+    struct QuorumMajority {
+        input: Bit,
+        zeros: usize,
+        ones: usize,
+        quorum: usize,
+        decided: Option<Bit>,
+    }
+
+    impl Protocol for QuorumMajority {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            ctx.broadcast(Payload::Report {
+                round: 1,
+                value: self.input,
+            });
+        }
+
+        fn on_message(&mut self, _from: ProcessorId, payload: &Payload, ctx: &mut dyn Context) {
+            if self.decided.is_some() {
+                return;
+            }
+            if let Payload::Report { round: 1, value } = payload {
+                match value {
+                    Bit::Zero => self.zeros += 1,
+                    Bit::One => self.ones += 1,
+                }
+                if self.zeros + self.ones >= self.quorum {
+                    let v = if self.ones >= self.zeros { Bit::One } else { Bit::Zero };
+                    self.decided = Some(v);
+                    ctx.decide(v);
+                }
+            }
+        }
+
+        fn digest(&self) -> StateDigest {
+            StateDigest {
+                round: Some(1),
+                estimate: Some(self.input),
+                decided: self.decided,
+                reset_count: 0,
+                phase: "quorum-majority",
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct QuorumBuilder;
+
+    impl ProtocolBuilder for QuorumBuilder {
+        fn name(&self) -> &'static str {
+            "quorum-majority"
+        }
+
+        fn build(&self, _id: ProcessorId, input: Bit, cfg: &SystemConfig) -> Box<dyn Protocol> {
+            Box::new(QuorumMajority {
+                input,
+                zeros: 0,
+                ones: 0,
+                quorum: cfg.quorum(),
+                decided: None,
+            })
+        }
+    }
+
+    #[test]
+    fn fair_schedule_reaches_decision_for_unanimous_inputs() {
+        let cfg = SystemConfig::new(5, 1).unwrap();
+        let inputs = InputAssignment::unanimous(5, Bit::Zero);
+        let outcome = run_async(
+            cfg,
+            inputs.clone(),
+            &QuorumBuilder,
+            &mut FairAsyncAdversary::default(),
+            42,
+            RunLimits::small(),
+        );
+        assert!(outcome.all_correct_decided());
+        assert_eq!(outcome.decided_value(), Some(Bit::Zero));
+        assert!(outcome.is_correct(&inputs));
+        assert!(outcome.longest_chain >= 1);
+        assert!(!outcome.halted_by_adversary);
+    }
+
+    #[test]
+    fn crash_budget_is_enforced() {
+        struct CrashHappy {
+            next: usize,
+            inner: FairAsyncAdversary,
+        }
+        impl AsyncAdversary for CrashHappy {
+            fn name(&self) -> &'static str {
+                "crash-happy"
+            }
+            fn next_action(&mut self, view: &SystemView<'_>) -> AsyncAction {
+                if self.next < view.n() {
+                    let id = ProcessorId::new(self.next);
+                    self.next += 1;
+                    AsyncAction::Crash(id)
+                } else {
+                    self.inner.next_action(view)
+                }
+            }
+        }
+        let cfg = SystemConfig::new(5, 1).unwrap();
+        let inputs = InputAssignment::unanimous(5, Bit::One);
+        let mut engine = AsyncEngine::new(cfg, inputs, &QuorumBuilder, 9);
+        let mut adv = CrashHappy {
+            next: 0,
+            inner: FairAsyncAdversary::default(),
+        };
+        let outcome = engine.run(&mut adv, RunLimits::small());
+        // Only one crash may be charged; the rest are ignored (and logged).
+        assert_eq!(outcome.crashes_performed, 1);
+        assert_eq!(outcome.crashed.iter().filter(|&&c| c).count(), 1);
+        // The remaining four processors still decide.
+        assert!(outcome.all_correct_decided());
+        assert_eq!(outcome.decided_value(), Some(Bit::One));
+    }
+
+    #[test]
+    fn corruption_requires_prior_corrupt_processor_declaration() {
+        struct OneCorruption {
+            declared: bool,
+            corrupted_once: bool,
+            inner: FairAsyncAdversary,
+        }
+        impl AsyncAdversary for OneCorruption {
+            fn name(&self) -> &'static str {
+                "one-corruption"
+            }
+            fn next_action(&mut self, view: &SystemView<'_>) -> AsyncAction {
+                if !self.declared {
+                    self.declared = true;
+                    return AsyncAction::CorruptProcessor(ProcessorId::new(0));
+                }
+                if !self.corrupted_once {
+                    self.corrupted_once = true;
+                    return AsyncAction::Corrupt {
+                        from: ProcessorId::new(0),
+                        to: ProcessorId::new(1),
+                        payload: Payload::Report {
+                            round: 1,
+                            value: Bit::Zero,
+                        },
+                    };
+                }
+                self.inner.next_action(view)
+            }
+        }
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        // Inputs: 3 ones, 1 zero — a corrupted lie of `Zero` cannot flip the majority.
+        let inputs = InputAssignment::split_at(4, 1);
+        let mut engine = AsyncEngine::new(cfg, inputs.clone(), &QuorumBuilder, 3);
+        let mut adv = OneCorruption {
+            declared: false,
+            corrupted_once: false,
+            inner: FairAsyncAdversary::default(),
+        };
+        let outcome = engine.run(&mut adv, RunLimits::small());
+        assert!(outcome.all_correct_decided());
+        assert_eq!(outcome.trace.corruption_count(), 1);
+        assert!(outcome.agreement_holds());
+        assert!(outcome.validity_holds(&inputs));
+    }
+
+    #[test]
+    fn halting_adversary_stops_the_run_without_decisions() {
+        struct Lazy;
+        impl AsyncAdversary for Lazy {
+            fn name(&self) -> &'static str {
+                "lazy"
+            }
+            fn next_action(&mut self, _view: &SystemView<'_>) -> AsyncAction {
+                AsyncAction::Halt
+            }
+        }
+        let cfg = SystemConfig::new(3, 0).unwrap();
+        let inputs = InputAssignment::unanimous(3, Bit::One);
+        let outcome = run_async(cfg, inputs, &QuorumBuilder, &mut Lazy, 1, RunLimits::small());
+        assert!(outcome.halted_by_adversary);
+        assert!(!outcome.any_decided());
+        assert_eq!(outcome.duration, 1);
+    }
+
+    #[test]
+    fn message_chains_grow_with_protocol_depth() {
+        /// Each processor forwards a token around a ring `k` times before deciding.
+        #[derive(Debug)]
+        struct Ring {
+            hops_left: u64,
+        }
+        impl Protocol for Ring {
+            fn on_start(&mut self, ctx: &mut dyn Context) {
+                if ctx.id().index() == 0 {
+                    let next = ProcessorId::new(1 % ctx.config().n());
+                    ctx.send(next, Payload::Opaque(vec![0]));
+                }
+            }
+            fn on_message(&mut self, _from: ProcessorId, payload: &Payload, ctx: &mut dyn Context) {
+                if let Payload::Opaque(bytes) = payload {
+                    self.hops_left = self.hops_left.saturating_sub(1);
+                    if bytes[0] >= 9 {
+                        ctx.decide(Bit::One);
+                        return;
+                    }
+                    let next = ProcessorId::new((ctx.id().index() + 1) % ctx.config().n());
+                    ctx.send(next, Payload::Opaque(vec![bytes[0] + 1]));
+                }
+            }
+            fn digest(&self) -> StateDigest {
+                StateDigest::initial(Bit::One)
+            }
+        }
+        #[derive(Debug)]
+        struct RingBuilder;
+        impl ProtocolBuilder for RingBuilder {
+            fn name(&self) -> &'static str {
+                "ring"
+            }
+            fn build(&self, _i: ProcessorId, _b: Bit, _c: &SystemConfig) -> Box<dyn Protocol> {
+                Box::new(Ring { hops_left: 10 })
+            }
+        }
+        let cfg = SystemConfig::new(3, 0).unwrap();
+        let inputs = InputAssignment::unanimous(3, Bit::One);
+        let outcome = run_async(
+            cfg,
+            inputs,
+            &RingBuilder,
+            &mut FairAsyncAdversary::default(),
+            1,
+            RunLimits::small(),
+        );
+        assert!(outcome.any_decided());
+        // The token is forwarded 9 times after the initial send; the deciding
+        // processor's causal depth is the full chain of 10 messages.
+        assert_eq!(outcome.longest_chain, 10);
+    }
+}

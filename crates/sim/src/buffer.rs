@@ -1,0 +1,268 @@
+//! The message buffer: per-channel FIFO queues of undelivered messages.
+//!
+//! The paper's model places sent messages into a "message buffer" from which
+//! the adversary chooses what to deliver and when. We keep one FIFO queue per
+//! ordered `(sender, recipient)` pair — the dedicated channel of the model —
+//! so a recipient always correctly identifies the sender, and messages on a
+//! single channel are delivered in order (a harmless strengthening; the
+//! adversary still fully controls interleaving across channels).
+
+use std::collections::BTreeMap;
+
+use agreement_model::{Envelope, Payload, ProcessorId};
+
+/// A FIFO buffer of undelivered messages, indexed by `(sender, recipient)`.
+#[derive(Debug, Clone, Default)]
+pub struct MessageBuffer {
+    channels: BTreeMap<(ProcessorId, ProcessorId), Vec<Payload>>,
+    enqueued: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl MessageBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        MessageBuffer::default()
+    }
+
+    /// Places an envelope into the buffer.
+    pub fn enqueue(&mut self, envelope: Envelope) {
+        self.enqueued += 1;
+        self.channels
+            .entry((envelope.sender, envelope.recipient))
+            .or_default()
+            .push(envelope.payload);
+    }
+
+    /// Removes and returns the oldest undelivered message from `sender` to
+    /// `recipient`, if any.
+    pub fn pop(&mut self, sender: ProcessorId, recipient: ProcessorId) -> Option<Payload> {
+        let queue = self.channels.get_mut(&(sender, recipient))?;
+        if queue.is_empty() {
+            return None;
+        }
+        self.delivered += 1;
+        Some(queue.remove(0))
+    }
+
+    /// Removes and returns *all* undelivered messages from `sender` to
+    /// `recipient`, oldest first.
+    pub fn drain_channel(&mut self, sender: ProcessorId, recipient: ProcessorId) -> Vec<Payload> {
+        match self.channels.get_mut(&(sender, recipient)) {
+            Some(queue) => {
+                let drained = std::mem::take(queue);
+                self.delivered += drained.len() as u64;
+                drained
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Discards every undelivered message addressed to `recipient`.
+    ///
+    /// Used when a processor crashes: the model only requires delivery to
+    /// processors that take infinitely many steps.
+    pub fn drop_to(&mut self, recipient: ProcessorId) {
+        for ((_, to), queue) in self.channels.iter_mut() {
+            if *to == recipient {
+                self.dropped += queue.len() as u64;
+                queue.clear();
+            }
+        }
+    }
+
+    /// Replaces the payload of the oldest undelivered message on the channel,
+    /// returning the original payload. Used to model Byzantine corruption of a
+    /// message in flight (the adversary may corrupt messages *sent by*
+    /// corrupted processors).
+    pub fn corrupt_head(
+        &mut self,
+        sender: ProcessorId,
+        recipient: ProcessorId,
+        replacement: Payload,
+    ) -> Option<Payload> {
+        let queue = self.channels.get_mut(&(sender, recipient))?;
+        let head = queue.first_mut()?;
+        Some(std::mem::replace(head, replacement))
+    }
+
+    /// Discards every undelivered message in the buffer, returning how many
+    /// were dropped.
+    ///
+    /// The window engine calls this at the start of every sending phase: an
+    /// acceptable window only delivers messages "just sent" within it, so
+    /// anything left over from the previous window is never delivered.
+    pub fn discard_undelivered(&mut self) -> usize {
+        let mut count = 0;
+        for queue in self.channels.values_mut() {
+            count += queue.len();
+            queue.clear();
+        }
+        self.dropped += count as u64;
+        count
+    }
+
+    /// Returns the number of undelivered messages from `sender` to `recipient`.
+    pub fn pending_on(&self, sender: ProcessorId, recipient: ProcessorId) -> usize {
+        self.channels
+            .get(&(sender, recipient))
+            .map_or(0, |q| q.len())
+    }
+
+    /// Returns the oldest undelivered payload on the channel without removing it.
+    pub fn peek(&self, sender: ProcessorId, recipient: ProcessorId) -> Option<&Payload> {
+        self.channels
+            .get(&(sender, recipient))
+            .and_then(|q| q.first())
+    }
+
+    /// Iterates over all `(sender, recipient, payload)` triples currently buffered,
+    /// oldest-first within each channel.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessorId, ProcessorId, &Payload)> + '_ {
+        self.channels
+            .iter()
+            .flat_map(|(&(from, to), queue)| queue.iter().map(move |p| (from, to, p)))
+    }
+
+    /// The set of senders with at least one undelivered message to `recipient`.
+    pub fn senders_with_pending(&self, recipient: ProcessorId) -> Vec<ProcessorId> {
+        self.channels
+            .iter()
+            .filter(|(&(_, to), queue)| to == recipient && !queue.is_empty())
+            .map(|(&(from, _), _)| from)
+            .collect()
+    }
+
+    /// Total number of undelivered messages.
+    pub fn pending_total(&self) -> usize {
+        self.channels.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` when no messages are awaiting delivery.
+    pub fn is_empty(&self) -> bool {
+        self.pending_total() == 0
+    }
+
+    /// Number of messages ever enqueued.
+    pub fn enqueued_count(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Number of messages ever delivered (popped or drained).
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of messages dropped because their recipient crashed.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agreement_model::Bit;
+
+    fn env(from: usize, to: usize, round: u64) -> Envelope {
+        Envelope::new(
+            ProcessorId::new(from),
+            ProcessorId::new(to),
+            Payload::Report {
+                round,
+                value: Bit::Zero,
+            },
+        )
+    }
+
+    #[test]
+    fn enqueue_then_pop_is_fifo_per_channel() {
+        let mut buf = MessageBuffer::new();
+        buf.enqueue(env(0, 1, 1));
+        buf.enqueue(env(0, 1, 2));
+        buf.enqueue(env(2, 1, 9));
+        assert_eq!(buf.pending_on(ProcessorId::new(0), ProcessorId::new(1)), 2);
+        let first = buf.pop(ProcessorId::new(0), ProcessorId::new(1)).unwrap();
+        assert_eq!(first.round(), Some(1));
+        let second = buf.pop(ProcessorId::new(0), ProcessorId::new(1)).unwrap();
+        assert_eq!(second.round(), Some(2));
+        assert!(buf.pop(ProcessorId::new(0), ProcessorId::new(1)).is_none());
+        // The other channel is untouched.
+        assert_eq!(buf.pending_on(ProcessorId::new(2), ProcessorId::new(1)), 1);
+    }
+
+    #[test]
+    fn drain_channel_removes_everything_in_order() {
+        let mut buf = MessageBuffer::new();
+        for r in 1..=3 {
+            buf.enqueue(env(4, 2, r));
+        }
+        let drained = buf.drain_channel(ProcessorId::new(4), ProcessorId::new(2));
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].round(), Some(1));
+        assert_eq!(drained[2].round(), Some(3));
+        assert!(buf.is_empty());
+        assert_eq!(buf.delivered_count(), 3);
+    }
+
+    #[test]
+    fn drain_of_missing_channel_is_empty() {
+        let mut buf = MessageBuffer::new();
+        assert!(buf
+            .drain_channel(ProcessorId::new(0), ProcessorId::new(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn drop_to_discards_only_that_recipient() {
+        let mut buf = MessageBuffer::new();
+        buf.enqueue(env(0, 1, 1));
+        buf.enqueue(env(0, 2, 1));
+        buf.drop_to(ProcessorId::new(1));
+        assert_eq!(buf.pending_on(ProcessorId::new(0), ProcessorId::new(1)), 0);
+        assert_eq!(buf.pending_on(ProcessorId::new(0), ProcessorId::new(2)), 1);
+        assert_eq!(buf.dropped_count(), 1);
+    }
+
+    #[test]
+    fn corrupt_head_replaces_payload_in_place() {
+        let mut buf = MessageBuffer::new();
+        buf.enqueue(env(3, 0, 5));
+        let original = buf
+            .corrupt_head(
+                ProcessorId::new(3),
+                ProcessorId::new(0),
+                Payload::Report {
+                    round: 5,
+                    value: Bit::One,
+                },
+            )
+            .unwrap();
+        assert_eq!(original.advocated_value(), Some(Bit::Zero));
+        let now = buf.peek(ProcessorId::new(3), ProcessorId::new(0)).unwrap();
+        assert_eq!(now.advocated_value(), Some(Bit::One));
+    }
+
+    #[test]
+    fn senders_with_pending_lists_only_nonempty_channels() {
+        let mut buf = MessageBuffer::new();
+        buf.enqueue(env(0, 5, 1));
+        buf.enqueue(env(3, 5, 1));
+        buf.enqueue(env(3, 6, 1));
+        let mut senders = buf.senders_with_pending(ProcessorId::new(5));
+        senders.sort();
+        assert_eq!(senders, vec![ProcessorId::new(0), ProcessorId::new(3)]);
+    }
+
+    #[test]
+    fn iter_visits_every_pending_message() {
+        let mut buf = MessageBuffer::new();
+        buf.enqueue(env(0, 1, 1));
+        buf.enqueue(env(1, 0, 2));
+        buf.enqueue(env(1, 0, 3));
+        assert_eq!(buf.iter().count(), 3);
+        assert_eq!(buf.pending_total(), 3);
+        assert_eq!(buf.enqueued_count(), 3);
+    }
+}

@@ -1,0 +1,81 @@
+//! Adversary-controlled simulation of asynchronous message-passing agreement.
+//!
+//! This crate is the execution substrate of the reproduction of Lewko & Lewko
+//! (PODC 2013). It provides two engines that drive [`agreement_model::Protocol`]
+//! state machines under full-information adversaries:
+//!
+//! * [`WindowEngine`] — the **strongly adaptive model** of Section 2: the
+//!   execution is a sequence of *acceptable windows* ([`Window`],
+//!   Definition 1), each consisting of sending steps for all processors,
+//!   receiving steps from at least `n - t` senders per processor, and at most
+//!   `t` resetting steps. Running time is measured in windows.
+//! * [`AsyncEngine`] — the **fully asynchronous model** of Section 5: the
+//!   adversary schedules individual message deliveries and may cause up to `t`
+//!   crash (or Byzantine) failures. Running time is measured as the longest
+//!   message chain preceding the first decision.
+//!
+//! Adversaries implement [`WindowAdversary`] or [`AsyncAdversary`] and are
+//! given a [`SystemView`] exposing every processor state digest and every
+//! in-flight message — the full-information assumption of the paper.
+//! Concrete adversary strategies (strongly adaptive resetting, split-vote
+//! balancing, crash scheduling, …) live in the `agreement-adversary` crate;
+//! this crate only ships the benign baselines [`FullDeliveryAdversary`] and
+//! [`FairAsyncAdversary`].
+//!
+//! # Example
+//!
+//! ```
+//! use agreement_model::{Bit, InputAssignment, SystemConfig};
+//! use agreement_sim::{run_windowed, FullDeliveryAdversary, RunLimits};
+//! # use agreement_model::{Context, Payload, Protocol, ProtocolBuilder, ProcessorId, StateDigest};
+//! # #[derive(Debug)]
+//! # struct Trivial { input: Bit }
+//! # impl Protocol for Trivial {
+//! #     fn on_start(&mut self, ctx: &mut dyn Context) { ctx.decide(self.input); }
+//! #     fn on_message(&mut self, _f: ProcessorId, _p: &Payload, _c: &mut dyn Context) {}
+//! #     fn digest(&self) -> StateDigest { StateDigest::initial(self.input) }
+//! # }
+//! # #[derive(Debug)]
+//! # struct TrivialBuilder;
+//! # impl ProtocolBuilder for TrivialBuilder {
+//! #     fn name(&self) -> &'static str { "trivial" }
+//! #     fn build(&self, _id: ProcessorId, input: Bit, _cfg: &SystemConfig) -> Box<dyn Protocol> {
+//! #         Box::new(Trivial { input })
+//! #     }
+//! # }
+//!
+//! let cfg = SystemConfig::new(4, 0)?;
+//! let inputs = InputAssignment::unanimous(4, Bit::One);
+//! let outcome = run_windowed(
+//!     cfg,
+//!     inputs.clone(),
+//!     &TrivialBuilder,
+//!     &mut FullDeliveryAdversary,
+//!     42,
+//!     RunLimits::small(),
+//! );
+//! assert!(outcome.is_correct(&inputs));
+//! # Ok::<(), agreement_model::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod adversary;
+mod async_engine;
+mod buffer;
+mod harness;
+mod outcome;
+mod window;
+mod window_engine;
+
+pub use adversary::{
+    AsyncAction, AsyncAdversary, FairAsyncAdversary, FullDeliveryAdversary, SystemView,
+    WindowAdversary,
+};
+pub use async_engine::{run_async, AsyncEngine};
+pub use buffer::MessageBuffer;
+pub use harness::{HarnessCore, ProcessorHarness};
+pub use outcome::{RunLimits, RunOutcome};
+pub use window::{Window, WindowError};
+pub use window_engine::{run_windowed, WindowEngine};

@@ -1,0 +1,486 @@
+//! The acceptable-window engine: executions of the strongly adaptive model.
+//!
+//! The strongly adaptive adversary (Section 2) is constrained to produce
+//! executions that decompose into adjacent, disjoint *acceptable windows*
+//! (Definition 1). The [`WindowEngine`] drives one such execution:
+//!
+//! 1. **Sending phase** — every non-crashed processor takes a sending step:
+//!    the messages it computed in response to the previous window's deliveries
+//!    are placed into the buffer. (A second sending step without intervening
+//!    receipts would have no effect, exactly as the paper specifies, because
+//!    the outbox is emptied by the first one.)
+//! 2. **Adversary choice** — the full-information adversary inspects all
+//!    states and all freshly sent messages and picks the window's reset set
+//!    `R` and delivery sets `S_1, ..., S_n`, validated against Definition 1.
+//! 3. **Receiving phase** — each processor `i` receives, and immediately
+//!    processes, the messages just sent to it by senders in `S_i`. Messages
+//!    from senders outside `S_i` are never delivered (they are discarded at
+//!    the start of the next window).
+//! 4. **Resetting phase** — the processors in `R` have their memories erased.
+//!
+//! Running time is measured in acceptable windows, as in Section 2.
+
+use agreement_model::{
+    Bit, InputAssignment, ProcessorId, ProtocolBuilder, StateDigest, SystemConfig, Trace,
+    TraceEvent,
+};
+
+use crate::adversary::{SystemView, WindowAdversary};
+use crate::buffer::MessageBuffer;
+use crate::harness::ProcessorHarness;
+use crate::outcome::{RunLimits, RunOutcome};
+use crate::window::Window;
+
+/// An execution of the strongly adaptive (acceptable-window) model.
+#[derive(Debug)]
+pub struct WindowEngine {
+    cfg: SystemConfig,
+    inputs: InputAssignment,
+    harnesses: Vec<ProcessorHarness>,
+    buffer: MessageBuffer,
+    trace: Trace,
+    window_index: u64,
+    resets_performed: u64,
+    first_decision_at: Option<u64>,
+    all_decided_at: Option<u64>,
+    started: bool,
+}
+
+impl WindowEngine {
+    /// Creates an engine for `cfg.n()` processors with the given inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
+    pub fn new(
+        cfg: SystemConfig,
+        inputs: InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+    ) -> Self {
+        assert_eq!(
+            inputs.len(),
+            cfg.n(),
+            "input assignment must cover every processor"
+        );
+        let harnesses = ProcessorId::all(cfg.n())
+            .map(|id| ProcessorHarness::new(id, inputs.bit(id.index()), cfg, builder, master_seed))
+            .collect();
+        WindowEngine {
+            cfg,
+            inputs,
+            harnesses,
+            buffer: MessageBuffer::new(),
+            trace: Trace::new(),
+            window_index: 0,
+            resets_performed: 0,
+            first_decision_at: None,
+            all_decided_at: None,
+            started: false,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// The input assignment of this execution.
+    pub fn inputs(&self) -> &InputAssignment {
+        &self.inputs
+    }
+
+    /// Number of acceptable windows executed so far.
+    pub fn windows_elapsed(&self) -> u64 {
+        self.window_index
+    }
+
+    /// The current output bits of all processors.
+    pub fn decisions(&self) -> Vec<Option<Bit>> {
+        self.harnesses.iter().map(ProcessorHarness::decision).collect()
+    }
+
+    /// The adversary-visible digests of all processors.
+    pub fn digests(&self) -> Vec<StateDigest> {
+        self.harnesses.iter().map(ProcessorHarness::digest).collect()
+    }
+
+    /// `true` once every processor has written its output bit.
+    pub fn all_decided(&self) -> bool {
+        self.harnesses.iter().all(|h| h.decision().is_some())
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for harness in &mut self.harnesses {
+            harness.start();
+        }
+    }
+
+    /// Executes one acceptable window chosen by `adversary`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adversary returns a window violating Definition 1 — that
+    /// is a bug in the adversary implementation, not a legitimate execution.
+    pub fn step_window(&mut self, adversary: &mut dyn WindowAdversary) {
+        self.ensure_started();
+        // Anything not delivered in the previous window is never delivered.
+        self.buffer.discard_undelivered();
+
+        // Sending phase.
+        for harness in &mut self.harnesses {
+            if harness.is_crashed() {
+                continue;
+            }
+            for envelope in harness.take_outbox() {
+                self.trace.push(TraceEvent::Sent {
+                    from: envelope.sender,
+                    to: envelope.recipient,
+                });
+                self.buffer.enqueue(envelope);
+            }
+        }
+
+        // Adversary chooses the window with full information.
+        let window = {
+            let digests = self.digests();
+            let outputs = self.decisions();
+            let crashed: Vec<bool> =
+                self.harnesses.iter().map(ProcessorHarness::is_crashed).collect();
+            let view = SystemView {
+                config: self.cfg,
+                time: self.window_index,
+                digests: &digests,
+                outputs: &outputs,
+                crashed: &crashed,
+                buffer: &self.buffer,
+            };
+            let window = adversary.next_window(&view);
+            if let Err(err) = window.validate(&self.cfg) {
+                panic!(
+                    "adversary {:?} produced an invalid window at index {}: {err}",
+                    adversary.name(),
+                    self.window_index
+                );
+            }
+            window
+        };
+        self.trace.push(TraceEvent::WindowStarted {
+            index: self.window_index,
+        });
+
+        self.apply_window(&window);
+        self.window_index += 1;
+        self.record_decision_progress();
+    }
+
+    fn apply_window(&mut self, window: &Window) {
+        // Receiving phase: deliver, per recipient, the messages just sent by
+        // the senders in S_i, processing each one immediately.
+        for recipient in ProcessorId::all(self.cfg.n()) {
+            let before = self.harnesses[recipient.index()].decision();
+            for &sender in window.delivery_set(recipient.index()) {
+                let payloads = self.buffer.drain_channel(sender, recipient);
+                for payload in payloads {
+                    self.trace.push(TraceEvent::Delivered {
+                        from: sender,
+                        to: recipient,
+                    });
+                    self.harnesses[recipient.index()].deliver(sender, &payload);
+                }
+            }
+            let after = self.harnesses[recipient.index()].decision();
+            if before.is_none() {
+                if let Some(value) = after {
+                    self.trace.push(TraceEvent::Decided {
+                        id: recipient,
+                        value,
+                        at: self.window_index,
+                    });
+                }
+            }
+        }
+
+        // Resetting phase.
+        for &id in window.resets() {
+            self.harnesses[id.index()].reset();
+            self.resets_performed += 1;
+            self.trace.push(TraceEvent::Reset { id });
+        }
+    }
+
+    fn record_decision_progress(&mut self) {
+        if self.first_decision_at.is_none() && self.harnesses.iter().any(|h| h.decision().is_some())
+        {
+            self.first_decision_at = Some(self.window_index);
+        }
+        if self.all_decided_at.is_none() && self.all_decided() {
+            self.all_decided_at = Some(self.window_index);
+        }
+    }
+
+    /// Runs windows chosen by `adversary` until every processor has decided or
+    /// `limits.max_windows` windows have elapsed, and reports the outcome.
+    pub fn run(&mut self, adversary: &mut dyn WindowAdversary, limits: RunLimits) -> RunOutcome {
+        self.ensure_started();
+        self.record_decision_progress();
+        while !self.all_decided() && self.window_index < limits.max_windows {
+            self.step_window(adversary);
+        }
+        self.outcome()
+    }
+
+    /// Produces the outcome snapshot of the execution so far.
+    pub fn outcome(&self) -> RunOutcome {
+        let violations: Vec<String> = self
+            .harnesses
+            .iter()
+            .flat_map(|h| h.violations().iter().cloned())
+            .chain(self.validity_violations())
+            .collect();
+        RunOutcome {
+            decisions: self.decisions(),
+            crashed: self.harnesses.iter().map(ProcessorHarness::is_crashed).collect(),
+            duration: self.window_index,
+            first_decision_at: self.first_decision_at,
+            all_decided_at: self.all_decided_at,
+            violations,
+            messages_sent: self.buffer.enqueued_count(),
+            messages_delivered: self.buffer.delivered_count(),
+            resets_performed: self.resets_performed,
+            crashes_performed: 0,
+            longest_chain: self.first_decision_at.unwrap_or(0),
+            halted_by_adversary: false,
+            trace: self.trace.clone(),
+        }
+    }
+
+    fn validity_violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if let Some(unanimous) = self.inputs.unanimous_value() {
+            for harness in &self.harnesses {
+                if let Some(decided) = harness.decision() {
+                    if decided != unanimous {
+                        violations.push(format!(
+                            "{} decided {decided} although every input is {unanimous}",
+                            harness.id()
+                        ));
+                    }
+                }
+            }
+        }
+        let mut decided_values = self.harnesses.iter().filter_map(ProcessorHarness::decision);
+        if let Some(first) = decided_values.next() {
+            if decided_values.any(|other| other != first) {
+                violations.push("processors decided conflicting values".to_string());
+            }
+        }
+        violations
+    }
+}
+
+/// Convenience: build an engine, run it against `adversary`, return the outcome.
+pub fn run_windowed(
+    cfg: SystemConfig,
+    inputs: InputAssignment,
+    builder: &dyn ProtocolBuilder,
+    adversary: &mut dyn WindowAdversary,
+    master_seed: u64,
+    limits: RunLimits,
+) -> RunOutcome {
+    let mut engine = WindowEngine::new(cfg, inputs, builder, master_seed);
+    engine.run(adversary, limits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::FullDeliveryAdversary;
+    use agreement_model::{Context, Payload, Protocol, StateDigest};
+
+    /// A toy protocol that decides once it has heard reports from everyone:
+    /// it decides the majority value (ties -> One). One window suffices under
+    /// full delivery.
+    #[derive(Debug)]
+    struct MajorityOnce {
+        input: Bit,
+        zeros: usize,
+        ones: usize,
+        n: usize,
+    }
+
+    impl Protocol for MajorityOnce {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            ctx.broadcast(Payload::Report {
+                round: 1,
+                value: self.input,
+            });
+        }
+
+        fn on_message(&mut self, _from: ProcessorId, payload: &Payload, ctx: &mut dyn Context) {
+            if let Payload::Report { round: 1, value } = payload {
+                match value {
+                    Bit::Zero => self.zeros += 1,
+                    Bit::One => self.ones += 1,
+                }
+                if self.zeros + self.ones == self.n {
+                    let decision = if self.ones >= self.zeros { Bit::One } else { Bit::Zero };
+                    ctx.decide(decision);
+                }
+            }
+        }
+
+        fn digest(&self) -> StateDigest {
+            StateDigest::initial(self.input)
+        }
+    }
+
+    #[derive(Debug)]
+    struct MajorityBuilder;
+
+    impl ProtocolBuilder for MajorityBuilder {
+        fn name(&self) -> &'static str {
+            "majority-once"
+        }
+
+        fn build(&self, _id: ProcessorId, input: Bit, cfg: &SystemConfig) -> Box<dyn Protocol> {
+            Box::new(MajorityOnce {
+                input,
+                zeros: 0,
+                ones: 0,
+                n: cfg.n(),
+            })
+        }
+    }
+
+    #[test]
+    fn full_delivery_run_decides_in_one_window() {
+        let cfg = SystemConfig::new(5, 0).unwrap();
+        let inputs = InputAssignment::unanimous(5, Bit::One);
+        let outcome = run_windowed(
+            cfg,
+            inputs.clone(),
+            &MajorityBuilder,
+            &mut FullDeliveryAdversary,
+            3,
+            RunLimits::small(),
+        );
+        assert!(outcome.all_correct_decided());
+        assert_eq!(outcome.decided_value(), Some(Bit::One));
+        assert_eq!(outcome.duration, 1);
+        assert_eq!(outcome.first_decision_at, Some(1));
+        assert_eq!(outcome.all_decided_at, Some(1));
+        assert!(outcome.is_correct(&inputs));
+        // Every processor broadcast to all n processors exactly once.
+        assert_eq!(outcome.messages_sent, 25);
+        assert_eq!(outcome.messages_delivered, 25);
+        assert_eq!(outcome.resets_performed, 0);
+    }
+
+    #[test]
+    fn majority_of_split_inputs_decides_some_input_value() {
+        let cfg = SystemConfig::new(6, 0).unwrap();
+        let inputs = InputAssignment::split_at(6, 2); // 2 zeros, 4 ones
+        let outcome = run_windowed(
+            cfg,
+            inputs.clone(),
+            &MajorityBuilder,
+            &mut FullDeliveryAdversary,
+            11,
+            RunLimits::small(),
+        );
+        assert_eq!(outcome.decided_value(), Some(Bit::One));
+        assert!(outcome.validity_holds(&inputs));
+    }
+
+    #[test]
+    fn run_respects_window_limit_when_protocol_cannot_decide() {
+        /// A protocol that never decides.
+        #[derive(Debug)]
+        struct Silent;
+        impl Protocol for Silent {
+            fn on_start(&mut self, _ctx: &mut dyn Context) {}
+            fn on_message(&mut self, _f: ProcessorId, _p: &Payload, _c: &mut dyn Context) {}
+            fn digest(&self) -> StateDigest {
+                StateDigest::initial(Bit::Zero)
+            }
+        }
+        #[derive(Debug)]
+        struct SilentBuilder;
+        impl ProtocolBuilder for SilentBuilder {
+            fn name(&self) -> &'static str {
+                "silent"
+            }
+            fn build(&self, _i: ProcessorId, _b: Bit, _c: &SystemConfig) -> Box<dyn Protocol> {
+                Box::new(Silent)
+            }
+        }
+        let cfg = SystemConfig::new(4, 0).unwrap();
+        let inputs = InputAssignment::unanimous(4, Bit::Zero);
+        let outcome = run_windowed(
+            cfg,
+            inputs,
+            &SilentBuilder,
+            &mut FullDeliveryAdversary,
+            5,
+            RunLimits::windows(17),
+        );
+        assert!(!outcome.any_decided());
+        assert_eq!(outcome.duration, 17);
+        assert!(outcome.agreement_holds(), "no decisions is trivially agreeing");
+    }
+
+    #[test]
+    fn window_adversary_with_resets_erases_state() {
+        /// Adversary that resets processor 0 every window and delivers from everyone.
+        struct ResetZero;
+        impl WindowAdversary for ResetZero {
+            fn name(&self) -> &'static str {
+                "reset-zero"
+            }
+            fn next_window(&mut self, view: &SystemView<'_>) -> Window {
+                let all: Vec<ProcessorId> = ProcessorId::all(view.n()).collect();
+                Window::uniform(&view.config, vec![ProcessorId::new(0)], all)
+            }
+        }
+        let cfg = SystemConfig::new(6, 1).unwrap();
+        let inputs = InputAssignment::unanimous(6, Bit::Zero);
+        let mut engine = WindowEngine::new(cfg, inputs, &MajorityBuilder, 5);
+        engine.step_window(&mut ResetZero);
+        engine.step_window(&mut ResetZero);
+        let outcome = engine.outcome();
+        assert_eq!(outcome.resets_performed, 2);
+        assert_eq!(outcome.trace.reset_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid window")]
+    fn invalid_adversary_window_panics() {
+        struct Broken;
+        impl WindowAdversary for Broken {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn next_window(&mut self, view: &SystemView<'_>) -> Window {
+                // Delivery sets far too small.
+                Window::uniform(&view.config, vec![], vec![])
+            }
+        }
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let inputs = InputAssignment::unanimous(4, Bit::One);
+        let mut engine = WindowEngine::new(cfg, inputs, &MajorityBuilder, 5);
+        engine.step_window(&mut Broken);
+    }
+
+    #[test]
+    #[should_panic(expected = "input assignment must cover every processor")]
+    fn mismatched_inputs_panic() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let inputs = InputAssignment::unanimous(3, Bit::One);
+        let _ = WindowEngine::new(cfg, inputs, &MajorityBuilder, 5);
+    }
+}

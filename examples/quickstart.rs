@@ -1,0 +1,42 @@
+//! Quickstart: run the paper's reset-tolerant protocol against a strongly
+//! adaptive (resetting) adversary and print what happened.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use agreement::adversary::RotatingResetAdversary;
+use agreement::model::{Bit, InputAssignment, SystemConfig};
+use agreement::protocols::ResetTolerantBuilder;
+use agreement::sim::{run_windowed, RunLimits};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 13 processors, tolerating t < n/6 = 2 resets per acceptable window.
+    let cfg = SystemConfig::with_sixth_resilience(13)?;
+    let builder = ResetTolerantBuilder::recommended(&cfg)?;
+    println!(
+        "n = {}, t = {}, thresholds T1/T2/T3 = {}/{}/{}",
+        cfg.n(),
+        cfg.t(),
+        builder.thresholds().t1(),
+        builder.thresholds().t2(),
+        builder.thresholds().t3()
+    );
+
+    // Unanimous inputs: Theorem 4's validity forces the decision to be 1.
+    let inputs = InputAssignment::unanimous(cfg.n(), Bit::One);
+    let outcome = run_windowed(
+        cfg,
+        inputs.clone(),
+        &builder,
+        &mut RotatingResetAdversary::new(),
+        42,
+        RunLimits::standard(),
+    );
+
+    println!("decided value      : {:?}", outcome.decided_value());
+    println!("windows to decision: {:?}", outcome.all_decided_at);
+    println!("resets performed   : {}", outcome.resets_performed);
+    println!("agreement holds    : {}", outcome.agreement_holds());
+    println!("validity holds     : {}", outcome.validity_holds(&inputs));
+    assert!(outcome.is_correct(&inputs));
+    Ok(())
+}

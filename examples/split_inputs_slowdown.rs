@@ -1,0 +1,61 @@
+//! The headline phenomenon: on adversarially split inputs, the split-vote
+//! (balancing) adversary stretches the reset-tolerant protocol over many
+//! acceptable windows, and the slowdown grows rapidly with n — the behaviour
+//! Theorem 5 proves is unavoidable.
+//!
+//! Run with: `cargo run --release --example split_inputs_slowdown`
+
+use agreement::adversary::SplitVoteAdversary;
+use agreement::analysis::{exponential_fit, Summary};
+use agreement::model::{InputAssignment, SystemConfig};
+use agreement::protocols::ResetTolerantBuilder;
+use agreement::sim::{run_windowed, FullDeliveryAdversary, RunLimits};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trials = 10u64;
+    let mut points = Vec::new();
+    println!("{:>4} {:>4} {:>22} {:>22}", "n", "t", "mean windows (benign)", "mean windows (split-vote)");
+    for n in [7usize, 9, 11, 13, 15] {
+        let cfg = SystemConfig::with_sixth_resilience(n)?;
+        let builder = ResetTolerantBuilder::recommended(&cfg)?;
+        let inputs = InputAssignment::evenly_split(n);
+        let mut benign = Vec::new();
+        let mut adversarial = Vec::new();
+        for seed in 0..trials {
+            let fair = run_windowed(
+                cfg,
+                inputs.clone(),
+                &builder,
+                &mut FullDeliveryAdversary,
+                seed,
+                RunLimits::windows(100_000),
+            );
+            benign.push(fair.all_decided_at.unwrap_or(100_000) as f64);
+            let slow = run_windowed(
+                cfg,
+                inputs.clone(),
+                &builder,
+                &mut SplitVoteAdversary::new(),
+                seed,
+                RunLimits::windows(100_000),
+            );
+            adversarial.push(slow.all_decided_at.unwrap_or(100_000) as f64);
+        }
+        let benign = Summary::from_samples(&benign);
+        let adversarial = Summary::from_samples(&adversarial);
+        println!(
+            "{:>4} {:>4} {:>22.2} {:>22.2}",
+            n,
+            cfg.t(),
+            benign.mean,
+            adversarial.mean
+        );
+        points.push((n as f64, adversarial.mean.max(1.0)));
+    }
+    let fit = exponential_fit(&points);
+    println!(
+        "\nfitted growth under the split-vote adversary: windows ≈ {:.3}·exp({:.3}·n)  (R² = {:.3})",
+        fit.prefactor, fit.rate, fit.r_squared
+    );
+    Ok(())
+}

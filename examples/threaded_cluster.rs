@@ -1,0 +1,40 @@
+//! Run the protocols as a real multi-threaded cluster (one OS thread per
+//! processor, crossbeam channels in between) rather than under the simulator.
+//!
+//! Run with: `cargo run --example threaded_cluster`
+
+use std::time::Duration;
+
+use agreement::model::{Bit, InputAssignment, ProcessorId, SystemConfig};
+use agreement::net::Cluster;
+use agreement::protocols::{BenOrBuilder, ResetTolerantBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SystemConfig::new(9, 1)?;
+    let inputs = InputAssignment::evenly_split(9);
+
+    let outcome = Cluster::new(cfg, inputs.clone(), 7)
+        .deadline(Duration::from_secs(20))
+        .run(&BenOrBuilder::new());
+    println!(
+        "ben-or          : decided {:?} in {:?} (agreement = {})",
+        outcome.decisions.iter().flatten().next(),
+        outcome.elapsed,
+        outcome.agreement_holds()
+    );
+
+    let cfg = SystemConfig::with_sixth_resilience(13)?;
+    let builder = ResetTolerantBuilder::recommended(&cfg)?;
+    let inputs = InputAssignment::unanimous(13, Bit::Zero);
+    let outcome = Cluster::new(cfg, inputs.clone(), 9)
+        .silence(vec![ProcessorId::new(12)])
+        .deadline(Duration::from_secs(20))
+        .run(&builder);
+    println!(
+        "reset-tolerant  : decided {:?} in {:?} with one silenced processor (validity = {})",
+        outcome.decisions.iter().flatten().next(),
+        outcome.elapsed,
+        outcome.validity_holds(&inputs)
+    );
+    Ok(())
+}
