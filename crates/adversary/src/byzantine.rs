@@ -34,7 +34,7 @@ impl EquivocatingAdversary {
 
     /// The equivocated value shown to `recipient`.
     fn lie_for(recipient: ProcessorId) -> Bit {
-        if recipient.index() % 2 == 0 {
+        if recipient.index().is_multiple_of(2) {
             Bit::Zero
         } else {
             Bit::One
@@ -149,8 +149,14 @@ mod tests {
 
     #[test]
     fn lies_alternate_by_recipient_parity() {
-        assert_eq!(EquivocatingAdversary::lie_for(ProcessorId::new(0)), Bit::Zero);
-        assert_eq!(EquivocatingAdversary::lie_for(ProcessorId::new(1)), Bit::One);
+        assert_eq!(
+            EquivocatingAdversary::lie_for(ProcessorId::new(0)),
+            Bit::Zero
+        );
+        assert_eq!(
+            EquivocatingAdversary::lie_for(ProcessorId::new(1)),
+            Bit::One
+        );
     }
 
     #[test]
@@ -172,7 +178,10 @@ mod tests {
             RunLimits::steps(60_000),
         );
         assert!(outcome.agreement_holds(), "Bracha must never disagree");
-        assert!(outcome.validity_holds(&inputs), "Bracha must never invent a value");
+        assert!(
+            outcome.validity_holds(&inputs),
+            "Bracha must never invent a value"
+        );
         assert!(outcome.violations.is_empty());
         assert!(
             outcome.trace.corruption_count() > 0,

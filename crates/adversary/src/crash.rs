@@ -202,10 +202,8 @@ mod tests {
         // from the 5 survivors alone.
         let cfg = SystemConfig::new(7, 2).unwrap();
         let inputs = InputAssignment::unanimous(7, Bit::Zero);
-        let mut adversary = ScheduledCrashAdversary::withholding(vec![
-            ProcessorId::new(5),
-            ProcessorId::new(6),
-        ]);
+        let mut adversary =
+            ScheduledCrashAdversary::withholding(vec![ProcessorId::new(5), ProcessorId::new(6)]);
         let outcome = run_async(
             cfg,
             inputs.clone(),

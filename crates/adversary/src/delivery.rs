@@ -32,10 +32,7 @@ pub fn senders_excluding(n: usize, excluded: &[ProcessorId]) -> Vec<ProcessorId>
 ///
 /// Returns the chosen sender set together with the resulting delivered counts
 /// `(zeros, ones)`.
-pub fn balanced_senders(
-    values: &[Option<Bit>],
-    t: usize,
-) -> (Vec<ProcessorId>, (usize, usize)) {
+pub fn balanced_senders(values: &[Option<Bit>], t: usize) -> (Vec<ProcessorId>, (usize, usize)) {
     let n = values.len();
     let zeros: Vec<usize> = (0..n).filter(|&i| values[i] == Some(Bit::Zero)).collect();
     let ones: Vec<usize> = (0..n).filter(|&i| values[i] == Some(Bit::One)).collect();
@@ -53,7 +50,12 @@ pub fn balanced_senders(
     let excluded: Vec<usize> = majority.iter().copied().take(exclude_count).collect();
 
     let mut senders: Vec<ProcessorId> = Vec::with_capacity(n - exclude_count);
-    senders.extend(majority.iter().skip(exclude_count).map(|&i| ProcessorId::new(i)));
+    senders.extend(
+        majority
+            .iter()
+            .skip(exclude_count)
+            .map(|&i| ProcessorId::new(i)),
+    );
     senders.extend(minority.iter().map(|&i| ProcessorId::new(i)));
     senders.extend(silent.iter().map(|&i| ProcessorId::new(i)));
     senders.sort_unstable();
@@ -83,7 +85,11 @@ mod tests {
         let senders = senders_excluding(5, &excluded);
         assert_eq!(
             senders,
-            vec![ProcessorId::new(0), ProcessorId::new(2), ProcessorId::new(4)]
+            vec![
+                ProcessorId::new(0),
+                ProcessorId::new(2),
+                ProcessorId::new(4)
+            ]
         );
     }
 

@@ -220,7 +220,10 @@ mod tests {
             11,
             RunLimits::steps(2_000_000),
         );
-        assert!(outcome.all_correct_decided(), "Ben-Or terminates with probability one");
+        assert!(
+            outcome.all_correct_decided(),
+            "Ben-Or terminates with probability one"
+        );
         assert!(outcome.is_correct(&inputs));
         assert!(
             outcome.longest_chain > 2,

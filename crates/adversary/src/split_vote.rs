@@ -222,13 +222,19 @@ mod tests {
         );
         assert!(outcome.all_correct_decided());
         assert!(outcome.is_correct(&inputs));
-        assert!(outcome.resets_performed > 0, "the reset variant should spend resets");
+        assert!(
+            outcome.resets_performed > 0,
+            "the reset variant should spend resets"
+        );
     }
 
     #[test]
     fn adversary_names_distinguish_variants() {
         assert_eq!(SplitVoteAdversary::new().name(), "split-vote");
-        assert_eq!(SplitVoteAdversary::with_resets().name(), "split-vote+resets");
+        assert_eq!(
+            SplitVoteAdversary::with_resets().name(),
+            "split-vote+resets"
+        );
         assert!(SplitVoteAdversary::with_resets().uses_resets());
         assert!(!SplitVoteAdversary::default().uses_resets());
     }

@@ -156,9 +156,8 @@ mod tests {
     #[test]
     fn targeted_reset_produces_valid_windows_even_with_zero_budget() {
         let cfg = SystemConfig::new(5, 0).unwrap();
-        let builder = ResetTolerantBuilder::with_thresholds(agreement_model::Thresholds::new(
-            5, 5, 5,
-        ));
+        let builder =
+            ResetTolerantBuilder::with_thresholds(agreement_model::Thresholds::new(5, 5, 5));
         let inputs = InputAssignment::unanimous(5, Bit::One);
         let outcome = run_windowed(
             cfg,

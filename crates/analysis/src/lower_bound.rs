@@ -22,7 +22,10 @@
 ///
 /// Panics unless `0 < c < 1`.
 pub fn alpha(c: f64) -> f64 {
-    assert!(c > 0.0 && c < 1.0, "the fault fraction c must lie in (0, 1)");
+    assert!(
+        c > 0.0 && c < 1.0,
+        "the fault fraction c must lie in (0, 1)"
+    );
     c * c / 9.0
 }
 
@@ -32,7 +35,10 @@ pub fn alpha(c: f64) -> f64 {
 /// AM–GM over the `n`-dependent terms) at `c/12 - c/4 = -c/6`, so
 /// `C = (1/4)·e^{-c/6}` works for all `n`.
 pub fn paper_constant(c: f64) -> f64 {
-    assert!(c > 0.0 && c < 1.0, "the fault fraction c must lie in (0, 1)");
+    assert!(
+        c > 0.0 && c < 1.0,
+        "the fault fraction c must lie in (0, 1)"
+    );
     0.25 * (-c / 6.0).exp()
 }
 

@@ -30,7 +30,11 @@ impl ProductDistribution {
         assert!(!coordinates.is_empty(), "need at least one coordinate");
         let alphabet = coordinates[0].len();
         for (i, probs) in coordinates.iter().enumerate() {
-            assert_eq!(probs.len(), alphabet, "coordinate {i} uses a different alphabet size");
+            assert_eq!(
+                probs.len(),
+                alphabet,
+                "coordinate {i} uses a different alphabet size"
+            );
             assert!(
                 probs.iter().all(|&p| p >= 0.0),
                 "coordinate {i} has a negative probability"
@@ -71,7 +75,11 @@ impl ProductDistribution {
     ///
     /// Panics if `point` has the wrong dimension or an out-of-alphabet symbol.
     pub fn point_probability(&self, point: &[usize]) -> f64 {
-        assert_eq!(point.len(), self.dimension(), "point has the wrong dimension");
+        assert_eq!(
+            point.len(),
+            self.dimension(),
+            "point has the wrong dimension"
+        );
         point
             .iter()
             .zip(&self.coordinates)

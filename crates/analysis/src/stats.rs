@@ -95,7 +95,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
         .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
         .sum();
     let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     LinearFit {
         slope,
         intercept,

@@ -94,7 +94,9 @@ pub fn worst_case_ratio(
     let mut rng = ProcessorRng::labelled(seed, 0x7A1A);
     let mut worst: f64 = 0.0;
     for _ in 0..sets {
-        let a: Vec<Vec<usize>> = (0..set_size).map(|_| distribution.sample(&mut rng)).collect();
+        let a: Vec<Vec<usize>> = (0..set_size)
+            .map(|_| distribution.sample(&mut rng))
+            .collect();
         for d in 0..=n {
             let check = check_talagrand(distribution, &a, d);
             if check.bound > 0.0 {

@@ -108,7 +108,10 @@ impl MiniResetTolerantKernel {
     ///
     /// Panics if the threshold constraints are violated.
     pub fn new(n: usize, t: usize, decide_threshold: usize, adopt_threshold: usize) -> Self {
-        assert!(decide_threshold >= adopt_threshold, "decide threshold below adopt threshold");
+        assert!(
+            decide_threshold >= adopt_threshold,
+            "decide threshold below adopt threshold"
+        );
         assert!(2 * adopt_threshold > n, "2 * adopt_threshold must exceed n");
         assert!(t < n, "fault budget must be below n");
         MiniResetTolerantKernel {
@@ -258,7 +261,11 @@ impl ZSetAnalysis {
             .map(|mask| {
                 (0..n)
                     .map(|i| {
-                        AbstractState::Undecided(if mask & (1 << i) != 0 { Bit::One } else { Bit::Zero })
+                        AbstractState::Undecided(if mask & (1 << i) != 0 {
+                            Bit::One
+                        } else {
+                            Bit::Zero
+                        })
                     })
                     .collect()
             })
@@ -407,7 +414,7 @@ impl LevelSeparation {
     /// Lemma 13's claim at this level: the separation exceeds `t` (vacuously
     /// true when either set is empty).
     pub fn exceeds(&self, t: usize) -> bool {
-        self.separation.map_or(true, |d| d > t)
+        self.separation.is_none_or(|d| d > t)
     }
 }
 
@@ -423,7 +430,10 @@ mod tests {
     #[test]
     fn abstract_state_accessors() {
         assert_eq!(AbstractState::Undecided(Bit::One).estimate(), Bit::One);
-        assert_eq!(AbstractState::Decided(Bit::Zero).decision(), Some(Bit::Zero));
+        assert_eq!(
+            AbstractState::Decided(Bit::Zero).decision(),
+            Some(Bit::Zero)
+        );
         assert_eq!(AbstractState::Undecided(Bit::Zero).decision(), None);
         assert_eq!(AbstractState::ALL.len(), 4);
     }

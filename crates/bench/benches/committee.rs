@@ -3,38 +3,35 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use agreement_bench::harness::BenchGroup;
 
 use agreement_adversary::NonAdaptiveCrashAdversary;
 use agreement_model::{Bit, InputAssignment, SystemConfig};
 use agreement_protocols::CommitteeBuilder;
 use agreement_sim::{run_async, RunLimits};
 
-fn bench_committee(c: &mut Criterion) {
-    let mut group = c.benchmark_group("committee");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+fn main() {
+    let group = BenchGroup::new("committee")
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for n in [18usize, 30, 60] {
         let t = n / 10;
         let cfg = SystemConfig::new(n, t).unwrap();
         let builder = CommitteeBuilder::random(&cfg, 5, 7);
-        group.bench_with_input(BenchmarkId::new("non_adaptive_run", n), &n, |b, _| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run_async(
-                    cfg,
-                    InputAssignment::unanimous(n, Bit::One),
-                    &builder,
-                    &mut NonAdaptiveCrashAdversary::random(n, t, seed),
-                    seed,
-                    RunLimits::standard(),
-                )
-                .all_decided_at
-            })
+        let mut seed = 0u64;
+        group.bench(format!("non_adaptive_run/{n}"), || {
+            seed += 1;
+            run_async(
+                cfg,
+                InputAssignment::unanimous(n, Bit::One),
+                &builder,
+                &mut NonAdaptiveCrashAdversary::random(n, t, seed),
+                seed,
+                RunLimits::standard(),
+            )
+            .all_decided_at
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_committee);
-criterion_main!(benches);

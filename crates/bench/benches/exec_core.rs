@@ -1,0 +1,123 @@
+//! The unified-core throughput guard.
+//!
+//! Measures window throughput (acceptable windows scheduled per second) of
+//! the shared `ExecutionCore` under both the benign full-delivery adversary
+//! and the rotating-reset adversary, plus asynchronous step throughput, and
+//! compares each number against the baseline recorded in
+//! `crates/bench/baselines/exec_core.json`. A future PR that slows the core
+//! down shows up as a `REGRESSION` line; run with `--record` to refresh the
+//! baseline after an intentional change.
+
+use std::time::Duration;
+
+use agreement_bench::baseline::{baseline_path, Baseline, Verdict};
+use agreement_bench::harness::BenchGroup;
+
+use agreement_adversary::RotatingResetAdversary;
+use agreement_model::{InputAssignment, SystemConfig};
+use agreement_protocols::{BenOrBuilder, ResetTolerantBuilder};
+use agreement_sim::{
+    AsyncScheduler, ExecutionCore, FairAsyncAdversary, FullDeliveryAdversary, Scheduler,
+    WindowScheduler,
+};
+
+/// Fractional slowdown tolerated before a measurement is flagged. Baselines
+/// are recorded on unspecified hardware, so this is deliberately loose: the
+/// guard tracks the trajectory rather than gating merges.
+const TOLERANCE: f64 = 0.6;
+const WINDOWS_PER_ITER: u64 = 50;
+const STEPS_PER_ITER: u64 = 500;
+
+fn drive_windows(
+    mut core: ExecutionCore,
+    mut adversary: impl agreement_sim::WindowAdversary,
+) -> u64 {
+    let mut scheduler = WindowScheduler::new(&mut adversary);
+    for _ in 0..WINDOWS_PER_ITER {
+        scheduler.step(&mut core);
+    }
+    core.time()
+}
+
+fn window_throughput(n: usize, benign: bool) -> f64 {
+    let cfg = SystemConfig::with_sixth_resilience(n).unwrap();
+    let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+    let group = BenchGroup::new("exec_core")
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
+    let label = if benign {
+        "full_delivery"
+    } else {
+        "rotating_reset"
+    };
+    let stats = group.bench(format!("windows/{label}/{n}"), || {
+        let core = ExecutionCore::new(cfg, InputAssignment::evenly_split(n), &builder, 1);
+        if benign {
+            drive_windows(core, FullDeliveryAdversary)
+        } else {
+            drive_windows(core, RotatingResetAdversary::new())
+        }
+    });
+    stats.throughput() * WINDOWS_PER_ITER as f64
+}
+
+fn async_throughput(n: usize) -> f64 {
+    let cfg = SystemConfig::new(n, 1).unwrap();
+    let builder = BenOrBuilder::new();
+    let group = BenchGroup::new("exec_core")
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
+    let stats = group.bench(format!("async_steps/fair/{n}"), || {
+        let mut core = ExecutionCore::new(cfg, InputAssignment::evenly_split(n), &builder, 1);
+        let mut adversary = FairAsyncAdversary::default();
+        let mut scheduler = AsyncScheduler::new(&mut adversary);
+        scheduler.on_start(&mut core);
+        for _ in 0..STEPS_PER_ITER {
+            if !scheduler.step(&mut core) {
+                break;
+            }
+        }
+        core.time()
+    });
+    stats.throughput() * STEPS_PER_ITER as f64
+}
+
+fn main() {
+    let record = std::env::args().any(|a| a == "--record");
+    let path = baseline_path("exec_core");
+    let baseline = Baseline::load(&path).unwrap_or_else(|err| {
+        eprintln!("warning: could not load baseline ({err}); continuing without");
+        Baseline::new()
+    });
+
+    let mut measured = Baseline::new();
+    measured.set("windows/full_delivery/13", window_throughput(13, true));
+    measured.set("windows/full_delivery/25", window_throughput(25, true));
+    measured.set("windows/rotating_reset/13", window_throughput(13, false));
+    measured.set("async_steps/fair/8", async_throughput(8));
+
+    println!("\n== exec_core throughput vs recorded baseline ==");
+    let mut regressions = 0;
+    for (name, throughput) in measured.iter() {
+        let verdict = baseline.check(name, throughput, TOLERANCE);
+        if matches!(verdict, Verdict::Regression { .. }) {
+            regressions += 1;
+        }
+        println!("{name:<32} {throughput:>14.1}/s  {verdict}");
+    }
+
+    if record {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create baselines dir");
+        std::fs::write(&path, measured.to_json()).expect("write baseline");
+        println!("recorded new baseline at {}", path.display());
+    } else if regressions > 0 {
+        println!(
+            "{regressions} measurement(s) regressed beyond the {TOLERANCE} tolerance; \
+             investigate before merging (or re-record with --record if intentional)"
+        );
+    } else {
+        println!("no regressions beyond the {TOLERANCE} tolerance");
+    }
+}

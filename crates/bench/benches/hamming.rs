@@ -3,33 +3,32 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use agreement_bench::harness::BenchGroup;
 
-use agreement_analysis::{
-    distance_between_sets, tau, MiniResetTolerantKernel, ZSetAnalysis,
-};
+use agreement_analysis::{distance_between_sets, tau, MiniResetTolerantKernel, ZSetAnalysis};
 use agreement_model::ProcessorRng;
 
-fn bench_hamming(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hamming");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+fn main() {
+    let group = BenchGroup::new("hamming")
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     let mut rng = ProcessorRng::from_seed(1);
     for size in [64usize, 256] {
-        let a: Vec<Vec<u8>> = (0..size).map(|_| (0..32).map(|_| rng.range(2) as u8).collect()).collect();
-        let b: Vec<Vec<u8>> = (0..size).map(|_| (0..32).map(|_| rng.range(2) as u8).collect()).collect();
-        group.bench_with_input(BenchmarkId::new("set_to_set_distance", size), &size, |bch, _| {
-            bch.iter(|| distance_between_sets(&a, &b))
+        let a: Vec<Vec<u8>> = (0..size)
+            .map(|_| (0..32).map(|_| rng.range(2) as u8).collect())
+            .collect();
+        let b: Vec<Vec<u8>> = (0..size)
+            .map(|_| (0..32).map(|_| rng.range(2) as u8).collect())
+            .collect();
+        group.bench(format!("set_to_set_distance/{size}"), || {
+            distance_between_sets(&a, &b)
         });
     }
-    group.bench_function("zset_profile_n4", |b| {
-        let kernel = MiniResetTolerantKernel::new(4, 1, 4, 3);
-        b.iter(|| {
-            let analysis = ZSetAnalysis::new(&kernel, tau(4, 1));
-            analysis.separation_profile(&kernel, 2).len()
-        })
+    let kernel = MiniResetTolerantKernel::new(4, 1, 4, 3);
+    group.bench("zset_profile_n4", || {
+        let analysis = ZSetAnalysis::new(&kernel, tau(4, 1));
+        analysis.separation_profile(&kernel, 2).len()
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_hamming);
-criterion_main!(benches);

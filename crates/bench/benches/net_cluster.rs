@@ -3,28 +3,25 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use agreement_bench::harness::BenchGroup;
 
 use agreement_model::{Bit, InputAssignment, SystemConfig};
 use agreement_net::Cluster;
 use agreement_protocols::BenOrBuilder;
 
-fn bench_cluster(c: &mut Criterion) {
-    let mut group = c.benchmark_group("net_cluster");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+fn main() {
+    let group = BenchGroup::new("net_cluster")
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
     for n in [4usize, 8] {
         let cfg = SystemConfig::new(n, n / 4).unwrap();
-        group.bench_with_input(BenchmarkId::new("ben_or_unanimous", n), &n, |b, _| {
-            b.iter(|| {
-                Cluster::new(cfg, InputAssignment::unanimous(n, Bit::One), 7)
-                    .deadline(Duration::from_secs(10))
-                    .run(&BenOrBuilder::new())
-                    .elapsed
-            })
+        group.bench(format!("ben_or_unanimous/{n}"), || {
+            Cluster::new(cfg, InputAssignment::unanimous(n, Bit::One), 7)
+                .deadline(Duration::from_secs(10))
+                .run(&BenOrBuilder::new())
+                .elapsed
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_cluster);
-criterion_main!(benches);

@@ -3,33 +3,30 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use agreement_bench::harness::BenchGroup;
 
 use agreement_model::{Bit, InputAssignment, SystemConfig};
 use agreement_protocols::BrachaBuilder;
 use agreement_sim::{run_async, FairAsyncAdversary, RunLimits};
 
-fn bench_bracha(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reliable_broadcast");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+fn main() {
+    let group = BenchGroup::new("reliable_broadcast")
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for n in [4usize, 7, 10] {
         let cfg = SystemConfig::with_third_resilience(n).unwrap();
-        group.bench_with_input(BenchmarkId::new("bracha_unanimous_run", n), &n, |b, _| {
-            b.iter(|| {
-                run_async(
-                    cfg,
-                    InputAssignment::unanimous(n, Bit::One),
-                    &BrachaBuilder::new(),
-                    &mut FairAsyncAdversary::default(),
-                    3,
-                    RunLimits::steps(2_000_000),
-                )
-                .all_decided_at
-            })
+        group.bench(format!("bracha_unanimous_run/{n}"), || {
+            run_async(
+                cfg,
+                InputAssignment::unanimous(n, Bit::One),
+                &BrachaBuilder::new(),
+                &mut FairAsyncAdversary::default(),
+                3,
+                RunLimits::steps(2_000_000),
+            )
+            .all_decided_at
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_bracha);
-criterion_main!(benches);

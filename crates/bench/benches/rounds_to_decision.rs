@@ -3,37 +3,34 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use agreement_bench::harness::BenchGroup;
 
 use agreement_adversary::SplitVoteAdversary;
 use agreement_model::{InputAssignment, SystemConfig};
 use agreement_protocols::ResetTolerantBuilder;
 use agreement_sim::{run_windowed, RunLimits};
 
-fn bench_rounds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rounds_to_decision");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+fn main() {
+    let group = BenchGroup::new("rounds_to_decision")
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for n in [7usize, 9, 11] {
         let cfg = SystemConfig::with_sixth_resilience(n).unwrap();
         let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
-        group.bench_with_input(BenchmarkId::new("split_vote_split_inputs", n), &n, |b, _| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run_windowed(
-                    cfg,
-                    InputAssignment::evenly_split(n),
-                    &builder,
-                    &mut SplitVoteAdversary::new(),
-                    seed,
-                    RunLimits::windows(100_000),
-                )
-                .all_decided_at
-            })
+        let mut seed = 0u64;
+        group.bench(format!("split_vote_split_inputs/{n}"), || {
+            seed += 1;
+            run_windowed(
+                cfg,
+                InputAssignment::evenly_split(n),
+                &builder,
+                &mut SplitVoteAdversary::new(),
+                seed,
+                RunLimits::windows(100_000),
+            )
+            .all_decided_at
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_rounds);
-criterion_main!(benches);

@@ -2,21 +2,20 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use agreement_bench::harness::BenchGroup;
 
 use agreement_analysis::{worst_case_ratio, ProductDistribution};
 
-fn bench_talagrand(c: &mut Criterion) {
-    let mut group = c.benchmark_group("talagrand");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+fn main() {
+    let group = BenchGroup::new("talagrand")
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for n in [8usize, 10, 12] {
         let distribution = ProductDistribution::uniform_bits(n);
-        group.bench_with_input(BenchmarkId::new("worst_case_ratio", n), &n, |b, _| {
-            b.iter(|| worst_case_ratio(&distribution, 3, 4, 7))
+        group.bench(format!("worst_case_ratio/{n}"), || {
+            worst_case_ratio(&distribution, 3, 4, 7)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_talagrand);
-criterion_main!(benches);

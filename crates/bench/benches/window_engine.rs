@@ -4,43 +4,37 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use agreement_bench::harness::BenchGroup;
 
 use agreement_adversary::RotatingResetAdversary;
 use agreement_model::{Bit, InputAssignment, SystemConfig};
 use agreement_protocols::ResetTolerantBuilder;
 use agreement_sim::{run_windowed, RunLimits, WindowEngine};
 
-fn bench_window_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("window_engine");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+fn main() {
+    let group = BenchGroup::new("window_engine")
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for n in [13usize, 25, 49] {
         let cfg = SystemConfig::with_sixth_resilience(n).unwrap();
         let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
-        group.bench_with_input(BenchmarkId::new("single_window", n), &n, |b, _| {
-            b.iter(|| {
-                let mut engine =
-                    WindowEngine::new(cfg, InputAssignment::evenly_split(n), &builder, 1);
-                engine.step_window(&mut RotatingResetAdversary::new());
-                engine.windows_elapsed()
-            })
+        group.bench(format!("single_window/{n}"), || {
+            let mut engine = WindowEngine::new(cfg, InputAssignment::evenly_split(n), &builder, 1);
+            engine.step_window(&mut RotatingResetAdversary::new());
+            engine.windows_elapsed()
         });
-        group.bench_with_input(BenchmarkId::new("run_to_decision_unanimous", n), &n, |b, _| {
-            b.iter(|| {
-                run_windowed(
-                    cfg,
-                    InputAssignment::unanimous(n, Bit::One),
-                    &builder,
-                    &mut RotatingResetAdversary::new(),
-                    7,
-                    RunLimits::small(),
-                )
-                .all_decided_at
-            })
+        group.bench(format!("run_to_decision_unanimous/{n}"), || {
+            run_windowed(
+                cfg,
+                InputAssignment::unanimous(n, Bit::One),
+                &builder,
+                &mut RotatingResetAdversary::new(),
+                7,
+                RunLimits::small(),
+            )
+            .all_decided_at
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_window_engine);
-criterion_main!(benches);

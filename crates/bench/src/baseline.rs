@@ -1,0 +1,202 @@
+//! Recorded performance baselines and the regression guard.
+//!
+//! A baseline is a flat JSON object mapping benchmark names to throughput
+//! numbers (iterations per second), recorded in the repository under
+//! `crates/bench/baselines/`. The `exec_core` bench measures the unified
+//! execution core's window throughput and compares it against the recorded
+//! numbers so the perf trajectory of future PRs is visible. The parser below
+//! handles exactly that flat shape — the environment is offline, so no JSON
+//! crate is available.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// A recorded name → throughput (iterations/second) baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    entries: BTreeMap<String, f64>,
+}
+
+/// How a measurement compares against its recorded baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// No baseline recorded for this benchmark.
+    Unrecorded,
+    /// Within `tolerance` of the recorded number (or faster).
+    Ok {
+        /// measured / recorded throughput.
+        ratio: f64,
+    },
+    /// Slower than the recorded number by more than `tolerance`.
+    Regression {
+        /// measured / recorded throughput.
+        ratio: f64,
+    },
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Unrecorded => write!(f, "no baseline recorded"),
+            Verdict::Ok { ratio } => write!(f, "ok ({:.2}x baseline)", ratio),
+            Verdict::Regression { ratio } => write!(f, "REGRESSION ({:.2}x baseline)", ratio),
+        }
+    }
+}
+
+impl Baseline {
+    /// Creates an empty baseline.
+    pub fn new() -> Self {
+        Baseline::default()
+    }
+
+    /// Records `throughput` for `name`.
+    pub fn set(&mut self, name: impl Into<String>, throughput: f64) {
+        self.entries.insert(name.into(), throughput);
+    }
+
+    /// The recorded throughput for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries.get(name).copied()
+    }
+
+    /// Iterates over `(name, throughput)` entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Compares a measured throughput against the recorded one.
+    ///
+    /// `tolerance` is the allowed fractional slowdown (e.g. `0.5` tolerates
+    /// running at half the recorded speed — baselines are recorded on
+    /// unspecified hardware, so the guard is a trend indicator, not a gate).
+    pub fn check(&self, name: &str, measured: f64, tolerance: f64) -> Verdict {
+        match self.get(name) {
+            None => Verdict::Unrecorded,
+            Some(recorded) if recorded <= 0.0 => Verdict::Unrecorded,
+            Some(recorded) => {
+                let ratio = measured / recorded;
+                if ratio + tolerance >= 1.0 {
+                    Verdict::Ok { ratio }
+                } else {
+                    Verdict::Regression { ratio }
+                }
+            }
+        }
+    }
+
+    /// Parses the flat `{"name": number, ...}` JSON shape the baselines use.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn parse(json: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        let body = json.trim();
+        let body = body
+            .strip_prefix('{')
+            .and_then(|b| b.strip_suffix('}'))
+            .ok_or_else(|| "baseline JSON must be a single object".to_string())?;
+        for pair in body.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("malformed entry: {pair:?}"))?;
+            let key = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| format!("key must be a JSON string: {key:?}"))?;
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("value must be a number: {value:?}"))?;
+            entries.insert(key.to_string(), value);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders the baseline back to its JSON shape.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v:.3}"))
+            .collect();
+        format!("{{\n{}\n}}\n", body.join(",\n"))
+    }
+
+    /// Loads a baseline file; a missing file yields an empty baseline so
+    /// benches still run before any numbers have been recorded.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the file exists but cannot be read or parsed.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return Ok(Baseline::default());
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Baseline::parse(&text)
+    }
+}
+
+/// Path to a named baseline file, anchored at this crate's source tree so
+/// `cargo bench` finds it regardless of the working directory.
+pub fn baseline_path(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("baselines")
+        .join(format!("{name}.json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        let json = "{\n  \"a\": 10.500,\n  \"b\": 2.000\n}\n";
+        let baseline = Baseline::parse(json).unwrap();
+        assert_eq!(baseline.get("a"), Some(10.5));
+        assert_eq!(baseline.get("b"), Some(2.0));
+        assert_eq!(Baseline::parse(&baseline.to_json()).unwrap(), baseline);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Baseline::parse("[1, 2]").is_err());
+        assert!(Baseline::parse("{\"a\" 1}").is_err());
+        assert!(Baseline::parse("{\"a\": x}").is_err());
+        assert!(Baseline::parse("{a: 1}").is_err());
+    }
+
+    #[test]
+    fn empty_object_is_empty_baseline() {
+        let baseline = Baseline::parse("{}").unwrap();
+        assert_eq!(baseline.iter().count(), 0);
+    }
+
+    #[test]
+    fn check_classifies_measurements() {
+        let mut baseline = Baseline::new();
+        baseline.set("x", 100.0);
+        assert_eq!(baseline.check("x", 120.0, 0.5), Verdict::Ok { ratio: 1.2 });
+        assert_eq!(baseline.check("x", 60.0, 0.5), Verdict::Ok { ratio: 0.6 });
+        assert!(matches!(
+            baseline.check("x", 40.0, 0.5),
+            Verdict::Regression { .. }
+        ));
+        assert_eq!(baseline.check("y", 40.0, 0.5), Verdict::Unrecorded);
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let baseline = Baseline::load("/nonexistent/path.json").unwrap();
+        assert_eq!(baseline.iter().count(), 0);
+    }
+}

@@ -14,9 +14,7 @@ use agreement_analysis::{
     exponential_fit, success_probability, tau, window_bound, worst_case_ratio,
     MiniResetTolerantKernel, ProductDistribution, ZSetAnalysis,
 };
-use agreement_model::{
-    Bit, InputAssignment, Payload, ProcessorId, SystemConfig, Thresholds,
-};
+use agreement_model::{Bit, InputAssignment, Payload, ProcessorId, SystemConfig, Thresholds};
 use agreement_protocols::{BenOrBuilder, CommitteeBuilder, ResetTolerantBuilder};
 use agreement_sim::{RunLimits, SystemView, Window, WindowAdversary};
 
@@ -52,8 +50,15 @@ pub fn exp1_correctness(scale: Scale) -> Table {
          adversaries; agreement/validity must be 100% and termination must be reached within \
          the window cap.",
         vec![
-            "n", "t", "inputs", "adversary", "agreement", "validity", "termination",
-            "mean windows", "mean resets",
+            "n",
+            "t",
+            "inputs",
+            "adversary",
+            "agreement",
+            "validity",
+            "termination",
+            "mean windows",
+            "mean resets",
         ],
     );
     for &n in sizes {
@@ -126,7 +131,14 @@ pub fn exp2_exponential_runtime(scale: Scale) -> Table {
             fit.r_squared,
             (1.0f64 / 6.0).powi(2) / 9.0
         ),
-        vec!["n", "t", "trials", "mean windows", "max windows", "termination"],
+        vec![
+            "n",
+            "t",
+            "trials",
+            "mean windows",
+            "max windows",
+            "termination",
+        ],
     );
     for row in rows {
         table.push_row(row);
@@ -146,8 +158,11 @@ pub fn exp3_talagrand(scale: Scale) -> Table {
     );
     for &n in dims {
         let uniform = ProductDistribution::uniform_bits(n);
-        let biased =
-            ProductDistribution::biased_bits(&(0..n).map(|i| 0.2 + 0.6 * (i % 2) as f64).collect::<Vec<_>>());
+        let biased = ProductDistribution::biased_bits(
+            &(0..n)
+                .map(|i| 0.2 + 0.6 * (i % 2) as f64)
+                .collect::<Vec<_>>(),
+        );
         for (label, distribution) in [("uniform", uniform), ("biased", biased)] {
             let worst = worst_case_ratio(&distribution, sets, 4, 7 + n as u64);
             table.push_row(vec![
@@ -186,9 +201,7 @@ pub fn exp4_zset_separation(scale: Scale) -> Table {
                 level.level.to_string(),
                 level.size_zero.to_string(),
                 level.size_one.to_string(),
-                level
-                    .separation
-                    .map_or("-".to_string(), |d| d.to_string()),
+                level.separation.map_or("-".to_string(), |d| d.to_string()),
                 level.exceeds(t).to_string(),
             ]);
         }
@@ -209,7 +222,12 @@ pub fn exp5_lower_bound(scale: Scale) -> Table {
          the split-vote adversary (a concrete strongly adaptive strategy) on split inputs — it \
          must dominate the envelope, and does by a wide margin at these sizes.",
         vec![
-            "n", "t", "E (bound)", "P bound", "measured mean windows", "measured ≥ E",
+            "n",
+            "t",
+            "E (bound)",
+            "P bound",
+            "measured mean windows",
+            "measured ≥ E",
         ],
     );
     for &n in sizes {
@@ -224,7 +242,11 @@ pub fn exp5_lower_bound(scale: Scale) -> Table {
             let aggregate = run_window_trials(&plan, &builder, SplitVoteAdversary::new);
             (
                 fmt_f64(aggregate.decision_time.mean),
-                fmt_rate(if aggregate.decision_time.min >= bound { 1.0 } else { 0.0 }),
+                fmt_rate(if aggregate.decision_time.min >= bound {
+                    1.0
+                } else {
+                    0.0
+                }),
             )
         } else {
             ("(not simulated)".to_string(), "-".to_string())
@@ -254,8 +276,9 @@ pub fn exp6_crash_chains(scale: Scale) -> Table {
         let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(n))
             .trials(trials)
             .limits(RunLimits::steps(scale.pick(2_000_000, 20_000_000)));
-        let aggregate =
-            run_async_trials(&plan, &BenOrBuilder::new(), |_| LockstepBalancingAdversary::new());
+        let aggregate = run_async_trials(&plan, &BenOrBuilder::new(), |_| {
+            LockstepBalancingAdversary::new()
+        });
         points.push((n as f64, aggregate.chain_length.mean.max(1.0)));
         rows.push(vec![
             n.to_string(),
@@ -275,7 +298,14 @@ pub fn exp6_crash_chains(scale: Scale) -> Table {
              Fitted growth: chain ≈ {:.3}·exp({:.3}·n), R² = {:.3}.",
             fit.prefactor, fit.rate, fit.r_squared
         ),
-        vec!["n", "t", "mean chain", "max chain", "termination", "agreement"],
+        vec![
+            "n",
+            "t",
+            "mean chain",
+            "max chain",
+            "termination",
+            "agreement",
+        ],
     );
     for row in rows {
         table.push_row(row);
@@ -302,15 +332,21 @@ pub fn exp7_committee_vs_adaptive(scale: Scale) -> Table {
          adversary but stalls when the adversary adaptively silences the (public) committee; \
          quorum-based Ben-Or survives the same adaptive budget.",
         vec![
-            "protocol", "adversary", "termination", "agreement", "validity", "mean chain",
+            "protocol",
+            "adversary",
+            "termination",
+            "agreement",
+            "validity",
+            "mean chain",
         ],
     );
     let plan = TrialPlan::new(cfg, inputs.clone())
         .trials(trials)
         .limits(RunLimits::steps(500_000));
 
-    let non_adaptive =
-        run_async_trials(&plan, &committee, |seed| NonAdaptiveCrashAdversary::random(n, t, seed));
+    let non_adaptive = run_async_trials(&plan, &committee, |seed| {
+        NonAdaptiveCrashAdversary::random(n, t, seed)
+    });
     table.push_row(vec![
         "committee".to_string(),
         "non-adaptive crash".to_string(),
@@ -421,7 +457,11 @@ pub fn exp8_threshold_sensitivity(scale: Scale) -> Table {
          thresholds keep agreement and validity at 100%; each broken constraint opens the door \
          to disagreement (agreement < 100%).",
         vec![
-            "thresholds", "satisfies Theorem 4", "agreement", "validity", "termination",
+            "thresholds",
+            "satisfies Theorem 4",
+            "agreement",
+            "validity",
+            "termination",
         ],
     );
     for (label, thresholds) in settings {
@@ -451,10 +491,19 @@ pub fn exp9_reset_budget(scale: Scale) -> Table {
         "E9: ablation — per-window reset budget vs feasibility and speed",
         "Reset-tolerant protocol on split inputs under the split-vote+resets adversary. Valid \
          Theorem 4 thresholds exist only for t < n/6; beyond that the row is marked infeasible.",
-        vec!["n", "t", "thresholds exist", "termination", "agreement", "mean windows"],
+        vec![
+            "n",
+            "t",
+            "thresholds exist",
+            "termination",
+            "agreement",
+            "mean windows",
+        ],
     );
     for t in budgets {
-        let Ok(cfg) = SystemConfig::new(n, t) else { continue };
+        let Ok(cfg) = SystemConfig::new(n, t) else {
+            continue;
+        };
         match ResetTolerantBuilder::recommended(&cfg) {
             Ok(builder) => {
                 let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(n))
@@ -551,7 +600,11 @@ mod tests {
     fn exp8_quick_valid_thresholds_agree_broken_t2_disagrees() {
         let table = exp8_threshold_sensitivity(Scale::Quick);
         assert_eq!(table.cell(0, 1), Some("true"));
-        assert_eq!(rate(table.cell(0, 2).unwrap()), 1.0, "valid thresholds must agree");
+        assert_eq!(
+            rate(table.cell(0, 2).unwrap()),
+            1.0,
+            "valid thresholds must agree"
+        );
         assert_eq!(table.cell(1, 1), Some("false"));
         assert!(
             rate(table.cell(1, 2).unwrap()) < 1.0,

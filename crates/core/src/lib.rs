@@ -4,10 +4,10 @@
 //!
 //! This crate ties the workspace together:
 //!
-//! * [`TrialPlan`], [`run_window_trials`], [`run_async_trials`] and
-//!   [`Aggregate`] — run a protocol against an adversary over many seeded
-//!   trials and aggregate agreement/validity/termination rates and
-//!   running-time summaries.
+//! * [`TrialPlan`], [`Campaign`], [`run_window_trials`], [`run_async_trials`]
+//!   and [`Aggregate`] — run a protocol against an adversary over many seeded
+//!   trials, fanned out across all cores with deterministic (thread-count
+//!   independent) aggregation.
 //! * [`experiments`] — the per-claim experiments E1–E9 indexed in DESIGN.md
 //!   and recorded in EXPERIMENTS.md, each returning a [`Table`].
 //! * [`Table`] — plain-text result tables (what the `agreement-bench`
@@ -31,4 +31,4 @@ mod report;
 mod runner;
 
 pub use report::{fmt_f64, fmt_rate, Table};
-pub use runner::{run_async_trials, run_window_trials, Aggregate, TrialPlan};
+pub use runner::{run_async_trials, run_window_trials, Aggregate, Campaign, TrialPlan};

@@ -7,10 +7,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A plain-text results table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     title: String,
     caption: String,
@@ -20,11 +18,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table with the given title, caption and column headers.
-    pub fn new(
-        title: impl Into<String>,
-        caption: impl Into<String>,
-        columns: Vec<&str>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, caption: impl Into<String>, columns: Vec<&str>) -> Self {
         Table {
             title: title.into(),
             caption: caption.into(),
@@ -69,7 +63,10 @@ impl Table {
 
     /// Looks up a cell as text.
     pub fn cell(&self, row: usize, column: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(column)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(column))
+            .map(String::as_str)
     }
 }
 
@@ -153,14 +150,5 @@ mod tests {
         assert_eq!(fmt_f64(1.23456), "1.235");
         assert_eq!(fmt_rate(0.5), "50.0%");
         assert_eq!(fmt_rate(1.0), "100.0%");
-    }
-
-    #[test]
-    fn table_serde_round_trip() {
-        let mut table = Table::new("E1", "caption", vec!["a"]);
-        table.push_row(vec!["x".to_string()]);
-        let json = serde_json::to_string(&table).unwrap();
-        let back: Table = serde_json::from_str(&json).unwrap();
-        assert_eq!(table, back);
     }
 }

@@ -1,5 +1,18 @@
-//! Multi-trial experiment runner: protocol × adversary × configuration,
+//! Multi-trial campaign runner: protocol × adversary × configuration,
 //! repeated over seeds, aggregated into rates and summaries.
+//!
+//! A [`TrialPlan`] describes *what* to run; a [`Campaign`] decides *how* —
+//! serially or fanned out across worker threads, one trial per seed. The
+//! environment this workspace builds in is offline, so the fan-out is a
+//! self-contained `std::thread` work-stealing pool rather than rayon; the
+//! scheduling discipline is the same (a shared atomic trial counter), and
+//! results are written into per-trial slots so aggregation always folds the
+//! outcomes in trial order. That makes every aggregate **bit-identical**
+//! across thread counts, including the serial path: parallelism changes only
+//! wall-clock time, never results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use agreement_analysis::Summary;
 use agreement_model::{InputAssignment, ProtocolBuilder, SystemConfig};
@@ -54,8 +67,134 @@ impl TrialPlan {
     }
 }
 
+/// How a campaign schedules its trials across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Campaign {
+    /// Worker count; `0` means one worker per available core.
+    threads: usize,
+}
+
+impl Default for Campaign {
+    /// The default campaign uses every available core.
+    fn default() -> Self {
+        Campaign::parallel()
+    }
+}
+
+impl Campaign {
+    /// Runs trials one after another on the calling thread.
+    pub const fn serial() -> Self {
+        Campaign { threads: 1 }
+    }
+
+    /// Fans trials out over one worker per available core.
+    pub const fn parallel() -> Self {
+        Campaign { threads: 0 }
+    }
+
+    /// Fans trials out over exactly `threads` workers (`0` = per-core).
+    pub const fn with_threads(threads: usize) -> Self {
+        Campaign { threads }
+    }
+
+    fn worker_count(&self, trials: u64) -> usize {
+        let auto = std::thread::available_parallelism().map_or(1, usize::from);
+        let requested = if self.threads == 0 {
+            auto
+        } else {
+            self.threads
+        };
+        requested.clamp(1, trials.max(1) as usize)
+    }
+
+    /// Executes `trials` seeded tasks and returns their results **in trial
+    /// order**, regardless of which worker ran which trial.
+    fn run_trials<T: Send>(&self, trials: u64, run_one: impl Fn(u64) -> T + Sync) -> Vec<T> {
+        let workers = self.worker_count(trials);
+        if workers <= 1 {
+            return (0..trials).map(run_one).collect();
+        }
+        let next = AtomicU64::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..trials).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let trial = next.fetch_add(1, Ordering::Relaxed);
+                    if trial >= trials {
+                        break;
+                    }
+                    let outcome = run_one(trial);
+                    *slots[trial as usize].lock().expect("trial slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("trial slot poisoned")
+                    .expect("every trial index below the counter was executed")
+            })
+            .collect()
+    }
+
+    /// Runs `plan.trials` window-model executions, constructing a fresh
+    /// adversary per trial with `make_adversary`, and aggregates the outcomes
+    /// deterministically.
+    pub fn run_windowed<A, F>(
+        &self,
+        plan: &TrialPlan,
+        builder: &dyn ProtocolBuilder,
+        make_adversary: F,
+    ) -> Aggregate
+    where
+        A: WindowAdversary,
+        F: Fn() -> A + Sync,
+    {
+        let outcomes = self.run_trials(plan.trials, |trial| {
+            let mut adversary = make_adversary();
+            run_windowed(
+                plan.cfg,
+                plan.inputs.clone(),
+                builder,
+                &mut adversary,
+                plan.base_seed + trial,
+                plan.limits,
+            )
+        });
+        aggregate(&outcomes, &plan.inputs, plan.limits.max_windows)
+    }
+
+    /// Runs `plan.trials` asynchronous-model executions, constructing a fresh
+    /// adversary per trial with `make_adversary` (which receives the trial's
+    /// seed), and aggregates the outcomes deterministically.
+    pub fn run_async<A, F>(
+        &self,
+        plan: &TrialPlan,
+        builder: &dyn ProtocolBuilder,
+        make_adversary: F,
+    ) -> Aggregate
+    where
+        A: AsyncAdversary,
+        F: Fn(u64) -> A + Sync,
+    {
+        let outcomes = self.run_trials(plan.trials, |trial| {
+            let mut adversary = make_adversary(plan.base_seed + trial);
+            run_async(
+                plan.cfg,
+                plan.inputs.clone(),
+                builder,
+                &mut adversary,
+                plan.base_seed + trial,
+                plan.limits,
+            )
+        });
+        aggregate(&outcomes, &plan.inputs, plan.limits.max_steps)
+    }
+}
+
 /// Aggregated results over a batch of trials.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Aggregate {
     /// Number of trials run.
     pub trials: u64,
@@ -101,69 +240,52 @@ fn aggregate(outcomes: &[RunOutcome], inputs: &InputAssignment, cap: u64) -> Agg
                 .collect::<Vec<_>>(),
         ),
         chain_length: Summary::from_samples(
-            &outcomes.iter().map(|o| o.longest_chain as f64).collect::<Vec<_>>(),
+            &outcomes
+                .iter()
+                .map(|o| o.longest_chain as f64)
+                .collect::<Vec<_>>(),
         ),
         resets: Summary::from_samples(
-            &outcomes.iter().map(|o| o.resets_performed as f64).collect::<Vec<_>>(),
+            &outcomes
+                .iter()
+                .map(|o| o.resets_performed as f64)
+                .collect::<Vec<_>>(),
         ),
         messages: Summary::from_samples(
-            &outcomes.iter().map(|o| o.messages_sent as f64).collect::<Vec<_>>(),
+            &outcomes
+                .iter()
+                .map(|o| o.messages_sent as f64)
+                .collect::<Vec<_>>(),
         ),
     }
 }
 
-/// Runs `plan.trials` window-model executions, constructing a fresh adversary
-/// per trial with `make_adversary`.
+/// Runs `plan.trials` window-model executions on all cores, constructing a
+/// fresh adversary per trial with `make_adversary`.
 pub fn run_window_trials<A, F>(
     plan: &TrialPlan,
     builder: &dyn ProtocolBuilder,
-    mut make_adversary: F,
+    make_adversary: F,
 ) -> Aggregate
 where
     A: WindowAdversary,
-    F: FnMut() -> A,
+    F: Fn() -> A + Sync,
 {
-    let outcomes: Vec<RunOutcome> = (0..plan.trials)
-        .map(|i| {
-            let mut adversary = make_adversary();
-            run_windowed(
-                plan.cfg,
-                plan.inputs.clone(),
-                builder,
-                &mut adversary,
-                plan.base_seed + i,
-                plan.limits,
-            )
-        })
-        .collect();
-    aggregate(&outcomes, &plan.inputs, plan.limits.max_windows)
+    Campaign::default().run_windowed(plan, builder, make_adversary)
 }
 
-/// Runs `plan.trials` asynchronous-model executions, constructing a fresh
-/// adversary per trial with `make_adversary`.
+/// Runs `plan.trials` asynchronous-model executions on all cores,
+/// constructing a fresh adversary per trial with `make_adversary`.
 pub fn run_async_trials<A, F>(
     plan: &TrialPlan,
     builder: &dyn ProtocolBuilder,
-    mut make_adversary: F,
+    make_adversary: F,
 ) -> Aggregate
 where
     A: AsyncAdversary,
-    F: FnMut(u64) -> A,
+    F: Fn(u64) -> A + Sync,
 {
-    let outcomes: Vec<RunOutcome> = (0..plan.trials)
-        .map(|i| {
-            let mut adversary = make_adversary(plan.base_seed + i);
-            run_async(
-                plan.cfg,
-                plan.inputs.clone(),
-                builder,
-                &mut adversary,
-                plan.base_seed + i,
-                plan.limits,
-            )
-        })
-        .collect();
-    aggregate(&outcomes, &plan.inputs, plan.limits.max_steps)
+    Campaign::default().run_async(plan, builder, make_adversary)
 }
 
 #[cfg(test)]
@@ -211,11 +333,57 @@ mod tests {
             .trials(4)
             .limits(RunLimits::small())
             .base_seed(99);
-        let aggregate =
-            run_async_trials(&plan, &BenOrBuilder::new(), |_seed| FairAsyncAdversary::default());
+        let aggregate = run_async_trials(&plan, &BenOrBuilder::new(), |_seed| {
+            FairAsyncAdversary::default()
+        });
         assert_eq!(aggregate.trials, 4);
         assert_eq!(aggregate.termination_rate, 1.0);
         assert_eq!(aggregate.agreement_rate, 1.0);
         assert!(aggregate.chain_length.mean >= 1.0);
+    }
+
+    #[test]
+    fn campaign_aggregates_are_identical_across_thread_counts() {
+        let cfg = SystemConfig::with_sixth_resilience(7).unwrap();
+        let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+        let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(7))
+            .trials(8)
+            .limits(RunLimits::windows(2_000));
+        let serial = Campaign::serial().run_windowed(&plan, &builder, SplitVoteAdversary::new);
+        for threads in [2usize, 3, 8, 0] {
+            let parallel = Campaign::with_threads(threads).run_windowed(
+                &plan,
+                &builder,
+                SplitVoteAdversary::new,
+            );
+            assert_eq!(
+                serial, parallel,
+                "thread count {threads} changed the aggregate"
+            );
+        }
+
+        let async_plan = TrialPlan::new(
+            SystemConfig::new(5, 1).unwrap(),
+            InputAssignment::evenly_split(5),
+        )
+        .trials(8)
+        .limits(RunLimits::small());
+        let serial = Campaign::serial().run_async(&async_plan, &BenOrBuilder::new(), |_| {
+            FairAsyncAdversary::default()
+        });
+        let parallel = Campaign::parallel().run_async(&async_plan, &BenOrBuilder::new(), |_| {
+            FairAsyncAdversary::default()
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn campaign_worker_count_clamps_to_trials() {
+        assert_eq!(Campaign::with_threads(16).worker_count(3), 3);
+        assert_eq!(Campaign::with_threads(2).worker_count(100), 2);
+        assert_eq!(Campaign::serial().worker_count(100), 1);
+        assert!(Campaign::parallel().worker_count(1_000) >= 1);
+        // Zero trials still yields a worker so the pool logic stays total.
+        assert_eq!(Campaign::with_threads(4).worker_count(0), 1);
     }
 }

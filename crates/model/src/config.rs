@@ -6,8 +6,6 @@
 //! parameterize the Section 3 reset-tolerant protocol together with the
 //! constraints of Theorem 4.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ConfigError;
 
 /// Static parameters of the system: `n` processors, at most `t` of which may be
@@ -25,7 +23,7 @@ use crate::error::ConfigError;
 /// assert_eq!(cfg.quorum(), 11); // n - t
 /// # Ok::<(), agreement_model::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SystemConfig {
     n: usize,
     t: usize,
@@ -134,7 +132,7 @@ impl SystemConfig {
 /// assert!(th.validate(&cfg).is_ok());
 /// # Ok::<(), agreement_model::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Thresholds {
     t1: usize,
     t2: usize,
@@ -200,7 +198,9 @@ impl Thresholds {
         let n = cfg.n();
         let t = cfg.t();
         if self.t1 == 0 {
-            return Err(ConfigError::InvalidThresholds { constraint: "T1 >= 1" });
+            return Err(ConfigError::InvalidThresholds {
+                constraint: "T1 >= 1",
+            });
         }
         if self.t1 > n.saturating_sub(2 * t) {
             return Err(ConfigError::InvalidThresholds {
@@ -208,7 +208,9 @@ impl Thresholds {
             });
         }
         if self.t1 < self.t2 {
-            return Err(ConfigError::InvalidThresholds { constraint: "T1 >= T2" });
+            return Err(ConfigError::InvalidThresholds {
+                constraint: "T1 >= T2",
+            });
         }
         if self.t2 < self.t3 + t {
             return Err(ConfigError::InvalidThresholds {
@@ -216,7 +218,9 @@ impl Thresholds {
             });
         }
         if 2 * self.t3 <= n {
-            return Err(ConfigError::InvalidThresholds { constraint: "2*T3 > n" });
+            return Err(ConfigError::InvalidThresholds {
+                constraint: "2*T3 > n",
+            });
         }
         if 2 * self.t3 <= self.t1 {
             return Err(ConfigError::InvalidThresholds {
@@ -238,7 +242,10 @@ mod tests {
 
     #[test]
     fn config_rejects_degenerate_parameters() {
-        assert_eq!(SystemConfig::new(0, 0).unwrap_err(), ConfigError::EmptySystem);
+        assert_eq!(
+            SystemConfig::new(0, 0).unwrap_err(),
+            ConfigError::EmptySystem
+        );
         assert!(matches!(
             SystemConfig::new(3, 3).unwrap_err(),
             ConfigError::FaultBudgetTooLarge { n: 3, t: 3 }
@@ -312,35 +319,37 @@ mod tests {
         // T1 too large.
         assert!(matches!(
             Thresholds::new(10, 9, 7).validate(&cfg),
-            Err(ConfigError::InvalidThresholds { constraint: "n - 2t >= T1" })
+            Err(ConfigError::InvalidThresholds {
+                constraint: "n - 2t >= T1"
+            })
         ));
         // T2 above T1.
         assert!(matches!(
             Thresholds::new(8, 9, 7).validate(&cfg),
-            Err(ConfigError::InvalidThresholds { constraint: "T1 >= T2" })
+            Err(ConfigError::InvalidThresholds {
+                constraint: "T1 >= T2"
+            })
         ));
         // T2 < T3 + t.
         assert!(matches!(
             Thresholds::new(9, 8, 7).validate(&cfg),
-            Err(ConfigError::InvalidThresholds { constraint: "T2 >= T3 + t" })
+            Err(ConfigError::InvalidThresholds {
+                constraint: "T2 >= T3 + t"
+            })
         ));
         // 2*T3 <= n.
         assert!(matches!(
             Thresholds::new(9, 8, 6).validate(&cfg),
-            Err(ConfigError::InvalidThresholds { constraint: "2*T3 > n" })
+            Err(ConfigError::InvalidThresholds {
+                constraint: "2*T3 > n"
+            })
         ));
         // T1 = 0.
         assert!(matches!(
             Thresholds::new(0, 0, 0).validate(&cfg),
-            Err(ConfigError::InvalidThresholds { constraint: "T1 >= 1" })
+            Err(ConfigError::InvalidThresholds {
+                constraint: "T1 >= 1"
+            })
         ));
-    }
-
-    #[test]
-    fn thresholds_serde_round_trip() {
-        let th = Thresholds::new(9, 9, 7);
-        let json = serde_json::to_string(&th).unwrap();
-        let back: Thresholds = serde_json::from_str(&json).unwrap();
-        assert_eq!(th, back);
     }
 }

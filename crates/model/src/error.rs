@@ -78,7 +78,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "fault budget t={t} must be smaller than n={n}")
             }
             ConfigError::ResilienceExceeded { n, t, bound } => {
-                write!(f, "fault budget t={t} with n={n} violates the resilience bound {bound}")
+                write!(
+                    f,
+                    "fault budget t={t} with n={n} violates the resilience bound {bound}"
+                )
             }
             ConfigError::InvalidThresholds { constraint } => {
                 write!(f, "threshold constraint violated: {constraint}")
@@ -117,7 +120,9 @@ mod tests {
             bound: "t < n/6",
         };
         assert!(e.to_string().contains("t < n/6"));
-        let e = ConfigError::InvalidThresholds { constraint: "2*T3 > n" };
+        let e = ConfigError::InvalidThresholds {
+            constraint: "2*T3 > n",
+        };
         assert!(e.to_string().contains("2*T3 > n"));
     }
 

@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The identity of a processor in the complete network of `n` processors.
 ///
 /// `ProcessorId` is a zero-based index newtype. It is `Copy`, ordered and
@@ -25,8 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.display_index(), 4);
 /// assert_eq!(format!("{p}"), "p4");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessorId(usize);
 
 impl ProcessorId {
@@ -93,8 +90,7 @@ impl From<ProcessorId> for usize {
 /// assert_eq!(r.get(), 1);
 /// assert_eq!(r.next().get(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RoundNumber(u64);
 
 impl RoundNumber {
@@ -188,14 +184,5 @@ mod tests {
     fn round_number_ordering_matches_value() {
         assert!(RoundNumber::new(2) < RoundNumber::new(3));
         assert_eq!(RoundNumber::new(4).to_string(), "r4");
-    }
-
-    #[test]
-    fn processor_id_serde_is_transparent() {
-        let id = ProcessorId::new(3);
-        let json = serde_json::to_string(&id).unwrap();
-        assert_eq!(json, "3");
-        let back: ProcessorId = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, id);
     }
 }

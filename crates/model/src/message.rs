@@ -9,13 +9,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::ProcessorId;
 use crate::value::Bit;
 
 /// A step of Bracha-style reliable broadcast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RbcStep {
     /// The originator's initial transmission of the payload.
     Init,
@@ -38,7 +36,7 @@ impl fmt::Display for RbcStep {
 
 /// Messages exchanged by the committee-election baseline protocol
 /// (the simplified Kapron-et-al.-style comparator).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum CommitteeMsg {
     /// A lottery ticket for the election at `level` within `group`.
     Ticket {
@@ -66,7 +64,7 @@ pub enum CommitteeMsg {
 /// Each protocol uses a subset of the variants; the single enum exists so that
 /// full-information adversaries can inspect any in-flight message without
 /// knowing which protocol produced it.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Payload {
     /// A round-`round` report of the sender's current estimate: the message
     /// `(r_p, x_p)` of the Section 3 reset-tolerant protocol and of Ben-Or's
@@ -157,7 +155,7 @@ impl Payload {
 /// A message in flight: a payload together with its dedicated channel's
 /// endpoints. The recipient always correctly identifies the sender, as in the
 /// paper's dedicated-channel assumption.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Envelope {
     /// The processor that sent the message.
     pub sender: ProcessorId,
@@ -180,7 +178,11 @@ impl Envelope {
 
 impl fmt::Display for Envelope {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {}: {:?}", self.sender, self.recipient, self.payload)
+        write!(
+            f,
+            "{} -> {}: {:?}",
+            self.sender, self.recipient, self.payload
+        )
     }
 }
 
@@ -261,21 +263,5 @@ mod tests {
         assert_eq!(RbcStep::Init.to_string(), "init");
         assert_eq!(RbcStep::Echo.to_string(), "echo");
         assert_eq!(RbcStep::Ready.to_string(), "ready");
-    }
-
-    #[test]
-    fn payload_serde_round_trip() {
-        let p = Payload::Rbc {
-            step: RbcStep::Ready,
-            origin: ProcessorId::new(2),
-            broadcast_id: 7,
-            inner: Box::new(Payload::Report {
-                round: 1,
-                value: Bit::Zero,
-            }),
-        };
-        let json = serde_json::to_string(&p).unwrap();
-        let back: Payload = serde_json::from_str(&json).unwrap();
-        assert_eq!(p, back);
     }
 }

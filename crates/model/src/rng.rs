@@ -6,9 +6,10 @@
 //! random stream is derived with a SplitMix64 hash; distinct processors (and
 //! distinct "forks", e.g. adversary randomness vs. processor randomness) get
 //! statistically independent streams.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator itself is a self-contained xoshiro256++ implementation (the
+//! same family `rand::rngs::SmallRng` uses), so the workspace carries no
+//! external dependency and seeds stay stable across toolchains.
 
 use crate::ids::ProcessorId;
 use crate::value::Bit;
@@ -46,35 +47,51 @@ pub fn derive_seed(master: u64, stream: u64) -> u64 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ProcessorRng {
-    rng: SmallRng,
+    state: [u64; 4],
 }
 
 impl ProcessorRng {
     /// Creates the random stream of processor `id` under `master` seed.
     pub fn for_processor(master: u64, id: ProcessorId) -> Self {
-        ProcessorRng {
-            rng: SmallRng::seed_from_u64(derive_seed(master, id.index() as u64)),
-        }
+        ProcessorRng::from_seed(derive_seed(master, id.index() as u64))
     }
 
     /// Creates a random stream for non-processor use (adversary choices,
     /// workload generation, …) under `master` seed and a caller-chosen label.
     pub fn labelled(master: u64, label: u64) -> Self {
-        ProcessorRng {
-            rng: SmallRng::seed_from_u64(derive_seed(master, label ^ 0xDEAD_BEEF_CAFE_F00D)),
-        }
+        ProcessorRng::from_seed(derive_seed(master, label ^ 0xDEAD_BEEF_CAFE_F00D))
     }
 
     /// Creates a stream directly from a raw seed.
     pub fn from_seed(seed: u64) -> Self {
-        ProcessorRng {
-            rng: SmallRng::seed_from_u64(seed),
+        // Expand the 64-bit seed into 256 bits of xoshiro state by chaining
+        // SplitMix64, the initialization the xoshiro authors recommend.
+        let mut z = seed;
+        let mut state = [0u64; 4];
+        for slot in &mut state {
+            z = splitmix64(z);
+            *slot = z;
         }
+        ProcessorRng { state }
+    }
+
+    /// Advances the xoshiro256++ state and returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Samples one unbiased random bit.
     pub fn bit(&mut self) -> Bit {
-        Bit::from(self.rng.gen::<bool>())
+        Bit::from(self.next_u64() & 1 == 1)
     }
 
     /// Samples a uniformly random integer in `0..bound`.
@@ -84,12 +101,19 @@ impl ProcessorRng {
     /// Panics if `bound` is zero.
     pub fn range(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "range bound must be positive");
-        self.rng.gen_range(0..bound)
+        // Lemire's unbiased multiply-shift rejection method.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let wide = u128::from(self.next_u64()) * u128::from(bound);
+            if wide as u64 >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
     }
 
     /// Samples a full-width random `u64` (used for lottery tickets).
     pub fn ticket(&mut self) -> u64 {
-        self.rng.gen()
+        self.next_u64()
     }
 
     /// Samples `true` with probability `p`.
@@ -98,15 +122,16 @@ impl ProcessorRng {
     ///
     /// Panics if `p` is not within `0.0..=1.0`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen_bool(p)
+        assert!((0.0..=1.0).contains(&p), "probability must be in 0..=1");
+        // 53 uniform mantissa bits: a float in [0, 1).
+        let sample = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        sample < p
     }
 
     /// Derives an independent child stream, labelled by `label`.
     pub fn fork(&mut self, label: u64) -> ProcessorRng {
-        let base: u64 = self.rng.gen();
-        ProcessorRng {
-            rng: SmallRng::seed_from_u64(derive_seed(base, label)),
-        }
+        let base = self.next_u64();
+        ProcessorRng::from_seed(derive_seed(base, label))
     }
 
     /// Produces a random permutation of `0..len` (Fisher–Yates).

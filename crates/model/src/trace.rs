@@ -5,13 +5,11 @@
 //! exponential-time execution would otherwise exhaust memory, so once the cap
 //! is reached further events are counted but not stored.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::ProcessorId;
 use crate::value::Bit;
 
 /// A single notable event in an execution.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TraceEvent {
     /// A new acceptable window began (strongly adaptive model).
     WindowStarted {
@@ -85,7 +83,7 @@ pub enum TraceEvent {
 /// assert_eq!(trace.total_events(), 3);
 /// assert_eq!(trace.dropped(), 1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     capacity: usize,
@@ -203,9 +201,15 @@ mod tests {
             from: ProcessorId::new(0),
             to: ProcessorId::new(1),
         });
-        t.push(TraceEvent::Reset { id: ProcessorId::new(2) });
-        t.push(TraceEvent::Crashed { id: ProcessorId::new(3) });
-        t.push(TraceEvent::Corrupted { id: ProcessorId::new(3) });
+        t.push(TraceEvent::Reset {
+            id: ProcessorId::new(2),
+        });
+        t.push(TraceEvent::Crashed {
+            id: ProcessorId::new(3),
+        });
+        t.push(TraceEvent::Corrupted {
+            id: ProcessorId::new(3),
+        });
         t.push(TraceEvent::Violation {
             description: "conflicting decision".to_string(),
         });

@@ -8,8 +8,6 @@
 use std::fmt;
 use std::ops::Not;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 
 /// A binary agreement value.
@@ -23,7 +21,7 @@ use crate::error::ModelError;
 /// assert_eq!(Bit::from(true), Bit::One);
 /// assert_eq!(u8::from(Bit::Zero), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Bit {
     /// The value `0`.
     Zero,
@@ -133,7 +131,7 @@ impl fmt::Display for Bit {
 /// assert!(out.write(Bit::Zero).is_err());
 /// # Ok::<(), agreement_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct OutputRegister {
     value: Option<Bit>,
 }
@@ -198,7 +196,7 @@ impl fmt::Display for OutputRegister {
 /// assert_eq!(split.count(Bit::Zero), 2);
 /// assert_eq!(split.count(Bit::One), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct InputAssignment {
     bits: Vec<Bit>,
 }

@@ -3,17 +3,16 @@
 //! The simulator in `agreement-sim` gives the adversary total control; this
 //! module demonstrates that the same protocol state machines are ordinary
 //! message-passing programs. Each processor runs on its own OS thread and
-//! communicates over crossbeam channels (one unbounded channel per processor,
-//! playing the role of its incoming message buffer). Scheduling is whatever
-//! the operating system does — effectively a benign asynchronous adversary —
-//! optionally degraded by silencing a set of processors (sender-side message
-//! drops), which models crashed processors.
+//! communicates over `std::sync::mpsc` channels (one unbounded channel per
+//! processor, playing the role of its incoming message buffer). Scheduling is
+//! whatever the operating system does — effectively a benign asynchronous
+//! adversary — optionally degraded by silencing a set of processors
+//! (sender-side message drops), which models crashed processors.
 
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
-
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 
 use agreement_model::{
     Bit, Context, InputAssignment, Payload, ProcessorId, ProcessorRng, ProtocolBuilder,
@@ -154,7 +153,11 @@ impl Cluster {
     ///
     /// Panics if `inputs` does not cover exactly `cfg.n()` processors.
     pub fn new(cfg: SystemConfig, inputs: InputAssignment, master_seed: u64) -> Self {
-        assert_eq!(inputs.len(), cfg.n(), "input assignment must cover every processor");
+        assert_eq!(
+            inputs.len(),
+            cfg.n(),
+            "input assignment must cover every processor"
+        );
         Cluster {
             cfg,
             inputs,
@@ -185,20 +188,19 @@ impl Cluster {
         let started = Instant::now();
 
         let mut senders: Vec<Sender<NodeMsg>> = Vec::with_capacity(n);
-        let mut receivers: Vec<Receiver<NodeMsg>> = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
-        let (decision_tx, decision_rx) = unbounded::<(ProcessorId, Bit, bool)>();
+        let (decision_tx, decision_rx) = channel::<(ProcessorId, Bit, bool)>();
 
         let decisions: Vec<Option<Bit>> = vec![None; n];
-        let decisions = std::sync::Arc::new(Mutex::new(decisions));
+        let decisions = Arc::new(Mutex::new(decisions));
 
         let mut handles = Vec::with_capacity(n);
-        for id in ProcessorId::all(n) {
-            let rx = receivers[id.index()].clone();
+        for (id, rx) in ProcessorId::all(n).zip(receivers) {
             let peers = senders.clone();
             let decision_tx = decision_tx.clone();
             let silenced = self.silenced.contains(&id);
@@ -217,9 +219,9 @@ impl Cluster {
                 protocol.on_start(&mut ctx);
                 let mut reported = false;
                 loop {
-                    if ctx.decision.is_some() && !reported {
+                    if let (Some(decision), false) = (ctx.decision, reported) {
                         reported = true;
-                        let _ = decision_tx.send((id, ctx.decision.unwrap(), ctx.conflicting));
+                        let _ = decision_tx.send((id, decision, ctx.conflicting));
                     }
                     match rx.recv_timeout(Duration::from_millis(50)) {
                         Ok(NodeMsg::Protocol(from, payload)) => {
@@ -242,8 +244,10 @@ impl Cluster {
         let mut timed_out = false;
         loop {
             let decided_live = {
-                let decisions = decisions.lock();
-                live.iter().filter(|id| decisions[id.index()].is_some()).count()
+                let decisions = decisions.lock().expect("decision lock poisoned");
+                live.iter()
+                    .filter(|id| decisions[id.index()].is_some())
+                    .count()
             };
             if decided_live == live.len() {
                 break;
@@ -254,7 +258,7 @@ impl Cluster {
             }
             match decision_rx.recv_timeout(Duration::from_millis(20)) {
                 Ok((id, value, conflict)) => {
-                    decisions.lock()[id.index()] = Some(value);
+                    decisions.lock().expect("decision lock poisoned")[id.index()] = Some(value);
                     conflicting_write |= conflict;
                 }
                 Err(RecvTimeoutError::Timeout) => {}
@@ -271,14 +275,16 @@ impl Cluster {
         }
         // Drain any decisions that raced with the shutdown.
         while let Ok((id, value, conflict)) = decision_rx.try_recv() {
-            decisions.lock()[id.index()] = Some(value);
+            decisions.lock().expect("decision lock poisoned")[id.index()] = Some(value);
             conflicting_write |= conflict;
         }
 
-        let decisions = decisions.lock().clone();
+        let decisions = decisions.lock().expect("decision lock poisoned").clone();
         ClusterOutcome {
             decisions,
-            silenced: ProcessorId::all(n).map(|id| self.silenced.contains(&id)).collect(),
+            silenced: ProcessorId::all(n)
+                .map(|id| self.silenced.contains(&id))
+                .collect(),
             elapsed: started.elapsed(),
             timed_out,
             conflicting_write,
@@ -340,7 +346,12 @@ mod tests {
         assert!(outcome.all_live_decided());
         assert!(outcome.agreement_holds());
         assert_eq!(
-            outcome.decisions.iter().flatten().copied().collect::<Vec<_>>(),
+            outcome
+                .decisions
+                .iter()
+                .flatten()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![Bit::One; 9]
         );
     }
@@ -352,7 +363,11 @@ mod tests {
         let cfg = SystemConfig::new(5, 1).unwrap();
         let inputs = InputAssignment::unanimous(5, Bit::One);
         let outcome = Cluster::new(cfg, inputs, 3)
-            .silence(vec![ProcessorId::new(0), ProcessorId::new(1), ProcessorId::new(2)])
+            .silence(vec![
+                ProcessorId::new(0),
+                ProcessorId::new(1),
+                ProcessorId::new(2),
+            ])
             .deadline(Duration::from_millis(500))
             .run(&BenOrBuilder::new());
         assert!(outcome.timed_out);

@@ -3,7 +3,7 @@
 //! `agreement-sim` drives the protocol state machines under a fully
 //! adversary-controlled scheduler; this crate runs the very same state
 //! machines as a real concurrent system — one OS thread per processor, one
-//! crossbeam channel per processor as its incoming buffer — to demonstrate
+//! mpsc channel per processor as its incoming buffer — to demonstrate
 //! that the protocols are ordinary message-passing programs and to provide a
 //! wall-clock benchmark target (`net_cluster` in `agreement-bench`).
 //!

@@ -114,7 +114,7 @@ impl BenOr {
                     }
                     let strong = Bit::ALL
                         .into_iter()
-                        .find(|&v| self.tally.count(r, PHASE_PROPOSAL, v) >= self.t + 1);
+                        .find(|&v| self.tally.count(r, PHASE_PROPOSAL, v) > self.t);
                     let weak = Bit::ALL
                         .into_iter()
                         .find(|&v| self.tally.count(r, PHASE_PROPOSAL, v) >= 1);
@@ -286,7 +286,10 @@ mod tests {
         for _ in 0..zeros {
             p.on_message(
                 ProcessorId::new(sender),
-                &Payload::Report { round, value: Bit::Zero },
+                &Payload::Report {
+                    round,
+                    value: Bit::Zero,
+                },
                 ctx,
             );
             sender += 1;
@@ -294,23 +297,24 @@ mod tests {
         for _ in 0..ones {
             p.on_message(
                 ProcessorId::new(sender),
-                &Payload::Report { round, value: Bit::One },
+                &Payload::Report {
+                    round,
+                    value: Bit::One,
+                },
                 ctx,
             );
             sender += 1;
         }
     }
 
-    fn feed_proposals(
-        p: &mut BenOr,
-        ctx: &mut TestCtx,
-        round: u64,
-        proposals: &[Option<Bit>],
-    ) {
+    fn feed_proposals(p: &mut BenOr, ctx: &mut TestCtx, round: u64, proposals: &[Option<Bit>]) {
         for (i, value) in proposals.iter().enumerate() {
             p.on_message(
                 ProcessorId::new(i),
-                &Payload::Proposal { round, value: *value },
+                &Payload::Proposal {
+                    round,
+                    value: *value,
+                },
                 ctx,
             );
         }
@@ -329,7 +333,10 @@ mod tests {
         assert_eq!(ctx.broadcasts().len(), 1);
         assert!(matches!(
             ctx.broadcasts()[0],
-            Payload::Report { round: 1, value: Bit::One }
+            Payload::Report {
+                round: 1,
+                value: Bit::One
+            }
         ));
         assert_eq!(p.waiting_phase(), 1);
     }
@@ -343,7 +350,10 @@ mod tests {
         assert_eq!(p.waiting_phase(), 2);
         assert!(matches!(
             ctx.broadcasts()[0],
-            Payload::Proposal { round: 1, value: Some(Bit::Zero) }
+            Payload::Proposal {
+                round: 1,
+                value: Some(Bit::Zero)
+            }
         ));
     }
 
@@ -356,7 +366,10 @@ mod tests {
         assert_eq!(p.waiting_phase(), 2);
         assert!(matches!(
             ctx.broadcasts()[0],
-            Payload::Proposal { round: 1, value: None }
+            Payload::Proposal {
+                round: 1,
+                value: None
+            }
         ));
     }
 
@@ -368,7 +381,11 @@ mod tests {
         feed_proposals(&mut p, &mut ctx, 1, &[Some(Bit::Zero); 4]); // t + 1 = 4
         assert_eq!(ctx.decided, Some(Bit::Zero));
         assert_eq!(p.estimate(), Bit::Zero);
-        assert_eq!(p.round(), 2, "the protocol keeps participating after deciding");
+        assert_eq!(
+            p.round(),
+            2,
+            "the protocol keeps participating after deciding"
+        );
     }
 
     #[test]

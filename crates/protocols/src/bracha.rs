@@ -134,10 +134,10 @@ impl Bracha {
                 3 => {
                     let decide_value = Bit::ALL
                         .into_iter()
-                        .find(|&v| self.votes.count(r, 3, v) >= 2 * self.t + 1);
+                        .find(|&v| self.votes.count(r, 3, v) > 2 * self.t);
                     let adopt_value = Bit::ALL
                         .into_iter()
-                        .find(|&v| self.votes.count(r, 3, v) >= self.t + 1);
+                        .find(|&v| self.votes.count(r, 3, v) > self.t);
                     if let Some(v) = decide_value {
                         self.decided = Some(v);
                         ctx.decide(v);
@@ -167,7 +167,12 @@ impl Protocol for Bracha {
         let accepted = self.rbc.on_message(from, payload, ctx);
         let mut progressed = false;
         for broadcast in accepted {
-            if let Payload::BrachaVote { round, phase, value } = broadcast.payload {
+            if let Payload::BrachaVote {
+                round,
+                phase,
+                value,
+            } = broadcast.payload
+            {
                 if round >= self.round {
                     self.votes.record(round, phase, broadcast.origin, value);
                     progressed = true;
@@ -305,7 +310,11 @@ mod tests {
         phase: u8,
         value: Option<Bit>,
     ) {
-        let inner = Payload::BrachaVote { round, phase, value };
+        let inner = Payload::BrachaVote {
+            round,
+            phase,
+            value,
+        };
         let accept_threshold = 2 * ctx.cfg.t() + 1;
         for sender in 0..accept_threshold {
             let msg = Payload::Rbc {
@@ -330,11 +339,20 @@ mod tests {
         p.on_start(&mut ctx);
         assert_eq!(ctx.sent.len(), 1);
         match &ctx.sent[0] {
-            Payload::Rbc { step: RbcStep::Init, origin, inner, .. } => {
+            Payload::Rbc {
+                step: RbcStep::Init,
+                origin,
+                inner,
+                ..
+            } => {
                 assert_eq!(*origin, ProcessorId::new(0));
                 assert!(matches!(
                     **inner,
-                    Payload::BrachaVote { round: 1, phase: 1, value: Some(Bit::One) }
+                    Payload::BrachaVote {
+                        round: 1,
+                        phase: 1,
+                        value: Some(Bit::One)
+                    }
                 ));
             }
             other => panic!("expected an RBC init, got {other:?}"),

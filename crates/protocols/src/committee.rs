@@ -118,7 +118,9 @@ impl CommitteeAgreement {
 impl Protocol for CommitteeAgreement {
     fn on_start(&mut self, ctx: &mut dyn Context) {
         if self.is_member {
-            ctx.broadcast(Payload::Committee(CommitteeMsg::Proposal { value: self.input }));
+            ctx.broadcast(Payload::Committee(CommitteeMsg::Proposal {
+                value: self.input,
+            }));
         }
     }
 
@@ -188,11 +190,18 @@ impl CommitteeBuilder {
     ///
     /// Panics if the committee is empty or contains duplicates.
     pub fn with_committee(committee: Vec<ProcessorId>) -> Self {
-        assert!(!committee.is_empty(), "committee must have at least one member");
+        assert!(
+            !committee.is_empty(),
+            "committee must have at least one member"
+        );
         let mut sorted = committee.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), committee.len(), "committee must not contain duplicates");
+        assert_eq!(
+            sorted.len(),
+            committee.len(),
+            "committee must not contain duplicates"
+        );
         CommitteeBuilder { committee }
     }
 
@@ -205,7 +214,10 @@ impl CommitteeBuilder {
     /// Panics if `size` is zero or exceeds `cfg.n()`.
     pub fn random(cfg: &SystemConfig, size: usize, seed: u64) -> Self {
         assert!(size > 0, "committee must have at least one member");
-        assert!(size <= cfg.n(), "committee cannot exceed the number of processors");
+        assert!(
+            size <= cfg.n(),
+            "committee cannot exceed the number of processors"
+        );
         let mut rng = ProcessorRng::labelled(seed, 0xC0881);
         let committee = rng
             .choose_distinct(cfg.n(), size)
@@ -295,7 +307,8 @@ mod tests {
     #[test]
     fn member_broadcasts_proposal_on_start_observer_stays_silent() {
         let mut ctx = TestCtx::new(1, 9, 2);
-        let mut member = CommitteeAgreement::new(ProcessorId::new(1), Bit::One, committee(&[1, 2, 3, 4]));
+        let mut member =
+            CommitteeAgreement::new(ProcessorId::new(1), Bit::One, committee(&[1, 2, 3, 4]));
         assert!(member.is_member());
         member.on_start(&mut ctx);
         assert_eq!(ctx.sent.len(), 1);
@@ -316,7 +329,8 @@ mod tests {
     fn member_announces_majority_of_committee_proposals_and_decides() {
         // Committee of 4: f = 1, quorum = 3.
         let mut ctx = TestCtx::new(1, 9, 2);
-        let mut p = CommitteeAgreement::new(ProcessorId::new(1), Bit::Zero, committee(&[1, 2, 3, 4]));
+        let mut p =
+            CommitteeAgreement::new(ProcessorId::new(1), Bit::Zero, committee(&[1, 2, 3, 4]));
         assert_eq!(p.fault_tolerance(), 1);
         p.on_start(&mut ctx);
         ctx.sent.clear();
@@ -345,7 +359,8 @@ mod tests {
     #[test]
     fn observer_decides_on_f_plus_one_matching_announcements() {
         let mut ctx = TestCtx::new(8, 9, 2);
-        let mut p = CommitteeAgreement::new(ProcessorId::new(8), Bit::Zero, committee(&[1, 2, 3, 4]));
+        let mut p =
+            CommitteeAgreement::new(ProcessorId::new(8), Bit::Zero, committee(&[1, 2, 3, 4]));
         p.on_message(
             ProcessorId::new(1),
             &Payload::Committee(CommitteeMsg::Announce { value: Bit::One }),
@@ -383,7 +398,8 @@ mod tests {
     #[test]
     fn duplicate_announcements_from_one_member_do_not_decide() {
         let mut ctx = TestCtx::new(8, 9, 2);
-        let mut p = CommitteeAgreement::new(ProcessorId::new(8), Bit::Zero, committee(&[1, 2, 3, 4]));
+        let mut p =
+            CommitteeAgreement::new(ProcessorId::new(8), Bit::Zero, committee(&[1, 2, 3, 4]));
         for _ in 0..3 {
             p.on_message(
                 ProcessorId::new(1),

@@ -83,7 +83,10 @@ impl ReliableBroadcaster {
     /// Panics unless `3 * t < n`, the resilience required for reliable
     /// broadcast to be sound.
     pub fn new(n: usize, t: usize) -> Self {
-        assert!(3 * t < n, "reliable broadcast requires t < n/3 (got n={n}, t={t})");
+        assert!(
+            3 * t < n,
+            "reliable broadcast requires t < n/3 (got n={n}, t={t})"
+        );
         ReliableBroadcaster {
             n,
             t,
@@ -164,7 +167,8 @@ impl ReliableBroadcaster {
             }
             RbcStep::Echo => {
                 Instance::voters_mut(&mut instance.echoes, inner).insert(from);
-                if !instance.ready_sent && Instance::count(&instance.echoes, inner) >= echo_threshold
+                if !instance.ready_sent
+                    && Instance::count(&instance.echoes, inner) >= echo_threshold
                 {
                     instance.ready_sent = true;
                     to_send.push(Payload::Rbc {
@@ -311,7 +315,10 @@ mod tests {
         assert_eq!(ctx.broadcasts().len(), 1);
         assert!(matches!(
             ctx.broadcasts()[0],
-            Payload::Rbc { step: RbcStep::Echo, .. }
+            Payload::Rbc {
+                step: RbcStep::Echo,
+                ..
+            }
         ));
     }
 
@@ -328,12 +335,24 @@ mod tests {
     fn echo_quorum_triggers_single_ready() {
         let (mut r, mut ctx) = setup();
         for sender in 0..5 {
-            r.on_message(ProcessorId::new(sender), &rbc(RbcStep::Echo, 3, 7), &mut ctx);
+            r.on_message(
+                ProcessorId::new(sender),
+                &rbc(RbcStep::Echo, 3, 7),
+                &mut ctx,
+            );
         }
         let readies = ctx
             .broadcasts()
             .iter()
-            .filter(|p| matches!(p, Payload::Rbc { step: RbcStep::Ready, .. }))
+            .filter(|p| {
+                matches!(
+                    p,
+                    Payload::Rbc {
+                        step: RbcStep::Ready,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(readies, 1, "ready must be sent exactly once");
         // Further echoes do not re-send ready.
@@ -341,7 +360,15 @@ mod tests {
         let readies = ctx
             .broadcasts()
             .iter()
-            .filter(|p| matches!(p, Payload::Rbc { step: RbcStep::Ready, .. }))
+            .filter(|p| {
+                matches!(
+                    p,
+                    Payload::Rbc {
+                        step: RbcStep::Ready,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(readies, 1);
     }
@@ -350,12 +377,24 @@ mod tests {
     fn ready_amplification_at_t_plus_one() {
         let (mut r, mut ctx) = setup();
         for sender in 0..3 {
-            r.on_message(ProcessorId::new(sender), &rbc(RbcStep::Ready, 3, 7), &mut ctx);
+            r.on_message(
+                ProcessorId::new(sender),
+                &rbc(RbcStep::Ready, 3, 7),
+                &mut ctx,
+            );
         }
         let readies = ctx
             .broadcasts()
             .iter()
-            .filter(|p| matches!(p, Payload::Rbc { step: RbcStep::Ready, .. }))
+            .filter(|p| {
+                matches!(
+                    p,
+                    Payload::Rbc {
+                        step: RbcStep::Ready,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(readies, 1, "t + 1 readies amplify into our own ready");
     }
@@ -365,11 +404,17 @@ mod tests {
         let (mut r, mut ctx) = setup();
         let mut accepted_total = 0;
         for sender in 0..6 {
-            let accepted =
-                r.on_message(ProcessorId::new(sender), &rbc(RbcStep::Ready, 3, 7), &mut ctx);
+            let accepted = r.on_message(
+                ProcessorId::new(sender),
+                &rbc(RbcStep::Ready, 3, 7),
+                &mut ctx,
+            );
             accepted_total += accepted.len();
             if sender < 4 {
-                assert!(accepted.is_empty(), "fewer than 2t+1 readies must not accept");
+                assert!(
+                    accepted.is_empty(),
+                    "fewer than 2t+1 readies must not accept"
+                );
             }
         }
         assert_eq!(accepted_total, 1);
@@ -380,7 +425,11 @@ mod tests {
         let (mut r, mut ctx) = setup();
         let mut result = Vec::new();
         for sender in 0..5 {
-            result = r.on_message(ProcessorId::new(sender), &rbc(RbcStep::Ready, 3, 9), &mut ctx);
+            result = r.on_message(
+                ProcessorId::new(sender),
+                &rbc(RbcStep::Ready, 3, 9),
+                &mut ctx,
+            );
         }
         assert_eq!(
             result,
@@ -408,12 +457,19 @@ mod tests {
         };
         // 3 echoes for One, 3 for Zero: neither reaches the threshold of 5.
         for sender in 0..3 {
-            r.on_message(ProcessorId::new(sender), &rbc(RbcStep::Echo, 3, 7), &mut ctx);
+            r.on_message(
+                ProcessorId::new(sender),
+                &rbc(RbcStep::Echo, 3, 7),
+                &mut ctx,
+            );
         }
         for sender in 3..6 {
             r.on_message(ProcessorId::new(sender), &other, &mut ctx);
         }
-        assert!(ctx.broadcasts().is_empty(), "no ready may be sent on mixed echoes");
+        assert!(
+            ctx.broadcasts().is_empty(),
+            "no ready may be sent on mixed echoes"
+        );
     }
 
     #[test]

@@ -323,7 +323,10 @@ mod tests {
     fn setup(input: Bit) -> (ResetTolerant, TestCtx) {
         let cfg = SystemConfig::with_sixth_resilience(13).unwrap();
         let thresholds = Thresholds::recommended(&cfg).unwrap();
-        assert_eq!((thresholds.t1(), thresholds.t2(), thresholds.t3()), (9, 9, 7));
+        assert_eq!(
+            (thresholds.t1(), thresholds.t2(), thresholds.t3()),
+            (9, 9, 7)
+        );
         (
             ResetTolerant::new(input, thresholds),
             TestCtx::new(13, 2, input),
@@ -341,7 +344,10 @@ mod tests {
         for _ in 0..zeros {
             protocol.on_message(
                 ProcessorId::new(sender),
-                &Payload::Report { round, value: Bit::Zero },
+                &Payload::Report {
+                    round,
+                    value: Bit::Zero,
+                },
                 ctx,
             );
             sender += 1;
@@ -349,7 +355,10 @@ mod tests {
         for _ in 0..ones {
             protocol.on_message(
                 ProcessorId::new(sender),
-                &Payload::Report { round, value: Bit::One },
+                &Payload::Report {
+                    round,
+                    value: Bit::One,
+                },
                 ctx,
             );
             sender += 1;
@@ -363,7 +372,10 @@ mod tests {
         assert_eq!(ctx.sent.len(), 13);
         assert!(ctx.sent.iter().all(|(_, payload)| matches!(
             payload,
-            Payload::Report { round: 1, value: Bit::One }
+            Payload::Report {
+                round: 1,
+                value: Bit::One
+            }
         )));
         assert_eq!(p.round(), 1);
     }
@@ -401,7 +413,11 @@ mod tests {
         // 5 zeros, 4 ones: total 9 = T1 but neither value reaches T3 = 7.
         feed_reports(&mut p, &mut ctx, 1, 5, 4);
         assert_eq!(ctx.decided, None);
-        assert_eq!(p.estimate(), Bit::One, "estimate must come from the scripted random bit");
+        assert_eq!(
+            p.estimate(),
+            Bit::One,
+            "estimate must come from the scripted random bit"
+        );
         assert_eq!(p.round(), 2);
     }
 
@@ -420,12 +436,20 @@ mod tests {
         p.on_start(&mut ctx);
         // Deliver round-2 messages first; they must not be lost.
         feed_reports(&mut p, &mut ctx, 2, 0, 9);
-        assert_eq!(p.round(), 1, "round-2 messages alone cannot advance round 1");
+        assert_eq!(
+            p.round(),
+            1,
+            "round-2 messages alone cannot advance round 1"
+        );
         // Now complete round 1 with a split view; the buffered round-2
         // messages then immediately advance the protocol to round 3.
         feed_reports(&mut p, &mut ctx, 1, 5, 4);
         assert_eq!(p.round(), 3);
-        assert_eq!(ctx.decided, Some(Bit::One), "round 2 had a T2 majority of ones");
+        assert_eq!(
+            ctx.decided,
+            Some(Bit::One),
+            "round 2 had a T2 majority of ones"
+        );
     }
 
     #[test]
@@ -437,7 +461,10 @@ mod tests {
         // A late round-1 message must not be recorded for the current round.
         p.on_message(
             ProcessorId::new(12),
-            &Payload::Report { round: 1, value: Bit::Zero },
+            &Payload::Report {
+                round: 1,
+                value: Bit::Zero,
+            },
             &mut ctx,
         );
         assert_eq!(p.round(), 2);

@@ -54,7 +54,13 @@ impl RoundTally {
     /// `value` of `None` records an abstention (e.g. Ben-Or's `?` proposal).
     /// Returns `true` if the vote was counted, `false` if this sender had
     /// already voted for this key.
-    pub fn record(&mut self, round: u64, phase: u8, sender: ProcessorId, value: Option<Bit>) -> bool {
+    pub fn record(
+        &mut self,
+        round: u64,
+        phase: u8,
+        sender: ProcessorId,
+        value: Option<Bit>,
+    ) -> bool {
         let entry = self.votes.entry((round, phase)).or_default();
         if !entry.voters.insert(sender) {
             return false;
@@ -101,7 +107,11 @@ impl RoundTally {
         if key.zeros == 0 && key.ones == 0 {
             return None;
         }
-        Some(if key.ones >= key.zeros { Bit::One } else { Bit::Zero })
+        Some(if key.ones >= key.zeros {
+            Bit::One
+        } else {
+            Bit::Zero
+        })
     }
 
     /// Returns `Some(v)` if at least `threshold` votes were cast for `v`.
@@ -115,7 +125,11 @@ impl RoundTally {
             (false, false) => None,
             (true, false) => Some(Bit::Zero),
             (false, true) => Some(Bit::One),
-            (true, true) => Some(if key.ones >= key.zeros { Bit::One } else { Bit::Zero }),
+            (true, true) => Some(if key.ones >= key.zeros {
+                Bit::One
+            } else {
+                Bit::Zero
+            }),
         }
     }
 

@@ -79,7 +79,11 @@ impl<'a> SystemView<'a> {
 
     /// The highest protocol round any processor has reached.
     pub fn max_round(&self) -> u64 {
-        self.digests.iter().filter_map(|d| d.round).max().unwrap_or(0)
+        self.digests
+            .iter()
+            .filter_map(|d| d.round)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -3,49 +3,32 @@
 //!
 //! The adversary chooses one step at a time: deliver a specific buffered
 //! message, crash a processor, corrupt an in-flight message of a corrupted
-//! processor, or halt. The only structural constraint (enforced here) is the
-//! fault budget: at most `t` processors may be crashed or corrupted over the
-//! whole execution. Liveness ("all messages to correct processors are
-//! eventually delivered") is the adversary implementation's responsibility;
-//! the run limits bound how long we wait.
+//! processor, or halt. The only structural constraint (enforced by the shared
+//! [`ExecutionCore`]) is the fault budget: at most `t` processors may be
+//! crashed or corrupted over the whole execution. Liveness ("all messages to
+//! correct processors are eventually delivered") is the adversary
+//! implementation's responsibility; the run limits bound how long we wait.
 //!
 //! Running time in this model is measured as the length of the longest
 //! *message chain* preceding the first decision: a chain `m_1, ..., m_k` where
 //! `m_i` is received by the sender of `m_{i+1}` before `m_{i+1}` is sent. The
-//! engine tracks per-message causal depths to compute this exactly.
+//! core tags every buffered message with its causal depth to compute this
+//! exactly.
+//!
+//! [`AsyncEngine`] is a thin driver: all mechanics live in [`ExecutionCore`]
+//! and the per-message scheduling in
+//! [`AsyncScheduler`](crate::exec::AsyncScheduler).
 
-use std::collections::BTreeMap;
-use std::collections::VecDeque;
+use agreement_model::{Bit, InputAssignment, ProtocolBuilder, StateDigest, SystemConfig};
 
-use agreement_model::{
-    Bit, InputAssignment, ProcessorId, ProtocolBuilder, StateDigest, SystemConfig, Trace,
-    TraceEvent,
-};
-
-use crate::adversary::{AsyncAction, AsyncAdversary, SystemView};
-use crate::buffer::MessageBuffer;
-use crate::harness::ProcessorHarness;
+use crate::adversary::AsyncAdversary;
+use crate::exec::{AsyncScheduler, ExecutionCore, Scheduler};
 use crate::outcome::{RunLimits, RunOutcome};
 
 /// An execution of the fully asynchronous model with crash/Byzantine faults.
 #[derive(Debug)]
 pub struct AsyncEngine {
-    cfg: SystemConfig,
-    inputs: InputAssignment,
-    harnesses: Vec<ProcessorHarness>,
-    buffer: MessageBuffer,
-    /// Chain depth of each buffered message, kept in lock-step with `buffer`.
-    chains: BTreeMap<(ProcessorId, ProcessorId), VecDeque<u64>>,
-    /// Causal depth of each processor: the longest chain among messages it has received.
-    depth: Vec<u64>,
-    trace: Trace,
-    step_index: u64,
-    crashes_performed: u64,
-    corrupted: Vec<bool>,
-    first_decision_at: Option<u64>,
-    all_decided_at: Option<u64>,
-    chain_at_first_decision: Option<u64>,
-    halted: bool,
+    core: ExecutionCore,
 }
 
 impl AsyncEngine {
@@ -61,277 +44,74 @@ impl AsyncEngine {
         builder: &dyn ProtocolBuilder,
         master_seed: u64,
     ) -> Self {
-        assert_eq!(
-            inputs.len(),
-            cfg.n(),
-            "input assignment must cover every processor"
-        );
-        let mut harnesses: Vec<ProcessorHarness> = ProcessorId::all(cfg.n())
-            .map(|id| ProcessorHarness::new(id, inputs.bit(id.index()), cfg, builder, master_seed))
-            .collect();
-        for harness in &mut harnesses {
-            harness.start();
-        }
-        let mut engine = AsyncEngine {
-            depth: vec![0; cfg.n()],
-            chains: BTreeMap::new(),
-            cfg,
-            inputs,
-            harnesses,
-            buffer: MessageBuffer::new(),
-            trace: Trace::new(),
-            step_index: 0,
-            crashes_performed: 0,
-            corrupted: vec![false; cfg.n()],
-            first_decision_at: None,
-            all_decided_at: None,
-            chain_at_first_decision: None,
-            halted: false,
-        };
-        for i in 0..engine.harnesses.len() {
-            engine.flush_outbox(ProcessorId::new(i));
-        }
-        engine.record_decision_progress();
-        engine
+        let mut core = ExecutionCore::new(cfg, inputs, builder, master_seed);
+        core.ensure_started();
+        core.flush_all_outboxes();
+        core.record_decision_progress();
+        AsyncEngine { core }
     }
 
     /// The system configuration.
     pub fn config(&self) -> SystemConfig {
-        self.cfg
+        self.core.config()
     }
 
     /// Number of adversary steps taken so far.
     pub fn steps_elapsed(&self) -> u64 {
-        self.step_index
+        self.core.time()
     }
 
     /// The current output bits of all processors.
     pub fn decisions(&self) -> Vec<Option<Bit>> {
-        self.harnesses.iter().map(ProcessorHarness::decision).collect()
+        self.core.decisions()
     }
 
     /// The adversary-visible digests of all processors.
     pub fn digests(&self) -> Vec<StateDigest> {
-        self.harnesses.iter().map(ProcessorHarness::digest).collect()
+        self.core.digests()
     }
 
     /// Which processors have been crashed so far.
     pub fn crashed(&self) -> Vec<bool> {
-        self.harnesses.iter().map(ProcessorHarness::is_crashed).collect()
+        self.core.crashed()
     }
 
     /// Which processors have been declared Byzantine-corrupted so far.
     pub fn corrupted(&self) -> &[bool] {
-        &self.corrupted
+        self.core.corrupted()
     }
 
     /// `true` once every non-crashed processor has written its output bit.
     pub fn all_correct_decided(&self) -> bool {
-        self.harnesses
-            .iter()
-            .all(|h| h.is_crashed() || h.decision().is_some())
+        self.core.all_correct_decided()
     }
 
     /// Number of faults (crashes plus corruptions) charged so far.
     pub fn faults_used(&self) -> usize {
-        self.crashes_performed as usize + self.corrupted.iter().filter(|&&c| c).count()
+        self.core.faults_used()
     }
 
-    fn flush_outbox(&mut self, id: ProcessorId) {
-        let chain = self.depth[id.index()] + 1;
-        let envelopes = self.harnesses[id.index()].take_outbox();
-        for envelope in envelopes {
-            self.trace.push(TraceEvent::Sent {
-                from: envelope.sender,
-                to: envelope.recipient,
-            });
-            self.chains
-                .entry((envelope.sender, envelope.recipient))
-                .or_default()
-                .push_back(chain);
-            self.buffer.enqueue(envelope);
-        }
-    }
-
-    fn record_decision_progress(&mut self) {
-        if self.first_decision_at.is_none() && self.harnesses.iter().any(|h| h.decision().is_some())
-        {
-            self.first_decision_at = Some(self.step_index);
-        }
-        if self.all_decided_at.is_none() && self.all_correct_decided() {
-            self.all_decided_at = Some(self.step_index);
-        }
+    /// Read access to the shared execution core driving this engine.
+    pub fn core(&self) -> &ExecutionCore {
+        &self.core
     }
 
     /// Executes one adversary-chosen step. Returns `false` once the execution
     /// has halted (adversary gave up) — further calls do nothing.
     pub fn step(&mut self, adversary: &mut dyn AsyncAdversary) -> bool {
-        if self.halted {
-            return false;
-        }
-        let action = {
-            let digests = self.digests();
-            let outputs = self.decisions();
-            let crashed = self.crashed();
-            let view = SystemView {
-                config: self.cfg,
-                time: self.step_index,
-                digests: &digests,
-                outputs: &outputs,
-                crashed: &crashed,
-                buffer: &self.buffer,
-            };
-            adversary.next_action(&view)
-        };
-        self.step_index += 1;
-        match action {
-            AsyncAction::Deliver { from, to } => self.deliver(from, to),
-            AsyncAction::Crash(id) => self.crash(id),
-            AsyncAction::CorruptProcessor(id) => self.corrupt_processor(id),
-            AsyncAction::Corrupt { from, to, payload } => {
-                if self.corrupted[from.index()] {
-                    if self.buffer.corrupt_head(from, to, payload).is_some() {
-                        self.trace.push(TraceEvent::Corrupted { id: from });
-                    }
-                } else {
-                    self.trace.push(TraceEvent::Violation {
-                        description: format!(
-                            "adversary attempted to corrupt a message of uncorrupted {from}; ignored"
-                        ),
-                    });
-                }
-            }
-            AsyncAction::Halt => {
-                self.halted = true;
-            }
-        }
-        self.record_decision_progress();
-        !self.halted
-    }
-
-    fn deliver(&mut self, from: ProcessorId, to: ProcessorId) {
-        if self.harnesses[to.index()].is_crashed() {
-            return;
-        }
-        let Some(payload) = self.buffer.pop(from, to) else {
-            return;
-        };
-        let chain = self
-            .chains
-            .get_mut(&(from, to))
-            .and_then(VecDeque::pop_front)
-            .unwrap_or(0);
-        self.trace.push(TraceEvent::Delivered { from, to });
-        let before = self.harnesses[to.index()].decision();
-        self.harnesses[to.index()].deliver(from, &payload);
-        let depth = &mut self.depth[to.index()];
-        *depth = (*depth).max(chain);
-        let after = self.harnesses[to.index()].decision();
-        if before.is_none() {
-            if let Some(value) = after {
-                self.trace.push(TraceEvent::Decided {
-                    id: to,
-                    value,
-                    at: self.step_index,
-                });
-                if self.chain_at_first_decision.is_none() {
-                    self.chain_at_first_decision = Some(self.depth[to.index()]);
-                }
-            }
-        }
-        self.flush_outbox(to);
-    }
-
-    fn crash(&mut self, id: ProcessorId) {
-        if self.harnesses[id.index()].is_crashed() {
-            return;
-        }
-        if self.faults_used() >= self.cfg.t() {
-            self.trace.push(TraceEvent::Violation {
-                description: format!(
-                    "adversary attempted to crash {id} beyond the fault budget t={}; ignored",
-                    self.cfg.t()
-                ),
-            });
-            return;
-        }
-        self.harnesses[id.index()].crash();
-        self.buffer.drop_to(id);
-        self.crashes_performed += 1;
-        self.trace.push(TraceEvent::Crashed { id });
-    }
-
-    fn corrupt_processor(&mut self, id: ProcessorId) {
-        if self.corrupted[id.index()] {
-            return;
-        }
-        if self.faults_used() >= self.cfg.t() {
-            self.trace.push(TraceEvent::Violation {
-                description: format!(
-                    "adversary attempted to corrupt {id} beyond the fault budget t={}; ignored",
-                    self.cfg.t()
-                ),
-            });
-            return;
-        }
-        self.corrupted[id.index()] = true;
+        AsyncScheduler::new(adversary).step(&mut self.core)
     }
 
     /// Runs adversary steps until every correct processor has decided, the
     /// adversary halts, or `limits.max_steps` steps have elapsed.
     pub fn run(&mut self, adversary: &mut dyn AsyncAdversary, limits: RunLimits) -> RunOutcome {
-        while !self.all_correct_decided() && !self.halted && self.step_index < limits.max_steps {
-            self.step(adversary);
-        }
-        self.outcome()
+        let mut scheduler = AsyncScheduler::new(adversary);
+        self.core.run(&mut scheduler, limits)
     }
 
     /// Produces the outcome snapshot of the execution so far.
     pub fn outcome(&self) -> RunOutcome {
-        let violations: Vec<String> = self
-            .harnesses
-            .iter()
-            .flat_map(|h| h.violations().iter().cloned())
-            .chain(self.validity_violations())
-            .collect();
-        RunOutcome {
-            decisions: self.decisions(),
-            crashed: self.crashed(),
-            duration: self.step_index,
-            first_decision_at: self.first_decision_at,
-            all_decided_at: self.all_decided_at,
-            violations,
-            messages_sent: self.buffer.enqueued_count(),
-            messages_delivered: self.buffer.delivered_count(),
-            resets_performed: 0,
-            crashes_performed: self.crashes_performed,
-            longest_chain: self.chain_at_first_decision.unwrap_or(0),
-            halted_by_adversary: self.halted,
-            trace: self.trace.clone(),
-        }
-    }
-
-    fn validity_violations(&self) -> Vec<String> {
-        let mut violations = Vec::new();
-        if let Some(unanimous) = self.inputs.unanimous_value() {
-            for harness in &self.harnesses {
-                if let Some(decided) = harness.decision() {
-                    if decided != unanimous {
-                        violations.push(format!(
-                            "{} decided {decided} although every input is {unanimous}",
-                            harness.id()
-                        ));
-                    }
-                }
-            }
-        }
-        let mut decided_values = self.harnesses.iter().filter_map(ProcessorHarness::decision);
-        if let Some(first) = decided_values.next() {
-            if decided_values.any(|other| other != first) {
-                violations.push("processors decided conflicting values".to_string());
-            }
-        }
-        violations
+        self.core.outcome(self.core.causal_chain_metric())
     }
 }
 
@@ -351,8 +131,8 @@ pub fn run_async(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::FairAsyncAdversary;
-    use agreement_model::{Context, Payload, Protocol, ProtocolBuilder};
+    use crate::adversary::{AsyncAction, FairAsyncAdversary, SystemView};
+    use agreement_model::{Context, Payload, ProcessorId, Protocol, ProtocolBuilder};
 
     /// Waits for `n - t` round-1 reports (its own included) and decides the
     /// majority value among them.
@@ -383,7 +163,11 @@ mod tests {
                     Bit::One => self.ones += 1,
                 }
                 if self.zeros + self.ones >= self.quorum {
-                    let v = if self.ones >= self.zeros { Bit::One } else { Bit::Zero };
+                    let v = if self.ones >= self.zeros {
+                        Bit::One
+                    } else {
+                        Bit::Zero
+                    };
                     self.decided = Some(v);
                     ctx.decide(v);
                 }
@@ -534,7 +318,14 @@ mod tests {
         }
         let cfg = SystemConfig::new(3, 0).unwrap();
         let inputs = InputAssignment::unanimous(3, Bit::One);
-        let outcome = run_async(cfg, inputs, &QuorumBuilder, &mut Lazy, 1, RunLimits::small());
+        let outcome = run_async(
+            cfg,
+            inputs,
+            &QuorumBuilder,
+            &mut Lazy,
+            1,
+            RunLimits::small(),
+        );
         assert!(outcome.halted_by_adversary);
         assert!(!outcome.any_decided());
         assert_eq!(outcome.duration, 1);
@@ -593,5 +384,33 @@ mod tests {
         // The token is forwarded 9 times after the initial send; the deciding
         // processor's causal depth is the full chain of 10 messages.
         assert_eq!(outcome.longest_chain, 10);
+    }
+
+    #[test]
+    fn stepwise_and_run_produce_identical_outcomes() {
+        let cfg = SystemConfig::new(5, 1).unwrap();
+        let inputs = InputAssignment::evenly_split(5);
+        let run_outcome = run_async(
+            cfg,
+            inputs.clone(),
+            &QuorumBuilder,
+            &mut FairAsyncAdversary::default(),
+            17,
+            RunLimits::small(),
+        );
+        let mut engine = AsyncEngine::new(cfg, inputs, &QuorumBuilder, 17);
+        let mut adversary = FairAsyncAdversary::default();
+        while !engine.all_correct_decided()
+            && engine.steps_elapsed() < RunLimits::small().max_steps
+            && engine.step(&mut adversary)
+        {}
+        let stepped = engine.outcome();
+        assert_eq!(stepped.decisions, run_outcome.decisions);
+        assert_eq!(stepped.duration, run_outcome.duration);
+        assert_eq!(stepped.first_decision_at, run_outcome.first_decision_at);
+        assert_eq!(stepped.all_decided_at, run_outcome.all_decided_at);
+        assert_eq!(stepped.longest_chain, run_outcome.longest_chain);
+        assert_eq!(stepped.messages_sent, run_outcome.messages_sent);
+        assert_eq!(stepped.messages_delivered, run_outcome.messages_delivered);
     }
 }

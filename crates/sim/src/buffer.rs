@@ -6,15 +6,28 @@
 //! so a recipient always correctly identifies the sender, and messages on a
 //! single channel are delivered in order (a harmless strengthening; the
 //! adversary still fully controls interleaving across channels).
+//!
+//! Each buffered message carries a *chain tag*: the causal depth assigned at
+//! send time (the length of the longest message chain ending in the send).
+//! The asynchronous scheduler uses the tags to measure running time as the
+//! paper's Section 5 does; window executions ignore them.
 
 use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use agreement_model::{Envelope, Payload, ProcessorId};
+
+/// One buffered message: the payload plus its causal chain tag.
+#[derive(Debug, Clone)]
+struct Buffered {
+    payload: Payload,
+    chain: u64,
+}
 
 /// A FIFO buffer of undelivered messages, indexed by `(sender, recipient)`.
 #[derive(Debug, Clone, Default)]
 pub struct MessageBuffer {
-    channels: BTreeMap<(ProcessorId, ProcessorId), Vec<Payload>>,
+    channels: BTreeMap<(ProcessorId, ProcessorId), VecDeque<Buffered>>,
     enqueued: u64,
     delivered: u64,
     dropped: u64,
@@ -26,24 +39,42 @@ impl MessageBuffer {
         MessageBuffer::default()
     }
 
-    /// Places an envelope into the buffer.
+    /// Places an envelope into the buffer with a zero chain tag.
     pub fn enqueue(&mut self, envelope: Envelope) {
+        self.enqueue_with_chain(envelope, 0);
+    }
+
+    /// Places an envelope into the buffer, tagging it with the causal depth of
+    /// its sending step.
+    pub fn enqueue_with_chain(&mut self, envelope: Envelope, chain: u64) {
         self.enqueued += 1;
         self.channels
             .entry((envelope.sender, envelope.recipient))
             .or_default()
-            .push(envelope.payload);
+            .push_back(Buffered {
+                payload: envelope.payload,
+                chain,
+            });
     }
 
     /// Removes and returns the oldest undelivered message from `sender` to
     /// `recipient`, if any.
     pub fn pop(&mut self, sender: ProcessorId, recipient: ProcessorId) -> Option<Payload> {
+        self.pop_with_chain(sender, recipient)
+            .map(|(payload, _)| payload)
+    }
+
+    /// Removes and returns the oldest undelivered message on the channel
+    /// together with its chain tag.
+    pub fn pop_with_chain(
+        &mut self,
+        sender: ProcessorId,
+        recipient: ProcessorId,
+    ) -> Option<(Payload, u64)> {
         let queue = self.channels.get_mut(&(sender, recipient))?;
-        if queue.is_empty() {
-            return None;
-        }
+        let entry = queue.pop_front()?;
         self.delivered += 1;
-        Some(queue.remove(0))
+        Some((entry.payload, entry.chain))
     }
 
     /// Removes and returns *all* undelivered messages from `sender` to
@@ -53,7 +84,7 @@ impl MessageBuffer {
             Some(queue) => {
                 let drained = std::mem::take(queue);
                 self.delivered += drained.len() as u64;
-                drained
+                drained.into_iter().map(|entry| entry.payload).collect()
             }
             None => Vec::new(),
         }
@@ -73,9 +104,9 @@ impl MessageBuffer {
     }
 
     /// Replaces the payload of the oldest undelivered message on the channel,
-    /// returning the original payload. Used to model Byzantine corruption of a
-    /// message in flight (the adversary may corrupt messages *sent by*
-    /// corrupted processors).
+    /// returning the original payload (the chain tag is preserved). Used to
+    /// model Byzantine corruption of a message in flight (the adversary may
+    /// corrupt messages *sent by* corrupted processors).
     pub fn corrupt_head(
         &mut self,
         sender: ProcessorId,
@@ -83,14 +114,14 @@ impl MessageBuffer {
         replacement: Payload,
     ) -> Option<Payload> {
         let queue = self.channels.get_mut(&(sender, recipient))?;
-        let head = queue.first_mut()?;
-        Some(std::mem::replace(head, replacement))
+        let head = queue.front_mut()?;
+        Some(std::mem::replace(&mut head.payload, replacement))
     }
 
     /// Discards every undelivered message in the buffer, returning how many
     /// were dropped.
     ///
-    /// The window engine calls this at the start of every sending phase: an
+    /// The window scheduler calls this at the start of every sending phase: an
     /// acceptable window only delivers messages "just sent" within it, so
     /// anything left over from the previous window is never delivered.
     pub fn discard_undelivered(&mut self) -> usize {
@@ -114,15 +145,16 @@ impl MessageBuffer {
     pub fn peek(&self, sender: ProcessorId, recipient: ProcessorId) -> Option<&Payload> {
         self.channels
             .get(&(sender, recipient))
-            .and_then(|q| q.first())
+            .and_then(|q| q.front())
+            .map(|entry| &entry.payload)
     }
 
     /// Iterates over all `(sender, recipient, payload)` triples currently buffered,
     /// oldest-first within each channel.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessorId, ProcessorId, &Payload)> + '_ {
-        self.channels
-            .iter()
-            .flat_map(|(&(from, to), queue)| queue.iter().map(move |p| (from, to, p)))
+        self.channels.iter().flat_map(|(&(from, to), queue)| {
+            queue.iter().map(move |entry| (from, to, &entry.payload))
+        })
     }
 
     /// The set of senders with at least one undelivered message to `recipient`.
@@ -136,7 +168,7 @@ impl MessageBuffer {
 
     /// Total number of undelivered messages.
     pub fn pending_total(&self) -> usize {
-        self.channels.values().map(Vec::len).sum()
+        self.channels.values().map(VecDeque::len).sum()
     }
 
     /// Returns `true` when no messages are awaiting delivery.
@@ -193,6 +225,22 @@ mod tests {
     }
 
     #[test]
+    fn chain_tags_ride_along_with_their_messages() {
+        let mut buf = MessageBuffer::new();
+        buf.enqueue_with_chain(env(0, 1, 1), 4);
+        buf.enqueue_with_chain(env(0, 1, 2), 9);
+        let (first, chain) = buf
+            .pop_with_chain(ProcessorId::new(0), ProcessorId::new(1))
+            .unwrap();
+        assert_eq!(first.round(), Some(1));
+        assert_eq!(chain, 4);
+        let (_, chain) = buf
+            .pop_with_chain(ProcessorId::new(0), ProcessorId::new(1))
+            .unwrap();
+        assert_eq!(chain, 9);
+    }
+
+    #[test]
     fn drain_channel_removes_everything_in_order() {
         let mut buf = MessageBuffer::new();
         for r in 1..=3 {
@@ -228,7 +276,7 @@ mod tests {
     #[test]
     fn corrupt_head_replaces_payload_in_place() {
         let mut buf = MessageBuffer::new();
-        buf.enqueue(env(3, 0, 5));
+        buf.enqueue_with_chain(env(3, 0, 5), 7);
         let original = buf
             .corrupt_head(
                 ProcessorId::new(3),
@@ -242,6 +290,11 @@ mod tests {
         assert_eq!(original.advocated_value(), Some(Bit::Zero));
         let now = buf.peek(ProcessorId::new(3), ProcessorId::new(0)).unwrap();
         assert_eq!(now.advocated_value(), Some(Bit::One));
+        // Corruption rewrites contents, not causality: the tag is preserved.
+        let (_, chain) = buf
+            .pop_with_chain(ProcessorId::new(3), ProcessorId::new(0))
+            .unwrap();
+        assert_eq!(chain, 7);
     }
 
     #[test]

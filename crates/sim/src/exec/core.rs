@@ -1,0 +1,467 @@
+//! The shared execution substrate both engines (and any future execution
+//! model) drive.
+//!
+//! [`ExecutionCore`] is the single owner of everything an execution of the
+//! paper's model consists of, independent of *which* adversary model schedules
+//! it: the per-processor harnesses, the in-flight [`MessageBuffer`], causal
+//! chain depths, decision/validity tracking, trace emission and the outcome
+//! snapshot. What differs between models — how a unit of scheduled time is
+//! assembled — lives behind the [`Scheduler`](super::Scheduler) trait.
+
+use agreement_model::{
+    Bit, InputAssignment, Payload, ProcessorId, ProtocolBuilder, StateDigest, SystemConfig, Trace,
+    TraceEvent,
+};
+
+use crate::adversary::SystemView;
+use crate::buffer::MessageBuffer;
+use crate::harness::ProcessorHarness;
+use crate::outcome::{RunLimits, RunOutcome};
+
+use super::Scheduler;
+
+/// The shared state of one execution: harnesses, buffer, trace and counters.
+///
+/// A core is model-agnostic. It exposes the primitive state transitions of the
+/// paper's model (sending steps, receiving steps, resetting steps, crashes,
+/// Byzantine corruption) and records their effects; a
+/// [`Scheduler`](super::Scheduler) composes them into the execution shape of a
+/// concrete adversary model.
+#[derive(Debug)]
+pub struct ExecutionCore {
+    cfg: SystemConfig,
+    inputs: InputAssignment,
+    harnesses: Vec<ProcessorHarness>,
+    buffer: MessageBuffer,
+    trace: Trace,
+    /// Scheduler time: window index for windowed executions, step index for
+    /// asynchronous ones. Advanced only by [`ExecutionCore::advance_time`].
+    time: u64,
+    /// Causal depth of each processor: the longest chain among messages it has
+    /// received so far.
+    depth: Vec<u64>,
+    resets_performed: u64,
+    crashes_performed: u64,
+    corrupted: Vec<bool>,
+    first_decision_at: Option<u64>,
+    all_decided_at: Option<u64>,
+    chain_at_first_decision: Option<u64>,
+    halted: bool,
+    started: bool,
+}
+
+impl ExecutionCore {
+    /// Creates a core for `cfg.n()` processors with the given inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
+    pub fn new(
+        cfg: SystemConfig,
+        inputs: InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+    ) -> Self {
+        assert_eq!(
+            inputs.len(),
+            cfg.n(),
+            "input assignment must cover every processor"
+        );
+        let harnesses = ProcessorId::all(cfg.n())
+            .map(|id| ProcessorHarness::new(id, inputs.bit(id.index()), cfg, builder, master_seed))
+            .collect();
+        ExecutionCore {
+            depth: vec![0; cfg.n()],
+            corrupted: vec![false; cfg.n()],
+            cfg,
+            inputs,
+            harnesses,
+            buffer: MessageBuffer::new(),
+            trace: Trace::new(),
+            time: 0,
+            resets_performed: 0,
+            crashes_performed: 0,
+            first_decision_at: None,
+            all_decided_at: None,
+            chain_at_first_decision: None,
+            halted: false,
+            started: false,
+        }
+    }
+
+    // ----- static state & snapshots ------------------------------------------------
+
+    /// The system configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// The input assignment of this execution.
+    pub fn inputs(&self) -> &InputAssignment {
+        &self.inputs
+    }
+
+    /// Scheduler time elapsed so far (windows or steps, depending on model).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Read access to the in-flight message buffer.
+    pub fn buffer(&self) -> &MessageBuffer {
+        &self.buffer
+    }
+
+    /// The current output bits of all processors.
+    pub fn decisions(&self) -> Vec<Option<Bit>> {
+        self.harnesses
+            .iter()
+            .map(ProcessorHarness::decision)
+            .collect()
+    }
+
+    /// The adversary-visible digests of all processors.
+    pub fn digests(&self) -> Vec<StateDigest> {
+        self.harnesses
+            .iter()
+            .map(ProcessorHarness::digest)
+            .collect()
+    }
+
+    /// Which processors have been crashed so far.
+    pub fn crashed(&self) -> Vec<bool> {
+        self.harnesses
+            .iter()
+            .map(ProcessorHarness::is_crashed)
+            .collect()
+    }
+
+    /// Which processors have been declared Byzantine-corrupted so far.
+    pub fn corrupted(&self) -> &[bool] {
+        &self.corrupted
+    }
+
+    /// `true` once every processor (crashed or not) has written its output bit.
+    pub fn all_decided(&self) -> bool {
+        self.harnesses.iter().all(|h| h.decision().is_some())
+    }
+
+    /// `true` once every non-crashed processor has written its output bit.
+    pub fn all_correct_decided(&self) -> bool {
+        self.harnesses
+            .iter()
+            .all(|h| h.is_crashed() || h.decision().is_some())
+    }
+
+    /// Number of faults (crashes plus corruptions) charged so far.
+    pub fn faults_used(&self) -> usize {
+        self.crashes_performed as usize + self.corrupted.iter().filter(|&&c| c).count()
+    }
+
+    /// The time at which the first processor decided, if any.
+    pub fn first_decision_at(&self) -> Option<u64> {
+        self.first_decision_at
+    }
+
+    /// The causal depth of the first deciding processor at its decision, if any.
+    pub fn chain_at_first_decision(&self) -> Option<u64> {
+        self.chain_at_first_decision
+    }
+
+    /// The chain metric of windowed time models: the window of the first
+    /// decision (zero while undecided). Shared by `WindowScheduler` and the
+    /// step-wise `WindowEngine::outcome` so the two paths cannot diverge.
+    pub fn windowed_chain_metric(&self) -> u64 {
+        self.first_decision_at.unwrap_or(0)
+    }
+
+    /// The chain metric of asynchronous time models: the causal depth at the
+    /// first decision (Section 5's measure). Shared by `AsyncScheduler` and
+    /// the step-wise `AsyncEngine::outcome`.
+    pub fn causal_chain_metric(&self) -> u64 {
+        self.chain_at_first_decision.unwrap_or(0)
+    }
+
+    /// `true` once a scheduler or adversary has halted the execution.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Gives a scheduler the full-information [`SystemView`] of the current
+    /// state (digests, outputs, crash flags and the whole buffer).
+    pub fn with_view<R>(&self, f: impl FnOnce(&SystemView<'_>) -> R) -> R {
+        let digests = self.digests();
+        let outputs = self.decisions();
+        let crashed = self.crashed();
+        let view = SystemView {
+            config: self.cfg,
+            time: self.time,
+            digests: &digests,
+            outputs: &outputs,
+            crashed: &crashed,
+            buffer: &self.buffer,
+        };
+        f(&view)
+    }
+
+    // ----- primitive transitions ---------------------------------------------------
+
+    /// Runs every processor's `on_start` callback. Idempotent.
+    pub fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for harness in &mut self.harnesses {
+            harness.start();
+        }
+    }
+
+    /// A *sending step* of processor `id`: moves its computed messages into
+    /// the buffer, tagging each with the processor's causal depth plus one.
+    pub fn flush_outbox(&mut self, id: ProcessorId) {
+        let chain = self.depth[id.index()] + 1;
+        for envelope in self.harnesses[id.index()].take_outbox() {
+            self.trace.push(TraceEvent::Sent {
+                from: envelope.sender,
+                to: envelope.recipient,
+            });
+            self.buffer.enqueue_with_chain(envelope, chain);
+        }
+    }
+
+    /// Sending steps for every non-crashed processor (the sending phase of an
+    /// acceptable window).
+    pub fn flush_all_outboxes(&mut self) {
+        for id in ProcessorId::all(self.cfg.n()) {
+            if !self.harnesses[id.index()].is_crashed() {
+                self.flush_outbox(id);
+            }
+        }
+    }
+
+    /// Discards every undelivered message (start of a new acceptable window).
+    pub fn discard_undelivered(&mut self) -> usize {
+        self.buffer.discard_undelivered()
+    }
+
+    /// A single adversarial *receiving step*: delivers the oldest undelivered
+    /// message on the channel `from -> to`, lets the recipient process it, and
+    /// flushes the recipient's resulting sends into the buffer. No-op when the
+    /// recipient has crashed or the channel is empty.
+    pub fn deliver_one(&mut self, from: ProcessorId, to: ProcessorId) {
+        if self.harnesses[to.index()].is_crashed() {
+            return;
+        }
+        let Some((payload, chain)) = self.buffer.pop_with_chain(from, to) else {
+            return;
+        };
+        self.trace.push(TraceEvent::Delivered { from, to });
+        let before = self.harnesses[to.index()].decision();
+        self.harnesses[to.index()].deliver(from, &payload);
+        let depth = &mut self.depth[to.index()];
+        *depth = (*depth).max(chain);
+        let after = self.harnesses[to.index()].decision();
+        if before.is_none() {
+            if let Some(value) = after {
+                self.trace.push(TraceEvent::Decided {
+                    id: to,
+                    value,
+                    at: self.time,
+                });
+                if self.chain_at_first_decision.is_none() {
+                    self.chain_at_first_decision = Some(self.depth[to.index()]);
+                }
+            }
+        }
+        self.flush_outbox(to);
+    }
+
+    /// The receiving steps of one processor in an acceptable window: drains,
+    /// and immediately processes, everything the senders in `S_i` just sent to
+    /// `recipient`. Responses stay in the recipient's outbox until the next
+    /// window's sending phase.
+    pub fn deliver_from_senders(&mut self, recipient: ProcessorId, senders: &[ProcessorId]) {
+        let before = self.harnesses[recipient.index()].decision();
+        for &sender in senders {
+            let payloads = self.buffer.drain_channel(sender, recipient);
+            for payload in payloads {
+                self.trace.push(TraceEvent::Delivered {
+                    from: sender,
+                    to: recipient,
+                });
+                self.harnesses[recipient.index()].deliver(sender, &payload);
+            }
+        }
+        let after = self.harnesses[recipient.index()].decision();
+        if before.is_none() {
+            if let Some(value) = after {
+                self.trace.push(TraceEvent::Decided {
+                    id: recipient,
+                    value,
+                    at: self.time,
+                });
+            }
+        }
+    }
+
+    /// A *resetting step*: erases the processor's memory and counts the reset.
+    pub fn reset(&mut self, id: ProcessorId) {
+        self.harnesses[id.index()].reset();
+        self.resets_performed += 1;
+        self.trace.push(TraceEvent::Reset { id });
+    }
+
+    /// Crashes a processor, enforcing the fault budget `t`: an attempt beyond
+    /// the budget is ignored and recorded as a violation trace event.
+    pub fn crash(&mut self, id: ProcessorId) {
+        if self.harnesses[id.index()].is_crashed() {
+            return;
+        }
+        if self.faults_used() >= self.cfg.t() {
+            self.trace.push(TraceEvent::Violation {
+                description: format!(
+                    "adversary attempted to crash {id} beyond the fault budget t={}; ignored",
+                    self.cfg.t()
+                ),
+            });
+            return;
+        }
+        self.harnesses[id.index()].crash();
+        self.buffer.drop_to(id);
+        self.crashes_performed += 1;
+        self.trace.push(TraceEvent::Crashed { id });
+    }
+
+    /// Declares a processor Byzantine-corrupted (charged against the budget
+    /// `t`); over-budget attempts are ignored and logged.
+    pub fn corrupt_processor(&mut self, id: ProcessorId) {
+        if self.corrupted[id.index()] {
+            return;
+        }
+        if self.faults_used() >= self.cfg.t() {
+            self.trace.push(TraceEvent::Violation {
+                description: format!(
+                    "adversary attempted to corrupt {id} beyond the fault budget t={}; ignored",
+                    self.cfg.t()
+                ),
+            });
+            return;
+        }
+        self.corrupted[id.index()] = true;
+    }
+
+    /// Rewrites the oldest in-flight message on `from -> to`, which is only
+    /// legal when `from` was previously declared corrupted; an illegal attempt
+    /// is ignored and logged.
+    pub fn corrupt_message(&mut self, from: ProcessorId, to: ProcessorId, payload: Payload) {
+        if self.corrupted[from.index()] {
+            if self.buffer.corrupt_head(from, to, payload).is_some() {
+                self.trace.push(TraceEvent::Corrupted { id: from });
+            }
+        } else {
+            self.trace.push(TraceEvent::Violation {
+                description: format!(
+                    "adversary attempted to corrupt a message of uncorrupted {from}; ignored"
+                ),
+            });
+        }
+    }
+
+    /// Records a scheduler-specific trace event (e.g. window boundaries).
+    pub fn push_trace(&mut self, event: TraceEvent) {
+        self.trace.push(event);
+    }
+
+    /// Advances the scheduler clock by one unit (one window or one step).
+    pub fn advance_time(&mut self) {
+        self.time += 1;
+    }
+
+    /// Marks the execution as halted by the adversary.
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// Latches `first_decision_at` / `all_decided_at` against the current
+    /// clock. Schedulers call this once per unit of time, after its effects.
+    pub fn record_decision_progress(&mut self) {
+        if self.first_decision_at.is_none() && self.harnesses.iter().any(|h| h.decision().is_some())
+        {
+            self.first_decision_at = Some(self.time);
+        }
+        if self.all_decided_at.is_none() && self.all_correct_decided() {
+            self.all_decided_at = Some(self.time);
+        }
+    }
+
+    // ----- driving & outcomes ------------------------------------------------------
+
+    /// Runs `scheduler` until every correct processor has decided, the
+    /// execution halts, or the scheduler's time cap from `limits` elapses.
+    pub fn run(&mut self, scheduler: &mut dyn Scheduler, limits: RunLimits) -> RunOutcome {
+        scheduler.on_start(self);
+        self.record_decision_progress();
+        let cap = scheduler.max_time(&limits);
+        while !self.all_correct_decided() && !self.halted && self.time < cap {
+            if !scheduler.step(self) {
+                break;
+            }
+        }
+        self.outcome_with(scheduler)
+    }
+
+    /// Produces the outcome snapshot, reporting the chain metric `scheduler`
+    /// defines for its time model.
+    pub fn outcome_with(&self, scheduler: &dyn Scheduler) -> RunOutcome {
+        self.outcome(scheduler.longest_chain(self))
+    }
+
+    /// Produces the outcome snapshot of the execution so far with an explicit
+    /// longest-chain metric.
+    pub fn outcome(&self, longest_chain: u64) -> RunOutcome {
+        let violations: Vec<String> = self
+            .harnesses
+            .iter()
+            .flat_map(|h| h.violations().iter().cloned())
+            .chain(self.validity_violations())
+            .collect();
+        RunOutcome {
+            decisions: self.decisions(),
+            crashed: self.crashed(),
+            duration: self.time,
+            first_decision_at: self.first_decision_at,
+            all_decided_at: self.all_decided_at,
+            violations,
+            messages_sent: self.buffer.enqueued_count(),
+            messages_delivered: self.buffer.delivered_count(),
+            resets_performed: self.resets_performed,
+            crashes_performed: self.crashes_performed,
+            longest_chain,
+            halted_by_adversary: self.halted,
+            trace: self.trace.clone(),
+        }
+    }
+
+    fn validity_violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if let Some(unanimous) = self.inputs.unanimous_value() {
+            for harness in &self.harnesses {
+                if let Some(decided) = harness.decision() {
+                    if decided != unanimous {
+                        violations.push(format!(
+                            "{} decided {decided} although every input is {unanimous}",
+                            harness.id()
+                        ));
+                    }
+                }
+            }
+        }
+        let mut decided_values = self.harnesses.iter().filter_map(ProcessorHarness::decision);
+        if let Some(first) = decided_values.next() {
+            if decided_values.any(|other| other != first) {
+                violations.push("processors decided conflicting values".to_string());
+            }
+        }
+        violations
+    }
+}

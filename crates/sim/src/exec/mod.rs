@@ -1,0 +1,28 @@
+//! The unified execution core and its pluggable schedulers.
+//!
+//! The paper analyzes the *same* protocols under two execution models — the
+//! strongly adaptive acceptable-window model of Section 2 and the fully
+//! asynchronous crash/Byzantine model of Section 5. Both models share almost
+//! all of their mechanics: processor harnesses, an in-flight message buffer,
+//! decision and validity tracking, trace emission and run-limit enforcement.
+//! This module owns those mechanics once, in [`ExecutionCore`], and isolates
+//! what genuinely differs — how a unit of scheduled time is assembled —
+//! behind the [`Scheduler`] trait:
+//!
+//! * [`WindowScheduler`] assembles acceptable windows (sending phase,
+//!   validated adversary window, receiving phases, resets) from a
+//!   [`WindowAdversary`](crate::WindowAdversary).
+//! * [`AsyncScheduler`] executes per-message adversarial deliveries, crashes
+//!   and Byzantine corruptions from an
+//!   [`AsyncAdversary`](crate::AsyncAdversary).
+//!
+//! The public engines [`WindowEngine`](crate::WindowEngine) and
+//! [`AsyncEngine`](crate::AsyncEngine) are thin drivers over this module; new
+//! execution models (partial synchrony, message-omission adversaries, …) are
+//! added by implementing [`Scheduler`] — see DESIGN.md for a walkthrough.
+
+mod core;
+mod schedulers;
+
+pub use self::core::ExecutionCore;
+pub use self::schedulers::{AsyncScheduler, Scheduler, WindowScheduler};

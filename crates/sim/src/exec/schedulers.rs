@@ -1,0 +1,177 @@
+//! The two schedulers of the paper, expressed over [`ExecutionCore`].
+//!
+//! * [`WindowScheduler`] assembles one *acceptable window* (Definition 1) per
+//!   unit of time: a sending phase for everyone, an adversary-chosen window
+//!   validated against the definition, per-processor receiving phases, and at
+//!   most `t` resetting steps.
+//! * [`AsyncScheduler`] executes one adversary-chosen action per unit of time:
+//!   a single message delivery, a crash, a Byzantine corruption, or a halt.
+//!
+//! Adding a new execution model (partial synchrony, message-omission
+//! adversaries, …) means writing one more implementation of [`Scheduler`] in
+//! this shape; the core supplies every primitive both of these are built from.
+
+use agreement_model::TraceEvent;
+
+use crate::adversary::{AsyncAction, AsyncAdversary, WindowAdversary};
+use crate::outcome::RunLimits;
+
+use super::ExecutionCore;
+
+/// One adversary model's notion of a unit of scheduled time.
+///
+/// The [`ExecutionCore`] owns all execution state; a scheduler only decides
+/// how to compose the core's primitive transitions (sending, receiving,
+/// resetting, crashing, corrupting) into steps, which [`RunLimits`] cap
+/// applies, and which chain metric the outcome reports.
+pub trait Scheduler {
+    /// A short human-readable name, used in reports and panics.
+    fn name(&self) -> &'static str;
+
+    /// Called once before the first step. Implementations start the
+    /// processors and, where the model calls for it, flush initial sends.
+    /// Must be idempotent: driving an execution step by step and then through
+    /// [`ExecutionCore::run`] may invoke it more than once.
+    fn on_start(&mut self, core: &mut ExecutionCore) {
+        core.ensure_started();
+    }
+
+    /// Executes one unit of scheduled time. Returns `false` once the
+    /// execution has halted; further calls must be no-ops.
+    fn step(&mut self, core: &mut ExecutionCore) -> bool;
+
+    /// The cap from `limits` that applies to this scheduler's time unit.
+    fn max_time(&self, limits: &RunLimits) -> u64;
+
+    /// The longest-chain metric this model reports in its outcome.
+    fn longest_chain(&self, core: &ExecutionCore) -> u64;
+}
+
+/// The strongly adaptive model (Section 2): time advances one acceptable
+/// window at a time, chosen by a [`WindowAdversary`].
+#[derive(Debug)]
+pub struct WindowScheduler<A: ?Sized> {
+    adversary: A,
+}
+
+impl<'a> WindowScheduler<&'a mut dyn WindowAdversary> {
+    /// Wraps a window adversary borrowed for the duration of a run.
+    pub fn new(adversary: &'a mut dyn WindowAdversary) -> Self {
+        WindowScheduler { adversary }
+    }
+}
+
+impl<A: WindowAdversary + ?Sized> WindowScheduler<&mut A> {
+    /// Executes one acceptable window chosen by the wrapped adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adversary returns a window violating Definition 1 — that
+    /// is a bug in the adversary implementation, not a legitimate execution.
+    pub fn step_window(&mut self, core: &mut ExecutionCore) {
+        core.ensure_started();
+        // Anything not delivered in the previous window is never delivered.
+        core.discard_undelivered();
+
+        // Sending phase.
+        core.flush_all_outboxes();
+
+        // Adversary chooses the window with full information.
+        let window = core.with_view(|view| self.adversary.next_window(view));
+        if let Err(err) = window.validate(&core.config()) {
+            panic!(
+                "adversary {:?} produced an invalid window at index {}: {err}",
+                self.adversary.name(),
+                core.time()
+            );
+        }
+        core.push_trace(TraceEvent::WindowStarted { index: core.time() });
+
+        // Receiving phase, then resetting phase.
+        for recipient in agreement_model::ProcessorId::all(core.config().n()) {
+            core.deliver_from_senders(recipient, window.delivery_set(recipient.index()));
+        }
+        for &id in window.resets() {
+            core.reset(id);
+        }
+
+        core.advance_time();
+        core.record_decision_progress();
+    }
+}
+
+impl<A: WindowAdversary + ?Sized> Scheduler for WindowScheduler<&mut A> {
+    fn name(&self) -> &'static str {
+        self.adversary.name()
+    }
+
+    fn step(&mut self, core: &mut ExecutionCore) -> bool {
+        self.step_window(core);
+        true
+    }
+
+    fn max_time(&self, limits: &RunLimits) -> u64 {
+        limits.max_windows
+    }
+
+    /// Windowed running time is measured in windows; the chain metric reports
+    /// the window of the first decision (zero while undecided).
+    fn longest_chain(&self, core: &ExecutionCore) -> u64 {
+        core.windowed_chain_metric()
+    }
+}
+
+/// The fully asynchronous model (Section 5): time advances one adversary
+/// action at a time, chosen by an [`AsyncAdversary`].
+#[derive(Debug)]
+pub struct AsyncScheduler<A: ?Sized> {
+    adversary: A,
+}
+
+impl<'a> AsyncScheduler<&'a mut dyn AsyncAdversary> {
+    /// Wraps an asynchronous adversary borrowed for the duration of a run.
+    pub fn new(adversary: &'a mut dyn AsyncAdversary) -> Self {
+        AsyncScheduler { adversary }
+    }
+}
+
+impl<A: AsyncAdversary + ?Sized> Scheduler for AsyncScheduler<&mut A> {
+    fn name(&self) -> &'static str {
+        self.adversary.name()
+    }
+
+    /// Starting the asynchronous model immediately performs every processor's
+    /// initial sending step: the adversary schedules deliveries from the very
+    /// first action.
+    fn on_start(&mut self, core: &mut ExecutionCore) {
+        core.ensure_started();
+        core.flush_all_outboxes();
+    }
+
+    fn step(&mut self, core: &mut ExecutionCore) -> bool {
+        if core.is_halted() {
+            return false;
+        }
+        let action = core.with_view(|view| self.adversary.next_action(view));
+        core.advance_time();
+        match action {
+            AsyncAction::Deliver { from, to } => core.deliver_one(from, to),
+            AsyncAction::Crash(id) => core.crash(id),
+            AsyncAction::CorruptProcessor(id) => core.corrupt_processor(id),
+            AsyncAction::Corrupt { from, to, payload } => core.corrupt_message(from, to, payload),
+            AsyncAction::Halt => core.halt(),
+        }
+        core.record_decision_progress();
+        !core.is_halted()
+    }
+
+    fn max_time(&self, limits: &RunLimits) -> u64 {
+        limits.max_steps
+    }
+
+    /// Asynchronous running time is the longest message chain preceding the
+    /// first decision (Section 5's metric), tracked causally by the core.
+    fn longest_chain(&self, core: &ExecutionCore) -> u64 {
+        core.causal_chain_metric()
+    }
+}

@@ -284,7 +284,11 @@ mod tests {
         h.start();
         assert_eq!(h.outbox_len(), 4);
         h.start();
-        assert_eq!(h.outbox_len(), 4, "second start must not duplicate messages");
+        assert_eq!(
+            h.outbox_len(),
+            4,
+            "second start must not duplicate messages"
+        );
         let out = h.take_outbox();
         assert_eq!(out.len(), 4);
         assert_eq!(h.outbox_len(), 0);
@@ -347,7 +351,11 @@ mod tests {
         );
         assert_eq!(h.decision(), None);
         h.reset();
-        assert_eq!(h.reset_count(), 0, "resets do not apply to crashed processors");
+        assert_eq!(
+            h.reset_count(),
+            0,
+            "resets do not apply to crashed processors"
+        );
     }
 
     #[test]

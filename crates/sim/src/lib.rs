@@ -1,8 +1,13 @@
 //! Adversary-controlled simulation of asynchronous message-passing agreement.
 //!
 //! This crate is the execution substrate of the reproduction of Lewko & Lewko
-//! (PODC 2013). It provides two engines that drive [`agreement_model::Protocol`]
-//! state machines under full-information adversaries:
+//! (PODC 2013). Both execution models share one substrate — the
+//! [`ExecutionCore`] of the [`exec`] module, which owns processor harnesses,
+//! the in-flight [`MessageBuffer`], decision/validity tracking, trace emission
+//! and limit enforcement — while a pluggable [`Scheduler`] supplies what
+//! differs between models. Two engines drive
+//! [`agreement_model::Protocol`] state machines under full-information
+//! adversaries:
 //!
 //! * [`WindowEngine`] — the **strongly adaptive model** of Section 2: the
 //!   execution is a sequence of *acceptable windows* ([`Window`],
@@ -64,6 +69,7 @@
 mod adversary;
 mod async_engine;
 mod buffer;
+pub mod exec;
 mod harness;
 mod outcome;
 mod window;
@@ -75,6 +81,7 @@ pub use adversary::{
 };
 pub use async_engine::{run_async, AsyncEngine};
 pub use buffer::MessageBuffer;
+pub use exec::{AsyncScheduler, ExecutionCore, Scheduler, WindowScheduler};
 pub use harness::{HarnessCore, ProcessorHarness};
 pub use outcome::{RunLimits, RunOutcome};
 pub use window::{Window, WindowError};

@@ -121,9 +121,10 @@ impl RunOutcome {
     /// (Definition 2's second requirement). With binary inputs this reduces
     /// to: a unanimous input assignment forces that value.
     pub fn validity_holds(&self, inputs: &InputAssignment) -> bool {
-        self.decisions.iter().flatten().all(|decided| {
-            inputs.iter().any(|input| input == *decided)
-        })
+        self.decisions
+            .iter()
+            .flatten()
+            .all(|decided| inputs.iter().any(|input| input == *decided))
     }
 
     /// The common decided value, when agreement holds and someone decided.
@@ -183,12 +184,18 @@ mod tests {
         assert!(good.validity_holds(&inputs));
 
         let mixed = InputAssignment::evenly_split(3);
-        assert!(bad.validity_holds(&mixed), "any value is valid for mixed inputs");
+        assert!(
+            bad.validity_holds(&mixed),
+            "any value is valid for mixed inputs"
+        );
     }
 
     #[test]
     fn all_correct_decided_ignores_crashed() {
-        let o = outcome(vec![Some(Bit::One), None, Some(Bit::One)], vec![false, true, false]);
+        let o = outcome(
+            vec![Some(Bit::One), None, Some(Bit::One)],
+            vec![false, true, false],
+        );
         assert!(o.all_correct_decided());
         assert!(o.any_decided());
         let o = outcome(vec![Some(Bit::One), None, None], vec![false, true, false]);

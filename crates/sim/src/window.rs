@@ -48,7 +48,11 @@ impl Window {
     /// A window applying the same sender set `S` to every processor and the
     /// reset set `R`, i.e. the `R, S, S, ..., S` windows used throughout the
     /// proofs of Lemmas 13 and 14.
-    pub fn uniform(cfg: &SystemConfig, resets: Vec<ProcessorId>, senders: Vec<ProcessorId>) -> Self {
+    pub fn uniform(
+        cfg: &SystemConfig,
+        resets: Vec<ProcessorId>,
+        senders: Vec<ProcessorId>,
+    ) -> Self {
         Window {
             resets,
             deliveries: vec![senders; cfg.n()],
@@ -166,14 +170,20 @@ impl fmt::Display for WindowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WindowError::WrongArity { expected, actual } => {
-                write!(f, "window provides {actual} delivery sets, expected {expected}")
+                write!(
+                    f,
+                    "window provides {actual} delivery sets, expected {expected}"
+                )
             }
             WindowError::TooManyResets { budget, actual } => {
                 write!(f, "window resets {actual} processors, budget is {budget}")
             }
             WindowError::DuplicateReset => write!(f, "reset set contains a duplicate processor"),
             WindowError::DuplicateSender { recipient } => {
-                write!(f, "delivery set for processor {recipient} contains a duplicate sender")
+                write!(
+                    f,
+                    "delivery set for processor {recipient} contains a duplicate sender"
+                )
             }
             WindowError::DeliverySetTooSmall {
                 recipient,
@@ -229,7 +239,10 @@ mod tests {
         let w = Window::uniform(&cfg(), ids(&[0, 1]), ids(&[0, 1, 2, 3, 4, 5, 6]));
         assert_eq!(
             w.validate(&cfg()),
-            Err(WindowError::TooManyResets { budget: 1, actual: 2 })
+            Err(WindowError::TooManyResets {
+                budget: 1,
+                actual: 2
+            })
         );
     }
 
@@ -253,7 +266,10 @@ mod tests {
         let w = Window::new(vec![], vec![ids(&[0, 1, 2, 3, 4, 5]); 6]);
         assert_eq!(
             w.validate(&cfg()),
-            Err(WindowError::WrongArity { expected: 7, actual: 6 })
+            Err(WindowError::WrongArity {
+                expected: 7,
+                actual: 6
+            })
         );
     }
 

@@ -2,7 +2,9 @@
 //!
 //! The strongly adaptive adversary (Section 2) is constrained to produce
 //! executions that decompose into adjacent, disjoint *acceptable windows*
-//! (Definition 1). The [`WindowEngine`] drives one such execution:
+//! (Definition 1). The [`WindowEngine`] drives one such execution as a thin
+//! wrapper over the shared [`ExecutionCore`] with a
+//! [`WindowScheduler`](crate::exec::WindowScheduler); per window:
 //!
 //! 1. **Sending phase** — every non-crashed processor takes a sending step:
 //!    the messages it computed in response to the previous window's deliveries
@@ -20,30 +22,16 @@
 //!
 //! Running time is measured in acceptable windows, as in Section 2.
 
-use agreement_model::{
-    Bit, InputAssignment, ProcessorId, ProtocolBuilder, StateDigest, SystemConfig, Trace,
-    TraceEvent,
-};
+use agreement_model::{Bit, InputAssignment, ProtocolBuilder, StateDigest, SystemConfig};
 
-use crate::adversary::{SystemView, WindowAdversary};
-use crate::buffer::MessageBuffer;
-use crate::harness::ProcessorHarness;
+use crate::adversary::WindowAdversary;
+use crate::exec::{ExecutionCore, WindowScheduler};
 use crate::outcome::{RunLimits, RunOutcome};
-use crate::window::Window;
 
 /// An execution of the strongly adaptive (acceptable-window) model.
 #[derive(Debug)]
 pub struct WindowEngine {
-    cfg: SystemConfig,
-    inputs: InputAssignment,
-    harnesses: Vec<ProcessorHarness>,
-    buffer: MessageBuffer,
-    trace: Trace,
-    window_index: u64,
-    resets_performed: u64,
-    first_decision_at: Option<u64>,
-    all_decided_at: Option<u64>,
-    started: bool,
+    core: ExecutionCore,
 }
 
 impl WindowEngine {
@@ -58,66 +46,44 @@ impl WindowEngine {
         builder: &dyn ProtocolBuilder,
         master_seed: u64,
     ) -> Self {
-        assert_eq!(
-            inputs.len(),
-            cfg.n(),
-            "input assignment must cover every processor"
-        );
-        let harnesses = ProcessorId::all(cfg.n())
-            .map(|id| ProcessorHarness::new(id, inputs.bit(id.index()), cfg, builder, master_seed))
-            .collect();
         WindowEngine {
-            cfg,
-            inputs,
-            harnesses,
-            buffer: MessageBuffer::new(),
-            trace: Trace::new(),
-            window_index: 0,
-            resets_performed: 0,
-            first_decision_at: None,
-            all_decided_at: None,
-            started: false,
+            core: ExecutionCore::new(cfg, inputs, builder, master_seed),
         }
     }
 
     /// The system configuration.
     pub fn config(&self) -> SystemConfig {
-        self.cfg
+        self.core.config()
     }
 
     /// The input assignment of this execution.
     pub fn inputs(&self) -> &InputAssignment {
-        &self.inputs
+        self.core.inputs()
     }
 
     /// Number of acceptable windows executed so far.
     pub fn windows_elapsed(&self) -> u64 {
-        self.window_index
+        self.core.time()
     }
 
     /// The current output bits of all processors.
     pub fn decisions(&self) -> Vec<Option<Bit>> {
-        self.harnesses.iter().map(ProcessorHarness::decision).collect()
+        self.core.decisions()
     }
 
     /// The adversary-visible digests of all processors.
     pub fn digests(&self) -> Vec<StateDigest> {
-        self.harnesses.iter().map(ProcessorHarness::digest).collect()
+        self.core.digests()
     }
 
     /// `true` once every processor has written its output bit.
     pub fn all_decided(&self) -> bool {
-        self.harnesses.iter().all(|h| h.decision().is_some())
+        self.core.all_decided()
     }
 
-    fn ensure_started(&mut self) {
-        if self.started {
-            return;
-        }
-        self.started = true;
-        for harness in &mut self.harnesses {
-            harness.start();
-        }
+    /// Read access to the shared execution core driving this engine.
+    pub fn core(&self) -> &ExecutionCore {
+        &self.core
     }
 
     /// Executes one acceptable window chosen by `adversary`.
@@ -127,159 +93,19 @@ impl WindowEngine {
     /// Panics if the adversary returns a window violating Definition 1 — that
     /// is a bug in the adversary implementation, not a legitimate execution.
     pub fn step_window(&mut self, adversary: &mut dyn WindowAdversary) {
-        self.ensure_started();
-        // Anything not delivered in the previous window is never delivered.
-        self.buffer.discard_undelivered();
-
-        // Sending phase.
-        for harness in &mut self.harnesses {
-            if harness.is_crashed() {
-                continue;
-            }
-            for envelope in harness.take_outbox() {
-                self.trace.push(TraceEvent::Sent {
-                    from: envelope.sender,
-                    to: envelope.recipient,
-                });
-                self.buffer.enqueue(envelope);
-            }
-        }
-
-        // Adversary chooses the window with full information.
-        let window = {
-            let digests = self.digests();
-            let outputs = self.decisions();
-            let crashed: Vec<bool> =
-                self.harnesses.iter().map(ProcessorHarness::is_crashed).collect();
-            let view = SystemView {
-                config: self.cfg,
-                time: self.window_index,
-                digests: &digests,
-                outputs: &outputs,
-                crashed: &crashed,
-                buffer: &self.buffer,
-            };
-            let window = adversary.next_window(&view);
-            if let Err(err) = window.validate(&self.cfg) {
-                panic!(
-                    "adversary {:?} produced an invalid window at index {}: {err}",
-                    adversary.name(),
-                    self.window_index
-                );
-            }
-            window
-        };
-        self.trace.push(TraceEvent::WindowStarted {
-            index: self.window_index,
-        });
-
-        self.apply_window(&window);
-        self.window_index += 1;
-        self.record_decision_progress();
-    }
-
-    fn apply_window(&mut self, window: &Window) {
-        // Receiving phase: deliver, per recipient, the messages just sent by
-        // the senders in S_i, processing each one immediately.
-        for recipient in ProcessorId::all(self.cfg.n()) {
-            let before = self.harnesses[recipient.index()].decision();
-            for &sender in window.delivery_set(recipient.index()) {
-                let payloads = self.buffer.drain_channel(sender, recipient);
-                for payload in payloads {
-                    self.trace.push(TraceEvent::Delivered {
-                        from: sender,
-                        to: recipient,
-                    });
-                    self.harnesses[recipient.index()].deliver(sender, &payload);
-                }
-            }
-            let after = self.harnesses[recipient.index()].decision();
-            if before.is_none() {
-                if let Some(value) = after {
-                    self.trace.push(TraceEvent::Decided {
-                        id: recipient,
-                        value,
-                        at: self.window_index,
-                    });
-                }
-            }
-        }
-
-        // Resetting phase.
-        for &id in window.resets() {
-            self.harnesses[id.index()].reset();
-            self.resets_performed += 1;
-            self.trace.push(TraceEvent::Reset { id });
-        }
-    }
-
-    fn record_decision_progress(&mut self) {
-        if self.first_decision_at.is_none() && self.harnesses.iter().any(|h| h.decision().is_some())
-        {
-            self.first_decision_at = Some(self.window_index);
-        }
-        if self.all_decided_at.is_none() && self.all_decided() {
-            self.all_decided_at = Some(self.window_index);
-        }
+        WindowScheduler::new(adversary).step_window(&mut self.core);
     }
 
     /// Runs windows chosen by `adversary` until every processor has decided or
     /// `limits.max_windows` windows have elapsed, and reports the outcome.
     pub fn run(&mut self, adversary: &mut dyn WindowAdversary, limits: RunLimits) -> RunOutcome {
-        self.ensure_started();
-        self.record_decision_progress();
-        while !self.all_decided() && self.window_index < limits.max_windows {
-            self.step_window(adversary);
-        }
-        self.outcome()
+        let mut scheduler = WindowScheduler::new(adversary);
+        self.core.run(&mut scheduler, limits)
     }
 
     /// Produces the outcome snapshot of the execution so far.
     pub fn outcome(&self) -> RunOutcome {
-        let violations: Vec<String> = self
-            .harnesses
-            .iter()
-            .flat_map(|h| h.violations().iter().cloned())
-            .chain(self.validity_violations())
-            .collect();
-        RunOutcome {
-            decisions: self.decisions(),
-            crashed: self.harnesses.iter().map(ProcessorHarness::is_crashed).collect(),
-            duration: self.window_index,
-            first_decision_at: self.first_decision_at,
-            all_decided_at: self.all_decided_at,
-            violations,
-            messages_sent: self.buffer.enqueued_count(),
-            messages_delivered: self.buffer.delivered_count(),
-            resets_performed: self.resets_performed,
-            crashes_performed: 0,
-            longest_chain: self.first_decision_at.unwrap_or(0),
-            halted_by_adversary: false,
-            trace: self.trace.clone(),
-        }
-    }
-
-    fn validity_violations(&self) -> Vec<String> {
-        let mut violations = Vec::new();
-        if let Some(unanimous) = self.inputs.unanimous_value() {
-            for harness in &self.harnesses {
-                if let Some(decided) = harness.decision() {
-                    if decided != unanimous {
-                        violations.push(format!(
-                            "{} decided {decided} although every input is {unanimous}",
-                            harness.id()
-                        ));
-                    }
-                }
-            }
-        }
-        let mut decided_values = self.harnesses.iter().filter_map(ProcessorHarness::decision);
-        if let Some(first) = decided_values.next() {
-            if decided_values.any(|other| other != first) {
-                violations.push("processors decided conflicting values".to_string());
-            }
-        }
-        violations
+        self.core.outcome(self.core.windowed_chain_metric())
     }
 }
 
@@ -299,8 +125,9 @@ pub fn run_windowed(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::FullDeliveryAdversary;
-    use agreement_model::{Context, Payload, Protocol, StateDigest};
+    use crate::adversary::{FullDeliveryAdversary, SystemView};
+    use crate::window::Window;
+    use agreement_model::{Context, Payload, ProcessorId, Protocol, StateDigest};
 
     /// A toy protocol that decides once it has heard reports from everyone:
     /// it decides the majority value (ties -> One). One window suffices under
@@ -328,7 +155,11 @@ mod tests {
                     Bit::One => self.ones += 1,
                 }
                 if self.zeros + self.ones == self.n {
-                    let decision = if self.ones >= self.zeros { Bit::One } else { Bit::Zero };
+                    let decision = if self.ones >= self.zeros {
+                        Bit::One
+                    } else {
+                        Bit::Zero
+                    };
                     ctx.decide(decision);
                 }
             }
@@ -431,7 +262,10 @@ mod tests {
         );
         assert!(!outcome.any_decided());
         assert_eq!(outcome.duration, 17);
-        assert!(outcome.agreement_holds(), "no decisions is trivially agreeing");
+        assert!(
+            outcome.agreement_holds(),
+            "no decisions is trivially agreeing"
+        );
     }
 
     #[test]
@@ -482,5 +316,30 @@ mod tests {
         let cfg = SystemConfig::new(4, 1).unwrap();
         let inputs = InputAssignment::unanimous(3, Bit::One);
         let _ = WindowEngine::new(cfg, inputs, &MajorityBuilder, 5);
+    }
+
+    #[test]
+    fn stepwise_and_run_produce_identical_outcomes() {
+        let cfg = SystemConfig::new(5, 0).unwrap();
+        let inputs = InputAssignment::evenly_split(5);
+        let run_outcome = run_windowed(
+            cfg,
+            inputs.clone(),
+            &MajorityBuilder,
+            &mut FullDeliveryAdversary,
+            9,
+            RunLimits::small(),
+        );
+        let mut engine = WindowEngine::new(cfg, inputs, &MajorityBuilder, 9);
+        while !engine.all_decided() && engine.windows_elapsed() < RunLimits::small().max_windows {
+            engine.step_window(&mut FullDeliveryAdversary);
+        }
+        let stepped = engine.outcome();
+        assert_eq!(stepped.decisions, run_outcome.decisions);
+        assert_eq!(stepped.duration, run_outcome.duration);
+        assert_eq!(stepped.first_decision_at, run_outcome.first_decision_at);
+        assert_eq!(stepped.all_decided_at, run_outcome.all_decided_at);
+        assert_eq!(stepped.messages_sent, run_outcome.messages_sent);
+        assert_eq!(stepped.messages_delivered, run_outcome.messages_delivered);
     }
 }

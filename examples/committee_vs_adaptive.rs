@@ -19,7 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("committee members: {:?}\n", committee.committee());
 
     let mut non_adaptive = NonAdaptiveCrashAdversary::random(n, t, 99);
-    let fast = run_async(cfg, inputs.clone(), &committee, &mut non_adaptive, 1, RunLimits::standard());
+    let fast = run_async(
+        cfg,
+        inputs.clone(),
+        &committee,
+        &mut non_adaptive,
+        1,
+        RunLimits::standard(),
+    );
     println!(
         "committee vs non-adaptive crash : terminated = {}, decided = {:?}, chain = {}",
         fast.all_correct_decided(),
@@ -28,7 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut killer = AdaptiveCommitteeKiller::new(committee.committee().to_vec());
-    let stalled = run_async(cfg, inputs.clone(), &committee, &mut killer, 1, RunLimits::standard());
+    let stalled = run_async(
+        cfg,
+        inputs.clone(),
+        &committee,
+        &mut killer,
+        1,
+        RunLimits::standard(),
+    );
     println!(
         "committee vs adaptive killer    : terminated = {}, decided = {:?}",
         stalled.all_correct_decided(),
@@ -36,7 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut killer = AdaptiveCommitteeKiller::new(committee.committee().to_vec());
-    let robust = run_async(cfg, inputs.clone(), &BenOrBuilder::new(), &mut killer, 1, RunLimits::standard());
+    let robust = run_async(
+        cfg,
+        inputs.clone(),
+        &BenOrBuilder::new(),
+        &mut killer,
+        1,
+        RunLimits::standard(),
+    );
     println!(
         "ben-or    vs adaptive killer    : terminated = {}, decided = {:?}",
         robust.all_correct_decided(),

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let builder = ResetTolerantBuilder::recommended(&cfg)?;
 
     for (label, inputs) in [
-        ("unanimous 0", InputAssignment::unanimous(cfg.n(), Bit::Zero)),
+        (
+            "unanimous 0",
+            InputAssignment::unanimous(cfg.n(), Bit::Zero),
+        ),
         ("evenly split", InputAssignment::evenly_split(cfg.n())),
     ] {
         // Targeted resets, then the harsher split-vote + resets combination.

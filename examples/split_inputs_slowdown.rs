@@ -14,7 +14,10 @@ use agreement::sim::{run_windowed, FullDeliveryAdversary, RunLimits};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trials = 10u64;
     let mut points = Vec::new();
-    println!("{:>4} {:>4} {:>22} {:>22}", "n", "t", "mean windows (benign)", "mean windows (split-vote)");
+    println!(
+        "{:>4} {:>4} {:>22} {:>22}",
+        "n", "t", "mean windows (benign)", "mean windows (split-vote)"
+    );
     for n in [7usize, 9, 11, 13, 15] {
         let cfg = SystemConfig::with_sixth_resilience(n)?;
         let builder = ResetTolerantBuilder::recommended(&cfg)?;

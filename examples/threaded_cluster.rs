@@ -1,5 +1,5 @@
 //! Run the protocols as a real multi-threaded cluster (one OS thread per
-//! processor, crossbeam channels in between) rather than under the simulator.
+//! processor, mpsc channels in between) rather than under the simulator.
 //!
 //! Run with: `cargo run --example threaded_cluster`
 

@@ -1,0 +1,276 @@
+//! Properties of the unified `ExecutionCore` and the parallel campaign
+//! runner.
+//!
+//! The window and asynchronous engines are thin drivers over one shared core;
+//! these tests pin down the guarantees the refactor relies on:
+//!
+//! 1. **Determinism** — for a fixed seed, `run_windowed` / `run_async`
+//!    produce identical outcomes on every invocation (the refactor cannot
+//!    introduce hidden state).
+//! 2. **Driver equivalence** — driving the core step by step through the
+//!    engines produces the same outcome as `ExecutionCore::run` with the
+//!    corresponding scheduler.
+//! 3. **Campaign determinism** — parallel aggregation is bit-identical to the
+//!    serial path regardless of thread count.
+
+use agreement::adversary::{RotatingResetAdversary, ScheduledCrashAdversary, SplitVoteAdversary};
+use agreement::core::{Campaign, TrialPlan};
+use agreement::model::{Bit, InputAssignment, ProcessorId, ProcessorRng, SystemConfig};
+use agreement::protocols::{BenOrBuilder, BrachaBuilder, ResetTolerantBuilder};
+use agreement::sim::{
+    run_async, run_windowed, AsyncEngine, AsyncScheduler, ExecutionCore, FairAsyncAdversary,
+    FullDeliveryAdversary, RunLimits, RunOutcome, WindowEngine, WindowScheduler,
+};
+
+const CASES: u64 = 12;
+
+fn assert_outcomes_identical(a: &RunOutcome, b: &RunOutcome, context: &str) {
+    assert_eq!(a.decisions, b.decisions, "{context}: decisions");
+    assert_eq!(a.crashed, b.crashed, "{context}: crashed");
+    assert_eq!(a.duration, b.duration, "{context}: duration");
+    assert_eq!(
+        a.first_decision_at, b.first_decision_at,
+        "{context}: first_decision_at"
+    );
+    assert_eq!(
+        a.all_decided_at, b.all_decided_at,
+        "{context}: all_decided_at"
+    );
+    assert_eq!(a.violations, b.violations, "{context}: violations");
+    assert_eq!(a.messages_sent, b.messages_sent, "{context}: messages_sent");
+    assert_eq!(
+        a.messages_delivered, b.messages_delivered,
+        "{context}: messages_delivered"
+    );
+    assert_eq!(
+        a.resets_performed, b.resets_performed,
+        "{context}: resets_performed"
+    );
+    assert_eq!(
+        a.crashes_performed, b.crashes_performed,
+        "{context}: crashes_performed"
+    );
+    assert_eq!(a.longest_chain, b.longest_chain, "{context}: longest_chain");
+    assert_eq!(
+        a.halted_by_adversary, b.halted_by_adversary,
+        "{context}: halted"
+    );
+    assert_eq!(
+        a.trace.total_events(),
+        b.trace.total_events(),
+        "{context}: trace events"
+    );
+    assert_eq!(
+        a.trace.stored(),
+        b.trace.stored(),
+        "{context}: trace contents"
+    );
+}
+
+/// Re-running `run_windowed` with a fixed seed reproduces the outcome
+/// bit-for-bit, across inputs and adversaries.
+#[test]
+fn windowed_runs_are_deterministic_for_fixed_seeds() {
+    let cfg = SystemConfig::with_sixth_resilience(13).unwrap();
+    let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+    for case in 0..CASES {
+        let mut gen = ProcessorRng::labelled(0x5EED, case);
+        let seed = gen.range(10_000);
+        let inputs = InputAssignment::new((0..13).map(|_| gen.bit()).collect());
+        let limits = RunLimits::windows(20_000);
+        let first = run_windowed(
+            cfg,
+            inputs.clone(),
+            &builder,
+            &mut SplitVoteAdversary::new(),
+            seed,
+            limits,
+        );
+        let second = run_windowed(
+            cfg,
+            inputs.clone(),
+            &builder,
+            &mut SplitVoteAdversary::new(),
+            seed,
+            limits,
+        );
+        assert_outcomes_identical(
+            &first,
+            &second,
+            &format!("windowed case {case} seed {seed}"),
+        );
+    }
+}
+
+/// Re-running `run_async` with a fixed seed reproduces the outcome
+/// bit-for-bit, including crash scheduling and chain metrics.
+#[test]
+fn async_runs_are_deterministic_for_fixed_seeds() {
+    let cfg = SystemConfig::new(7, 2).unwrap();
+    for case in 0..CASES {
+        let mut gen = ProcessorRng::labelled(0xAB5EED, case);
+        let seed = gen.range(10_000);
+        let inputs = InputAssignment::new((0..7).map(|_| gen.bit()).collect());
+        let crash_list = vec![ProcessorId::new(gen.range(7) as usize)];
+        let limits = RunLimits::steps(500_000);
+        let first = run_async(
+            cfg,
+            inputs.clone(),
+            &BenOrBuilder::new(),
+            &mut ScheduledCrashAdversary::new(crash_list.clone()),
+            seed,
+            limits,
+        );
+        let second = run_async(
+            cfg,
+            inputs.clone(),
+            &BenOrBuilder::new(),
+            &mut ScheduledCrashAdversary::new(crash_list),
+            seed,
+            limits,
+        );
+        assert_outcomes_identical(&first, &second, &format!("async case {case} seed {seed}"));
+    }
+}
+
+/// Driving the core directly with a `WindowScheduler` matches the
+/// `WindowEngine` driver exactly.
+#[test]
+fn window_engine_and_raw_core_agree() {
+    let cfg = SystemConfig::with_sixth_resilience(7).unwrap();
+    let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+    for case in 0..CASES {
+        let mut gen = ProcessorRng::labelled(0xCAFE, case);
+        let seed = gen.range(10_000);
+        let inputs = InputAssignment::new((0..7).map(|_| gen.bit()).collect());
+        let limits = RunLimits::windows(20_000);
+
+        let mut engine = WindowEngine::new(cfg, inputs.clone(), &builder, seed);
+        let engine_outcome = engine.run(&mut RotatingResetAdversary::new(), limits);
+
+        let mut core = ExecutionCore::new(cfg, inputs, &builder, seed);
+        let mut adversary = RotatingResetAdversary::new();
+        let mut scheduler = WindowScheduler::new(&mut adversary);
+        let core_outcome = core.run(&mut scheduler, limits);
+
+        assert_outcomes_identical(
+            &engine_outcome,
+            &core_outcome,
+            &format!("window core case {case} seed {seed}"),
+        );
+    }
+}
+
+/// Driving the core directly with an `AsyncScheduler` matches the
+/// `AsyncEngine` driver exactly (including the eager initial sends the
+/// asynchronous model performs at construction).
+#[test]
+fn async_engine_and_raw_core_agree() {
+    let cfg = SystemConfig::new(7, 2).unwrap();
+    for case in 0..CASES {
+        let mut gen = ProcessorRng::labelled(0xBEEF, case);
+        let seed = gen.range(10_000);
+        let inputs = InputAssignment::new((0..7).map(|_| gen.bit()).collect());
+        let limits = RunLimits::steps(500_000);
+
+        let mut engine = AsyncEngine::new(cfg, inputs.clone(), &BrachaBuilder::new(), seed);
+        let engine_outcome = engine.run(&mut FairAsyncAdversary::default(), limits);
+
+        let mut core = ExecutionCore::new(cfg, inputs, &BrachaBuilder::new(), seed);
+        let mut adversary = FairAsyncAdversary::default();
+        let mut scheduler = AsyncScheduler::new(&mut adversary);
+        let core_outcome = core.run(&mut scheduler, limits);
+
+        assert_outcomes_identical(
+            &engine_outcome,
+            &core_outcome,
+            &format!("async core case {case} seed {seed}"),
+        );
+    }
+}
+
+/// A window execution never books crashes or async-style chains, and an
+/// asynchronous execution never books resets — the shared core keeps the two
+/// models' bookkeeping apart.
+#[test]
+fn model_specific_counters_stay_separated() {
+    let cfg = SystemConfig::with_sixth_resilience(13).unwrap();
+    let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+    let windowed = run_windowed(
+        cfg,
+        InputAssignment::evenly_split(13),
+        &builder,
+        &mut RotatingResetAdversary::new(),
+        1,
+        RunLimits::windows(5_000),
+    );
+    assert_eq!(windowed.crashes_performed, 0);
+    assert!(windowed.resets_performed > 0);
+
+    let cfg = SystemConfig::new(7, 2).unwrap();
+    let asynchronous = run_async(
+        cfg,
+        InputAssignment::evenly_split(7),
+        &BenOrBuilder::new(),
+        &mut ScheduledCrashAdversary::new(vec![ProcessorId::new(0)]),
+        1,
+        RunLimits::steps(500_000),
+    );
+    assert_eq!(asynchronous.resets_performed, 0);
+    assert_eq!(asynchronous.crashes_performed, 1);
+}
+
+/// The parallel campaign aggregates bit-identically to the serial path for
+/// the same base seed, whatever the thread count — both for window and for
+/// asynchronous campaigns.
+#[test]
+fn campaign_aggregation_is_thread_count_invariant() {
+    let cfg = SystemConfig::with_sixth_resilience(13).unwrap();
+    let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+    let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(13))
+        .trials(10)
+        .base_seed(0xFEED)
+        .limits(RunLimits::windows(3_000));
+    let serial = Campaign::serial().run_windowed(&plan, &builder, SplitVoteAdversary::new);
+    for threads in [2usize, 4, 7, 16, 0] {
+        let parallel =
+            Campaign::with_threads(threads).run_windowed(&plan, &builder, SplitVoteAdversary::new);
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+
+    let cfg = SystemConfig::new(6, 2).unwrap();
+    let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(6))
+        .trials(10)
+        .base_seed(0xF00)
+        .limits(RunLimits::steps(500_000));
+    let serial = Campaign::serial().run_async(&plan, &BenOrBuilder::new(), |_| {
+        FairAsyncAdversary::default()
+    });
+    for threads in [3usize, 8, 0] {
+        let parallel =
+            Campaign::with_threads(threads).run_async(&plan, &BenOrBuilder::new(), |_| {
+                FairAsyncAdversary::default()
+            });
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+}
+
+/// The benign full-delivery baseline still terminates in one window through
+/// the unified core, pinning the E1 fast path.
+#[test]
+fn full_delivery_baseline_outcome_is_pinned() {
+    let cfg = SystemConfig::with_sixth_resilience(7).unwrap();
+    let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+    let inputs = InputAssignment::unanimous(7, Bit::One);
+    let outcome = run_windowed(
+        cfg,
+        inputs.clone(),
+        &builder,
+        &mut FullDeliveryAdversary,
+        42,
+        RunLimits::small(),
+    );
+    assert!(outcome.is_correct(&inputs));
+    assert_eq!(outcome.decided_value(), Some(Bit::One));
+    assert!(outcome.all_decided_at.is_some());
+}

@@ -3,15 +3,17 @@
 
 use agreement::adversary::{
     AdaptiveCommitteeKiller, EquivocatingAdversary, LockstepBalancingAdversary,
-    NonAdaptiveCrashAdversary, RotatingResetAdversary, ScheduledCrashAdversary,
-    SplitVoteAdversary, TargetedResetAdversary,
+    NonAdaptiveCrashAdversary, RotatingResetAdversary, ScheduledCrashAdversary, SplitVoteAdversary,
+    TargetedResetAdversary,
 };
 use agreement::analysis::{success_probability, window_bound};
 use agreement::core::experiments::{exp4_zset_separation, Scale};
 use agreement::model::{Bit, InputAssignment, ProcessorId, SystemConfig};
 use agreement::net::Cluster;
 use agreement::protocols::{BenOrBuilder, BrachaBuilder, CommitteeBuilder, ResetTolerantBuilder};
-use agreement::sim::{run_async, run_windowed, FairAsyncAdversary, FullDeliveryAdversary, RunLimits};
+use agreement::sim::{
+    run_async, run_windowed, FairAsyncAdversary, FullDeliveryAdversary, RunLimits,
+};
 
 /// Theorem 4, end to end: the reset-tolerant protocol agrees, stays valid and
 /// terminates against every strongly adaptive adversary we implement.
@@ -47,7 +49,11 @@ fn reset_tolerant_is_correct_against_every_windowed_adversary() {
                     "non-termination against {} on {inputs} (seed {seed})",
                     adversary.name()
                 );
-                assert!(outcome.is_correct(&inputs), "violation against {}", adversary.name());
+                assert!(
+                    outcome.is_correct(&inputs),
+                    "violation against {}",
+                    adversary.name()
+                );
             }
         }
     }
@@ -90,7 +96,11 @@ fn unanimous_inputs_force_the_decision_value_across_protocols() {
             3,
             RunLimits::steps(500_000),
         );
-        assert_eq!(outcome.decided_value(), Some(value), "bracha under fair scheduling");
+        assert_eq!(
+            outcome.decided_value(),
+            Some(value),
+            "bracha under fair scheduling"
+        );
     }
 }
 
@@ -142,21 +152,48 @@ fn committee_contrast_matches_the_papers_argument() {
     let committee = CommitteeBuilder::random(&cfg, 5, 7);
 
     let mut killer = AdaptiveCommitteeKiller::new(committee.committee().to_vec());
-    let stalled = run_async(cfg, inputs.clone(), &committee, &mut killer, 1, RunLimits::small());
-    assert!(!stalled.all_correct_decided(), "the adaptive killer must stall the committee");
+    let stalled = run_async(
+        cfg,
+        inputs.clone(),
+        &committee,
+        &mut killer,
+        1,
+        RunLimits::small(),
+    );
+    assert!(
+        !stalled.all_correct_decided(),
+        "the adaptive killer must stall the committee"
+    );
 
     let mut successes = 0;
     for seed in 0..5 {
         let mut non_adaptive = NonAdaptiveCrashAdversary::random(n, t, seed);
-        let outcome = run_async(cfg, inputs.clone(), &committee, &mut non_adaptive, seed, RunLimits::small());
+        let outcome = run_async(
+            cfg,
+            inputs.clone(),
+            &committee,
+            &mut non_adaptive,
+            seed,
+            RunLimits::small(),
+        );
         if outcome.all_correct_decided() && outcome.is_correct(&inputs) {
             successes += 1;
         }
     }
-    assert!(successes >= 4, "non-adaptive crashes should rarely hit the committee ({successes}/5)");
+    assert!(
+        successes >= 4,
+        "non-adaptive crashes should rarely hit the committee ({successes}/5)"
+    );
 
     let mut killer = AdaptiveCommitteeKiller::new(committee.committee().to_vec());
-    let robust = run_async(cfg, inputs.clone(), &BenOrBuilder::new(), &mut killer, 1, RunLimits::standard());
+    let robust = run_async(
+        cfg,
+        inputs.clone(),
+        &BenOrBuilder::new(),
+        &mut killer,
+        1,
+        RunLimits::standard(),
+    );
     assert!(robust.all_correct_decided());
     assert!(robust.is_correct(&inputs));
 }

@@ -1,29 +1,33 @@
-//! Property-based tests (proptest) over the core invariants: agreement and
-//! validity hold for every seed, input assignment and adversary mix we can
-//! generate; window legality and Hamming metric axioms hold for arbitrary
-//! parameters.
+//! Property-based tests over the core invariants: agreement and validity hold
+//! for every seed, input assignment and adversary mix we can generate; window
+//! legality and Hamming metric axioms hold for arbitrary parameters.
+//!
+//! The build environment is offline, so instead of proptest the cases are
+//! generated from a deterministic [`ProcessorRng`] stream: every run explores
+//! the same cases, and a failing case is reproducible from its printed seed.
 
 use agreement::adversary::{RotatingResetAdversary, SplitVoteAdversary};
 use agreement::analysis::{hamming_distance, talagrand_bound, ProductDistribution};
 use agreement::model::{Bit, InputAssignment, ProcessorId, ProcessorRng, SystemConfig, Thresholds};
 use agreement::protocols::{BenOrBuilder, ResetTolerantBuilder, RoundTally};
 use agreement::sim::{run_async, run_windowed, FairAsyncAdversary, RunLimits, Window};
-use proptest::prelude::*;
 
-fn arbitrary_inputs(n: usize) -> impl Strategy<Value = InputAssignment> {
-    proptest::collection::vec(any::<bool>(), n)
-        .prop_map(|bits| InputAssignment::new(bits.into_iter().map(Bit::from).collect()))
+const CASES: u64 = 16;
+
+fn arbitrary_inputs(rng: &mut ProcessorRng, n: usize) -> InputAssignment {
+    InputAssignment::new((0..n).map(|_| rng.bit()).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Agreement and validity are never violated by the reset-tolerant
-    /// protocol under the split-vote adversary, whatever the seed and inputs.
-    #[test]
-    fn reset_tolerant_never_violates_safety(seed in 0u64..1_000, inputs in arbitrary_inputs(13)) {
-        let cfg = SystemConfig::with_sixth_resilience(13).unwrap();
-        let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+/// Agreement and validity are never violated by the reset-tolerant protocol
+/// under the split-vote adversary, whatever the seed and inputs.
+#[test]
+fn reset_tolerant_never_violates_safety() {
+    let cfg = SystemConfig::with_sixth_resilience(13).unwrap();
+    let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+    for case in 0..CASES {
+        let mut gen = ProcessorRng::labelled(0xA11CE, case);
+        let seed = gen.range(1_000);
+        let inputs = arbitrary_inputs(&mut gen, 13);
         let outcome = run_windowed(
             cfg,
             inputs.clone(),
@@ -32,16 +36,30 @@ proptest! {
             seed,
             RunLimits::windows(20_000),
         );
-        prop_assert!(outcome.agreement_holds());
-        prop_assert!(outcome.validity_holds(&inputs));
-        prop_assert!(outcome.violations.is_empty());
+        assert!(
+            outcome.agreement_holds(),
+            "case {case} seed {seed} inputs {inputs}"
+        );
+        assert!(
+            outcome.validity_holds(&inputs),
+            "case {case} seed {seed} inputs {inputs}"
+        );
+        assert!(
+            outcome.violations.is_empty(),
+            "case {case} seed {seed} inputs {inputs}"
+        );
     }
+}
 
-    /// The same invariants under the rotating-reset adversary.
-    #[test]
-    fn reset_storms_never_violate_safety(seed in 0u64..1_000, inputs in arbitrary_inputs(7)) {
-        let cfg = SystemConfig::with_sixth_resilience(7).unwrap();
-        let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+/// The same invariants under the rotating-reset adversary.
+#[test]
+fn reset_storms_never_violate_safety() {
+    let cfg = SystemConfig::with_sixth_resilience(7).unwrap();
+    let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+    for case in 0..CASES {
+        let mut gen = ProcessorRng::labelled(0xB0B, case);
+        let seed = gen.range(1_000);
+        let inputs = arbitrary_inputs(&mut gen, 7);
         let outcome = run_windowed(
             cfg,
             inputs.clone(),
@@ -50,14 +68,25 @@ proptest! {
             seed,
             RunLimits::windows(20_000),
         );
-        prop_assert!(outcome.agreement_holds());
-        prop_assert!(outcome.validity_holds(&inputs));
+        assert!(
+            outcome.agreement_holds(),
+            "case {case} seed {seed} inputs {inputs}"
+        );
+        assert!(
+            outcome.validity_holds(&inputs),
+            "case {case} seed {seed} inputs {inputs}"
+        );
     }
+}
 
-    /// Ben-Or under fair asynchronous scheduling is safe and live for any inputs.
-    #[test]
-    fn ben_or_fair_schedule_safety_and_liveness(seed in 0u64..1_000, inputs in arbitrary_inputs(6)) {
-        let cfg = SystemConfig::new(6, 2).unwrap();
+/// Ben-Or under fair asynchronous scheduling is safe and live for any inputs.
+#[test]
+fn ben_or_fair_schedule_safety_and_liveness() {
+    let cfg = SystemConfig::new(6, 2).unwrap();
+    for case in 0..CASES {
+        let mut gen = ProcessorRng::labelled(0xC0DE, case);
+        let seed = gen.range(1_000);
+        let inputs = arbitrary_inputs(&mut gen, 6);
         let outcome = run_async(
             cfg,
             inputs.clone(),
@@ -66,50 +95,72 @@ proptest! {
             seed,
             RunLimits::steps(1_000_000),
         );
-        prop_assert!(outcome.agreement_holds());
-        prop_assert!(outcome.validity_holds(&inputs));
-        prop_assert!(outcome.all_correct_decided());
+        assert!(
+            outcome.agreement_holds(),
+            "case {case} seed {seed} inputs {inputs}"
+        );
+        assert!(
+            outcome.validity_holds(&inputs),
+            "case {case} seed {seed} inputs {inputs}"
+        );
+        assert!(
+            outcome.all_correct_decided(),
+            "case {case} seed {seed} inputs {inputs}"
+        );
     }
+}
 
-    /// Hamming distance satisfies the metric axioms.
-    #[test]
-    fn hamming_distance_is_a_metric(
-        a in proptest::collection::vec(0u8..4, 12),
-        b in proptest::collection::vec(0u8..4, 12),
-        c in proptest::collection::vec(0u8..4, 12),
-    ) {
-        prop_assert_eq!(hamming_distance(&a, &a), 0);
-        prop_assert_eq!(hamming_distance(&a, &b), hamming_distance(&b, &a));
-        prop_assert!(hamming_distance(&a, &c) <= hamming_distance(&a, &b) + hamming_distance(&b, &c));
-        prop_assert!(hamming_distance(&a, &b) <= a.len());
+/// Hamming distance satisfies the metric axioms.
+#[test]
+fn hamming_distance_is_a_metric() {
+    for case in 0..CASES {
+        let mut gen = ProcessorRng::labelled(0xD15, case);
+        let vector =
+            |gen: &mut ProcessorRng| -> Vec<u8> { (0..12).map(|_| gen.range(4) as u8).collect() };
+        let a = vector(&mut gen);
+        let b = vector(&mut gen);
+        let c = vector(&mut gen);
+        assert_eq!(hamming_distance(&a, &a), 0);
+        assert_eq!(hamming_distance(&a, &b), hamming_distance(&b, &a));
+        assert!(
+            hamming_distance(&a, &c) <= hamming_distance(&a, &b) + hamming_distance(&b, &c),
+            "triangle inequality failed: {a:?} {b:?} {c:?}"
+        );
+        assert!(hamming_distance(&a, &b) <= a.len());
     }
+}
 
-    /// Every window built from legal (R, S) choices validates, and every
-    /// window with an oversized reset set is rejected.
-    #[test]
-    fn window_validation_matches_definition_one(
-        n in 4usize..12,
-        t_fraction in 0usize..3,
-        reset_extra in 0usize..3,
-    ) {
+/// Every window built from legal (R, S) choices validates, and every window
+/// with an oversized reset set is rejected.
+#[test]
+fn window_validation_matches_definition_one() {
+    for case in 0..CASES {
+        let mut gen = ProcessorRng::labelled(0xE44, case);
+        let n = 4 + gen.range(8) as usize;
+        let t_fraction = gen.range(3) as usize;
+        let reset_extra = gen.range(3) as usize;
         let t = (n / 6).max(t_fraction.min(n - 1));
         let cfg = SystemConfig::new(n, t).unwrap();
         let senders: Vec<ProcessorId> = ProcessorId::all(n).skip(t).collect();
         let legal = Window::uniform(&cfg, ProcessorId::all(n).take(t).collect(), senders.clone());
-        prop_assert!(legal.validate(&cfg).is_ok());
+        assert!(legal.validate(&cfg).is_ok(), "case {case}: n={n} t={t}");
         let oversized: Vec<ProcessorId> = ProcessorId::all(n).take(t + 1 + reset_extra).collect();
         if oversized.len() > t {
             let illegal = Window::uniform(&cfg, oversized, senders);
-            prop_assert!(illegal.validate(&cfg).is_err());
+            assert!(illegal.validate(&cfg).is_err(), "case {case}: n={n} t={t}");
         }
     }
+}
 
-    /// Tally counts never exceed the number of distinct voters and are
-    /// insensitive to duplicate votes.
-    #[test]
-    fn tally_counts_are_bounded_by_distinct_voters(
-        votes in proptest::collection::vec((0usize..10, any::<bool>()), 0..60)
-    ) {
+/// Tally counts never exceed the number of distinct voters and are
+/// insensitive to duplicate votes.
+#[test]
+fn tally_counts_are_bounded_by_distinct_voters() {
+    for case in 0..CASES {
+        let mut gen = ProcessorRng::labelled(0xF00D, case);
+        let votes: Vec<(usize, bool)> = (0..gen.range(60))
+            .map(|_| (gen.range(10) as usize, gen.bit().is_one()))
+            .collect();
         let mut tally = RoundTally::new();
         for (sender, value) in &votes {
             tally.record(1, 0, ProcessorId::new(*sender), Some(Bit::from(*value)));
@@ -117,34 +168,54 @@ proptest! {
             tally.record(1, 0, ProcessorId::new(*sender), Some(Bit::from(!*value)));
         }
         let distinct: std::collections::BTreeSet<usize> = votes.iter().map(|(s, _)| *s).collect();
-        prop_assert_eq!(tally.total(1, 0), distinct.len());
-        prop_assert!(tally.count(1, 0, Bit::Zero) + tally.count(1, 0, Bit::One) == distinct.len());
+        assert_eq!(tally.total(1, 0), distinct.len(), "case {case}");
+        assert!(
+            tally.count(1, 0, Bit::Zero) + tally.count(1, 0, Bit::One) == distinct.len(),
+            "case {case}"
+        );
     }
+}
 
-    /// The Talagrand bound is never violated by singleton sets under random
-    /// biased product distributions (exact computation, small n).
-    #[test]
-    fn talagrand_holds_for_singletons(
-        biases in proptest::collection::vec(0.05f64..0.95, 6),
-        d in 0usize..6,
-        seed in 0u64..1_000,
-    ) {
+/// The Talagrand bound is never violated by singleton sets under random
+/// biased product distributions (exact computation, small n).
+#[test]
+fn talagrand_holds_for_singletons() {
+    for case in 0..CASES {
+        let mut gen = ProcessorRng::labelled(0x7A1A, case);
+        let biases: Vec<f64> = (0..6)
+            .map(|_| 0.05 + 0.9 * gen.range(1_000) as f64 / 1_000.0)
+            .collect();
+        let d = gen.range(6) as usize;
+        let seed = gen.range(1_000);
         let distribution = ProductDistribution::biased_bits(&biases);
         let mut rng = ProcessorRng::from_seed(seed);
         let point = distribution.sample(&mut rng);
         let a = vec![point];
         let check = agreement::analysis::check_talagrand(&distribution, &a, d);
-        prop_assert!(check.lhs <= talagrand_bound(d, biases.len()) + 1e-12);
+        assert!(
+            check.lhs <= talagrand_bound(d, biases.len()) + 1e-12,
+            "case {case}: biases {biases:?} d {d}"
+        );
     }
+}
 
-    /// Threshold validation accepts exactly the Theorem 4 region.
-    #[test]
-    fn threshold_validation_matches_theorem_4(
-        t1 in 1usize..14, t2 in 1usize..14, t3 in 1usize..14,
-    ) {
-        let cfg = SystemConfig::new(13, 2).unwrap();
-        let thresholds = Thresholds::new(t1, t2, t3);
-        let expected = t1 <= 13 - 4 && t1 >= t2 && t2 >= t3 + 2 && 2 * t3 > 13 && 2 * t3 > t1;
-        prop_assert_eq!(thresholds.is_valid_for(&cfg), expected);
+/// Threshold validation accepts exactly the Theorem 4 region.
+#[test]
+fn threshold_validation_matches_theorem_4() {
+    let cfg = SystemConfig::new(13, 2).unwrap();
+    // Small enough to sweep exhaustively — stronger than sampling.
+    for t1 in 1usize..14 {
+        for t2 in 1usize..14 {
+            for t3 in 1usize..14 {
+                let thresholds = Thresholds::new(t1, t2, t3);
+                let expected =
+                    t1 <= 13 - 4 && t1 >= t2 && t2 >= t3 + 2 && 2 * t3 > 13 && 2 * t3 > t1;
+                assert_eq!(
+                    thresholds.is_valid_for(&cfg),
+                    expected,
+                    "T1={t1} T2={t2} T3={t3}"
+                );
+            }
+        }
     }
 }
