@@ -86,34 +86,26 @@ impl AsyncAdversary for EquivocatingAdversary {
             self.corrupted_declared += 1;
             return AsyncAction::CorruptProcessor(id);
         }
-        let n = view.n();
-        let channels = n * n;
-        for offset in 0..channels {
-            let idx = (self.cursor + offset) % channels;
-            let from = ProcessorId::new(idx / n);
-            let to = ProcessorId::new(idx % n);
-            if view.crashed[to.index()] || view.buffer.pending_on(from, to) == 0 {
-                continue;
-            }
-            // Corrupt the head of a corrupted sender's channel exactly once,
-            // then deliver it on the next visit.
-            if from.index() < view.t() && !self.corrupted_heads.contains(&(from, to)) {
-                if let Some(head) = view.buffer.peek(from, to) {
-                    if let Some(corrupted) = Self::corrupted_payload(head, Self::lie_for(to)) {
-                        self.corrupted_heads.insert((from, to));
-                        return AsyncAction::Corrupt {
-                            from,
-                            to,
-                            payload: corrupted,
-                        };
-                    }
+        let Some((next_cursor, from, to)) = view.next_pending_channel(self.cursor) else {
+            return AsyncAction::Halt;
+        };
+        // Corrupt the head of a corrupted sender's channel exactly once (the
+        // cursor stays put), then deliver it on the next visit.
+        if from.index() < view.t() && !self.corrupted_heads.contains(&(from, to)) {
+            if let Some(head) = view.buffer.peek(from, to) {
+                if let Some(corrupted) = Self::corrupted_payload(head, Self::lie_for(to)) {
+                    self.corrupted_heads.insert((from, to));
+                    return AsyncAction::Corrupt {
+                        from,
+                        to,
+                        payload: corrupted,
+                    };
                 }
             }
-            self.corrupted_heads.remove(&(from, to));
-            self.cursor = (idx + 1) % channels;
-            return AsyncAction::Deliver { from, to };
         }
-        AsyncAction::Halt
+        self.corrupted_heads.remove(&(from, to));
+        self.cursor = next_cursor;
+        AsyncAction::Deliver { from, to }
     }
 }
 

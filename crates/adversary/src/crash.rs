@@ -51,33 +51,28 @@ impl ScheduledCrashAdversary {
     }
 
     fn deliver_fairly(&mut self, view: &SystemView<'_>) -> AsyncAction {
-        let n = view.n();
-        let channels = n * n;
-        for offset in 0..channels {
-            let idx = (self.cursor + offset) % channels;
-            let from = ProcessorId::new(idx / n);
-            let to = ProcessorId::new(idx % n);
-            if view.crashed[to.index()] {
-                continue;
-            }
-            if self.withhold_from_victims
+        let admit = |from: ProcessorId, _to: ProcessorId| {
+            !(self.withhold_from_victims
                 && view.crashed[from.index()]
-                && self.victims.contains(&from)
-            {
-                continue;
+                && self.victims.contains(&from))
+        };
+        match view.next_pending_channel_where(self.cursor, admit) {
+            Some((next_cursor, from, to)) => {
+                self.cursor = next_cursor;
+                AsyncAction::Deliver { from, to }
             }
-            if view.buffer.pending_on(from, to) > 0 {
-                self.cursor = (idx + 1) % channels;
-                return AsyncAction::Deliver { from, to };
-            }
+            None => AsyncAction::Halt,
         }
-        AsyncAction::Halt
     }
 }
 
 impl AsyncAdversary for ScheduledCrashAdversary {
     fn name(&self) -> &'static str {
-        "scheduled-crash"
+        if self.withhold_from_victims {
+            "withholding-crash"
+        } else {
+            "scheduled-crash"
+        }
     }
 
     fn next_action(&mut self, view: &SystemView<'_>) -> AsyncAction {

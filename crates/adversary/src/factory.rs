@@ -1,0 +1,427 @@
+//! Data-driven adversary construction: the [`AdversaryFactory`] trait and the
+//! [`registry`] of every adversary this reproduction ships.
+//!
+//! The scenario layer (`agreement-core`) describes a workload as *data* — a
+//! protocol crossed with an adversary, an input pattern, a model and a size —
+//! and needs to turn the adversary part of that description into a live
+//! scheduler at trial time. Each adversary module therefore exposes one
+//! factory here: a named, model-tagged constructor from an
+//! [`AdversaryBuildCtx`] (system configuration, per-trial seed, and optional
+//! target set). The [`registry`] enumerates every paper adversary plus the
+//! benign baselines of `agreement-sim`, so arbitrary combinations can be
+//! expanded from tables instead of hand-rolled loops.
+//!
+//! | Factory name | Model | Built adversary |
+//! |---|---|---|
+//! | `full-delivery` | windowed | [`FullDeliveryAdversary`] |
+//! | `rotating-reset` | windowed | [`RotatingResetAdversary`] |
+//! | `targeted-reset` | windowed | [`TargetedResetAdversary`] |
+//! | `split-vote` | windowed | [`SplitVoteAdversary::new`] |
+//! | `split-vote+resets` | windowed | [`SplitVoteAdversary::with_resets`] |
+//! | `polarizing` | windowed | [`PolarizingAdversary`] |
+//! | `fair-round-robin` | async | [`FairAsyncAdversary`] |
+//! | `lockstep-balancing` | async | [`LockstepBalancingAdversary`] |
+//! | `scheduled-crash` | async | [`ScheduledCrashAdversary::new`] on the targets (default: first `t`) |
+//! | `withholding-crash` | async | [`ScheduledCrashAdversary::withholding`] on the targets (default: first `t`) |
+//! | `non-adaptive-crash` | async | [`NonAdaptiveCrashAdversary::random`] from the trial seed |
+//! | `adaptive-committee-killer` | async | [`AdaptiveCommitteeKiller`] on the targets (default: first `t`) |
+//! | `equivocating-byzantine` | async | [`EquivocatingAdversary`] |
+
+use agreement_model::{ProcessorId, SystemConfig};
+use agreement_sim::{
+    AsyncAdversary, FairAsyncAdversary, FullDeliveryAdversary, ModelKind, WindowAdversary,
+};
+
+use crate::byzantine::EquivocatingAdversary;
+use crate::crash::{AdaptiveCommitteeKiller, NonAdaptiveCrashAdversary, ScheduledCrashAdversary};
+use crate::lockstep::LockstepBalancingAdversary;
+use crate::polarizing::PolarizingAdversary;
+use crate::split_vote::SplitVoteAdversary;
+use crate::strongly_adaptive::{RotatingResetAdversary, TargetedResetAdversary};
+
+/// Everything a factory may draw on when constructing an adversary instance.
+#[derive(Debug, Clone)]
+pub struct AdversaryBuildCtx {
+    /// The static system configuration (`n`, `t`) of the execution.
+    pub cfg: SystemConfig,
+    /// The per-trial seed. Seeded adversaries (e.g. `non-adaptive-crash`)
+    /// derive their private randomness from it; deterministic adversaries
+    /// ignore it.
+    pub seed: u64,
+    /// Explicit processor targets for targeting adversaries (the committee
+    /// for `adaptive-committee-killer`, the victim list for the crash
+    /// schedulers). Empty when the scenario supplies none; targeting
+    /// factories then fall back to their documented default.
+    pub targets: Vec<ProcessorId>,
+}
+
+impl AdversaryBuildCtx {
+    /// A context with no explicit targets.
+    pub fn new(cfg: SystemConfig, seed: u64) -> Self {
+        AdversaryBuildCtx {
+            cfg,
+            seed,
+            targets: Vec::new(),
+        }
+    }
+
+    /// Attaches explicit targets (committee members, crash victims).
+    pub fn with_targets(mut self, targets: Vec<ProcessorId>) -> Self {
+        self.targets = targets;
+        self
+    }
+
+    /// The targets to aim at: the explicit list when given, otherwise the
+    /// first `t` processors (the canonical default victim set).
+    fn targets_or_first_t(&self) -> Vec<ProcessorId> {
+        if self.targets.is_empty() {
+            ProcessorId::all(self.cfg.t()).collect()
+        } else {
+            self.targets.clone()
+        }
+    }
+}
+
+/// An adversary constructed by a factory: a scheduler for one of the two
+/// execution models.
+pub enum BuiltAdversary {
+    /// A strongly adaptive acceptable-window scheduler (Section 2).
+    Window(Box<dyn WindowAdversary>),
+    /// A fully asynchronous step scheduler (Section 5).
+    Async(Box<dyn AsyncAdversary>),
+}
+
+impl BuiltAdversary {
+    /// The model this instance schedules.
+    pub fn model(&self) -> ModelKind {
+        match self {
+            BuiltAdversary::Window(_) => ModelKind::Windowed,
+            BuiltAdversary::Async(_) => ModelKind::Async,
+        }
+    }
+
+    /// The instance's human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BuiltAdversary::Window(a) => a.name(),
+            BuiltAdversary::Async(a) => a.name(),
+        }
+    }
+
+    /// Unwraps a windowed scheduler; `None` for asynchronous ones.
+    pub fn into_window(self) -> Option<Box<dyn WindowAdversary>> {
+        match self {
+            BuiltAdversary::Window(a) => Some(a),
+            BuiltAdversary::Async(_) => None,
+        }
+    }
+
+    /// Unwraps an asynchronous scheduler; `None` for windowed ones.
+    pub fn into_async(self) -> Option<Box<dyn AsyncAdversary>> {
+        match self {
+            BuiltAdversary::Async(a) => Some(a),
+            BuiltAdversary::Window(_) => None,
+        }
+    }
+}
+
+/// A named, model-tagged adversary constructor, usable from data.
+///
+/// Factories are stateless and shareable across the campaign worker threads;
+/// a fresh adversary instance is built per trial.
+pub trait AdversaryFactory: Send + Sync {
+    /// The registry name, equal to the built adversary's `name()`.
+    fn name(&self) -> &'static str;
+
+    /// Which execution model the built adversary schedules.
+    fn model(&self) -> ModelKind;
+
+    /// Builds a fresh adversary instance for one trial.
+    fn build(&self, ctx: &AdversaryBuildCtx) -> BuiltAdversary;
+
+    /// Builds a windowed adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics when this factory's model is [`ModelKind::Async`]; callers
+    /// dispatch on [`AdversaryFactory::model`] first.
+    fn build_window(&self, ctx: &AdversaryBuildCtx) -> Box<dyn WindowAdversary> {
+        self.build(ctx).into_window().unwrap_or_else(|| {
+            panic!(
+                "adversary '{}' schedules the async model, not windows",
+                self.name()
+            )
+        })
+    }
+
+    /// Builds an asynchronous adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics when this factory's model is [`ModelKind::Windowed`]; callers
+    /// dispatch on [`AdversaryFactory::model`] first.
+    fn build_async(&self, ctx: &AdversaryBuildCtx) -> Box<dyn AsyncAdversary> {
+        self.build(ctx).into_async().unwrap_or_else(|| {
+            panic!(
+                "adversary '{}' schedules windows, not the async model",
+                self.name()
+            )
+        })
+    }
+}
+
+/// Declares a unit-struct factory with the least ceremony.
+macro_rules! declare_factory {
+    ($(#[$doc:meta])* $factory:ident, $name:literal, $model:ident, |$ctx:ident| $build:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $factory;
+
+        impl AdversaryFactory for $factory {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn model(&self) -> ModelKind {
+                ModelKind::$model
+            }
+
+            fn build(&self, $ctx: &AdversaryBuildCtx) -> BuiltAdversary {
+                $build
+            }
+        }
+    };
+}
+
+declare_factory!(
+    /// Benign baseline: full delivery, no resets.
+    FullDeliveryFactory,
+    "full-delivery",
+    Windowed,
+    |_ctx| BuiltAdversary::Window(Box::new(FullDeliveryAdversary))
+);
+
+declare_factory!(
+    /// Resets a rotating set of `t` processors every window.
+    RotatingResetFactory,
+    "rotating-reset",
+    Windowed,
+    |_ctx| BuiltAdversary::Window(Box::new(RotatingResetAdversary::new()))
+);
+
+declare_factory!(
+    /// Resets the `t` most advanced processors every window.
+    TargetedResetFactory,
+    "targeted-reset",
+    Windowed,
+    |_ctx| BuiltAdversary::Window(Box::new(TargetedResetAdversary::new()))
+);
+
+declare_factory!(
+    /// The split-vote balancing adversary (delivery exclusion only).
+    SplitVoteFactory,
+    "split-vote",
+    Windowed,
+    |_ctx| BuiltAdversary::Window(Box::new(SplitVoteAdversary::new()))
+);
+
+declare_factory!(
+    /// The split-vote balancing adversary, also spending the reset budget.
+    SplitVoteResetsFactory,
+    "split-vote+resets",
+    Windowed,
+    |_ctx| BuiltAdversary::Window(Box::new(SplitVoteAdversary::with_resets()))
+);
+
+declare_factory!(
+    /// Shows half the processors a zero-leaning view, half a one-leaning one.
+    PolarizingFactory,
+    "polarizing",
+    Windowed,
+    |_ctx| BuiltAdversary::Window(Box::new(PolarizingAdversary::new()))
+);
+
+declare_factory!(
+    /// Benign baseline: fair round-robin delivery, no failures.
+    FairAsyncFactory,
+    "fair-round-robin",
+    Async,
+    |_ctx| BuiltAdversary::Async(Box::new(FairAsyncAdversary::default()))
+);
+
+declare_factory!(
+    /// The Theorem 17 balancing scheduler for forgetful protocols.
+    LockstepBalancingFactory,
+    "lockstep-balancing",
+    Async,
+    |_ctx| BuiltAdversary::Async(Box::new(LockstepBalancingAdversary::new()))
+);
+
+declare_factory!(
+    /// Crashes the targets (default: the first `t` processors) up front;
+    /// their earlier messages may still be delivered.
+    ScheduledCrashFactory,
+    "scheduled-crash",
+    Async,
+    |ctx| BuiltAdversary::Async(Box::new(ScheduledCrashAdversary::new(
+        ctx.targets_or_first_t()
+    )))
+);
+
+declare_factory!(
+    /// Crashes the targets (default: the first `t` processors) and withholds
+    /// everything they ever sent.
+    WithholdingCrashFactory,
+    "withholding-crash",
+    Async,
+    |ctx| BuiltAdversary::Async(Box::new(ScheduledCrashAdversary::withholding(
+        ctx.targets_or_first_t()
+    )))
+);
+
+declare_factory!(
+    /// Picks `t` random victims from the trial seed before the execution
+    /// starts (the committee comparison's non-adaptive adversary).
+    NonAdaptiveCrashFactory,
+    "non-adaptive-crash",
+    Async,
+    |ctx| BuiltAdversary::Async(Box::new(NonAdaptiveCrashAdversary::random(
+        ctx.cfg.n(),
+        ctx.cfg.t(),
+        ctx.seed
+    )))
+);
+
+declare_factory!(
+    /// Adaptively silences the (publicly known) committee passed as targets,
+    /// falling back to the first `t` processors when no targets are given so
+    /// the adversary never silently degenerates to fair scheduling.
+    CommitteeKillerFactory,
+    "adaptive-committee-killer",
+    Async,
+    |ctx| BuiltAdversary::Async(Box::new(AdaptiveCommitteeKiller::new(
+        ctx.targets_or_first_t()
+    )))
+);
+
+declare_factory!(
+    /// Declares the first `t` processors Byzantine and equivocates on their
+    /// value-carrying messages.
+    EquivocatingFactory,
+    "equivocating-byzantine",
+    Async,
+    |_ctx| BuiltAdversary::Async(Box::new(EquivocatingAdversary::new()))
+);
+
+/// Every adversary factory this crate ships, benign baselines included.
+static REGISTRY: [&dyn AdversaryFactory; 13] = [
+    &FullDeliveryFactory,
+    &RotatingResetFactory,
+    &TargetedResetFactory,
+    &SplitVoteFactory,
+    &SplitVoteResetsFactory,
+    &PolarizingFactory,
+    &FairAsyncFactory,
+    &LockstepBalancingFactory,
+    &ScheduledCrashFactory,
+    &WithholdingCrashFactory,
+    &NonAdaptiveCrashFactory,
+    &CommitteeKillerFactory,
+    &EquivocatingFactory,
+];
+
+/// The full adversary registry: every paper adversary plus the benign
+/// baselines, constructible from data by name.
+pub fn registry() -> &'static [&'static dyn AdversaryFactory] {
+    &REGISTRY
+}
+
+/// Looks an adversary factory up by its registry name.
+pub fn find_adversary(name: &str) -> Option<&'static dyn AdversaryFactory> {
+    registry().iter().copied().find(|f| f.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn ctx(n: usize, t: usize, seed: u64) -> AdversaryBuildCtx {
+        AdversaryBuildCtx::new(SystemConfig::new(n, t).unwrap(), seed)
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_match_built_instances() {
+        let mut seen = BTreeSet::new();
+        for factory in registry() {
+            assert!(
+                seen.insert(factory.name()),
+                "duplicate registry name {}",
+                factory.name()
+            );
+            let built = factory.build(&ctx(7, 2, 1));
+            assert_eq!(built.model(), factory.model(), "{}", factory.name());
+            assert_eq!(built.name(), factory.name(), "factory name must match");
+        }
+        assert_eq!(registry().len(), 13);
+    }
+
+    #[test]
+    fn find_adversary_resolves_names_and_rejects_unknowns() {
+        assert_eq!(find_adversary("split-vote").unwrap().name(), "split-vote");
+        assert_eq!(
+            find_adversary("fair-round-robin").unwrap().model(),
+            ModelKind::Async
+        );
+        assert!(find_adversary("no-such-adversary").is_none());
+    }
+
+    #[test]
+    fn model_specific_builders_unwrap_the_right_variant() {
+        let c = ctx(7, 2, 3);
+        let window = SplitVoteFactory.build_window(&c);
+        assert_eq!(window.name(), "split-vote");
+        let asynchronous = LockstepBalancingFactory.build_async(&c);
+        assert_eq!(asynchronous.name(), "lockstep-balancing");
+    }
+
+    #[test]
+    #[should_panic(expected = "schedules the async model")]
+    fn window_builder_panics_for_async_factories() {
+        let _ = FairAsyncFactory.build_window(&ctx(4, 1, 0));
+    }
+
+    #[test]
+    fn targeting_factories_respect_explicit_targets_and_defaults() {
+        let default_ctx = ctx(9, 3, 5);
+        let BuiltAdversary::Async(_) = ScheduledCrashFactory.build(&default_ctx) else {
+            panic!("scheduled-crash must be async");
+        };
+        assert_eq!(
+            default_ctx.targets_or_first_t(),
+            vec![
+                ProcessorId::new(0),
+                ProcessorId::new(1),
+                ProcessorId::new(2)
+            ]
+        );
+        let explicit = ctx(9, 3, 5).with_targets(vec![ProcessorId::new(7)]);
+        assert_eq!(explicit.targets_or_first_t(), vec![ProcessorId::new(7)]);
+        // The committee killer shares the same fallback: with no targets it
+        // attacks the first `t` processors rather than degenerating to a
+        // benign fair scheduler.
+        let BuiltAdversary::Async(killer) = CommitteeKillerFactory.build(&default_ctx) else {
+            panic!("adaptive-committee-killer must be async");
+        };
+        assert_eq!(killer.name(), "adaptive-committee-killer");
+    }
+
+    #[test]
+    fn non_adaptive_factory_derives_victims_from_the_trial_seed() {
+        let a = NonAdaptiveCrashFactory.build(&ctx(20, 5, 7));
+        let b = NonAdaptiveCrashFactory.build(&ctx(20, 5, 7));
+        // Same seed, same adversary: verified indirectly through the name and
+        // the deterministic constructor it delegates to (see crash.rs tests).
+        assert_eq!(a.name(), b.name());
+    }
+}

@@ -11,9 +11,17 @@
 //! | [`ScheduledCrashAdversary`], [`NonAdaptiveCrashAdversary`] | asynchronous, crash | baseline crash adversaries; the non-adaptive one is what committee protocols tolerate |
 //! | [`AdaptiveCommitteeKiller`] | asynchronous, crash | the introduction's argument that adaptive adversaries defeat committee-based protocols |
 //! | [`EquivocatingAdversary`] | asynchronous, Byzantine | message corruption / lying about coins, which Bracha's reliable broadcast withstands |
+//! | [`PolarizingAdversary`] | acceptable windows | the unfair-but-legal delivery split that probes the Theorem 4 threshold constraints (experiment E8) |
 //!
 //! The benign baselines (`FullDeliveryAdversary`, `FairAsyncAdversary`) live
 //! in `agreement-sim` itself.
+//!
+//! Every adversary is also constructible *from data* through the
+//! [`AdversaryFactory`] registry in [`factory`]: [`registry()`] enumerates a
+//! named, model-tagged factory per adversary (benign baselines included), and
+//! [`find_adversary`] resolves a name to its factory. The scenario layer in
+//! `agreement-core` expands protocol × adversary × input × size tables over
+//! this registry.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -21,13 +29,17 @@
 mod byzantine;
 mod crash;
 mod delivery;
+pub mod factory;
 mod lockstep;
+mod polarizing;
 mod split_vote;
 mod strongly_adaptive;
 
 pub use byzantine::EquivocatingAdversary;
 pub use crash::{AdaptiveCommitteeKiller, NonAdaptiveCrashAdversary, ScheduledCrashAdversary};
 pub use delivery::{balanced_senders, full_senders, senders_excluding};
+pub use factory::{find_adversary, registry, AdversaryBuildCtx, AdversaryFactory, BuiltAdversary};
 pub use lockstep::LockstepBalancingAdversary;
+pub use polarizing::PolarizingAdversary;
 pub use split_vote::SplitVoteAdversary;
 pub use strongly_adaptive::{RotatingResetAdversary, TargetedResetAdversary};

@@ -140,21 +140,13 @@ impl LockstepBalancingAdversary {
     /// One fair delivery step, used when the lockstep structure is not
     /// detectable (e.g. mixed rounds right after a decision).
     fn fallback(&mut self, view: &SystemView<'_>) -> AsyncAction {
-        let n = view.n();
-        let channels = n * n;
-        for offset in 0..channels {
-            let idx = (self.fallback_cursor + offset) % channels;
-            let from = ProcessorId::new(idx / n);
-            let to = ProcessorId::new(idx % n);
-            if view.crashed[to.index()] {
-                continue;
+        match view.next_pending_channel(self.fallback_cursor) {
+            Some((next_cursor, from, to)) => {
+                self.fallback_cursor = next_cursor;
+                AsyncAction::Deliver { from, to }
             }
-            if view.buffer.pending_on(from, to) > 0 {
-                self.fallback_cursor = (idx + 1) % channels;
-                return AsyncAction::Deliver { from, to };
-            }
+            None => AsyncAction::Halt,
         }
-        AsyncAction::Halt
     }
 }
 

@@ -1,0 +1,121 @@
+//! The polarizing window adversary: a deliberately unfair (but legal)
+//! delivery strategy that probes the Theorem 4 threshold constraints.
+//!
+//! The adversary shows the first half of the processors a zero-leaning view
+//! and the second half a one-leaning view, all within the legal
+//! `|S_i| >= n - t` delivery budget: each side drops up to `t` senders
+//! advocating the opposite value. Valid Theorem 4 thresholds withstand the
+//! polarization (agreement stays at 100%); broken thresholds admit
+//! disagreement. Experiment E8 runs exactly this contrast.
+
+use agreement_model::{Bit, Payload, ProcessorId};
+use agreement_sim::{SystemView, Window, WindowAdversary};
+
+/// Shows half the processors a zero-leaning view and half a one-leaning view,
+/// dropping up to `t` opposite-value senders from each view.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolarizingAdversary;
+
+impl PolarizingAdversary {
+    /// Creates the adversary.
+    pub fn new() -> Self {
+        PolarizingAdversary
+    }
+}
+
+impl WindowAdversary for PolarizingAdversary {
+    fn name(&self) -> &'static str {
+        "polarizing"
+    }
+
+    fn next_window(&mut self, view: &SystemView<'_>) -> Window {
+        let n = view.n();
+        let t = view.t();
+        let probe = ProcessorId::new(0);
+        let value_of = |s: usize| {
+            view.buffer
+                .peek(ProcessorId::new(s), probe)
+                .and_then(Payload::advocated_value)
+        };
+        let zeros: Vec<ProcessorId> = (0..n)
+            .filter(|&s| value_of(s) == Some(Bit::Zero))
+            .map(ProcessorId::new)
+            .collect();
+        let ones: Vec<ProcessorId> = (0..n)
+            .filter(|&s| value_of(s) == Some(Bit::One))
+            .map(ProcessorId::new)
+            .collect();
+        let rest: Vec<ProcessorId> = (0..n)
+            .filter(|&s| value_of(s).is_none())
+            .map(ProcessorId::new)
+            .collect();
+        // Zero-leaning view: drop up to t one-senders; one-leaning view: drop
+        // up to t zero-senders.
+        let mut zero_leaning: Vec<ProcessorId> = zeros.clone();
+        zero_leaning.extend(ones.iter().skip(t.min(ones.len())));
+        zero_leaning.extend(rest.iter().copied());
+        let mut one_leaning: Vec<ProcessorId> = ones;
+        one_leaning.extend(zeros.iter().skip(t.min(zeros.len())));
+        one_leaning.extend(rest);
+        let deliveries: Vec<Vec<ProcessorId>> = (0..n)
+            .map(|i| {
+                if i < n / 2 {
+                    zero_leaning.clone()
+                } else {
+                    one_leaning.clone()
+                }
+            })
+            .collect();
+        Window::new(Vec::new(), deliveries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agreement_model::{InputAssignment, SystemConfig, Thresholds};
+    use agreement_protocols::ResetTolerantBuilder;
+    use agreement_sim::{run_windowed, RunLimits};
+
+    #[test]
+    fn valid_thresholds_withstand_polarization() {
+        let cfg = SystemConfig::with_sixth_resilience(13).unwrap();
+        let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+        let inputs = InputAssignment::evenly_split(13);
+        for seed in 0..3u64 {
+            let outcome = run_windowed(
+                cfg,
+                inputs.clone(),
+                &builder,
+                &mut PolarizingAdversary::new(),
+                seed,
+                RunLimits::windows(2_000),
+            );
+            assert!(outcome.agreement_holds(), "seed {seed}: {outcome:?}");
+            assert!(outcome.validity_holds(&inputs), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn broken_t2_admits_disagreement_under_polarization() {
+        let cfg = SystemConfig::with_sixth_resilience(13).unwrap();
+        // T2 = 5 violates T2 >= T3 + t; the polarizing adversary finds the gap.
+        let builder = ResetTolerantBuilder::with_thresholds(Thresholds::new(9, 5, 7));
+        let inputs = InputAssignment::evenly_split(13);
+        let disagreed = (0..10u64).any(|seed| {
+            let outcome = run_windowed(
+                cfg,
+                inputs.clone(),
+                &builder,
+                &mut PolarizingAdversary::new(),
+                seed,
+                RunLimits::windows(2_000),
+            );
+            !outcome.agreement_holds()
+        });
+        assert!(
+            disagreed,
+            "a far-too-small T2 must admit disagreement under polarization"
+        );
+    }
+}

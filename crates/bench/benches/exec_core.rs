@@ -14,11 +14,11 @@ use agreement_bench::baseline::{baseline_path, Baseline, Verdict};
 use agreement_bench::harness::BenchGroup;
 
 use agreement_adversary::RotatingResetAdversary;
-use agreement_model::{InputAssignment, SystemConfig};
+use agreement_model::{Bit, Envelope, InputAssignment, Payload, ProcessorId, SystemConfig};
 use agreement_protocols::{BenOrBuilder, ResetTolerantBuilder};
 use agreement_sim::{
-    AsyncScheduler, ExecutionCore, FairAsyncAdversary, FullDeliveryAdversary, Scheduler,
-    WindowScheduler,
+    AsyncScheduler, ExecutionCore, FairAsyncAdversary, FullDeliveryAdversary, MessageBuffer,
+    Scheduler, WindowScheduler,
 };
 
 /// Fractional slowdown tolerated before a measurement is flagged. Baselines
@@ -84,6 +84,45 @@ fn async_throughput(n: usize) -> f64 {
     stats.throughput() * STEPS_PER_ITER as f64
 }
 
+/// Raw hot-path throughput of the flat channel array: enqueue one full
+/// all-to-all round of messages, pop them back per channel. Measures exactly
+/// the `sender * n + recipient` indexing every engine step goes through.
+fn buffer_churn_throughput(n: usize) -> f64 {
+    const ROUNDS: u64 = 20;
+    let group = BenchGroup::new("exec_core")
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
+    // Constructed once outside the timed closure: every iteration leaves the
+    // buffer empty again, so reuse keeps the measurement to pure enqueue/pop
+    // indexing instead of n*n queue allocations.
+    let mut buffer = MessageBuffer::with_processors(n);
+    let stats = group.bench(format!("buffer/flat_churn/{n}"), || {
+        for round in 0..ROUNDS {
+            for from in ProcessorId::all(n) {
+                for to in ProcessorId::all(n) {
+                    buffer.enqueue(Envelope::new(
+                        from,
+                        to,
+                        Payload::Report {
+                            round,
+                            value: Bit::Zero,
+                        },
+                    ));
+                }
+            }
+            for from in ProcessorId::all(n) {
+                for to in ProcessorId::all(n) {
+                    let _ = buffer.pop(from, to);
+                }
+            }
+        }
+        buffer.delivered_count()
+    });
+    // One "operation" = one enqueue + one pop of one message.
+    stats.throughput() * (ROUNDS * (n * n) as u64) as f64
+}
+
 fn main() {
     let record = std::env::args().any(|a| a == "--record");
     let path = baseline_path("exec_core");
@@ -97,6 +136,7 @@ fn main() {
     measured.set("windows/full_delivery/25", window_throughput(25, true));
     measured.set("windows/rotating_reset/13", window_throughput(13, false));
     measured.set("async_steps/fair/8", async_throughput(8));
+    measured.set("buffer/flat_churn/25", buffer_churn_throughput(25));
 
     println!("\n== exec_core throughput vs recorded baseline ==");
     let mut regressions = 0;

@@ -1,0 +1,160 @@
+//! Runs registered scenarios — protocol × adversary × inputs × size
+//! combinations described as data — from the command line.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p agreement-bench --bin scenarios -- [FLAGS]
+//!
+//!   --list             print every registered scenario id and exit
+//!   --filter <SUBSTR>  only scenarios whose id contains SUBSTR (repeatable;
+//!                      a scenario matches if it matches any filter)
+//!   --scale <quick|full>  parameter scale (default: quick)
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! scenarios --list
+//! scenarios --filter extra/
+//! scenarios --filter split-vote --scale full
+//! scenarios --filter e7 --filter bracha
+//! ```
+
+use agreement_core::experiments::Scale;
+use agreement_core::{fmt_f64, fmt_rate, scenario_registry, ScenarioSpec, Table};
+
+struct Options {
+    list: bool,
+    filters: Vec<String>,
+    scale: Scale,
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        list: false,
+        filters: Vec::new(),
+        scale: Scale::Quick,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => options.list = true,
+            "--filter" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--filter requires a substring argument");
+                    std::process::exit(2);
+                });
+                options.filters.push(value);
+            }
+            "--scale" => {
+                let value = args.next().unwrap_or_default();
+                options.scale = match value.as_str() {
+                    "quick" => Scale::Quick,
+                    "full" => Scale::Full,
+                    other => {
+                        eprintln!("unknown scale '{other}' (expected 'quick' or 'full')");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: scenarios [--list] [--filter SUBSTR]... [--scale quick|full]\n\
+                     Runs every registered protocol × adversary × inputs × size combination."
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    options
+}
+
+fn matches(spec: &ScenarioSpec, filters: &[String]) -> bool {
+    filters.is_empty() || filters.iter().any(|f| spec.id().contains(f.as_str()))
+}
+
+fn main() {
+    let options = parse_options();
+    let specs: Vec<ScenarioSpec> = scenario_registry(options.scale)
+        .into_iter()
+        .filter(|spec| matches(spec, &options.filters))
+        .collect();
+
+    if options.list {
+        for spec in &specs {
+            let model = spec
+                .model()
+                .map(|m| m.to_string())
+                .unwrap_or_else(|_| "?".to_string());
+            println!("{:<60} {:<8} trials={}", spec.id(), model, spec.trials);
+        }
+        eprintln!("{} scenario(s)", specs.len());
+        return;
+    }
+
+    if specs.is_empty() {
+        eprintln!("no scenarios match the given filters");
+        std::process::exit(1);
+    }
+
+    let mut table = Table::new(
+        "Scenario matrix results",
+        format!(
+            "{} scenario(s) at {:?} scale; every combination is data-driven — see \
+             EXPERIMENTS.md for how to add one.",
+            specs.len(),
+            options.scale
+        ),
+        vec![
+            "scenario",
+            "model",
+            "trials",
+            "termination",
+            "agreement",
+            "validity",
+            "mean time",
+            "mean chain",
+        ],
+    );
+    let mut failures = 0usize;
+    for spec in &specs {
+        match spec.run() {
+            Ok(aggregate) => {
+                let model = spec.model().map(|m| m.to_string()).unwrap_or_default();
+                table.push_row(vec![
+                    spec.id(),
+                    model,
+                    aggregate.trials.to_string(),
+                    fmt_rate(aggregate.termination_rate),
+                    fmt_rate(aggregate.agreement_rate),
+                    fmt_rate(aggregate.validity_rate),
+                    fmt_f64(aggregate.decision_time.mean),
+                    fmt_f64(aggregate.chain_length.mean),
+                ]);
+            }
+            Err(err) => {
+                failures += 1;
+                table.push_row(vec![
+                    spec.id(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    format!("infeasible: {err}"),
+                    "-".to_string(),
+                ]);
+            }
+        }
+    }
+    println!("{table}");
+    if failures > 0 {
+        eprintln!("{failures} scenario(s) were infeasible");
+        std::process::exit(1);
+    }
+}

@@ -5,21 +5,26 @@
 //! experiment accepts a [`Scale`] so that unit tests and examples can run a
 //! reduced version quickly, while the `agreement-bench` binaries run the full
 //! versions reported in EXPERIMENTS.md.
+//!
+//! The simulation experiments are **declarative**: each one defines its
+//! workloads as a list of [`ScenarioSpec`] values (`exp1_specs`,
+//! `exp2_specs`, …) and runs them through the scenario engine of
+//! [`crate::scenario`] — there are no bespoke trial loops here, and the same
+//! spec lists feed the [`crate::scenario::scenario_registry`] behind the
+//! `scenarios` CLI. E3 and E4 are pure analysis (no simulation) and have no
+//! specs.
 
-use agreement_adversary::{
-    AdaptiveCommitteeKiller, LockstepBalancingAdversary, NonAdaptiveCrashAdversary,
-    RotatingResetAdversary, SplitVoteAdversary,
-};
 use agreement_analysis::{
     exponential_fit, success_probability, tau, window_bound, worst_case_ratio,
     MiniResetTolerantKernel, ProductDistribution, ZSetAnalysis,
 };
-use agreement_model::{Bit, InputAssignment, Payload, ProcessorId, SystemConfig, Thresholds};
-use agreement_protocols::{BenOrBuilder, CommitteeBuilder, ResetTolerantBuilder};
-use agreement_sim::{RunLimits, SystemView, Window, WindowAdversary};
+use agreement_model::{Bit, SystemConfig, Thresholds};
+use agreement_protocols::CommitteeBuilder;
+use agreement_sim::RunLimits;
 
 use crate::report::{fmt_f64, fmt_rate, Table};
-use crate::runner::{run_async_trials, run_window_trials, TrialPlan};
+use crate::runner::Aggregate;
+use crate::scenario::{InputPattern, ProtocolSpec, ScenarioMatrix, ScenarioSpec};
 
 /// How big an experiment to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +36,8 @@ pub enum Scale {
 }
 
 impl Scale {
-    fn pick<T: Copy>(self, quick: T, full: T) -> T {
+    /// Picks the quick or full variant of a parameter.
+    pub fn pick<T: Copy>(self, quick: T, full: T) -> T {
         match self {
             Scale::Quick => quick,
             Scale::Full => full,
@@ -39,11 +45,45 @@ impl Scale {
     }
 }
 
+/// Runs a spec, panicking with its id on an unresolvable spec — experiment
+/// tables are built from statically known-feasible workloads.
+fn run_spec(spec: &ScenarioSpec) -> Aggregate {
+    spec.run()
+        .unwrap_or_else(|err| panic!("experiment scenario {} failed to run: {err}", spec.id()))
+}
+
+/// `(n, t)` pairs at the paper's `t < n/6` resilience.
+fn sixth_sizes(sizes: &[usize]) -> Vec<(usize, usize)> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let cfg = SystemConfig::with_sixth_resilience(n).expect("n >= 1");
+            (cfg.n(), cfg.t())
+        })
+        .collect()
+}
+
+/// E1's workloads: reset-tolerant protocol × {rotating-reset, split-vote} ×
+/// {unanimous-1, split} over the Theorem 4 sizes.
+pub fn exp1_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let sizes: &[usize] = scale.pick(&[7, 13][..], &[7, 13, 19, 25, 31][..]);
+    ScenarioMatrix::new()
+        .tag("e1")
+        .protocols(vec![ProtocolSpec::ResetTolerant])
+        .inputs(vec![
+            InputPattern::Unanimous(Bit::One),
+            InputPattern::EvenlySplit,
+        ])
+        .adversaries(&["rotating-reset", "split-vote"])
+        .sizes(sixth_sizes(sizes))
+        .trials(scale.pick(10, 200))
+        .limits(RunLimits::windows(scale.pick(5_000, 50_000)))
+        .expand()
+}
+
 /// E1 — Theorem 4: measure-one correctness and termination of the
 /// reset-tolerant protocol against strongly adaptive adversaries (`t < n/6`).
 pub fn exp1_correctness(scale: Scale) -> Table {
-    let sizes: &[usize] = scale.pick(&[7, 13][..], &[7, 13, 19, 25, 31][..]);
-    let trials = scale.pick(10, 200);
     let mut table = Table::new(
         "E1: Theorem 4 — correctness and termination under the strongly adaptive adversary",
         "Reset-tolerant protocol, recommended thresholds; rotating-reset and split-vote \
@@ -61,59 +101,49 @@ pub fn exp1_correctness(scale: Scale) -> Table {
             "mean resets",
         ],
     );
-    for &n in sizes {
-        let cfg = SystemConfig::with_sixth_resilience(n).expect("n >= 1");
-        let builder = ResetTolerantBuilder::recommended(&cfg).expect("t < n/6");
-        for (label, inputs) in [
-            ("unanimous-1", InputAssignment::unanimous(n, Bit::One)),
-            ("split", InputAssignment::evenly_split(n)),
-        ] {
-            for adversary in ["rotating-reset", "split-vote"] {
-                let plan = TrialPlan::new(cfg, inputs.clone())
-                    .trials(trials)
-                    .limits(RunLimits::windows(scale.pick(5_000, 50_000)));
-                let aggregate = match adversary {
-                    "rotating-reset" => {
-                        run_window_trials(&plan, &builder, RotatingResetAdversary::new)
-                    }
-                    _ => run_window_trials(&plan, &builder, SplitVoteAdversary::new),
-                };
-                table.push_row(vec![
-                    n.to_string(),
-                    cfg.t().to_string(),
-                    label.to_string(),
-                    adversary.to_string(),
-                    fmt_rate(aggregate.agreement_rate),
-                    fmt_rate(aggregate.validity_rate),
-                    fmt_rate(aggregate.termination_rate),
-                    fmt_f64(aggregate.decision_time.mean),
-                    fmt_f64(aggregate.resets.mean),
-                ]);
-            }
-        }
+    for spec in exp1_specs(scale) {
+        let aggregate = run_spec(&spec);
+        table.push_row(vec![
+            spec.n.to_string(),
+            spec.t.to_string(),
+            spec.inputs.label(),
+            spec.adversary.clone(),
+            fmt_rate(aggregate.agreement_rate),
+            fmt_rate(aggregate.validity_rate),
+            fmt_rate(aggregate.termination_rate),
+            fmt_f64(aggregate.decision_time.mean),
+            fmt_f64(aggregate.resets.mean),
+        ]);
     }
     table
+}
+
+/// E2's workloads: the split-vote balancer on evenly split inputs across `n`.
+pub fn exp2_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let sizes: &[usize] = scale.pick(&[7, 9, 11, 13][..], &[7, 9, 11, 13, 15, 17, 19, 21][..]);
+    ScenarioMatrix::new()
+        .tag("e2")
+        .protocols(vec![ProtocolSpec::ResetTolerant])
+        .inputs(vec![InputPattern::EvenlySplit])
+        .adversaries(&["split-vote"])
+        .sizes(sixth_sizes(sizes))
+        .trials(scale.pick(10, 100))
+        .limits(RunLimits::windows(scale.pick(20_000, 200_000)))
+        .expand()
 }
 
 /// E2 — Section 3 discussion: the split-vote adversary forces running time
 /// that grows exponentially in `n` on evenly split inputs.
 pub fn exp2_exponential_runtime(scale: Scale) -> Table {
-    let sizes: &[usize] = scale.pick(&[7, 9, 11, 13][..], &[7, 9, 11, 13, 15, 17, 19, 21][..]);
-    let trials = scale.pick(10, 100);
     let mut points = Vec::new();
     let mut rows = Vec::new();
-    for &n in sizes {
-        let cfg = SystemConfig::with_sixth_resilience(n).expect("n >= 1");
-        let builder = ResetTolerantBuilder::recommended(&cfg).expect("t < n/6");
-        let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(n))
-            .trials(trials)
-            .limits(RunLimits::windows(scale.pick(20_000, 200_000)));
-        let aggregate = run_window_trials(&plan, &builder, SplitVoteAdversary::new);
-        points.push((n as f64, aggregate.decision_time.mean.max(1.0)));
+    for spec in exp2_specs(scale) {
+        let aggregate = run_spec(&spec);
+        points.push((spec.n as f64, aggregate.decision_time.mean.max(1.0)));
         rows.push(vec![
-            n.to_string(),
-            cfg.t().to_string(),
-            trials.to_string(),
+            spec.n.to_string(),
+            spec.t.to_string(),
+            spec.trials.to_string(),
             fmt_f64(aggregate.decision_time.mean),
             fmt_f64(aggregate.decision_time.max),
             fmt_rate(aggregate.termination_rate),
@@ -209,11 +239,36 @@ pub fn exp4_zset_separation(scale: Scale) -> Table {
     table
 }
 
+/// E5's full size axis; the table reports every size, the specs simulate the
+/// small ones.
+fn exp5_sizes(scale: Scale) -> &'static [usize] {
+    scale.pick(&[7, 13][..], &[7, 13, 19, 25, 31, 61, 121][..])
+}
+
+/// E5's simulated workloads: split-vote runs at the sizes small enough to
+/// simulate (`n <= 31`); larger sizes report only the analytic envelope.
+pub fn exp5_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let simulated: Vec<usize> = exp5_sizes(scale)
+        .iter()
+        .copied()
+        .filter(|&n| n <= 31)
+        .collect();
+    ScenarioMatrix::new()
+        .tag("e5")
+        .protocols(vec![ProtocolSpec::ResetTolerant])
+        .inputs(vec![InputPattern::EvenlySplit])
+        .adversaries(&["split-vote"])
+        .sizes(sixth_sizes(&simulated))
+        .trials(scale.pick(5, 50))
+        .limits(RunLimits::windows(scale.pick(20_000, 200_000)))
+        .expand()
+}
+
 /// E5 — Theorem 5: the quantitative envelope (window bound `E = C·e^{αn}` and
 /// success probability ≥ 1/2) against measured split-vote running times.
 pub fn exp5_lower_bound(scale: Scale) -> Table {
-    let sizes: &[usize] = scale.pick(&[7, 13][..], &[7, 13, 19, 25, 31, 61, 121][..]);
-    let trials = scale.pick(5, 50);
+    let sizes = exp5_sizes(scale);
+    let specs = exp5_specs(scale);
     let c = 1.0 / 6.0;
     let mut table = Table::new(
         "E5: Theorem 5 — lower-bound envelope vs measured running time",
@@ -234,22 +289,19 @@ pub fn exp5_lower_bound(scale: Scale) -> Table {
         let cfg = SystemConfig::with_sixth_resilience(n).expect("n >= 1");
         let bound = window_bound(n, c);
         let p_bound = success_probability(n, c);
-        let (measured, frac_above) = if n <= 31 {
-            let builder = ResetTolerantBuilder::recommended(&cfg).expect("t < n/6");
-            let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(n))
-                .trials(trials)
-                .limits(RunLimits::windows(scale.pick(20_000, 200_000)));
-            let aggregate = run_window_trials(&plan, &builder, SplitVoteAdversary::new);
-            (
-                fmt_f64(aggregate.decision_time.mean),
-                fmt_rate(if aggregate.decision_time.min >= bound {
-                    1.0
-                } else {
-                    0.0
-                }),
-            )
-        } else {
-            ("(not simulated)".to_string(), "-".to_string())
+        let (measured, frac_above) = match specs.iter().find(|spec| spec.n == n) {
+            Some(spec) => {
+                let aggregate = run_spec(spec);
+                (
+                    fmt_f64(aggregate.decision_time.mean),
+                    fmt_rate(if aggregate.decision_time.min >= bound {
+                        1.0
+                    } else {
+                        0.0
+                    }),
+                )
+            }
+            None => ("(not simulated)".to_string(), "-".to_string()),
         };
         table.push_row(vec![
             n.to_string(),
@@ -263,26 +315,32 @@ pub fn exp5_lower_bound(scale: Scale) -> Table {
     table
 }
 
+/// E6's workloads: Ben-Or under the lockstep balancing scheduler across `n`.
+pub fn exp6_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let sizes: &[usize] = scale.pick(&[4, 6, 8][..], &[4, 6, 8, 10, 12, 14][..]);
+    let pairs: Vec<(usize, usize)> = sizes.iter().map(|&n| (n, (n / 4).max(1))).collect();
+    ScenarioMatrix::new()
+        .tag("e6")
+        .protocols(vec![ProtocolSpec::BenOr])
+        .inputs(vec![InputPattern::EvenlySplit])
+        .adversaries(&["lockstep-balancing"])
+        .sizes(pairs)
+        .trials(scale.pick(5, 50))
+        .limits(RunLimits::steps(scale.pick(2_000_000, 20_000_000)))
+        .expand()
+}
+
 /// E6 — Theorem 17: exponential message chains for forgetful, fully
 /// communicative algorithms (Ben-Or) under crash-model balancing scheduling.
 pub fn exp6_crash_chains(scale: Scale) -> Table {
-    let sizes: &[usize] = scale.pick(&[4, 6, 8][..], &[4, 6, 8, 10, 12, 14][..]);
-    let trials = scale.pick(5, 50);
     let mut points = Vec::new();
     let mut rows = Vec::new();
-    for &n in sizes {
-        let t = (n / 4).max(1);
-        let cfg = SystemConfig::new(n, t).expect("t < n");
-        let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(n))
-            .trials(trials)
-            .limits(RunLimits::steps(scale.pick(2_000_000, 20_000_000)));
-        let aggregate = run_async_trials(&plan, &BenOrBuilder::new(), |_| {
-            LockstepBalancingAdversary::new()
-        });
-        points.push((n as f64, aggregate.chain_length.mean.max(1.0)));
+    for spec in exp6_specs(scale) {
+        let aggregate = run_spec(&spec);
+        points.push((spec.n as f64, aggregate.chain_length.mean.max(1.0)));
         rows.push(vec![
-            n.to_string(),
-            t.to_string(),
+            spec.n.to_string(),
+            spec.t.to_string(),
             fmt_f64(aggregate.chain_length.mean),
             fmt_f64(aggregate.chain_length.max),
             fmt_rate(aggregate.termination_rate),
@@ -313,19 +371,66 @@ pub fn exp6_crash_chains(scale: Scale) -> Table {
     table
 }
 
-/// E7 — the contrast with Kapron et al.: committee protocols are fast against
-/// non-adaptive faults and fail against an adaptive committee killer, while
-/// quorum-based protocols shrug the same adversary off.
-pub fn exp7_committee_vs_adaptive(scale: Scale) -> Table {
+/// E7's workloads: the committee baseline against non-adaptive and adaptive
+/// crash adversaries, and Ben-Or against the same adaptive killer.
+pub fn exp7_specs(scale: Scale) -> Vec<ScenarioSpec> {
     let n = scale.pick(18, 30);
     // The killer needs to be able to silence at least f + 1 = 2 committee
     // members to stall the committee's internal quorum.
     let t = (n / 10).max(2);
     let committee_size = 5;
+    let committee_seed = 0xC0FFEE;
     let trials = scale.pick(10, 100);
+    let limits = RunLimits::steps(500_000);
+    let committee = ProtocolSpec::Committee {
+        size: committee_size,
+        seed: committee_seed,
+    };
     let cfg = SystemConfig::new(n, t).expect("t < n");
-    let committee = CommitteeBuilder::random(&cfg, committee_size, 0xC0FFEE);
-    let inputs = InputAssignment::unanimous(n, Bit::One);
+    let killer_targets = CommitteeBuilder::random(&cfg, committee_size, committee_seed)
+        .committee()
+        .to_vec();
+    vec![
+        ScenarioSpec::new(
+            committee.clone(),
+            "non-adaptive-crash",
+            InputPattern::Unanimous(Bit::One),
+            n,
+            t,
+        )
+        .tag("e7")
+        .trials(trials)
+        .limits(limits),
+        ScenarioSpec::new(
+            committee,
+            "adaptive-committee-killer",
+            InputPattern::Unanimous(Bit::One),
+            n,
+            t,
+        )
+        .tag("e7")
+        .trials(trials)
+        .limits(limits),
+        // Quorum-based Ben-Or facing the same killer aimed at the same
+        // (now meaningless) committee.
+        ScenarioSpec::new(
+            ProtocolSpec::BenOr,
+            "adaptive-committee-killer",
+            InputPattern::Unanimous(Bit::One),
+            n,
+            t,
+        )
+        .tag("e7")
+        .trials(trials)
+        .limits(limits)
+        .targets(killer_targets),
+    ]
+}
+
+/// E7 — the contrast with Kapron et al.: committee protocols are fast against
+/// non-adaptive faults and fail against an adaptive committee killer, while
+/// quorum-based protocols shrug the same adversary off.
+pub fn exp7_committee_vs_adaptive(scale: Scale) -> Table {
     let mut table = Table::new(
         "E7: committee baseline vs adaptive adversary (Kapron et al. contrast)",
         "Unanimous inputs. The committee protocol terminates against a non-adaptive crash \
@@ -340,117 +445,63 @@ pub fn exp7_committee_vs_adaptive(scale: Scale) -> Table {
             "mean chain",
         ],
     );
-    let plan = TrialPlan::new(cfg, inputs.clone())
-        .trials(trials)
-        .limits(RunLimits::steps(500_000));
-
-    let non_adaptive = run_async_trials(&plan, &committee, |seed| {
-        NonAdaptiveCrashAdversary::random(n, t, seed)
-    });
-    table.push_row(vec![
-        "committee".to_string(),
-        "non-adaptive crash".to_string(),
-        fmt_rate(non_adaptive.termination_rate),
-        fmt_rate(non_adaptive.agreement_rate),
-        fmt_rate(non_adaptive.validity_rate),
-        fmt_f64(non_adaptive.chain_length.mean),
-    ]);
-
-    let killer_targets = committee.committee().to_vec();
-    let adaptive = run_async_trials(&plan, &committee, |_| {
-        AdaptiveCommitteeKiller::new(killer_targets.clone())
-    });
-    table.push_row(vec![
-        "committee".to_string(),
-        "adaptive committee-killer".to_string(),
-        fmt_rate(adaptive.termination_rate),
-        fmt_rate(adaptive.agreement_rate),
-        fmt_rate(adaptive.validity_rate),
-        fmt_f64(adaptive.chain_length.mean),
-    ]);
-
-    let ben_or_adaptive = run_async_trials(&plan, &BenOrBuilder::new(), |_| {
-        AdaptiveCommitteeKiller::new(killer_targets.clone())
-    });
-    table.push_row(vec![
-        "ben-or".to_string(),
-        "adaptive committee-killer".to_string(),
-        fmt_rate(ben_or_adaptive.termination_rate),
-        fmt_rate(ben_or_adaptive.agreement_rate),
-        fmt_rate(ben_or_adaptive.validity_rate),
-        fmt_f64(ben_or_adaptive.chain_length.mean),
-    ]);
+    let row_labels = [
+        ("committee", "non-adaptive crash"),
+        ("committee", "adaptive committee-killer"),
+        ("ben-or", "adaptive committee-killer"),
+    ];
+    for (spec, (protocol, adversary)) in exp7_specs(scale).iter().zip(row_labels) {
+        let aggregate = run_spec(spec);
+        table.push_row(vec![
+            protocol.to_string(),
+            adversary.to_string(),
+            fmt_rate(aggregate.termination_rate),
+            fmt_rate(aggregate.agreement_rate),
+            fmt_rate(aggregate.validity_rate),
+            fmt_f64(aggregate.chain_length.mean),
+        ]);
+    }
     table
 }
 
-/// A deliberately unfair window adversary used by E8: it shows the first half
-/// of the processors a zero-leaning view and the second half a one-leaning
-/// view (all within the legal `|S_i| >= n - t` budget), which valid Theorem 4
-/// thresholds withstand but broken thresholds do not.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PolarizingAdversary;
+/// The E8 threshold settings: the valid Theorem 4 triple plus one probe per
+/// broken constraint.
+fn exp8_settings() -> Vec<(&'static str, Thresholds)> {
+    let cfg = SystemConfig::with_sixth_resilience(13).expect("n >= 1");
+    let valid = Thresholds::recommended(&cfg).expect("t < n/6");
+    vec![
+        ("valid (T1=9,T2=9,T3=7)", valid),
+        ("broken: T2 too small (T2=5)", Thresholds::new(9, 5, 7)),
+        ("broken: 2*T3 <= n (T3=6)", Thresholds::new(9, 9, 6)),
+        ("broken: T2 < T3 + t (T2=7)", Thresholds::new(9, 7, 7)),
+    ]
+}
 
-impl WindowAdversary for PolarizingAdversary {
-    fn name(&self) -> &'static str {
-        "polarizing"
-    }
-
-    fn next_window(&mut self, view: &SystemView<'_>) -> Window {
-        let n = view.n();
-        let t = view.t();
-        let probe = ProcessorId::new(0);
-        let value_of = |s: usize| {
-            view.buffer
-                .peek(ProcessorId::new(s), probe)
-                .and_then(Payload::advocated_value)
-        };
-        let zeros: Vec<ProcessorId> = (0..n)
-            .filter(|&s| value_of(s) == Some(Bit::Zero))
-            .map(ProcessorId::new)
-            .collect();
-        let ones: Vec<ProcessorId> = (0..n)
-            .filter(|&s| value_of(s) == Some(Bit::One))
-            .map(ProcessorId::new)
-            .collect();
-        let rest: Vec<ProcessorId> = (0..n)
-            .filter(|&s| value_of(s).is_none())
-            .map(ProcessorId::new)
-            .collect();
-        // Zero-leaning view: drop up to t one-senders; one-leaning view: drop
-        // up to t zero-senders.
-        let mut zero_leaning: Vec<ProcessorId> = zeros.clone();
-        zero_leaning.extend(ones.iter().skip(t.min(ones.len())));
-        zero_leaning.extend(rest.iter().copied());
-        let mut one_leaning: Vec<ProcessorId> = ones;
-        one_leaning.extend(zeros.iter().skip(t.min(zeros.len())));
-        one_leaning.extend(rest);
-        let deliveries: Vec<Vec<ProcessorId>> = (0..n)
-            .map(|i| {
-                if i < n / 2 {
-                    zero_leaning.clone()
-                } else {
-                    one_leaning.clone()
-                }
-            })
-            .collect();
-        Window::new(Vec::new(), deliveries)
-    }
+/// E8's workloads: every threshold setting against the polarizing adversary.
+pub fn exp8_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let cfg = SystemConfig::with_sixth_resilience(13).expect("n >= 1");
+    exp8_settings()
+        .into_iter()
+        .map(|(_, thresholds)| {
+            ScenarioSpec::new(
+                ProtocolSpec::ResetTolerantWith(thresholds),
+                "polarizing",
+                InputPattern::EvenlySplit,
+                cfg.n(),
+                cfg.t(),
+            )
+            .tag("e8")
+            .trials(scale.pick(10, 100))
+            .limits(RunLimits::windows(2_000))
+        })
+        .collect()
 }
 
 /// E8 — the Theorem 4 threshold constraints matter: valid thresholds keep
 /// agreement at 100% under a polarizing adversary, while broken thresholds
 /// admit disagreement.
 pub fn exp8_threshold_sensitivity(scale: Scale) -> Table {
-    let n = 13;
-    let cfg = SystemConfig::with_sixth_resilience(n).expect("n >= 1");
-    let trials = scale.pick(10, 100);
-    let valid = Thresholds::recommended(&cfg).expect("t < n/6");
-    let settings: Vec<(&str, Thresholds)> = vec![
-        ("valid (T1=9,T2=9,T3=7)", valid),
-        ("broken: T2 too small (T2=5)", Thresholds::new(9, 5, 7)),
-        ("broken: 2*T3 <= n (T3=6)", Thresholds::new(9, 9, 6)),
-        ("broken: T2 < T3 + t (T2=7)", Thresholds::new(9, 7, 7)),
-    ];
+    let cfg = SystemConfig::with_sixth_resilience(13).expect("n >= 1");
     let mut table = Table::new(
         "E8: Theorem 4 threshold sensitivity",
         "Reset-tolerant protocol on split inputs under a polarizing window adversary. Valid \
@@ -464,12 +515,8 @@ pub fn exp8_threshold_sensitivity(scale: Scale) -> Table {
             "termination",
         ],
     );
-    for (label, thresholds) in settings {
-        let builder = ResetTolerantBuilder::with_thresholds(thresholds);
-        let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(n))
-            .trials(trials)
-            .limits(RunLimits::windows(2_000));
-        let aggregate = run_window_trials(&plan, &builder, || PolarizingAdversary);
+    for (spec, (label, thresholds)) in exp8_specs(scale).iter().zip(exp8_settings()) {
+        let aggregate = run_spec(spec);
         table.push_row(vec![
             label.to_string(),
             thresholds.is_valid_for(&cfg).to_string(),
@@ -481,12 +528,35 @@ pub fn exp8_threshold_sensitivity(scale: Scale) -> Table {
     table
 }
 
+/// One E9 spec: the reset-tolerant protocol under split-vote+resets at an
+/// explicit per-window budget `t` (possibly infeasible — `run` then errors).
+fn exp9_spec(scale: Scale, n: usize, t: usize) -> ScenarioSpec {
+    ScenarioSpec::new(
+        ProtocolSpec::ResetTolerant,
+        "split-vote+resets",
+        InputPattern::EvenlySplit,
+        n,
+        t,
+    )
+    .tag("e9")
+    .trials(scale.pick(5, 50))
+    .limits(RunLimits::windows(scale.pick(20_000, 100_000)))
+}
+
+/// E9's feasible workloads (the table additionally reports the infeasible
+/// budgets as rows).
+pub fn exp9_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let n = scale.pick(13, 25);
+    (0..=(n / 4))
+        .map(|t| exp9_spec(scale, n, t))
+        .filter(|spec| spec.feasibility().is_ok())
+        .collect()
+}
+
 /// E9 — ablation: how the per-window reset budget affects the reset-tolerant
 /// protocol (valid thresholds only exist below `n/6`).
 pub fn exp9_reset_budget(scale: Scale) -> Table {
     let n = scale.pick(13, 25);
-    let trials = scale.pick(5, 50);
-    let budgets: Vec<usize> = (0..=(n / 4)).collect();
     let mut table = Table::new(
         "E9: ablation — per-window reset budget vs feasibility and speed",
         "Reset-tolerant protocol on split inputs under the split-vote+resets adversary. Valid \
@@ -500,16 +570,10 @@ pub fn exp9_reset_budget(scale: Scale) -> Table {
             "mean windows",
         ],
     );
-    for t in budgets {
-        let Ok(cfg) = SystemConfig::new(n, t) else {
-            continue;
-        };
-        match ResetTolerantBuilder::recommended(&cfg) {
-            Ok(builder) => {
-                let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(n))
-                    .trials(trials)
-                    .limits(RunLimits::windows(scale.pick(20_000, 100_000)));
-                let aggregate = run_window_trials(&plan, &builder, SplitVoteAdversary::with_resets);
+    for t in 0..=(n / 4) {
+        let spec = exp9_spec(scale, n, t);
+        match spec.run() {
+            Ok(aggregate) => {
                 table.push_row(vec![
                     n.to_string(),
                     t.to_string(),
@@ -618,5 +682,20 @@ mod tests {
         let feasible: Vec<&str> = table.rows().iter().map(|r| r[2].as_str()).collect();
         assert!(feasible.contains(&"yes"));
         assert!(feasible.iter().any(|s| s.starts_with("no")));
+    }
+
+    #[test]
+    fn spec_lists_cover_every_simulated_experiment() {
+        assert_eq!(exp1_specs(Scale::Quick).len(), 8);
+        assert_eq!(exp2_specs(Scale::Quick).len(), 4);
+        assert_eq!(exp5_specs(Scale::Quick).len(), 2);
+        assert_eq!(exp6_specs(Scale::Quick).len(), 3);
+        assert_eq!(exp7_specs(Scale::Quick).len(), 3);
+        assert_eq!(exp8_specs(Scale::Quick).len(), 4);
+        assert_eq!(
+            exp9_specs(Scale::Quick).len(),
+            3,
+            "t in {{0, 1, 2}} feasible at n=13"
+        );
     }
 }

@@ -8,8 +8,14 @@
 //!   and [`Aggregate`] — run a protocol against an adversary over many seeded
 //!   trials, fanned out across all cores with deterministic (thread-count
 //!   independent) aggregation.
+//! * [`scenario`] — the data-driven scenario layer: [`ScenarioSpec`] describes
+//!   a protocol × adversary × inputs × size combination as plain data,
+//!   [`ScenarioMatrix`] expands cross-products of them, and
+//!   [`scenario_registry`] lists every registered combination (the `scenarios`
+//!   binary runs them from the command line).
 //! * [`experiments`] — the per-claim experiments E1–E9 indexed in DESIGN.md
-//!   and recorded in EXPERIMENTS.md, each returning a [`Table`].
+//!   and recorded in EXPERIMENTS.md, each a declarative [`ScenarioSpec`] table
+//!   returning a [`Table`].
 //! * [`Table`] — plain-text result tables (what the `agreement-bench`
 //!   binaries print).
 //!
@@ -22,6 +28,23 @@
 //! let table = exp3_talagrand(Scale::Quick);
 //! println!("{table}");
 //! ```
+//!
+//! Run an arbitrary combination nothing in E1–E9 exercises:
+//!
+//! ```no_run
+//! use agreement_core::{InputPattern, ProtocolSpec, ScenarioSpec};
+//! use agreement_model::Bit;
+//!
+//! let spec = ScenarioSpec::new(
+//!     ProtocolSpec::Bracha,
+//!     "equivocating-byzantine",
+//!     InputPattern::Unanimous(Bit::One),
+//!     7,
+//!     2,
+//! );
+//! let aggregate = spec.run().expect("spec resolves");
+//! println!("{}: agreement {}", spec.id(), aggregate.agreement_rate);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,6 +52,11 @@
 pub mod experiments;
 mod report;
 mod runner;
+pub mod scenario;
 
 pub use report::{fmt_f64, fmt_rate, Table};
 pub use runner::{run_async_trials, run_window_trials, Aggregate, Campaign, TrialPlan};
+pub use scenario::{
+    extra_scenarios, scenario_registry, InputPattern, ProtocolInstance, ProtocolSpec,
+    ScenarioError, ScenarioMatrix, ScenarioSpec,
+};

@@ -151,8 +151,24 @@ impl Campaign {
         A: WindowAdversary,
         F: Fn() -> A + Sync,
     {
+        self.run_windowed_seeded(plan, builder, |_seed| make_adversary())
+    }
+
+    /// Like [`Campaign::run_windowed`], but hands each trial's seed to
+    /// `make_adversary` so seeded window adversaries (e.g. factory-built ones)
+    /// can derive private randomness from it.
+    pub fn run_windowed_seeded<A, F>(
+        &self,
+        plan: &TrialPlan,
+        builder: &dyn ProtocolBuilder,
+        make_adversary: F,
+    ) -> Aggregate
+    where
+        A: WindowAdversary,
+        F: Fn(u64) -> A + Sync,
+    {
         let outcomes = self.run_trials(plan.trials, |trial| {
-            let mut adversary = make_adversary();
+            let mut adversary = make_adversary(plan.base_seed + trial);
             run_windowed(
                 plan.cfg,
                 plan.inputs.clone(),

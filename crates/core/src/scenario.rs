@@ -1,0 +1,846 @@
+//! The data-driven scenario layer: workloads as values, executed by one
+//! matrix engine.
+//!
+//! The paper's claims are statements about *combinations* — a protocol
+//! crossed with an adversary, an input pattern, an execution model and a
+//! system size. A [`ScenarioSpec`] captures one such combination as plain
+//! data; a [`ScenarioMatrix`] expands cross-products of them; and both run
+//! through the existing parallel [`Campaign`] with the same bit-identical,
+//! slot-ordered aggregation the experiments use. Adversaries are resolved by
+//! name through the [`AdversaryFactory`](agreement_adversary::AdversaryFactory)
+//! registry of `agreement-adversary`, protocols through [`ProtocolSpec`], so
+//! new workloads — Ben-Or under the equivocating Byzantine adversary,
+//! committee protocols under split inputs — are new table rows, not new code.
+//!
+//! The experiments E1–E9 in [`crate::experiments`] are declarative tables
+//! over this engine, and [`scenario_registry`] collects every registered
+//! combination (experiment workloads plus extra combinations no experiment
+//! exercises) for the `scenarios` CLI and the smoke tests.
+
+use std::fmt;
+
+use agreement_adversary::{find_adversary, AdversaryBuildCtx, AdversaryFactory};
+use agreement_model::{
+    Bit, ConfigError, InputAssignment, ProcessorId, ProtocolBuilder, SystemConfig, Thresholds,
+};
+use agreement_protocols::{BenOrBuilder, BrachaBuilder, CommitteeBuilder, ResetTolerantBuilder};
+use agreement_sim::{run_async, run_windowed, ModelKind, RunLimits, RunOutcome};
+
+use crate::experiments::Scale;
+use crate::runner::{Aggregate, Campaign, TrialPlan};
+
+/// Why a scenario could not be resolved into a runnable execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The system configuration or protocol parameters are infeasible
+    /// (e.g. `t >= n/6` for the reset-tolerant protocol).
+    Config(ConfigError),
+    /// The protocol spec is malformed for the configuration (e.g. a committee
+    /// larger than `n`).
+    InvalidProtocol(String),
+    /// The adversary name is not in the registry.
+    UnknownAdversary(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Config(err) => write!(f, "infeasible configuration: {err}"),
+            ScenarioError::InvalidProtocol(reason) => {
+                write!(f, "invalid protocol spec: {reason}")
+            }
+            ScenarioError::UnknownAdversary(name) => {
+                write!(f, "no adversary named '{name}' in the registry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ConfigError> for ScenarioError {
+    fn from(err: ConfigError) -> Self {
+        ScenarioError::Config(err)
+    }
+}
+
+/// An input assignment described as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputPattern {
+    /// Every processor holds `value`.
+    Unanimous(Bit),
+    /// The adversarial even split: the first `⌈n/2⌉` processors hold `0`.
+    EvenlySplit,
+    /// The first `zeros` processors hold `0`, the rest `1`.
+    SplitAt(usize),
+}
+
+impl InputPattern {
+    /// The label experiments print for this pattern.
+    pub fn label(&self) -> String {
+        match self {
+            InputPattern::Unanimous(Bit::Zero) => "unanimous-0".to_string(),
+            InputPattern::Unanimous(Bit::One) => "unanimous-1".to_string(),
+            InputPattern::EvenlySplit => "split".to_string(),
+            InputPattern::SplitAt(zeros) => format!("split@{zeros}"),
+        }
+    }
+
+    /// Materializes the pattern for a system of `n` processors.
+    pub fn materialize(&self, n: usize) -> InputAssignment {
+        match self {
+            InputPattern::Unanimous(value) => InputAssignment::unanimous(n, *value),
+            InputPattern::EvenlySplit => InputAssignment::evenly_split(n),
+            InputPattern::SplitAt(zeros) => InputAssignment::split_at(n, (*zeros).min(n)),
+        }
+    }
+}
+
+/// A protocol described as data, instantiable for any feasible configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolSpec {
+    /// The Section 3 reset-tolerant protocol with the Theorem 4 recommended
+    /// thresholds (requires `t < n/6`).
+    ResetTolerant,
+    /// The reset-tolerant protocol with explicit (possibly invalid)
+    /// thresholds — the E8 sensitivity probe.
+    ResetTolerantWith(Thresholds),
+    /// Ben-Or's classical crash-model protocol.
+    BenOr,
+    /// Bracha's optimally resilient Byzantine protocol.
+    Bracha,
+    /// The Kapron-et-al.-style committee baseline with a public random
+    /// committee of `size` members drawn from `seed`.
+    Committee {
+        /// Committee size.
+        size: usize,
+        /// Public randomness the committee is drawn from.
+        seed: u64,
+    },
+}
+
+/// A protocol instantiated for a concrete configuration: the builder plus the
+/// publicly known structure (committee) adversaries may target.
+pub struct ProtocolInstance {
+    /// Builds the per-processor state machines.
+    pub builder: Box<dyn ProtocolBuilder>,
+    /// The protocol's publicly known committee (empty for quorum protocols).
+    pub committee: Vec<ProcessorId>,
+}
+
+impl ProtocolSpec {
+    /// A short label used in scenario ids and tables.
+    pub fn label(&self) -> String {
+        match self {
+            ProtocolSpec::ResetTolerant => "reset-tolerant".to_string(),
+            ProtocolSpec::ResetTolerantWith(th) => {
+                format!("reset-tolerant[{},{},{}]", th.t1(), th.t2(), th.t3())
+            }
+            ProtocolSpec::BenOr => "ben-or".to_string(),
+            ProtocolSpec::Bracha => "bracha".to_string(),
+            ProtocolSpec::Committee { size, .. } => format!("committee{size}"),
+        }
+    }
+
+    /// Instantiates the protocol for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Config`] when no valid parameters exist for
+    /// `cfg` (e.g. recommended thresholds at `t >= n/6`), and
+    /// [`ScenarioError::InvalidProtocol`] for malformed specs (e.g. a
+    /// committee larger than `n`) — specs are data, so a bad one is reported,
+    /// never a panic.
+    pub fn instantiate(&self, cfg: &SystemConfig) -> Result<ProtocolInstance, ScenarioError> {
+        Ok(match self {
+            ProtocolSpec::ResetTolerant => ProtocolInstance {
+                builder: Box::new(ResetTolerantBuilder::recommended(cfg)?),
+                committee: Vec::new(),
+            },
+            ProtocolSpec::ResetTolerantWith(thresholds) => ProtocolInstance {
+                builder: Box::new(ResetTolerantBuilder::with_thresholds(*thresholds)),
+                committee: Vec::new(),
+            },
+            ProtocolSpec::BenOr => ProtocolInstance {
+                builder: Box::new(BenOrBuilder::new()),
+                committee: Vec::new(),
+            },
+            ProtocolSpec::Bracha => ProtocolInstance {
+                builder: Box::new(BrachaBuilder::new()),
+                committee: Vec::new(),
+            },
+            ProtocolSpec::Committee { size, seed } => {
+                if *size == 0 || *size > cfg.n() {
+                    return Err(ScenarioError::InvalidProtocol(format!(
+                        "committee size {size} must be between 1 and n = {}",
+                        cfg.n()
+                    )));
+                }
+                let builder = CommitteeBuilder::random(cfg, *size, *seed);
+                let committee = builder.committee().to_vec();
+                ProtocolInstance {
+                    builder: Box::new(builder),
+                    committee,
+                }
+            }
+        })
+    }
+}
+
+/// One workload as data: protocol × adversary × inputs × size × limits.
+///
+/// The execution model (windowed vs. asynchronous) is carried by the
+/// adversary's registry entry, so a spec is fully determined by these fields.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Grouping tag (e.g. the experiment the spec belongs to); prefixes the id.
+    pub tag: String,
+    /// The protocol to run.
+    pub protocol: ProtocolSpec,
+    /// The adversary's name in the `agreement-adversary` registry.
+    pub adversary: String,
+    /// The input pattern.
+    pub inputs: InputPattern,
+    /// Number of processors.
+    pub n: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// Number of seeded trials.
+    pub trials: u64,
+    /// Per-trial run limits.
+    pub limits: RunLimits,
+    /// Base seed; trial `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Explicit adversary targets. `None` means "the protocol's committee"
+    /// (empty for quorum protocols), which is what targeting adversaries
+    /// default to.
+    pub targets: Option<Vec<ProcessorId>>,
+}
+
+impl ScenarioSpec {
+    /// A spec with the default campaign parameters (20 trials, standard
+    /// limits, base seed `0x5EED`) — the same defaults as [`TrialPlan`].
+    pub fn new(
+        protocol: ProtocolSpec,
+        adversary: impl Into<String>,
+        inputs: InputPattern,
+        n: usize,
+        t: usize,
+    ) -> Self {
+        ScenarioSpec {
+            tag: String::new(),
+            protocol,
+            adversary: adversary.into(),
+            inputs,
+            n,
+            t,
+            trials: 20,
+            limits: RunLimits::standard(),
+            base_seed: 0x5EED,
+            targets: None,
+        }
+    }
+
+    /// Sets the grouping tag.
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = tag.into();
+        self
+    }
+
+    /// Sets the number of trials.
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the per-trial limits.
+    pub fn limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Sets explicit adversary targets (overriding the protocol's committee).
+    pub fn targets(mut self, targets: Vec<ProcessorId>) -> Self {
+        self.targets = Some(targets);
+        self
+    }
+
+    /// A stable human-readable identifier:
+    /// `[tag/]protocol/adversary/inputs/n<n>t<t>`.
+    pub fn id(&self) -> String {
+        let base = format!(
+            "{}/{}/{}/n{}t{}",
+            self.protocol.label(),
+            self.adversary,
+            self.inputs.label(),
+            self.n,
+            self.t
+        );
+        if self.tag.is_empty() {
+            base
+        } else {
+            format!("{}/{base}", self.tag)
+        }
+    }
+
+    /// The system configuration this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Config`] for degenerate `n`/`t`.
+    pub fn config(&self) -> Result<SystemConfig, ScenarioError> {
+        Ok(SystemConfig::new(self.n, self.t)?)
+    }
+
+    /// The adversary factory this spec names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnknownAdversary`] when the name is not
+    /// registered.
+    pub fn factory(&self) -> Result<&'static dyn AdversaryFactory, ScenarioError> {
+        find_adversary(&self.adversary)
+            .ok_or_else(|| ScenarioError::UnknownAdversary(self.adversary.clone()))
+    }
+
+    /// The execution model this spec runs under.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnknownAdversary`] when the adversary is not
+    /// registered.
+    pub fn model(&self) -> Result<ModelKind, ScenarioError> {
+        Ok(self.factory()?.model())
+    }
+
+    /// Checks that the spec resolves into a runnable execution without
+    /// running it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error [`ScenarioSpec::run`] would return.
+    pub fn feasibility(&self) -> Result<(), ScenarioError> {
+        let cfg = self.config()?;
+        self.factory()?;
+        self.protocol.instantiate(&cfg)?;
+        Ok(())
+    }
+
+    fn resolved(
+        &self,
+    ) -> Result<
+        (
+            SystemConfig,
+            ProtocolInstance,
+            &'static dyn AdversaryFactory,
+        ),
+        ScenarioError,
+    > {
+        let cfg = self.config()?;
+        let factory = self.factory()?;
+        let instance = self.protocol.instantiate(&cfg)?;
+        Ok((cfg, instance, factory))
+    }
+
+    fn build_ctx(
+        &self,
+        cfg: SystemConfig,
+        instance: &ProtocolInstance,
+        seed: u64,
+    ) -> AdversaryBuildCtx {
+        let targets = self
+            .targets
+            .clone()
+            .unwrap_or_else(|| instance.committee.clone());
+        AdversaryBuildCtx::new(cfg, seed).with_targets(targets)
+    }
+
+    /// Runs the spec's trials on the default (all-cores) campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] when the spec does not resolve.
+    pub fn run(&self) -> Result<Aggregate, ScenarioError> {
+        self.run_on(&Campaign::default())
+    }
+
+    /// Runs the spec's trials on an explicit campaign. Aggregates are
+    /// bit-identical across thread counts (the campaign's guarantee).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] when the spec does not resolve.
+    pub fn run_on(&self, campaign: &Campaign) -> Result<Aggregate, ScenarioError> {
+        let (cfg, instance, factory) = self.resolved()?;
+        let plan = TrialPlan::new(cfg, self.inputs.materialize(self.n))
+            .trials(self.trials)
+            .limits(self.limits)
+            .base_seed(self.base_seed);
+        let builder = instance.builder.as_ref();
+        Ok(match factory.model() {
+            ModelKind::Windowed => campaign.run_windowed_seeded(&plan, builder, |seed| {
+                factory.build_window(&self.build_ctx(cfg, &instance, seed))
+            }),
+            ModelKind::Async => campaign.run_async(&plan, builder, |seed| {
+                factory.build_async(&self.build_ctx(cfg, &instance, seed))
+            }),
+        })
+    }
+
+    /// Runs a single execution with an explicit seed and returns its raw
+    /// outcome (used by determinism tests and for inspecting one trace).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] when the spec does not resolve.
+    pub fn run_single(&self, seed: u64) -> Result<RunOutcome, ScenarioError> {
+        let (cfg, instance, factory) = self.resolved()?;
+        let inputs = self.inputs.materialize(self.n);
+        let ctx = self.build_ctx(cfg, &instance, seed);
+        Ok(match factory.model() {
+            ModelKind::Windowed => {
+                let mut adversary = factory.build_window(&ctx);
+                run_windowed(
+                    cfg,
+                    inputs,
+                    instance.builder.as_ref(),
+                    adversary.as_mut(),
+                    seed,
+                    self.limits,
+                )
+            }
+            ModelKind::Async => {
+                let mut adversary = factory.build_async(&ctx);
+                run_async(
+                    cfg,
+                    inputs,
+                    instance.builder.as_ref(),
+                    adversary.as_mut(),
+                    seed,
+                    self.limits,
+                )
+            }
+        })
+    }
+}
+
+/// A cross-product of scenario dimensions, expanded into concrete specs.
+///
+/// Expansion order is sizes → protocols → inputs → adversaries (outermost to
+/// innermost), matching the row order of the tabular experiments.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    /// Grouping tag applied to every expanded spec.
+    pub tag: String,
+    /// Protocol dimension.
+    pub protocols: Vec<ProtocolSpec>,
+    /// Adversary dimension (registry names).
+    pub adversaries: Vec<String>,
+    /// Input dimension.
+    pub inputs: Vec<InputPattern>,
+    /// Size dimension as `(n, t)` pairs.
+    pub sizes: Vec<(usize, usize)>,
+    /// Trials per expanded spec.
+    pub trials: u64,
+    /// Limits per expanded spec.
+    pub limits: RunLimits,
+    /// Base seed per expanded spec.
+    pub base_seed: u64,
+}
+
+impl Default for ScenarioMatrix {
+    fn default() -> Self {
+        ScenarioMatrix::new()
+    }
+}
+
+impl ScenarioMatrix {
+    /// An empty matrix with the default campaign parameters.
+    pub fn new() -> Self {
+        ScenarioMatrix {
+            tag: String::new(),
+            protocols: Vec::new(),
+            adversaries: Vec::new(),
+            inputs: Vec::new(),
+            sizes: Vec::new(),
+            trials: 20,
+            limits: RunLimits::standard(),
+            base_seed: 0x5EED,
+        }
+    }
+
+    /// Sets the grouping tag.
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = tag.into();
+        self
+    }
+
+    /// Sets the protocol dimension.
+    pub fn protocols(mut self, protocols: Vec<ProtocolSpec>) -> Self {
+        self.protocols = protocols;
+        self
+    }
+
+    /// Sets the adversary dimension from registry names.
+    pub fn adversaries(mut self, adversaries: &[&str]) -> Self {
+        self.adversaries = adversaries.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Sets the input dimension.
+    pub fn inputs(mut self, inputs: Vec<InputPattern>) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Sets the size dimension as `(n, t)` pairs.
+    pub fn sizes(mut self, sizes: Vec<(usize, usize)>) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Sets the trials per expanded spec.
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the limits per expanded spec.
+    pub fn limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets the base seed per expanded spec.
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Expands the full cross-product into concrete specs.
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        let mut specs = Vec::with_capacity(
+            self.sizes.len() * self.protocols.len() * self.inputs.len() * self.adversaries.len(),
+        );
+        for &(n, t) in &self.sizes {
+            for protocol in &self.protocols {
+                for inputs in &self.inputs {
+                    for adversary in &self.adversaries {
+                        specs.push(
+                            ScenarioSpec::new(protocol.clone(), adversary.clone(), *inputs, n, t)
+                                .tag(self.tag.clone())
+                                .trials(self.trials)
+                                .limits(self.limits)
+                                .base_seed(self.base_seed),
+                        );
+                    }
+                }
+            }
+        }
+        specs
+    }
+}
+
+/// Extra combinations no experiment exercises: the registry's proof that
+/// arbitrary protocol × adversary pairings run from data alone.
+pub fn extra_scenarios(scale: Scale) -> Vec<ScenarioSpec> {
+    let trials = match scale {
+        Scale::Quick => 3,
+        Scale::Full => 25,
+    };
+    let mut specs = vec![
+        // Ben-Or facing the Byzantine equivocator (crash-model thresholds
+        // mask a single liar on unanimous inputs).
+        ScenarioSpec::new(
+            ProtocolSpec::BenOr,
+            "equivocating-byzantine",
+            InputPattern::Unanimous(Bit::One),
+            9,
+            1,
+        )
+        .limits(RunLimits::steps(500_000)),
+        // Bracha under full-power equivocation at optimal resilience.
+        ScenarioSpec::new(
+            ProtocolSpec::Bracha,
+            "equivocating-byzantine",
+            InputPattern::Unanimous(Bit::One),
+            7,
+            2,
+        )
+        .limits(RunLimits::steps(60_000)),
+        // Bracha under benign fair scheduling.
+        ScenarioSpec::new(
+            ProtocolSpec::Bracha,
+            "fair-round-robin",
+            InputPattern::Unanimous(Bit::Zero),
+            7,
+            2,
+        )
+        .limits(RunLimits::steps(100_000)),
+        // The targeted (most-advanced-first) resetter, unused by E1-E9.
+        ScenarioSpec::new(
+            ProtocolSpec::ResetTolerant,
+            "targeted-reset",
+            InputPattern::EvenlySplit,
+            13,
+            2,
+        )
+        .limits(RunLimits::windows(5_000)),
+        // The reset-tolerant protocol's benign best case.
+        ScenarioSpec::new(
+            ProtocolSpec::ResetTolerant,
+            "full-delivery",
+            InputPattern::EvenlySplit,
+            13,
+            2,
+        )
+        .limits(RunLimits::windows(2_000)),
+        // Ben-Or with its victims silenced entirely.
+        ScenarioSpec::new(
+            ProtocolSpec::BenOr,
+            "withholding-crash",
+            InputPattern::Unanimous(Bit::Zero),
+            7,
+            2,
+        )
+        .limits(RunLimits::steps(200_000)),
+        // The committee baseline under split inputs and scheduled crashes.
+        ScenarioSpec::new(
+            ProtocolSpec::Committee {
+                size: 5,
+                seed: 0xC0FFEE,
+            },
+            "scheduled-crash",
+            InputPattern::EvenlySplit,
+            18,
+            2,
+        )
+        .limits(RunLimits::steps(200_000)),
+    ];
+    for spec in &mut specs {
+        spec.tag = "extra".to_string();
+        spec.trials = trials;
+    }
+    specs
+}
+
+/// Every registered scenario: the declarative E1–E9 workloads plus the extra
+/// combinations, at the given scale.
+pub fn scenario_registry(scale: Scale) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    specs.extend(crate::experiments::exp1_specs(scale));
+    specs.extend(crate::experiments::exp2_specs(scale));
+    specs.extend(crate::experiments::exp5_specs(scale));
+    specs.extend(crate::experiments::exp6_specs(scale));
+    specs.extend(crate::experiments::exp7_specs(scale));
+    specs.extend(crate::experiments::exp8_specs(scale));
+    specs.extend(crate::experiments::exp9_specs(scale));
+    specs.extend(extra_scenarios(scale));
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_patterns_materialize_and_label() {
+        assert_eq!(InputPattern::Unanimous(Bit::One).label(), "unanimous-1");
+        assert_eq!(InputPattern::EvenlySplit.label(), "split");
+        assert_eq!(InputPattern::SplitAt(2).label(), "split@2");
+        assert_eq!(
+            InputPattern::EvenlySplit.materialize(5),
+            InputAssignment::evenly_split(5)
+        );
+        assert_eq!(
+            InputPattern::SplitAt(9).materialize(4),
+            InputAssignment::split_at(4, 4),
+            "oversized zero counts clamp to n"
+        );
+    }
+
+    #[test]
+    fn spec_ids_are_stable_and_tagged() {
+        let spec = ScenarioSpec::new(
+            ProtocolSpec::ResetTolerant,
+            "split-vote",
+            InputPattern::EvenlySplit,
+            13,
+            2,
+        );
+        assert_eq!(spec.id(), "reset-tolerant/split-vote/split/n13t2");
+        assert_eq!(
+            spec.tag("e2").id(),
+            "e2/reset-tolerant/split-vote/split/n13t2"
+        );
+    }
+
+    #[test]
+    fn unknown_adversaries_and_infeasible_configs_are_reported() {
+        let spec = ScenarioSpec::new(
+            ProtocolSpec::ResetTolerant,
+            "no-such-adversary",
+            InputPattern::EvenlySplit,
+            7,
+            1,
+        );
+        assert_eq!(
+            spec.feasibility(),
+            Err(ScenarioError::UnknownAdversary(
+                "no-such-adversary".to_string()
+            ))
+        );
+        // t = 3 >= 13/6: recommended thresholds do not exist.
+        let infeasible = ScenarioSpec::new(
+            ProtocolSpec::ResetTolerant,
+            "split-vote",
+            InputPattern::EvenlySplit,
+            13,
+            3,
+        );
+        assert!(matches!(
+            infeasible.feasibility(),
+            Err(ScenarioError::Config(_))
+        ));
+        // A committee larger than n is a data error, reported — not a panic.
+        let oversized = ScenarioSpec::new(
+            ProtocolSpec::Committee { size: 10, seed: 1 },
+            "fair-round-robin",
+            InputPattern::EvenlySplit,
+            5,
+            1,
+        );
+        assert!(matches!(
+            oversized.feasibility(),
+            Err(ScenarioError::InvalidProtocol(_))
+        ));
+    }
+
+    #[test]
+    fn matrix_expansion_orders_sizes_protocols_inputs_adversaries() {
+        let matrix = ScenarioMatrix::new()
+            .tag("m")
+            .protocols(vec![ProtocolSpec::ResetTolerant])
+            .inputs(vec![
+                InputPattern::Unanimous(Bit::One),
+                InputPattern::EvenlySplit,
+            ])
+            .adversaries(&["rotating-reset", "split-vote"])
+            .sizes(vec![(7, 1), (13, 2)])
+            .trials(4)
+            .limits(RunLimits::small());
+        let specs = matrix.expand();
+        assert_eq!(specs.len(), 8);
+        assert_eq!(
+            specs[0].id(),
+            "m/reset-tolerant/rotating-reset/unanimous-1/n7t1"
+        );
+        assert_eq!(
+            specs[1].id(),
+            "m/reset-tolerant/split-vote/unanimous-1/n7t1"
+        );
+        assert_eq!(specs[2].id(), "m/reset-tolerant/rotating-reset/split/n7t1");
+        assert_eq!(specs[7].id(), "m/reset-tolerant/split-vote/split/n13t2");
+        assert!(specs.iter().all(|s| s.trials == 4));
+    }
+
+    #[test]
+    fn scenario_run_matches_direct_campaign_invocation() {
+        use agreement_adversary::SplitVoteAdversary;
+
+        let spec = ScenarioSpec::new(
+            ProtocolSpec::ResetTolerant,
+            "split-vote",
+            InputPattern::EvenlySplit,
+            13,
+            2,
+        )
+        .trials(3)
+        .limits(RunLimits::windows(5_000));
+        let via_scenario = spec.run().unwrap();
+
+        let cfg = SystemConfig::new(13, 2).unwrap();
+        let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+        let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(13))
+            .trials(3)
+            .limits(RunLimits::windows(5_000));
+        let direct = Campaign::default().run_windowed(&plan, &builder, SplitVoteAdversary::new);
+        assert_eq!(via_scenario, direct);
+    }
+
+    #[test]
+    fn async_scenario_runs_and_reports_the_async_model() {
+        let spec = ScenarioSpec::new(
+            ProtocolSpec::BenOr,
+            "fair-round-robin",
+            InputPattern::Unanimous(Bit::Zero),
+            5,
+            1,
+        )
+        .trials(3)
+        .limits(RunLimits::small());
+        assert_eq!(spec.model().unwrap(), ModelKind::Async);
+        let aggregate = spec.run().unwrap();
+        assert_eq!(aggregate.termination_rate, 1.0);
+        assert_eq!(aggregate.agreement_rate, 1.0);
+    }
+
+    #[test]
+    fn committee_killer_scenario_defaults_targets_to_the_committee() {
+        let spec = ScenarioSpec::new(
+            ProtocolSpec::Committee {
+                size: 5,
+                seed: 12345,
+            },
+            "adaptive-committee-killer",
+            InputPattern::Unanimous(Bit::Zero),
+            30,
+            3,
+        )
+        .trials(2)
+        .limits(RunLimits::small());
+        let aggregate = spec.run().unwrap();
+        // The killer silences the committee's quorum: nobody ever decides.
+        assert_eq!(aggregate.termination_rate, 0.0);
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_feasible() {
+        use std::collections::BTreeSet;
+        let specs = scenario_registry(Scale::Quick);
+        assert!(
+            specs.len() >= 30,
+            "expected a rich registry, got {}",
+            specs.len()
+        );
+        let mut ids = BTreeSet::new();
+        for spec in &specs {
+            assert!(ids.insert(spec.id()), "duplicate scenario id {}", spec.id());
+            spec.feasibility()
+                .unwrap_or_else(|err| panic!("{} infeasible: {err}", spec.id()));
+        }
+        // The registry exercises combinations beyond the experiments.
+        let combos: BTreeSet<(String, String)> = specs
+            .iter()
+            .map(|s| (s.protocol.label(), s.adversary.clone()))
+            .collect();
+        for needed in [
+            ("ben-or", "equivocating-byzantine"),
+            ("bracha", "equivocating-byzantine"),
+            ("bracha", "fair-round-robin"),
+            ("reset-tolerant", "targeted-reset"),
+            ("ben-or", "withholding-crash"),
+        ] {
+            assert!(
+                combos.contains(&(needed.0.to_string(), needed.1.to_string())),
+                "registry must include {needed:?}"
+            );
+        }
+    }
+}

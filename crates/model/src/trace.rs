@@ -83,7 +83,7 @@ pub enum TraceEvent {
 /// assert_eq!(trace.total_events(), 3);
 /// assert_eq!(trace.dropped(), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     capacity: usize,

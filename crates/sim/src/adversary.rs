@@ -16,6 +16,30 @@ use agreement_model::{Bit, Payload, ProcessorId, StateDigest, SystemConfig};
 use crate::buffer::MessageBuffer;
 use crate::window::Window;
 
+/// Which of the paper's two execution models an adversary schedules.
+///
+/// The scenario layer uses this to pick the engine a data-described adversary
+/// runs under: [`Windowed`](ModelKind::Windowed) adversaries implement
+/// [`WindowAdversary`] and drive the strongly adaptive acceptable-window model
+/// of Section 2; [`Async`](ModelKind::Async) adversaries implement
+/// [`AsyncAdversary`] and drive the fully asynchronous model of Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// The strongly adaptive acceptable-window model (Section 2).
+    Windowed,
+    /// The fully asynchronous crash/Byzantine model (Section 5).
+    Async,
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelKind::Windowed => write!(f, "windowed"),
+            ModelKind::Async => write!(f, "async"),
+        }
+    }
+}
+
 /// The full-information view an adversary is given before each decision.
 #[derive(Debug)]
 pub struct SystemView<'a> {
@@ -45,14 +69,54 @@ impl<'a> SystemView<'a> {
         self.config.t()
     }
 
-    /// Identities of processors that have not decided yet (and have not crashed).
-    pub fn undecided(&self) -> Vec<ProcessorId> {
+    /// Identities of processors that have not decided yet (and have not
+    /// crashed). Returns a lazy iterator so adversary decision loops can scan
+    /// without allocating a `Vec` per decision.
+    pub fn undecided(&self) -> impl Iterator<Item = ProcessorId> + '_ {
         self.outputs
             .iter()
             .enumerate()
             .filter(|(i, out)| out.is_none() && !self.crashed[*i])
             .map(|(i, _)| ProcessorId::new(i))
-            .collect()
+    }
+
+    /// Finds the first nonempty channel at or after `cursor` in the
+    /// sender-major round-robin order (channel `(from, to)` has index
+    /// `from * n + to`), skipping channels whose recipient has crashed.
+    ///
+    /// Returns the cursor to resume the round-robin from (the slot *after*
+    /// the found channel, already wrapped) alongside the channel's endpoints;
+    /// an adversary that acts on the channel persists it, one that defers
+    /// (e.g. to corrupt the head first) leaves its own cursor untouched.
+    /// This is the shared scan loop of every fair-scheduling adversary; it
+    /// allocates nothing and each channel probe is O(1) on the flat buffer.
+    pub fn next_pending_channel(&self, cursor: usize) -> Option<(usize, ProcessorId, ProcessorId)> {
+        self.next_pending_channel_where(cursor, |_, _| true)
+    }
+
+    /// Like [`SystemView::next_pending_channel`], but additionally skips
+    /// channels rejected by `admit(from, to)` (e.g. withheld senders).
+    pub fn next_pending_channel_where(
+        &self,
+        cursor: usize,
+        admit: impl Fn(ProcessorId, ProcessorId) -> bool,
+    ) -> Option<(usize, ProcessorId, ProcessorId)> {
+        let n = self.n();
+        let channels = n * n;
+        (0..channels)
+            .map(|offset| (cursor + offset) % channels)
+            .find_map(|idx| {
+                let from = ProcessorId::new(idx / n);
+                let to = ProcessorId::new(idx % n);
+                if self.crashed[to.index()]
+                    || !admit(from, to)
+                    || self.buffer.pending_on(from, to) == 0
+                {
+                    None
+                } else {
+                    Some(((idx + 1) % channels, from, to))
+                }
+            })
     }
 
     /// Returns `true` if some processor has written its output bit.
@@ -145,6 +209,26 @@ pub trait AsyncAdversary {
     fn next_action(&mut self, view: &SystemView<'_>) -> AsyncAction;
 }
 
+impl<A: WindowAdversary + ?Sized> WindowAdversary for Box<A> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn next_window(&mut self, view: &SystemView<'_>) -> Window {
+        (**self).next_window(view)
+    }
+}
+
+impl<A: AsyncAdversary + ?Sized> AsyncAdversary for Box<A> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn next_action(&mut self, view: &SystemView<'_>) -> AsyncAction {
+        (**self).next_action(view)
+    }
+}
+
 /// The benign window adversary: full delivery, no resets. Useful as a
 /// best-case baseline and in tests.
 #[derive(Debug, Clone, Copy, Default)]
@@ -174,21 +258,13 @@ impl AsyncAdversary for FairAsyncAdversary {
     }
 
     fn next_action(&mut self, view: &SystemView<'_>) -> AsyncAction {
-        let n = view.n();
-        let channels = n * n;
-        for offset in 0..channels {
-            let idx = (self.cursor + offset) % channels;
-            let from = ProcessorId::new(idx / n);
-            let to = ProcessorId::new(idx % n);
-            if view.crashed[to.index()] {
-                continue;
+        match view.next_pending_channel(self.cursor) {
+            Some((next_cursor, from, to)) => {
+                self.cursor = next_cursor;
+                AsyncAction::Deliver { from, to }
             }
-            if view.buffer.pending_on(from, to) > 0 {
-                self.cursor = (idx + 1) % channels;
-                return AsyncAction::Deliver { from, to };
-            }
+            None => AsyncAction::Halt,
         }
-        AsyncAction::Halt
     }
 }
 
@@ -221,7 +297,7 @@ mod tests {
         assert!(view.any_decided());
         assert!(!view.all_correct_decided());
         assert_eq!(
-            view.undecided(),
+            view.undecided().collect::<Vec<_>>(),
             vec![ProcessorId::new(0), ProcessorId::new(3)]
         );
         assert_eq!(view.estimate_count(Bit::Zero), 3);

@@ -7,12 +7,20 @@
 //! single channel are delivered in order (a harmless strengthening; the
 //! adversary still fully controls interleaving across channels).
 //!
+//! The `n * n` channels are stored as one flat `Vec` of queues indexed by
+//! `sender * n + recipient` (sender-major). Channel access on the hot
+//! enqueue/dequeue path is therefore a single index computation — no tree
+//! walk, no rebalancing, no per-channel allocation after construction — and
+//! whole-buffer scans (`iter`, `discard_undelivered`, `drop_to`) are linear
+//! passes over a contiguous array. Iteration order is sender-major then
+//! recipient, identical to the `(sender, recipient)`-keyed ordering of the
+//! previous `BTreeMap` layout.
+//!
 //! Each buffered message carries a *chain tag*: the causal depth assigned at
 //! send time (the length of the longest message chain ending in the send).
 //! The asynchronous scheduler uses the tags to measure running time as the
 //! paper's Section 5 does; window executions ignore them.
 
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use agreement_model::{Envelope, Payload, ProcessorId};
@@ -24,19 +32,67 @@ struct Buffered {
     chain: u64,
 }
 
-/// A FIFO buffer of undelivered messages, indexed by `(sender, recipient)`.
+/// A FIFO buffer of undelivered messages with one flat queue per ordered
+/// `(sender, recipient)` channel.
 #[derive(Debug, Clone, Default)]
 pub struct MessageBuffer {
-    channels: BTreeMap<(ProcessorId, ProcessorId), VecDeque<Buffered>>,
+    /// Number of processors the flat layout currently covers.
+    n: usize,
+    /// `n * n` queues, channel `(s, r)` at index `s * n + r`.
+    channels: Vec<VecDeque<Buffered>>,
     enqueued: u64,
     delivered: u64,
     dropped: u64,
 }
 
 impl MessageBuffer {
-    /// Creates an empty buffer.
+    /// Creates an empty buffer. The channel array grows on demand; prefer
+    /// [`MessageBuffer::with_processors`] when `n` is known up front so the
+    /// hot path never reallocates.
     pub fn new() -> Self {
         MessageBuffer::default()
+    }
+
+    /// Creates an empty buffer pre-sized for `n` processors (`n * n` channels).
+    pub fn with_processors(n: usize) -> Self {
+        MessageBuffer {
+            n,
+            channels: vec![VecDeque::new(); n * n],
+            enqueued: 0,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Flat index of the channel `sender -> recipient`, if both are covered by
+    /// the current layout.
+    #[inline]
+    fn index(&self, sender: ProcessorId, recipient: ProcessorId) -> Option<usize> {
+        let (s, r) = (sender.index(), recipient.index());
+        if s < self.n && r < self.n {
+            Some(s * self.n + r)
+        } else {
+            None
+        }
+    }
+
+    /// Grows the layout so processor `id` is covered, remapping the existing
+    /// queues into the wider sender-major grid. Only reachable through
+    /// `enqueue` on a buffer built with [`MessageBuffer::new`]; engine-owned
+    /// buffers are pre-sized and never take this path.
+    fn ensure_covers(&mut self, id: usize) {
+        if id < self.n {
+            return;
+        }
+        let new_n = id + 1;
+        let mut channels = vec![VecDeque::new(); new_n * new_n];
+        for s in 0..self.n {
+            for r in 0..self.n {
+                channels[s * new_n + r] = std::mem::take(&mut self.channels[s * self.n + r]);
+            }
+        }
+        self.n = new_n;
+        self.channels = channels;
     }
 
     /// Places an envelope into the buffer with a zero chain tag.
@@ -47,14 +103,15 @@ impl MessageBuffer {
     /// Places an envelope into the buffer, tagging it with the causal depth of
     /// its sending step.
     pub fn enqueue_with_chain(&mut self, envelope: Envelope, chain: u64) {
+        self.ensure_covers(envelope.sender.index().max(envelope.recipient.index()));
         self.enqueued += 1;
-        self.channels
-            .entry((envelope.sender, envelope.recipient))
-            .or_default()
-            .push_back(Buffered {
-                payload: envelope.payload,
-                chain,
-            });
+        let idx = self
+            .index(envelope.sender, envelope.recipient)
+            .expect("layout covers both endpoints after ensure_covers");
+        self.channels[idx].push_back(Buffered {
+            payload: envelope.payload,
+            chain,
+        });
     }
 
     /// Removes and returns the oldest undelivered message from `sender` to
@@ -71,8 +128,8 @@ impl MessageBuffer {
         sender: ProcessorId,
         recipient: ProcessorId,
     ) -> Option<(Payload, u64)> {
-        let queue = self.channels.get_mut(&(sender, recipient))?;
-        let entry = queue.pop_front()?;
+        let idx = self.index(sender, recipient)?;
+        let entry = self.channels[idx].pop_front()?;
         self.delivered += 1;
         Some((entry.payload, entry.chain))
     }
@@ -80,9 +137,9 @@ impl MessageBuffer {
     /// Removes and returns *all* undelivered messages from `sender` to
     /// `recipient`, oldest first.
     pub fn drain_channel(&mut self, sender: ProcessorId, recipient: ProcessorId) -> Vec<Payload> {
-        match self.channels.get_mut(&(sender, recipient)) {
-            Some(queue) => {
-                let drained = std::mem::take(queue);
+        match self.index(sender, recipient) {
+            Some(idx) => {
+                let drained = std::mem::take(&mut self.channels[idx]);
                 self.delivered += drained.len() as u64;
                 drained.into_iter().map(|entry| entry.payload).collect()
             }
@@ -95,11 +152,14 @@ impl MessageBuffer {
     /// Used when a processor crashes: the model only requires delivery to
     /// processors that take infinitely many steps.
     pub fn drop_to(&mut self, recipient: ProcessorId) {
-        for ((_, to), queue) in self.channels.iter_mut() {
-            if *to == recipient {
-                self.dropped += queue.len() as u64;
-                queue.clear();
-            }
+        let r = recipient.index();
+        if r >= self.n {
+            return;
+        }
+        for s in 0..self.n {
+            let queue = &mut self.channels[s * self.n + r];
+            self.dropped += queue.len() as u64;
+            queue.clear();
         }
     }
 
@@ -113,8 +173,8 @@ impl MessageBuffer {
         recipient: ProcessorId,
         replacement: Payload,
     ) -> Option<Payload> {
-        let queue = self.channels.get_mut(&(sender, recipient))?;
-        let head = queue.front_mut()?;
+        let idx = self.index(sender, recipient)?;
+        let head = self.channels[idx].front_mut()?;
         Some(std::mem::replace(&mut head.payload, replacement))
     }
 
@@ -126,7 +186,7 @@ impl MessageBuffer {
     /// anything left over from the previous window is never delivered.
     pub fn discard_undelivered(&mut self) -> usize {
         let mut count = 0;
-        for queue in self.channels.values_mut() {
+        for queue in &mut self.channels {
             count += queue.len();
             queue.clear();
         }
@@ -135,40 +195,53 @@ impl MessageBuffer {
     }
 
     /// Returns the number of undelivered messages from `sender` to `recipient`.
+    #[inline]
     pub fn pending_on(&self, sender: ProcessorId, recipient: ProcessorId) -> usize {
-        self.channels
-            .get(&(sender, recipient))
-            .map_or(0, |q| q.len())
+        self.index(sender, recipient)
+            .map_or(0, |idx| self.channels[idx].len())
     }
 
     /// Returns the oldest undelivered payload on the channel without removing it.
     pub fn peek(&self, sender: ProcessorId, recipient: ProcessorId) -> Option<&Payload> {
-        self.channels
-            .get(&(sender, recipient))
-            .and_then(|q| q.front())
+        self.index(sender, recipient)
+            .and_then(|idx| self.channels[idx].front())
             .map(|entry| &entry.payload)
     }
 
     /// Iterates over all `(sender, recipient, payload)` triples currently buffered,
-    /// oldest-first within each channel.
+    /// sender-major and oldest-first within each channel.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessorId, ProcessorId, &Payload)> + '_ {
-        self.channels.iter().flat_map(|(&(from, to), queue)| {
-            queue.iter().map(move |entry| (from, to, &entry.payload))
-        })
-    }
-
-    /// The set of senders with at least one undelivered message to `recipient`.
-    pub fn senders_with_pending(&self, recipient: ProcessorId) -> Vec<ProcessorId> {
+        let n = self.n;
         self.channels
             .iter()
-            .filter(|(&(_, to), queue)| to == recipient && !queue.is_empty())
-            .map(|(&(from, _), _)| from)
-            .collect()
+            .enumerate()
+            .flat_map(move |(idx, queue)| {
+                let from = ProcessorId::new(idx / n.max(1));
+                let to = ProcessorId::new(idx % n.max(1));
+                queue.iter().map(move |entry| (from, to, &entry.payload))
+            })
+    }
+
+    /// The senders with at least one undelivered message to `recipient`, in
+    /// identity order.
+    pub fn senders_with_pending(
+        &self,
+        recipient: ProcessorId,
+    ) -> impl Iterator<Item = ProcessorId> + '_ {
+        let r = recipient.index();
+        let covered = if r < self.n { self.n } else { 0 };
+        (0..covered).filter_map(move |s| {
+            if self.channels[s * self.n + r].is_empty() {
+                None
+            } else {
+                Some(ProcessorId::new(s))
+            }
+        })
     }
 
     /// Total number of undelivered messages.
     pub fn pending_total(&self) -> usize {
-        self.channels.values().map(VecDeque::len).sum()
+        self.channels.iter().map(VecDeque::len).sum()
     }
 
     /// Returns `true` when no messages are awaiting delivery.
@@ -303,8 +376,7 @@ mod tests {
         buf.enqueue(env(0, 5, 1));
         buf.enqueue(env(3, 5, 1));
         buf.enqueue(env(3, 6, 1));
-        let mut senders = buf.senders_with_pending(ProcessorId::new(5));
-        senders.sort();
+        let senders: Vec<ProcessorId> = buf.senders_with_pending(ProcessorId::new(5)).collect();
         assert_eq!(senders, vec![ProcessorId::new(0), ProcessorId::new(3)]);
     }
 
@@ -317,5 +389,45 @@ mod tests {
         assert_eq!(buf.iter().count(), 3);
         assert_eq!(buf.pending_total(), 3);
         assert_eq!(buf.enqueued_count(), 3);
+    }
+
+    #[test]
+    fn iter_is_sender_major_like_the_old_btree_layout() {
+        let mut buf = MessageBuffer::new();
+        buf.enqueue(env(2, 0, 1));
+        buf.enqueue(env(0, 2, 2));
+        buf.enqueue(env(0, 1, 3));
+        buf.enqueue(env(1, 0, 4));
+        let order: Vec<(usize, usize)> = buf
+            .iter()
+            .map(|(from, to, _)| (from.index(), to.index()))
+            .collect();
+        assert_eq!(order, vec![(0, 1), (0, 2), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn presized_buffer_handles_out_of_range_queries_gracefully() {
+        let mut buf = MessageBuffer::with_processors(2);
+        buf.enqueue(env(0, 1, 1));
+        assert_eq!(buf.pending_on(ProcessorId::new(5), ProcessorId::new(0)), 0);
+        assert!(buf.peek(ProcessorId::new(0), ProcessorId::new(9)).is_none());
+        assert!(buf.pop(ProcessorId::new(9), ProcessorId::new(0)).is_none());
+        assert_eq!(buf.senders_with_pending(ProcessorId::new(7)).count(), 0);
+        buf.drop_to(ProcessorId::new(42));
+        assert_eq!(buf.pending_total(), 1);
+    }
+
+    #[test]
+    fn lazily_grown_buffer_matches_presized_behaviour() {
+        let mut lazy = MessageBuffer::new();
+        let mut sized = MessageBuffer::with_processors(6);
+        for (from, to, round) in [(0, 1, 1), (5, 2, 2), (2, 5, 3), (0, 1, 4)] {
+            lazy.enqueue(env(from, to, round));
+            sized.enqueue(env(from, to, round));
+        }
+        let l: Vec<_> = lazy.iter().map(|(f, t, p)| (f, t, p.round())).collect();
+        let s: Vec<_> = sized.iter().map(|(f, t, p)| (f, t, p.round())).collect();
+        assert_eq!(l, s);
+        assert_eq!(lazy.pending_total(), sized.pending_total());
     }
 }

@@ -43,6 +43,11 @@ pub struct ExecutionCore {
     resets_performed: u64,
     crashes_performed: u64,
     corrupted: Vec<bool>,
+    /// Reusable snapshot buffers for [`ExecutionCore::with_view`], refilled
+    /// before every adversary decision instead of freshly allocated.
+    view_digests: Vec<StateDigest>,
+    view_outputs: Vec<Option<Bit>>,
+    view_crashed: Vec<bool>,
     first_decision_at: Option<u64>,
     all_decided_at: Option<u64>,
     chain_at_first_decision: Option<u64>,
@@ -73,10 +78,13 @@ impl ExecutionCore {
         ExecutionCore {
             depth: vec![0; cfg.n()],
             corrupted: vec![false; cfg.n()],
+            view_digests: Vec::with_capacity(cfg.n()),
+            view_outputs: Vec::with_capacity(cfg.n()),
+            view_crashed: Vec::with_capacity(cfg.n()),
             cfg,
             inputs,
             harnesses,
-            buffer: MessageBuffer::new(),
+            buffer: MessageBuffer::with_processors(cfg.n()),
             trace: Trace::new(),
             time: 0,
             resets_performed: 0,
@@ -188,16 +196,25 @@ impl ExecutionCore {
 
     /// Gives a scheduler the full-information [`SystemView`] of the current
     /// state (digests, outputs, crash flags and the whole buffer).
-    pub fn with_view<R>(&self, f: impl FnOnce(&SystemView<'_>) -> R) -> R {
-        let digests = self.digests();
-        let outputs = self.decisions();
-        let crashed = self.crashed();
+    ///
+    /// Takes `&mut self` only to refill the core's reusable snapshot buffers;
+    /// the adversary sees an immutable view. This runs once per adversary
+    /// decision, so it must not allocate.
+    pub fn with_view<R>(&mut self, f: impl FnOnce(&SystemView<'_>) -> R) -> R {
+        self.view_digests.clear();
+        self.view_outputs.clear();
+        self.view_crashed.clear();
+        for harness in &self.harnesses {
+            self.view_digests.push(harness.digest());
+            self.view_outputs.push(harness.decision());
+            self.view_crashed.push(harness.is_crashed());
+        }
         let view = SystemView {
             config: self.cfg,
             time: self.time,
-            digests: &digests,
-            outputs: &outputs,
-            crashed: &crashed,
+            digests: &self.view_digests,
+            outputs: &self.view_outputs,
+            crashed: &self.view_crashed,
             buffer: &self.buffer,
         };
         f(&view)
@@ -283,8 +300,10 @@ impl ExecutionCore {
     pub fn deliver_from_senders(&mut self, recipient: ProcessorId, senders: &[ProcessorId]) {
         let before = self.harnesses[recipient.index()].decision();
         for &sender in senders {
-            let payloads = self.buffer.drain_channel(sender, recipient);
-            for payload in payloads {
+            // Pop one message at a time rather than draining into a Vec: this
+            // runs for every (recipient, sender) pair of every window, so the
+            // receiving phase must not allocate.
+            while let Some(payload) = self.buffer.pop(sender, recipient) {
                 self.trace.push(TraceEvent::Delivered {
                     from: sender,
                     to: recipient,

@@ -76,7 +76,7 @@ mod window;
 mod window_engine;
 
 pub use adversary::{
-    AsyncAction, AsyncAdversary, FairAsyncAdversary, FullDeliveryAdversary, SystemView,
+    AsyncAction, AsyncAdversary, FairAsyncAdversary, FullDeliveryAdversary, ModelKind, SystemView,
     WindowAdversary,
 };
 pub use async_engine::{run_async, AsyncEngine};

@@ -57,7 +57,7 @@ impl Default for RunLimits {
 }
 
 /// The result of driving one execution to a decision (or to its limit).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
     /// The final output bit of every processor (`None` = still `⊥`).
     pub decisions: Vec<Option<Bit>>,

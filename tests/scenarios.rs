@@ -1,0 +1,85 @@
+//! Property tests for the data-driven scenario layer.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **Determinism** — every scenario in the registry, run at
+//!    `Scale::Quick`, produces an identical [`RunOutcome`] when re-run with
+//!    the same seed. Scenario data plus a seed fully determines an execution.
+//! 2. **Equivalence** — the declarative experiment tables produce exactly the
+//!    bytes the pre-scenario hand-rolled trial loops produced: re-running E1's
+//!    workloads through the raw `TrialPlan`/`run_window_trials` path (the old
+//!    implementation, inlined here) yields cell-for-cell identical rows.
+
+use agreement::adversary::{RotatingResetAdversary, SplitVoteAdversary};
+use agreement::core::experiments::{exp1_correctness, Scale};
+use agreement::core::{fmt_f64, fmt_rate, run_window_trials, scenario_registry, TrialPlan};
+use agreement::model::{Bit, InputAssignment, SystemConfig};
+use agreement::protocols::ResetTolerantBuilder;
+use agreement::sim::RunLimits;
+
+#[test]
+fn every_registered_scenario_is_deterministic_per_seed() {
+    for spec in scenario_registry(Scale::Quick) {
+        let seed = spec.base_seed;
+        let first = spec
+            .run_single(seed)
+            .unwrap_or_else(|err| panic!("{} failed to run: {err}", spec.id()));
+        let second = spec
+            .run_single(seed)
+            .unwrap_or_else(|err| panic!("{} failed to re-run: {err}", spec.id()));
+        assert_eq!(
+            first,
+            second,
+            "scenario {} must be deterministic for seed {seed}",
+            spec.id()
+        );
+    }
+}
+
+#[test]
+fn declarative_e1_matches_the_hand_rolled_trial_loops() {
+    // The pre-scenario implementation of E1, inlined: explicit loops over
+    // sizes, inputs and adversaries, each calling the raw campaign path.
+    let scale = Scale::Quick;
+    let sizes: &[usize] = &[7, 13];
+    let trials = 10;
+    let mut expected_rows: Vec<Vec<String>> = Vec::new();
+    for &n in sizes {
+        let cfg = SystemConfig::with_sixth_resilience(n).expect("n >= 1");
+        let builder = ResetTolerantBuilder::recommended(&cfg).expect("t < n/6");
+        for (label, inputs) in [
+            ("unanimous-1", InputAssignment::unanimous(n, Bit::One)),
+            ("split", InputAssignment::evenly_split(n)),
+        ] {
+            for adversary in ["rotating-reset", "split-vote"] {
+                let plan = TrialPlan::new(cfg, inputs.clone())
+                    .trials(trials)
+                    .limits(RunLimits::windows(5_000));
+                let aggregate = match adversary {
+                    "rotating-reset" => {
+                        run_window_trials(&plan, &builder, RotatingResetAdversary::new)
+                    }
+                    _ => run_window_trials(&plan, &builder, SplitVoteAdversary::new),
+                };
+                expected_rows.push(vec![
+                    n.to_string(),
+                    cfg.t().to_string(),
+                    label.to_string(),
+                    adversary.to_string(),
+                    fmt_rate(aggregate.agreement_rate),
+                    fmt_rate(aggregate.validity_rate),
+                    fmt_rate(aggregate.termination_rate),
+                    fmt_f64(aggregate.decision_time.mean),
+                    fmt_f64(aggregate.resets.mean),
+                ]);
+            }
+        }
+    }
+
+    let declarative = exp1_correctness(scale);
+    assert_eq!(
+        declarative.rows(),
+        &expected_rows[..],
+        "the declarative E1 table must be byte-identical to the hand-rolled loops"
+    );
+}
