@@ -1,0 +1,508 @@
+//! A small, std-only JSON value type: writer and parser.
+//!
+//! The build environment is offline, so the workspace cannot depend on
+//! `serde`; the machine-readable result pipeline (per-trial records, scenario
+//! reports, `--json` output of the binaries) is built on this module instead.
+//! It supports exactly standard JSON with two deliberate choices:
+//!
+//! * **Integers are exact.** Numbers without a fraction or exponent are kept
+//!   as [`JsonValue::Int`] (`i128`, covering every `u64` seed bit-exactly);
+//!   everything else is an [`JsonValue::Float`] written with Rust's
+//!   shortest-round-trip formatting, so `emit → parse` reproduces every
+//!   finite `f64` exactly.
+//! * **Objects preserve insertion order** (a `Vec` of pairs, not a map), so
+//!   emitted documents are deterministic and diffs stay readable.
+//!
+//! Non-finite floats have no JSON representation; the writer emits `null` for
+//! them (the statistics layer never produces NaN — see
+//! [`Summary`](crate::Summary)).
+
+use std::fmt;
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fraction or exponent, kept bit-exact.
+    Int(i128),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object as insertion-ordered `(key, value)` pairs.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn object() -> JsonValue {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Appends `key: value` to an object. Convenience for building documents.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    pub fn push(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> &mut Self {
+        match self {
+            JsonValue::Object(pairs) => pairs.push((key.into(), value.into())),
+            other => panic!("push on non-object JSON value {other:?}"),
+        }
+        self
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed, trailing
+    /// garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error with its byte offset.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::String(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::String(v)
+    }
+}
+
+impl From<Option<u64>> for JsonValue {
+    fn from(v: Option<u64>) -> Self {
+        v.map_or(JsonValue::Null, JsonValue::from)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => write!(f, "null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Int(i) => write!(f, "{i}"),
+            JsonValue::Float(v) if !v.is_finite() => write!(f, "null"),
+            // `{}` on f64 is Rust's shortest representation that parses back
+            // to the same bits, but it omits the decimal point for integral
+            // values; force one so the round trip stays a Float.
+            JsonValue::Float(v) if v.fract() == 0.0 && v.abs() < 1e15 => write!(f, "{v:.1}"),
+            // Huge integral floats: exponent notation keeps them floats on
+            // re-parse (a bare digit string would come back as an Int).
+            JsonValue::Float(v) if v.fract() == 0.0 => write!(f, "{v:e}"),
+            JsonValue::Float(v) => write!(f, "{v}"),
+            JsonValue::String(s) => write_escaped(f, s),
+            JsonValue::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            JsonValue::Object(pairs) => {
+                write!(f, "{{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, key)?;
+                    write!(f, ":{value}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", char::from(byte), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::String),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(other) => Err(format!(
+            "unexpected byte '{}' at {}",
+            char::from(*other),
+            *pos
+        )),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("expected '{literal}' at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    let mut is_float = false;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits");
+    if !is_float {
+        if let Ok(i) = text.parse::<i128>() {
+            return Ok(JsonValue::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(JsonValue::Float)
+        .map_err(|_| format!("malformed number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| "non-ASCII \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("malformed \\u escape {hex:?}"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid code point \\u{hex}"))?,
+                        );
+                        *pos += 4;
+                    }
+                    other => return Err(format!("invalid escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences included).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                let c = rest.chars().next().expect("non-empty by the match above");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(pairs));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: &JsonValue) {
+        let text = value.to_string();
+        let parsed = JsonValue::parse(&text)
+            .unwrap_or_else(|err| panic!("emitted JSON failed to parse: {err}\n{text}"));
+        assert_eq!(&parsed, value, "round trip changed the document: {text}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(&JsonValue::Null);
+        round_trip(&JsonValue::Bool(true));
+        round_trip(&JsonValue::Bool(false));
+        round_trip(&JsonValue::Int(0));
+        round_trip(&JsonValue::Int(-42));
+        round_trip(&JsonValue::Int(u64::MAX as i128));
+        round_trip(&JsonValue::Float(1.5));
+        round_trip(&JsonValue::Float(0.1 + 0.2));
+        round_trip(&JsonValue::Float(3.0));
+        round_trip(&JsonValue::Float(1e-300));
+        round_trip(&JsonValue::Float(1e20));
+        round_trip(&JsonValue::String("hello".to_string()));
+        round_trip(&JsonValue::String(
+            "quote \" slash \\ tab \t nl \n".to_string(),
+        ));
+        round_trip(&JsonValue::String("unicode: ∆ ≥ é".to_string()));
+    }
+
+    #[test]
+    fn containers_round_trip_preserving_order() {
+        let mut obj = JsonValue::object();
+        obj.push("zebra", 1u64).push("alpha", 2u64).push(
+            "list",
+            JsonValue::Array(vec![JsonValue::Int(1), JsonValue::Null]),
+        );
+        round_trip(&obj);
+        assert!(obj.to_string().find("zebra").unwrap() < obj.to_string().find("alpha").unwrap());
+    }
+
+    #[test]
+    fn u64_seeds_are_bit_exact() {
+        let seed = u64::MAX - 12345;
+        let value = JsonValue::from(seed);
+        let parsed = JsonValue::parse(&value.to_string()).unwrap();
+        assert_eq!(parsed.as_u64(), Some(seed));
+    }
+
+    #[test]
+    fn accessors_navigate_documents() {
+        let doc = JsonValue::parse(
+            r#"{"id": "e1/x", "trials": 10, "rate": 0.95, "ok": true, "none": null,
+                "items": [1, 2]}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("id").and_then(JsonValue::as_str), Some("e1/x"));
+        assert_eq!(doc.get("trials").and_then(JsonValue::as_u64), Some(10));
+        assert_eq!(doc.get("rate").and_then(JsonValue::as_f64), Some(0.95));
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert!(doc.get("none").unwrap().is_null());
+        assert_eq!(
+            doc.get("items")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .len(),
+            2
+        );
+        assert!(doc.get("missing").is_none());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":}",
+            "[1 2]",
+            "nulla",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted malformed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_escapes() {
+        let doc = JsonValue::parse(" { \"a\" : [ 1 , \"\\u0041\\n\" ] } ").unwrap();
+        let items = doc.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(items[1].as_str(), Some("A\n"));
+    }
+
+    #[test]
+    fn non_finite_floats_emit_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).to_string(), "null");
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(rust_2018_idioms)]
 
 mod hamming;
+mod json;
 mod lower_bound;
 mod product;
 mod stats;
@@ -31,12 +32,15 @@ mod talagrand;
 mod zsets;
 
 pub use hamming::{distance_between_sets, distance_to_set, hamming_distance, in_ball};
+pub use json::JsonValue;
 pub use lower_bound::{
     alpha, inequality_three_rhs, paper_constant, per_window_failure, success_probability,
     window_bound,
 };
 pub use product::ProductDistribution;
-pub use stats::{exponential_fit, linear_fit, ExponentialFit, LinearFit, Summary};
+pub use stats::{
+    exponential_fit, linear_fit, ExponentialFit, Histogram, HistogramBucket, LinearFit, Summary,
+};
 pub use talagrand::{check_talagrand, eta, talagrand_bound, tau, worst_case_ratio, TalagrandCheck};
 pub use zsets::{
     AbstractConfig, AbstractState, LevelSeparation, MiniResetTolerantKernel, ProductKernel,

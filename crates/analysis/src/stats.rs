@@ -1,8 +1,23 @@
 //! Small statistics toolbox for the experiment harness: summaries with
-//! confidence intervals and exponential-growth fitting (used to verify that
+//! confidence intervals, sample distributions with percentiles
+//! ([`Histogram`]), and exponential-growth fitting (used to verify that
 //! measured running times grow exponentially in `n`, experiments E2 and E6).
 
 /// A summary of a sample of real-valued measurements.
+///
+/// # Degenerate inputs
+///
+/// Every constructor and accessor is total and never produces `NaN` or an
+/// infinity — a requirement of the machine-readable report pipeline, whose
+/// JSON writer has no representation for non-finite numbers. The conventions:
+///
+/// * **Empty sample**: `count = 0` and every statistic (`mean`, `std_dev`,
+///   `min`, `max`, [`Summary::std_error`]) is `0.0`; the confidence interval
+///   collapses to `(0.0, 0.0)`.
+/// * **Single sample**: `std_dev` is `0.0` (the unbiased estimator is
+///   undefined at `n = 1`; we report zero spread rather than `0/0 = NaN`),
+///   so `std_error` is `0.0` and the confidence interval collapses onto the
+///   mean.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples.
@@ -18,7 +33,9 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarizes `samples`. Returns a zeroed summary for an empty slice.
+    /// Summarizes `samples`. Returns a zeroed summary for an empty slice and
+    /// a zero-spread summary for a single sample (see the type-level
+    /// documentation for the degenerate-input conventions).
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
             return Summary {
@@ -58,6 +75,122 @@ impl Summary {
     pub fn confidence_interval(&self) -> (f64, f64) {
         let half = 1.96 * self.std_error();
         (self.mean - half, self.mean + half)
+    }
+}
+
+/// A sample distribution supporting percentile queries and equal-width
+/// bucketing.
+///
+/// Stores the sorted sample (experiment batches are small — tens to hundreds
+/// of trials — so exact percentiles are cheaper than maintaining an
+/// approximate sketch). Like [`Summary`], every query is total: an empty
+/// histogram answers `0.0` everywhere and has no buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    sorted: Vec<f64>,
+}
+
+/// One equal-width bucket of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramBucket {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Upper edge (inclusive for the last bucket).
+    pub hi: f64,
+    /// Number of samples in `[lo, hi)` (last bucket: `[lo, hi]`).
+    pub count: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram from `samples`. Non-finite samples are discarded
+    /// (the simulation layer never produces them; dropping keeps every query
+    /// total).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        Histogram { sorted }
+    }
+
+    /// Number of (finite) samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Smallest sample (`0.0` when empty).
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest sample (`0.0` when empty).
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// The `q`-quantile for `q` in `[0, 1]`, linearly interpolated between
+    /// order statistics (`q` outside the range is clamped; `0.0` when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let position = q * (self.sorted.len() - 1) as f64;
+        let below = position.floor() as usize;
+        let above = position.ceil() as usize;
+        if below == above {
+            self.sorted[below]
+        } else {
+            let fraction = position - below as f64;
+            self.sorted[below] * (1.0 - fraction) + self.sorted[above] * fraction
+        }
+    }
+
+    /// The `p`-th percentile for `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// The median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The [`Summary`] of the underlying sample.
+    pub fn summary(&self) -> Summary {
+        Summary::from_samples(&self.sorted)
+    }
+
+    /// Splits the sample range into `buckets` equal-width bins and counts the
+    /// samples per bin. Returns an empty vector when the histogram is empty
+    /// or `buckets` is zero; a zero-width range puts everything in one bin.
+    pub fn buckets(&self, buckets: usize) -> Vec<HistogramBucket> {
+        if self.sorted.is_empty() || buckets == 0 {
+            return Vec::new();
+        }
+        let (min, max) = (self.min(), self.max());
+        if min == max {
+            return vec![HistogramBucket {
+                lo: min,
+                hi: max,
+                count: self.sorted.len(),
+            }];
+        }
+        let width = (max - min) / buckets as f64;
+        let mut out: Vec<HistogramBucket> = (0..buckets)
+            .map(|i| HistogramBucket {
+                lo: min + width * i as f64,
+                hi: if i + 1 == buckets {
+                    max
+                } else {
+                    min + width * (i + 1) as f64
+                },
+                count: 0,
+            })
+            .collect();
+        for &x in &self.sorted {
+            let index = (((x - min) / width) as usize).min(buckets - 1);
+            out[index].count += 1;
+        }
+        out
     }
 }
 
@@ -156,13 +289,82 @@ mod tests {
 
     #[test]
     fn summary_of_empty_and_singleton_samples() {
+        // The documented degenerate-input convention: all-zero for empty
+        // samples, zero spread for singletons — and never NaN anywhere.
         let empty = Summary::from_samples(&[]);
         assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.std_dev, 0.0);
+        assert_eq!(empty.min, 0.0);
+        assert_eq!(empty.max, 0.0);
         assert_eq!(empty.std_error(), 0.0);
+        assert_eq!(empty.confidence_interval(), (0.0, 0.0));
+
         let single = Summary::from_samples(&[3.5]);
         assert_eq!(single.count, 1);
         assert_eq!(single.mean, 3.5);
         assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.std_error(), 0.0);
+        assert_eq!(single.confidence_interval(), (3.5, 3.5));
+
+        for summary in [empty, single] {
+            for stat in [
+                summary.mean,
+                summary.std_dev,
+                summary.min,
+                summary.max,
+                summary.std_error(),
+            ] {
+                assert!(stat.is_finite(), "degenerate summaries must stay finite");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_interpolate() {
+        let h = Histogram::from_samples(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.median(), 3.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(100.0), 5.0);
+        assert_eq!(h.percentile(25.0), 2.0);
+        // Between order statistics: linear interpolation.
+        assert!((h.percentile(90.0) - 4.6).abs() < 1e-12);
+        // Out-of-range percentiles clamp.
+        assert_eq!(h.percentile(250.0), 5.0);
+        assert_eq!(h.quantile(-1.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_degenerate_inputs_are_total() {
+        let empty = Histogram::from_samples(&[]);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.median(), 0.0);
+        assert_eq!(empty.min(), 0.0);
+        assert!(empty.buckets(4).is_empty());
+        assert_eq!(empty.summary(), Summary::from_samples(&[]));
+
+        let constant = Histogram::from_samples(&[7.0, 7.0, 7.0]);
+        let buckets = constant.buckets(5);
+        assert_eq!(buckets.len(), 1, "zero-width range collapses to one bin");
+        assert_eq!(buckets[0].count, 3);
+
+        let with_nan = Histogram::from_samples(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(with_nan.count(), 2, "non-finite samples are discarded");
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_range() {
+        let h = Histogram::from_samples(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let buckets = h.buckets(4);
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets.iter().map(|b| b.count).sum::<usize>(), 8);
+        assert_eq!(buckets[0].lo, 0.0);
+        assert_eq!(buckets[3].hi, 7.0);
+        // The max lands in the last bucket, not one past the end.
+        assert_eq!(buckets[3].count, 2);
     }
 
     #[test]

@@ -1,16 +1,90 @@
-//! Regenerates every experiment table (E1-E9) in order.
+//! Regenerates every experiment table (E1-E9) in order, optionally emitting
+//! machine-readable per-scenario records.
 //!
-//! Usage: `cargo run --release -p agreement-bench --bin all_experiments [--full]`
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p agreement-bench --bin all_experiments [-- FLAGS]
+//!
+//!   --full         run the full EXPERIMENTS.md parameters (default: quick)
+//!   --json <PATH>  additionally re-run every simulated experiment workload
+//!                  and write one JSON record per scenario (aggregate +
+//!                  percentile distributions) — the shape committed as
+//!                  BENCH_*.json trajectory points
+//!   --csv <PATH>   like --json, as one CSV summary row per scenario
+//! ```
+//!
+//! The emission flags re-run the experiment workloads after the tables have
+//! printed (the table API returns finished tables, not record streams), so a
+//! `--full --json` invocation costs roughly twice a plain `--full` one; for
+//! records without tables, prefer `scenarios --filter e1 ... --json`, which
+//! runs each workload once. E3 and E4 are pure analysis (no simulation) and
+//! appear only in the printed tables, not in the machine-readable records.
 
-use agreement_core::experiments::{run_all, Scale};
+use agreement_bench::cli::required_value;
+use agreement_core::experiments::{experiment_specs, run_all, Scale};
+use agreement_core::{CsvSink, JsonReportSink, ReportSink};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--full") {
-        Scale::Full
-    } else {
-        Scale::Quick
-    };
+    let mut scale = Scale::Quick;
+    let mut json_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--json" => json_path = Some(required_value(&mut args, "--json")),
+            "--csv" => csv_path = Some(required_value(&mut args, "--csv")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: all_experiments [--full] [--json PATH] [--csv PATH]\n\
+                     Regenerates the E1-E9 tables; --json/--csv additionally emit\n\
+                     machine-readable per-scenario records."
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     for table in run_all(scale) {
         println!("{table}");
+    }
+
+    if json_path.is_none() && csv_path.is_none() {
+        return;
+    }
+
+    let mut json = JsonReportSink::with_scale(format!("{scale:?}").to_lowercase());
+    let mut csv = CsvSink::new();
+    for spec in experiment_specs(scale) {
+        let mut sinks: Vec<&mut dyn ReportSink> = Vec::new();
+        if json_path.is_some() {
+            sinks.push(&mut json);
+        }
+        if csv_path.is_some() {
+            sinks.push(&mut csv);
+        }
+        if let Err(err) = spec.run_with_sinks(&Default::default(), &mut sinks) {
+            eprintln!("{}: {err}", spec.id());
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, format!("{}\n", json.into_json())).unwrap_or_else(|err| {
+            eprintln!("could not write {path}: {err}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote experiment JSON records to {path}");
+    }
+    if let Some(path) = csv_path {
+        std::fs::write(&path, csv.as_str()).unwrap_or_else(|err| {
+            eprintln!("could not write {path}: {err}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote experiment CSV summary to {path}");
     }
 }

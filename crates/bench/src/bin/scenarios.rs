@@ -1,5 +1,6 @@
 //! Runs registered scenarios — protocol × adversary × inputs × size
-//! combinations described as data — from the command line.
+//! combinations described as data — from the command line, with
+//! machine-readable output.
 //!
 //! Usage:
 //!
@@ -10,6 +11,14 @@
 //!   --filter <SUBSTR>  only scenarios whose id contains SUBSTR (repeatable;
 //!                      a scenario matches if it matches any filter)
 //!   --scale <quick|full>  parameter scale (default: quick)
+//!   --trials <N>       override the trial count of every matched scenario
+//!   --base-seed <S>    override the base seed of every matched scenario
+//!   --json <PATH>      write one JSON record per scenario (aggregate +
+//!                      percentile distributions) to PATH
+//!   --csv <PATH>       write one CSV summary row per scenario to PATH
+//!   --jsonl <PATH>     write one JSON line per *trial* to PATH
+//!   --check <PATH>     validate a --json file: parse with the in-tree JSON
+//!                      parser, verify the schema, and round-trip it
 //! ```
 //!
 //! Examples:
@@ -17,17 +26,27 @@
 //! ```text
 //! scenarios --list
 //! scenarios --filter extra/
-//! scenarios --filter split-vote --scale full
-//! scenarios --filter e7 --filter bracha
+//! scenarios --filter e1 --json out.json && scenarios --check out.json
+//! scenarios --filter split-vote --scale full --trials 500 --csv sweep.csv
 //! ```
 
+use agreement_analysis::JsonValue;
+use agreement_bench::cli::{parsed_value, required_value};
 use agreement_core::experiments::Scale;
-use agreement_core::{fmt_f64, fmt_rate, scenario_registry, ScenarioSpec, Table};
+use agreement_core::{
+    scenario_registry, CsvSink, JsonReportSink, JsonlSink, ReportSink, ScenarioSpec, TableSink,
+};
 
 struct Options {
     list: bool,
     filters: Vec<String>,
     scale: Scale,
+    trials: Option<u64>,
+    base_seed: Option<u64>,
+    json: Option<String>,
+    csv: Option<String>,
+    jsonl: Option<String>,
+    check: Option<String>,
 }
 
 fn parse_options() -> Options {
@@ -35,20 +54,26 @@ fn parse_options() -> Options {
         list: false,
         filters: Vec::new(),
         scale: Scale::Quick,
+        trials: None,
+        base_seed: None,
+        json: None,
+        csv: None,
+        jsonl: None,
+        check: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list" => options.list = true,
-            "--filter" => {
-                let value = args.next().unwrap_or_else(|| {
-                    eprintln!("--filter requires a substring argument");
-                    std::process::exit(2);
-                });
-                options.filters.push(value);
-            }
+            "--filter" => options.filters.push(required_value(&mut args, "--filter")),
+            "--trials" => options.trials = Some(parsed_value(&mut args, "--trials")),
+            "--base-seed" => options.base_seed = Some(parsed_value(&mut args, "--base-seed")),
+            "--json" => options.json = Some(required_value(&mut args, "--json")),
+            "--csv" => options.csv = Some(required_value(&mut args, "--csv")),
+            "--jsonl" => options.jsonl = Some(required_value(&mut args, "--jsonl")),
+            "--check" => options.check = Some(required_value(&mut args, "--check")),
             "--scale" => {
-                let value = args.next().unwrap_or_default();
+                let value = required_value(&mut args, "--scale");
                 options.scale = match value.as_str() {
                     "quick" => Scale::Quick,
                     "full" => Scale::Full,
@@ -61,6 +86,8 @@ fn parse_options() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: scenarios [--list] [--filter SUBSTR]... [--scale quick|full]\n\
+                     \x20                [--trials N] [--base-seed S]\n\
+                     \x20                [--json PATH] [--csv PATH] [--jsonl PATH] [--check PATH]\n\
                      Runs every registered protocol × adversary × inputs × size combination."
                 );
                 std::process::exit(0);
@@ -78,12 +105,81 @@ fn matches(spec: &ScenarioSpec, filters: &[String]) -> bool {
     filters.is_empty() || filters.iter().any(|f| spec.id().contains(f.as_str()))
 }
 
+/// Validates a `--json` document: it must parse with the in-tree parser,
+/// carry a `scenarios` array whose entries have the per-scenario fields, and
+/// survive an emit → re-parse round trip unchanged.
+fn check_document(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "document must carry a 'scenarios' array".to_string())?;
+    for (i, entry) in scenarios.iter().enumerate() {
+        for field in ["id", "model", "n", "t", "trials", "base_seed"] {
+            if entry.get(field).is_none() {
+                return Err(format!("scenario #{i} is missing field '{field}'"));
+            }
+        }
+        for rate in ["termination_rate", "agreement_rate", "validity_rate"] {
+            let value = entry
+                .get(rate)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("scenario #{i} is missing rate '{rate}'"))?;
+            if !(0.0..=1.0).contains(&value) {
+                return Err(format!("scenario #{i} has out-of-range {rate} = {value}"));
+            }
+        }
+        for dist in ["decision_time_dist", "chain_length_dist"] {
+            if entry.get(dist).is_none() {
+                return Err(format!("scenario #{i} is missing distribution '{dist}'"));
+            }
+        }
+    }
+    let reparsed =
+        JsonValue::parse(&doc.to_string()).map_err(|e| format!("re-parse failed: {e}"))?;
+    if reparsed != doc {
+        return Err("emit → parse round trip changed the document".to_string());
+    }
+    Ok(scenarios.len())
+}
+
+fn write_file(path: &str, contents: &str, what: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|err| {
+        eprintln!("could not write {what} to {path}: {err}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {what} to {path}");
+}
+
 fn main() {
     let options = parse_options();
-    let specs: Vec<ScenarioSpec> = scenario_registry(options.scale)
+
+    if let Some(path) = &options.check {
+        match check_document(path) {
+            Ok(count) => {
+                eprintln!("{path}: valid — {count} scenario record(s) round-trip cleanly");
+                return;
+            }
+            Err(err) => {
+                eprintln!("{path}: INVALID — {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut specs: Vec<ScenarioSpec> = scenario_registry(options.scale)
         .into_iter()
         .filter(|spec| matches(spec, &options.filters))
         .collect();
+    for spec in &mut specs {
+        if let Some(trials) = options.trials {
+            spec.trials = trials;
+        }
+        if let Some(base_seed) = options.base_seed {
+            spec.base_seed = base_seed;
+        }
+    }
 
     if options.list {
         for spec in &specs {
@@ -102,7 +198,7 @@ fn main() {
         std::process::exit(1);
     }
 
-    let mut table = Table::new(
+    let mut table = TableSink::new(
         "Scenario matrix results",
         format!(
             "{} scenario(s) at {:?} scale; every combination is data-driven — see \
@@ -110,49 +206,46 @@ fn main() {
             specs.len(),
             options.scale
         ),
-        vec![
-            "scenario",
-            "model",
-            "trials",
-            "termination",
-            "agreement",
-            "validity",
-            "mean time",
-            "mean chain",
-        ],
     );
+    let mut csv = CsvSink::new();
+    let mut jsonl = JsonlSink::new();
+    let mut json = JsonReportSink::with_scale(format!("{:?}", options.scale).to_lowercase());
+
     let mut failures = 0usize;
     for spec in &specs {
-        match spec.run() {
-            Ok(aggregate) => {
-                let model = spec.model().map(|m| m.to_string()).unwrap_or_default();
-                table.push_row(vec![
-                    spec.id(),
-                    model,
-                    aggregate.trials.to_string(),
-                    fmt_rate(aggregate.termination_rate),
-                    fmt_rate(aggregate.agreement_rate),
-                    fmt_rate(aggregate.validity_rate),
-                    fmt_f64(aggregate.decision_time.mean),
-                    fmt_f64(aggregate.chain_length.mean),
-                ]);
-            }
-            Err(err) => {
-                failures += 1;
-                table.push_row(vec![
-                    spec.id(),
-                    "-".to_string(),
-                    "-".to_string(),
-                    "-".to_string(),
-                    "-".to_string(),
-                    "-".to_string(),
-                    format!("infeasible: {err}"),
-                    "-".to_string(),
-                ]);
-            }
+        // Every sink sees every scenario's record stream in one pass.
+        let mut sinks: Vec<&mut dyn ReportSink> = Vec::new();
+        sinks.push(&mut table);
+        if options.csv.is_some() {
+            sinks.push(&mut csv);
+        }
+        if options.jsonl.is_some() {
+            sinks.push(&mut jsonl);
+        }
+        if options.json.is_some() {
+            sinks.push(&mut json);
+        }
+        if let Err(err) = spec.run_with_sinks(&Default::default(), &mut sinks) {
+            failures += 1;
+            table.push_failure(spec.id(), format!("infeasible: {err}"));
         }
     }
-    println!("{table}");
+    println!("{}", table.into_table());
+
+    if let Some(path) = &options.json {
+        write_file(
+            path,
+            &format!("{}\n", json.into_json()),
+            "scenario JSON records",
+        );
+    }
+    if let Some(path) = &options.csv {
+        write_file(path, csv.as_str(), "scenario CSV summary");
+    }
+    if let Some(path) = &options.jsonl {
+        write_file(path, jsonl.as_str(), "per-trial JSONL records");
+    }
+
     if failures > 0 {
         eprintln!("{failures} scenario(s) were infeasible");
         std::process::exit(1);

@@ -11,4 +11,5 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baseline;
+pub mod cli;
 pub mod harness;

@@ -46,9 +46,12 @@ impl Scale {
 }
 
 /// Runs a spec, panicking with its id on an unresolvable spec — experiment
-/// tables are built from statically known-feasible workloads.
+/// tables are built from statically known-feasible workloads. Tables only
+/// need the rate/summary view, so the report's distributions are dropped
+/// here.
 fn run_spec(spec: &ScenarioSpec) -> Aggregate {
     spec.run()
+        .map(|report| report.aggregate)
         .unwrap_or_else(|err| panic!("experiment scenario {} failed to run: {err}", spec.id()))
 }
 
@@ -572,7 +575,7 @@ pub fn exp9_reset_budget(scale: Scale) -> Table {
     );
     for t in 0..=(n / 4) {
         let spec = exp9_spec(scale, n, t);
-        match spec.run() {
+        match spec.run().map(|report| report.aggregate) {
             Ok(aggregate) => {
                 table.push_row(vec![
                     n.to_string(),
@@ -596,6 +599,21 @@ pub fn exp9_reset_budget(scale: Scale) -> Table {
         }
     }
     table
+}
+
+/// Every spec behind the simulated experiments (E3/E4 are pure analysis and
+/// have none), in experiment order — the workload list the experiment
+/// runner's `--json`/`--csv` flags re-run for machine-readable records.
+pub fn experiment_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    specs.extend(exp1_specs(scale));
+    specs.extend(exp2_specs(scale));
+    specs.extend(exp5_specs(scale));
+    specs.extend(exp6_specs(scale));
+    specs.extend(exp7_specs(scale));
+    specs.extend(exp8_specs(scale));
+    specs.extend(exp9_specs(scale));
+    specs
 }
 
 /// Runs every experiment at the given scale, in order.

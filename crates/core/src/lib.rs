@@ -7,12 +7,19 @@
 //! * [`TrialPlan`], [`Campaign`], [`run_window_trials`], [`run_async_trials`]
 //!   and [`Aggregate`] — run a protocol against an adversary over many seeded
 //!   trials, fanned out across all cores with deterministic (thread-count
-//!   independent) aggregation.
+//!   independent) results.
+//! * [`record`] — the structured results pipeline: every trial yields a
+//!   [`TrialRecord`] (seed, outcome flags, full
+//!   [`Metrics`](agreement_sim::Metrics)), streamed in trial order into
+//!   composable [`ReportSink`]s ([`TableSink`], [`JsonlSink`], [`CsvSink`],
+//!   [`JsonReportSink`]); [`Aggregate`] is a derived view kept for the
+//!   experiment tables.
 //! * [`scenario`] — the data-driven scenario layer: [`ScenarioSpec`] describes
 //!   a protocol × adversary × inputs × size combination as plain data,
-//!   [`ScenarioMatrix`] expands cross-products of them, and
+//!   [`ScenarioMatrix`] expands cross-products of them,
 //!   [`scenario_registry`] lists every registered combination (the `scenarios`
-//!   binary runs them from the command line).
+//!   binary runs them from the command line), and running a spec returns a
+//!   [`ScenarioReport`] (aggregate plus distributions, JSON-serializable).
 //! * [`experiments`] — the per-claim experiments E1–E9 indexed in DESIGN.md
 //!   and recorded in EXPERIMENTS.md, each a declarative [`ScenarioSpec`] table
 //!   returning a [`Table`].
@@ -42,21 +49,31 @@
 //!     7,
 //!     2,
 //! );
-//! let aggregate = spec.run().expect("spec resolves");
-//! println!("{}: agreement {}", spec.id(), aggregate.agreement_rate);
+//! let report = spec.run().expect("spec resolves");
+//! println!(
+//!     "{}: agreement {}, p90 decision time {}",
+//!     spec.id(),
+//!     report.aggregate.agreement_rate,
+//!     report.decision_times.percentile(90.0),
+//! );
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod record;
 mod report;
 mod runner;
 pub mod scenario;
 
+pub use record::{
+    stream_records, CsvSink, JsonReportSink, JsonlSink, ReportSink, ScenarioMeta, TableSink,
+    TrialRecord,
+};
 pub use report::{fmt_f64, fmt_rate, Table};
 pub use runner::{run_async_trials, run_window_trials, Aggregate, Campaign, TrialPlan};
 pub use scenario::{
     extra_scenarios, scenario_registry, InputPattern, ProtocolInstance, ProtocolSpec,
-    ScenarioError, ScenarioMatrix, ScenarioSpec,
+    ScenarioError, ScenarioMatrix, ScenarioReport, ScenarioSpec,
 };

@@ -1,0 +1,643 @@
+//! Structured per-trial results and the composable report-sink pipeline.
+//!
+//! A [`Campaign`](crate::Campaign) no longer collapses its trials straight
+//! into one aggregate: every trial produces a [`TrialRecord`] — seed, outcome
+//! flags and the full [`Metrics`] of the run — and records stream, in trial
+//! order, into any number of [`ReportSink`]s. Sinks are where presentation
+//! and aggregation happen:
+//!
+//! * [`TableSink`] reproduces today's plain-text aggregate table (one row per
+//!   scenario, the `scenarios` binary's output),
+//! * [`JsonlSink`] writes one JSON object per trial (machine-readable stream),
+//! * [`CsvSink`] writes one summary row per scenario,
+//! * [`JsonReportSink`] collects full [`ScenarioReport`]s as a JSON document
+//!   suitable for committing as a `BENCH_*.json` trajectory point.
+//!
+//! Record streams are **bit-identical across thread counts** (the campaign
+//! fans trials out but always hands them to sinks in trial order), so every
+//! sink output is deterministic for a given spec and seed — a property pinned
+//! by the workspace tests.
+
+use agreement_analysis::JsonValue;
+use agreement_model::{Bit, InputAssignment};
+use agreement_sim::{Metrics, RunOutcome};
+
+use crate::report::{fmt_f64, fmt_rate, Table};
+use crate::scenario::ScenarioReport;
+
+/// Identity of the scenario whose trial records are being streamed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioMeta {
+    /// The scenario's stable id (`[tag/]protocol/adversary/inputs/n<n>t<t>`).
+    pub id: String,
+    /// Execution model label (`windowed` / `async`).
+    pub model: String,
+    /// Number of processors.
+    pub n: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// Number of trials.
+    pub trials: u64,
+    /// Base seed; trial `i` used `base_seed + i`.
+    pub base_seed: u64,
+    /// The scheduler's time cap (windows or steps, per the model): undecided
+    /// trials contribute this value to decision-time aggregation.
+    pub time_cap: u64,
+}
+
+/// The structured result of one seeded trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialRecord {
+    /// Trial index within the plan (`0..trials`).
+    pub trial: u64,
+    /// The seed this trial ran with.
+    pub seed: u64,
+    /// Agreement held (no two processors decided differently).
+    pub agreement: bool,
+    /// Validity held (every decided value was some processor's input).
+    pub validity: bool,
+    /// Every correct processor decided within the limit.
+    pub terminated: bool,
+    /// Number of recorded violations.
+    pub violations: u64,
+    /// The adversary halted the execution before the limit.
+    pub halted: bool,
+    /// The commonly decided value, when agreement held and someone decided.
+    pub decided: Option<Bit>,
+    /// Time of the first decision, if any.
+    pub first_decision_at: Option<u64>,
+    /// Time at which the last correct processor decided, if all did.
+    pub all_decided_at: Option<u64>,
+    /// Windows/steps elapsed.
+    pub duration: u64,
+    /// The scheduler's running-time chain metric.
+    pub longest_chain: u64,
+    /// Structured counters of the run.
+    pub metrics: Metrics,
+}
+
+impl TrialRecord {
+    /// Distills a [`RunOutcome`] (plus the inputs needed for the validity
+    /// check) into its record. The heavyweight trace is dropped here, which
+    /// is what lets campaigns keep thousands of trials in flight.
+    pub fn from_outcome(
+        trial: u64,
+        seed: u64,
+        outcome: &RunOutcome,
+        inputs: &InputAssignment,
+    ) -> Self {
+        TrialRecord {
+            trial,
+            seed,
+            agreement: outcome.agreement_holds(),
+            validity: outcome.validity_holds(inputs),
+            terminated: outcome.all_correct_decided(),
+            violations: outcome.violations.len() as u64,
+            halted: outcome.halted_by_adversary,
+            decided: outcome.decided_value(),
+            first_decision_at: outcome.first_decision_at,
+            all_decided_at: outcome.all_decided_at,
+            duration: outcome.duration,
+            longest_chain: outcome.longest_chain,
+            metrics: outcome.metrics,
+        }
+    }
+
+    /// The record as a JSON object (field order is stable).
+    pub fn to_json(&self) -> JsonValue {
+        let mut metrics = JsonValue::object();
+        metrics
+            .push("messages_sent", self.metrics.messages_sent)
+            .push("messages_delivered", self.metrics.messages_delivered)
+            .push("messages_dropped", self.metrics.messages_dropped)
+            .push("rounds", self.metrics.rounds)
+            .push("windows", self.metrics.windows)
+            .push("steps", self.metrics.steps)
+            .push("resets_consumed", self.metrics.resets_consumed)
+            .push("crashes", self.metrics.crashes)
+            .push("coin_flips", self.metrics.coin_flips)
+            .push("max_chain", self.metrics.max_chain);
+        let mut record = JsonValue::object();
+        record
+            .push("trial", self.trial)
+            .push("seed", self.seed)
+            .push("agreement", self.agreement)
+            .push("validity", self.validity)
+            .push("terminated", self.terminated)
+            .push("violations", self.violations)
+            .push("halted", self.halted)
+            .push("decided", self.decided.map(|bit| bit.as_index() as u64))
+            .push("first_decision_at", self.first_decision_at)
+            .push("all_decided_at", self.all_decided_at)
+            .push("duration", self.duration)
+            .push("longest_chain", self.longest_chain)
+            .push("metrics", metrics);
+        record
+    }
+
+    /// Rebuilds a record from the JSON shape [`TrialRecord::to_json`] emits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first missing or mistyped field.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| format!("missing field '{name}'"))
+        };
+        let int = |name: &str| {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| format!("field '{name}' must be an integer"))
+        };
+        let boolean = |name: &str| {
+            field(name)?
+                .as_bool()
+                .ok_or_else(|| format!("field '{name}' must be a bool"))
+        };
+        let optional = |name: &str| -> Result<Option<u64>, String> {
+            let v = field(name)?;
+            if v.is_null() {
+                Ok(None)
+            } else {
+                v.as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("field '{name}' must be an integer or null"))
+            }
+        };
+        let metrics_value = field("metrics")?;
+        let metric = |name: &str| {
+            metrics_value
+                .get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing metric '{name}'"))
+        };
+        Ok(TrialRecord {
+            trial: int("trial")?,
+            seed: int("seed")?,
+            agreement: boolean("agreement")?,
+            validity: boolean("validity")?,
+            terminated: boolean("terminated")?,
+            violations: int("violations")?,
+            halted: boolean("halted")?,
+            decided: match optional("decided")? {
+                None => None,
+                Some(0) => Some(Bit::Zero),
+                Some(1) => Some(Bit::One),
+                Some(other) => {
+                    return Err(format!("field 'decided' must be 0, 1 or null, got {other}"))
+                }
+            },
+            first_decision_at: optional("first_decision_at")?,
+            all_decided_at: optional("all_decided_at")?,
+            duration: int("duration")?,
+            longest_chain: int("longest_chain")?,
+            metrics: Metrics {
+                messages_sent: metric("messages_sent")?,
+                messages_delivered: metric("messages_delivered")?,
+                messages_dropped: metric("messages_dropped")?,
+                rounds: metric("rounds")?,
+                windows: metric("windows")?,
+                steps: metric("steps")?,
+                resets_consumed: metric("resets_consumed")?,
+                crashes: metric("crashes")?,
+                coin_flips: metric("coin_flips")?,
+                max_chain: metric("max_chain")?,
+            },
+        })
+    }
+}
+
+/// Receives one scenario's trial records in trial order.
+///
+/// Sinks compose: the runner calls every sink for every event, so table
+/// output, JSONL streams and aggregation can all be produced from one pass.
+pub trait ReportSink {
+    /// A new scenario's trials are about to stream.
+    fn begin_scenario(&mut self, meta: &ScenarioMeta) {
+        let _ = meta;
+    }
+
+    /// One trial's record (called in trial order).
+    fn record_trial(&mut self, meta: &ScenarioMeta, record: &TrialRecord) {
+        let _ = (meta, record);
+    }
+
+    /// The scenario's trials are complete; `report` holds the aggregate and
+    /// distributions computed from the full record stream.
+    fn end_scenario(&mut self, meta: &ScenarioMeta, report: &ScenarioReport) {
+        let _ = (meta, report);
+    }
+}
+
+/// Streams `records` (already in trial order) through `sinks` and returns the
+/// finished [`ScenarioReport`].
+pub fn stream_records(
+    meta: &ScenarioMeta,
+    records: &[TrialRecord],
+    sinks: &mut [&mut dyn ReportSink],
+) -> ScenarioReport {
+    for sink in sinks.iter_mut() {
+        sink.begin_scenario(meta);
+    }
+    for record in records {
+        for sink in sinks.iter_mut() {
+            sink.record_trial(meta, record);
+        }
+    }
+    let report = ScenarioReport::from_records(meta.clone(), records);
+    for sink in sinks.iter_mut() {
+        sink.end_scenario(meta, &report);
+    }
+    report
+}
+
+/// Renders one aggregate row per scenario into a plain-text [`Table`] — the
+/// `scenarios` binary's historical output, now just another sink.
+#[derive(Debug)]
+pub struct TableSink {
+    table: Table,
+}
+
+impl TableSink {
+    /// The column headers of the scenario table.
+    pub const COLUMNS: [&'static str; 8] = [
+        "scenario",
+        "model",
+        "trials",
+        "termination",
+        "agreement",
+        "validity",
+        "mean time",
+        "mean chain",
+    ];
+
+    /// Creates the sink with the table's title and caption.
+    pub fn new(title: impl Into<String>, caption: impl Into<String>) -> Self {
+        TableSink {
+            table: Table::new(title, caption, Self::COLUMNS.to_vec()),
+        }
+    }
+
+    /// Pushes a non-result row (e.g. an infeasible scenario marker).
+    pub fn push_failure(&mut self, id: String, reason: String) {
+        self.table.push_row(vec![
+            id,
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            reason,
+            "-".to_string(),
+        ]);
+    }
+
+    /// The finished table.
+    pub fn into_table(self) -> Table {
+        self.table
+    }
+}
+
+impl ReportSink for TableSink {
+    fn end_scenario(&mut self, meta: &ScenarioMeta, report: &ScenarioReport) {
+        let aggregate = &report.aggregate;
+        self.table.push_row(vec![
+            meta.id.clone(),
+            meta.model.clone(),
+            aggregate.trials.to_string(),
+            fmt_rate(aggregate.termination_rate),
+            fmt_rate(aggregate.agreement_rate),
+            fmt_rate(aggregate.validity_rate),
+            fmt_f64(aggregate.decision_time.mean),
+            fmt_f64(aggregate.chain_length.mean),
+        ]);
+    }
+}
+
+/// Writes one JSON object per trial, newline-delimited (JSONL), each tagged
+/// with its scenario id.
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    out: String,
+}
+
+impl JsonlSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+
+    /// The JSONL document accumulated so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the sink, returning the JSONL document.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+impl ReportSink for JsonlSink {
+    fn record_trial(&mut self, meta: &ScenarioMeta, record: &TrialRecord) {
+        let mut line = JsonValue::object();
+        line.push("scenario", meta.id.as_str());
+        if let JsonValue::Object(pairs) = record.to_json() {
+            if let JsonValue::Object(own) = &mut line {
+                own.extend(pairs);
+            }
+        }
+        self.out.push_str(&line.to_string());
+        self.out.push('\n');
+    }
+}
+
+/// Writes one comma-separated summary row per scenario (header included).
+#[derive(Debug)]
+pub struct CsvSink {
+    out: String,
+}
+
+impl CsvSink {
+    /// The header row.
+    pub const HEADER: &'static str = "id,model,n,t,trials,base_seed,termination_rate,\
+        agreement_rate,validity_rate,violation_rate,decision_time_mean,decision_time_p50,\
+        decision_time_p90,decision_time_max,chain_mean,chain_max,messages_mean,resets_mean";
+
+    /// A sink holding only the header row.
+    pub fn new() -> Self {
+        CsvSink {
+            out: format!("{}\n", Self::HEADER),
+        }
+    }
+
+    /// The CSV document accumulated so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the sink, returning the CSV document.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+impl Default for CsvSink {
+    fn default() -> Self {
+        CsvSink::new()
+    }
+}
+
+impl ReportSink for CsvSink {
+    fn end_scenario(&mut self, meta: &ScenarioMeta, report: &ScenarioReport) {
+        // Scenario ids contain no commas or quotes by construction, so no
+        // field quoting is needed; floats use shortest-round-trip format.
+        let aggregate = &report.aggregate;
+        let row = [
+            meta.id.clone(),
+            meta.model.clone(),
+            meta.n.to_string(),
+            meta.t.to_string(),
+            meta.trials.to_string(),
+            meta.base_seed.to_string(),
+            aggregate.termination_rate.to_string(),
+            aggregate.agreement_rate.to_string(),
+            aggregate.validity_rate.to_string(),
+            aggregate.violation_rate.to_string(),
+            aggregate.decision_time.mean.to_string(),
+            report.decision_times.percentile(50.0).to_string(),
+            report.decision_times.percentile(90.0).to_string(),
+            aggregate.decision_time.max.to_string(),
+            aggregate.chain_length.mean.to_string(),
+            aggregate.chain_length.max.to_string(),
+            aggregate.messages.mean.to_string(),
+            aggregate.resets.mean.to_string(),
+        ];
+        self.out.push_str(&row.join(","));
+        self.out.push('\n');
+    }
+}
+
+/// Collects every scenario's [`ScenarioReport`] as one JSON document:
+/// `{"scale": ..., "scenarios": [...]}` (the `scale` header only when set).
+/// This is the `--json` output of the binaries and the shape committed as
+/// `BENCH_*.json` trajectory points — defined here, in one place, so the
+/// emitting binaries and the `--check` validator cannot drift apart.
+#[derive(Debug, Default)]
+pub struct JsonReportSink {
+    scale: Option<String>,
+    reports: Vec<JsonValue>,
+}
+
+impl JsonReportSink {
+    /// An empty sink with no document header.
+    pub fn new() -> Self {
+        JsonReportSink::default()
+    }
+
+    /// An empty sink whose document leads with a `"scale"` header (the run
+    /// parameters deliberately exclude timestamps: emitted documents must be
+    /// reproducible).
+    pub fn with_scale(scale: impl Into<String>) -> Self {
+        JsonReportSink {
+            scale: Some(scale.into()),
+            reports: Vec::new(),
+        }
+    }
+
+    /// The collected document.
+    pub fn into_json(self) -> JsonValue {
+        let mut doc = JsonValue::object();
+        if let Some(scale) = self.scale {
+            doc.push("scale", scale);
+        }
+        doc.push("scenarios", JsonValue::Array(self.reports));
+        doc
+    }
+}
+
+impl ReportSink for JsonReportSink {
+    fn end_scenario(&mut self, _meta: &ScenarioMeta, report: &ScenarioReport) {
+        self.reports.push(report.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agreement_analysis::Histogram;
+    use agreement_sim::Metrics;
+
+    fn record(trial: u64) -> TrialRecord {
+        TrialRecord {
+            trial,
+            seed: 0x5EED + trial,
+            agreement: true,
+            validity: true,
+            terminated: trial.is_multiple_of(2),
+            violations: 0,
+            halted: false,
+            decided: if trial.is_multiple_of(2) {
+                Some(Bit::One)
+            } else {
+                None
+            },
+            first_decision_at: Some(trial + 1),
+            all_decided_at: if trial.is_multiple_of(2) {
+                Some(trial + 3)
+            } else {
+                None
+            },
+            duration: trial + 3,
+            longest_chain: 2 * trial,
+            metrics: Metrics {
+                messages_sent: 10 * trial,
+                messages_delivered: 9 * trial,
+                messages_dropped: trial,
+                rounds: 2,
+                windows: trial + 3,
+                steps: 0,
+                resets_consumed: trial,
+                crashes: 0,
+                coin_flips: 5 * trial,
+                max_chain: 2 * trial,
+            },
+        }
+    }
+
+    fn meta(trials: u64) -> ScenarioMeta {
+        ScenarioMeta {
+            id: "test/proto/adv/split/n7t1".to_string(),
+            model: "windowed".to_string(),
+            n: 7,
+            t: 1,
+            trials,
+            base_seed: 0x5EED,
+            time_cap: 100,
+        }
+    }
+
+    #[test]
+    fn trial_record_json_round_trips() {
+        for trial in 0..4 {
+            let original = record(trial);
+            let json = original.to_json();
+            let text = json.to_string();
+            let parsed = JsonValue::parse(&text).expect("record emits valid JSON");
+            let rebuilt = TrialRecord::from_json(&parsed).expect("record parses back");
+            assert_eq!(rebuilt, original, "round trip changed the record: {text}");
+        }
+    }
+
+    #[test]
+    fn trial_record_from_json_reports_missing_fields() {
+        let mut json = record(0).to_json();
+        if let JsonValue::Object(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "seed");
+        }
+        let err = TrialRecord::from_json(&json).unwrap_err();
+        assert!(err.contains("seed"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn jsonl_sink_emits_one_parseable_line_per_trial() {
+        let meta = meta(3);
+        let records: Vec<TrialRecord> = (0..3).map(record).collect();
+        let mut sink = JsonlSink::new();
+        stream_records(&meta, &records, &mut [&mut sink]);
+        let lines: Vec<&str> = sink.as_str().lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let value = JsonValue::parse(line).expect("every JSONL line parses");
+            assert_eq!(
+                value.get("scenario").and_then(JsonValue::as_str),
+                Some(meta.id.as_str())
+            );
+            assert_eq!(
+                value.get("trial").and_then(JsonValue::as_u64),
+                Some(i as u64)
+            );
+            let rebuilt = TrialRecord::from_json(&value).expect("line carries a full record");
+            assert_eq!(rebuilt, records[i]);
+        }
+    }
+
+    #[test]
+    fn table_sink_row_matches_the_aggregate() {
+        let meta = meta(4);
+        let records: Vec<TrialRecord> = (0..4).map(record).collect();
+        let mut sink = TableSink::new("t", "c");
+        let report = stream_records(&meta, &records, &mut [&mut sink]);
+        let table = sink.into_table();
+        assert_eq!(table.rows().len(), 1);
+        assert_eq!(table.cell(0, 0), Some(meta.id.as_str()));
+        assert_eq!(table.cell(0, 2), Some("4"));
+        assert_eq!(
+            table.cell(0, 3),
+            Some(fmt_rate(report.aggregate.termination_rate).as_str())
+        );
+        assert_eq!(
+            table.cell(0, 6),
+            Some(fmt_f64(report.aggregate.decision_time.mean).as_str())
+        );
+    }
+
+    #[test]
+    fn csv_sink_emits_header_and_scenario_rows() {
+        let meta = meta(2);
+        let records: Vec<TrialRecord> = (0..2).map(record).collect();
+        let mut sink = CsvSink::new();
+        stream_records(&meta, &records, &mut [&mut sink]);
+        let lines: Vec<&str> = sink.as_str().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("id,model,n,t,trials"));
+        let fields: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(fields.len(), CsvSink::HEADER.split(',').count());
+        assert_eq!(fields[0], meta.id);
+        assert_eq!(fields[4], "2");
+        // Every numeric field parses back as f64.
+        for field in &fields[6..] {
+            field.parse::<f64>().expect("numeric CSV field");
+        }
+    }
+
+    #[test]
+    fn multiple_sinks_compose_in_one_pass() {
+        let meta = meta(3);
+        let records: Vec<TrialRecord> = (0..3).map(record).collect();
+        let mut table = TableSink::new("t", "c");
+        let mut jsonl = JsonlSink::new();
+        let mut csv = CsvSink::new();
+        let mut json = JsonReportSink::new();
+        stream_records(
+            &meta,
+            &records,
+            &mut [&mut table, &mut jsonl, &mut csv, &mut json],
+        );
+        assert_eq!(table.into_table().rows().len(), 1);
+        assert_eq!(jsonl.as_str().lines().count(), 3);
+        assert_eq!(csv.as_str().lines().count(), 2);
+        let doc = json.into_json();
+        assert_eq!(
+            doc.get("scenarios")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn report_percentiles_come_from_the_record_stream() {
+        let meta = meta(5);
+        let records: Vec<TrialRecord> = (0..5).map(record).collect();
+        let report = stream_records(&meta, &records, &mut []);
+        let expected: Vec<f64> = records
+            .iter()
+            .map(|r| r.all_decided_at.unwrap_or(meta.time_cap) as f64)
+            .collect();
+        assert_eq!(report.decision_times, Histogram::from_samples(&expected));
+    }
+}

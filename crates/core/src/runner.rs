@@ -1,24 +1,31 @@
 //! Multi-trial campaign runner: protocol × adversary × configuration,
-//! repeated over seeds, aggregated into rates and summaries.
+//! repeated over seeds, distilled into per-trial records.
 //!
 //! A [`TrialPlan`] describes *what* to run; a [`Campaign`] decides *how* —
 //! serially or fanned out across worker threads, one trial per seed. The
 //! environment this workspace builds in is offline, so the fan-out is a
 //! self-contained `std::thread` work-stealing pool rather than rayon; the
 //! scheduling discipline is the same (a shared atomic trial counter), and
-//! results are written into per-trial slots so aggregation always folds the
-//! outcomes in trial order. That makes every aggregate **bit-identical**
-//! across thread counts, including the serial path: parallelism changes only
-//! wall-clock time, never results.
+//! results are written into per-trial slots so the record stream is always
+//! in trial order. That makes every record stream — and everything derived
+//! from one, aggregates included — **bit-identical** across thread counts,
+//! including the serial path: parallelism changes only wall-clock time,
+//! never results.
+//!
+//! Each trial's [`RunOutcome`] is distilled into a
+//! [`TrialRecord`](crate::TrialRecord) *inside* the worker (dropping the
+//! heavyweight trace early); aggregation into an [`Aggregate`] is one
+//! consumer of the record stream ([`Aggregate::from_records`]), the report
+//! sinks of [`crate::record`] are the others.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use agreement_analysis::Summary;
 use agreement_model::{InputAssignment, ProtocolBuilder, SystemConfig};
-use agreement_sim::{
-    run_async, run_windowed, AsyncAdversary, RunLimits, RunOutcome, WindowAdversary,
-};
+use agreement_sim::{run_async, run_windowed, AsyncAdversary, RunLimits, WindowAdversary};
+
+use crate::record::TrialRecord;
 
 /// The static description of a batch of trials.
 #[derive(Debug, Clone)]
@@ -138,8 +145,64 @@ impl Campaign {
             .collect()
     }
 
+    /// Runs `plan.trials` window-model executions and returns one
+    /// [`TrialRecord`] per trial, **in trial order** regardless of thread
+    /// count. `make_adversary` receives each trial's seed.
+    pub fn run_windowed_records<A, F>(
+        &self,
+        plan: &TrialPlan,
+        builder: &dyn ProtocolBuilder,
+        make_adversary: F,
+    ) -> Vec<TrialRecord>
+    where
+        A: WindowAdversary,
+        F: Fn(u64) -> A + Sync,
+    {
+        self.run_trials(plan.trials, |trial| {
+            let seed = plan.base_seed + trial;
+            let mut adversary = make_adversary(seed);
+            let outcome = run_windowed(
+                plan.cfg,
+                plan.inputs.clone(),
+                builder,
+                &mut adversary,
+                seed,
+                plan.limits,
+            );
+            TrialRecord::from_outcome(trial, seed, &outcome, &plan.inputs)
+        })
+    }
+
+    /// Runs `plan.trials` asynchronous-model executions and returns one
+    /// [`TrialRecord`] per trial, **in trial order** regardless of thread
+    /// count. `make_adversary` receives each trial's seed.
+    pub fn run_async_records<A, F>(
+        &self,
+        plan: &TrialPlan,
+        builder: &dyn ProtocolBuilder,
+        make_adversary: F,
+    ) -> Vec<TrialRecord>
+    where
+        A: AsyncAdversary,
+        F: Fn(u64) -> A + Sync,
+    {
+        self.run_trials(plan.trials, |trial| {
+            let seed = plan.base_seed + trial;
+            let mut adversary = make_adversary(seed);
+            let outcome = run_async(
+                plan.cfg,
+                plan.inputs.clone(),
+                builder,
+                &mut adversary,
+                seed,
+                plan.limits,
+            );
+            TrialRecord::from_outcome(trial, seed, &outcome, &plan.inputs)
+        })
+    }
+
     /// Runs `plan.trials` window-model executions, constructing a fresh
-    /// adversary per trial with `make_adversary`, and aggregates the outcomes
+    /// adversary per trial with `make_adversary`, and aggregates the records
     /// deterministically.
     pub fn run_windowed<A, F>(
         &self,
@@ -167,23 +230,13 @@ impl Campaign {
         A: WindowAdversary,
         F: Fn(u64) -> A + Sync,
     {
-        let outcomes = self.run_trials(plan.trials, |trial| {
-            let mut adversary = make_adversary(plan.base_seed + trial);
-            run_windowed(
-                plan.cfg,
-                plan.inputs.clone(),
-                builder,
-                &mut adversary,
-                plan.base_seed + trial,
-                plan.limits,
-            )
-        });
-        aggregate(&outcomes, &plan.inputs, plan.limits.max_windows)
+        let records = self.run_windowed_records(plan, builder, make_adversary);
+        Aggregate::from_records(&records, plan.limits.max_windows)
     }
 
     /// Runs `plan.trials` asynchronous-model executions, constructing a fresh
     /// adversary per trial with `make_adversary` (which receives the trial's
-    /// seed), and aggregates the outcomes deterministically.
+    /// seed), and aggregates the records deterministically.
     pub fn run_async<A, F>(
         &self,
         plan: &TrialPlan,
@@ -194,22 +247,18 @@ impl Campaign {
         A: AsyncAdversary,
         F: Fn(u64) -> A + Sync,
     {
-        let outcomes = self.run_trials(plan.trials, |trial| {
-            let mut adversary = make_adversary(plan.base_seed + trial);
-            run_async(
-                plan.cfg,
-                plan.inputs.clone(),
-                builder,
-                &mut adversary,
-                plan.base_seed + trial,
-                plan.limits,
-            )
-        });
-        aggregate(&outcomes, &plan.inputs, plan.limits.max_steps)
+        let records = self.run_async_records(plan, builder, make_adversary);
+        Aggregate::from_records(&records, plan.limits.max_steps)
     }
 }
 
 /// Aggregated results over a batch of trials.
+///
+/// Since the structured-record redesign this is a *derived view*: it is
+/// computed from a [`TrialRecord`] stream by [`Aggregate::from_records`]
+/// (today also available packaged as a
+/// [`ScenarioReport`](crate::ScenarioReport) with distributions), and kept
+/// in this exact shape so the E1–E9 tables stay byte-identical.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Aggregate {
     /// Number of trials run.
@@ -234,45 +283,50 @@ pub struct Aggregate {
     pub messages: Summary,
 }
 
-fn aggregate(outcomes: &[RunOutcome], inputs: &InputAssignment, cap: u64) -> Aggregate {
-    let trials = outcomes.len() as u64;
-    let rate = |pred: &dyn Fn(&RunOutcome) -> bool| {
-        if outcomes.is_empty() {
-            0.0
-        } else {
-            outcomes.iter().filter(|o| pred(o)).count() as f64 / outcomes.len() as f64
+impl Aggregate {
+    /// Folds a record stream (in trial order) into the aggregate. `cap` is
+    /// the scheduler's time limit: undecided trials contribute it to the
+    /// decision-time summary, exactly as the pre-record implementation did.
+    pub fn from_records(records: &[TrialRecord], cap: u64) -> Aggregate {
+        let trials = records.len() as u64;
+        let rate = |pred: &dyn Fn(&TrialRecord) -> bool| {
+            if records.is_empty() {
+                0.0
+            } else {
+                records.iter().filter(|r| pred(r)).count() as f64 / records.len() as f64
+            }
+        };
+        Aggregate {
+            trials,
+            agreement_rate: rate(&|r| r.agreement),
+            validity_rate: rate(&|r| r.validity),
+            termination_rate: rate(&|r| r.terminated),
+            violation_rate: rate(&|r| r.violations > 0),
+            decision_time: Summary::from_samples(
+                &records
+                    .iter()
+                    .map(|r| r.all_decided_at.unwrap_or(cap) as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            chain_length: Summary::from_samples(
+                &records
+                    .iter()
+                    .map(|r| r.longest_chain as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            resets: Summary::from_samples(
+                &records
+                    .iter()
+                    .map(|r| r.metrics.resets_consumed as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            messages: Summary::from_samples(
+                &records
+                    .iter()
+                    .map(|r| r.metrics.messages_sent as f64)
+                    .collect::<Vec<_>>(),
+            ),
         }
-    };
-    Aggregate {
-        trials,
-        agreement_rate: rate(&|o| o.agreement_holds()),
-        validity_rate: rate(&|o| o.validity_holds(inputs)),
-        termination_rate: rate(&|o| o.all_correct_decided()),
-        violation_rate: rate(&|o| !o.violations.is_empty()),
-        decision_time: Summary::from_samples(
-            &outcomes
-                .iter()
-                .map(|o| o.all_decided_at.unwrap_or(cap) as f64)
-                .collect::<Vec<_>>(),
-        ),
-        chain_length: Summary::from_samples(
-            &outcomes
-                .iter()
-                .map(|o| o.longest_chain as f64)
-                .collect::<Vec<_>>(),
-        ),
-        resets: Summary::from_samples(
-            &outcomes
-                .iter()
-                .map(|o| o.resets_performed as f64)
-                .collect::<Vec<_>>(),
-        ),
-        messages: Summary::from_samples(
-            &outcomes
-                .iter()
-                .map(|o| o.messages_sent as f64)
-                .collect::<Vec<_>>(),
-        ),
     }
 }
 
@@ -391,6 +445,53 @@ mod tests {
             FairAsyncAdversary::default()
         });
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn trial_record_streams_are_bit_identical_across_thread_counts() {
+        let cfg = SystemConfig::with_sixth_resilience(13).unwrap();
+        let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+        let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(13))
+            .trials(9)
+            .limits(RunLimits::windows(2_000));
+        let serial =
+            Campaign::serial().run_windowed_records(&plan, &builder, |_| SplitVoteAdversary::new());
+        assert_eq!(serial.len(), 9);
+        for (i, record) in serial.iter().enumerate() {
+            assert_eq!(record.trial, i as u64, "records arrive in trial order");
+            assert_eq!(record.seed, plan.base_seed + i as u64);
+        }
+        for threads in [2usize, 3, 8, 0] {
+            let parallel =
+                Campaign::with_threads(threads)
+                    .run_windowed_records(&plan, &builder, |_| SplitVoteAdversary::new());
+            assert_eq!(
+                serial, parallel,
+                "thread count {threads} changed the record stream"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_from_records_matches_the_run_aggregate() {
+        let cfg = SystemConfig::new(5, 1).unwrap();
+        let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(5))
+            .trials(6)
+            .limits(RunLimits::small());
+        let records = Campaign::serial().run_async_records(&plan, &BenOrBuilder::new(), |_| {
+            FairAsyncAdversary::default()
+        });
+        let direct = Campaign::serial().run_async(&plan, &BenOrBuilder::new(), |_| {
+            FairAsyncAdversary::default()
+        });
+        assert_eq!(
+            Aggregate::from_records(&records, plan.limits.max_steps),
+            direct
+        );
+        // Records carry the async metrics: steps elapsed, no windows.
+        assert!(records.iter().all(|r| r.metrics.windows == 0));
+        assert!(records.iter().all(|r| r.metrics.steps == r.duration));
+        assert!(records.iter().all(|r| r.metrics.messages_sent > 0));
     }
 
     #[test]

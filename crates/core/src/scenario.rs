@@ -20,6 +20,7 @@
 use std::fmt;
 
 use agreement_adversary::{find_adversary, AdversaryBuildCtx, AdversaryFactory};
+use agreement_analysis::{Histogram, JsonValue, Summary};
 use agreement_model::{
     Bit, ConfigError, InputAssignment, ProcessorId, ProtocolBuilder, SystemConfig, Thresholds,
 };
@@ -27,6 +28,7 @@ use agreement_protocols::{BenOrBuilder, BrachaBuilder, CommitteeBuilder, ResetTo
 use agreement_sim::{run_async, run_windowed, ModelKind, RunLimits, RunOutcome};
 
 use crate::experiments::Scale;
+use crate::record::{stream_records, ReportSink, ScenarioMeta, TrialRecord};
 use crate::runner::{Aggregate, Campaign, TrialPlan};
 
 /// Why a scenario could not be resolved into a runnable execution.
@@ -361,36 +363,75 @@ impl ScenarioSpec {
         AdversaryBuildCtx::new(cfg, seed).with_targets(targets)
     }
 
+    /// The [`ScenarioMeta`] identity of this spec (requires the adversary to
+    /// resolve, for the model label and time cap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnknownAdversary`] when the adversary is not
+    /// registered.
+    pub fn meta(&self) -> Result<ScenarioMeta, ScenarioError> {
+        let model = self.model()?;
+        Ok(ScenarioMeta {
+            id: self.id(),
+            model: model.to_string(),
+            n: self.n,
+            t: self.t,
+            trials: self.trials,
+            base_seed: self.base_seed,
+            time_cap: match model {
+                ModelKind::Windowed => self.limits.max_windows,
+                ModelKind::Async => self.limits.max_steps,
+            },
+        })
+    }
+
     /// Runs the spec's trials on the default (all-cores) campaign.
     ///
     /// # Errors
     ///
     /// Returns a [`ScenarioError`] when the spec does not resolve.
-    pub fn run(&self) -> Result<Aggregate, ScenarioError> {
+    pub fn run(&self) -> Result<ScenarioReport, ScenarioError> {
         self.run_on(&Campaign::default())
     }
 
-    /// Runs the spec's trials on an explicit campaign. Aggregates are
+    /// Runs the spec's trials on an explicit campaign. Reports are
     /// bit-identical across thread counts (the campaign's guarantee).
     ///
     /// # Errors
     ///
     /// Returns a [`ScenarioError`] when the spec does not resolve.
-    pub fn run_on(&self, campaign: &Campaign) -> Result<Aggregate, ScenarioError> {
+    pub fn run_on(&self, campaign: &Campaign) -> Result<ScenarioReport, ScenarioError> {
+        self.run_with_sinks(campaign, &mut [])
+    }
+
+    /// Runs the spec's trials, streaming every [`TrialRecord`] (in trial
+    /// order) through `sinks` before returning the finished report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] when the spec does not resolve.
+    pub fn run_with_sinks(
+        &self,
+        campaign: &Campaign,
+        sinks: &mut [&mut dyn ReportSink],
+    ) -> Result<ScenarioReport, ScenarioError> {
         let (cfg, instance, factory) = self.resolved()?;
+        let meta = self.meta()?;
         let plan = TrialPlan::new(cfg, self.inputs.materialize(self.n))
             .trials(self.trials)
             .limits(self.limits)
             .base_seed(self.base_seed);
         let builder = instance.builder.as_ref();
-        Ok(match factory.model() {
-            ModelKind::Windowed => campaign.run_windowed_seeded(&plan, builder, |seed| {
+        let records = match factory.model() {
+            ModelKind::Windowed => campaign.run_windowed_records(&plan, builder, |seed| {
                 factory.build_window(&self.build_ctx(cfg, &instance, seed))
             }),
-            ModelKind::Async => campaign.run_async(&plan, builder, |seed| {
+            ModelKind::Async => campaign.run_async_records(&plan, builder, |seed| {
                 factory.build_async(&self.build_ctx(cfg, &instance, seed))
             }),
-        })
+        };
+        Ok(stream_records(&meta, &records, sinks))
     }
 
     /// Runs a single execution with an explicit seed and returns its raw
@@ -427,6 +468,91 @@ impl ScenarioSpec {
                 )
             }
         })
+    }
+}
+
+/// The finished result of running one scenario: its identity, the
+/// backwards-compatible [`Aggregate`], and the per-trial distributions the
+/// aggregate's summaries flatten away.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// The scenario's identity (id, model, size, trials, seed, time cap).
+    pub meta: ScenarioMeta,
+    /// The classic rate/summary aggregate (what the E1–E9 tables print).
+    pub aggregate: Aggregate,
+    /// Distribution of the window/step count at which the last correct
+    /// processor decided (undecided trials contribute the time cap).
+    pub decision_times: Histogram,
+    /// Distribution of the per-trial chain metric.
+    pub chain_lengths: Histogram,
+    /// Distribution of messages sent per trial.
+    pub message_counts: Histogram,
+    /// Distribution of resetting steps per trial.
+    pub reset_counts: Histogram,
+}
+
+impl ScenarioReport {
+    /// Builds the report from a scenario's full record stream.
+    pub fn from_records(meta: ScenarioMeta, records: &[TrialRecord]) -> Self {
+        let cap = meta.time_cap;
+        let samples =
+            |f: &dyn Fn(&TrialRecord) -> f64| -> Vec<f64> { records.iter().map(f).collect() };
+        ScenarioReport {
+            aggregate: Aggregate::from_records(records, cap),
+            decision_times: Histogram::from_samples(&samples(&|r| {
+                r.all_decided_at.unwrap_or(cap) as f64
+            })),
+            chain_lengths: Histogram::from_samples(&samples(&|r| r.longest_chain as f64)),
+            message_counts: Histogram::from_samples(&samples(&|r| r.metrics.messages_sent as f64)),
+            reset_counts: Histogram::from_samples(&samples(&|r| r.metrics.resets_consumed as f64)),
+            meta,
+        }
+    }
+
+    /// The report as one JSON object — the per-scenario record the binaries
+    /// emit under `--json`, suitable for committing as a `BENCH_*.json`
+    /// trajectory point. Field order is stable and the document contains no
+    /// timestamps, so re-running an unchanged scenario produces an identical
+    /// record.
+    pub fn to_json(&self) -> JsonValue {
+        fn summary(s: &Summary) -> JsonValue {
+            let mut obj = JsonValue::object();
+            obj.push("mean", s.mean)
+                .push("std_dev", s.std_dev)
+                .push("min", s.min)
+                .push("max", s.max);
+            obj
+        }
+        fn distribution(h: &Histogram) -> JsonValue {
+            let mut obj = JsonValue::object();
+            obj.push("p50", h.percentile(50.0))
+                .push("p90", h.percentile(90.0))
+                .push("p99", h.percentile(99.0))
+                .push("min", h.min())
+                .push("max", h.max());
+            obj
+        }
+        let mut doc = JsonValue::object();
+        doc.push("id", self.meta.id.as_str())
+            .push("model", self.meta.model.as_str())
+            .push("n", self.meta.n)
+            .push("t", self.meta.t)
+            .push("trials", self.meta.trials)
+            .push("base_seed", self.meta.base_seed)
+            .push("time_cap", self.meta.time_cap)
+            .push("termination_rate", self.aggregate.termination_rate)
+            .push("agreement_rate", self.aggregate.agreement_rate)
+            .push("validity_rate", self.aggregate.validity_rate)
+            .push("violation_rate", self.aggregate.violation_rate)
+            .push("decision_time", summary(&self.aggregate.decision_time))
+            .push("decision_time_dist", distribution(&self.decision_times))
+            .push("chain_length", summary(&self.aggregate.chain_length))
+            .push("chain_length_dist", distribution(&self.chain_lengths))
+            .push("messages", summary(&self.aggregate.messages))
+            .push("messages_dist", distribution(&self.message_counts))
+            .push("resets", summary(&self.aggregate.resets))
+            .push("resets_dist", distribution(&self.reset_counts));
+        doc
     }
 }
 
@@ -751,6 +877,75 @@ mod tests {
     }
 
     #[test]
+    fn matrix_expansion_ids_are_unique_across_the_full_cross_product() {
+        use std::collections::BTreeSet;
+        let matrix = ScenarioMatrix::new()
+            .tag("uniq")
+            .protocols(vec![
+                ProtocolSpec::ResetTolerant,
+                ProtocolSpec::BenOr,
+                ProtocolSpec::Bracha,
+                ProtocolSpec::Committee { size: 3, seed: 1 },
+            ])
+            .inputs(vec![
+                InputPattern::Unanimous(Bit::Zero),
+                InputPattern::Unanimous(Bit::One),
+                InputPattern::EvenlySplit,
+                InputPattern::SplitAt(3),
+            ])
+            .adversaries(&["rotating-reset", "split-vote", "fair-round-robin"])
+            .sizes(vec![(7, 1), (13, 2), (19, 3)]);
+        let specs = matrix.expand();
+        assert_eq!(specs.len(), 4 * 4 * 3 * 3);
+        let ids: BTreeSet<String> = specs.iter().map(ScenarioSpec::id).collect();
+        assert_eq!(
+            ids.len(),
+            specs.len(),
+            "every dimension must be reflected in the id, or expansion collides"
+        );
+        assert!(ids.iter().all(|id| id.starts_with("uniq/")));
+    }
+
+    #[test]
+    fn materialize_handles_single_processor_systems() {
+        assert_eq!(
+            InputPattern::Unanimous(Bit::Zero).materialize(1),
+            InputAssignment::unanimous(1, Bit::Zero)
+        );
+        // ⌈1/2⌉ = 1: the lone processor lands on the zero side of the split.
+        assert_eq!(
+            InputPattern::EvenlySplit.materialize(1),
+            InputAssignment::split_at(1, 1)
+        );
+        assert_eq!(
+            InputPattern::SplitAt(0).materialize(1),
+            InputAssignment::unanimous(1, Bit::One)
+        );
+    }
+
+    #[test]
+    fn materialize_split_extremes_collapse_to_unanimous() {
+        assert_eq!(
+            InputPattern::SplitAt(0).materialize(5),
+            InputAssignment::unanimous(5, Bit::One)
+        );
+        assert_eq!(
+            InputPattern::SplitAt(5).materialize(5),
+            InputAssignment::unanimous(5, Bit::Zero)
+        );
+    }
+
+    #[test]
+    fn materialize_even_split_rounds_zeros_up_on_odd_n() {
+        for n in [2usize, 3, 7, 8, 13] {
+            let inputs = InputPattern::EvenlySplit.materialize(n);
+            let zeros = inputs.iter().filter(|bit| bit.is_zero()).count();
+            assert_eq!(zeros, n.div_ceil(2), "⌈n/2⌉ zeros at n = {n}");
+            assert_eq!(inputs.len(), n);
+        }
+    }
+
+    #[test]
     fn scenario_run_matches_direct_campaign_invocation() {
         use agreement_adversary::SplitVoteAdversary;
 
@@ -764,6 +959,8 @@ mod tests {
         .trials(3)
         .limits(RunLimits::windows(5_000));
         let via_scenario = spec.run().unwrap();
+        assert_eq!(via_scenario.meta.id, spec.id());
+        assert_eq!(via_scenario.meta.time_cap, 5_000);
 
         let cfg = SystemConfig::new(13, 2).unwrap();
         let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
@@ -771,7 +968,7 @@ mod tests {
             .trials(3)
             .limits(RunLimits::windows(5_000));
         let direct = Campaign::default().run_windowed(&plan, &builder, SplitVoteAdversary::new);
-        assert_eq!(via_scenario, direct);
+        assert_eq!(via_scenario.aggregate, direct);
     }
 
     #[test]
@@ -786,9 +983,10 @@ mod tests {
         .trials(3)
         .limits(RunLimits::small());
         assert_eq!(spec.model().unwrap(), ModelKind::Async);
-        let aggregate = spec.run().unwrap();
-        assert_eq!(aggregate.termination_rate, 1.0);
-        assert_eq!(aggregate.agreement_rate, 1.0);
+        let report = spec.run().unwrap();
+        assert_eq!(report.meta.model, "async");
+        assert_eq!(report.aggregate.termination_rate, 1.0);
+        assert_eq!(report.aggregate.agreement_rate, 1.0);
     }
 
     #[test]
@@ -805,9 +1003,9 @@ mod tests {
         )
         .trials(2)
         .limits(RunLimits::small());
-        let aggregate = spec.run().unwrap();
+        let report = spec.run().unwrap();
         // The killer silences the committee's quorum: nobody ever decides.
-        assert_eq!(aggregate.termination_rate, 0.0);
+        assert_eq!(report.aggregate.termination_rate, 0.0);
     }
 
     #[test]

@@ -23,15 +23,16 @@ use agreement_model::{Bit, InputAssignment, ProtocolBuilder, StateDigest, System
 
 use crate::adversary::AsyncAdversary;
 use crate::exec::{AsyncScheduler, ExecutionCore, Scheduler};
+use crate::metrics::{NoProbe, Probe};
 use crate::outcome::{RunLimits, RunOutcome};
 
 /// An execution of the fully asynchronous model with crash/Byzantine faults.
 #[derive(Debug)]
-pub struct AsyncEngine {
-    core: ExecutionCore,
+pub struct AsyncEngine<P: Probe = NoProbe> {
+    core: ExecutionCore<P>,
 }
 
-impl AsyncEngine {
+impl AsyncEngine<NoProbe> {
     /// Creates the engine, runs every processor's `on_start`, and places the
     /// initial messages into the buffer.
     ///
@@ -44,7 +45,24 @@ impl AsyncEngine {
         builder: &dyn ProtocolBuilder,
         master_seed: u64,
     ) -> Self {
-        let mut core = ExecutionCore::new(cfg, inputs, builder, master_seed);
+        AsyncEngine::with_probe(cfg, inputs, builder, master_seed, NoProbe)
+    }
+}
+
+impl<P: Probe> AsyncEngine<P> {
+    /// Like [`AsyncEngine::new`], but the execution is observed by `probe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
+    pub fn with_probe(
+        cfg: SystemConfig,
+        inputs: InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+        probe: P,
+    ) -> Self {
+        let mut core = ExecutionCore::with_probe(cfg, inputs, builder, master_seed, probe);
         core.ensure_started();
         core.flush_all_outboxes();
         core.record_decision_progress();
@@ -92,7 +110,7 @@ impl AsyncEngine {
     }
 
     /// Read access to the shared execution core driving this engine.
-    pub fn core(&self) -> &ExecutionCore {
+    pub fn core(&self) -> &ExecutionCore<P> {
         &self.core
     }
 

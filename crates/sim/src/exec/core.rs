@@ -6,7 +6,10 @@
 //! it: the per-processor harnesses, the in-flight [`MessageBuffer`], causal
 //! chain depths, decision/validity tracking, trace emission and the outcome
 //! snapshot. What differs between models — how a unit of scheduled time is
-//! assembled — lives behind the [`Scheduler`](super::Scheduler) trait.
+//! assembled — lives behind the [`Scheduler`](super::Scheduler) trait, and
+//! observation of the primitive transitions lives behind the
+//! [`Probe`](crate::Probe) trait (the default [`NoProbe`](crate::NoProbe)
+//! compiles every hook away).
 
 use agreement_model::{
     Bit, InputAssignment, Payload, ProcessorId, ProtocolBuilder, StateDigest, SystemConfig, Trace,
@@ -16,6 +19,7 @@ use agreement_model::{
 use crate::adversary::SystemView;
 use crate::buffer::MessageBuffer;
 use crate::harness::ProcessorHarness;
+use crate::metrics::{Metrics, NoProbe, Probe};
 use crate::outcome::{RunLimits, RunOutcome};
 
 use super::Scheduler;
@@ -26,17 +30,25 @@ use super::Scheduler;
 /// paper's model (sending steps, receiving steps, resetting steps, crashes,
 /// Byzantine corruption) and records their effects; a
 /// [`Scheduler`](super::Scheduler) composes them into the execution shape of a
-/// concrete adversary model.
+/// concrete adversary model. Every transition additionally fires a hook on
+/// the core's [`Probe`]; with the default [`NoProbe`] the hooks are empty
+/// inlined bodies and this type is byte-for-byte the un-instrumented core.
 #[derive(Debug)]
-pub struct ExecutionCore {
+pub struct ExecutionCore<P: Probe = NoProbe> {
     cfg: SystemConfig,
     inputs: InputAssignment,
     harnesses: Vec<ProcessorHarness>,
     buffer: MessageBuffer,
     trace: Trace,
+    probe: P,
     /// Scheduler time: window index for windowed executions, step index for
-    /// asynchronous ones. Advanced only by [`ExecutionCore::advance_time`].
+    /// asynchronous ones. Advanced only by [`ExecutionCore::advance_window`]
+    /// and [`ExecutionCore::advance_step`].
     time: u64,
+    /// Acceptable windows scheduled so far (windowed executions only).
+    windows: u64,
+    /// Adversary steps scheduled so far (asynchronous executions only).
+    steps: u64,
     /// Causal depth of each processor: the longest chain among messages it has
     /// received so far.
     depth: Vec<u64>,
@@ -55,8 +67,9 @@ pub struct ExecutionCore {
     started: bool,
 }
 
-impl ExecutionCore {
-    /// Creates a core for `cfg.n()` processors with the given inputs.
+impl ExecutionCore<NoProbe> {
+    /// Creates an un-instrumented core for `cfg.n()` processors with the given
+    /// inputs.
     ///
     /// # Panics
     ///
@@ -66,6 +79,23 @@ impl ExecutionCore {
         inputs: InputAssignment,
         builder: &dyn ProtocolBuilder,
         master_seed: u64,
+    ) -> Self {
+        ExecutionCore::with_probe(cfg, inputs, builder, master_seed, NoProbe)
+    }
+}
+
+impl<P: Probe> ExecutionCore<P> {
+    /// Creates a core whose primitive transitions are observed by `probe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
+    pub fn with_probe(
+        cfg: SystemConfig,
+        inputs: InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+        probe: P,
     ) -> Self {
         assert_eq!(
             inputs.len(),
@@ -86,7 +116,10 @@ impl ExecutionCore {
             harnesses,
             buffer: MessageBuffer::with_processors(cfg.n()),
             trace: Trace::new(),
+            probe,
             time: 0,
+            windows: 0,
+            steps: 0,
             resets_performed: 0,
             crashes_performed: 0,
             first_decision_at: None,
@@ -112,6 +145,11 @@ impl ExecutionCore {
     /// Scheduler time elapsed so far (windows or steps, depending on model).
     pub fn time(&self) -> u64 {
         self.time
+    }
+
+    /// Read access to the probe observing this execution.
+    pub fn probe(&self) -> &P {
+        &self.probe
     }
 
     /// Read access to the in-flight message buffer.
@@ -242,6 +280,7 @@ impl ExecutionCore {
                 from: envelope.sender,
                 to: envelope.recipient,
             });
+            self.probe.on_send(envelope.sender, chain);
             self.buffer.enqueue_with_chain(envelope, chain);
         }
     }
@@ -258,7 +297,11 @@ impl ExecutionCore {
 
     /// Discards every undelivered message (start of a new acceptable window).
     pub fn discard_undelivered(&mut self) -> usize {
-        self.buffer.discard_undelivered()
+        let dropped = self.buffer.discard_undelivered();
+        if dropped > 0 {
+            self.probe.on_drop(dropped as u64);
+        }
+        dropped
     }
 
     /// A single adversarial *receiving step*: delivers the oldest undelivered
@@ -273,6 +316,7 @@ impl ExecutionCore {
             return;
         };
         self.trace.push(TraceEvent::Delivered { from, to });
+        self.probe.on_deliver(from, to, chain);
         let before = self.harnesses[to.index()].decision();
         self.harnesses[to.index()].deliver(from, &payload);
         let depth = &mut self.depth[to.index()];
@@ -299,18 +343,22 @@ impl ExecutionCore {
     /// window's sending phase.
     pub fn deliver_from_senders(&mut self, recipient: ProcessorId, senders: &[ProcessorId]) {
         let before = self.harnesses[recipient.index()].decision();
+        let mut depth = self.depth[recipient.index()];
         for &sender in senders {
             // Pop one message at a time rather than draining into a Vec: this
             // runs for every (recipient, sender) pair of every window, so the
             // receiving phase must not allocate.
-            while let Some(payload) = self.buffer.pop(sender, recipient) {
+            while let Some((payload, chain)) = self.buffer.pop_with_chain(sender, recipient) {
                 self.trace.push(TraceEvent::Delivered {
                     from: sender,
                     to: recipient,
                 });
+                self.probe.on_deliver(sender, recipient, chain);
+                depth = depth.max(chain);
                 self.harnesses[recipient.index()].deliver(sender, &payload);
             }
         }
+        self.depth[recipient.index()] = depth;
         let after = self.harnesses[recipient.index()].decision();
         if before.is_none() {
             if let Some(value) = after {
@@ -327,6 +375,7 @@ impl ExecutionCore {
     pub fn reset(&mut self, id: ProcessorId) {
         self.harnesses[id.index()].reset();
         self.resets_performed += 1;
+        self.probe.on_reset(id);
         self.trace.push(TraceEvent::Reset { id });
     }
 
@@ -346,8 +395,14 @@ impl ExecutionCore {
             return;
         }
         self.harnesses[id.index()].crash();
+        let dropped_before = self.buffer.dropped_count();
         self.buffer.drop_to(id);
+        let dropped = self.buffer.dropped_count() - dropped_before;
+        if dropped > 0 {
+            self.probe.on_drop(dropped);
+        }
         self.crashes_performed += 1;
+        self.probe.on_crash(id);
         self.trace.push(TraceEvent::Crashed { id });
     }
 
@@ -391,9 +446,18 @@ impl ExecutionCore {
         self.trace.push(event);
     }
 
-    /// Advances the scheduler clock by one unit (one window or one step).
-    pub fn advance_time(&mut self) {
+    /// Advances the scheduler clock by one acceptable window.
+    pub fn advance_window(&mut self) {
         self.time += 1;
+        self.windows += 1;
+        self.probe.on_window();
+    }
+
+    /// Advances the scheduler clock by one asynchronous adversary step.
+    pub fn advance_step(&mut self) {
+        self.time += 1;
+        self.steps += 1;
+        self.probe.on_step();
     }
 
     /// Marks the execution as halted by the adversary.
@@ -417,7 +481,7 @@ impl ExecutionCore {
 
     /// Runs `scheduler` until every correct processor has decided, the
     /// execution halts, or the scheduler's time cap from `limits` elapses.
-    pub fn run(&mut self, scheduler: &mut dyn Scheduler, limits: RunLimits) -> RunOutcome {
+    pub fn run(&mut self, scheduler: &mut dyn Scheduler<P>, limits: RunLimits) -> RunOutcome {
         scheduler.on_start(self);
         self.record_decision_progress();
         let cap = scheduler.max_time(&limits);
@@ -431,8 +495,30 @@ impl ExecutionCore {
 
     /// Produces the outcome snapshot, reporting the chain metric `scheduler`
     /// defines for its time model.
-    pub fn outcome_with(&self, scheduler: &dyn Scheduler) -> RunOutcome {
+    pub fn outcome_with(&self, scheduler: &dyn Scheduler<P>) -> RunOutcome {
         self.outcome(scheduler.longest_chain(self))
+    }
+
+    /// The structured metrics snapshot of the execution so far, assembled
+    /// from counters the core maintains anyway — no probe required.
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            messages_sent: self.buffer.enqueued_count(),
+            messages_delivered: self.buffer.delivered_count(),
+            messages_dropped: self.buffer.dropped_count(),
+            rounds: self
+                .harnesses
+                .iter()
+                .filter_map(|h| h.digest().round)
+                .max()
+                .unwrap_or(0),
+            windows: self.windows,
+            steps: self.steps,
+            resets_consumed: self.resets_performed,
+            crashes: self.crashes_performed,
+            coin_flips: self.harnesses.iter().map(|h| h.coin_flips()).sum(),
+            max_chain: self.depth.iter().copied().max().unwrap_or(0),
+        }
     }
 
     /// Produces the outcome snapshot of the execution so far with an explicit
@@ -444,6 +530,7 @@ impl ExecutionCore {
             .flat_map(|h| h.violations().iter().cloned())
             .chain(self.validity_violations())
             .collect();
+        let metrics = self.metrics();
         RunOutcome {
             decisions: self.decisions(),
             crashed: self.crashed(),
@@ -451,12 +538,13 @@ impl ExecutionCore {
             first_decision_at: self.first_decision_at,
             all_decided_at: self.all_decided_at,
             violations,
-            messages_sent: self.buffer.enqueued_count(),
-            messages_delivered: self.buffer.delivered_count(),
-            resets_performed: self.resets_performed,
-            crashes_performed: self.crashes_performed,
+            messages_sent: metrics.messages_sent,
+            messages_delivered: metrics.messages_delivered,
+            resets_performed: metrics.resets_consumed,
+            crashes_performed: metrics.crashes,
             longest_chain,
             halted_by_adversary: self.halted,
+            metrics,
             trace: self.trace.clone(),
         }
     }

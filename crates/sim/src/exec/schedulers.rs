@@ -14,6 +14,7 @@
 use agreement_model::TraceEvent;
 
 use crate::adversary::{AsyncAction, AsyncAdversary, WindowAdversary};
+use crate::metrics::{NoProbe, Probe};
 use crate::outcome::RunLimits;
 
 use super::ExecutionCore;
@@ -23,8 +24,10 @@ use super::ExecutionCore;
 /// The [`ExecutionCore`] owns all execution state; a scheduler only decides
 /// how to compose the core's primitive transitions (sending, receiving,
 /// resetting, crashing, corrupting) into steps, which [`RunLimits`] cap
-/// applies, and which chain metric the outcome reports.
-pub trait Scheduler {
+/// applies, and which chain metric the outcome reports. Schedulers are
+/// parametric in the core's [`Probe`] so the same scheduler drives
+/// instrumented and un-instrumented executions alike.
+pub trait Scheduler<P: Probe = NoProbe> {
     /// A short human-readable name, used in reports and panics.
     fn name(&self) -> &'static str;
 
@@ -32,19 +35,19 @@ pub trait Scheduler {
     /// processors and, where the model calls for it, flush initial sends.
     /// Must be idempotent: driving an execution step by step and then through
     /// [`ExecutionCore::run`] may invoke it more than once.
-    fn on_start(&mut self, core: &mut ExecutionCore) {
+    fn on_start(&mut self, core: &mut ExecutionCore<P>) {
         core.ensure_started();
     }
 
     /// Executes one unit of scheduled time. Returns `false` once the
     /// execution has halted; further calls must be no-ops.
-    fn step(&mut self, core: &mut ExecutionCore) -> bool;
+    fn step(&mut self, core: &mut ExecutionCore<P>) -> bool;
 
     /// The cap from `limits` that applies to this scheduler's time unit.
     fn max_time(&self, limits: &RunLimits) -> u64;
 
     /// The longest-chain metric this model reports in its outcome.
-    fn longest_chain(&self, core: &ExecutionCore) -> u64;
+    fn longest_chain(&self, core: &ExecutionCore<P>) -> u64;
 }
 
 /// The strongly adaptive model (Section 2): time advances one acceptable
@@ -68,7 +71,7 @@ impl<A: WindowAdversary + ?Sized> WindowScheduler<&mut A> {
     ///
     /// Panics if the adversary returns a window violating Definition 1 — that
     /// is a bug in the adversary implementation, not a legitimate execution.
-    pub fn step_window(&mut self, core: &mut ExecutionCore) {
+    pub fn step_window<P: Probe>(&mut self, core: &mut ExecutionCore<P>) {
         core.ensure_started();
         // Anything not delivered in the previous window is never delivered.
         core.discard_undelivered();
@@ -95,17 +98,17 @@ impl<A: WindowAdversary + ?Sized> WindowScheduler<&mut A> {
             core.reset(id);
         }
 
-        core.advance_time();
+        core.advance_window();
         core.record_decision_progress();
     }
 }
 
-impl<A: WindowAdversary + ?Sized> Scheduler for WindowScheduler<&mut A> {
+impl<A: WindowAdversary + ?Sized, P: Probe> Scheduler<P> for WindowScheduler<&mut A> {
     fn name(&self) -> &'static str {
         self.adversary.name()
     }
 
-    fn step(&mut self, core: &mut ExecutionCore) -> bool {
+    fn step(&mut self, core: &mut ExecutionCore<P>) -> bool {
         self.step_window(core);
         true
     }
@@ -116,7 +119,7 @@ impl<A: WindowAdversary + ?Sized> Scheduler for WindowScheduler<&mut A> {
 
     /// Windowed running time is measured in windows; the chain metric reports
     /// the window of the first decision (zero while undecided).
-    fn longest_chain(&self, core: &ExecutionCore) -> u64 {
+    fn longest_chain(&self, core: &ExecutionCore<P>) -> u64 {
         core.windowed_chain_metric()
     }
 }
@@ -135,7 +138,7 @@ impl<'a> AsyncScheduler<&'a mut dyn AsyncAdversary> {
     }
 }
 
-impl<A: AsyncAdversary + ?Sized> Scheduler for AsyncScheduler<&mut A> {
+impl<A: AsyncAdversary + ?Sized, P: Probe> Scheduler<P> for AsyncScheduler<&mut A> {
     fn name(&self) -> &'static str {
         self.adversary.name()
     }
@@ -143,17 +146,17 @@ impl<A: AsyncAdversary + ?Sized> Scheduler for AsyncScheduler<&mut A> {
     /// Starting the asynchronous model immediately performs every processor's
     /// initial sending step: the adversary schedules deliveries from the very
     /// first action.
-    fn on_start(&mut self, core: &mut ExecutionCore) {
+    fn on_start(&mut self, core: &mut ExecutionCore<P>) {
         core.ensure_started();
         core.flush_all_outboxes();
     }
 
-    fn step(&mut self, core: &mut ExecutionCore) -> bool {
+    fn step(&mut self, core: &mut ExecutionCore<P>) -> bool {
         if core.is_halted() {
             return false;
         }
         let action = core.with_view(|view| self.adversary.next_action(view));
-        core.advance_time();
+        core.advance_step();
         match action {
             AsyncAction::Deliver { from, to } => core.deliver_one(from, to),
             AsyncAction::Crash(id) => core.crash(id),
@@ -171,7 +174,7 @@ impl<A: AsyncAdversary + ?Sized> Scheduler for AsyncScheduler<&mut A> {
 
     /// Asynchronous running time is the longest message chain preceding the
     /// first decision (Section 5's metric), tracked causally by the core.
-    fn longest_chain(&self, core: &ExecutionCore) -> u64 {
+    fn longest_chain(&self, core: &ExecutionCore<P>) -> u64 {
         core.causal_chain_metric()
     }
 }

@@ -28,6 +28,7 @@ pub struct HarnessCore {
     reset_count: u64,
     crashed: bool,
     rng: ProcessorRng,
+    coin_flips: u64,
     outbox: Vec<Envelope>,
     violations: Vec<String>,
 }
@@ -50,14 +51,17 @@ impl Context for HarnessCore {
     }
 
     fn random_bit(&mut self) -> Bit {
+        self.coin_flips += 1;
         self.rng.bit()
     }
 
     fn random_range(&mut self, bound: u64) -> u64 {
+        self.coin_flips += 1;
         self.rng.range(bound)
     }
 
     fn random_ticket(&mut self) -> u64 {
+        self.coin_flips += 1;
         self.rng.ticket()
     }
 
@@ -103,6 +107,7 @@ impl ProcessorHarness {
                 reset_count: 0,
                 crashed: false,
                 rng: ProcessorRng::for_processor(master_seed, id),
+                coin_flips: 0,
                 outbox: Vec::new(),
                 violations: Vec::new(),
             },
@@ -134,6 +139,12 @@ impl ProcessorHarness {
     /// How many times the processor has been reset.
     pub fn reset_count(&self) -> u64 {
         self.core.reset_count
+    }
+
+    /// How many private random draws (bits, ranges, tickets) the protocol has
+    /// made. Durable instrumentation: resets do not clear it.
+    pub fn coin_flips(&self) -> u64 {
+        self.core.coin_flips
     }
 
     /// Conflicting-decision violations recorded so far.

@@ -71,6 +71,7 @@ mod async_engine;
 mod buffer;
 pub mod exec;
 mod harness;
+mod metrics;
 mod outcome;
 mod window;
 mod window_engine;
@@ -83,6 +84,7 @@ pub use async_engine::{run_async, AsyncEngine};
 pub use buffer::MessageBuffer;
 pub use exec::{AsyncScheduler, ExecutionCore, Scheduler, WindowScheduler};
 pub use harness::{HarnessCore, ProcessorHarness};
+pub use metrics::{Metrics, MetricsProbe, NoProbe, Probe};
 pub use outcome::{RunLimits, RunOutcome};
 pub use window::{Window, WindowError};
 pub use window_engine::{run_windowed, WindowEngine};

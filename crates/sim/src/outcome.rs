@@ -2,6 +2,8 @@
 
 use agreement_model::{Bit, InputAssignment, Trace};
 
+use crate::metrics::Metrics;
+
 /// Caps on how long an engine will run before giving up.
 ///
 /// The paper's executions are infinite objects; an experiment must cut them
@@ -73,18 +75,31 @@ pub struct RunOutcome {
     /// Correctness violations observed (conflicting decisions, invalid values).
     pub violations: Vec<String>,
     /// Total messages placed into the buffer.
+    ///
+    /// Mirror of [`Metrics::messages_sent`], kept for compatibility.
     pub messages_sent: u64,
     /// Total messages delivered.
+    ///
+    /// Mirror of [`Metrics::messages_delivered`], kept for compatibility.
     pub messages_delivered: u64,
     /// Total resetting steps performed.
+    ///
+    /// Mirror of [`Metrics::resets_consumed`], kept for compatibility.
     pub resets_performed: u64,
     /// Total crash steps performed.
+    ///
+    /// Mirror of [`Metrics::crashes`], kept for compatibility.
     pub crashes_performed: u64,
-    /// Length of the longest message chain preceding the first decision
-    /// (asynchronous engine only; `0` for the window engine).
+    /// The scheduler's running-time chain metric: the causal chain preceding
+    /// the first decision for asynchronous runs, the window of the first
+    /// decision for windowed runs (see [`Metrics::max_chain`] for the
+    /// model-independent causal watermark).
     pub longest_chain: u64,
     /// `true` if the adversary halted the execution before the limit.
     pub halted_by_adversary: bool,
+    /// Structured counters of everything the execution did (messages,
+    /// windows/steps, resets, crashes, coin flips, causal chains).
+    pub metrics: Metrics,
     /// The bounded event trace of the run.
     pub trace: Trace,
 }
@@ -160,6 +175,7 @@ mod tests {
             crashes_performed: 0,
             longest_chain: 0,
             halted_by_adversary: false,
+            metrics: Metrics::default(),
             trace: Trace::new(),
         }
     }

@@ -26,15 +26,16 @@ use agreement_model::{Bit, InputAssignment, ProtocolBuilder, StateDigest, System
 
 use crate::adversary::WindowAdversary;
 use crate::exec::{ExecutionCore, WindowScheduler};
+use crate::metrics::{NoProbe, Probe};
 use crate::outcome::{RunLimits, RunOutcome};
 
 /// An execution of the strongly adaptive (acceptable-window) model.
 #[derive(Debug)]
-pub struct WindowEngine {
-    core: ExecutionCore,
+pub struct WindowEngine<P: Probe = NoProbe> {
+    core: ExecutionCore<P>,
 }
 
-impl WindowEngine {
+impl WindowEngine<NoProbe> {
     /// Creates an engine for `cfg.n()` processors with the given inputs.
     ///
     /// # Panics
@@ -46,8 +47,25 @@ impl WindowEngine {
         builder: &dyn ProtocolBuilder,
         master_seed: u64,
     ) -> Self {
+        WindowEngine::with_probe(cfg, inputs, builder, master_seed, NoProbe)
+    }
+}
+
+impl<P: Probe> WindowEngine<P> {
+    /// Creates an engine whose execution is observed by `probe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
+    pub fn with_probe(
+        cfg: SystemConfig,
+        inputs: InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+        probe: P,
+    ) -> Self {
         WindowEngine {
-            core: ExecutionCore::new(cfg, inputs, builder, master_seed),
+            core: ExecutionCore::with_probe(cfg, inputs, builder, master_seed, probe),
         }
     }
 
@@ -82,7 +100,7 @@ impl WindowEngine {
     }
 
     /// Read access to the shared execution core driving this engine.
-    pub fn core(&self) -> &ExecutionCore {
+    pub fn core(&self) -> &ExecutionCore<P> {
         &self.core
     }
 

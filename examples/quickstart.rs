@@ -34,9 +34,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("decided value      : {:?}", outcome.decided_value());
     println!("windows to decision: {:?}", outcome.all_decided_at);
-    println!("resets performed   : {}", outcome.resets_performed);
     println!("agreement holds    : {}", outcome.agreement_holds());
     println!("validity holds     : {}", outcome.validity_holds(&inputs));
+
+    // Every outcome carries structured metrics: message, reset and coin-flip
+    // counts, plus the longest causal message chain any processor received.
+    let metrics = outcome.metrics;
+    println!("resets performed   : {}", metrics.resets_consumed);
+    println!("messages sent      : {}", metrics.messages_sent);
+    println!("max causal chain   : {}", metrics.max_chain);
     assert!(outcome.is_correct(&inputs));
+    assert_eq!(metrics.windows, outcome.duration);
     Ok(())
 }

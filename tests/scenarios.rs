@@ -1,6 +1,7 @@
-//! Property tests for the data-driven scenario layer.
+//! Property tests for the data-driven scenario layer and its structured
+//! report pipeline.
 //!
-//! Two guarantees are pinned here:
+//! Four guarantees are pinned here:
 //!
 //! 1. **Determinism** — every scenario in the registry, run at
 //!    `Scale::Quick`, produces an identical [`RunOutcome`] when re-run with
@@ -9,10 +10,20 @@
 //!    bytes the pre-scenario hand-rolled trial loops produced: re-running E1's
 //!    workloads through the raw `TrialPlan`/`run_window_trials` path (the old
 //!    implementation, inlined here) yields cell-for-cell identical rows.
+//! 3. **Machine readability** — the per-scenario JSON records the `scenarios`
+//!    binary emits under `--json` round-trip through the in-tree parser, and
+//!    every per-trial JSONL line parses back into its [`TrialRecord`].
+//! 4. **Thread-count invariance** — record streams (and therefore every sink
+//!    output derived from them) are bit-identical across campaign thread
+//!    counts.
 
 use agreement::adversary::{RotatingResetAdversary, SplitVoteAdversary};
-use agreement::core::experiments::{exp1_correctness, Scale};
-use agreement::core::{fmt_f64, fmt_rate, run_window_trials, scenario_registry, TrialPlan};
+use agreement::analysis::JsonValue;
+use agreement::core::experiments::{exp1_correctness, exp1_specs, Scale};
+use agreement::core::{
+    fmt_f64, fmt_rate, run_window_trials, scenario_registry, Campaign, JsonReportSink, JsonlSink,
+    ReportSink, TrialPlan, TrialRecord,
+};
 use agreement::model::{Bit, InputAssignment, SystemConfig};
 use agreement::protocols::ResetTolerantBuilder;
 use agreement::sim::RunLimits;
@@ -82,4 +93,96 @@ fn declarative_e1_matches_the_hand_rolled_trial_loops() {
         &expected_rows[..],
         "the declarative E1 table must be byte-identical to the hand-rolled loops"
     );
+}
+
+#[test]
+fn e1_json_records_round_trip_through_the_in_tree_parser() {
+    // The in-process version of the CI job:
+    // `scenarios --filter e1 --json out.json && scenarios --check out.json`.
+    let mut sink = JsonReportSink::new();
+    for spec in exp1_specs(Scale::Quick).iter().map(|s| {
+        let mut s = s.clone();
+        s.trials = 3;
+        s
+    }) {
+        let mut sinks: Vec<&mut dyn ReportSink> = vec![&mut sink];
+        spec.run_with_sinks(&Campaign::default(), &mut sinks)
+            .unwrap_or_else(|err| panic!("{} failed: {err}", spec.id()));
+    }
+    let doc = sink.into_json();
+    let text = doc.to_string();
+    let parsed = JsonValue::parse(&text).expect("emitted scenario JSON parses");
+    assert_eq!(parsed, doc, "emit → parse must not change the document");
+
+    let scenarios = parsed
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .expect("document carries a scenarios array");
+    assert_eq!(scenarios.len(), exp1_specs(Scale::Quick).len());
+    for entry in scenarios {
+        let id = entry.get("id").and_then(JsonValue::as_str).unwrap();
+        assert!(id.starts_with("e1/"), "unexpected id {id}");
+        assert_eq!(entry.get("trials").and_then(JsonValue::as_u64), Some(3));
+        let agreement = entry
+            .get("agreement_rate")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert_eq!(agreement, 1.0, "E1 scenarios must agree: {id}");
+        assert!(
+            entry.get("decision_time_dist").is_some(),
+            "records carry distributions"
+        );
+    }
+}
+
+#[test]
+fn jsonl_streams_are_bit_identical_across_thread_counts() {
+    let spec = {
+        let mut spec = exp1_specs(Scale::Quick)
+            .into_iter()
+            .find(|s| s.adversary == "split-vote")
+            .expect("E1 registers a split-vote workload");
+        spec.trials = 8;
+        spec
+    };
+
+    let emit = |campaign: &Campaign| -> String {
+        let mut sink = JsonlSink::new();
+        let mut sinks: Vec<&mut dyn ReportSink> = vec![&mut sink];
+        spec.run_with_sinks(campaign, &mut sinks)
+            .expect("spec runs");
+        sink.into_string()
+    };
+
+    let serial = emit(&Campaign::serial());
+    assert_eq!(serial.lines().count(), 8);
+    for threads in [2usize, 3, 0] {
+        let parallel = emit(&Campaign::with_threads(threads));
+        assert_eq!(
+            serial, parallel,
+            "thread count {threads} changed the JSONL byte stream"
+        );
+    }
+
+    // Every line parses back into the record it came from, in trial order.
+    for (i, line) in serial.lines().enumerate() {
+        let value = JsonValue::parse(line).expect("JSONL line parses");
+        let record = TrialRecord::from_json(&value).expect("line is a full record");
+        assert_eq!(record.trial, i as u64);
+        assert_eq!(record.seed, spec.base_seed + i as u64);
+    }
+}
+
+#[test]
+fn scenario_reports_expose_distributions_consistent_with_the_aggregate() {
+    let mut spec = exp1_specs(Scale::Quick).remove(0);
+    spec.trials = 5;
+    let report = spec.run().expect("spec runs");
+    let aggregate = &report.aggregate;
+    assert_eq!(report.decision_times.count(), 5);
+    assert_eq!(report.decision_times.min(), aggregate.decision_time.min);
+    assert_eq!(report.decision_times.max(), aggregate.decision_time.max);
+    assert_eq!(report.decision_times.summary(), aggregate.decision_time);
+    assert_eq!(report.message_counts.summary(), aggregate.messages);
+    assert!(report.decision_times.percentile(50.0) <= report.decision_times.percentile(90.0));
 }
