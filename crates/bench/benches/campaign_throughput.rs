@@ -1,0 +1,133 @@
+//! The campaign hot-path throughput guard.
+//!
+//! Measures end-to-end campaign throughput — seeded trials distilled into
+//! `TrialRecord`s per second — on three E-series-shaped workloads, and
+//! compares each number against the baseline recorded in
+//! `crates/bench/baselines/campaign_throughput.json`. This is the number the
+//! trace-gating / arena / workspace optimisations move: unlike `exec_core`
+//! (which times raw scheduler steps on a fresh core), this bench pays every
+//! per-trial cost a real campaign pays — core construction or reuse, the full
+//! run, and the distillation into a record.
+//!
+//! Workloads:
+//!
+//! * `windowed/reset_tolerant/split_vote/13` — the E1 shape: the Section 3
+//!   reset-tolerant protocol under the split-vote balancing adversary.
+//! * `windowed/reset_tolerant/full_delivery/25` — the benign windowed
+//!   baseline at the larger E-series size.
+//! * `async/ben_or/fair/8` — Ben-Or under fair round-robin asynchronous
+//!   scheduling (the E6-style async shape).
+//!
+//! Trials run on `Campaign::serial()` so the measurement is per-worker
+//! throughput, free of thread-scheduling noise; the parallel campaign scales
+//! this number by the worker count.
+
+use std::time::Duration;
+
+use agreement_bench::baseline::{baseline_path, Baseline, Verdict};
+use agreement_bench::harness::BenchGroup;
+
+use agreement_adversary::SplitVoteAdversary;
+use agreement_core::{Campaign, TrialPlan};
+use agreement_model::{InputAssignment, SystemConfig};
+use agreement_protocols::{BenOrBuilder, ResetTolerantBuilder};
+use agreement_sim::{FairAsyncAdversary, FullDeliveryAdversary, RunLimits};
+
+/// Fractional slowdown tolerated before a measurement is flagged (loose: the
+/// baseline is recorded on unspecified hardware; the guard tracks trajectory).
+const TOLERANCE: f64 = 0.6;
+/// Trials per timed iteration: enough for the per-worker workspace reuse to
+/// amortise, small enough to keep the bench under a few seconds.
+const TRIALS_PER_ITER: u64 = 8;
+
+fn group() -> BenchGroup {
+    BenchGroup::new("campaign_throughput")
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+/// E1 shape: reset-tolerant protocol vs the split-vote adversary, n = 13.
+fn windowed_split_vote(n: usize) -> f64 {
+    let cfg = SystemConfig::with_sixth_resilience(n).unwrap();
+    let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+    let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(n))
+        .trials(TRIALS_PER_ITER)
+        .limits(RunLimits::windows(2_000));
+    let campaign = Campaign::serial();
+    let stats = group().bench(format!("windowed/reset_tolerant/split_vote/{n}"), || {
+        campaign.run_windowed_records(&plan, &builder, |_seed| SplitVoteAdversary::new())
+    });
+    stats.throughput() * TRIALS_PER_ITER as f64
+}
+
+/// Benign windowed baseline at the larger E-series size.
+fn windowed_full_delivery(n: usize) -> f64 {
+    let cfg = SystemConfig::with_sixth_resilience(n).unwrap();
+    let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+    let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(n))
+        .trials(TRIALS_PER_ITER)
+        .limits(RunLimits::windows(2_000));
+    let campaign = Campaign::serial();
+    let stats = group().bench(format!("windowed/reset_tolerant/full_delivery/{n}"), || {
+        campaign.run_windowed_records(&plan, &builder, |_seed| FullDeliveryAdversary)
+    });
+    stats.throughput() * TRIALS_PER_ITER as f64
+}
+
+/// E6-style async shape: Ben-Or under fair round-robin scheduling.
+fn async_ben_or(n: usize) -> f64 {
+    let cfg = SystemConfig::new(n, 1).unwrap();
+    let builder = BenOrBuilder::new();
+    let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(n))
+        .trials(TRIALS_PER_ITER)
+        .limits(RunLimits::small());
+    let campaign = Campaign::serial();
+    let stats = group().bench(format!("async/ben_or/fair/{n}"), || {
+        campaign.run_async_records(&plan, &builder, |_seed| FairAsyncAdversary::default())
+    });
+    stats.throughput() * TRIALS_PER_ITER as f64
+}
+
+fn main() {
+    let record = std::env::args().any(|a| a == "--record");
+    let path = baseline_path("campaign_throughput");
+    let baseline = Baseline::load(&path).unwrap_or_else(|err| {
+        eprintln!("warning: could not load baseline ({err}); continuing without");
+        Baseline::new()
+    });
+
+    let mut measured = Baseline::new();
+    measured.set(
+        "windowed/reset_tolerant/split_vote/13",
+        windowed_split_vote(13),
+    );
+    measured.set(
+        "windowed/reset_tolerant/full_delivery/25",
+        windowed_full_delivery(25),
+    );
+    measured.set("async/ben_or/fair/8", async_ben_or(8));
+
+    println!("\n== campaign throughput (trials/sec) vs recorded baseline ==");
+    let mut regressions = 0;
+    for (name, throughput) in measured.iter() {
+        let verdict = baseline.check(name, throughput, TOLERANCE);
+        if matches!(verdict, Verdict::Regression { .. }) {
+            regressions += 1;
+        }
+        println!("{name:<42} {throughput:>12.2} trials/s  {verdict}");
+    }
+
+    if record {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create baselines dir");
+        std::fs::write(&path, measured.to_json()).expect("write baseline");
+        println!("recorded new baseline at {}", path.display());
+    } else if regressions > 0 {
+        println!(
+            "{regressions} measurement(s) regressed beyond the {TOLERANCE} tolerance; \
+             investigate before merging (or re-record with --record if intentional)"
+        );
+    } else {
+        println!("no regressions beyond the {TOLERANCE} tolerance");
+    }
+}

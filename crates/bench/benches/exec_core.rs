@@ -17,8 +17,8 @@ use agreement_adversary::RotatingResetAdversary;
 use agreement_model::{Bit, Envelope, InputAssignment, Payload, ProcessorId, SystemConfig};
 use agreement_protocols::{BenOrBuilder, ResetTolerantBuilder};
 use agreement_sim::{
-    AsyncScheduler, ExecutionCore, FairAsyncAdversary, FullDeliveryAdversary, MessageBuffer,
-    Scheduler, WindowScheduler,
+    AsyncScheduler, ExecutionCore, FairAsyncAdversary, FullDeliveryAdversary, FullTrace,
+    MessageBuffer, NoProbe, NoTrace, Recorder, Scheduler, WindowScheduler,
 };
 
 /// Fractional slowdown tolerated before a measurement is flagged. Baselines
@@ -28,8 +28,8 @@ const TOLERANCE: f64 = 0.6;
 const WINDOWS_PER_ITER: u64 = 50;
 const STEPS_PER_ITER: u64 = 500;
 
-fn drive_windows(
-    mut core: ExecutionCore,
+fn drive_windows<R: Recorder>(
+    mut core: ExecutionCore<NoProbe, R>,
     mut adversary: impl agreement_sim::WindowAdversary,
 ) -> u64 {
     let mut scheduler = WindowScheduler::new(&mut adversary);
@@ -39,20 +39,25 @@ fn drive_windows(
     core.time()
 }
 
-fn window_throughput(n: usize, benign: bool) -> f64 {
+/// One windowed measurement, parametric in the recorder so the traced and
+/// trace-compiled-out variants share workload, budget and throughput math —
+/// their gap is exactly the per-message cost of tracing.
+fn window_case<R: Recorder>(n: usize, label: &str, benign: bool) -> f64 {
     let cfg = SystemConfig::with_sixth_resilience(n).unwrap();
     let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
     let group = BenchGroup::new("exec_core")
         .sample_size(10)
         .measurement_time(Duration::from_secs(1))
         .warm_up_time(Duration::from_millis(300));
-    let label = if benign {
-        "full_delivery"
-    } else {
-        "rotating_reset"
-    };
     let stats = group.bench(format!("windows/{label}/{n}"), || {
-        let core = ExecutionCore::new(cfg, InputAssignment::evenly_split(n), &builder, 1);
+        let core = ExecutionCore::with_parts(
+            cfg,
+            InputAssignment::evenly_split(n),
+            &builder,
+            1,
+            NoProbe,
+            R::default(),
+        );
         if benign {
             drive_windows(core, FullDeliveryAdversary)
         } else {
@@ -60,6 +65,19 @@ fn window_throughput(n: usize, benign: bool) -> f64 {
         }
     });
     stats.throughput() * WINDOWS_PER_ITER as f64
+}
+
+fn window_throughput(n: usize, benign: bool) -> f64 {
+    let label = if benign {
+        "full_delivery"
+    } else {
+        "rotating_reset"
+    };
+    window_case::<FullTrace>(n, label, benign)
+}
+
+fn window_throughput_no_trace(n: usize) -> f64 {
+    window_case::<NoTrace>(n, "full_delivery_no_trace", true)
 }
 
 fn async_throughput(n: usize) -> f64 {
@@ -134,6 +152,10 @@ fn main() {
     let mut measured = Baseline::new();
     measured.set("windows/full_delivery/13", window_throughput(13, true));
     measured.set("windows/full_delivery/25", window_throughput(25, true));
+    measured.set(
+        "windows/full_delivery_no_trace/13",
+        window_throughput_no_trace(13),
+    );
     measured.set("windows/rotating_reset/13", window_throughput(13, false));
     measured.set("async_steps/fair/8", async_throughput(8));
     measured.set("buffer/flat_churn/25", buffer_churn_throughput(25));

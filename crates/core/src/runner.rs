@@ -12,18 +12,23 @@
 //! including the serial path: parallelism changes only wall-clock time,
 //! never results.
 //!
-//! Each trial's [`RunOutcome`] is distilled into a
-//! [`TrialRecord`](crate::TrialRecord) *inside* the worker (dropping the
-//! heavyweight trace early); aggregation into an [`Aggregate`] is one
-//! consumer of the record stream ([`Aggregate::from_records`]), the report
-//! sinks of [`crate::record`] are the others.
+//! Each worker owns a reusable
+//! [`TrialWorkspace`](agreement_sim::TrialWorkspace): trials run with trace
+//! emission compiled out (`NoTrace` — a campaign drops every trace unread)
+//! inside an execution core whose allocations persist from seed to seed. The
+//! trial's [`RunOutcome`] is distilled into a
+//! [`TrialRecord`](crate::TrialRecord) *inside* the worker; aggregation into
+//! an [`Aggregate`] is one consumer of the record stream
+//! ([`Aggregate::from_records`]), the report sinks of [`crate::record`] are
+//! the others. The workspace path is bit-identical to running every trial on
+//! a fresh, trace-keeping engine — pinned by the equivalence tests.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use agreement_analysis::Summary;
 use agreement_model::{InputAssignment, ProtocolBuilder, SystemConfig};
-use agreement_sim::{run_async, run_windowed, AsyncAdversary, RunLimits, WindowAdversary};
+use agreement_sim::{AsyncAdversary, RunLimits, TrialWorkspace, WindowAdversary};
 
 use crate::record::TrialRecord;
 
@@ -116,22 +121,38 @@ impl Campaign {
 
     /// Executes `trials` seeded tasks and returns their results **in trial
     /// order**, regardless of which worker ran which trial.
-    fn run_trials<T: Send>(&self, trials: u64, run_one: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    ///
+    /// Every worker (the calling thread included, on the serial path) owns
+    /// one [`TrialWorkspace`] for its whole run: `run_one` executes each
+    /// claimed trial inside it, so core allocations are reused from seed to
+    /// seed instead of rebuilt per trial. Which worker ran a trial never
+    /// affects its result (executions are seed-deterministic and the
+    /// workspace leaks no state between trials), so the stream stays
+    /// bit-identical across thread counts.
+    fn run_trials<T: Send>(
+        &self,
+        trials: u64,
+        run_one: impl Fn(&mut TrialWorkspace, u64) -> T + Sync,
+    ) -> Vec<T> {
         let workers = self.worker_count(trials);
         if workers <= 1 {
-            return (0..trials).map(run_one).collect();
+            let mut workspace = TrialWorkspace::new();
+            return (0..trials).map(|t| run_one(&mut workspace, t)).collect();
         }
         let next = AtomicU64::new(0);
         let slots: Vec<Mutex<Option<T>>> = (0..trials).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let trial = next.fetch_add(1, Ordering::Relaxed);
-                    if trial >= trials {
-                        break;
+                scope.spawn(|| {
+                    let mut workspace = TrialWorkspace::new();
+                    loop {
+                        let trial = next.fetch_add(1, Ordering::Relaxed);
+                        if trial >= trials {
+                            break;
+                        }
+                        let outcome = run_one(&mut workspace, trial);
+                        *slots[trial as usize].lock().expect("trial slot poisoned") = Some(outcome);
                     }
-                    let outcome = run_one(trial);
-                    *slots[trial as usize].lock().expect("trial slot poisoned") = Some(outcome);
                 });
             }
         });
@@ -158,12 +179,12 @@ impl Campaign {
         A: WindowAdversary,
         F: Fn(u64) -> A + Sync,
     {
-        self.run_trials(plan.trials, |trial| {
+        self.run_trials(plan.trials, |workspace, trial| {
             let seed = plan.base_seed + trial;
             let mut adversary = make_adversary(seed);
-            let outcome = run_windowed(
+            let outcome = workspace.run_windowed(
                 plan.cfg,
-                plan.inputs.clone(),
+                &plan.inputs,
                 builder,
                 &mut adversary,
                 seed,
@@ -186,12 +207,12 @@ impl Campaign {
         A: AsyncAdversary,
         F: Fn(u64) -> A + Sync,
     {
-        self.run_trials(plan.trials, |trial| {
+        self.run_trials(plan.trials, |workspace, trial| {
             let seed = plan.base_seed + trial;
             let mut adversary = make_adversary(seed);
-            let outcome = run_async(
+            let outcome = workspace.run_async(
                 plan.cfg,
-                plan.inputs.clone(),
+                &plan.inputs,
                 builder,
                 &mut adversary,
                 seed,

@@ -55,5 +55,5 @@ pub use ids::{ProcessorId, RoundNumber};
 pub use message::{CommitteeMsg, Envelope, Payload, RbcStep};
 pub use protocol::{Context, Protocol, ProtocolBuilder, StateDigest};
 pub use rng::{derive_seed, splitmix64, ProcessorRng};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{FullTrace, NoTrace, Recorder, Trace, TraceEvent};
 pub use value::{Bit, InputAssignment, OutputRegister};

@@ -186,6 +186,99 @@ impl Trace {
     }
 }
 
+/// Compile-time gate on trace emission: either record every event into a
+/// [`Trace`] ([`FullTrace`]) or discard everything at zero cost ([`NoTrace`]).
+///
+/// Execution engines are generic over their recorder, so the choice
+/// monomorphizes: with [`NoTrace`] every `record` call is an empty inlined
+/// body and the event construction folds away entirely — the campaign hot
+/// path pays nothing per message for tracing it will never read. Lazily
+/// built events (violation descriptions, which allocate a `String`) go
+/// through [`Recorder::record_with`], so even their formatting is skipped
+/// when tracing is off.
+///
+/// Pick [`FullTrace`] for single runs you want to inspect or debug; pick
+/// [`NoTrace`] for campaigns that distill each trial into a record and drop
+/// the trace unread.
+pub trait Recorder: Default {
+    /// `true` when recorded events are actually retained. Lets generic code
+    /// (and tests) assert which mode it is running in.
+    const IS_RECORDING: bool;
+
+    /// Records an event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Records a lazily-built event; `make` runs only when events are
+    /// retained, so expensive event payloads (formatted violation strings)
+    /// cost nothing under [`NoTrace`].
+    fn record_with(&mut self, make: impl FnOnce() -> TraceEvent);
+
+    /// Moves the accumulated trace out of the recorder, leaving it empty.
+    /// [`NoTrace`] returns an empty trace (no allocation).
+    fn take_trace(&mut self) -> Trace;
+
+    /// Clears the recorder for reuse by the next execution.
+    fn reset(&mut self);
+}
+
+/// Records every event into an owned [`Trace`] (the diagnostic default).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FullTrace(Trace);
+
+impl FullTrace {
+    /// A recorder with an empty trace at the default capacity.
+    pub fn new() -> Self {
+        FullTrace(Trace::new())
+    }
+
+    /// Read access to the trace accumulated so far.
+    pub fn trace(&self) -> &Trace {
+        &self.0
+    }
+}
+
+impl Recorder for FullTrace {
+    const IS_RECORDING: bool = true;
+
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.0.push(event);
+    }
+
+    #[inline]
+    fn record_with(&mut self, make: impl FnOnce() -> TraceEvent) {
+        self.0.push(make());
+    }
+
+    fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.0)
+    }
+
+    fn reset(&mut self) {
+        self.0 = Trace::new();
+    }
+}
+
+/// Discards every event at compile time (the campaign hot-path choice).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoTrace;
+
+impl Recorder for NoTrace {
+    const IS_RECORDING: bool = false;
+
+    #[inline]
+    fn record(&mut self, _event: TraceEvent) {}
+
+    #[inline]
+    fn record_with(&mut self, _make: impl FnOnce() -> TraceEvent) {}
+
+    fn take_trace(&mut self) -> Trace {
+        Trace::new()
+    }
+
+    fn reset(&mut self) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,5 +348,34 @@ mod tests {
         let t = Trace::new();
         assert_eq!(t.stored().len(), 0);
         assert_eq!(t.total_events(), 0);
+    }
+
+    #[test]
+    fn full_trace_records_and_take_empties() {
+        let mut rec = FullTrace::new();
+        rec.record(TraceEvent::WindowStarted { index: 0 });
+        rec.record_with(|| TraceEvent::Violation {
+            description: "x".to_string(),
+        });
+        assert_eq!(rec.trace().total_events(), 2);
+        let taken = rec.take_trace();
+        assert_eq!(taken.total_events(), 2);
+        assert_eq!(taken.violation_count(), 1);
+        assert_eq!(rec.trace().total_events(), 0, "take leaves an empty trace");
+        assert!(is_recording::<FullTrace>());
+    }
+
+    fn is_recording<R: Recorder>() -> bool {
+        R::IS_RECORDING
+    }
+
+    #[test]
+    fn no_trace_discards_everything_and_never_formats() {
+        let mut rec = NoTrace;
+        rec.record(TraceEvent::WindowStarted { index: 0 });
+        rec.record_with(|| unreachable!("lazy events must not be built under NoTrace"));
+        assert_eq!(rec.take_trace().total_events(), 0);
+        assert_eq!(std::mem::size_of::<NoTrace>(), 0);
+        assert!(!is_recording::<NoTrace>());
     }
 }

@@ -196,9 +196,23 @@ impl fmt::Display for OutputRegister {
 /// assert_eq!(split.count(Bit::Zero), 2);
 /// assert_eq!(split.count(Bit::One), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct InputAssignment {
     bits: Vec<Bit>,
+}
+
+impl Clone for InputAssignment {
+    fn clone(&self) -> Self {
+        InputAssignment {
+            bits: self.bits.clone(),
+        }
+    }
+
+    /// Reuses the destination's allocation (campaign workspaces re-clone the
+    /// plan's inputs once per trial; the buffer must stay warm).
+    fn clone_from(&mut self, source: &Self) {
+        self.bits.clone_from(&source.bits);
+    }
 }
 
 impl InputAssignment {

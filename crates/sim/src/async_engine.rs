@@ -19,7 +19,9 @@
 //! and the per-message scheduling in
 //! [`AsyncScheduler`](crate::exec::AsyncScheduler).
 
-use agreement_model::{Bit, InputAssignment, ProtocolBuilder, StateDigest, SystemConfig};
+use agreement_model::{
+    Bit, FullTrace, InputAssignment, ProtocolBuilder, Recorder, StateDigest, SystemConfig,
+};
 
 use crate::adversary::AsyncAdversary;
 use crate::exec::{AsyncScheduler, ExecutionCore, Scheduler};
@@ -28,11 +30,11 @@ use crate::outcome::{RunLimits, RunOutcome};
 
 /// An execution of the fully asynchronous model with crash/Byzantine faults.
 #[derive(Debug)]
-pub struct AsyncEngine<P: Probe = NoProbe> {
-    core: ExecutionCore<P>,
+pub struct AsyncEngine<P: Probe = NoProbe, R: Recorder = FullTrace> {
+    core: ExecutionCore<P, R>,
 }
 
-impl AsyncEngine<NoProbe> {
+impl AsyncEngine<NoProbe, FullTrace> {
     /// Creates the engine, runs every processor's `on_start`, and places the
     /// initial messages into the buffer.
     ///
@@ -49,7 +51,7 @@ impl AsyncEngine<NoProbe> {
     }
 }
 
-impl<P: Probe> AsyncEngine<P> {
+impl<P: Probe> AsyncEngine<P, FullTrace> {
     /// Like [`AsyncEngine::new`], but the execution is observed by `probe`.
     ///
     /// # Panics
@@ -62,7 +64,27 @@ impl<P: Probe> AsyncEngine<P> {
         master_seed: u64,
         probe: P,
     ) -> Self {
-        let mut core = ExecutionCore::with_probe(cfg, inputs, builder, master_seed, probe);
+        AsyncEngine::with_parts(cfg, inputs, builder, master_seed, probe, FullTrace::new())
+    }
+}
+
+impl<P: Probe, R: Recorder> AsyncEngine<P, R> {
+    /// Like [`AsyncEngine::new`] with an explicit probe and recorder (pass
+    /// [`NoTrace`](agreement_model::NoTrace) to compile trace emission out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
+    pub fn with_parts(
+        cfg: SystemConfig,
+        inputs: InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+        probe: P,
+        recorder: R,
+    ) -> Self {
+        let mut core =
+            ExecutionCore::with_parts(cfg, inputs, builder, master_seed, probe, recorder);
         core.ensure_started();
         core.flush_all_outboxes();
         core.record_decision_progress();
@@ -79,18 +101,18 @@ impl<P: Probe> AsyncEngine<P> {
         self.core.time()
     }
 
-    /// The current output bits of all processors.
-    pub fn decisions(&self) -> Vec<Option<Bit>> {
+    /// The current output bits of all processors, in identity order.
+    pub fn decisions(&self) -> impl Iterator<Item = Option<Bit>> + '_ {
         self.core.decisions()
     }
 
-    /// The adversary-visible digests of all processors.
-    pub fn digests(&self) -> Vec<StateDigest> {
+    /// The adversary-visible digests of all processors, in identity order.
+    pub fn digests(&self) -> impl Iterator<Item = StateDigest> + '_ {
         self.core.digests()
     }
 
-    /// Which processors have been crashed so far.
-    pub fn crashed(&self) -> Vec<bool> {
+    /// Which processors have been crashed so far, in identity order.
+    pub fn crashed(&self) -> impl Iterator<Item = bool> + '_ {
         self.core.crashed()
     }
 
@@ -110,7 +132,7 @@ impl<P: Probe> AsyncEngine<P> {
     }
 
     /// Read access to the shared execution core driving this engine.
-    pub fn core(&self) -> &ExecutionCore<P> {
+    pub fn core(&self) -> &ExecutionCore<P, R> {
         &self.core
     }
 
@@ -127,9 +149,11 @@ impl<P: Probe> AsyncEngine<P> {
         self.core.run(&mut scheduler, limits)
     }
 
-    /// Produces the outcome snapshot of the execution so far.
-    pub fn outcome(&self) -> RunOutcome {
-        self.core.outcome(self.core.causal_chain_metric())
+    /// Produces the outcome snapshot of the execution so far. The trace is
+    /// moved, not cloned: a subsequent snapshot reports an empty trace.
+    pub fn outcome(&mut self) -> RunOutcome {
+        let chain = self.core.causal_chain_metric();
+        self.core.outcome(chain)
     }
 }
 

@@ -1,4 +1,5 @@
-//! The message buffer: per-channel FIFO queues of undelivered messages.
+//! The message buffer: per-channel FIFO queues of undelivered messages over a
+//! shared per-trial payload arena.
 //!
 //! The paper's model places sent messages into a "message buffer" from which
 //! the adversary chooses what to deliver and when. We keep one FIFO queue per
@@ -16,6 +17,19 @@
 //! recipient, identical to the `(sender, recipient)`-keyed ordering of the
 //! previous `BTreeMap` layout.
 //!
+//! # The payload arena
+//!
+//! Queue entries do not own their [`Payload`]s. Payload values live once in a
+//! reference-counted **arena** owned by the buffer, and each entry carries a
+//! 4-byte `Copy` handle ([`PayloadRef`]) plus its chain tag. This is what
+//! makes broadcast cheap: an n-way broadcast interns its payload **once** and
+//! enqueues n handles, where the previous layout cloned the payload per
+//! recipient. Delivery resolves a handle to a borrowed `&Payload` — no move,
+//! no clone — and releases the reference afterwards; a slot whose last
+//! reference is released goes onto a free list and is recycled by the next
+//! intern, so arena memory is bounded by the peak number of *distinct*
+//! in-flight payloads, exactly like the owning layout it replaces.
+//!
 //! Each buffered message carries a *chain tag*: the causal depth assigned at
 //! send time (the length of the longest message chain ending in the send).
 //! The asynchronous scheduler uses the tags to measure running time as the
@@ -25,21 +39,106 @@ use std::collections::VecDeque;
 
 use agreement_model::{Envelope, Payload, ProcessorId};
 
-/// One buffered message: the payload plus its causal chain tag.
+/// A `Copy` handle to a payload stored in the buffer's arena.
+///
+/// Handles are only meaningful against the buffer that issued them, and only
+/// between the `intern`/`pop_ref` that produced them and the `release` that
+/// retires them; the buffer recycles slots whose last reference is released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayloadRef(u32);
+
+/// One arena slot: a payload plus the number of queue entries (or popped,
+/// not-yet-released handles) referencing it.
 #[derive(Debug, Clone)]
-struct Buffered {
+struct Slot {
     payload: Payload,
+    refs: u32,
+}
+
+/// The per-trial payload store: a slab of reference-counted slots with a free
+/// list, so one broadcast payload serves all its recipients and retired slots
+/// are recycled instead of reallocated.
+#[derive(Debug, Clone, Default)]
+struct PayloadArena {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+}
+
+impl PayloadArena {
+    /// Stores `payload` with zero references (callers add one per enqueue).
+    fn intern(&mut self, payload: Payload) -> PayloadRef {
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            slot.payload = payload;
+            slot.refs = 0;
+            PayloadRef(idx)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("payload arena overflow");
+            self.slots.push(Slot { payload, refs: 0 });
+            PayloadRef(idx)
+        }
+    }
+
+    fn retain(&mut self, handle: PayloadRef) {
+        self.slots[handle.0 as usize].refs += 1;
+    }
+
+    fn get(&self, handle: PayloadRef) -> &Payload {
+        &self.slots[handle.0 as usize].payload
+    }
+
+    /// Drops one reference; the slot is recycled once the last one goes.
+    fn release(&mut self, handle: PayloadRef) {
+        let slot = &mut self.slots[handle.0 as usize];
+        debug_assert!(slot.refs > 0, "payload handle released more than once");
+        slot.refs -= 1;
+        if slot.refs == 0 {
+            self.free.push(handle.0);
+        }
+    }
+
+    /// Drops one reference and returns the payload by value: moved out when
+    /// this was the last reference, cloned while others remain.
+    fn release_take(&mut self, handle: PayloadRef) -> Payload {
+        let slot = &mut self.slots[handle.0 as usize];
+        debug_assert!(slot.refs > 0, "payload handle released more than once");
+        slot.refs -= 1;
+        if slot.refs == 0 {
+            self.free.push(handle.0);
+            std::mem::replace(&mut slot.payload, Payload::Opaque(Vec::new()))
+        } else {
+            slot.payload.clone()
+        }
+    }
+
+    /// Number of live (referenced) payloads.
+    fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Drops every payload but keeps the slab and free-list capacity.
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+}
+
+/// One buffered message: a handle to its payload plus its causal chain tag.
+#[derive(Debug, Clone, Copy)]
+struct Buffered {
+    payload: PayloadRef,
     chain: u64,
 }
 
 /// A FIFO buffer of undelivered messages with one flat queue per ordered
-/// `(sender, recipient)` channel.
+/// `(sender, recipient)` channel and a shared payload arena.
 #[derive(Debug, Clone, Default)]
 pub struct MessageBuffer {
     /// Number of processors the flat layout currently covers.
     n: usize,
     /// `n * n` queues, channel `(s, r)` at index `s * n + r`.
     channels: Vec<VecDeque<Buffered>>,
+    arena: PayloadArena,
     enqueued: u64,
     delivered: u64,
     dropped: u64,
@@ -58,10 +157,31 @@ impl MessageBuffer {
         MessageBuffer {
             n,
             channels: vec![VecDeque::new(); n * n],
+            arena: PayloadArena::default(),
             enqueued: 0,
             delivered: 0,
             dropped: 0,
         }
+    }
+
+    /// Clears the buffer for reuse by the next trial: empties every channel
+    /// and the payload arena, zeroes the counters, and re-shapes the layout
+    /// to `n` processors — all while keeping the channel array, queue and
+    /// arena allocations warm. With an unchanged `n` this allocates nothing.
+    pub fn reset(&mut self, n: usize) {
+        if self.n == n {
+            for queue in &mut self.channels {
+                queue.clear();
+            }
+        } else {
+            self.n = n;
+            self.channels.clear();
+            self.channels.resize(n * n, VecDeque::new());
+        }
+        self.arena.clear();
+        self.enqueued = 0;
+        self.delivered = 0;
+        self.dropped = 0;
     }
 
     /// Flat index of the channel `sender -> recipient`, if both are covered by
@@ -79,7 +199,8 @@ impl MessageBuffer {
     /// Grows the layout so processor `id` is covered, remapping the existing
     /// queues into the wider sender-major grid. Only reachable through
     /// `enqueue` on a buffer built with [`MessageBuffer::new`]; engine-owned
-    /// buffers are pre-sized and never take this path.
+    /// buffers are pre-sized and never take this path. Handles stay valid:
+    /// the arena is untouched, only the queue grid is re-shaped.
     fn ensure_covers(&mut self, id: usize) {
         if id < self.n {
             return;
@@ -95,6 +216,34 @@ impl MessageBuffer {
         self.channels = channels;
     }
 
+    /// Stores a payload in the arena without enqueueing it anywhere yet.
+    ///
+    /// This is the broadcast primitive: intern once, then
+    /// [`MessageBuffer::enqueue_ref`] the returned handle per recipient. A
+    /// handle that is never enqueued occupies its slot until the next
+    /// [`MessageBuffer::reset`].
+    pub fn intern(&mut self, payload: Payload) -> PayloadRef {
+        self.arena.intern(payload)
+    }
+
+    /// Resolves a handle to its payload.
+    pub fn payload(&self, handle: PayloadRef) -> &Payload {
+        self.arena.get(handle)
+    }
+
+    /// Drops one reference to `handle` (the counterpart of
+    /// [`MessageBuffer::pop_ref`]); the payload's slot is recycled when the
+    /// last reference goes.
+    pub fn release(&mut self, handle: PayloadRef) {
+        self.arena.release(handle);
+    }
+
+    /// Number of distinct payloads currently alive in the arena. An n-way
+    /// broadcast contributes **one**, which is the whole point.
+    pub fn distinct_payloads(&self) -> usize {
+        self.arena.live()
+    }
+
     /// Places an envelope into the buffer with a zero chain tag.
     pub fn enqueue(&mut self, envelope: Envelope) {
         self.enqueue_with_chain(envelope, 0);
@@ -103,15 +252,26 @@ impl MessageBuffer {
     /// Places an envelope into the buffer, tagging it with the causal depth of
     /// its sending step.
     pub fn enqueue_with_chain(&mut self, envelope: Envelope, chain: u64) {
-        self.ensure_covers(envelope.sender.index().max(envelope.recipient.index()));
+        let handle = self.arena.intern(envelope.payload);
+        self.enqueue_ref(envelope.sender, envelope.recipient, handle, chain);
+    }
+
+    /// Enqueues one more reference to an interned payload on the channel
+    /// `sender -> recipient`.
+    pub fn enqueue_ref(
+        &mut self,
+        sender: ProcessorId,
+        recipient: ProcessorId,
+        payload: PayloadRef,
+        chain: u64,
+    ) {
+        self.ensure_covers(sender.index().max(recipient.index()));
         self.enqueued += 1;
+        self.arena.retain(payload);
         let idx = self
-            .index(envelope.sender, envelope.recipient)
+            .index(sender, recipient)
             .expect("layout covers both endpoints after ensure_covers");
-        self.channels[idx].push_back(Buffered {
-            payload: envelope.payload,
-            chain,
-        });
+        self.channels[idx].push_back(Buffered { payload, chain });
     }
 
     /// Removes and returns the oldest undelivered message from `sender` to
@@ -128,6 +288,22 @@ impl MessageBuffer {
         sender: ProcessorId,
         recipient: ProcessorId,
     ) -> Option<(Payload, u64)> {
+        let (handle, chain) = self.pop_ref(sender, recipient)?;
+        Some((self.arena.release_take(handle), chain))
+    }
+
+    /// Removes the oldest undelivered message on the channel, handing the
+    /// caller its payload handle and chain tag.
+    ///
+    /// The caller now owns one reference: resolve the payload with
+    /// [`MessageBuffer::payload`] and retire the reference with
+    /// [`MessageBuffer::release`] when done. This is the zero-copy delivery
+    /// path — the payload never moves.
+    pub fn pop_ref(
+        &mut self,
+        sender: ProcessorId,
+        recipient: ProcessorId,
+    ) -> Option<(PayloadRef, u64)> {
         let idx = self.index(sender, recipient)?;
         let entry = self.channels[idx].pop_front()?;
         self.delivered += 1;
@@ -137,14 +313,11 @@ impl MessageBuffer {
     /// Removes and returns *all* undelivered messages from `sender` to
     /// `recipient`, oldest first.
     pub fn drain_channel(&mut self, sender: ProcessorId, recipient: ProcessorId) -> Vec<Payload> {
-        match self.index(sender, recipient) {
-            Some(idx) => {
-                let drained = std::mem::take(&mut self.channels[idx]);
-                self.delivered += drained.len() as u64;
-                drained.into_iter().map(|entry| entry.payload).collect()
-            }
-            None => Vec::new(),
+        let mut drained = Vec::new();
+        while let Some((payload, _)) = self.pop_with_chain(sender, recipient) {
+            drained.push(payload);
         }
+        drained
     }
 
     /// Discards every undelivered message addressed to `recipient`.
@@ -156,10 +329,18 @@ impl MessageBuffer {
         if r >= self.n {
             return;
         }
-        for s in 0..self.n {
-            let queue = &mut self.channels[s * self.n + r];
-            self.dropped += queue.len() as u64;
-            queue.clear();
+        let MessageBuffer {
+            n,
+            channels,
+            arena,
+            dropped,
+            ..
+        } = self;
+        for s in 0..*n {
+            for entry in channels[s * *n + r].drain(..) {
+                arena.release(entry.payload);
+                *dropped += 1;
+            }
         }
     }
 
@@ -167,6 +348,10 @@ impl MessageBuffer {
     /// returning the original payload (the chain tag is preserved). Used to
     /// model Byzantine corruption of a message in flight (the adversary may
     /// corrupt messages *sent by* corrupted processors).
+    ///
+    /// Corruption is per-entry: when the head shares its payload with other
+    /// queue entries (a broadcast), only this entry is re-pointed at the
+    /// replacement — the other recipients still see the original.
     pub fn corrupt_head(
         &mut self,
         sender: ProcessorId,
@@ -174,8 +359,14 @@ impl MessageBuffer {
         replacement: Payload,
     ) -> Option<Payload> {
         let idx = self.index(sender, recipient)?;
-        let head = self.channels[idx].front_mut()?;
-        Some(std::mem::replace(&mut head.payload, replacement))
+        self.channels[idx].front()?;
+        let new_handle = self.arena.intern(replacement);
+        self.arena.retain(new_handle);
+        let head = self.channels[idx]
+            .front_mut()
+            .expect("head checked just above");
+        let old_handle = std::mem::replace(&mut head.payload, new_handle);
+        Some(self.arena.release_take(old_handle))
     }
 
     /// Discards every undelivered message in the buffer, returning how many
@@ -185,12 +376,20 @@ impl MessageBuffer {
     /// acceptable window only delivers messages "just sent" within it, so
     /// anything left over from the previous window is never delivered.
     pub fn discard_undelivered(&mut self) -> usize {
+        let MessageBuffer {
+            channels,
+            arena,
+            dropped,
+            ..
+        } = self;
         let mut count = 0;
-        for queue in &mut self.channels {
+        for queue in channels {
             count += queue.len();
-            queue.clear();
+            for entry in queue.drain(..) {
+                arena.release(entry.payload);
+            }
         }
-        self.dropped += count as u64;
+        *dropped += count as u64;
         count
     }
 
@@ -205,7 +404,7 @@ impl MessageBuffer {
     pub fn peek(&self, sender: ProcessorId, recipient: ProcessorId) -> Option<&Payload> {
         self.index(sender, recipient)
             .and_then(|idx| self.channels[idx].front())
-            .map(|entry| &entry.payload)
+            .map(|entry| self.arena.get(entry.payload))
     }
 
     /// Iterates over all `(sender, recipient, payload)` triples currently buffered,
@@ -218,7 +417,9 @@ impl MessageBuffer {
             .flat_map(move |(idx, queue)| {
                 let from = ProcessorId::new(idx / n.max(1));
                 let to = ProcessorId::new(idx % n.max(1));
-                queue.iter().map(move |entry| (from, to, &entry.payload))
+                queue
+                    .iter()
+                    .map(move |entry| (from, to, self.arena.get(entry.payload)))
             })
     }
 
@@ -429,5 +630,111 @@ mod tests {
         let s: Vec<_> = sized.iter().map(|(f, t, p)| (f, t, p.round())).collect();
         assert_eq!(l, s);
         assert_eq!(lazy.pending_total(), sized.pending_total());
+    }
+
+    #[test]
+    fn broadcast_shares_one_arena_slot_across_recipients() {
+        let mut buf = MessageBuffer::with_processors(4);
+        let handle = buf.intern(Payload::Report {
+            round: 1,
+            value: Bit::One,
+        });
+        for to in ProcessorId::all(4) {
+            buf.enqueue_ref(ProcessorId::new(0), to, handle, 1);
+        }
+        assert_eq!(buf.pending_total(), 4, "four queue entries");
+        assert_eq!(buf.distinct_payloads(), 1, "one stored payload");
+        assert_eq!(buf.enqueued_count(), 4);
+        // Every recipient resolves the same contents.
+        for to in ProcessorId::all(4) {
+            let (p, chain) = buf.pop_with_chain(ProcessorId::new(0), to).unwrap();
+            assert_eq!(p.round(), Some(1));
+            assert_eq!(chain, 1);
+        }
+        assert_eq!(buf.distinct_payloads(), 0, "slot retired with last pop");
+        assert_eq!(buf.delivered_count(), 4);
+    }
+
+    #[test]
+    fn corrupting_a_shared_head_leaves_other_recipients_untouched() {
+        let mut buf = MessageBuffer::with_processors(3);
+        let handle = buf.intern(Payload::Report {
+            round: 1,
+            value: Bit::Zero,
+        });
+        for to in ProcessorId::all(3) {
+            buf.enqueue_ref(ProcessorId::new(0), to, handle, 2);
+        }
+        let original = buf
+            .corrupt_head(
+                ProcessorId::new(0),
+                ProcessorId::new(1),
+                Payload::Report {
+                    round: 1,
+                    value: Bit::One,
+                },
+            )
+            .unwrap();
+        assert_eq!(original.advocated_value(), Some(Bit::Zero));
+        // Recipient 1 sees the corruption; 0 and 2 see the original.
+        let corrupted = buf.pop(ProcessorId::new(0), ProcessorId::new(1)).unwrap();
+        assert_eq!(corrupted.advocated_value(), Some(Bit::One));
+        for to in [ProcessorId::new(0), ProcessorId::new(2)] {
+            let p = buf.pop(ProcessorId::new(0), to).unwrap();
+            assert_eq!(p.advocated_value(), Some(Bit::Zero));
+        }
+        assert_eq!(buf.distinct_payloads(), 0);
+    }
+
+    #[test]
+    fn arena_recycles_slots_through_the_free_list() {
+        let mut buf = MessageBuffer::with_processors(2);
+        for round in 1..=10 {
+            buf.enqueue(env(0, 1, round));
+            let (p, _) = buf
+                .pop_with_chain(ProcessorId::new(0), ProcessorId::new(1))
+                .unwrap();
+            assert_eq!(p.round(), Some(round));
+            assert_eq!(
+                buf.distinct_payloads(),
+                0,
+                "slot freed as soon as the only reference is popped"
+            );
+        }
+    }
+
+    #[test]
+    fn pop_ref_release_round_trip_keeps_payload_borrowable() {
+        let mut buf = MessageBuffer::with_processors(2);
+        buf.enqueue_with_chain(env(1, 0, 7), 3);
+        let (handle, chain) = buf
+            .pop_ref(ProcessorId::new(1), ProcessorId::new(0))
+            .unwrap();
+        assert_eq!(chain, 3);
+        assert_eq!(buf.payload(handle).round(), Some(7));
+        buf.release(handle);
+        assert_eq!(buf.distinct_payloads(), 0);
+        assert_eq!(buf.delivered_count(), 1);
+    }
+
+    #[test]
+    fn reset_clears_messages_arena_and_counters_but_keeps_layout() {
+        let mut buf = MessageBuffer::with_processors(3);
+        buf.enqueue(env(0, 1, 1));
+        buf.enqueue(env(2, 0, 2));
+        buf.pop(ProcessorId::new(0), ProcessorId::new(1));
+        buf.reset(3);
+        assert!(buf.is_empty());
+        assert_eq!(buf.distinct_payloads(), 0);
+        assert_eq!(buf.enqueued_count(), 0);
+        assert_eq!(buf.delivered_count(), 0);
+        assert_eq!(buf.dropped_count(), 0);
+        // Still usable for the same n without growth.
+        buf.enqueue(env(2, 2, 1));
+        assert_eq!(buf.pending_on(ProcessorId::new(2), ProcessorId::new(2)), 1);
+        // Re-shaping to a different n works too.
+        buf.reset(5);
+        buf.enqueue(env(4, 4, 1));
+        assert_eq!(buf.pending_on(ProcessorId::new(4), ProcessorId::new(4)), 1);
     }
 }

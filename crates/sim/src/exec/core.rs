@@ -6,40 +6,48 @@
 //! it: the per-processor harnesses, the in-flight [`MessageBuffer`], causal
 //! chain depths, decision/validity tracking, trace emission and the outcome
 //! snapshot. What differs between models — how a unit of scheduled time is
-//! assembled — lives behind the [`Scheduler`](super::Scheduler) trait, and
-//! observation of the primitive transitions lives behind the
-//! [`Probe`](crate::Probe) trait (the default [`NoProbe`](crate::NoProbe)
-//! compiles every hook away).
+//! assembled — lives behind the [`Scheduler`](super::Scheduler) trait.
+//! Observation is compile-time gated twice over: primitive-transition hooks
+//! live behind the [`Probe`](crate::Probe) trait (default
+//! [`NoProbe`](crate::NoProbe) compiles every hook away), and trace emission
+//! lives behind the [`Recorder`](agreement_model::Recorder) trait — the
+//! default [`FullTrace`] keeps the event log for diagnostics, while
+//! [`NoTrace`](agreement_model::NoTrace) monomorphizes every trace push (and
+//! the construction of its event) out of the campaign hot path entirely.
 
 use agreement_model::{
-    Bit, InputAssignment, Payload, ProcessorId, ProtocolBuilder, StateDigest, SystemConfig, Trace,
-    TraceEvent,
+    Bit, FullTrace, InputAssignment, Payload, ProcessorId, ProtocolBuilder, Recorder, StateDigest,
+    SystemConfig, TraceEvent,
 };
 
 use crate::adversary::SystemView;
 use crate::buffer::MessageBuffer;
-use crate::harness::ProcessorHarness;
+use crate::harness::{Outgoing, ProcessorHarness};
 use crate::metrics::{Metrics, NoProbe, Probe};
 use crate::outcome::{RunLimits, RunOutcome};
 
 use super::Scheduler;
 
-/// The shared state of one execution: harnesses, buffer, trace and counters.
+/// The shared state of one execution: harnesses, buffer, recorder and
+/// counters.
 ///
 /// A core is model-agnostic. It exposes the primitive state transitions of the
 /// paper's model (sending steps, receiving steps, resetting steps, crashes,
 /// Byzantine corruption) and records their effects; a
 /// [`Scheduler`](super::Scheduler) composes them into the execution shape of a
 /// concrete adversary model. Every transition additionally fires a hook on
-/// the core's [`Probe`]; with the default [`NoProbe`] the hooks are empty
-/// inlined bodies and this type is byte-for-byte the un-instrumented core.
+/// the core's [`Probe`] and an event on its [`Recorder`]; with the default
+/// [`NoProbe`] the hooks are empty inlined bodies, and with
+/// [`NoTrace`](agreement_model::NoTrace) the event pushes vanish the same
+/// way — a `NoProbe`/`NoTrace` core is byte-for-byte the un-instrumented,
+/// un-traced core the campaign workers run.
 #[derive(Debug)]
-pub struct ExecutionCore<P: Probe = NoProbe> {
+pub struct ExecutionCore<P: Probe = NoProbe, R: Recorder = FullTrace> {
     cfg: SystemConfig,
     inputs: InputAssignment,
     harnesses: Vec<ProcessorHarness>,
     buffer: MessageBuffer,
-    trace: Trace,
+    recorder: R,
     probe: P,
     /// Scheduler time: window index for windowed executions, step index for
     /// asynchronous ones. Advanced only by [`ExecutionCore::advance_window`]
@@ -67,9 +75,9 @@ pub struct ExecutionCore<P: Probe = NoProbe> {
     started: bool,
 }
 
-impl ExecutionCore<NoProbe> {
-    /// Creates an un-instrumented core for `cfg.n()` processors with the given
-    /// inputs.
+impl ExecutionCore<NoProbe, FullTrace> {
+    /// Creates an un-instrumented, trace-keeping core for `cfg.n()`
+    /// processors with the given inputs.
     ///
     /// # Panics
     ///
@@ -84,8 +92,9 @@ impl ExecutionCore<NoProbe> {
     }
 }
 
-impl<P: Probe> ExecutionCore<P> {
-    /// Creates a core whose primitive transitions are observed by `probe`.
+impl<P: Probe> ExecutionCore<P, FullTrace> {
+    /// Creates a trace-keeping core whose primitive transitions are observed
+    /// by `probe`.
     ///
     /// # Panics
     ///
@@ -96,6 +105,26 @@ impl<P: Probe> ExecutionCore<P> {
         builder: &dyn ProtocolBuilder,
         master_seed: u64,
         probe: P,
+    ) -> Self {
+        ExecutionCore::with_parts(cfg, inputs, builder, master_seed, probe, FullTrace::new())
+    }
+}
+
+impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
+    /// Creates a core with an explicit probe *and* recorder. Campaign workers
+    /// pass [`NoTrace`](agreement_model::NoTrace) here so every per-message
+    /// trace push monomorphizes away; diagnostic paths pass [`FullTrace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
+    pub fn with_parts(
+        cfg: SystemConfig,
+        inputs: InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+        probe: P,
+        recorder: R,
     ) -> Self {
         assert_eq!(
             inputs.len(),
@@ -115,7 +144,7 @@ impl<P: Probe> ExecutionCore<P> {
             inputs,
             harnesses,
             buffer: MessageBuffer::with_processors(cfg.n()),
-            trace: Trace::new(),
+            recorder,
             probe,
             time: 0,
             windows: 0,
@@ -128,6 +157,70 @@ impl<P: Probe> ExecutionCore<P> {
             halted: false,
             started: false,
         }
+    }
+
+    /// Re-initializes this core for a fresh trial **in place**, reusing every
+    /// allocation the previous trial warmed up: the harness vector (and each
+    /// harness's outbox/violation buffers), the flat channel array and
+    /// payload arena of the buffer, the causal-depth and view scratch
+    /// vectors. Equivalent to building a new core with
+    /// [`ExecutionCore::with_parts`] and the current probe/recorder — the
+    /// workspace-reuse equivalence tests pin that down bit for bit.
+    ///
+    /// The probe is carried over untouched (so a campaign-wide probe keeps
+    /// accumulating); the recorder is [`reset`](Recorder::reset). `inputs` is
+    /// copied into the core's existing assignment buffer, not reallocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
+    pub fn reinit(
+        &mut self,
+        cfg: SystemConfig,
+        inputs: &InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+    ) {
+        assert_eq!(
+            inputs.len(),
+            cfg.n(),
+            "input assignment must cover every processor"
+        );
+        let n = cfg.n();
+        if self.harnesses.len() == n {
+            for (i, harness) in self.harnesses.iter_mut().enumerate() {
+                harness.reinit(
+                    ProcessorId::new(i),
+                    inputs.bit(i),
+                    cfg,
+                    builder,
+                    master_seed,
+                );
+            }
+        } else {
+            self.harnesses.clear();
+            self.harnesses.extend(ProcessorId::all(n).map(|id| {
+                ProcessorHarness::new(id, inputs.bit(id.index()), cfg, builder, master_seed)
+            }));
+        }
+        self.buffer.reset(n);
+        self.recorder.reset();
+        self.depth.clear();
+        self.depth.resize(n, 0);
+        self.corrupted.clear();
+        self.corrupted.resize(n, false);
+        self.cfg = cfg;
+        self.inputs.clone_from(inputs);
+        self.time = 0;
+        self.windows = 0;
+        self.steps = 0;
+        self.resets_performed = 0;
+        self.crashes_performed = 0;
+        self.first_decision_at = None;
+        self.all_decided_at = None;
+        self.chain_at_first_decision = None;
+        self.halted = false;
+        self.started = false;
     }
 
     // ----- static state & snapshots ------------------------------------------------
@@ -157,28 +250,20 @@ impl<P: Probe> ExecutionCore<P> {
         &self.buffer
     }
 
-    /// The current output bits of all processors.
-    pub fn decisions(&self) -> Vec<Option<Bit>> {
-        self.harnesses
-            .iter()
-            .map(ProcessorHarness::decision)
-            .collect()
+    /// The current output bits of all processors, in identity order. Lazy:
+    /// collect only when a snapshot must outlive the core borrow.
+    pub fn decisions(&self) -> impl Iterator<Item = Option<Bit>> + '_ {
+        self.harnesses.iter().map(ProcessorHarness::decision)
     }
 
-    /// The adversary-visible digests of all processors.
-    pub fn digests(&self) -> Vec<StateDigest> {
-        self.harnesses
-            .iter()
-            .map(ProcessorHarness::digest)
-            .collect()
+    /// The adversary-visible digests of all processors, in identity order.
+    pub fn digests(&self) -> impl Iterator<Item = StateDigest> + '_ {
+        self.harnesses.iter().map(ProcessorHarness::digest)
     }
 
-    /// Which processors have been crashed so far.
-    pub fn crashed(&self) -> Vec<bool> {
-        self.harnesses
-            .iter()
-            .map(ProcessorHarness::is_crashed)
-            .collect()
+    /// Which processors have been crashed so far, in identity order.
+    pub fn crashed(&self) -> impl Iterator<Item = bool> + '_ {
+        self.harnesses.iter().map(ProcessorHarness::is_crashed)
     }
 
     /// Which processors have been declared Byzantine-corrupted so far.
@@ -238,7 +323,7 @@ impl<P: Probe> ExecutionCore<P> {
     /// Takes `&mut self` only to refill the core's reusable snapshot buffers;
     /// the adversary sees an immutable view. This runs once per adversary
     /// decision, so it must not allocate.
-    pub fn with_view<R>(&mut self, f: impl FnOnce(&SystemView<'_>) -> R) -> R {
+    pub fn with_view<T>(&mut self, f: impl FnOnce(&SystemView<'_>) -> T) -> T {
         self.view_digests.clear();
         self.view_outputs.clear();
         self.view_crashed.clear();
@@ -273,15 +358,36 @@ impl<P: Probe> ExecutionCore<P> {
 
     /// A *sending step* of processor `id`: moves its computed messages into
     /// the buffer, tagging each with the processor's causal depth plus one.
+    ///
+    /// A staged broadcast is interned **once** and enqueued by handle per
+    /// recipient — the payload is never cloned, no matter the fan-out.
     pub fn flush_outbox(&mut self, id: ProcessorId) {
         let chain = self.depth[id.index()] + 1;
-        for envelope in self.harnesses[id.index()].take_outbox() {
-            self.trace.push(TraceEvent::Sent {
-                from: envelope.sender,
-                to: envelope.recipient,
-            });
-            self.probe.on_send(envelope.sender, chain);
-            self.buffer.enqueue_with_chain(envelope, chain);
+        let n = self.cfg.n();
+        let ExecutionCore {
+            harnesses,
+            buffer,
+            recorder,
+            probe,
+            ..
+        } = self;
+        for outgoing in harnesses[id.index()].drain_outbox() {
+            match outgoing {
+                Outgoing::One { to, payload } => {
+                    recorder.record(TraceEvent::Sent { from: id, to });
+                    probe.on_send(id, chain);
+                    let handle = buffer.intern(payload);
+                    buffer.enqueue_ref(id, to, handle, chain);
+                }
+                Outgoing::Broadcast { payload } => {
+                    let handle = buffer.intern(payload);
+                    for to in ProcessorId::all(n) {
+                        recorder.record(TraceEvent::Sent { from: id, to });
+                        probe.on_send(id, chain);
+                        buffer.enqueue_ref(id, to, handle, chain);
+                    }
+                }
+            }
         }
     }
 
@@ -312,19 +418,22 @@ impl<P: Probe> ExecutionCore<P> {
         if self.harnesses[to.index()].is_crashed() {
             return;
         }
-        let Some((payload, chain)) = self.buffer.pop_with_chain(from, to) else {
+        let Some((handle, chain)) = self.buffer.pop_ref(from, to) else {
             return;
         };
-        self.trace.push(TraceEvent::Delivered { from, to });
+        self.recorder.record(TraceEvent::Delivered { from, to });
         self.probe.on_deliver(from, to, chain);
         let before = self.harnesses[to.index()].decision();
-        self.harnesses[to.index()].deliver(from, &payload);
+        // The payload is processed straight out of the arena — borrowed, not
+        // moved — and its reference retired afterwards.
+        self.harnesses[to.index()].deliver(from, self.buffer.payload(handle));
+        self.buffer.release(handle);
         let depth = &mut self.depth[to.index()];
         *depth = (*depth).max(chain);
         let after = self.harnesses[to.index()].decision();
         if before.is_none() {
             if let Some(value) = after {
-                self.trace.push(TraceEvent::Decided {
+                self.recorder.record(TraceEvent::Decided {
                     id: to,
                     value,
                     at: self.time,
@@ -347,22 +456,24 @@ impl<P: Probe> ExecutionCore<P> {
         for &sender in senders {
             // Pop one message at a time rather than draining into a Vec: this
             // runs for every (recipient, sender) pair of every window, so the
-            // receiving phase must not allocate.
-            while let Some((payload, chain)) = self.buffer.pop_with_chain(sender, recipient) {
-                self.trace.push(TraceEvent::Delivered {
+            // receiving phase must not allocate. Payloads are processed
+            // borrowed from the arena, never moved or cloned.
+            while let Some((handle, chain)) = self.buffer.pop_ref(sender, recipient) {
+                self.recorder.record(TraceEvent::Delivered {
                     from: sender,
                     to: recipient,
                 });
                 self.probe.on_deliver(sender, recipient, chain);
                 depth = depth.max(chain);
-                self.harnesses[recipient.index()].deliver(sender, &payload);
+                self.harnesses[recipient.index()].deliver(sender, self.buffer.payload(handle));
+                self.buffer.release(handle);
             }
         }
         self.depth[recipient.index()] = depth;
         let after = self.harnesses[recipient.index()].decision();
         if before.is_none() {
             if let Some(value) = after {
-                self.trace.push(TraceEvent::Decided {
+                self.recorder.record(TraceEvent::Decided {
                     id: recipient,
                     value,
                     at: self.time,
@@ -376,7 +487,7 @@ impl<P: Probe> ExecutionCore<P> {
         self.harnesses[id.index()].reset();
         self.resets_performed += 1;
         self.probe.on_reset(id);
-        self.trace.push(TraceEvent::Reset { id });
+        self.recorder.record(TraceEvent::Reset { id });
     }
 
     /// Crashes a processor, enforcing the fault budget `t`: an attempt beyond
@@ -386,10 +497,10 @@ impl<P: Probe> ExecutionCore<P> {
             return;
         }
         if self.faults_used() >= self.cfg.t() {
-            self.trace.push(TraceEvent::Violation {
+            let t = self.cfg.t();
+            self.recorder.record_with(|| TraceEvent::Violation {
                 description: format!(
-                    "adversary attempted to crash {id} beyond the fault budget t={}; ignored",
-                    self.cfg.t()
+                    "adversary attempted to crash {id} beyond the fault budget t={t}; ignored"
                 ),
             });
             return;
@@ -403,7 +514,7 @@ impl<P: Probe> ExecutionCore<P> {
         }
         self.crashes_performed += 1;
         self.probe.on_crash(id);
-        self.trace.push(TraceEvent::Crashed { id });
+        self.recorder.record(TraceEvent::Crashed { id });
     }
 
     /// Declares a processor Byzantine-corrupted (charged against the budget
@@ -413,10 +524,10 @@ impl<P: Probe> ExecutionCore<P> {
             return;
         }
         if self.faults_used() >= self.cfg.t() {
-            self.trace.push(TraceEvent::Violation {
+            let t = self.cfg.t();
+            self.recorder.record_with(|| TraceEvent::Violation {
                 description: format!(
-                    "adversary attempted to corrupt {id} beyond the fault budget t={}; ignored",
-                    self.cfg.t()
+                    "adversary attempted to corrupt {id} beyond the fault budget t={t}; ignored"
                 ),
             });
             return;
@@ -430,10 +541,10 @@ impl<P: Probe> ExecutionCore<P> {
     pub fn corrupt_message(&mut self, from: ProcessorId, to: ProcessorId, payload: Payload) {
         if self.corrupted[from.index()] {
             if self.buffer.corrupt_head(from, to, payload).is_some() {
-                self.trace.push(TraceEvent::Corrupted { id: from });
+                self.recorder.record(TraceEvent::Corrupted { id: from });
             }
         } else {
-            self.trace.push(TraceEvent::Violation {
+            self.recorder.record_with(|| TraceEvent::Violation {
                 description: format!(
                     "adversary attempted to corrupt a message of uncorrupted {from}; ignored"
                 ),
@@ -443,7 +554,7 @@ impl<P: Probe> ExecutionCore<P> {
 
     /// Records a scheduler-specific trace event (e.g. window boundaries).
     pub fn push_trace(&mut self, event: TraceEvent) {
-        self.trace.push(event);
+        self.recorder.record(event);
     }
 
     /// Advances the scheduler clock by one acceptable window.
@@ -481,7 +592,7 @@ impl<P: Probe> ExecutionCore<P> {
 
     /// Runs `scheduler` until every correct processor has decided, the
     /// execution halts, or the scheduler's time cap from `limits` elapses.
-    pub fn run(&mut self, scheduler: &mut dyn Scheduler<P>, limits: RunLimits) -> RunOutcome {
+    pub fn run(&mut self, scheduler: &mut dyn Scheduler<P, R>, limits: RunLimits) -> RunOutcome {
         scheduler.on_start(self);
         self.record_decision_progress();
         let cap = scheduler.max_time(&limits);
@@ -495,8 +606,9 @@ impl<P: Probe> ExecutionCore<P> {
 
     /// Produces the outcome snapshot, reporting the chain metric `scheduler`
     /// defines for its time model.
-    pub fn outcome_with(&self, scheduler: &dyn Scheduler<P>) -> RunOutcome {
-        self.outcome(scheduler.longest_chain(self))
+    pub fn outcome_with(&mut self, scheduler: &dyn Scheduler<P, R>) -> RunOutcome {
+        let longest_chain = scheduler.longest_chain(self);
+        self.outcome(longest_chain)
     }
 
     /// The structured metrics snapshot of the execution so far, assembled
@@ -523,7 +635,12 @@ impl<P: Probe> ExecutionCore<P> {
 
     /// Produces the outcome snapshot of the execution so far with an explicit
     /// longest-chain metric.
-    pub fn outcome(&self, longest_chain: u64) -> RunOutcome {
+    ///
+    /// The accumulated trace is **moved** into the outcome, not cloned (the
+    /// clone used to be per-trial heap work the campaign immediately threw
+    /// away): a second snapshot of the same execution reports an empty trace,
+    /// while every counter and decision field stays exact.
+    pub fn outcome(&mut self, longest_chain: u64) -> RunOutcome {
         let violations: Vec<String> = self
             .harnesses
             .iter()
@@ -532,8 +649,8 @@ impl<P: Probe> ExecutionCore<P> {
             .collect();
         let metrics = self.metrics();
         RunOutcome {
-            decisions: self.decisions(),
-            crashed: self.crashed(),
+            decisions: self.decisions().collect(),
+            crashed: self.crashed().collect(),
             duration: self.time,
             first_decision_at: self.first_decision_at,
             all_decided_at: self.all_decided_at,
@@ -545,7 +662,7 @@ impl<P: Probe> ExecutionCore<P> {
             longest_chain,
             halted_by_adversary: self.halted,
             metrics,
-            trace: self.trace.clone(),
+            trace: self.recorder.take_trace(),
         }
     }
 

@@ -11,7 +11,7 @@
 //! adversaries, …) means writing one more implementation of [`Scheduler`] in
 //! this shape; the core supplies every primitive both of these are built from.
 
-use agreement_model::TraceEvent;
+use agreement_model::{FullTrace, Recorder, TraceEvent};
 
 use crate::adversary::{AsyncAction, AsyncAdversary, WindowAdversary};
 use crate::metrics::{NoProbe, Probe};
@@ -25,9 +25,10 @@ use super::ExecutionCore;
 /// how to compose the core's primitive transitions (sending, receiving,
 /// resetting, crashing, corrupting) into steps, which [`RunLimits`] cap
 /// applies, and which chain metric the outcome reports. Schedulers are
-/// parametric in the core's [`Probe`] so the same scheduler drives
-/// instrumented and un-instrumented executions alike.
-pub trait Scheduler<P: Probe = NoProbe> {
+/// parametric in the core's [`Probe`] *and* [`Recorder`] so the same
+/// scheduler drives instrumented, un-instrumented, traced and trace-free
+/// executions alike.
+pub trait Scheduler<P: Probe = NoProbe, R: Recorder = FullTrace> {
     /// A short human-readable name, used in reports and panics.
     fn name(&self) -> &'static str;
 
@@ -35,19 +36,19 @@ pub trait Scheduler<P: Probe = NoProbe> {
     /// processors and, where the model calls for it, flush initial sends.
     /// Must be idempotent: driving an execution step by step and then through
     /// [`ExecutionCore::run`] may invoke it more than once.
-    fn on_start(&mut self, core: &mut ExecutionCore<P>) {
+    fn on_start(&mut self, core: &mut ExecutionCore<P, R>) {
         core.ensure_started();
     }
 
     /// Executes one unit of scheduled time. Returns `false` once the
     /// execution has halted; further calls must be no-ops.
-    fn step(&mut self, core: &mut ExecutionCore<P>) -> bool;
+    fn step(&mut self, core: &mut ExecutionCore<P, R>) -> bool;
 
     /// The cap from `limits` that applies to this scheduler's time unit.
     fn max_time(&self, limits: &RunLimits) -> u64;
 
     /// The longest-chain metric this model reports in its outcome.
-    fn longest_chain(&self, core: &ExecutionCore<P>) -> u64;
+    fn longest_chain(&self, core: &ExecutionCore<P, R>) -> u64;
 }
 
 /// The strongly adaptive model (Section 2): time advances one acceptable
@@ -71,7 +72,7 @@ impl<A: WindowAdversary + ?Sized> WindowScheduler<&mut A> {
     ///
     /// Panics if the adversary returns a window violating Definition 1 — that
     /// is a bug in the adversary implementation, not a legitimate execution.
-    pub fn step_window<P: Probe>(&mut self, core: &mut ExecutionCore<P>) {
+    pub fn step_window<P: Probe, R: Recorder>(&mut self, core: &mut ExecutionCore<P, R>) {
         core.ensure_started();
         // Anything not delivered in the previous window is never delivered.
         core.discard_undelivered();
@@ -103,12 +104,14 @@ impl<A: WindowAdversary + ?Sized> WindowScheduler<&mut A> {
     }
 }
 
-impl<A: WindowAdversary + ?Sized, P: Probe> Scheduler<P> for WindowScheduler<&mut A> {
+impl<A: WindowAdversary + ?Sized, P: Probe, R: Recorder> Scheduler<P, R>
+    for WindowScheduler<&mut A>
+{
     fn name(&self) -> &'static str {
         self.adversary.name()
     }
 
-    fn step(&mut self, core: &mut ExecutionCore<P>) -> bool {
+    fn step(&mut self, core: &mut ExecutionCore<P, R>) -> bool {
         self.step_window(core);
         true
     }
@@ -119,7 +122,7 @@ impl<A: WindowAdversary + ?Sized, P: Probe> Scheduler<P> for WindowScheduler<&mu
 
     /// Windowed running time is measured in windows; the chain metric reports
     /// the window of the first decision (zero while undecided).
-    fn longest_chain(&self, core: &ExecutionCore<P>) -> u64 {
+    fn longest_chain(&self, core: &ExecutionCore<P, R>) -> u64 {
         core.windowed_chain_metric()
     }
 }
@@ -138,7 +141,7 @@ impl<'a> AsyncScheduler<&'a mut dyn AsyncAdversary> {
     }
 }
 
-impl<A: AsyncAdversary + ?Sized, P: Probe> Scheduler<P> for AsyncScheduler<&mut A> {
+impl<A: AsyncAdversary + ?Sized, P: Probe, R: Recorder> Scheduler<P, R> for AsyncScheduler<&mut A> {
     fn name(&self) -> &'static str {
         self.adversary.name()
     }
@@ -146,12 +149,12 @@ impl<A: AsyncAdversary + ?Sized, P: Probe> Scheduler<P> for AsyncScheduler<&mut 
     /// Starting the asynchronous model immediately performs every processor's
     /// initial sending step: the adversary schedules deliveries from the very
     /// first action.
-    fn on_start(&mut self, core: &mut ExecutionCore<P>) {
+    fn on_start(&mut self, core: &mut ExecutionCore<P, R>) {
         core.ensure_started();
         core.flush_all_outboxes();
     }
 
-    fn step(&mut self, core: &mut ExecutionCore<P>) -> bool {
+    fn step(&mut self, core: &mut ExecutionCore<P, R>) -> bool {
         if core.is_halted() {
             return false;
         }
@@ -174,7 +177,7 @@ impl<A: AsyncAdversary + ?Sized, P: Probe> Scheduler<P> for AsyncScheduler<&mut 
 
     /// Asynchronous running time is the longest message chain preceding the
     /// first decision (Section 5's metric), tracked causally by the core.
-    fn longest_chain(&self, core: &ExecutionCore<P>) -> u64 {
+    fn longest_chain(&self, core: &ExecutionCore<P, R>) -> u64 {
         core.causal_chain_metric()
     }
 }

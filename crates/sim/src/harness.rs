@@ -15,6 +15,31 @@ use agreement_model::{
     ProtocolBuilder, StateDigest, SystemConfig,
 };
 
+/// A message computed by the protocol but not yet placed into the buffer —
+/// the content of the processor's next *sending step*.
+///
+/// Broadcasts are staged as a **single** entry holding the payload once; the
+/// engine expands the recipient list only when it moves the message into the
+/// buffer (where the payload is interned once and shared by handle). The
+/// default [`Context::broadcast`] would instead clone the payload per
+/// recipient, which is exactly the per-message heap work the campaign hot
+/// path cannot afford.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outgoing {
+    /// A message addressed to a single recipient.
+    One {
+        /// The recipient.
+        to: ProcessorId,
+        /// The message contents.
+        payload: Payload,
+    },
+    /// A message addressed to every processor, the sender included.
+    Broadcast {
+        /// The message contents, stored once for all `n` recipients.
+        payload: Payload,
+    },
+}
+
 /// Durable (non-erasable) processor state plus engine-facing plumbing.
 ///
 /// `HarnessCore` implements [`Context`]; protocol callbacks receive it as
@@ -29,7 +54,7 @@ pub struct HarnessCore {
     crashed: bool,
     rng: ProcessorRng,
     coin_flips: u64,
-    outbox: Vec<Envelope>,
+    outbox: Vec<Outgoing>,
     violations: Vec<String>,
 }
 
@@ -47,7 +72,14 @@ impl Context for HarnessCore {
     }
 
     fn send(&mut self, to: ProcessorId, payload: Payload) {
-        self.outbox.push(Envelope::new(self.id, to, payload));
+        self.outbox.push(Outgoing::One { to, payload });
+    }
+
+    /// Stages one broadcast entry instead of the default per-recipient
+    /// `send` loop: the payload is kept once and never cloned, no matter how
+    /// many processors it addresses.
+    fn broadcast(&mut self, payload: Payload) {
+        self.outbox.push(Outgoing::Broadcast { payload });
     }
 
     fn random_bit(&mut self) -> Bit {
@@ -152,9 +184,44 @@ impl ProcessorHarness {
         &self.core.violations
     }
 
-    /// Number of messages waiting in the outbox for the next sending step.
+    /// Number of messages waiting in the outbox for the next sending step
+    /// (a staged broadcast counts as `n` messages).
     pub fn outbox_len(&self) -> usize {
-        self.core.outbox.len()
+        let n = self.core.cfg.n();
+        self.core
+            .outbox
+            .iter()
+            .map(|out| match out {
+                Outgoing::One { .. } => 1,
+                Outgoing::Broadcast { .. } => n,
+            })
+            .sum()
+    }
+
+    /// Re-initializes this harness for a fresh trial in place, reusing the
+    /// outbox and violation allocations: a brand-new protocol instance, a
+    /// fresh output register and rng stream, zeroed counters. Equivalent to
+    /// `ProcessorHarness::new` with the same arguments.
+    pub fn reinit(
+        &mut self,
+        id: ProcessorId,
+        input: Bit,
+        cfg: SystemConfig,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+    ) {
+        self.protocol = builder.build(id, input, &cfg);
+        self.started = false;
+        self.core.id = id;
+        self.core.cfg = cfg;
+        self.core.input = input;
+        self.core.output = OutputRegister::new();
+        self.core.reset_count = 0;
+        self.core.crashed = false;
+        self.core.rng = ProcessorRng::for_processor(master_seed, id);
+        self.core.coin_flips = 0;
+        self.core.outbox.clear();
+        self.core.violations.clear();
     }
 
     /// Runs the protocol's `on_start` callback (idempotent: only the first
@@ -196,10 +263,35 @@ impl ProcessorHarness {
         self.core.outbox.clear();
     }
 
-    /// Takes the messages computed since the last sending step (the contents
-    /// of the next *sending step*), leaving the outbox empty.
+    /// Drains the staged messages computed since the last sending step (the
+    /// contents of the next *sending step*), leaving the outbox empty but its
+    /// allocation in place. This is the engines' hot path: broadcasts come
+    /// out as single entries for the buffer to intern once.
+    pub fn drain_outbox(&mut self) -> std::vec::Drain<'_, Outgoing> {
+        self.core.outbox.drain(..)
+    }
+
+    /// Takes the messages of the next *sending step* as concrete envelopes,
+    /// expanding staged broadcasts into one envelope per recipient (cloning
+    /// the payload per extra recipient). Convenience for tests and
+    /// diagnostics; engines use [`ProcessorHarness::drain_outbox`].
     pub fn take_outbox(&mut self) -> Vec<Envelope> {
-        std::mem::take(&mut self.core.outbox)
+        let n = self.core.cfg.n();
+        let sender = self.core.id;
+        let mut envelopes = Vec::with_capacity(self.outbox_len());
+        for out in self.core.outbox.drain(..) {
+            match out {
+                Outgoing::One { to, payload } => {
+                    envelopes.push(Envelope::new(sender, to, payload));
+                }
+                Outgoing::Broadcast { payload } => {
+                    for to in ProcessorId::all(n) {
+                        envelopes.push(Envelope::new(sender, to, payload.clone()));
+                    }
+                }
+            }
+        }
+        envelopes
     }
 
     /// The adversary-visible digest: the protocol's own digest with the
@@ -399,6 +491,51 @@ mod tests {
         assert_eq!(h.decision(), Some(Bit::Zero));
         assert_eq!(h.violations().len(), 1);
         assert!(h.violations()[0].contains("conflicting decision"));
+    }
+
+    #[test]
+    fn broadcast_is_staged_once_but_counts_per_recipient() {
+        let mut h = harness(4);
+        h.start();
+        // One staged entry for a 4-way broadcast, reported as 4 messages.
+        assert_eq!(h.core.outbox.len(), 1);
+        assert!(matches!(h.core.outbox[0], Outgoing::Broadcast { .. }));
+        assert_eq!(h.outbox_len(), 4);
+        let drained: Vec<Outgoing> = h.drain_outbox().collect();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(h.outbox_len(), 0);
+    }
+
+    #[test]
+    fn reinit_reproduces_a_fresh_harness_bit_for_bit() {
+        let cfg = SystemConfig::new(4, 0).unwrap();
+        let mut reused = ProcessorHarness::new(ProcessorId::new(0), Bit::One, cfg, &EchoBuilder, 7);
+        // Dirty every piece of state the reinit must clear.
+        reused.start();
+        reused.deliver(
+            ProcessorId::new(1),
+            &Payload::Report {
+                round: 3,
+                value: Bit::Zero,
+            },
+        );
+        reused.reset();
+        assert!(reused.reset_count() > 0);
+
+        reused.reinit(ProcessorId::new(2), Bit::Zero, cfg, &EchoBuilder, 99);
+        let mut fresh =
+            ProcessorHarness::new(ProcessorId::new(2), Bit::Zero, cfg, &EchoBuilder, 99);
+        assert_eq!(reused.id(), fresh.id());
+        assert_eq!(reused.input(), fresh.input());
+        assert_eq!(reused.decision(), None);
+        assert_eq!(reused.reset_count(), 0);
+        assert_eq!(reused.coin_flips(), 0);
+        assert_eq!(reused.outbox_len(), 0);
+        assert!(reused.violations().is_empty());
+        assert_eq!(reused.digest(), fresh.digest());
+        // The private random stream restarts exactly where a fresh one does.
+        assert_eq!(reused.core.random_ticket(), fresh.core.random_ticket());
+        assert_eq!(reused.core.random_bit(), fresh.core.random_bit());
     }
 
     #[test]

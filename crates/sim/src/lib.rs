@@ -75,16 +75,19 @@ mod metrics;
 mod outcome;
 mod window;
 mod window_engine;
+mod workspace;
 
 pub use adversary::{
     AsyncAction, AsyncAdversary, FairAsyncAdversary, FullDeliveryAdversary, ModelKind, SystemView,
     WindowAdversary,
 };
+pub use agreement_model::{FullTrace, NoTrace, Recorder};
 pub use async_engine::{run_async, AsyncEngine};
-pub use buffer::MessageBuffer;
+pub use buffer::{MessageBuffer, PayloadRef};
 pub use exec::{AsyncScheduler, ExecutionCore, Scheduler, WindowScheduler};
-pub use harness::{HarnessCore, ProcessorHarness};
+pub use harness::{HarnessCore, Outgoing, ProcessorHarness};
 pub use metrics::{Metrics, MetricsProbe, NoProbe, Probe};
 pub use outcome::{RunLimits, RunOutcome};
 pub use window::{Window, WindowError};
 pub use window_engine::{run_windowed, WindowEngine};
+pub use workspace::TrialWorkspace;

@@ -22,7 +22,9 @@
 //!
 //! Running time is measured in acceptable windows, as in Section 2.
 
-use agreement_model::{Bit, InputAssignment, ProtocolBuilder, StateDigest, SystemConfig};
+use agreement_model::{
+    Bit, FullTrace, InputAssignment, ProtocolBuilder, Recorder, StateDigest, SystemConfig,
+};
 
 use crate::adversary::WindowAdversary;
 use crate::exec::{ExecutionCore, WindowScheduler};
@@ -31,11 +33,11 @@ use crate::outcome::{RunLimits, RunOutcome};
 
 /// An execution of the strongly adaptive (acceptable-window) model.
 #[derive(Debug)]
-pub struct WindowEngine<P: Probe = NoProbe> {
-    core: ExecutionCore<P>,
+pub struct WindowEngine<P: Probe = NoProbe, R: Recorder = FullTrace> {
+    core: ExecutionCore<P, R>,
 }
 
-impl WindowEngine<NoProbe> {
+impl WindowEngine<NoProbe, FullTrace> {
     /// Creates an engine for `cfg.n()` processors with the given inputs.
     ///
     /// # Panics
@@ -51,8 +53,8 @@ impl WindowEngine<NoProbe> {
     }
 }
 
-impl<P: Probe> WindowEngine<P> {
-    /// Creates an engine whose execution is observed by `probe`.
+impl<P: Probe> WindowEngine<P, FullTrace> {
+    /// Creates a trace-keeping engine whose execution is observed by `probe`.
     ///
     /// # Panics
     ///
@@ -66,6 +68,27 @@ impl<P: Probe> WindowEngine<P> {
     ) -> Self {
         WindowEngine {
             core: ExecutionCore::with_probe(cfg, inputs, builder, master_seed, probe),
+        }
+    }
+}
+
+impl<P: Probe, R: Recorder> WindowEngine<P, R> {
+    /// Creates an engine with an explicit probe and recorder (pass
+    /// [`NoTrace`](agreement_model::NoTrace) to compile trace emission out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
+    pub fn with_parts(
+        cfg: SystemConfig,
+        inputs: InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+        probe: P,
+        recorder: R,
+    ) -> Self {
+        WindowEngine {
+            core: ExecutionCore::with_parts(cfg, inputs, builder, master_seed, probe, recorder),
         }
     }
 
@@ -84,13 +107,13 @@ impl<P: Probe> WindowEngine<P> {
         self.core.time()
     }
 
-    /// The current output bits of all processors.
-    pub fn decisions(&self) -> Vec<Option<Bit>> {
+    /// The current output bits of all processors, in identity order.
+    pub fn decisions(&self) -> impl Iterator<Item = Option<Bit>> + '_ {
         self.core.decisions()
     }
 
-    /// The adversary-visible digests of all processors.
-    pub fn digests(&self) -> Vec<StateDigest> {
+    /// The adversary-visible digests of all processors, in identity order.
+    pub fn digests(&self) -> impl Iterator<Item = StateDigest> + '_ {
         self.core.digests()
     }
 
@@ -100,7 +123,7 @@ impl<P: Probe> WindowEngine<P> {
     }
 
     /// Read access to the shared execution core driving this engine.
-    pub fn core(&self) -> &ExecutionCore<P> {
+    pub fn core(&self) -> &ExecutionCore<P, R> {
         &self.core
     }
 
@@ -121,9 +144,11 @@ impl<P: Probe> WindowEngine<P> {
         self.core.run(&mut scheduler, limits)
     }
 
-    /// Produces the outcome snapshot of the execution so far.
-    pub fn outcome(&self) -> RunOutcome {
-        self.core.outcome(self.core.windowed_chain_metric())
+    /// Produces the outcome snapshot of the execution so far. The trace is
+    /// moved, not cloned: a subsequent snapshot reports an empty trace.
+    pub fn outcome(&mut self) -> RunOutcome {
+        let chain = self.core.windowed_chain_metric();
+        self.core.outcome(chain)
     }
 }
 

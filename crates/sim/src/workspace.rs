@@ -1,0 +1,270 @@
+//! Reusable per-worker trial state for campaign runners.
+//!
+//! A campaign runs thousands of seeded trials, each of which used to build a
+//! brand-new [`ExecutionCore`](crate::ExecutionCore): a harness vector, an
+//! `n * n` flat channel array, a payload arena and assorted scratch vectors —
+//! allocated, warmed up, and thrown away per trial. A [`TrialWorkspace`] is
+//! the retained version of all of that: each campaign worker thread owns one
+//! and runs every trial it claims inside it, so the allocations of trial `k`
+//! are the warm starting point of trial `k + 1`
+//! ([`ExecutionCore::reinit`](crate::ExecutionCore::reinit) re-initializes
+//! the state in place).
+//!
+//! The workspace runs its executions with
+//! [`NoTrace`](agreement_model::NoTrace): campaign trials are distilled into
+//! records and their traces dropped unread, so the trace is never built in
+//! the first place — every per-message trace push monomorphizes away. The
+//! results are **bit-identical** to the trace-keeping, allocate-per-trial
+//! path (`run_windowed` / `run_async`) in every field except the trace
+//! itself; the equivalence tests pin that down across both schedulers.
+
+use agreement_model::{InputAssignment, NoTrace, ProtocolBuilder, SystemConfig};
+
+use crate::adversary::{AsyncAdversary, WindowAdversary};
+use crate::exec::{AsyncScheduler, ExecutionCore, WindowScheduler};
+use crate::metrics::NoProbe;
+use crate::outcome::{RunLimits, RunOutcome};
+
+/// One worker's reusable execution state: a trace-free [`ExecutionCore`]
+/// whose allocations persist across trials.
+#[derive(Debug, Default)]
+pub struct TrialWorkspace {
+    /// Created lazily by the first trial, re-initialized in place by every
+    /// trial after it.
+    core: Option<ExecutionCore<NoProbe, NoTrace>>,
+}
+
+impl TrialWorkspace {
+    /// An empty workspace; the first trial pays the one-time construction.
+    pub fn new() -> Self {
+        TrialWorkspace::default()
+    }
+
+    /// The core, re-initialized for a fresh trial with the given parameters.
+    fn core_for(
+        &mut self,
+        cfg: SystemConfig,
+        inputs: &InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+    ) -> &mut ExecutionCore<NoProbe, NoTrace> {
+        match &mut self.core {
+            Some(core) => core.reinit(cfg, inputs, builder, master_seed),
+            slot @ None => {
+                *slot = Some(ExecutionCore::with_parts(
+                    cfg,
+                    inputs.clone(),
+                    builder,
+                    master_seed,
+                    NoProbe,
+                    NoTrace,
+                ));
+            }
+        }
+        self.core.as_mut().expect("workspace core just initialized")
+    }
+
+    /// Runs one windowed (strongly adaptive) trial inside this workspace.
+    /// Same results as [`run_windowed`](crate::run_windowed), minus the
+    /// trace; no per-trial allocation of core state.
+    pub fn run_windowed(
+        &mut self,
+        cfg: SystemConfig,
+        inputs: &InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        adversary: &mut dyn WindowAdversary,
+        master_seed: u64,
+        limits: RunLimits,
+    ) -> RunOutcome {
+        let core = self.core_for(cfg, inputs, builder, master_seed);
+        let mut scheduler = WindowScheduler::new(adversary);
+        core.run(&mut scheduler, limits)
+    }
+
+    /// Runs one asynchronous trial inside this workspace. Same results as
+    /// [`run_async`](crate::run_async), minus the trace; no per-trial
+    /// allocation of core state.
+    pub fn run_async(
+        &mut self,
+        cfg: SystemConfig,
+        inputs: &InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        adversary: &mut dyn AsyncAdversary,
+        master_seed: u64,
+        limits: RunLimits,
+    ) -> RunOutcome {
+        let core = self.core_for(cfg, inputs, builder, master_seed);
+        let mut scheduler = AsyncScheduler::new(adversary);
+        core.run(&mut scheduler, limits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{FairAsyncAdversary, FullDeliveryAdversary};
+    use crate::async_engine::run_async;
+    use crate::window_engine::run_windowed;
+    use agreement_model::{Bit, Context, Payload, ProcessorId, Protocol, StateDigest, Trace};
+
+    /// Decides the majority value once it has heard a round-1 report from
+    /// everyone (ties -> One).
+    #[derive(Debug)]
+    struct MajorityOnce {
+        input: Bit,
+        zeros: usize,
+        ones: usize,
+        n: usize,
+    }
+
+    impl Protocol for MajorityOnce {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            ctx.broadcast(Payload::Report {
+                round: 1,
+                value: self.input,
+            });
+        }
+
+        fn on_message(&mut self, _from: ProcessorId, payload: &Payload, ctx: &mut dyn Context) {
+            if let Payload::Report { round: 1, value } = payload {
+                match value {
+                    Bit::Zero => self.zeros += 1,
+                    Bit::One => self.ones += 1,
+                }
+                if self.zeros + self.ones == self.n {
+                    ctx.decide(if self.ones >= self.zeros {
+                        Bit::One
+                    } else {
+                        Bit::Zero
+                    });
+                }
+            }
+        }
+
+        fn digest(&self) -> StateDigest {
+            StateDigest::initial(self.input)
+        }
+    }
+
+    #[derive(Debug)]
+    struct MajorityBuilder;
+
+    impl ProtocolBuilder for MajorityBuilder {
+        fn name(&self) -> &'static str {
+            "majority-once"
+        }
+
+        fn build(&self, _id: ProcessorId, input: Bit, cfg: &SystemConfig) -> Box<dyn Protocol> {
+            Box::new(MajorityOnce {
+                input,
+                zeros: 0,
+                ones: 0,
+                n: cfg.n(),
+            })
+        }
+    }
+
+    fn strip_trace(mut outcome: RunOutcome) -> RunOutcome {
+        outcome.trace = Trace::new();
+        outcome
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_runs_across_seeds() {
+        let cfg = SystemConfig::new(5, 0).unwrap();
+        let inputs = InputAssignment::evenly_split(5);
+        let mut ws = TrialWorkspace::new();
+        for seed in 0..6 {
+            let reused = ws.run_windowed(
+                cfg,
+                &inputs,
+                &MajorityBuilder,
+                &mut FullDeliveryAdversary,
+                seed,
+                RunLimits::small(),
+            );
+            let fresh = run_windowed(
+                cfg,
+                inputs.clone(),
+                &MajorityBuilder,
+                &mut FullDeliveryAdversary,
+                seed,
+                RunLimits::small(),
+            );
+            assert!(
+                reused.trace.total_events() == 0,
+                "workspace runs are trace-free"
+            );
+            assert_eq!(reused, strip_trace(fresh), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn workspace_alternates_models_without_state_leaking() {
+        let cfg = SystemConfig::new(4, 0).unwrap();
+        let inputs = InputAssignment::unanimous(4, Bit::One);
+        let mut ws = TrialWorkspace::new();
+        for seed in [3u64, 9, 27] {
+            let windowed = ws.run_windowed(
+                cfg,
+                &inputs,
+                &MajorityBuilder,
+                &mut FullDeliveryAdversary,
+                seed,
+                RunLimits::small(),
+            );
+            let asynchronous = ws.run_async(
+                cfg,
+                &inputs,
+                &MajorityBuilder,
+                &mut FairAsyncAdversary::default(),
+                seed,
+                RunLimits::small(),
+            );
+            assert_eq!(
+                windowed,
+                strip_trace(run_windowed(
+                    cfg,
+                    inputs.clone(),
+                    &MajorityBuilder,
+                    &mut FullDeliveryAdversary,
+                    seed,
+                    RunLimits::small(),
+                ))
+            );
+            assert_eq!(
+                asynchronous,
+                strip_trace(run_async(
+                    cfg,
+                    inputs.clone(),
+                    &MajorityBuilder,
+                    &mut FairAsyncAdversary::default(),
+                    seed,
+                    RunLimits::small(),
+                ))
+            );
+            assert_eq!(windowed.metrics.steps, 0);
+            assert_eq!(asynchronous.metrics.windows, 0);
+        }
+    }
+
+    #[test]
+    fn workspace_handles_changing_system_sizes() {
+        let mut ws = TrialWorkspace::new();
+        for n in [3usize, 7, 5] {
+            let cfg = SystemConfig::new(n, 0).unwrap();
+            let inputs = InputAssignment::unanimous(n, Bit::Zero);
+            let outcome = ws.run_windowed(
+                cfg,
+                &inputs,
+                &MajorityBuilder,
+                &mut FullDeliveryAdversary,
+                1,
+                RunLimits::small(),
+            );
+            assert_eq!(outcome.decisions.len(), n);
+            assert!(outcome.all_correct_decided());
+            assert_eq!(outcome.messages_sent, (n * n) as u64);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Equivalence of the trace-free campaign hot path and the trace-keeping
+//! diagnostic path.
+//!
+//! The campaign workers run `NoTrace` executions inside reused
+//! `TrialWorkspace`s; single-run entry points (`run_windowed` / `run_async`)
+//! keep `FullTrace`. These tests pin the claim that makes the optimisation
+//! safe: the two paths are **bit-identical** in everything except the trace
+//! itself —
+//!
+//! 1. per-outcome: every decision, counter and metric of a `NoTrace`
+//!    workspace run equals the `FullTrace` fresh-engine run, for both
+//!    schedulers, across seeds and adversaries;
+//! 2. per-record: campaign `TrialRecord` streams equal records distilled
+//!    from fresh trace-keeping runs, across thread counts (fresh-per-trial
+//!    vs reused-workspace determinism);
+//! 3. per-aggregate: the E1-shaped aggregate derived from the two streams is
+//!    identical.
+
+use agreement::adversary::{RotatingResetAdversary, ScheduledCrashAdversary, SplitVoteAdversary};
+use agreement::core::{Aggregate, Campaign, TrialPlan, TrialRecord};
+use agreement::model::{InputAssignment, ProcessorId, ProcessorRng, SystemConfig, Trace};
+use agreement::protocols::{BenOrBuilder, BrachaBuilder, ResetTolerantBuilder};
+use agreement::sim::{
+    run_async, run_windowed, FairAsyncAdversary, RunLimits, RunOutcome, TrialWorkspace,
+};
+
+const CASES: u64 = 8;
+
+/// The trace is the one field the trace-free path legitimately lacks.
+fn strip_trace(mut outcome: RunOutcome) -> RunOutcome {
+    outcome.trace = Trace::new();
+    outcome
+}
+
+/// `NoTrace` workspace runs equal `FullTrace` fresh runs in every field but
+/// the trace — windowed model, resetting and benign-ish adversaries, with the
+/// workspace deliberately reused across all cases.
+#[test]
+fn windowed_no_trace_runs_match_full_trace_runs() {
+    let cfg = SystemConfig::with_sixth_resilience(13).unwrap();
+    let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+    let limits = RunLimits::windows(5_000);
+    let mut workspace = TrialWorkspace::new();
+    for case in 0..CASES {
+        let mut gen = ProcessorRng::labelled(0x7AC3, case);
+        let seed = gen.range(100_000);
+        let inputs = InputAssignment::new((0..13).map(|_| gen.bit()).collect());
+
+        let traced = run_windowed(
+            cfg,
+            inputs.clone(),
+            &builder,
+            &mut SplitVoteAdversary::new(),
+            seed,
+            limits,
+        );
+        assert!(
+            traced.trace.total_events() > 0,
+            "the diagnostic path keeps its trace"
+        );
+        let trace_free = workspace.run_windowed(
+            cfg,
+            &inputs,
+            &builder,
+            &mut SplitVoteAdversary::new(),
+            seed,
+            limits,
+        );
+        assert_eq!(trace_free.trace.total_events(), 0);
+        assert_eq!(
+            trace_free,
+            strip_trace(traced),
+            "split-vote case {case} seed {seed}"
+        );
+
+        let traced = run_windowed(
+            cfg,
+            inputs.clone(),
+            &builder,
+            &mut RotatingResetAdversary::new(),
+            seed,
+            limits,
+        );
+        let trace_free = workspace.run_windowed(
+            cfg,
+            &inputs,
+            &builder,
+            &mut RotatingResetAdversary::new(),
+            seed,
+            limits,
+        );
+        assert_eq!(
+            trace_free,
+            strip_trace(traced),
+            "rotating-reset case {case} seed {seed}"
+        );
+    }
+}
+
+/// Same equivalence for the asynchronous scheduler, including crash
+/// scheduling (which exercises `drop_to` on the shared payload arena) and
+/// Bracha's reliable-broadcast traffic (boxed `Rbc` payloads).
+#[test]
+fn async_no_trace_runs_match_full_trace_runs() {
+    let cfg = SystemConfig::new(7, 2).unwrap();
+    let limits = RunLimits::steps(500_000);
+    let mut workspace = TrialWorkspace::new();
+    for case in 0..CASES {
+        let mut gen = ProcessorRng::labelled(0xA57AC3, case);
+        let seed = gen.range(100_000);
+        let inputs = InputAssignment::new((0..7).map(|_| gen.bit()).collect());
+        let crash_list = vec![ProcessorId::new(gen.range(7) as usize)];
+
+        let traced = run_async(
+            cfg,
+            inputs.clone(),
+            &BenOrBuilder::new(),
+            &mut ScheduledCrashAdversary::new(crash_list.clone()),
+            seed,
+            limits,
+        );
+        let trace_free = workspace.run_async(
+            cfg,
+            &inputs,
+            &BenOrBuilder::new(),
+            &mut ScheduledCrashAdversary::new(crash_list),
+            seed,
+            limits,
+        );
+        assert_eq!(
+            trace_free,
+            strip_trace(traced),
+            "ben-or crash case {case} seed {seed}"
+        );
+
+        let traced = run_async(
+            cfg,
+            inputs.clone(),
+            &BrachaBuilder::new(),
+            &mut FairAsyncAdversary::default(),
+            seed,
+            limits,
+        );
+        let trace_free = workspace.run_async(
+            cfg,
+            &inputs,
+            &BrachaBuilder::new(),
+            &mut FairAsyncAdversary::default(),
+            seed,
+            limits,
+        );
+        assert_eq!(
+            trace_free,
+            strip_trace(traced),
+            "bracha fair case {case} seed {seed}"
+        );
+    }
+}
+
+/// Campaign record streams (reused `NoTrace` workspaces, any thread count)
+/// equal records distilled from fresh trace-keeping engines, one per trial —
+/// and so do the aggregates derived from them. This is the E1 shape.
+#[test]
+fn campaign_records_match_fresh_full_trace_records_across_thread_counts() {
+    let cfg = SystemConfig::with_sixth_resilience(13).unwrap();
+    let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+    let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(13))
+        .trials(9)
+        .limits(RunLimits::windows(2_000));
+
+    // Fresh-per-trial reference: a brand-new FullTrace engine per seed.
+    let reference: Vec<TrialRecord> = (0..plan.trials)
+        .map(|trial| {
+            let seed = plan.base_seed + trial;
+            let outcome = run_windowed(
+                plan.cfg,
+                plan.inputs.clone(),
+                &builder,
+                &mut SplitVoteAdversary::new(),
+                seed,
+                plan.limits,
+            );
+            TrialRecord::from_outcome(trial, seed, &outcome, &plan.inputs)
+        })
+        .collect();
+
+    for threads in [1usize, 2, 3, 8, 0] {
+        let campaign =
+            Campaign::with_threads(threads)
+                .run_windowed_records(&plan, &builder, |_| SplitVoteAdversary::new());
+        assert_eq!(
+            campaign, reference,
+            "thread count {threads}: workspace reuse changed a record"
+        );
+    }
+
+    let campaign =
+        Campaign::parallel().run_windowed_records(&plan, &builder, |_| SplitVoteAdversary::new());
+    assert_eq!(
+        Aggregate::from_records(&campaign, plan.limits.max_windows),
+        Aggregate::from_records(&reference, plan.limits.max_windows),
+        "derived aggregates must be identical"
+    );
+}
+
+/// The async campaign path is pinned the same way.
+#[test]
+fn async_campaign_records_match_fresh_full_trace_records() {
+    let cfg = SystemConfig::new(5, 1).unwrap();
+    let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(5))
+        .trials(8)
+        .limits(RunLimits::small())
+        .base_seed(0xFA1);
+
+    let reference: Vec<TrialRecord> = (0..plan.trials)
+        .map(|trial| {
+            let seed = plan.base_seed + trial;
+            let outcome = run_async(
+                plan.cfg,
+                plan.inputs.clone(),
+                &BenOrBuilder::new(),
+                &mut FairAsyncAdversary::default(),
+                seed,
+                plan.limits,
+            );
+            TrialRecord::from_outcome(trial, seed, &outcome, &plan.inputs)
+        })
+        .collect();
+
+    for threads in [1usize, 4, 0] {
+        let campaign =
+            Campaign::with_threads(threads).run_async_records(&plan, &BenOrBuilder::new(), |_| {
+                FairAsyncAdversary::default()
+            });
+        assert_eq!(campaign, reference, "thread count {threads}");
+    }
+    assert_eq!(
+        Aggregate::from_records(&reference, plan.limits.max_steps),
+        Campaign::serial().run_async(&plan, &BenOrBuilder::new(), |_| {
+            FairAsyncAdversary::default()
+        }),
+    );
+}
