@@ -5,11 +5,16 @@
 //! protocol crossed with an adversary, an input pattern, a model and a size —
 //! and needs to turn the adversary part of that description into a live
 //! scheduler at trial time. Each adversary module therefore exposes one
-//! factory here: a named, model-tagged constructor from an
-//! [`AdversaryBuildCtx`] (system configuration, per-trial seed, and optional
-//! target set). The [`registry`] enumerates every paper adversary plus the
-//! benign baselines of `agreement-sim`, so arbitrary combinations can be
-//! expanded from tables instead of hand-rolled loops.
+//! factory here: a named constructor from an [`AdversaryBuildCtx`] (system
+//! configuration, per-trial seed, and optional target set), tagged with the
+//! [`ModelDescriptor`] of the execution model it schedules. The [`registry`]
+//! enumerates every paper adversary plus the benign baselines of
+//! `agreement-sim`, so arbitrary combinations can be expanded from tables
+//! instead of hand-rolled loops.
+//!
+//! A factory builds a model-erased [`BuiltAdversary`]; the campaign runs it
+//! without matching on the model — the execution-model axis stays open, and
+//! adding a model means registering factories, not editing dispatch sites.
 //!
 //! | Factory name | Model | Built adversary |
 //! |---|---|---|
@@ -26,15 +31,22 @@
 //! | `non-adaptive-crash` | async | [`NonAdaptiveCrashAdversary::random`] from the trial seed |
 //! | `adaptive-committee-killer` | async | [`AdaptiveCommitteeKiller`] on the targets (default: first `t`) |
 //! | `equivocating-byzantine` | async | [`EquivocatingAdversary`] |
+//! | `benign-eventual` | partial-sync | [`BenignEventualAdversary`] |
+//! | `gst-procrastinator` | partial-sync | [`GstProcrastinatorAdversary`] at the documented defaults |
+//! | `post-gst-omission` | partial-sync | [`PostGstOmissionAdversary`] on the targets (default: first `t`) |
 
 use agreement_model::{ProcessorId, SystemConfig};
 use agreement_sim::{
-    AsyncAdversary, FairAsyncAdversary, FullDeliveryAdversary, ModelKind, WindowAdversary,
+    AsyncAdversary, AsyncModel, BenignEventualAdversary, FairAsyncAdversary, FullDeliveryAdversary,
+    ModelDescriptor, PartialSyncModel, WindowAdversary, WindowModel,
 };
+
+pub use agreement_sim::BuiltAdversary;
 
 use crate::byzantine::EquivocatingAdversary;
 use crate::crash::{AdaptiveCommitteeKiller, NonAdaptiveCrashAdversary, ScheduledCrashAdversary};
 use crate::lockstep::LockstepBalancingAdversary;
+use crate::partial_sync::{GstProcrastinatorAdversary, PostGstOmissionAdversary};
 use crate::polarizing::PolarizingAdversary;
 use crate::split_vote::SplitVoteAdversary;
 use crate::strongly_adaptive::{RotatingResetAdversary, TargetedResetAdversary};
@@ -50,8 +62,9 @@ pub struct AdversaryBuildCtx {
     pub seed: u64,
     /// Explicit processor targets for targeting adversaries (the committee
     /// for `adaptive-committee-killer`, the victim list for the crash
-    /// schedulers). Empty when the scenario supplies none; targeting
-    /// factories then fall back to their documented default.
+    /// schedulers, the omitted senders for `post-gst-omission`). Empty when
+    /// the scenario supplies none; targeting factories then fall back to
+    /// their documented default.
     pub targets: Vec<ProcessorId>,
 }
 
@@ -82,59 +95,18 @@ impl AdversaryBuildCtx {
     }
 }
 
-/// An adversary constructed by a factory: a scheduler for one of the two
-/// execution models.
-pub enum BuiltAdversary {
-    /// A strongly adaptive acceptable-window scheduler (Section 2).
-    Window(Box<dyn WindowAdversary>),
-    /// A fully asynchronous step scheduler (Section 5).
-    Async(Box<dyn AsyncAdversary>),
-}
-
-impl BuiltAdversary {
-    /// The model this instance schedules.
-    pub fn model(&self) -> ModelKind {
-        match self {
-            BuiltAdversary::Window(_) => ModelKind::Windowed,
-            BuiltAdversary::Async(_) => ModelKind::Async,
-        }
-    }
-
-    /// The instance's human-readable name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            BuiltAdversary::Window(a) => a.name(),
-            BuiltAdversary::Async(a) => a.name(),
-        }
-    }
-
-    /// Unwraps a windowed scheduler; `None` for asynchronous ones.
-    pub fn into_window(self) -> Option<Box<dyn WindowAdversary>> {
-        match self {
-            BuiltAdversary::Window(a) => Some(a),
-            BuiltAdversary::Async(_) => None,
-        }
-    }
-
-    /// Unwraps an asynchronous scheduler; `None` for windowed ones.
-    pub fn into_async(self) -> Option<Box<dyn AsyncAdversary>> {
-        match self {
-            BuiltAdversary::Async(a) => Some(a),
-            BuiltAdversary::Window(_) => None,
-        }
-    }
-}
-
 /// A named, model-tagged adversary constructor, usable from data.
 ///
 /// Factories are stateless and shareable across the campaign worker threads;
-/// a fresh adversary instance is built per trial.
+/// a fresh adversary instance is built per trial. The model tag is an open
+/// [`ModelDescriptor`] — new execution models register factories without any
+/// dispatch site having to enumerate them.
 pub trait AdversaryFactory: Send + Sync {
     /// The registry name, equal to the built adversary's `name()`.
     fn name(&self) -> &'static str;
 
     /// Which execution model the built adversary schedules.
-    fn model(&self) -> ModelKind;
+    fn model(&self) -> &'static ModelDescriptor;
 
     /// Builds a fresh adversary instance for one trial.
     fn build(&self, ctx: &AdversaryBuildCtx) -> BuiltAdversary;
@@ -143,13 +115,16 @@ pub trait AdversaryFactory: Send + Sync {
     ///
     /// # Panics
     ///
-    /// Panics when this factory's model is [`ModelKind::Async`]; callers
-    /// dispatch on [`AdversaryFactory::model`] first.
+    /// Panics when this factory's model is not the windowed model; callers
+    /// that need a concrete scheduler type dispatch on
+    /// [`AdversaryFactory::model`] first. (The campaign path never does —
+    /// it runs the [`BuiltAdversary`] as-is.)
     fn build_window(&self, ctx: &AdversaryBuildCtx) -> Box<dyn WindowAdversary> {
         self.build(ctx).into_window().unwrap_or_else(|| {
             panic!(
-                "adversary '{}' schedules the async model, not windows",
-                self.name()
+                "adversary '{}' schedules the {} model, not windows",
+                self.name(),
+                self.model()
             )
         })
     }
@@ -158,19 +133,26 @@ pub trait AdversaryFactory: Send + Sync {
     ///
     /// # Panics
     ///
-    /// Panics when this factory's model is [`ModelKind::Windowed`]; callers
-    /// dispatch on [`AdversaryFactory::model`] first.
+    /// Panics when this factory's model is not the asynchronous model.
     fn build_async(&self, ctx: &AdversaryBuildCtx) -> Box<dyn AsyncAdversary> {
         self.build(ctx).into_async().unwrap_or_else(|| {
             panic!(
-                "adversary '{}' schedules windows, not the async model",
-                self.name()
+                "adversary '{}' schedules the {} model, not the async model",
+                self.name(),
+                self.model()
             )
         })
     }
+
+    // Deliberately NO per-model builder for newer models: the campaign path
+    // runs `build()`'s model-erased result as-is, and a caller that really
+    // needs a concrete scheduler type uses `build(ctx).into_model::<M>()`.
+    // `build_window`/`build_async` survive for the pre-descriptor callers.
 }
 
-/// Declares a unit-struct factory with the least ceremony.
+/// Declares a unit-struct factory with the least ceremony. `$model` is the
+/// [`ExecutionModel`](agreement_sim::ExecutionModel) marker whose descriptor
+/// tags the factory.
 macro_rules! declare_factory {
     ($(#[$doc:meta])* $factory:ident, $name:literal, $model:ident, |$ctx:ident| $build:expr) => {
         $(#[$doc])*
@@ -182,8 +164,8 @@ macro_rules! declare_factory {
                 $name
             }
 
-            fn model(&self) -> ModelKind {
-                ModelKind::$model
+            fn model(&self) -> &'static ModelDescriptor {
+                <$model as agreement_sim::ExecutionModel>::descriptor()
             }
 
             fn build(&self, $ctx: &AdversaryBuildCtx) -> BuiltAdversary {
@@ -197,64 +179,64 @@ declare_factory!(
     /// Benign baseline: full delivery, no resets.
     FullDeliveryFactory,
     "full-delivery",
-    Windowed,
-    |_ctx| BuiltAdversary::Window(Box::new(FullDeliveryAdversary))
+    WindowModel,
+    |_ctx| BuiltAdversary::windowed(Box::new(FullDeliveryAdversary))
 );
 
 declare_factory!(
     /// Resets a rotating set of `t` processors every window.
     RotatingResetFactory,
     "rotating-reset",
-    Windowed,
-    |_ctx| BuiltAdversary::Window(Box::new(RotatingResetAdversary::new()))
+    WindowModel,
+    |_ctx| BuiltAdversary::windowed(Box::new(RotatingResetAdversary::new()))
 );
 
 declare_factory!(
     /// Resets the `t` most advanced processors every window.
     TargetedResetFactory,
     "targeted-reset",
-    Windowed,
-    |_ctx| BuiltAdversary::Window(Box::new(TargetedResetAdversary::new()))
+    WindowModel,
+    |_ctx| BuiltAdversary::windowed(Box::new(TargetedResetAdversary::new()))
 );
 
 declare_factory!(
     /// The split-vote balancing adversary (delivery exclusion only).
     SplitVoteFactory,
     "split-vote",
-    Windowed,
-    |_ctx| BuiltAdversary::Window(Box::new(SplitVoteAdversary::new()))
+    WindowModel,
+    |_ctx| BuiltAdversary::windowed(Box::new(SplitVoteAdversary::new()))
 );
 
 declare_factory!(
     /// The split-vote balancing adversary, also spending the reset budget.
     SplitVoteResetsFactory,
     "split-vote+resets",
-    Windowed,
-    |_ctx| BuiltAdversary::Window(Box::new(SplitVoteAdversary::with_resets()))
+    WindowModel,
+    |_ctx| BuiltAdversary::windowed(Box::new(SplitVoteAdversary::with_resets()))
 );
 
 declare_factory!(
     /// Shows half the processors a zero-leaning view, half a one-leaning one.
     PolarizingFactory,
     "polarizing",
-    Windowed,
-    |_ctx| BuiltAdversary::Window(Box::new(PolarizingAdversary::new()))
+    WindowModel,
+    |_ctx| BuiltAdversary::windowed(Box::new(PolarizingAdversary::new()))
 );
 
 declare_factory!(
     /// Benign baseline: fair round-robin delivery, no failures.
     FairAsyncFactory,
     "fair-round-robin",
-    Async,
-    |_ctx| BuiltAdversary::Async(Box::new(FairAsyncAdversary::default()))
+    AsyncModel,
+    |_ctx| BuiltAdversary::asynchronous(Box::new(FairAsyncAdversary::default()))
 );
 
 declare_factory!(
     /// The Theorem 17 balancing scheduler for forgetful protocols.
     LockstepBalancingFactory,
     "lockstep-balancing",
-    Async,
-    |_ctx| BuiltAdversary::Async(Box::new(LockstepBalancingAdversary::new()))
+    AsyncModel,
+    |_ctx| BuiltAdversary::asynchronous(Box::new(LockstepBalancingAdversary::new()))
 );
 
 declare_factory!(
@@ -262,8 +244,8 @@ declare_factory!(
     /// their earlier messages may still be delivered.
     ScheduledCrashFactory,
     "scheduled-crash",
-    Async,
-    |ctx| BuiltAdversary::Async(Box::new(ScheduledCrashAdversary::new(
+    AsyncModel,
+    |ctx| BuiltAdversary::asynchronous(Box::new(ScheduledCrashAdversary::new(
         ctx.targets_or_first_t()
     )))
 );
@@ -273,8 +255,8 @@ declare_factory!(
     /// everything they ever sent.
     WithholdingCrashFactory,
     "withholding-crash",
-    Async,
-    |ctx| BuiltAdversary::Async(Box::new(ScheduledCrashAdversary::withholding(
+    AsyncModel,
+    |ctx| BuiltAdversary::asynchronous(Box::new(ScheduledCrashAdversary::withholding(
         ctx.targets_or_first_t()
     )))
 );
@@ -284,8 +266,8 @@ declare_factory!(
     /// starts (the committee comparison's non-adaptive adversary).
     NonAdaptiveCrashFactory,
     "non-adaptive-crash",
-    Async,
-    |ctx| BuiltAdversary::Async(Box::new(NonAdaptiveCrashAdversary::random(
+    AsyncModel,
+    |ctx| BuiltAdversary::asynchronous(Box::new(NonAdaptiveCrashAdversary::random(
         ctx.cfg.n(),
         ctx.cfg.t(),
         ctx.seed
@@ -298,8 +280,8 @@ declare_factory!(
     /// the adversary never silently degenerates to fair scheduling.
     CommitteeKillerFactory,
     "adaptive-committee-killer",
-    Async,
-    |ctx| BuiltAdversary::Async(Box::new(AdaptiveCommitteeKiller::new(
+    AsyncModel,
+    |ctx| BuiltAdversary::asynchronous(Box::new(AdaptiveCommitteeKiller::new(
         ctx.targets_or_first_t()
     )))
 );
@@ -309,12 +291,42 @@ declare_factory!(
     /// value-carrying messages.
     EquivocatingFactory,
     "equivocating-byzantine",
-    Async,
-    |_ctx| BuiltAdversary::Async(Box::new(EquivocatingAdversary::new()))
+    AsyncModel,
+    |_ctx| BuiltAdversary::asynchronous(Box::new(EquivocatingAdversary::new()))
+);
+
+declare_factory!(
+    /// Benign partial-synchrony baseline: GST 0, eager fair delivery.
+    BenignEventualFactory,
+    "benign-eventual",
+    PartialSyncModel,
+    |_ctx| BuiltAdversary::partial_sync(Box::new(BenignEventualAdversary::default()))
+);
+
+declare_factory!(
+    /// Stalls everything until a late GST, then lets the model's enforced
+    /// Δ-paced delivery finish the run: the strongest delay attack partial
+    /// synchrony admits.
+    GstProcrastinatorFactory,
+    "gst-procrastinator",
+    PartialSyncModel,
+    |_ctx| BuiltAdversary::partial_sync(Box::new(GstProcrastinatorAdversary::default()))
+);
+
+declare_factory!(
+    /// Omits the messages of the targets (default: the first `t` processors)
+    /// under immediate synchrony — send-omission faults.
+    PostGstOmissionFactory,
+    "post-gst-omission",
+    PartialSyncModel,
+    |ctx| BuiltAdversary::partial_sync(Box::new(PostGstOmissionAdversary::new(
+        ctx.targets_or_first_t(),
+        PostGstOmissionAdversary::DEFAULT_DELTA
+    )))
 );
 
 /// Every adversary factory this crate ships, benign baselines included.
-static REGISTRY: [&dyn AdversaryFactory; 13] = [
+static REGISTRY: [&dyn AdversaryFactory; 16] = [
     &FullDeliveryFactory,
     &RotatingResetFactory,
     &TargetedResetFactory,
@@ -328,6 +340,9 @@ static REGISTRY: [&dyn AdversaryFactory; 13] = [
     &NonAdaptiveCrashFactory,
     &CommitteeKillerFactory,
     &EquivocatingFactory,
+    &BenignEventualFactory,
+    &GstProcrastinatorFactory,
+    &PostGstOmissionFactory,
 ];
 
 /// The full adversary registry: every paper adversary plus the benign
@@ -344,6 +359,7 @@ pub fn find_adversary(name: &str) -> Option<&'static dyn AdversaryFactory> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use agreement_sim::{ASYNC, PARTIAL_SYNC, WINDOWED};
     use std::collections::BTreeSet;
 
     fn ctx(n: usize, t: usize, seed: u64) -> AdversaryBuildCtx {
@@ -363,16 +379,26 @@ mod tests {
             assert_eq!(built.model(), factory.model(), "{}", factory.name());
             assert_eq!(built.name(), factory.name(), "factory name must match");
         }
-        assert_eq!(registry().len(), 13);
+        assert_eq!(registry().len(), 16);
+    }
+
+    #[test]
+    fn registry_spans_all_three_models() {
+        let models: BTreeSet<&str> = registry().iter().map(|f| f.model().id()).collect();
+        assert!(models.contains("windowed"));
+        assert!(models.contains("async"));
+        assert!(models.contains("partial-sync"));
     }
 
     #[test]
     fn find_adversary_resolves_names_and_rejects_unknowns() {
         assert_eq!(find_adversary("split-vote").unwrap().name(), "split-vote");
+        assert_eq!(find_adversary("fair-round-robin").unwrap().model(), &ASYNC);
         assert_eq!(
-            find_adversary("fair-round-robin").unwrap().model(),
-            ModelKind::Async
+            find_adversary("gst-procrastinator").unwrap().model(),
+            &PARTIAL_SYNC
         );
+        assert_eq!(find_adversary("full-delivery").unwrap().model(), &WINDOWED);
         assert!(find_adversary("no-such-adversary").is_none());
     }
 
@@ -383,6 +409,11 @@ mod tests {
         assert_eq!(window.name(), "split-vote");
         let asynchronous = LockstepBalancingFactory.build_async(&c);
         assert_eq!(asynchronous.name(), "lockstep-balancing");
+        let partial = GstProcrastinatorFactory
+            .build(&c)
+            .into_partial_sync()
+            .expect("gst-procrastinator schedules partial synchrony");
+        assert_eq!(partial.name(), "gst-procrastinator");
     }
 
     #[test]
@@ -392,11 +423,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "schedules the partial-sync model")]
+    fn async_builder_panics_for_partial_sync_factories() {
+        let _ = BenignEventualFactory.build_async(&ctx(4, 1, 0));
+    }
+
+    #[test]
     fn targeting_factories_respect_explicit_targets_and_defaults() {
         let default_ctx = ctx(9, 3, 5);
-        let BuiltAdversary::Async(_) = ScheduledCrashFactory.build(&default_ctx) else {
-            panic!("scheduled-crash must be async");
-        };
+        let built = ScheduledCrashFactory.build(&default_ctx);
+        assert_eq!(built.model(), &ASYNC);
         assert_eq!(
             default_ctx.targets_or_first_t(),
             vec![
@@ -410,10 +446,21 @@ mod tests {
         // The committee killer shares the same fallback: with no targets it
         // attacks the first `t` processors rather than degenerating to a
         // benign fair scheduler.
-        let BuiltAdversary::Async(killer) = CommitteeKillerFactory.build(&default_ctx) else {
-            panic!("adaptive-committee-killer must be async");
-        };
+        let killer = CommitteeKillerFactory.build(&default_ctx);
+        assert_eq!(killer.model(), &ASYNC);
         assert_eq!(killer.name(), "adaptive-committee-killer");
+        // The omission factory targets the same default victim set.
+        let omission = PostGstOmissionFactory.build(&default_ctx);
+        assert_eq!(omission.model(), &PARTIAL_SYNC);
+        let omission = omission.into_partial_sync().expect("partial-sync model");
+        assert_eq!(
+            omission.omitted_senders(),
+            &[
+                ProcessorId::new(0),
+                ProcessorId::new(1),
+                ProcessorId::new(2)
+            ]
+        );
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //! | [`AdaptiveCommitteeKiller`] | asynchronous, crash | the introduction's argument that adaptive adversaries defeat committee-based protocols |
 //! | [`EquivocatingAdversary`] | asynchronous, Byzantine | message corruption / lying about coins, which Bracha's reliable broadcast withstands |
 //! | [`PolarizingAdversary`] | acceptable windows | the unfair-but-legal delivery split that probes the Theorem 4 threshold constraints (experiment E8) |
+//! | [`GstProcrastinatorAdversary`] | partial synchrony | maximum pre-GST obstruction; shows the curtailed adversary's delay is additive, not exponential |
+//! | [`PostGstOmissionAdversary`] | partial synchrony | send-omission of up to `t` senders under immediate synchrony |
 //!
-//! The benign baselines (`FullDeliveryAdversary`, `FairAsyncAdversary`) live
-//! in `agreement-sim` itself.
+//! The benign baselines (`FullDeliveryAdversary`, `FairAsyncAdversary`,
+//! `BenignEventualAdversary`) live in `agreement-sim` itself.
 //!
 //! Every adversary is also constructible *from data* through the
 //! [`AdversaryFactory`] registry in [`factory`]: [`registry()`] enumerates a
@@ -31,6 +33,7 @@ mod crash;
 mod delivery;
 pub mod factory;
 mod lockstep;
+mod partial_sync;
 mod polarizing;
 mod split_vote;
 mod strongly_adaptive;
@@ -40,6 +43,7 @@ pub use crash::{AdaptiveCommitteeKiller, NonAdaptiveCrashAdversary, ScheduledCra
 pub use delivery::{balanced_senders, full_senders, senders_excluding};
 pub use factory::{find_adversary, registry, AdversaryBuildCtx, AdversaryFactory, BuiltAdversary};
 pub use lockstep::LockstepBalancingAdversary;
+pub use partial_sync::{GstProcrastinatorAdversary, PostGstOmissionAdversary};
 pub use polarizing::PolarizingAdversary;
 pub use split_vote::SplitVoteAdversary;
 pub use strongly_adaptive::{RotatingResetAdversary, TargetedResetAdversary};

@@ -17,6 +17,10 @@
 //!   baseline at the larger E-series size.
 //! * `async/ben_or/fair/8` — Ben-Or under fair round-robin asynchronous
 //!   scheduling (the E6-style async shape).
+//! * `partial_sync/ben_or/eventual/8` — Ben-Or under the partial-synchrony
+//!   model's benign-eventual baseline, run through the model-agnostic
+//!   `Campaign::run_records` path (the same open-axis dispatch the scenario
+//!   layer uses).
 //!
 //! Trials run on `Campaign::serial()` so the measurement is per-worker
 //! throughput, free of thread-scheduling noise; the parallel campaign scales
@@ -31,7 +35,9 @@ use agreement_adversary::SplitVoteAdversary;
 use agreement_core::{Campaign, TrialPlan};
 use agreement_model::{InputAssignment, SystemConfig};
 use agreement_protocols::{BenOrBuilder, ResetTolerantBuilder};
-use agreement_sim::{FairAsyncAdversary, FullDeliveryAdversary, RunLimits};
+use agreement_sim::{
+    BenignEventualAdversary, BuiltAdversary, FairAsyncAdversary, FullDeliveryAdversary, RunLimits,
+};
 
 /// Fractional slowdown tolerated before a measurement is flagged (loose: the
 /// baseline is recorded on unspecified hardware; the guard tracks trajectory).
@@ -75,6 +81,23 @@ fn windowed_full_delivery(n: usize) -> f64 {
     stats.throughput() * TRIALS_PER_ITER as f64
 }
 
+/// The partial-synchrony shape: Ben-Or under the benign-eventual baseline,
+/// dispatched model-agnostically through `Campaign::run_records`.
+fn partial_sync_ben_or(n: usize) -> f64 {
+    let cfg = SystemConfig::new(n, 1).unwrap();
+    let builder = BenOrBuilder::new();
+    let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(n))
+        .trials(TRIALS_PER_ITER)
+        .limits(RunLimits::small());
+    let campaign = Campaign::serial();
+    let stats = group().bench(format!("partial_sync/ben_or/eventual/{n}"), || {
+        campaign.run_records(&plan, &builder, |_seed| {
+            BuiltAdversary::partial_sync(Box::new(BenignEventualAdversary::default()))
+        })
+    });
+    stats.throughput() * TRIALS_PER_ITER as f64
+}
+
 /// E6-style async shape: Ben-Or under fair round-robin scheduling.
 fn async_ben_or(n: usize) -> f64 {
     let cfg = SystemConfig::new(n, 1).unwrap();
@@ -107,6 +130,7 @@ fn main() {
         windowed_full_delivery(25),
     );
     measured.set("async/ben_or/fair/8", async_ben_or(8));
+    measured.set("partial_sync/ben_or/eventual/8", partial_sync_ben_or(8));
 
     println!("\n== campaign throughput (trials/sec) vs recorded baseline ==");
     let mut regressions = 0;

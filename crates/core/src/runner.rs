@@ -28,7 +28,7 @@ use std::sync::Mutex;
 
 use agreement_analysis::Summary;
 use agreement_model::{InputAssignment, ProtocolBuilder, SystemConfig};
-use agreement_sim::{AsyncAdversary, RunLimits, TrialWorkspace, WindowAdversary};
+use agreement_sim::{AsyncAdversary, BuiltAdversary, RunLimits, TrialWorkspace, WindowAdversary};
 
 use crate::record::TrialRecord;
 
@@ -164,6 +164,36 @@ impl Campaign {
                     .expect("every trial index below the counter was executed")
             })
             .collect()
+    }
+
+    /// Runs `plan.trials` executions of *any* execution model and returns one
+    /// [`TrialRecord`] per trial, **in trial order** regardless of thread
+    /// count. `make_adversary` receives each trial's seed and returns a
+    /// model-erased [`BuiltAdversary`] (typically from an
+    /// `AdversaryFactory`); the campaign never inspects the model — this is
+    /// the open-axis entry point the scenario layer uses.
+    pub fn run_records<F>(
+        &self,
+        plan: &TrialPlan,
+        builder: &dyn ProtocolBuilder,
+        make_adversary: F,
+    ) -> Vec<TrialRecord>
+    where
+        F: Fn(u64) -> BuiltAdversary + Sync,
+    {
+        self.run_trials(plan.trials, |workspace, trial| {
+            let seed = plan.base_seed + trial;
+            let mut adversary = make_adversary(seed);
+            let outcome = workspace.run_built(
+                plan.cfg,
+                &plan.inputs,
+                builder,
+                &mut adversary,
+                seed,
+                plan.limits,
+            );
+            TrialRecord::from_outcome(trial, seed, &outcome, &plan.inputs)
+        })
     }
 
     /// Runs `plan.trials` window-model executions and returns one

@@ -25,7 +25,7 @@ use agreement_model::{
     Bit, ConfigError, InputAssignment, ProcessorId, ProtocolBuilder, SystemConfig, Thresholds,
 };
 use agreement_protocols::{BenOrBuilder, BrachaBuilder, CommitteeBuilder, ResetTolerantBuilder};
-use agreement_sim::{run_async, run_windowed, ModelKind, RunLimits, RunOutcome};
+use agreement_sim::{ExecutionCore, ModelDescriptor, RunLimits, RunOutcome};
 
 use crate::experiments::Scale;
 use crate::record::{stream_records, ReportSink, ScenarioMeta, TrialRecord};
@@ -311,13 +311,14 @@ impl ScenarioSpec {
             .ok_or_else(|| ScenarioError::UnknownAdversary(self.adversary.clone()))
     }
 
-    /// The execution model this spec runs under.
+    /// The execution model this spec runs under, as its open-registry
+    /// descriptor (id, display name, time cap).
     ///
     /// # Errors
     ///
     /// Returns [`ScenarioError::UnknownAdversary`] when the adversary is not
     /// registered.
-    pub fn model(&self) -> Result<ModelKind, ScenarioError> {
+    pub fn model(&self) -> Result<&'static ModelDescriptor, ScenarioError> {
         Ok(self.factory()?.model())
     }
 
@@ -379,10 +380,7 @@ impl ScenarioSpec {
             t: self.t,
             trials: self.trials,
             base_seed: self.base_seed,
-            time_cap: match model {
-                ModelKind::Windowed => self.limits.max_windows,
-                ModelKind::Async => self.limits.max_steps,
-            },
+            time_cap: model.time_cap(&self.limits),
         })
     }
 
@@ -423,14 +421,12 @@ impl ScenarioSpec {
             .limits(self.limits)
             .base_seed(self.base_seed);
         let builder = instance.builder.as_ref();
-        let records = match factory.model() {
-            ModelKind::Windowed => campaign.run_windowed_records(&plan, builder, |seed| {
-                factory.build_window(&self.build_ctx(cfg, &instance, seed))
-            }),
-            ModelKind::Async => campaign.run_async_records(&plan, builder, |seed| {
-                factory.build_async(&self.build_ctx(cfg, &instance, seed))
-            }),
-        };
+        // Model-agnostic dispatch: the factory's BuiltAdversary carries its
+        // own scheduler glue, so a new execution model is a new registry
+        // entry, not a new match arm here.
+        let records = campaign.run_records(&plan, builder, |seed| {
+            factory.build(&self.build_ctx(cfg, &instance, seed))
+        });
         Ok(stream_records(&meta, &records, sinks))
     }
 
@@ -444,30 +440,9 @@ impl ScenarioSpec {
         let (cfg, instance, factory) = self.resolved()?;
         let inputs = self.inputs.materialize(self.n);
         let ctx = self.build_ctx(cfg, &instance, seed);
-        Ok(match factory.model() {
-            ModelKind::Windowed => {
-                let mut adversary = factory.build_window(&ctx);
-                run_windowed(
-                    cfg,
-                    inputs,
-                    instance.builder.as_ref(),
-                    adversary.as_mut(),
-                    seed,
-                    self.limits,
-                )
-            }
-            ModelKind::Async => {
-                let mut adversary = factory.build_async(&ctx);
-                run_async(
-                    cfg,
-                    inputs,
-                    instance.builder.as_ref(),
-                    adversary.as_mut(),
-                    seed,
-                    self.limits,
-                )
-            }
-        })
+        let mut adversary = factory.build(&ctx);
+        let mut core = ExecutionCore::new(cfg, inputs, instance.builder.as_ref(), seed);
+        Ok(adversary.run_traced(&mut core, self.limits))
     }
 }
 
@@ -756,8 +731,123 @@ pub fn extra_scenarios(scale: Scale) -> Vec<ScenarioSpec> {
     specs
 }
 
+/// The partial-synchrony scenario family: the paper's protocols under the
+/// *curtailed* adversaries of the eventual-synchrony model, so experiments
+/// can contrast expected decision times against the strongly adaptive and
+/// fully asynchronous results on the same protocols.
+///
+/// Three adversary strengths are crossed with ben-or, bracha and the
+/// reset-tolerant protocol: the benign baseline (`benign-eventual`), the
+/// maximal delay attack the model admits (`gst-procrastinator` — every
+/// delivery is the model's Δ-paced enforcement after a late GST), and
+/// send-omission of `t` senders (`post-gst-omission`). Where the strong
+/// adversaries force exponential expected time (split-vote, lockstep), these
+/// runs terminate in `O(gst + Δ · rounds)` steps — the dichotomy the related
+/// work (Kowalski–Mirek; Dufoulon–Pandurangan) predicts for constrained
+/// adversaries.
+pub fn partial_sync_scenarios(scale: Scale) -> Vec<ScenarioSpec> {
+    let trials = match scale {
+        Scale::Quick => 3,
+        Scale::Full => 25,
+    };
+    let mut specs = vec![
+        // Ben-Or under the benign eventual baseline: the fast case.
+        ScenarioSpec::new(
+            ProtocolSpec::BenOr,
+            "benign-eventual",
+            InputPattern::Unanimous(Bit::One),
+            7,
+            1,
+        )
+        .limits(RunLimits::steps(100_000)),
+        // Ben-Or against maximal procrastination: decision delayed by an
+        // additive GST, never prevented.
+        ScenarioSpec::new(
+            ProtocolSpec::BenOr,
+            "gst-procrastinator",
+            InputPattern::Unanimous(Bit::One),
+            7,
+            1,
+        )
+        .limits(RunLimits::steps(100_000)),
+        // Ben-Or with t senders omitted: quorums of n - t still decide.
+        ScenarioSpec::new(
+            ProtocolSpec::BenOr,
+            "post-gst-omission",
+            InputPattern::Unanimous(Bit::Zero),
+            7,
+            2,
+        )
+        .limits(RunLimits::steps(100_000)),
+        // Bracha under the benign eventual baseline at optimal resilience.
+        ScenarioSpec::new(
+            ProtocolSpec::Bracha,
+            "benign-eventual",
+            InputPattern::Unanimous(Bit::Zero),
+            7,
+            2,
+        )
+        .limits(RunLimits::steps(200_000)),
+        // Bracha against the procrastinator.
+        ScenarioSpec::new(
+            ProtocolSpec::Bracha,
+            "gst-procrastinator",
+            InputPattern::Unanimous(Bit::One),
+            7,
+            2,
+        )
+        .limits(RunLimits::steps(200_000)),
+        // Bracha with t omitted senders: reliable broadcast from n - t voices.
+        ScenarioSpec::new(
+            ProtocolSpec::Bracha,
+            "post-gst-omission",
+            InputPattern::Unanimous(Bit::One),
+            7,
+            2,
+        )
+        .limits(RunLimits::steps(200_000)),
+        // The reset-tolerant protocol on adversarial split inputs — the
+        // workload the split-vote adversary stalls exponentially — decides
+        // promptly once the adversary is curtailed.
+        ScenarioSpec::new(
+            ProtocolSpec::ResetTolerant,
+            "benign-eventual",
+            InputPattern::EvenlySplit,
+            13,
+            2,
+        )
+        .limits(RunLimits::steps(200_000)),
+        ScenarioSpec::new(
+            ProtocolSpec::ResetTolerant,
+            "gst-procrastinator",
+            InputPattern::EvenlySplit,
+            13,
+            2,
+        )
+        .limits(RunLimits::steps(200_000)),
+        // Reset tolerance also covers omission: n - t voices are enough.
+        ScenarioSpec::new(
+            ProtocolSpec::ResetTolerant,
+            "post-gst-omission",
+            InputPattern::Unanimous(Bit::One),
+            13,
+            2,
+        )
+        .limits(RunLimits::steps(200_000)),
+    ];
+    for spec in &mut specs {
+        spec.tag = "psync".to_string();
+        spec.trials = trials;
+    }
+    specs
+}
+
 /// Every registered scenario: the declarative E1–E9 workloads plus the extra
-/// combinations, at the given scale.
+/// combinations and the partial-synchrony family, at the given scale.
+///
+/// The partial-synchrony family is appended **after** every pre-existing
+/// scenario so machine-readable output for the historical registry is a
+/// stable prefix.
 pub fn scenario_registry(scale: Scale) -> Vec<ScenarioSpec> {
     let mut specs = Vec::new();
     specs.extend(crate::experiments::exp1_specs(scale));
@@ -768,6 +858,7 @@ pub fn scenario_registry(scale: Scale) -> Vec<ScenarioSpec> {
     specs.extend(crate::experiments::exp8_specs(scale));
     specs.extend(crate::experiments::exp9_specs(scale));
     specs.extend(extra_scenarios(scale));
+    specs.extend(partial_sync_scenarios(scale));
     specs
 }
 
@@ -982,7 +1073,7 @@ mod tests {
         )
         .trials(3)
         .limits(RunLimits::small());
-        assert_eq!(spec.model().unwrap(), ModelKind::Async);
+        assert_eq!(spec.model().unwrap().id(), "async");
         let report = spec.run().unwrap();
         assert_eq!(report.meta.model, "async");
         assert_eq!(report.aggregate.termination_rate, 1.0);

@@ -10,35 +10,19 @@
 //!   Definition 1, so an implementation cannot exceed its power.
 //! * [`AsyncAdversary`] chooses individual steps (message delivery, crashes,
 //!   Byzantine corruption) in the fully asynchronous model of Section 5.
+//! * [`PartialSyncAdversary`] chooses a global stabilization time, a delivery
+//!   bound Δ and individual pre-GST steps in the partial-synchrony model; the
+//!   scheduler *enforces* the post-GST bound, so the adversary's power is
+//!   genuinely curtailed.
+//!
+//! Which model a data-described adversary drives is carried by a
+//! [`ModelDescriptor`](crate::ModelDescriptor) on its factory — an open
+//! registry of models, not a closed enum.
 
 use agreement_model::{Bit, Payload, ProcessorId, StateDigest, SystemConfig};
 
 use crate::buffer::MessageBuffer;
 use crate::window::Window;
-
-/// Which of the paper's two execution models an adversary schedules.
-///
-/// The scenario layer uses this to pick the engine a data-described adversary
-/// runs under: [`Windowed`](ModelKind::Windowed) adversaries implement
-/// [`WindowAdversary`] and drive the strongly adaptive acceptable-window model
-/// of Section 2; [`Async`](ModelKind::Async) adversaries implement
-/// [`AsyncAdversary`] and drive the fully asynchronous model of Section 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ModelKind {
-    /// The strongly adaptive acceptable-window model (Section 2).
-    Windowed,
-    /// The fully asynchronous crash/Byzantine model (Section 5).
-    Async,
-}
-
-impl std::fmt::Display for ModelKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ModelKind::Windowed => write!(f, "windowed"),
-            ModelKind::Async => write!(f, "async"),
-        }
-    }
-}
 
 /// The full-information view an adversary is given before each decision.
 #[derive(Debug)]
@@ -229,6 +213,97 @@ impl<A: AsyncAdversary + ?Sized> AsyncAdversary for Box<A> {
     }
 }
 
+/// A single discretionary decision of a partial-synchrony adversary.
+///
+/// Unlike [`AsyncAction`], stalling is a first-class move: before GST the
+/// adversary may withhold everything indefinitely, which is exactly the power
+/// the post-GST delivery bound takes away (overdue messages are delivered by
+/// the scheduler whether the adversary likes it or not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartialSyncAction {
+    /// Deliver the oldest undelivered message on the channel `from -> to`.
+    Deliver {
+        /// The sender of the message to deliver.
+        from: ProcessorId,
+        /// The recipient of the message to deliver.
+        to: ProcessorId,
+    },
+    /// Crash processor `id` (the engine enforces the fault budget `t`).
+    Crash(ProcessorId),
+    /// Deliver nothing this step; time passes. Before GST this withholds
+    /// every message; after GST the bounded-delay enforcement limits how long
+    /// a stall can actually delay anything.
+    Stall,
+    /// The adversary stops scheduling: the execution ends (used when nothing
+    /// the adversary could do would change the state again).
+    Halt,
+}
+
+/// An adversary for the partial-synchrony (eventual-synchrony) model.
+///
+/// The adversary picks the model parameters — the global stabilization time
+/// ([`gst`](PartialSyncAdversary::gst)), the post-GST delivery bound
+/// ([`delta`](PartialSyncAdversary::delta)) and up to `t` omission-faulty
+/// senders ([`omitted_senders`](PartialSyncAdversary::omitted_senders)) —
+/// and then schedules one discretionary [`PartialSyncAction`] per step with
+/// full information. The parameters are *binding*: the
+/// [`PartialSyncScheduler`](crate::exec::PartialSyncScheduler) consults them
+/// every step and force-delivers any pending message older than Δ once GST
+/// has passed, so implementations must return constant values throughout a
+/// run.
+pub trait PartialSyncAdversary {
+    /// A short human-readable name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// The adversary-chosen global stabilization time, in steps. Before this
+    /// step the adversary schedules with full asynchronous freedom; from it
+    /// on, the scheduler enforces the delivery bound. Must be constant over
+    /// a run.
+    fn gst(&self) -> u64;
+
+    /// The adversary-chosen post-GST delivery bound Δ ≥ 1 (values below 1
+    /// are clamped): once GST has passed, a pending message sent at step `s`
+    /// is delivered no later than step `max(s, gst) + Δ`. Must be constant
+    /// over a run.
+    fn delta(&self) -> u64;
+
+    /// Senders whose messages the adversary omits (never delivers) even
+    /// after GST — the model's omission faults. The scheduler honours at
+    /// most the first `t` entries; the rest are ignored. Omissions and
+    /// crashes share **one** fault budget of `t`: the honoured omission set
+    /// is charged up front, and crash actions beyond the remainder are
+    /// refused. Must be constant over a run.
+    fn omitted_senders(&self) -> &[ProcessorId] {
+        &[]
+    }
+
+    /// Chooses this step's discretionary action given the full-information
+    /// view.
+    fn next_action(&mut self, view: &SystemView<'_>) -> PartialSyncAction;
+}
+
+impl<A: PartialSyncAdversary + ?Sized> PartialSyncAdversary for Box<A> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn gst(&self) -> u64 {
+        (**self).gst()
+    }
+
+    fn delta(&self) -> u64 {
+        (**self).delta()
+    }
+
+    fn omitted_senders(&self) -> &[ProcessorId] {
+        (**self).omitted_senders()
+    }
+
+    fn next_action(&mut self, view: &SystemView<'_>) -> PartialSyncAction {
+        (**self).next_action(view)
+    }
+}
+
 /// The benign window adversary: full delivery, no resets. Useful as a
 /// best-case baseline and in tests.
 #[derive(Debug, Clone, Copy, Default)]
@@ -264,6 +339,45 @@ impl AsyncAdversary for FairAsyncAdversary {
                 AsyncAction::Deliver { from, to }
             }
             None => AsyncAction::Halt,
+        }
+    }
+}
+
+/// The benign partial-synchrony baseline: synchrony from the start
+/// (GST = 0), no omissions, eager fair round-robin delivery. Halts once the
+/// buffer is quiescent (nothing pending means nothing can ever change).
+#[derive(Debug, Clone, Default)]
+pub struct BenignEventualAdversary {
+    cursor: usize,
+}
+
+impl BenignEventualAdversary {
+    /// The delivery bound the benign baseline declares. It rarely matters —
+    /// the baseline delivers eagerly — but it is what the scheduler would
+    /// enforce if it stalled.
+    pub const DELTA: u64 = 8;
+}
+
+impl PartialSyncAdversary for BenignEventualAdversary {
+    fn name(&self) -> &'static str {
+        "benign-eventual"
+    }
+
+    fn gst(&self) -> u64 {
+        0
+    }
+
+    fn delta(&self) -> u64 {
+        BenignEventualAdversary::DELTA
+    }
+
+    fn next_action(&mut self, view: &SystemView<'_>) -> PartialSyncAction {
+        match view.next_pending_channel(self.cursor) {
+            Some((next_cursor, from, to)) => {
+                self.cursor = next_cursor;
+                PartialSyncAction::Deliver { from, to }
+            }
+            None => PartialSyncAction::Halt,
         }
     }
 }

@@ -4,10 +4,11 @@
 //! The adversary chooses one step at a time: deliver a specific buffered
 //! message, crash a processor, corrupt an in-flight message of a corrupted
 //! processor, or halt. The only structural constraint (enforced by the shared
-//! [`ExecutionCore`]) is the fault budget: at most `t` processors may be
-//! crashed or corrupted over the whole execution. Liveness ("all messages to
-//! correct processors are eventually delivered") is the adversary
-//! implementation's responsibility; the run limits bound how long we wait.
+//! [`ExecutionCore`](crate::ExecutionCore)) is the fault budget: at most `t`
+//! processors may be crashed or corrupted over the whole execution. Liveness
+//! ("all messages to correct processors are eventually delivered") is the
+//! adversary implementation's responsibility; the run limits bound how long
+//! we wait.
 //!
 //! Running time in this model is measured as the length of the longest
 //! *message chain* preceding the first decision: a chain `m_1, ..., m_k` where
@@ -15,149 +16,38 @@
 //! core tags every buffered message with its causal depth to compute this
 //! exactly.
 //!
-//! [`AsyncEngine`] is a thin driver: all mechanics live in [`ExecutionCore`]
-//! and the per-message scheduling in
+//! [`AsyncEngine`] is a thin alias of the generic [`Engine`](crate::Engine)
+//! facade bound to [`AsyncModel`]: all mechanics live in the shared core and
+//! the per-message scheduling in
 //! [`AsyncScheduler`](crate::exec::AsyncScheduler).
 
-use agreement_model::{
-    Bit, FullTrace, InputAssignment, ProtocolBuilder, Recorder, StateDigest, SystemConfig,
-};
+use agreement_model::{FullTrace, InputAssignment, ProtocolBuilder, Recorder, SystemConfig};
 
 use crate::adversary::AsyncAdversary;
-use crate::exec::{AsyncScheduler, ExecutionCore, Scheduler};
+use crate::engine::{AsyncModel, Engine};
+use crate::exec::{AsyncScheduler, Scheduler};
 use crate::metrics::{NoProbe, Probe};
 use crate::outcome::{RunLimits, RunOutcome};
 
-/// An execution of the fully asynchronous model with crash/Byzantine faults.
-#[derive(Debug)]
-pub struct AsyncEngine<P: Probe = NoProbe, R: Recorder = FullTrace> {
-    core: ExecutionCore<P, R>,
-}
+/// An execution of the fully asynchronous model with crash/Byzantine faults:
+/// the generic [`Engine`] facade bound to [`AsyncModel`].
+pub type AsyncEngine<P = NoProbe, R = FullTrace> = Engine<AsyncModel, P, R>;
 
-impl AsyncEngine<NoProbe, FullTrace> {
-    /// Creates the engine, runs every processor's `on_start`, and places the
-    /// initial messages into the buffer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
-    pub fn new(
-        cfg: SystemConfig,
-        inputs: InputAssignment,
-        builder: &dyn ProtocolBuilder,
-        master_seed: u64,
-    ) -> Self {
-        AsyncEngine::with_probe(cfg, inputs, builder, master_seed, NoProbe)
-    }
-}
-
-impl<P: Probe> AsyncEngine<P, FullTrace> {
-    /// Like [`AsyncEngine::new`], but the execution is observed by `probe`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
-    pub fn with_probe(
-        cfg: SystemConfig,
-        inputs: InputAssignment,
-        builder: &dyn ProtocolBuilder,
-        master_seed: u64,
-        probe: P,
-    ) -> Self {
-        AsyncEngine::with_parts(cfg, inputs, builder, master_seed, probe, FullTrace::new())
-    }
-}
-
-impl<P: Probe, R: Recorder> AsyncEngine<P, R> {
-    /// Like [`AsyncEngine::new`] with an explicit probe and recorder (pass
-    /// [`NoTrace`](agreement_model::NoTrace) to compile trace emission out).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
-    pub fn with_parts(
-        cfg: SystemConfig,
-        inputs: InputAssignment,
-        builder: &dyn ProtocolBuilder,
-        master_seed: u64,
-        probe: P,
-        recorder: R,
-    ) -> Self {
-        let mut core =
-            ExecutionCore::with_parts(cfg, inputs, builder, master_seed, probe, recorder);
-        core.ensure_started();
-        core.flush_all_outboxes();
-        core.record_decision_progress();
-        AsyncEngine { core }
-    }
-
-    /// The system configuration.
-    pub fn config(&self) -> SystemConfig {
-        self.core.config()
-    }
-
+impl<P: Probe, R: Recorder> Engine<AsyncModel, P, R> {
     /// Number of adversary steps taken so far.
     pub fn steps_elapsed(&self) -> u64 {
-        self.core.time()
-    }
-
-    /// The current output bits of all processors, in identity order.
-    pub fn decisions(&self) -> impl Iterator<Item = Option<Bit>> + '_ {
-        self.core.decisions()
-    }
-
-    /// The adversary-visible digests of all processors, in identity order.
-    pub fn digests(&self) -> impl Iterator<Item = StateDigest> + '_ {
-        self.core.digests()
-    }
-
-    /// Which processors have been crashed so far, in identity order.
-    pub fn crashed(&self) -> impl Iterator<Item = bool> + '_ {
-        self.core.crashed()
-    }
-
-    /// Which processors have been declared Byzantine-corrupted so far.
-    pub fn corrupted(&self) -> &[bool] {
-        self.core.corrupted()
-    }
-
-    /// `true` once every non-crashed processor has written its output bit.
-    pub fn all_correct_decided(&self) -> bool {
-        self.core.all_correct_decided()
-    }
-
-    /// Number of faults (crashes plus corruptions) charged so far.
-    pub fn faults_used(&self) -> usize {
-        self.core.faults_used()
-    }
-
-    /// Read access to the shared execution core driving this engine.
-    pub fn core(&self) -> &ExecutionCore<P, R> {
-        &self.core
+        self.time()
     }
 
     /// Executes one adversary-chosen step. Returns `false` once the execution
     /// has halted (adversary gave up) — further calls do nothing.
     pub fn step(&mut self, adversary: &mut dyn AsyncAdversary) -> bool {
-        AsyncScheduler::new(adversary).step(&mut self.core)
-    }
-
-    /// Runs adversary steps until every correct processor has decided, the
-    /// adversary halts, or `limits.max_steps` steps have elapsed.
-    pub fn run(&mut self, adversary: &mut dyn AsyncAdversary, limits: RunLimits) -> RunOutcome {
-        let mut scheduler = AsyncScheduler::new(adversary);
-        self.core.run(&mut scheduler, limits)
-    }
-
-    /// Produces the outcome snapshot of the execution so far. The trace is
-    /// moved, not cloned: a subsequent snapshot reports an empty trace.
-    pub fn outcome(&mut self) -> RunOutcome {
-        let chain = self.core.causal_chain_metric();
-        self.core.outcome(chain)
+        AsyncScheduler::new(adversary).step(self.core_mut())
     }
 }
 
-/// Convenience: build an asynchronous engine, run it, return the outcome.
+/// Convenience: build a fresh trace-keeping core, run it against `adversary`,
+/// return the outcome. Equivalent to driving an [`AsyncEngine`].
 pub fn run_async(
     cfg: SystemConfig,
     inputs: InputAssignment,
@@ -166,15 +56,16 @@ pub fn run_async(
     master_seed: u64,
     limits: RunLimits,
 ) -> RunOutcome {
-    let mut engine = AsyncEngine::new(cfg, inputs, builder, master_seed);
-    engine.run(adversary, limits)
+    let mut core = crate::exec::ExecutionCore::new(cfg, inputs, builder, master_seed);
+    let mut scheduler = AsyncScheduler::new(adversary);
+    core.run(&mut scheduler, limits)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::adversary::{AsyncAction, FairAsyncAdversary, SystemView};
-    use agreement_model::{Context, Payload, ProcessorId, Protocol, ProtocolBuilder};
+    use agreement_model::{Bit, Context, Payload, ProcessorId, Protocol, StateDigest};
 
     /// Waits for `n - t` round-1 reports (its own included) and decides the
     /// majority value among them.

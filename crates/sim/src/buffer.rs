@@ -1,5 +1,5 @@
-//! The message buffer: per-channel FIFO queues of undelivered messages over a
-//! shared per-trial payload arena.
+//! The message buffer: per-channel FIFO queues of undelivered messages, with
+//! broadcast payloads shared through a per-trial arena.
 //!
 //! The paper's model places sent messages into a "message buffer" from which
 //! the adversary chooses what to deliver and when. We keep one FIFO queue per
@@ -17,33 +17,42 @@
 //! recipient, identical to the `(sender, recipient)`-keyed ordering of the
 //! previous `BTreeMap` layout.
 //!
-//! # The payload arena
+//! # Payload storage: inline unicasts, arena-shared broadcasts
 //!
-//! Queue entries do not own their [`Payload`]s. Payload values live once in a
-//! reference-counted **arena** owned by the buffer, and each entry carries a
-//! 4-byte `Copy` handle ([`PayloadRef`]) plus its chain tag. This is what
-//! makes broadcast cheap: an n-way broadcast interns its payload **once** and
-//! enqueues n handles, where the previous layout cloned the payload per
-//! recipient. Delivery resolves a handle to a borrowed `&Payload` — no move,
-//! no clone — and releases the reference afterwards; a slot whose last
-//! reference is released goes onto a free list and is recycled by the next
-//! intern, so arena memory is bounded by the peak number of *distinct*
-//! in-flight payloads, exactly like the owning layout it replaces.
+//! A queue entry stores its [`Payload`] one of two ways:
 //!
-//! Each buffered message carries a *chain tag*: the causal depth assigned at
-//! send time (the length of the longest message chain ending in the send).
-//! The asynchronous scheduler uses the tags to measure running time as the
-//! paper's Section 5 does; window executions ignore them.
+//! * **Unicast messages carry their payload inline.** A message with exactly
+//!   one recipient never touches the arena: no slot allocation, no reference
+//!   counting, no free-list traffic — enqueue is a move into the queue entry
+//!   and delivery is a move (or borrow) back out. This is the
+//!   `buffer/flat_churn` hot path.
+//! * **Broadcast payloads live once in a reference-counted arena** owned by
+//!   the buffer; each of the n entries carries a 4-byte `Copy` handle
+//!   ([`PayloadRef`]). An n-way broadcast interns its payload **once** where
+//!   an owning layout would clone it per recipient. Delivery resolves a
+//!   handle to a borrowed `&Payload` — no move, no clone — and releases the
+//!   reference afterwards; a slot whose last reference is released goes onto
+//!   a free list and is recycled by the next intern, so arena memory is
+//!   bounded by the peak number of *distinct* in-flight broadcast payloads.
+//!
+//! Each buffered message additionally carries a *chain tag* — the causal
+//! depth assigned at send time (the length of the longest message chain
+//! ending in the send) — and a *send-time stamp*, the buffer clock value
+//! ([`MessageBuffer::set_now`]) at enqueue. The asynchronous scheduler uses
+//! the chain tags to measure running time as the paper's Section 5 does; the
+//! partial-synchrony scheduler uses the send-time stamps to enforce its
+//! post-GST bounded-delay guarantee. Window executions ignore both.
 
 use std::collections::VecDeque;
 
 use agreement_model::{Envelope, Payload, ProcessorId};
 
-/// A `Copy` handle to a payload stored in the buffer's arena.
+/// A `Copy` handle to a broadcast payload stored in the buffer's arena.
 ///
 /// Handles are only meaningful against the buffer that issued them, and only
-/// between the `intern`/`pop_ref` that produced them and the `release` that
-/// retires them; the buffer recycles slots whose last reference is released.
+/// between the `intern`/`pop_message` that produced them and the `release`
+/// that retires them; the buffer recycles slots whose last reference is
+/// released.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PayloadRef(u32);
 
@@ -55,9 +64,9 @@ struct Slot {
     refs: u32,
 }
 
-/// The per-trial payload store: a slab of reference-counted slots with a free
-/// list, so one broadcast payload serves all its recipients and retired slots
-/// are recycled instead of reallocated.
+/// The per-trial broadcast payload store: a slab of reference-counted slots
+/// with a free list, so one broadcast payload serves all its recipients and
+/// retired slots are recycled instead of reallocated.
 #[derive(Debug, Clone, Default)]
 struct PayloadArena {
     slots: Vec<Slot>,
@@ -99,6 +108,12 @@ impl PayloadArena {
 
     /// Drops one reference and returns the payload by value: moved out when
     /// this was the last reference, cloned while others remain.
+    ///
+    /// Kept out of line so the unicast fast path of
+    /// [`MessageBuffer::pop_with_chain`] (which never reaches the arena)
+    /// stays small enough to inline; this only runs for shared broadcast
+    /// payloads popped by value, which is not a hot path.
+    #[inline(never)]
     fn release_take(&mut self, handle: PayloadRef) -> Payload {
         let slot = &mut self.slots[handle.0 as usize];
         debug_assert!(slot.refs > 0, "payload handle released more than once");
@@ -123,15 +138,41 @@ impl PayloadArena {
     }
 }
 
-/// One buffered message: a handle to its payload plus its causal chain tag.
-#[derive(Debug, Clone, Copy)]
+/// How a queue entry stores its payload: moved in for unicasts, shared by
+/// arena handle for broadcasts.
+#[derive(Debug, Clone)]
+enum Stored {
+    /// A unicast payload owned by the entry itself — the arena (and its
+    /// refcount bookkeeping) is skipped entirely.
+    Inline(Payload),
+    /// One reference to an arena slot shared with the other recipients of a
+    /// broadcast.
+    Shared(PayloadRef),
+}
+
+/// A payload handed out by [`MessageBuffer::pop_message`]: the inline value
+/// moved out of the queue entry, or a still-owed arena reference.
+#[derive(Debug)]
+pub enum PoppedPayload {
+    /// The unicast payload itself, moved out of the queue entry.
+    Inline(Payload),
+    /// One reference to a shared broadcast payload: resolve it with
+    /// [`MessageBuffer::payload`] and retire it with
+    /// [`MessageBuffer::release`] when done.
+    Shared(PayloadRef),
+}
+
+/// One buffered message: its payload, its causal chain tag, and the buffer
+/// clock value at which it was enqueued.
+#[derive(Debug, Clone)]
 struct Buffered {
-    payload: PayloadRef,
+    payload: Stored,
     chain: u64,
+    sent_at: u64,
 }
 
 /// A FIFO buffer of undelivered messages with one flat queue per ordered
-/// `(sender, recipient)` channel and a shared payload arena.
+/// `(sender, recipient)` channel and a shared broadcast-payload arena.
 #[derive(Debug, Clone, Default)]
 pub struct MessageBuffer {
     /// Number of processors the flat layout currently covers.
@@ -139,6 +180,10 @@ pub struct MessageBuffer {
     /// `n * n` queues, channel `(s, r)` at index `s * n + r`.
     channels: Vec<VecDeque<Buffered>>,
     arena: PayloadArena,
+    /// The clock value stamped onto entries as they are enqueued
+    /// ([`MessageBuffer::set_now`]); schedulers that enforce delivery bounds
+    /// keep it equal to the execution clock.
+    now: u64,
     enqueued: u64,
     delivered: u64,
     dropped: u64,
@@ -158,6 +203,7 @@ impl MessageBuffer {
             n,
             channels: vec![VecDeque::new(); n * n],
             arena: PayloadArena::default(),
+            now: 0,
             enqueued: 0,
             delivered: 0,
             dropped: 0,
@@ -165,9 +211,10 @@ impl MessageBuffer {
     }
 
     /// Clears the buffer for reuse by the next trial: empties every channel
-    /// and the payload arena, zeroes the counters, and re-shapes the layout
-    /// to `n` processors — all while keeping the channel array, queue and
-    /// arena allocations warm. With an unchanged `n` this allocates nothing.
+    /// and the payload arena, zeroes the counters and the clock, and
+    /// re-shapes the layout to `n` processors — all while keeping the channel
+    /// array, queue and arena allocations warm. With an unchanged `n` this
+    /// allocates nothing.
     pub fn reset(&mut self, n: usize) {
         if self.n == n {
             for queue in &mut self.channels {
@@ -179,9 +226,17 @@ impl MessageBuffer {
             self.channels.resize(n * n, VecDeque::new());
         }
         self.arena.clear();
+        self.now = 0;
         self.enqueued = 0;
         self.delivered = 0;
         self.dropped = 0;
+    }
+
+    /// Sets the clock value stamped onto subsequently enqueued messages.
+    /// The execution core keeps this equal to its scheduler clock so the
+    /// partial-synchrony model can age pending messages exactly.
+    pub fn set_now(&mut self, now: u64) {
+        self.now = now;
     }
 
     /// Flat index of the channel `sender -> recipient`, if both are covered by
@@ -201,10 +256,19 @@ impl MessageBuffer {
     /// `enqueue` on a buffer built with [`MessageBuffer::new`]; engine-owned
     /// buffers are pre-sized and never take this path. Handles stay valid:
     /// the arena is untouched, only the queue grid is re-shaped.
+    #[inline]
     fn ensure_covers(&mut self, id: usize) {
         if id < self.n {
             return;
         }
+        self.grow_to_cover(id);
+    }
+
+    /// The cold body of [`MessageBuffer::ensure_covers`], outlined so the
+    /// enqueue fast path inlines as a bounds check and nothing more.
+    #[cold]
+    #[inline(never)]
+    fn grow_to_cover(&mut self, id: usize) {
         let new_n = id + 1;
         let mut channels = vec![VecDeque::new(); new_n * new_n];
         for s in 0..self.n {
@@ -216,30 +280,43 @@ impl MessageBuffer {
         self.channels = channels;
     }
 
-    /// Stores a payload in the arena without enqueueing it anywhere yet.
+    #[inline]
+    fn push_entry(&mut self, sender: ProcessorId, recipient: ProcessorId, entry: Buffered) {
+        self.ensure_covers(sender.index().max(recipient.index()));
+        self.enqueued += 1;
+        let idx = self
+            .index(sender, recipient)
+            .expect("layout covers both endpoints after ensure_covers");
+        self.channels[idx].push_back(entry);
+    }
+
+    /// Stores a broadcast payload in the arena without enqueueing it anywhere
+    /// yet.
     ///
     /// This is the broadcast primitive: intern once, then
     /// [`MessageBuffer::enqueue_ref`] the returned handle per recipient. A
     /// handle that is never enqueued occupies its slot until the next
-    /// [`MessageBuffer::reset`].
+    /// [`MessageBuffer::reset`]. Unicast messages should use
+    /// [`MessageBuffer::enqueue_unicast`] instead, which skips the arena.
     pub fn intern(&mut self, payload: Payload) -> PayloadRef {
         self.arena.intern(payload)
     }
 
-    /// Resolves a handle to its payload.
+    /// Resolves a shared handle to its payload.
     pub fn payload(&self, handle: PayloadRef) -> &Payload {
         self.arena.get(handle)
     }
 
-    /// Drops one reference to `handle` (the counterpart of
-    /// [`MessageBuffer::pop_ref`]); the payload's slot is recycled when the
+    /// Drops one reference to `handle` (the counterpart of a
+    /// [`PoppedPayload::Shared`]); the payload's slot is recycled when the
     /// last reference goes.
     pub fn release(&mut self, handle: PayloadRef) {
         self.arena.release(handle);
     }
 
-    /// Number of distinct payloads currently alive in the arena. An n-way
-    /// broadcast contributes **one**, which is the whole point.
+    /// Number of distinct broadcast payloads currently alive in the arena. An
+    /// n-way broadcast contributes **one**; unicasts contribute none (their
+    /// payloads live inline in the queue entries).
     pub fn distinct_payloads(&self) -> usize {
         self.arena.live()
     }
@@ -250,14 +327,33 @@ impl MessageBuffer {
     }
 
     /// Places an envelope into the buffer, tagging it with the causal depth of
-    /// its sending step.
+    /// its sending step. Unicast path: the payload is moved into the queue
+    /// entry, never interned.
+    #[inline]
     pub fn enqueue_with_chain(&mut self, envelope: Envelope, chain: u64) {
-        let handle = self.arena.intern(envelope.payload);
-        self.enqueue_ref(envelope.sender, envelope.recipient, handle, chain);
+        self.enqueue_unicast(envelope.sender, envelope.recipient, envelope.payload, chain);
     }
 
-    /// Enqueues one more reference to an interned payload on the channel
-    /// `sender -> recipient`.
+    /// Enqueues a single-recipient message with its payload stored inline in
+    /// the queue entry — no arena slot, no reference counting.
+    #[inline]
+    pub fn enqueue_unicast(
+        &mut self,
+        sender: ProcessorId,
+        recipient: ProcessorId,
+        payload: Payload,
+        chain: u64,
+    ) {
+        let entry = Buffered {
+            payload: Stored::Inline(payload),
+            chain,
+            sent_at: self.now,
+        };
+        self.push_entry(sender, recipient, entry);
+    }
+
+    /// Enqueues one more reference to an interned broadcast payload on the
+    /// channel `sender -> recipient`.
     pub fn enqueue_ref(
         &mut self,
         sender: ProcessorId,
@@ -265,17 +361,18 @@ impl MessageBuffer {
         payload: PayloadRef,
         chain: u64,
     ) {
-        self.ensure_covers(sender.index().max(recipient.index()));
-        self.enqueued += 1;
         self.arena.retain(payload);
-        let idx = self
-            .index(sender, recipient)
-            .expect("layout covers both endpoints after ensure_covers");
-        self.channels[idx].push_back(Buffered { payload, chain });
+        let entry = Buffered {
+            payload: Stored::Shared(payload),
+            chain,
+            sent_at: self.now,
+        };
+        self.push_entry(sender, recipient, entry);
     }
 
     /// Removes and returns the oldest undelivered message from `sender` to
     /// `recipient`, if any.
+    #[inline(always)]
     pub fn pop(&mut self, sender: ProcessorId, recipient: ProcessorId) -> Option<Payload> {
         self.pop_with_chain(sender, recipient)
             .map(|(payload, _)| payload)
@@ -283,31 +380,52 @@ impl MessageBuffer {
 
     /// Removes and returns the oldest undelivered message on the channel
     /// together with its chain tag.
+    #[inline]
     pub fn pop_with_chain(
         &mut self,
         sender: ProcessorId,
         recipient: ProcessorId,
     ) -> Option<(Payload, u64)> {
-        let (handle, chain) = self.pop_ref(sender, recipient)?;
+        let idx = self.index(sender, recipient)?;
+        let entry = self.channels[idx].pop_front()?;
+        self.delivered += 1;
+        match entry.payload {
+            Stored::Inline(payload) => Some((payload, entry.chain)),
+            Stored::Shared(handle) => self.pop_shared_by_value(handle, entry.chain),
+        }
+    }
+
+    /// The shared-payload arm of [`MessageBuffer::pop_with_chain`], outlined
+    /// so the inline-unicast fast path keeps a single payload source the
+    /// optimizer can move straight through to the caller.
+    #[cold]
+    #[inline(never)]
+    fn pop_shared_by_value(&mut self, handle: PayloadRef, chain: u64) -> Option<(Payload, u64)> {
         Some((self.arena.release_take(handle), chain))
     }
 
     /// Removes the oldest undelivered message on the channel, handing the
-    /// caller its payload handle and chain tag.
+    /// caller its payload and chain tag.
     ///
-    /// The caller now owns one reference: resolve the payload with
-    /// [`MessageBuffer::payload`] and retire the reference with
-    /// [`MessageBuffer::release`] when done. This is the zero-copy delivery
-    /// path — the payload never moves.
-    pub fn pop_ref(
+    /// Unicast payloads arrive by value ([`PoppedPayload::Inline`]); shared
+    /// broadcast payloads arrive as one owed arena reference
+    /// ([`PoppedPayload::Shared`]) — resolve with [`MessageBuffer::payload`]
+    /// and retire with [`MessageBuffer::release`] when done. Either way the
+    /// payload is never cloned.
+    #[inline]
+    pub fn pop_message(
         &mut self,
         sender: ProcessorId,
         recipient: ProcessorId,
-    ) -> Option<(PayloadRef, u64)> {
+    ) -> Option<(PoppedPayload, u64)> {
         let idx = self.index(sender, recipient)?;
         let entry = self.channels[idx].pop_front()?;
         self.delivered += 1;
-        Some((entry.payload, entry.chain))
+        let popped = match entry.payload {
+            Stored::Inline(payload) => PoppedPayload::Inline(payload),
+            Stored::Shared(handle) => PoppedPayload::Shared(handle),
+        };
+        Some((popped, entry.chain))
     }
 
     /// Removes and returns *all* undelivered messages from `sender` to
@@ -338,20 +456,22 @@ impl MessageBuffer {
         } = self;
         for s in 0..*n {
             for entry in channels[s * *n + r].drain(..) {
-                arena.release(entry.payload);
+                if let Stored::Shared(handle) = entry.payload {
+                    arena.release(handle);
+                }
                 *dropped += 1;
             }
         }
     }
 
     /// Replaces the payload of the oldest undelivered message on the channel,
-    /// returning the original payload (the chain tag is preserved). Used to
-    /// model Byzantine corruption of a message in flight (the adversary may
-    /// corrupt messages *sent by* corrupted processors).
+    /// returning the original payload (the chain tag and send time are
+    /// preserved). Used to model Byzantine corruption of a message in flight
+    /// (the adversary may corrupt messages *sent by* corrupted processors).
     ///
     /// Corruption is per-entry: when the head shares its payload with other
     /// queue entries (a broadcast), only this entry is re-pointed at the
-    /// replacement — the other recipients still see the original.
+    /// (inline) replacement — the other recipients still see the original.
     pub fn corrupt_head(
         &mut self,
         sender: ProcessorId,
@@ -359,14 +479,12 @@ impl MessageBuffer {
         replacement: Payload,
     ) -> Option<Payload> {
         let idx = self.index(sender, recipient)?;
-        self.channels[idx].front()?;
-        let new_handle = self.arena.intern(replacement);
-        self.arena.retain(new_handle);
-        let head = self.channels[idx]
-            .front_mut()
-            .expect("head checked just above");
-        let old_handle = std::mem::replace(&mut head.payload, new_handle);
-        Some(self.arena.release_take(old_handle))
+        let head = self.channels[idx].front_mut()?;
+        let old = std::mem::replace(&mut head.payload, Stored::Inline(replacement));
+        Some(match old {
+            Stored::Inline(payload) => payload,
+            Stored::Shared(handle) => self.arena.release_take(handle),
+        })
     }
 
     /// Discards every undelivered message in the buffer, returning how many
@@ -386,7 +504,9 @@ impl MessageBuffer {
         for queue in channels {
             count += queue.len();
             for entry in queue.drain(..) {
-                arena.release(entry.payload);
+                if let Stored::Shared(handle) = entry.payload {
+                    arena.release(handle);
+                }
             }
         }
         *dropped += count as u64;
@@ -404,7 +524,25 @@ impl MessageBuffer {
     pub fn peek(&self, sender: ProcessorId, recipient: ProcessorId) -> Option<&Payload> {
         self.index(sender, recipient)
             .and_then(|idx| self.channels[idx].front())
-            .map(|entry| self.arena.get(entry.payload))
+            .map(|entry| self.resolve(entry))
+    }
+
+    /// The send-time stamp of the oldest undelivered message on the channel
+    /// (the buffer clock value at its enqueue). Channels are FIFO and the
+    /// clock is monotone, so the head is always the channel's oldest message;
+    /// the partial-synchrony scheduler uses this to find overdue deliveries.
+    pub fn head_sent_at(&self, sender: ProcessorId, recipient: ProcessorId) -> Option<u64> {
+        self.index(sender, recipient)
+            .and_then(|idx| self.channels[idx].front())
+            .map(|entry| entry.sent_at)
+    }
+
+    #[inline]
+    fn resolve<'a>(&'a self, entry: &'a Buffered) -> &'a Payload {
+        match &entry.payload {
+            Stored::Inline(payload) => payload,
+            Stored::Shared(handle) => self.arena.get(*handle),
+        }
     }
 
     /// Iterates over all `(sender, recipient, payload)` triples currently buffered,
@@ -419,7 +557,7 @@ impl MessageBuffer {
                 let to = ProcessorId::new(idx % n.max(1));
                 queue
                     .iter()
-                    .map(move |entry| (from, to, self.arena.get(entry.payload)))
+                    .map(move |entry| (from, to, self.resolve(entry)))
             })
     }
 
@@ -512,6 +650,36 @@ mod tests {
             .pop_with_chain(ProcessorId::new(0), ProcessorId::new(1))
             .unwrap();
         assert_eq!(chain, 9);
+    }
+
+    #[test]
+    fn send_time_stamps_follow_the_buffer_clock() {
+        let mut buf = MessageBuffer::with_processors(2);
+        buf.enqueue(env(0, 1, 1));
+        buf.set_now(7);
+        buf.enqueue(env(0, 1, 2));
+        assert_eq!(
+            buf.head_sent_at(ProcessorId::new(0), ProcessorId::new(1)),
+            Some(0)
+        );
+        buf.pop(ProcessorId::new(0), ProcessorId::new(1));
+        assert_eq!(
+            buf.head_sent_at(ProcessorId::new(0), ProcessorId::new(1)),
+            Some(7)
+        );
+        buf.pop(ProcessorId::new(0), ProcessorId::new(1));
+        assert_eq!(
+            buf.head_sent_at(ProcessorId::new(0), ProcessorId::new(1)),
+            None
+        );
+        // Reset rewinds the clock with everything else.
+        buf.set_now(9);
+        buf.reset(2);
+        buf.enqueue(env(0, 1, 3));
+        assert_eq!(
+            buf.head_sent_at(ProcessorId::new(0), ProcessorId::new(1)),
+            Some(0)
+        );
     }
 
     #[test]
@@ -633,6 +801,30 @@ mod tests {
     }
 
     #[test]
+    fn unicasts_never_touch_the_arena() {
+        let mut buf = MessageBuffer::with_processors(3);
+        for round in 1..=5 {
+            buf.enqueue(env(0, 1, round));
+        }
+        assert_eq!(buf.pending_total(), 5);
+        assert_eq!(
+            buf.distinct_payloads(),
+            0,
+            "inline unicasts allocate no arena slots"
+        );
+        for round in 1..=5 {
+            let (popped, _) = buf
+                .pop_message(ProcessorId::new(0), ProcessorId::new(1))
+                .unwrap();
+            match popped {
+                PoppedPayload::Inline(payload) => assert_eq!(payload.round(), Some(round)),
+                PoppedPayload::Shared(_) => panic!("unicast must pop inline"),
+            }
+        }
+        assert_eq!(buf.delivered_count(), 5);
+    }
+
+    #[test]
     fn broadcast_shares_one_arena_slot_across_recipients() {
         let mut buf = MessageBuffer::with_processors(4);
         let handle = buf.intern(Payload::Report {
@@ -690,7 +882,11 @@ mod tests {
     fn arena_recycles_slots_through_the_free_list() {
         let mut buf = MessageBuffer::with_processors(2);
         for round in 1..=10 {
-            buf.enqueue(env(0, 1, round));
+            let handle = buf.intern(Payload::Report {
+                round,
+                value: Bit::Zero,
+            });
+            buf.enqueue_ref(ProcessorId::new(0), ProcessorId::new(1), handle, 1);
             let (p, _) = buf
                 .pop_with_chain(ProcessorId::new(0), ProcessorId::new(1))
                 .unwrap();
@@ -704,13 +900,20 @@ mod tests {
     }
 
     #[test]
-    fn pop_ref_release_round_trip_keeps_payload_borrowable() {
+    fn shared_pop_release_round_trip_keeps_payload_borrowable() {
         let mut buf = MessageBuffer::with_processors(2);
-        buf.enqueue_with_chain(env(1, 0, 7), 3);
-        let (handle, chain) = buf
-            .pop_ref(ProcessorId::new(1), ProcessorId::new(0))
+        let handle = buf.intern(Payload::Report {
+            round: 7,
+            value: Bit::Zero,
+        });
+        buf.enqueue_ref(ProcessorId::new(1), ProcessorId::new(0), handle, 3);
+        let (popped, chain) = buf
+            .pop_message(ProcessorId::new(1), ProcessorId::new(0))
             .unwrap();
         assert_eq!(chain, 3);
+        let PoppedPayload::Shared(handle) = popped else {
+            panic!("broadcast entries pop as shared handles");
+        };
         assert_eq!(buf.payload(handle).round(), Some(7));
         buf.release(handle);
         assert_eq!(buf.distinct_payloads(), 0);

@@ -1,0 +1,657 @@
+//! The open execution-model axis: one generic [`Engine`] facade, a runtime
+//! [`ModelDescriptor`] per model, and model-erased [`BuiltAdversary`]
+//! instances the data-driven layers dispatch through.
+//!
+//! The paper's results are parameterized by *adversary power*: the strongly
+//! adaptive window model (Section 2), full asynchrony (Section 5), and — in
+//! the follow-up literature — weaker, curtailed adversaries such as eventual
+//! synchrony. This module makes that axis open-ended instead of a closed
+//! two-variant enum:
+//!
+//! * [`ExecutionModel`] is the compile-time face of a model: a marker type
+//!   binding an adversary trait object to the scheduler that drives it
+//!   ([`WindowModel`], [`AsyncModel`], [`PartialSyncModel`]). Everything the
+//!   simulator knows about "which model is this" flows through these
+//!   associated items; nothing matches on a model enum.
+//! * [`ModelDescriptor`] is the runtime face: a named descriptor (id,
+//!   display name, applicable [`RunLimits`] cap) that registries, scenario
+//!   specs and reports carry instead of an enum variant. Descriptors compare
+//!   by id.
+//! * [`Engine`] assembles construction, stepping, running and outcome
+//!   snapshots **once**, generically over the model; `WindowEngine`,
+//!   `AsyncEngine` and `PartialSyncEngine` are thin source-compatible
+//!   aliases over it.
+//! * [`BuiltAdversary`] is a model-erased adversary instance: the adversary
+//!   factories of `agreement-adversary` return one, and campaign workers run
+//!   it against a workspace core without knowing (or matching on) its model.
+//!
+//! Adding a fourth model therefore touches exactly one axis: implement a
+//! `Scheduler`, declare a marker type + descriptor here (or in your own
+//! crate — the machinery is generic), and register factories that return
+//! [`BuiltAdversary::bind`]-wrapped instances. See DESIGN.md §2 for the
+//! partial-synchrony model as a worked example.
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+use agreement_model::{
+    Bit, FullTrace, InputAssignment, NoTrace, ProtocolBuilder, Recorder, StateDigest, SystemConfig,
+};
+
+use crate::adversary::{AsyncAdversary, PartialSyncAdversary, WindowAdversary};
+use crate::exec::{AsyncScheduler, ExecutionCore, PartialSyncScheduler, WindowScheduler};
+use crate::metrics::{NoProbe, Probe};
+use crate::outcome::{RunLimits, RunOutcome};
+
+/// The runtime identity of an execution model: what registries, scenario
+/// specs and reports carry instead of a closed enum variant.
+///
+/// Two descriptors are equal iff their [`id`](ModelDescriptor::id)s are; the
+/// canonical instances live behind [`ExecutionModel::descriptor`] and in the
+/// [`model_registry`].
+#[derive(Debug)]
+pub struct ModelDescriptor {
+    id: &'static str,
+    display: &'static str,
+    time_cap: fn(&RunLimits) -> u64,
+}
+
+impl ModelDescriptor {
+    /// Declares a descriptor. `time_cap` selects which [`RunLimits`] field
+    /// caps this model's unit of scheduled time.
+    pub const fn new(
+        id: &'static str,
+        display: &'static str,
+        time_cap: fn(&RunLimits) -> u64,
+    ) -> Self {
+        ModelDescriptor {
+            id,
+            display,
+            time_cap,
+        }
+    }
+
+    /// The stable machine-readable id (`"windowed"`, `"async"`,
+    /// `"partial-sync"`). This is the string reports and scenario metadata
+    /// print.
+    pub fn id(&self) -> &'static str {
+        self.id
+    }
+
+    /// The human-readable display name.
+    pub fn display_name(&self) -> &'static str {
+        self.display
+    }
+
+    /// The cap from `limits` that applies to this model's time unit.
+    pub fn time_cap(&self, limits: &RunLimits) -> u64 {
+        (self.time_cap)(limits)
+    }
+}
+
+impl PartialEq for ModelDescriptor {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for ModelDescriptor {}
+
+impl std::hash::Hash for ModelDescriptor {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl std::fmt::Display for ModelDescriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id)
+    }
+}
+
+fn cap_windows(limits: &RunLimits) -> u64 {
+    limits.max_windows
+}
+
+fn cap_steps(limits: &RunLimits) -> u64 {
+    limits.max_steps
+}
+
+/// The strongly adaptive acceptable-window model of Section 2.
+pub static WINDOWED: ModelDescriptor = ModelDescriptor::new(
+    "windowed",
+    "strongly adaptive acceptable-window model (Section 2)",
+    cap_windows,
+);
+
+/// The fully asynchronous crash/Byzantine model of Section 5.
+pub static ASYNC: ModelDescriptor = ModelDescriptor::new(
+    "async",
+    "fully asynchronous crash/Byzantine model (Section 5)",
+    cap_steps,
+);
+
+/// The partial-synchrony (eventual-synchrony, omission-fault) model: free
+/// scheduling before an adversary-chosen GST, bounded-delay delivery after.
+pub static PARTIAL_SYNC: ModelDescriptor = ModelDescriptor::new(
+    "partial-sync",
+    "partial synchrony with adversary-chosen GST and post-GST delivery bound Δ",
+    cap_steps,
+);
+
+/// Every execution model this crate ships, in declaration order.
+static MODEL_REGISTRY: [&ModelDescriptor; 3] = [&WINDOWED, &ASYNC, &PARTIAL_SYNC];
+
+/// The registry of shipped execution models.
+pub fn model_registry() -> &'static [&'static ModelDescriptor] {
+    &MODEL_REGISTRY
+}
+
+/// Looks a shipped model descriptor up by its id.
+pub fn find_model(id: &str) -> Option<&'static ModelDescriptor> {
+    model_registry().iter().copied().find(|m| m.id() == id)
+}
+
+/// The compile-time face of an execution model: binds an adversary trait
+/// object to the scheduler that drives it and to the model's
+/// [`ModelDescriptor`].
+///
+/// A model implementation composes [`ExecutionCore`] primitives through a
+/// `Scheduler`; this trait is the static glue [`Engine`] and
+/// [`BuiltAdversary`] dispatch through, so no layer above the schedulers
+/// needs to enumerate models.
+pub trait ExecutionModel: 'static {
+    /// The adversary trait object this model's scheduler consults.
+    type Adversary: ?Sized + 'static;
+
+    /// The model's runtime descriptor.
+    fn descriptor() -> &'static ModelDescriptor;
+
+    /// Idempotent construction-time setup beyond what `Scheduler::on_start`
+    /// performs on the first run call (e.g. the asynchronous model flushes
+    /// initial sends eagerly so step-wise drivers see them immediately).
+    fn prepare<P: Probe, R: Recorder>(core: &mut ExecutionCore<P, R>);
+
+    /// Runs `core` under `adversary` until every correct processor decided,
+    /// the adversary halted, or the model's time cap from `limits` elapsed.
+    fn run<P: Probe, R: Recorder>(
+        core: &mut ExecutionCore<P, R>,
+        adversary: &mut Self::Adversary,
+        limits: RunLimits,
+    ) -> RunOutcome;
+
+    /// The longest-chain metric this model reports in its outcome.
+    fn chain_metric<P: Probe, R: Recorder>(core: &ExecutionCore<P, R>) -> u64;
+
+    /// The name of a concrete adversary of this model.
+    fn adversary_name(adversary: &Self::Adversary) -> &'static str;
+}
+
+/// Marker type of the strongly adaptive acceptable-window model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowModel;
+
+impl ExecutionModel for WindowModel {
+    type Adversary = dyn WindowAdversary;
+
+    fn descriptor() -> &'static ModelDescriptor {
+        &WINDOWED
+    }
+
+    fn prepare<P: Probe, R: Recorder>(_core: &mut ExecutionCore<P, R>) {}
+
+    fn run<P: Probe, R: Recorder>(
+        core: &mut ExecutionCore<P, R>,
+        adversary: &mut Self::Adversary,
+        limits: RunLimits,
+    ) -> RunOutcome {
+        let mut scheduler = WindowScheduler::new(adversary);
+        core.run(&mut scheduler, limits)
+    }
+
+    fn chain_metric<P: Probe, R: Recorder>(core: &ExecutionCore<P, R>) -> u64 {
+        core.windowed_chain_metric()
+    }
+
+    fn adversary_name(adversary: &Self::Adversary) -> &'static str {
+        adversary.name()
+    }
+}
+
+/// Marker type of the fully asynchronous crash/Byzantine model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsyncModel;
+
+impl ExecutionModel for AsyncModel {
+    type Adversary = dyn AsyncAdversary;
+
+    fn descriptor() -> &'static ModelDescriptor {
+        &ASYNC
+    }
+
+    /// The asynchronous model performs every processor's initial sending step
+    /// at construction: the adversary schedules deliveries from the very
+    /// first action.
+    fn prepare<P: Probe, R: Recorder>(core: &mut ExecutionCore<P, R>) {
+        core.ensure_started();
+        core.flush_all_outboxes();
+        core.record_decision_progress();
+    }
+
+    fn run<P: Probe, R: Recorder>(
+        core: &mut ExecutionCore<P, R>,
+        adversary: &mut Self::Adversary,
+        limits: RunLimits,
+    ) -> RunOutcome {
+        let mut scheduler = AsyncScheduler::new(adversary);
+        core.run(&mut scheduler, limits)
+    }
+
+    fn chain_metric<P: Probe, R: Recorder>(core: &ExecutionCore<P, R>) -> u64 {
+        core.causal_chain_metric()
+    }
+
+    fn adversary_name(adversary: &Self::Adversary) -> &'static str {
+        adversary.name()
+    }
+}
+
+/// Marker type of the partial-synchrony (eventual-synchrony) model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartialSyncModel;
+
+impl ExecutionModel for PartialSyncModel {
+    type Adversary = dyn PartialSyncAdversary;
+
+    fn descriptor() -> &'static ModelDescriptor {
+        &PARTIAL_SYNC
+    }
+
+    /// Like the asynchronous model, initial sends are flushed eagerly: the
+    /// adversary (and the post-GST delivery bound) applies to them from the
+    /// first step.
+    fn prepare<P: Probe, R: Recorder>(core: &mut ExecutionCore<P, R>) {
+        core.ensure_started();
+        core.flush_all_outboxes();
+        core.record_decision_progress();
+    }
+
+    fn run<P: Probe, R: Recorder>(
+        core: &mut ExecutionCore<P, R>,
+        adversary: &mut Self::Adversary,
+        limits: RunLimits,
+    ) -> RunOutcome {
+        let mut scheduler = PartialSyncScheduler::new(adversary);
+        core.run(&mut scheduler, limits)
+    }
+
+    fn chain_metric<P: Probe, R: Recorder>(core: &ExecutionCore<P, R>) -> u64 {
+        core.causal_chain_metric()
+    }
+
+    fn adversary_name(adversary: &Self::Adversary) -> &'static str {
+        adversary.name()
+    }
+}
+
+/// One execution of model `M`: the single engine facade behind
+/// `WindowEngine`, `AsyncEngine` and `PartialSyncEngine`.
+///
+/// Construction, accessors, `run` and `outcome` are assembled once here,
+/// generically over the model; the per-model aliases only add their
+/// idiomatic step methods (`step_window` / `step`).
+#[derive(Debug)]
+pub struct Engine<M: ExecutionModel, P: Probe = NoProbe, R: Recorder = FullTrace> {
+    core: ExecutionCore<P, R>,
+    _model: PhantomData<M>,
+}
+
+impl<M: ExecutionModel> Engine<M, NoProbe, FullTrace> {
+    /// Creates an engine for `cfg.n()` processors with the given inputs,
+    /// running the model's construction-time setup (the asynchronous and
+    /// partial-synchrony models flush initial sends here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
+    pub fn new(
+        cfg: SystemConfig,
+        inputs: InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+    ) -> Self {
+        Engine::with_probe(cfg, inputs, builder, master_seed, NoProbe)
+    }
+}
+
+impl<M: ExecutionModel, P: Probe> Engine<M, P, FullTrace> {
+    /// Creates a trace-keeping engine whose execution is observed by `probe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
+    pub fn with_probe(
+        cfg: SystemConfig,
+        inputs: InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+        probe: P,
+    ) -> Self {
+        Engine::with_parts(cfg, inputs, builder, master_seed, probe, FullTrace::new())
+    }
+}
+
+impl<M: ExecutionModel, P: Probe, R: Recorder> Engine<M, P, R> {
+    /// Creates an engine with an explicit probe and recorder (pass
+    /// [`NoTrace`](agreement_model::NoTrace) to compile trace emission out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
+    pub fn with_parts(
+        cfg: SystemConfig,
+        inputs: InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        master_seed: u64,
+        probe: P,
+        recorder: R,
+    ) -> Self {
+        let mut core =
+            ExecutionCore::with_parts(cfg, inputs, builder, master_seed, probe, recorder);
+        M::prepare(&mut core);
+        Engine {
+            core,
+            _model: PhantomData,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.core.config()
+    }
+
+    /// The input assignment of this execution.
+    pub fn inputs(&self) -> &InputAssignment {
+        self.core.inputs()
+    }
+
+    /// This model's runtime descriptor.
+    pub fn model(&self) -> &'static ModelDescriptor {
+        M::descriptor()
+    }
+
+    /// Scheduler time elapsed so far (windows or steps, per the model).
+    pub fn time(&self) -> u64 {
+        self.core.time()
+    }
+
+    /// The current output bits of all processors, in identity order.
+    pub fn decisions(&self) -> impl Iterator<Item = Option<Bit>> + '_ {
+        self.core.decisions()
+    }
+
+    /// The adversary-visible digests of all processors, in identity order.
+    pub fn digests(&self) -> impl Iterator<Item = StateDigest> + '_ {
+        self.core.digests()
+    }
+
+    /// Which processors have been crashed so far, in identity order.
+    pub fn crashed(&self) -> impl Iterator<Item = bool> + '_ {
+        self.core.crashed()
+    }
+
+    /// Which processors have been declared Byzantine-corrupted so far.
+    pub fn corrupted(&self) -> &[bool] {
+        self.core.corrupted()
+    }
+
+    /// `true` once every processor has written its output bit.
+    pub fn all_decided(&self) -> bool {
+        self.core.all_decided()
+    }
+
+    /// `true` once every non-crashed processor has written its output bit.
+    pub fn all_correct_decided(&self) -> bool {
+        self.core.all_correct_decided()
+    }
+
+    /// Number of faults (crashes plus corruptions) charged so far.
+    pub fn faults_used(&self) -> usize {
+        self.core.faults_used()
+    }
+
+    /// Read access to the shared execution core driving this engine.
+    pub fn core(&self) -> &ExecutionCore<P, R> {
+        &self.core
+    }
+
+    /// Mutable access to the core, for scheduler driving within the crate.
+    pub(crate) fn core_mut(&mut self) -> &mut ExecutionCore<P, R> {
+        &mut self.core
+    }
+
+    /// Runs the model's schedule chosen by `adversary` until every correct
+    /// processor has decided, the adversary halts, or the model's time cap
+    /// from `limits` elapses, and reports the outcome.
+    pub fn run(&mut self, adversary: &mut M::Adversary, limits: RunLimits) -> RunOutcome {
+        M::run(&mut self.core, adversary, limits)
+    }
+
+    /// Produces the outcome snapshot of the execution so far, reporting the
+    /// model's chain metric. The trace is moved, not cloned: a subsequent
+    /// snapshot reports an empty trace.
+    pub fn outcome(&mut self) -> RunOutcome {
+        let chain = M::chain_metric(&self.core);
+        self.core.outcome(chain)
+    }
+}
+
+/// A model-erased adversary instance: what an
+/// `AdversaryFactory` builds and what campaign workers run, without any
+/// layer in between matching on the model.
+///
+/// A built adversary bundles a boxed adversary trait object with its
+/// [`ExecutionModel`] glue; [`BuiltAdversary::run`] (campaign cores) and
+/// [`BuiltAdversary::run_traced`] (diagnostic cores) drive a core through
+/// the model's scheduler. The model-specific boxes can be recovered with
+/// [`BuiltAdversary::into_model`] where a caller genuinely needs one (e.g.
+/// to drive an engine step by step).
+pub struct BuiltAdversary {
+    inner: Box<dyn ErasedAdversary>,
+}
+
+impl std::fmt::Debug for BuiltAdversary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltAdversary")
+            .field("model", &self.model().id())
+            .field("name", &self.name())
+            .finish()
+    }
+}
+
+/// Object-safe projection of [`ExecutionModel`] over a concrete boxed
+/// adversary. The two `run_*` entry points cover the only probe/recorder
+/// combinations the data-driven layers use: trace-free campaign cores and
+/// trace-keeping diagnostic cores. (Probe-instrumented runs drive an
+/// [`Engine`] directly.)
+trait ErasedAdversary: Any {
+    fn model(&self) -> &'static ModelDescriptor;
+    fn name(&self) -> &'static str;
+    fn run_campaign(
+        &mut self,
+        core: &mut ExecutionCore<NoProbe, NoTrace>,
+        limits: RunLimits,
+    ) -> RunOutcome;
+    fn run_traced(
+        &mut self,
+        core: &mut ExecutionCore<NoProbe, FullTrace>,
+        limits: RunLimits,
+    ) -> RunOutcome;
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// A boxed adversary bound to its model's static glue.
+struct Bound<M: ExecutionModel> {
+    adversary: Box<M::Adversary>,
+}
+
+impl<M: ExecutionModel> ErasedAdversary for Bound<M> {
+    fn model(&self) -> &'static ModelDescriptor {
+        M::descriptor()
+    }
+
+    fn name(&self) -> &'static str {
+        M::adversary_name(&self.adversary)
+    }
+
+    fn run_campaign(
+        &mut self,
+        core: &mut ExecutionCore<NoProbe, NoTrace>,
+        limits: RunLimits,
+    ) -> RunOutcome {
+        M::run(core, &mut self.adversary, limits)
+    }
+
+    fn run_traced(
+        &mut self,
+        core: &mut ExecutionCore<NoProbe, FullTrace>,
+        limits: RunLimits,
+    ) -> RunOutcome {
+        M::run(core, &mut self.adversary, limits)
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+impl BuiltAdversary {
+    /// Binds a boxed adversary to its model. This is the open extension
+    /// point: any [`ExecutionModel`] works, including ones declared outside
+    /// this crate.
+    pub fn bind<M: ExecutionModel>(adversary: Box<M::Adversary>) -> Self {
+        BuiltAdversary {
+            inner: Box::new(Bound::<M> { adversary }),
+        }
+    }
+
+    /// A strongly adaptive acceptable-window scheduler (Section 2).
+    pub fn windowed(adversary: Box<dyn WindowAdversary>) -> Self {
+        BuiltAdversary::bind::<WindowModel>(adversary)
+    }
+
+    /// A fully asynchronous step scheduler (Section 5).
+    pub fn asynchronous(adversary: Box<dyn AsyncAdversary>) -> Self {
+        BuiltAdversary::bind::<AsyncModel>(adversary)
+    }
+
+    /// A partial-synchrony scheduler (eventual synchrony with omissions).
+    pub fn partial_sync(adversary: Box<dyn PartialSyncAdversary>) -> Self {
+        BuiltAdversary::bind::<PartialSyncModel>(adversary)
+    }
+
+    /// The model this instance schedules.
+    pub fn model(&self) -> &'static ModelDescriptor {
+        self.inner.model()
+    }
+
+    /// The instance's human-readable name.
+    pub fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    /// Runs one full execution on a trace-free campaign core.
+    pub fn run(
+        &mut self,
+        core: &mut ExecutionCore<NoProbe, NoTrace>,
+        limits: RunLimits,
+    ) -> RunOutcome {
+        self.inner.run_campaign(core, limits)
+    }
+
+    /// Runs one full execution on a trace-keeping diagnostic core.
+    pub fn run_traced(
+        &mut self,
+        core: &mut ExecutionCore<NoProbe, FullTrace>,
+        limits: RunLimits,
+    ) -> RunOutcome {
+        self.inner.run_traced(core, limits)
+    }
+
+    /// Recovers the boxed model-specific adversary, if this instance belongs
+    /// to model `M`.
+    pub fn into_model<M: ExecutionModel>(self) -> Option<Box<M::Adversary>> {
+        self.inner
+            .into_any()
+            .downcast::<Bound<M>>()
+            .ok()
+            .map(|bound| bound.adversary)
+    }
+
+    /// Unwraps a windowed scheduler; `None` for other models.
+    pub fn into_window(self) -> Option<Box<dyn WindowAdversary>> {
+        self.into_model::<WindowModel>()
+    }
+
+    /// Unwraps an asynchronous scheduler; `None` for other models.
+    pub fn into_async(self) -> Option<Box<dyn AsyncAdversary>> {
+        self.into_model::<AsyncModel>()
+    }
+
+    /// Unwraps a partial-synchrony scheduler; `None` for other models.
+    pub fn into_partial_sync(self) -> Option<Box<dyn PartialSyncAdversary>> {
+        self.into_model::<PartialSyncModel>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{BenignEventualAdversary, FairAsyncAdversary, FullDeliveryAdversary};
+
+    #[test]
+    fn descriptors_compare_by_id_and_display_their_id() {
+        assert_eq!(&WINDOWED, &WINDOWED);
+        assert_ne!(&WINDOWED, &ASYNC);
+        assert_eq!(WINDOWED.to_string(), "windowed");
+        assert_eq!(ASYNC.to_string(), "async");
+        assert_eq!(PARTIAL_SYNC.to_string(), "partial-sync");
+    }
+
+    #[test]
+    fn registry_resolves_all_shipped_models() {
+        assert_eq!(model_registry().len(), 3);
+        assert_eq!(find_model("windowed"), Some(&WINDOWED));
+        assert_eq!(find_model("async"), Some(&ASYNC));
+        assert_eq!(find_model("partial-sync"), Some(&PARTIAL_SYNC));
+        assert_eq!(find_model("lockstep"), None);
+    }
+
+    #[test]
+    fn time_caps_select_the_right_limit_field() {
+        let limits = RunLimits {
+            max_windows: 7,
+            max_steps: 99,
+        };
+        assert_eq!(WINDOWED.time_cap(&limits), 7);
+        assert_eq!(ASYNC.time_cap(&limits), 99);
+        assert_eq!(PARTIAL_SYNC.time_cap(&limits), 99);
+    }
+
+    #[test]
+    fn built_adversaries_report_model_and_name_and_downcast() {
+        let built = BuiltAdversary::windowed(Box::new(FullDeliveryAdversary));
+        assert_eq!(built.model(), &WINDOWED);
+        assert_eq!(built.name(), "full-delivery");
+        assert!(built.into_window().is_some());
+
+        let built = BuiltAdversary::asynchronous(Box::new(FairAsyncAdversary::default()));
+        assert_eq!(built.model(), &ASYNC);
+        assert!(built.into_partial_sync().is_none());
+
+        let built = BuiltAdversary::partial_sync(Box::new(BenignEventualAdversary::default()));
+        assert_eq!(built.model(), &PARTIAL_SYNC);
+        assert_eq!(built.name(), "benign-eventual");
+        assert!(built.into_partial_sync().is_some());
+    }
+}

@@ -21,7 +21,7 @@ use agreement_model::{
 };
 
 use crate::adversary::SystemView;
-use crate::buffer::MessageBuffer;
+use crate::buffer::{MessageBuffer, PoppedPayload};
 use crate::harness::{Outgoing, ProcessorHarness};
 use crate::metrics::{Metrics, NoProbe, Probe};
 use crate::outcome::{RunLimits, RunOutcome};
@@ -266,6 +266,11 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
         self.harnesses.iter().map(ProcessorHarness::is_crashed)
     }
 
+    /// Whether processor `id` has crashed.
+    pub fn is_crashed(&self, id: ProcessorId) -> bool {
+        self.harnesses[id.index()].is_crashed()
+    }
+
     /// Which processors have been declared Byzantine-corrupted so far.
     pub fn corrupted(&self) -> &[bool] {
         &self.corrupted
@@ -361,6 +366,8 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
     ///
     /// A staged broadcast is interned **once** and enqueued by handle per
     /// recipient — the payload is never cloned, no matter the fan-out.
+    /// Unicast messages skip the arena entirely: their payloads move inline
+    /// into the queue entry, with no refcount bookkeeping.
     pub fn flush_outbox(&mut self, id: ProcessorId) {
         let chain = self.depth[id.index()] + 1;
         let n = self.cfg.n();
@@ -376,8 +383,7 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
                 Outgoing::One { to, payload } => {
                     recorder.record(TraceEvent::Sent { from: id, to });
                     probe.on_send(id, chain);
-                    let handle = buffer.intern(payload);
-                    buffer.enqueue_ref(id, to, handle, chain);
+                    buffer.enqueue_unicast(id, to, payload, chain);
                 }
                 Outgoing::Broadcast { payload } => {
                     let handle = buffer.intern(payload);
@@ -418,16 +424,24 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
         if self.harnesses[to.index()].is_crashed() {
             return;
         }
-        let Some((handle, chain)) = self.buffer.pop_ref(from, to) else {
+        let Some((popped, chain)) = self.buffer.pop_message(from, to) else {
             return;
         };
         self.recorder.record(TraceEvent::Delivered { from, to });
         self.probe.on_deliver(from, to, chain);
         let before = self.harnesses[to.index()].decision();
-        // The payload is processed straight out of the arena — borrowed, not
-        // moved — and its reference retired afterwards.
-        self.harnesses[to.index()].deliver(from, self.buffer.payload(handle));
-        self.buffer.release(handle);
+        // Shared (broadcast) payloads are processed straight out of the arena
+        // — borrowed, not moved — and their reference retired afterwards;
+        // inline unicast payloads arrive by value from the queue entry.
+        match popped {
+            PoppedPayload::Inline(payload) => {
+                self.harnesses[to.index()].deliver(from, &payload);
+            }
+            PoppedPayload::Shared(handle) => {
+                self.harnesses[to.index()].deliver(from, self.buffer.payload(handle));
+                self.buffer.release(handle);
+            }
+        }
         let depth = &mut self.depth[to.index()];
         *depth = (*depth).max(chain);
         let after = self.harnesses[to.index()].decision();
@@ -456,17 +470,26 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
         for &sender in senders {
             // Pop one message at a time rather than draining into a Vec: this
             // runs for every (recipient, sender) pair of every window, so the
-            // receiving phase must not allocate. Payloads are processed
-            // borrowed from the arena, never moved or cloned.
-            while let Some((handle, chain)) = self.buffer.pop_ref(sender, recipient) {
+            // receiving phase must not allocate. Broadcast payloads are
+            // processed borrowed from the arena, unicasts by value from the
+            // entry — never cloned either way.
+            while let Some((popped, chain)) = self.buffer.pop_message(sender, recipient) {
                 self.recorder.record(TraceEvent::Delivered {
                     from: sender,
                     to: recipient,
                 });
                 self.probe.on_deliver(sender, recipient, chain);
                 depth = depth.max(chain);
-                self.harnesses[recipient.index()].deliver(sender, self.buffer.payload(handle));
-                self.buffer.release(handle);
+                match popped {
+                    PoppedPayload::Inline(payload) => {
+                        self.harnesses[recipient.index()].deliver(sender, &payload);
+                    }
+                    PoppedPayload::Shared(handle) => {
+                        self.harnesses[recipient.index()]
+                            .deliver(sender, self.buffer.payload(handle));
+                        self.buffer.release(handle);
+                    }
+                }
             }
         }
         self.depth[recipient.index()] = depth;
@@ -561,13 +584,16 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
     pub fn advance_window(&mut self) {
         self.time += 1;
         self.windows += 1;
+        self.buffer.set_now(self.time);
         self.probe.on_window();
     }
 
-    /// Advances the scheduler clock by one asynchronous adversary step.
+    /// Advances the scheduler clock by one adversary step (asynchronous and
+    /// partial-synchrony models).
     pub fn advance_step(&mut self) {
         self.time += 1;
         self.steps += 1;
+        self.buffer.set_now(self.time);
         self.probe.on_step();
     }
 

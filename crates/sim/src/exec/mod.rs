@@ -15,14 +15,21 @@
 //! * [`AsyncScheduler`] executes per-message adversarial deliveries, crashes
 //!   and Byzantine corruptions from an
 //!   [`AsyncAdversary`](crate::AsyncAdversary).
+//! * [`PartialSyncScheduler`] implements eventual synchrony with omission
+//!   faults from a [`PartialSyncAdversary`](crate::PartialSyncAdversary):
+//!   free scheduling before the adversary's GST, *enforced* bounded-delay
+//!   delivery after it.
 //!
-//! The public engines [`WindowEngine`](crate::WindowEngine) and
-//! [`AsyncEngine`](crate::AsyncEngine) are thin drivers over this module; new
-//! execution models (partial synchrony, message-omission adversaries, …) are
-//! added by implementing [`Scheduler`] — see DESIGN.md for a walkthrough.
+//! The public engines (`WindowEngine`, `AsyncEngine`, `PartialSyncEngine`)
+//! are thin aliases of the generic [`Engine`](crate::Engine) facade over this
+//! module; new execution models are added by implementing [`Scheduler`] and
+//! declaring an [`ExecutionModel`](crate::ExecutionModel) — see DESIGN.md §2
+//! for the partial-synchrony model as a worked example.
 
 mod core;
+mod partial_sync;
 mod schedulers;
 
 pub use self::core::ExecutionCore;
+pub use self::partial_sync::PartialSyncScheduler;
 pub use self::schedulers::{AsyncScheduler, Scheduler, WindowScheduler};

@@ -1,0 +1,194 @@
+//! The partial-synchrony scheduler: eventual synchrony with omission faults,
+//! expressed over [`ExecutionCore`].
+//!
+//! This is the "curtailed adversary" side of the paper's dichotomy. Before an
+//! adversary-chosen global stabilization time (GST) the adversary schedules
+//! with full asynchronous freedom — deliver anything, crash up to `t`
+//! processors, or simply stall. From GST on, the model takes over: every
+//! pending message must be delivered within a bounded-delay window Δ, and the
+//! scheduler **enforces** that bound by force-delivering overdue messages at
+//! the start of each step, whatever the adversary chooses to do. The only
+//! post-GST escape hatch is omission: senders may be declared
+//! omission-faulty, and their messages are exempt from forced delivery (they
+//! may never arrive at all — the send-omission analogue of a crash).
+//! Omissions and crashes draw from **one** shared fault budget of `t`
+//! processors: the declared omission set charges its size up front, and a
+//! crash that would push the combined total past `t` is refused — so at most
+//! `t` voices can ever be silenced, and `n - t` quorums stay reachable.
+//!
+//! Concretely, one unit of scheduled time is one step:
+//!
+//! 1. the adversary picks a discretionary [`PartialSyncAction`] with full
+//!    information;
+//! 2. the clock advances;
+//! 3. **bounded-delay enforcement** — if the clock has passed GST, every
+//!    pending message sent at step `s` whose deadline `max(s, gst) + Δ` has
+//!    arrived is delivered, in deterministic sender-major channel order
+//!    (messages from omitted senders and messages to crashed recipients are
+//!    exempt);
+//! 4. the discretionary action is applied.
+//!
+//! Running time is measured in steps against `RunLimits::max_steps`, and the
+//! chain metric is the causal depth at the first decision, exactly as in the
+//! fully asynchronous model — so expected-time numbers are directly
+//! comparable between the two.
+
+use agreement_model::{ProcessorId, Recorder};
+
+use crate::adversary::{PartialSyncAction, PartialSyncAdversary};
+use crate::metrics::Probe;
+use crate::outcome::RunLimits;
+
+use super::{ExecutionCore, Scheduler};
+
+/// The partial-synchrony model's scheduler: free scheduling before the
+/// adversary's GST, enforced bounded-delay delivery after it.
+#[derive(Debug)]
+pub struct PartialSyncScheduler<A: ?Sized> {
+    adversary: A,
+}
+
+impl<'a> PartialSyncScheduler<&'a mut dyn PartialSyncAdversary> {
+    /// Wraps a partial-synchrony adversary borrowed for the duration of a run.
+    pub fn new(adversary: &'a mut dyn PartialSyncAdversary) -> Self {
+        PartialSyncScheduler { adversary }
+    }
+}
+
+impl<A: PartialSyncAdversary + ?Sized> PartialSyncScheduler<&mut A> {
+    /// The effective omission set: the first `t` senders the adversary
+    /// declared, the budget the model grants it.
+    fn is_omitted(&self, sender: ProcessorId, t: usize) -> bool {
+        self.adversary
+            .omitted_senders()
+            .iter()
+            .take(t)
+            .any(|&s| s == sender)
+    }
+
+    /// How many faults the declared omission set charges against the shared
+    /// budget `t`: the distinct senders among the first `t` entries.
+    fn omission_faults(&self, t: usize) -> usize {
+        let honoured =
+            &self.adversary.omitted_senders()[..self.adversary.omitted_senders().len().min(t)];
+        honoured
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| !honoured[..*i].contains(s))
+            .count()
+    }
+
+    /// Delivers every pending message whose post-GST deadline has arrived:
+    /// a message sent at step `s` must be delivered by `max(s, gst) + Δ`.
+    ///
+    /// Channels are scanned sender-major; within a channel, FIFO order and a
+    /// monotone clock mean the head is always the oldest message, so popping
+    /// while the head is overdue delivers exactly the overdue prefix.
+    /// Messages from omitted senders and to crashed recipients are exempt
+    /// (the model only promises delivery between correct processors).
+    fn force_overdue<P: Probe, R: Recorder>(
+        &mut self,
+        core: &mut ExecutionCore<P, R>,
+        now: u64,
+        gst: u64,
+        delta: u64,
+    ) {
+        let n = core.config().n();
+        let t = core.config().t();
+        for from in ProcessorId::all(n) {
+            if self.is_omitted(from, t) {
+                continue;
+            }
+            for to in ProcessorId::all(n) {
+                if core.is_crashed(to) {
+                    continue;
+                }
+                while let Some(sent) = core.buffer().head_sent_at(from, to) {
+                    if sent.max(gst) + delta > now {
+                        break;
+                    }
+                    core.deliver_one(from, to);
+                }
+            }
+        }
+    }
+
+    /// Executes one partial-synchrony step (see the module docs for the
+    /// phase order). Returns `false` once the execution has halted.
+    pub fn step_partial_sync<P: Probe, R: Recorder>(
+        &mut self,
+        core: &mut ExecutionCore<P, R>,
+    ) -> bool {
+        if core.is_halted() {
+            return false;
+        }
+        let action = core.with_view(|view| self.adversary.next_action(view));
+        core.advance_step();
+        let now = core.time();
+        let gst = self.adversary.gst();
+        let delta = self.adversary.delta().max(1);
+        if now >= gst {
+            self.force_overdue(core, now, gst, delta);
+        }
+        match action {
+            PartialSyncAction::Deliver { from, to } => core.deliver_one(from, to),
+            PartialSyncAction::Crash(id) => {
+                // Omissions and crashes draw from ONE budget of `t` faults:
+                // a crash that would push the combined total past `t` is
+                // refused (and logged), exactly like the core's own
+                // over-budget crash handling — otherwise an adversary could
+                // silence 2t processors and defeat the model's
+                // forced-termination guarantee. Re-crashing an already
+                // crashed processor stays the same free no-op it is in the
+                // core, never a logged budget violation.
+                let t = core.config().t();
+                if core.is_crashed(id) {
+                    // no-op
+                } else if self.omission_faults(t) + core.faults_used() >= t {
+                    core.push_trace(agreement_model::TraceEvent::Violation {
+                        description: format!(
+                            "partial-sync adversary attempted to crash {id} beyond the \
+                             shared omission+crash budget t={t}; ignored"
+                        ),
+                    });
+                } else {
+                    core.crash(id);
+                }
+            }
+            PartialSyncAction::Stall => {}
+            PartialSyncAction::Halt => core.halt(),
+        }
+        core.record_decision_progress();
+        !core.is_halted()
+    }
+}
+
+impl<A: PartialSyncAdversary + ?Sized, P: Probe, R: Recorder> Scheduler<P, R>
+    for PartialSyncScheduler<&mut A>
+{
+    fn name(&self) -> &'static str {
+        self.adversary.name()
+    }
+
+    /// Initial sends are flushed eagerly, as in the asynchronous model: the
+    /// delivery bound applies to them from the first step.
+    fn on_start(&mut self, core: &mut ExecutionCore<P, R>) {
+        core.ensure_started();
+        core.flush_all_outboxes();
+    }
+
+    fn step(&mut self, core: &mut ExecutionCore<P, R>) -> bool {
+        self.step_partial_sync(core)
+    }
+
+    fn max_time(&self, limits: &RunLimits) -> u64 {
+        limits.max_steps
+    }
+
+    /// Partial-synchrony running time shares the asynchronous model's chain
+    /// metric (the causal depth at the first decision) so strong-vs-weak
+    /// adversary comparisons read off the same scale.
+    fn longest_chain(&self, core: &ExecutionCore<P, R>) -> u64 {
+        core.causal_chain_metric()
+    }
+}

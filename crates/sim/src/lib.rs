@@ -1,13 +1,14 @@
 //! Adversary-controlled simulation of asynchronous message-passing agreement.
 //!
 //! This crate is the execution substrate of the reproduction of Lewko & Lewko
-//! (PODC 2013). Both execution models share one substrate — the
+//! (PODC 2013). Every execution model shares one substrate — the
 //! [`ExecutionCore`] of the [`exec`] module, which owns processor harnesses,
 //! the in-flight [`MessageBuffer`], decision/validity tracking, trace emission
 //! and limit enforcement — while a pluggable [`Scheduler`] supplies what
-//! differs between models. Two engines drive
-//! [`agreement_model::Protocol`] state machines under full-information
-//! adversaries:
+//! differs between models. The execution-model axis itself is **open**: a
+//! model is a [`Scheduler`] plus an [`ExecutionModel`] marker with a runtime
+//! [`ModelDescriptor`], and the generic [`Engine`] facade drives any of them.
+//! Three models ship, as thin aliases over [`Engine`]:
 //!
 //! * [`WindowEngine`] — the **strongly adaptive model** of Section 2: the
 //!   execution is a sequence of *acceptable windows* ([`Window`],
@@ -18,14 +19,21 @@
 //!   adversary schedules individual message deliveries and may cause up to `t`
 //!   crash (or Byzantine) failures. Running time is measured as the longest
 //!   message chain preceding the first decision.
+//! * [`PartialSyncEngine`] — the **partial-synchrony model** (eventual
+//!   synchrony with omission faults): the adversary schedules freely before
+//!   its chosen GST; afterwards every pending message is force-delivered
+//!   within its declared bound Δ, except messages from up to `t`
+//!   omission-faulty senders. This is the "weaker adversary" side of the
+//!   paper's dichotomy.
 //!
-//! Adversaries implement [`WindowAdversary`] or [`AsyncAdversary`] and are
-//! given a [`SystemView`] exposing every processor state digest and every
-//! in-flight message — the full-information assumption of the paper.
-//! Concrete adversary strategies (strongly adaptive resetting, split-vote
-//! balancing, crash scheduling, …) live in the `agreement-adversary` crate;
-//! this crate only ships the benign baselines [`FullDeliveryAdversary`] and
-//! [`FairAsyncAdversary`].
+//! Adversaries implement [`WindowAdversary`], [`AsyncAdversary`] or
+//! [`PartialSyncAdversary`] and are given a [`SystemView`] exposing every
+//! processor state digest and every in-flight message — the full-information
+//! assumption of the paper. Concrete adversary strategies (strongly adaptive
+//! resetting, split-vote balancing, crash scheduling, GST procrastination, …)
+//! live in the `agreement-adversary` crate; this crate only ships the benign
+//! baselines [`FullDeliveryAdversary`], [`FairAsyncAdversary`] and
+//! [`BenignEventualAdversary`].
 //!
 //! # Example
 //!
@@ -69,25 +77,32 @@
 mod adversary;
 mod async_engine;
 mod buffer;
+mod engine;
 pub mod exec;
 mod harness;
 mod metrics;
 mod outcome;
+mod partial_sync_engine;
 mod window;
 mod window_engine;
 mod workspace;
 
 pub use adversary::{
-    AsyncAction, AsyncAdversary, FairAsyncAdversary, FullDeliveryAdversary, ModelKind, SystemView,
-    WindowAdversary,
+    AsyncAction, AsyncAdversary, BenignEventualAdversary, FairAsyncAdversary,
+    FullDeliveryAdversary, PartialSyncAction, PartialSyncAdversary, SystemView, WindowAdversary,
 };
 pub use agreement_model::{FullTrace, NoTrace, Recorder};
 pub use async_engine::{run_async, AsyncEngine};
-pub use buffer::{MessageBuffer, PayloadRef};
-pub use exec::{AsyncScheduler, ExecutionCore, Scheduler, WindowScheduler};
+pub use buffer::{MessageBuffer, PayloadRef, PoppedPayload};
+pub use engine::{
+    find_model, model_registry, AsyncModel, BuiltAdversary, Engine, ExecutionModel,
+    ModelDescriptor, PartialSyncModel, WindowModel, ASYNC, PARTIAL_SYNC, WINDOWED,
+};
+pub use exec::{AsyncScheduler, ExecutionCore, PartialSyncScheduler, Scheduler, WindowScheduler};
 pub use harness::{HarnessCore, Outgoing, ProcessorHarness};
 pub use metrics::{Metrics, MetricsProbe, NoProbe, Probe};
 pub use outcome::{RunLimits, RunOutcome};
+pub use partial_sync_engine::{run_partial_sync, PartialSyncEngine};
 pub use window::{Window, WindowError};
 pub use window_engine::{run_windowed, WindowEngine};
 pub use workspace::TrialWorkspace;

@@ -2,9 +2,10 @@
 //!
 //! The strongly adaptive adversary (Section 2) is constrained to produce
 //! executions that decompose into adjacent, disjoint *acceptable windows*
-//! (Definition 1). The [`WindowEngine`] drives one such execution as a thin
-//! wrapper over the shared [`ExecutionCore`] with a
-//! [`WindowScheduler`](crate::exec::WindowScheduler); per window:
+//! (Definition 1). [`WindowEngine`] is a thin alias of the generic
+//! [`Engine`](crate::Engine) facade bound to [`WindowModel`]: everything but
+//! the window-wise stepping lives in the shared facade and the
+//! [`WindowScheduler`](crate::exec::WindowScheduler). Per window:
 //!
 //! 1. **Sending phase** — every non-crashed processor takes a sending step:
 //!    the messages it computed in response to the previous window's deliveries
@@ -22,109 +23,22 @@
 //!
 //! Running time is measured in acceptable windows, as in Section 2.
 
-use agreement_model::{
-    Bit, FullTrace, InputAssignment, ProtocolBuilder, Recorder, StateDigest, SystemConfig,
-};
+use agreement_model::{FullTrace, InputAssignment, ProtocolBuilder, Recorder, SystemConfig};
 
 use crate::adversary::WindowAdversary;
-use crate::exec::{ExecutionCore, WindowScheduler};
+use crate::engine::{Engine, WindowModel};
+use crate::exec::WindowScheduler;
 use crate::metrics::{NoProbe, Probe};
 use crate::outcome::{RunLimits, RunOutcome};
 
-/// An execution of the strongly adaptive (acceptable-window) model.
-#[derive(Debug)]
-pub struct WindowEngine<P: Probe = NoProbe, R: Recorder = FullTrace> {
-    core: ExecutionCore<P, R>,
-}
+/// An execution of the strongly adaptive (acceptable-window) model: the
+/// generic [`Engine`] facade bound to [`WindowModel`].
+pub type WindowEngine<P = NoProbe, R = FullTrace> = Engine<WindowModel, P, R>;
 
-impl WindowEngine<NoProbe, FullTrace> {
-    /// Creates an engine for `cfg.n()` processors with the given inputs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
-    pub fn new(
-        cfg: SystemConfig,
-        inputs: InputAssignment,
-        builder: &dyn ProtocolBuilder,
-        master_seed: u64,
-    ) -> Self {
-        WindowEngine::with_probe(cfg, inputs, builder, master_seed, NoProbe)
-    }
-}
-
-impl<P: Probe> WindowEngine<P, FullTrace> {
-    /// Creates a trace-keeping engine whose execution is observed by `probe`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
-    pub fn with_probe(
-        cfg: SystemConfig,
-        inputs: InputAssignment,
-        builder: &dyn ProtocolBuilder,
-        master_seed: u64,
-        probe: P,
-    ) -> Self {
-        WindowEngine {
-            core: ExecutionCore::with_probe(cfg, inputs, builder, master_seed, probe),
-        }
-    }
-}
-
-impl<P: Probe, R: Recorder> WindowEngine<P, R> {
-    /// Creates an engine with an explicit probe and recorder (pass
-    /// [`NoTrace`](agreement_model::NoTrace) to compile trace emission out).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs` does not assign exactly `cfg.n()` bits.
-    pub fn with_parts(
-        cfg: SystemConfig,
-        inputs: InputAssignment,
-        builder: &dyn ProtocolBuilder,
-        master_seed: u64,
-        probe: P,
-        recorder: R,
-    ) -> Self {
-        WindowEngine {
-            core: ExecutionCore::with_parts(cfg, inputs, builder, master_seed, probe, recorder),
-        }
-    }
-
-    /// The system configuration.
-    pub fn config(&self) -> SystemConfig {
-        self.core.config()
-    }
-
-    /// The input assignment of this execution.
-    pub fn inputs(&self) -> &InputAssignment {
-        self.core.inputs()
-    }
-
+impl<P: Probe, R: Recorder> Engine<WindowModel, P, R> {
     /// Number of acceptable windows executed so far.
     pub fn windows_elapsed(&self) -> u64 {
-        self.core.time()
-    }
-
-    /// The current output bits of all processors, in identity order.
-    pub fn decisions(&self) -> impl Iterator<Item = Option<Bit>> + '_ {
-        self.core.decisions()
-    }
-
-    /// The adversary-visible digests of all processors, in identity order.
-    pub fn digests(&self) -> impl Iterator<Item = StateDigest> + '_ {
-        self.core.digests()
-    }
-
-    /// `true` once every processor has written its output bit.
-    pub fn all_decided(&self) -> bool {
-        self.core.all_decided()
-    }
-
-    /// Read access to the shared execution core driving this engine.
-    pub fn core(&self) -> &ExecutionCore<P, R> {
-        &self.core
+        self.time()
     }
 
     /// Executes one acceptable window chosen by `adversary`.
@@ -134,25 +48,12 @@ impl<P: Probe, R: Recorder> WindowEngine<P, R> {
     /// Panics if the adversary returns a window violating Definition 1 — that
     /// is a bug in the adversary implementation, not a legitimate execution.
     pub fn step_window(&mut self, adversary: &mut dyn WindowAdversary) {
-        WindowScheduler::new(adversary).step_window(&mut self.core);
-    }
-
-    /// Runs windows chosen by `adversary` until every processor has decided or
-    /// `limits.max_windows` windows have elapsed, and reports the outcome.
-    pub fn run(&mut self, adversary: &mut dyn WindowAdversary, limits: RunLimits) -> RunOutcome {
-        let mut scheduler = WindowScheduler::new(adversary);
-        self.core.run(&mut scheduler, limits)
-    }
-
-    /// Produces the outcome snapshot of the execution so far. The trace is
-    /// moved, not cloned: a subsequent snapshot reports an empty trace.
-    pub fn outcome(&mut self) -> RunOutcome {
-        let chain = self.core.windowed_chain_metric();
-        self.core.outcome(chain)
+        WindowScheduler::new(adversary).step_window(self.core_mut());
     }
 }
 
-/// Convenience: build an engine, run it against `adversary`, return the outcome.
+/// Convenience: build a fresh trace-keeping core, run it against `adversary`,
+/// return the outcome. Equivalent to driving a [`WindowEngine`].
 pub fn run_windowed(
     cfg: SystemConfig,
     inputs: InputAssignment,
@@ -161,8 +62,9 @@ pub fn run_windowed(
     master_seed: u64,
     limits: RunLimits,
 ) -> RunOutcome {
-    let mut engine = WindowEngine::new(cfg, inputs, builder, master_seed);
-    engine.run(adversary, limits)
+    let mut core = crate::exec::ExecutionCore::new(cfg, inputs, builder, master_seed);
+    let mut scheduler = WindowScheduler::new(adversary);
+    core.run(&mut scheduler, limits)
 }
 
 #[cfg(test)]
@@ -170,7 +72,7 @@ mod tests {
     use super::*;
     use crate::adversary::{FullDeliveryAdversary, SystemView};
     use crate::window::Window;
-    use agreement_model::{Context, Payload, ProcessorId, Protocol, StateDigest};
+    use agreement_model::{Bit, Context, Payload, ProcessorId, Protocol, StateDigest};
 
     /// A toy protocol that decides once it has heard reports from everyone:
     /// it decides the majority value (ties -> One). One window suffices under

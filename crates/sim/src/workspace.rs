@@ -20,8 +20,9 @@
 
 use agreement_model::{InputAssignment, NoTrace, ProtocolBuilder, SystemConfig};
 
-use crate::adversary::{AsyncAdversary, WindowAdversary};
-use crate::exec::{AsyncScheduler, ExecutionCore, WindowScheduler};
+use crate::adversary::{AsyncAdversary, PartialSyncAdversary, WindowAdversary};
+use crate::engine::BuiltAdversary;
+use crate::exec::{AsyncScheduler, ExecutionCore, PartialSyncScheduler, WindowScheduler};
 use crate::metrics::NoProbe;
 use crate::outcome::{RunLimits, RunOutcome};
 
@@ -96,6 +97,40 @@ impl TrialWorkspace {
         let core = self.core_for(cfg, inputs, builder, master_seed);
         let mut scheduler = AsyncScheduler::new(adversary);
         core.run(&mut scheduler, limits)
+    }
+
+    /// Runs one partial-synchrony trial inside this workspace. Same results
+    /// as [`run_partial_sync`](crate::run_partial_sync), minus the trace; no
+    /// per-trial allocation of core state.
+    pub fn run_partial_sync(
+        &mut self,
+        cfg: SystemConfig,
+        inputs: &InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        adversary: &mut dyn PartialSyncAdversary,
+        master_seed: u64,
+        limits: RunLimits,
+    ) -> RunOutcome {
+        let core = self.core_for(cfg, inputs, builder, master_seed);
+        let mut scheduler = PartialSyncScheduler::new(adversary);
+        core.run(&mut scheduler, limits)
+    }
+
+    /// Runs one trial of *any* execution model inside this workspace: the
+    /// model-agnostic entry point campaign workers use. The
+    /// [`BuiltAdversary`] carries its own scheduler glue, so no caller ever
+    /// matches on the model.
+    pub fn run_built(
+        &mut self,
+        cfg: SystemConfig,
+        inputs: &InputAssignment,
+        builder: &dyn ProtocolBuilder,
+        adversary: &mut BuiltAdversary,
+        master_seed: u64,
+        limits: RunLimits,
+    ) -> RunOutcome {
+        let core = self.core_for(cfg, inputs, builder, master_seed);
+        adversary.run(core, limits)
     }
 }
 

@@ -7,12 +7,15 @@
 //! examples and integration tests can address the whole system:
 //!
 //! * [`model`] — processors, bits, messages, configurations, protocol traits.
-//! * [`sim`] — the acceptable-window engine (strongly adaptive model) and the
-//!   fully asynchronous engine (crash/Byzantine model).
+//! * [`sim`] — the generic execution engine over an open model axis: the
+//!   acceptable-window model (strongly adaptive), the fully asynchronous
+//!   model (crash/Byzantine), and the partial-synchrony model (eventual
+//!   synchrony with omission faults).
 //! * [`protocols`] — Ben-Or, Bracha (+ reliable broadcast), the paper's
 //!   reset-tolerant protocol, and the committee baseline.
-//! * [`adversary`] — resetting, balancing, crash, committee-killer and
-//!   Byzantine adversaries.
+//! * [`adversary`] — resetting, balancing, crash, committee-killer,
+//!   Byzantine and partial-synchrony (GST-procrastination, omission)
+//!   adversaries.
 //! * [`analysis`] — Hamming geometry, product distributions, Talagrand's
 //!   inequality, the Z-set recursion, Theorem 5 constants, statistics.
 //! * [`net`] — a threaded message-passing runtime for the same protocols.

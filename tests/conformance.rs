@@ -1,0 +1,100 @@
+//! Cross-backend conformance: the real threaded cluster (`agreement-net`)
+//! and the simulator agree on benign executions of the same protocol and
+//! inputs.
+//!
+//! The ROADMAP's multi-backend goal is that the *same* protocol state
+//! machines run unchanged under the adversarial simulator and under real OS
+//! scheduling. This is the first conformance guard for it: for benign runs
+//! whose outcome is schedule-independent (unanimous inputs force the decided
+//! value; agreement and validity must hold under any fair schedule), the
+//! `net::cluster` decisions must match the sim's benign-async scenario
+//! outcome for the same protocol and inputs.
+//!
+//! The cluster's interleaving is whatever the OS does, so only
+//! schedule-independent facts are compared: termination, agreement, validity
+//! and the decided value itself. Deterministic per-schedule details (message
+//! counts, decision times) are meaningless across backends and stay out.
+
+use std::time::Duration;
+
+use agreement::model::{Bit, InputAssignment, ProtocolBuilder, SystemConfig};
+use agreement::net::Cluster;
+use agreement::sim::{run_async, FairAsyncAdversary, RunLimits};
+
+/// Runs one benign execution on both backends and checks every
+/// schedule-independent fact matches.
+fn assert_backends_agree(
+    cfg: SystemConfig,
+    inputs: InputAssignment,
+    builder: &dyn ProtocolBuilder,
+    seed: u64,
+) {
+    let sim = run_async(
+        cfg,
+        inputs.clone(),
+        builder,
+        &mut FairAsyncAdversary::default(),
+        seed,
+        RunLimits::small(),
+    );
+    assert!(
+        sim.all_correct_decided(),
+        "sim benign-async run must terminate"
+    );
+    assert!(sim.is_correct(&inputs));
+
+    let cluster = Cluster::new(cfg, inputs.clone(), seed)
+        .deadline(Duration::from_secs(30))
+        .run(builder);
+    assert!(!cluster.timed_out, "cluster run timed out");
+    assert!(cluster.all_live_decided());
+    assert!(cluster.agreement_holds());
+    assert!(cluster.validity_holds(&inputs));
+    assert!(!cluster.conflicting_write);
+
+    // Unanimous inputs force the decided value on every backend; both sides
+    // must land on the same bit.
+    let sim_value = sim.decided_value().expect("sim decided");
+    let cluster_value = cluster
+        .decisions
+        .iter()
+        .flatten()
+        .next()
+        .copied()
+        .expect("cluster decided");
+    assert_eq!(
+        sim_value, cluster_value,
+        "backends decided different values"
+    );
+    assert!(
+        cluster.decisions.iter().flatten().all(|&v| v == sim_value),
+        "cluster nodes disagree with the sim's decision"
+    );
+}
+
+#[test]
+fn ben_or_cluster_matches_sim_on_unanimous_inputs() {
+    use agreement::protocols::BenOrBuilder;
+    for (value, seed) in [(Bit::Zero, 7u64), (Bit::One, 21)] {
+        let cfg = SystemConfig::new(5, 1).unwrap();
+        let inputs = InputAssignment::unanimous(5, value);
+        assert_backends_agree(cfg, inputs, &BenOrBuilder::new(), seed);
+    }
+}
+
+#[test]
+fn bracha_cluster_matches_sim_on_unanimous_inputs() {
+    use agreement::protocols::BrachaBuilder;
+    let cfg = SystemConfig::new(7, 2).unwrap();
+    let inputs = InputAssignment::unanimous(7, Bit::One);
+    assert_backends_agree(cfg, inputs, &BrachaBuilder::new(), 13);
+}
+
+#[test]
+fn reset_tolerant_cluster_matches_sim_on_unanimous_inputs() {
+    use agreement::protocols::ResetTolerantBuilder;
+    let cfg = SystemConfig::with_sixth_resilience(7).unwrap();
+    let builder = ResetTolerantBuilder::recommended(&cfg).unwrap();
+    let inputs = InputAssignment::unanimous(7, Bit::Zero);
+    assert_backends_agree(cfg, inputs, &builder, 17);
+}
