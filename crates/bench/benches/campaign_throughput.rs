@@ -21,6 +21,10 @@
 //!   model's benign-eventual baseline, run through the model-agnostic
 //!   `Campaign::run_records` path (the same open-axis dispatch the scenario
 //!   layer uses).
+//! * `async/sampled_committee/fair/1000` — the sub-quadratic subquad shape:
+//!   sampled-committee agreement at n = 1000, where `BufferChoice::Auto`
+//!   picks the lazily materialized sparse channel fabric (a dense grid here
+//!   would be a million queues per trial).
 //!
 //! Trials run on `Campaign::serial()` so the measurement is per-worker
 //! throughput, free of thread-scheduling noise; the parallel campaign scales
@@ -33,8 +37,8 @@ use agreement_bench::harness::BenchGroup;
 
 use agreement_adversary::SplitVoteAdversary;
 use agreement_core::{Campaign, TrialPlan};
-use agreement_model::{InputAssignment, SystemConfig};
-use agreement_protocols::{BenOrBuilder, ResetTolerantBuilder};
+use agreement_model::{Bit, InputAssignment, SystemConfig};
+use agreement_protocols::{BenOrBuilder, ResetTolerantBuilder, SampledCommitteeBuilder};
 use agreement_sim::{
     BenignEventualAdversary, BuiltAdversary, FairAsyncAdversary, FullDeliveryAdversary, RunLimits,
 };
@@ -112,6 +116,22 @@ fn async_ben_or(n: usize) -> f64 {
     stats.throughput() * TRIALS_PER_ITER as f64
 }
 
+/// The sub-quadratic subquad shape: sampled-committee agreement at a size
+/// where only the sparse channel fabric is viable. Uses the same committee
+/// size and sortition seed as the `subquad/` scenario family at n = 1000.
+fn async_sampled_committee(n: usize) -> f64 {
+    let cfg = SystemConfig::new(n, 7).unwrap();
+    let builder = SampledCommitteeBuilder::random(&cfg, 20, 0x5AB5EED);
+    let plan = TrialPlan::new(cfg, InputAssignment::unanimous(n, Bit::One))
+        .trials(TRIALS_PER_ITER)
+        .limits(RunLimits::steps(2_000_000));
+    let campaign = Campaign::serial();
+    let stats = group().bench(format!("async/sampled_committee/fair/{n}"), || {
+        campaign.run_async_records(&plan, &builder, |_seed| FairAsyncAdversary::default())
+    });
+    stats.throughput() * TRIALS_PER_ITER as f64
+}
+
 fn main() {
     let record = std::env::args().any(|a| a == "--record");
     let path = baseline_path("campaign_throughput");
@@ -131,6 +151,10 @@ fn main() {
     );
     measured.set("async/ben_or/fair/8", async_ben_or(8));
     measured.set("partial_sync/ben_or/eventual/8", partial_sync_ben_or(8));
+    measured.set(
+        "async/sampled_committee/fair/1000",
+        async_sampled_committee(1_000),
+    );
 
     println!("\n== campaign throughput (trials/sec) vs recorded baseline ==");
     let mut regressions = 0;

@@ -1,0 +1,14 @@
+//! Regenerates experiment E10 (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p agreement-bench --bin exp10_subquadratic_scaling [--full]`
+
+use agreement_core::experiments::{exp10_subquadratic_scaling, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("{}", exp10_subquadratic_scaling(scale));
+}

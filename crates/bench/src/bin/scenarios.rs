@@ -10,6 +10,9 @@
 //!   --list             print every registered scenario id and exit
 //!   --filter <SUBSTR>  only scenarios whose id contains SUBSTR (repeatable;
 //!                      a scenario matches if it matches any filter)
+//!   --exclude <SUBSTR> drop scenarios whose id contains SUBSTR (repeatable;
+//!                      applied after --filter — e.g. `--exclude subquad/`
+//!                      reproduces the historical registry byte for byte)
 //!   --scale <quick|full>  parameter scale (default: quick)
 //!   --trials <N>       override the trial count of every matched scenario
 //!   --base-seed <S>    override the base seed of every matched scenario
@@ -40,6 +43,7 @@ use agreement_core::{
 struct Options {
     list: bool,
     filters: Vec<String>,
+    excludes: Vec<String>,
     scale: Scale,
     trials: Option<u64>,
     base_seed: Option<u64>,
@@ -53,6 +57,7 @@ fn parse_options() -> Options {
     let mut options = Options {
         list: false,
         filters: Vec::new(),
+        excludes: Vec::new(),
         scale: Scale::Quick,
         trials: None,
         base_seed: None,
@@ -66,6 +71,9 @@ fn parse_options() -> Options {
         match arg.as_str() {
             "--list" => options.list = true,
             "--filter" => options.filters.push(required_value(&mut args, "--filter")),
+            "--exclude" => options
+                .excludes
+                .push(required_value(&mut args, "--exclude")),
             "--trials" => options.trials = Some(parsed_value(&mut args, "--trials")),
             "--base-seed" => options.base_seed = Some(parsed_value(&mut args, "--base-seed")),
             "--json" => options.json = Some(required_value(&mut args, "--json")),
@@ -85,7 +93,8 @@ fn parse_options() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: scenarios [--list] [--filter SUBSTR]... [--scale quick|full]\n\
+                    "usage: scenarios [--list] [--filter SUBSTR]... [--exclude SUBSTR]...\n\
+                     \x20                [--scale quick|full]\n\
                      \x20                [--trials N] [--base-seed S]\n\
                      \x20                [--json PATH] [--csv PATH] [--jsonl PATH] [--check PATH]\n\
                      Runs every registered protocol × adversary × inputs × size combination."
@@ -101,8 +110,10 @@ fn parse_options() -> Options {
     options
 }
 
-fn matches(spec: &ScenarioSpec, filters: &[String]) -> bool {
-    filters.is_empty() || filters.iter().any(|f| spec.id().contains(f.as_str()))
+fn matches(spec: &ScenarioSpec, filters: &[String], excludes: &[String]) -> bool {
+    let id = spec.id();
+    (filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str())))
+        && !excludes.iter().any(|e| id.contains(e.as_str()))
 }
 
 /// Validates a `--json` document: it must parse with the in-tree parser,
@@ -170,7 +181,7 @@ fn main() {
 
     let mut specs: Vec<ScenarioSpec> = scenario_registry(options.scale)
         .into_iter()
-        .filter(|spec| matches(spec, &options.filters))
+        .filter(|spec| matches(spec, &options.filters, &options.excludes))
         .collect();
     for spec in &mut specs {
         if let Some(trials) = options.trials {

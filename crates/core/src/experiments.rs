@@ -1,4 +1,4 @@
-//! The per-claim experiments E1–E9 (see DESIGN.md §3 and EXPERIMENTS.md).
+//! The per-claim experiments E1–E10 (see DESIGN.md §3 and EXPERIMENTS.md).
 //!
 //! The paper is a theory paper without numeric tables or figures; each
 //! experiment here regenerates one of its *claims* as a table. Every
@@ -601,6 +601,155 @@ pub fn exp9_reset_budget(scale: Scale) -> Table {
     table
 }
 
+/// Least-squares slope of `ln(messages)` against `ln(n)` — the fitted
+/// exponent `p` in `messages ≈ C·n^p`. Two points give the exact two-point
+/// slope; fewer than two give 0.
+fn power_law_exponent(points: &[(f64, f64)]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let k = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(n, m) in points {
+        let (x, y) = (n.ln(), m.max(1.0).ln());
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    (k * sxy - sx * sy) / (k * sxx - sx * sx)
+}
+
+/// E10's workloads: the quadratic baselines (Ben-Or, Bracha) at the sizes
+/// where `Θ(n²)` messages are still simulable, and the sub-quadratic
+/// sampled-committee protocol up to `n = 10000`, all under fair round-robin
+/// asynchronous scheduling on unanimous inputs.
+pub fn exp10_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    // The same public sortition seed as the `subquad/` scenario family, so
+    // the committees charted here are the committees the registry runs.
+    const SORTITION_SEED: u64 = 0x5AB5EED;
+    let mut specs = Vec::new();
+    for &n in &[25usize, 50, 100] {
+        specs.push(
+            ScenarioSpec::new(
+                ProtocolSpec::BenOr,
+                "fair-round-robin",
+                InputPattern::Unanimous(Bit::One),
+                n,
+                (n / 10).max(1),
+            )
+            .tag("e10")
+            .trials(scale.pick(1, 5))
+            .limits(RunLimits::steps(1_000_000)),
+        );
+    }
+    // Bracha re-broadcasts its echo/ready rounds while the fair scheduler
+    // drip-feeds one delivery per step, so deciding takes ~600·n² steps —
+    // the budget must cover ~6M steps at n = 100.
+    let bracha_sizes: &[usize] = scale.pick(&[25, 50][..], &[25, 50, 100][..]);
+    for &n in bracha_sizes {
+        specs.push(
+            ScenarioSpec::new(
+                ProtocolSpec::Bracha,
+                "fair-round-robin",
+                InputPattern::Unanimous(Bit::One),
+                n,
+                (n / 10).max(1),
+            )
+            .tag("e10")
+            .trials(1)
+            .limits(RunLimits::steps(8_000_000)),
+        );
+    }
+    // (n, committee size k, fault budget) as in the subquad scenario family.
+    let sampled: &[(usize, usize, usize)] = scale.pick(
+        &[(100, 13, 5), (1_000, 20, 7)][..],
+        &[(100, 13, 5), (1_000, 20, 7), (10_000, 27, 9)][..],
+    );
+    for &(n, k, t) in sampled {
+        specs.push(
+            ScenarioSpec::new(
+                ProtocolSpec::SampledCommittee {
+                    size: k,
+                    seed: SORTITION_SEED,
+                },
+                "fair-round-robin",
+                InputPattern::Unanimous(Bit::One),
+                n,
+                t,
+            )
+            .tag("e10")
+            .trials(scale.pick(1, 3))
+            .limits(RunLimits::steps(n as u64 * 500)),
+        );
+    }
+    specs
+}
+
+/// E10 — breaking the `n²` wall: messages per decision for the quadratic
+/// baselines vs the sampled-committee protocol as `n` grows. The fitted
+/// exponent `p` (messages ≈ C·n^p) should sit at (or above) 2 for
+/// Ben-Or/Bracha and strictly below 2 for the sampled committee. Every
+/// column is seed-deterministic — wall-clock throughput at these shapes is
+/// guarded separately by the `campaign_throughput` bench
+/// (`async/sampled_committee/fair/1000`).
+pub fn exp10_subquadratic_scaling(scale: Scale) -> Table {
+    let mut rows = Vec::new();
+    let mut families: Vec<(&'static str, Vec<(f64, f64)>)> = Vec::new();
+    for spec in exp10_specs(scale) {
+        let aggregate = run_spec(&spec);
+        let family = match &spec.protocol {
+            ProtocolSpec::BenOr => "ben-or",
+            ProtocolSpec::Bracha => "bracha",
+            ProtocolSpec::SampledCommittee { .. } => "sampled-committee",
+            other => panic!("unexpected E10 protocol {}", other.label()),
+        };
+        let messages = aggregate.messages.mean;
+        match families.iter_mut().find(|(name, _)| *name == family) {
+            Some((_, points)) => points.push((spec.n as f64, messages)),
+            None => families.push((family, vec![(spec.n as f64, messages)])),
+        }
+        rows.push(vec![
+            spec.protocol.label(),
+            spec.n.to_string(),
+            spec.t.to_string(),
+            spec.trials.to_string(),
+            fmt_rate(aggregate.termination_rate),
+            fmt_f64(messages),
+            fmt_f64(messages / (spec.n * spec.n) as f64),
+            fmt_f64(aggregate.decision_time.mean),
+        ]);
+    }
+    let fits: Vec<String> = families
+        .iter()
+        .map(|(name, points)| format!("{name} p = {:.2}", power_law_exponent(points)))
+        .collect();
+    let mut table = Table::new(
+        "E10: breaking the n² wall — messages/decision vs n",
+        format!(
+            "Fair round-robin scheduling, unanimous inputs; mean messages sent per trial. \
+             Quadratic protocols hold messages/n² roughly constant while the sampled \
+             committee's ratio collapses. Fitted growth messages ≈ C·n^p: {}. Wall-clock \
+             trials/sec at the n = 1000 shape is guarded by the campaign_throughput bench.",
+            fits.join(", ")
+        ),
+        vec![
+            "protocol",
+            "n",
+            "t",
+            "trials",
+            "termination",
+            "mean msgs",
+            "msgs/n²",
+            "mean steps",
+        ],
+    );
+    for row in rows {
+        table.push_row(row);
+    }
+    table
+}
+
 /// Every spec behind the simulated experiments (E3/E4 are pure analysis and
 /// have none), in experiment order — the workload list the experiment
 /// runner's `--json`/`--csv` flags re-run for machine-readable records.
@@ -613,6 +762,7 @@ pub fn experiment_specs(scale: Scale) -> Vec<ScenarioSpec> {
     specs.extend(exp7_specs(scale));
     specs.extend(exp8_specs(scale));
     specs.extend(exp9_specs(scale));
+    specs.extend(exp10_specs(scale));
     specs
 }
 
@@ -628,6 +778,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         exp7_committee_vs_adaptive(scale),
         exp8_threshold_sensitivity(scale),
         exp9_reset_budget(scale),
+        exp10_subquadratic_scaling(scale),
     ]
 }
 
@@ -715,5 +866,19 @@ mod tests {
             3,
             "t in {{0, 1, 2}} feasible at n=13"
         );
+        assert_eq!(
+            exp10_specs(Scale::Quick).len(),
+            7,
+            "3 ben-or + 2 bracha + 2 sampled-committee sizes at quick scale"
+        );
+    }
+
+    #[test]
+    fn exp10_power_law_fit_recovers_known_exponents() {
+        let quadratic: Vec<(f64, f64)> = [25.0, 50.0, 100.0].map(|n| (n, 3.0 * n * n)).to_vec();
+        assert!((power_law_exponent(&quadratic) - 2.0).abs() < 1e-9);
+        let linear: Vec<(f64, f64)> = [100.0, 1_000.0].map(|n| (n, 40.0 * n)).to_vec();
+        assert!((power_law_exponent(&linear) - 1.0).abs() < 1e-9);
+        assert_eq!(power_law_exponent(&[(10.0, 5.0)]), 0.0);
     }
 }

@@ -28,7 +28,9 @@ use std::sync::Mutex;
 
 use agreement_analysis::Summary;
 use agreement_model::{InputAssignment, ProtocolBuilder, SystemConfig};
-use agreement_sim::{AsyncAdversary, BuiltAdversary, RunLimits, TrialWorkspace, WindowAdversary};
+use agreement_sim::{
+    AsyncAdversary, BufferChoice, BuiltAdversary, RunLimits, TrialWorkspace, WindowAdversary,
+};
 
 use crate::record::TrialRecord;
 
@@ -45,6 +47,10 @@ pub struct TrialPlan {
     pub trials: u64,
     /// Base seed; trial `i` uses `base_seed + i`.
     pub base_seed: u64,
+    /// Message-buffer channel layout every trial runs under.
+    /// [`BufferChoice::Auto`] (the default) picks dense channels for small
+    /// systems and the lazily materialized sparse fabric for large ones.
+    pub buffer: BufferChoice,
 }
 
 impl TrialPlan {
@@ -57,6 +63,7 @@ impl TrialPlan {
             limits: RunLimits::standard(),
             trials: 20,
             base_seed: 0x5EED,
+            buffer: BufferChoice::Auto,
         }
     }
 
@@ -75,6 +82,12 @@ impl TrialPlan {
     /// Sets the base seed.
     pub fn base_seed(mut self, base_seed: u64) -> Self {
         self.base_seed = base_seed;
+        self
+    }
+
+    /// Sets the message-buffer channel layout.
+    pub fn buffer(mut self, buffer: BufferChoice) -> Self {
+        self.buffer = buffer;
         self
     }
 }
@@ -183,6 +196,7 @@ impl Campaign {
     {
         self.run_trials(plan.trials, |workspace, trial| {
             let seed = plan.base_seed + trial;
+            workspace.set_buffer_choice(plan.buffer);
             let mut adversary = make_adversary(seed);
             let outcome = workspace.run_built(
                 plan.cfg,
@@ -211,6 +225,7 @@ impl Campaign {
     {
         self.run_trials(plan.trials, |workspace, trial| {
             let seed = plan.base_seed + trial;
+            workspace.set_buffer_choice(plan.buffer);
             let mut adversary = make_adversary(seed);
             let outcome = workspace.run_windowed(
                 plan.cfg,
@@ -239,6 +254,7 @@ impl Campaign {
     {
         self.run_trials(plan.trials, |workspace, trial| {
             let seed = plan.base_seed + trial;
+            workspace.set_buffer_choice(plan.buffer);
             let mut adversary = make_adversary(seed);
             let outcome = workspace.run_async(
                 plan.cfg,

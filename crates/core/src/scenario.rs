@@ -24,8 +24,10 @@ use agreement_analysis::{Histogram, JsonValue, Summary};
 use agreement_model::{
     Bit, ConfigError, InputAssignment, ProcessorId, ProtocolBuilder, SystemConfig, Thresholds,
 };
-use agreement_protocols::{BenOrBuilder, BrachaBuilder, CommitteeBuilder, ResetTolerantBuilder};
-use agreement_sim::{ExecutionCore, ModelDescriptor, RunLimits, RunOutcome};
+use agreement_protocols::{
+    BenOrBuilder, BrachaBuilder, CommitteeBuilder, ResetTolerantBuilder, SampledCommitteeBuilder,
+};
+use agreement_sim::{BufferChoice, ExecutionCore, ModelDescriptor, RunLimits, RunOutcome};
 
 use crate::experiments::Scale;
 use crate::record::{stream_records, ReportSink, ScenarioMeta, TrialRecord};
@@ -119,6 +121,15 @@ pub enum ProtocolSpec {
         /// Public randomness the committee is drawn from.
         seed: u64,
     },
+    /// The sub-quadratic committee-sampled protocol: proposals are multicast
+    /// within the sampled committee only, so a decision costs `O(k² + k·n)`
+    /// messages instead of `Θ(n²)`.
+    SampledCommittee {
+        /// Committee size `k`.
+        size: usize,
+        /// Public sortition seed the committee is drawn from.
+        seed: u64,
+    },
 }
 
 /// A protocol instantiated for a concrete configuration: the builder plus the
@@ -141,6 +152,7 @@ impl ProtocolSpec {
             ProtocolSpec::BenOr => "ben-or".to_string(),
             ProtocolSpec::Bracha => "bracha".to_string(),
             ProtocolSpec::Committee { size, .. } => format!("committee{size}"),
+            ProtocolSpec::SampledCommittee { size, .. } => format!("sampled-committee{size}"),
         }
     }
 
@@ -185,6 +197,20 @@ impl ProtocolSpec {
                     committee,
                 }
             }
+            ProtocolSpec::SampledCommittee { size, seed } => {
+                if *size == 0 || *size > cfg.n() {
+                    return Err(ScenarioError::InvalidProtocol(format!(
+                        "committee size {size} must be between 1 and n = {}",
+                        cfg.n()
+                    )));
+                }
+                let builder = SampledCommitteeBuilder::random(cfg, *size, *seed);
+                let committee = builder.committee().to_vec();
+                ProtocolInstance {
+                    builder: Box::new(builder),
+                    committee,
+                }
+            }
         })
     }
 }
@@ -217,6 +243,12 @@ pub struct ScenarioSpec {
     /// (empty for quorum protocols), which is what targeting adversaries
     /// default to.
     pub targets: Option<Vec<ProcessorId>>,
+    /// Message-buffer channel layout the trials run under.
+    /// [`BufferChoice::Auto`] (the default) picks dense channels for small
+    /// systems and the sparse fabric for large ones; the layout never changes
+    /// results (the equivalence tests pin byte-identical reports), only the
+    /// memory/time profile, so it is deliberately **not** part of the id.
+    pub buffer: BufferChoice,
 }
 
 impl ScenarioSpec {
@@ -240,6 +272,7 @@ impl ScenarioSpec {
             limits: RunLimits::standard(),
             base_seed: 0x5EED,
             targets: None,
+            buffer: BufferChoice::Auto,
         }
     }
 
@@ -270,6 +303,12 @@ impl ScenarioSpec {
     /// Sets explicit adversary targets (overriding the protocol's committee).
     pub fn targets(mut self, targets: Vec<ProcessorId>) -> Self {
         self.targets = Some(targets);
+        self
+    }
+
+    /// Sets the message-buffer channel layout.
+    pub fn buffer(mut self, buffer: BufferChoice) -> Self {
+        self.buffer = buffer;
         self
     }
 
@@ -419,7 +458,8 @@ impl ScenarioSpec {
         let plan = TrialPlan::new(cfg, self.inputs.materialize(self.n))
             .trials(self.trials)
             .limits(self.limits)
-            .base_seed(self.base_seed);
+            .base_seed(self.base_seed)
+            .buffer(self.buffer);
         let builder = instance.builder.as_ref();
         // Model-agnostic dispatch: the factory's BuiltAdversary carries its
         // own scheduler glue, so a new execution model is a new registry
@@ -442,6 +482,7 @@ impl ScenarioSpec {
         let ctx = self.build_ctx(cfg, &instance, seed);
         let mut adversary = factory.build(&ctx);
         let mut core = ExecutionCore::new(cfg, inputs, instance.builder.as_ref(), seed);
+        core.set_buffer_choice(self.buffer);
         Ok(adversary.run_traced(&mut core, self.limits))
     }
 }
@@ -842,12 +883,122 @@ pub fn partial_sync_scenarios(scale: Scale) -> Vec<ScenarioSpec> {
     specs
 }
 
-/// Every registered scenario: the declarative E1–E9 workloads plus the extra
-/// combinations and the partial-synchrony family, at the given scale.
+/// Public sortition seed shared by every `subquad/` scenario.
+const SUBQUAD_SORTITION_SEED: u64 = 0x5AB5EED;
+
+/// The sub-quadratic scaling family: committee-sampled agreement at
+/// `n ∈ {100, 1000, 10000}`, with quadratic comparators where they are still
+/// feasible to run.
 ///
-/// The partial-synchrony family is appended **after** every pre-existing
-/// scenario so machine-readable output for the historical registry is a
-/// stable prefix.
+/// Every spec here uses [`BufferChoice::Auto`], so the execution core picks
+/// the lazily materialized sparse channel fabric at these sizes — a dense
+/// `n²` channel grid at `n = 10000` would be 100 million queues. Committee
+/// sizes grow like `~4·log₂ n` (13, 20, 27) and the fault budget is always
+/// `f + 1` where `f = ⌊(k-1)/3⌋`: just enough for the adaptive committee
+/// killer to destroy the announce quorum, while the *non-adaptive* crash
+/// adversary (which picks victims blind) almost surely misses the committee —
+/// the two sides of the paper's adaptive/non-adaptive dichotomy at scale.
+pub fn subquad_scenarios(scale: Scale) -> Vec<ScenarioSpec> {
+    // (n, committee size k, fault budget t = f + 1)
+    const SIZES: [(usize, usize, usize); 3] = [(100, 13, 5), (1_000, 20, 7), (10_000, 27, 9)];
+    let trials = |n: usize| match (scale, n) {
+        (Scale::Quick, 100) => 2,
+        (Scale::Quick, _) => 1,
+        (Scale::Full, 100) => 10,
+        (Scale::Full, 1_000) => 5,
+        (Scale::Full, _) => 2,
+    };
+    let steps = |n: usize| match n {
+        100 => RunLimits::steps(500_000),
+        1_000 => RunLimits::steps(2_000_000),
+        _ => RunLimits::steps(4_000_000),
+    };
+    let mut specs = Vec::new();
+    for (n, size, t) in SIZES {
+        let sampled = ProtocolSpec::SampledCommittee {
+            size,
+            seed: SUBQUAD_SORTITION_SEED,
+        };
+        // The sub-quadratic protocol under benign scheduling, blind crashes,
+        // and the adaptive killer (expected termination: 1, ~1, 0).
+        for adversary in ["fair-round-robin", "non-adaptive-crash"] {
+            specs.push(
+                ScenarioSpec::new(
+                    sampled.clone(),
+                    adversary,
+                    InputPattern::Unanimous(Bit::One),
+                    n,
+                    t,
+                )
+                .limits(steps(n))
+                .trials(trials(n)),
+            );
+        }
+        specs.push(
+            ScenarioSpec::new(
+                sampled,
+                "adaptive-committee-killer",
+                InputPattern::Unanimous(Bit::One),
+                n,
+                t,
+            )
+            .limits(steps(n))
+            .trials(trials(n)),
+        );
+    }
+    // Quadratic comparators, where Θ(n²) messages per decision is still
+    // runnable: both classics at n = 100, Ben-Or alone at n = 1000 (one
+    // round is already a million messages). At n = 10000 only the
+    // sub-quadratic protocol appears — that is the point.
+    specs.push(
+        ScenarioSpec::new(
+            ProtocolSpec::BenOr,
+            "fair-round-robin",
+            InputPattern::Unanimous(Bit::One),
+            100,
+            5,
+        )
+        .limits(RunLimits::steps(1_000_000))
+        .trials(trials(100)),
+    );
+    // Bracha re-broadcasts every round while the fair scheduler drip-feeds
+    // deliveries, so one n = 100 decision takes ~6M steps — give it headroom
+    // and a single trial.
+    specs.push(
+        ScenarioSpec::new(
+            ProtocolSpec::Bracha,
+            "fair-round-robin",
+            InputPattern::Unanimous(Bit::One),
+            100,
+            5,
+        )
+        .limits(RunLimits::steps(8_000_000))
+        .trials(1),
+    );
+    specs.push(
+        ScenarioSpec::new(
+            ProtocolSpec::BenOr,
+            "fair-round-robin",
+            InputPattern::Unanimous(Bit::One),
+            1_000,
+            7,
+        )
+        .limits(RunLimits::steps(4_000_000))
+        .trials(1),
+    );
+    for spec in &mut specs {
+        spec.tag = "subquad".to_string();
+    }
+    specs
+}
+
+/// Every registered scenario: the declarative E1–E9 workloads plus the extra
+/// combinations, the partial-synchrony family and the sub-quadratic scaling
+/// family, at the given scale.
+///
+/// Newer families are appended **after** every pre-existing scenario (extra,
+/// then psync, then subquad) so machine-readable output for the historical
+/// registry is a stable prefix.
 pub fn scenario_registry(scale: Scale) -> Vec<ScenarioSpec> {
     let mut specs = Vec::new();
     specs.extend(crate::experiments::exp1_specs(scale));
@@ -859,6 +1010,7 @@ pub fn scenario_registry(scale: Scale) -> Vec<ScenarioSpec> {
     specs.extend(crate::experiments::exp9_specs(scale));
     specs.extend(extra_scenarios(scale));
     specs.extend(partial_sync_scenarios(scale));
+    specs.extend(subquad_scenarios(scale));
     specs
 }
 

@@ -69,6 +69,21 @@ pub trait Context {
             self.send(to, payload.clone());
         }
     }
+
+    /// Queues `payload` to each processor in `recipients`, in slice order.
+    ///
+    /// Unlike [`Context::broadcast`] the caller is **not** implicitly
+    /// included — pass its id in the set if it should hear the message.
+    /// Duplicate ids queue one message per occurrence. This is the primitive
+    /// committee-sampled protocols are built on: engines with a sparse
+    /// message fabric implement it with one shared payload and
+    /// O(|recipients|) queue work, so a committee multicast costs the
+    /// committee, not the whole system.
+    fn multicast(&mut self, recipients: &[ProcessorId], payload: Payload) {
+        for &to in recipients {
+            self.send(to, payload.clone());
+        }
+    }
 }
 
 /// An adversary-visible summary of a protocol state machine's state.

@@ -80,26 +80,22 @@ impl<'a> SystemView<'a> {
 
     /// Like [`SystemView::next_pending_channel`], but additionally skips
     /// channels rejected by `admit(from, to)` (e.g. withheld senders).
+    ///
+    /// Delegates to
+    /// [`MessageBuffer::next_pending_channel_where`], which knows its own
+    /// layout: a flat wrapping scan on the dense grid, a live-bitset walk on
+    /// the sparse fabric (identical results either way). Crashed recipients
+    /// are folded into the admission predicate here, since crash state lives
+    /// in the view, not the buffer.
     pub fn next_pending_channel_where(
         &self,
         cursor: usize,
         admit: impl Fn(ProcessorId, ProcessorId) -> bool,
     ) -> Option<(usize, ProcessorId, ProcessorId)> {
-        let n = self.n();
-        let channels = n * n;
-        (0..channels)
-            .map(|offset| (cursor + offset) % channels)
-            .find_map(|idx| {
-                let from = ProcessorId::new(idx / n);
-                let to = ProcessorId::new(idx % n);
-                if self.crashed[to.index()]
-                    || !admit(from, to)
-                    || self.buffer.pending_on(from, to) == 0
-                {
-                    None
-                } else {
-                    Some(((idx + 1) % channels, from, to))
-                }
+        let crashed = self.crashed;
+        self.buffer
+            .next_pending_channel_where(self.n(), cursor, move |from, to| {
+                !crashed[to.index()] && admit(from, to)
             })
     }
 

@@ -8,14 +8,34 @@
 //! single channel are delivered in order (a harmless strengthening; the
 //! adversary still fully controls interleaving across channels).
 //!
-//! The `n * n` channels are stored as one flat `Vec` of queues indexed by
-//! `sender * n + recipient` (sender-major). Channel access on the hot
-//! enqueue/dequeue path is therefore a single index computation — no tree
-//! walk, no rebalancing, no per-channel allocation after construction — and
-//! whole-buffer scans (`iter`, `discard_undelivered`, `drop_to`) are linear
-//! passes over a contiguous array. Iteration order is sender-major then
-//! recipient, identical to the `(sender, recipient)`-keyed ordering of the
-//! previous `BTreeMap` layout.
+//! # Two channel layouts
+//!
+//! The buffer stores its channels one of two ways, selected by
+//! [`BufferChoice`]:
+//!
+//! * **Dense** (small `n`): one flat `Vec` of `n * n` queues indexed
+//!   `sender * n + recipient` (sender-major). Channel access on the hot
+//!   enqueue/dequeue path is a single index computation — no tree walk, no
+//!   rebalancing, no per-channel allocation after construction — and
+//!   whole-buffer scans are linear passes over a contiguous array. The
+//!   layout is O(n²) in memory *up front*, which is exactly right while `n`
+//!   is a few dozen and hopeless at `n = 10_000` (10⁸ queues before the
+//!   first message is sent).
+//! * **Sparse** (large `n`): one *lane* per sender holding a sorted index of
+//!   the recipients that sender has actually messaged, with the queues
+//!   materialized lazily on first send. Memory is O(n + active channels), a
+//!   committee multicast ([`MessageBuffer::multicast`]) costs
+//!   O(|committee|) rather than O(n), and a per-sender `live` bitset lets
+//!   whole-buffer scans ([`MessageBuffer::next_pending_channel_where`])
+//!   skip idle senders sixty-four at a time. Channel access is a binary
+//!   search of the sender's lane — O(log degree), where the degree is the
+//!   number of *distinct* recipients the sender ever contacted.
+//!
+//! Both layouts present identical observable behaviour — same FIFO order,
+//! same sender-major iteration and scan order, same counters — pinned by
+//! equivalence tests here and byte-identical scenario output at the campaign
+//! level. [`BufferChoice::Auto`] picks dense at or below
+//! [`BufferChoice::DENSE_MAX`] processors and sparse above.
 //!
 //! # Payload storage: inline unicasts, arena-shared broadcasts
 //!
@@ -26,14 +46,15 @@
 //!   counting, no free-list traffic — enqueue is a move into the queue entry
 //!   and delivery is a move (or borrow) back out. This is the
 //!   `buffer/flat_churn` hot path.
-//! * **Broadcast payloads live once in a reference-counted arena** owned by
-//!   the buffer; each of the n entries carries a 4-byte `Copy` handle
-//!   ([`PayloadRef`]). An n-way broadcast interns its payload **once** where
-//!   an owning layout would clone it per recipient. Delivery resolves a
-//!   handle to a borrowed `&Payload` — no move, no clone — and releases the
-//!   reference afterwards; a slot whose last reference is released goes onto
-//!   a free list and is recycled by the next intern, so arena memory is
-//!   bounded by the peak number of *distinct* in-flight broadcast payloads.
+//! * **Broadcast and multicast payloads live once in a reference-counted
+//!   arena** owned by the buffer; each recipient's entry carries a 4-byte
+//!   `Copy` handle ([`PayloadRef`]). An n-way broadcast interns its payload
+//!   **once** where an owning layout would clone it per recipient. Delivery
+//!   resolves a handle to a borrowed `&Payload` — no move, no clone — and
+//!   releases the reference afterwards; a slot whose last reference is
+//!   released goes onto a free list and is recycled by the next intern, so
+//!   arena memory is bounded by the peak number of *distinct* in-flight
+//!   shared payloads.
 //!
 //! Each buffered message additionally carries a *chain tag* — the causal
 //! depth assigned at send time (the length of the longest message chain
@@ -171,14 +192,146 @@ struct Buffered {
     sent_at: u64,
 }
 
-/// A FIFO buffer of undelivered messages with one flat queue per ordered
-/// `(sender, recipient)` channel and a shared broadcast-payload arena.
+/// Which channel layout a [`MessageBuffer`] uses (see the module docs for
+/// the trade-off).
+///
+/// Threaded from
+/// [`ScenarioSpec`](../agreement_core/struct.ScenarioSpec.html)-level
+/// configuration down through campaign plans and trial workspaces; every
+/// layer defaults to [`BufferChoice::Auto`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BufferChoice {
+    /// Dense at or below [`BufferChoice::DENSE_MAX`] processors, sparse
+    /// above: the right layout without anyone having to ask.
+    #[default]
+    Auto,
+    /// Always the flat `n * n` grid, regardless of `n`.
+    Dense,
+    /// Always the lane-indexed sparse fabric, regardless of `n`.
+    Sparse,
+}
+
+impl BufferChoice {
+    /// Largest `n` for which [`BufferChoice::Auto`] stays dense. Below this
+    /// the n² grid is at most a few thousand queues and its direct indexing
+    /// wins; above it the quadratic allocation starts to dominate.
+    pub const DENSE_MAX: usize = 64;
+
+    /// Whether this choice selects the sparse layout at `n` processors.
+    pub fn sparse_for(self, n: usize) -> bool {
+        match self {
+            BufferChoice::Auto => n > Self::DENSE_MAX,
+            BufferChoice::Dense => false,
+            BufferChoice::Sparse => true,
+        }
+    }
+}
+
+/// One sender's channels in the sparse layout: a sorted index of recipient
+/// ids, a parallel vector of their queues (materialized on first send and
+/// kept — empty queues stay warm for the next message), and the lane's total
+/// pending count.
+#[derive(Debug, Clone, Default)]
+struct Lane {
+    /// Recipient ids with a materialized queue, sorted ascending.
+    recipients: Vec<u32>,
+    /// `queues[i]` is the channel to `recipients[i]`.
+    queues: Vec<VecDeque<Buffered>>,
+    /// Total undelivered messages across the lane's queues.
+    pending: usize,
+}
+
+impl Lane {
+    /// Slot index of recipient `r`, if materialized.
+    #[inline]
+    fn slot(&self, r: usize) -> Option<usize> {
+        self.recipients.binary_search(&(r as u32)).ok()
+    }
+
+    /// The queue to recipient `r`, if materialized.
+    #[inline]
+    fn queue(&self, r: usize) -> Option<&VecDeque<Buffered>> {
+        self.slot(r).map(|i| &self.queues[i])
+    }
+
+    /// The queue to recipient `r`, if materialized.
+    #[inline]
+    fn queue_mut(&mut self, r: usize) -> Option<&mut VecDeque<Buffered>> {
+        match self.recipients.binary_search(&(r as u32)) {
+            Ok(i) => Some(&mut self.queues[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// The queue to recipient `r`, materialized on first use.
+    fn materialize(&mut self, r: usize) -> &mut VecDeque<Buffered> {
+        match self.recipients.binary_search(&(r as u32)) {
+            Ok(i) => &mut self.queues[i],
+            Err(i) => {
+                self.recipients.insert(i, r as u32);
+                self.queues.insert(i, VecDeque::new());
+                &mut self.queues[i]
+            }
+        }
+    }
+}
+
+/// Sets bit `i` of the packed bitset `words`.
+#[inline]
+fn set_bit(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1 << (i % 64);
+}
+
+/// Clears bit `i` of the packed bitset `words`.
+#[inline]
+fn clear_bit(words: &mut [u64], i: usize) {
+    words[i / 64] &= !(1 << (i % 64));
+}
+
+/// Channel storage: the dense grid or the sparse lane fabric. Which one a
+/// buffer holds is decided by its [`BufferChoice`] and `n`; all queue access
+/// dispatches on this enum in one place per primitive.
+#[derive(Debug, Clone)]
+enum Layout {
+    /// `n * n` queues, channel `(s, r)` at index `s * n + r`.
+    Dense(Vec<VecDeque<Buffered>>),
+    /// One [`Lane`] per sender plus a bitset with bit `s` set iff lane `s`
+    /// has pending messages (`lanes[s].pending > 0`).
+    Sparse { lanes: Vec<Lane>, live: Vec<u64> },
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout::Dense(Vec::new())
+    }
+}
+
+impl Layout {
+    /// An empty layout of the requested kind, shaped for `n` processors.
+    fn empty(sparse: bool, n: usize) -> Layout {
+        if sparse {
+            Layout::Sparse {
+                lanes: vec![Lane::default(); n],
+                live: vec![0; n.div_ceil(64)],
+            }
+        } else {
+            Layout::Dense(vec![VecDeque::new(); n * n])
+        }
+    }
+}
+
+/// A FIFO buffer of undelivered messages with one queue per ordered
+/// `(sender, recipient)` channel — dense grid or sparse lane fabric, see the
+/// module docs — and a shared broadcast-payload arena.
 #[derive(Debug, Clone, Default)]
 pub struct MessageBuffer {
-    /// Number of processors the flat layout currently covers.
+    /// Number of processors the current layout covers.
     n: usize,
-    /// `n * n` queues, channel `(s, r)` at index `s * n + r`.
-    channels: Vec<VecDeque<Buffered>>,
+    /// The layout policy this buffer re-derives its storage from on every
+    /// [`MessageBuffer::reset`].
+    choice: BufferChoice,
+    /// The channel storage itself.
+    layout: Layout,
     arena: PayloadArena,
     /// The clock value stamped onto entries as they are enqueued
     /// ([`MessageBuffer::set_now`]); schedulers that enforce delivery bounds
@@ -190,18 +343,26 @@ pub struct MessageBuffer {
 }
 
 impl MessageBuffer {
-    /// Creates an empty buffer. The channel array grows on demand; prefer
+    /// Creates an empty buffer. The channel layout grows on demand; prefer
     /// [`MessageBuffer::with_processors`] when `n` is known up front so the
     /// hot path never reallocates.
     pub fn new() -> Self {
         MessageBuffer::default()
     }
 
-    /// Creates an empty buffer pre-sized for `n` processors (`n * n` channels).
+    /// Creates an empty buffer pre-sized for `n` processors, with the layout
+    /// picked automatically ([`BufferChoice::Auto`]).
     pub fn with_processors(n: usize) -> Self {
+        MessageBuffer::with_choice(n, BufferChoice::Auto)
+    }
+
+    /// Creates an empty buffer pre-sized for `n` processors with an explicit
+    /// layout policy.
+    pub fn with_choice(n: usize, choice: BufferChoice) -> Self {
         MessageBuffer {
             n,
-            channels: vec![VecDeque::new(); n * n],
+            choice,
+            layout: Layout::empty(choice.sparse_for(n), n),
             arena: PayloadArena::default(),
             now: 0,
             enqueued: 0,
@@ -210,21 +371,71 @@ impl MessageBuffer {
         }
     }
 
+    /// Whether the buffer currently holds the sparse layout.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.layout, Layout::Sparse { .. })
+    }
+
+    /// The layout policy the buffer re-derives its storage from on reset.
+    pub fn choice(&self) -> BufferChoice {
+        self.choice
+    }
+
+    /// Sets the layout policy, rebuilding the (empty) storage if the policy
+    /// picks the other layout at the current `n`. Must only be called on an
+    /// empty buffer — the engines call it between trials, right after
+    /// [`MessageBuffer::reset`].
+    pub fn set_choice(&mut self, choice: BufferChoice) {
+        self.choice = choice;
+        let want_sparse = choice.sparse_for(self.n);
+        if want_sparse != self.is_sparse() {
+            debug_assert!(self.is_empty(), "layout switched while messages pending");
+            self.layout = Layout::empty(want_sparse, self.n);
+        }
+    }
+
     /// Clears the buffer for reuse by the next trial: empties every channel
     /// and the payload arena, zeroes the counters and the clock, and
-    /// re-shapes the layout to `n` processors — all while keeping the channel
-    /// array, queue and arena allocations warm. With an unchanged `n` this
-    /// allocates nothing.
+    /// re-shapes the layout to `n` processors (re-deriving dense vs sparse
+    /// from the stored [`BufferChoice`]) — all while keeping the channel,
+    /// queue and arena allocations warm. With an unchanged `n` this
+    /// allocates nothing; the sparse layout additionally keeps its
+    /// materialized recipient indexes, so steady-state traffic patterns stop
+    /// paying materialization after the first trial.
     pub fn reset(&mut self, n: usize) {
-        if self.n == n {
-            for queue in &mut self.channels {
-                queue.clear();
+        let want_sparse = self.choice.sparse_for(n);
+        match &mut self.layout {
+            Layout::Dense(channels) if !want_sparse => {
+                if self.n == n {
+                    for queue in channels.iter_mut() {
+                        queue.clear();
+                    }
+                } else {
+                    channels.clear();
+                    channels.resize(n * n, VecDeque::new());
+                }
             }
-        } else {
-            self.n = n;
-            self.channels.clear();
-            self.channels.resize(n * n, VecDeque::new());
+            Layout::Sparse { lanes, live } if want_sparse => {
+                if self.n == n {
+                    for lane in lanes.iter_mut() {
+                        if lane.pending > 0 {
+                            for queue in &mut lane.queues {
+                                queue.clear();
+                            }
+                            lane.pending = 0;
+                        }
+                    }
+                    live.fill(0);
+                } else {
+                    lanes.clear();
+                    lanes.resize(n, Lane::default());
+                    live.clear();
+                    live.resize(n.div_ceil(64), 0);
+                }
+            }
+            layout => *layout = Layout::empty(want_sparse, n),
         }
+        self.n = n;
         self.arena.clear();
         self.now = 0;
         self.enqueued = 0;
@@ -239,23 +450,10 @@ impl MessageBuffer {
         self.now = now;
     }
 
-    /// Flat index of the channel `sender -> recipient`, if both are covered by
-    /// the current layout.
-    #[inline]
-    fn index(&self, sender: ProcessorId, recipient: ProcessorId) -> Option<usize> {
-        let (s, r) = (sender.index(), recipient.index());
-        if s < self.n && r < self.n {
-            Some(s * self.n + r)
-        } else {
-            None
-        }
-    }
-
-    /// Grows the layout so processor `id` is covered, remapping the existing
-    /// queues into the wider sender-major grid. Only reachable through
+    /// Grows the layout so processor `id` is covered. Only reachable through
     /// `enqueue` on a buffer built with [`MessageBuffer::new`]; engine-owned
     /// buffers are pre-sized and never take this path. Handles stay valid:
-    /// the arena is untouched, only the queue grid is re-shaped.
+    /// the arena is untouched, only the channel storage is re-shaped.
     #[inline]
     fn ensure_covers(&mut self, id: usize) {
         if id < self.n {
@@ -265,29 +463,99 @@ impl MessageBuffer {
     }
 
     /// The cold body of [`MessageBuffer::ensure_covers`], outlined so the
-    /// enqueue fast path inlines as a bounds check and nothing more.
+    /// enqueue fast path inlines as a bounds check and nothing more. The
+    /// dense grid is remapped into the wider sender-major layout; the sparse
+    /// fabric just gains empty lanes.
     #[cold]
     #[inline(never)]
     fn grow_to_cover(&mut self, id: usize) {
         let new_n = id + 1;
-        let mut channels = vec![VecDeque::new(); new_n * new_n];
-        for s in 0..self.n {
-            for r in 0..self.n {
-                channels[s * new_n + r] = std::mem::take(&mut self.channels[s * self.n + r]);
+        match &mut self.layout {
+            Layout::Dense(channels) => {
+                let mut grown = vec![VecDeque::new(); new_n * new_n];
+                for s in 0..self.n {
+                    for r in 0..self.n {
+                        grown[s * new_n + r] = std::mem::take(&mut channels[s * self.n + r]);
+                    }
+                }
+                *channels = grown;
+            }
+            Layout::Sparse { lanes, live } => {
+                lanes.resize(new_n, Lane::default());
+                live.resize(new_n.div_ceil(64), 0);
             }
         }
         self.n = new_n;
-        self.channels = channels;
     }
 
+    /// Appends an entry to the channel `sender -> recipient`, growing the
+    /// layout if needed and bumping the enqueue counter.
     #[inline]
     fn push_entry(&mut self, sender: ProcessorId, recipient: ProcessorId, entry: Buffered) {
         self.ensure_covers(sender.index().max(recipient.index()));
         self.enqueued += 1;
-        let idx = self
-            .index(sender, recipient)
-            .expect("layout covers both endpoints after ensure_covers");
-        self.channels[idx].push_back(entry);
+        let (s, r) = (sender.index(), recipient.index());
+        let n = self.n;
+        match &mut self.layout {
+            Layout::Dense(channels) => channels[s * n + r].push_back(entry),
+            Layout::Sparse { lanes, live } => {
+                let lane = &mut lanes[s];
+                lane.materialize(r).push_back(entry);
+                lane.pending += 1;
+                set_bit(live, s);
+            }
+        }
+    }
+
+    /// Removes and returns the head entry of the channel, maintaining the
+    /// sparse pending counts and live bits. Does **not** touch the delivered
+    /// counter — callers decide whether a removal counts as a delivery.
+    #[inline]
+    fn pop_front(&mut self, sender: ProcessorId, recipient: ProcessorId) -> Option<Buffered> {
+        let (s, r) = (sender.index(), recipient.index());
+        if s >= self.n || r >= self.n {
+            return None;
+        }
+        let n = self.n;
+        match &mut self.layout {
+            Layout::Dense(channels) => channels[s * n + r].pop_front(),
+            Layout::Sparse { lanes, live } => {
+                let lane = &mut lanes[s];
+                let entry = lane.queue_mut(r)?.pop_front()?;
+                lane.pending -= 1;
+                if lane.pending == 0 {
+                    clear_bit(live, s);
+                }
+                Some(entry)
+            }
+        }
+    }
+
+    /// The head entry of the channel, if any.
+    #[inline]
+    fn front(&self, sender: ProcessorId, recipient: ProcessorId) -> Option<&Buffered> {
+        let (s, r) = (sender.index(), recipient.index());
+        if s >= self.n || r >= self.n {
+            return None;
+        }
+        match &self.layout {
+            Layout::Dense(channels) => channels[s * self.n + r].front(),
+            Layout::Sparse { lanes, .. } => lanes[s].queue(r).and_then(VecDeque::front),
+        }
+    }
+
+    /// The head entry of the channel, if any, mutably.
+    #[inline]
+    fn front_mut(&mut self, sender: ProcessorId, recipient: ProcessorId) -> Option<&mut Buffered> {
+        let (s, r) = (sender.index(), recipient.index());
+        if s >= self.n || r >= self.n {
+            return None;
+        }
+        let n = self.n;
+        match &mut self.layout {
+            Layout::Dense(channels) => channels[s * n + r].front_mut(),
+            Layout::Sparse { lanes, .. } => lanes[s].queue_mut(r).and_then(VecDeque::front_mut),
+        }
     }
 
     /// Stores a broadcast payload in the arena without enqueueing it anywhere
@@ -370,6 +638,36 @@ impl MessageBuffer {
         self.push_entry(sender, recipient, entry);
     }
 
+    /// Sends one payload to a *set* of recipients: the multicast-to-set
+    /// primitive committees are built on.
+    ///
+    /// The payload is interned **once** and each recipient's queue gets one
+    /// 4-byte reference, so the cost is O(|recipients|) queue work plus one
+    /// arena slot — independent of `n`. On the sparse layout only the
+    /// addressed recipients' queues are ever materialized, so a committee of
+    /// `k` among 10 000 processors touches `k` queues, not 10 000. An empty
+    /// set is a no-op; a single-recipient set degenerates to the inline
+    /// unicast path and skips the arena entirely. Duplicate ids in
+    /// `recipients` enqueue one message per occurrence, in slice order.
+    pub fn multicast(
+        &mut self,
+        sender: ProcessorId,
+        recipients: &[ProcessorId],
+        payload: Payload,
+        chain: u64,
+    ) {
+        match recipients {
+            [] => {}
+            [only] => self.enqueue_unicast(sender, *only, payload, chain),
+            _ => {
+                let handle = self.intern(payload);
+                for &to in recipients {
+                    self.enqueue_ref(sender, to, handle, chain);
+                }
+            }
+        }
+    }
+
     /// Removes and returns the oldest undelivered message from `sender` to
     /// `recipient`, if any.
     #[inline(always)]
@@ -386,8 +684,7 @@ impl MessageBuffer {
         sender: ProcessorId,
         recipient: ProcessorId,
     ) -> Option<(Payload, u64)> {
-        let idx = self.index(sender, recipient)?;
-        let entry = self.channels[idx].pop_front()?;
+        let entry = self.pop_front(sender, recipient)?;
         self.delivered += 1;
         match entry.payload {
             Stored::Inline(payload) => Some((payload, entry.chain)),
@@ -418,8 +715,7 @@ impl MessageBuffer {
         sender: ProcessorId,
         recipient: ProcessorId,
     ) -> Option<(PoppedPayload, u64)> {
-        let idx = self.index(sender, recipient)?;
-        let entry = self.channels[idx].pop_front()?;
+        let entry = self.pop_front(sender, recipient)?;
         self.delivered += 1;
         let popped = match entry.payload {
             Stored::Inline(payload) => PoppedPayload::Inline(payload),
@@ -428,13 +724,27 @@ impl MessageBuffer {
         Some((popped, entry.chain))
     }
 
+    /// Removes *all* undelivered messages from `sender` to `recipient` into
+    /// `out`, oldest first. `out` is appended to, not cleared — pass a
+    /// reusable scratch vector to keep channel drains allocation-free.
+    pub fn drain_channel_into(
+        &mut self,
+        sender: ProcessorId,
+        recipient: ProcessorId,
+        out: &mut Vec<Payload>,
+    ) {
+        while let Some((payload, _)) = self.pop_with_chain(sender, recipient) {
+            out.push(payload);
+        }
+    }
+
     /// Removes and returns *all* undelivered messages from `sender` to
-    /// `recipient`, oldest first.
+    /// `recipient`, oldest first. Allocates a fresh `Vec` per call; hot
+    /// paths should use [`MessageBuffer::drain_channel_into`] (or pop in a
+    /// loop) instead.
     pub fn drain_channel(&mut self, sender: ProcessorId, recipient: ProcessorId) -> Vec<Payload> {
         let mut drained = Vec::new();
-        while let Some((payload, _)) = self.pop_with_chain(sender, recipient) {
-            drained.push(payload);
-        }
+        self.drain_channel_into(sender, recipient, &mut drained);
         drained
     }
 
@@ -449,17 +759,43 @@ impl MessageBuffer {
         }
         let MessageBuffer {
             n,
-            channels,
+            layout,
             arena,
             dropped,
             ..
         } = self;
-        for s in 0..*n {
-            for entry in channels[s * *n + r].drain(..) {
-                if let Stored::Shared(handle) = entry.payload {
-                    arena.release(handle);
+        match layout {
+            Layout::Dense(channels) => {
+                for s in 0..*n {
+                    for entry in channels[s * *n + r].drain(..) {
+                        if let Stored::Shared(handle) = entry.payload {
+                            arena.release(handle);
+                        }
+                        *dropped += 1;
+                    }
                 }
-                *dropped += 1;
+            }
+            Layout::Sparse { lanes, live } => {
+                for (s, lane) in lanes.iter_mut().enumerate() {
+                    if lane.pending == 0 {
+                        continue;
+                    }
+                    let Some(i) = lane.slot(r) else { continue };
+                    let removed = lane.queues[i].len();
+                    if removed == 0 {
+                        continue;
+                    }
+                    for entry in lane.queues[i].drain(..) {
+                        if let Stored::Shared(handle) = entry.payload {
+                            arena.release(handle);
+                        }
+                    }
+                    lane.pending -= removed;
+                    *dropped += removed as u64;
+                    if lane.pending == 0 {
+                        clear_bit(live, s);
+                    }
+                }
             }
         }
     }
@@ -478,8 +814,7 @@ impl MessageBuffer {
         recipient: ProcessorId,
         replacement: Payload,
     ) -> Option<Payload> {
-        let idx = self.index(sender, recipient)?;
-        let head = self.channels[idx].front_mut()?;
+        let head = self.front_mut(sender, recipient)?;
         let old = std::mem::replace(&mut head.payload, Stored::Inline(replacement));
         Some(match old {
             Stored::Inline(payload) => payload,
@@ -492,21 +827,43 @@ impl MessageBuffer {
     ///
     /// The window scheduler calls this at the start of every sending phase: an
     /// acceptable window only delivers messages "just sent" within it, so
-    /// anything left over from the previous window is never delivered.
+    /// anything left over from the previous window is never delivered. On the
+    /// sparse layout only lanes with pending messages are visited.
     pub fn discard_undelivered(&mut self) -> usize {
         let MessageBuffer {
-            channels,
+            layout,
             arena,
             dropped,
             ..
         } = self;
         let mut count = 0;
-        for queue in channels {
-            count += queue.len();
-            for entry in queue.drain(..) {
-                if let Stored::Shared(handle) = entry.payload {
-                    arena.release(handle);
+        match layout {
+            Layout::Dense(channels) => {
+                for queue in channels {
+                    count += queue.len();
+                    for entry in queue.drain(..) {
+                        if let Stored::Shared(handle) = entry.payload {
+                            arena.release(handle);
+                        }
+                    }
                 }
+            }
+            Layout::Sparse { lanes, live } => {
+                for lane in lanes.iter_mut() {
+                    if lane.pending == 0 {
+                        continue;
+                    }
+                    count += lane.pending;
+                    for queue in &mut lane.queues {
+                        for entry in queue.drain(..) {
+                            if let Stored::Shared(handle) = entry.payload {
+                                arena.release(handle);
+                            }
+                        }
+                    }
+                    lane.pending = 0;
+                }
+                live.fill(0);
             }
         }
         *dropped += count as u64;
@@ -516,14 +873,19 @@ impl MessageBuffer {
     /// Returns the number of undelivered messages from `sender` to `recipient`.
     #[inline]
     pub fn pending_on(&self, sender: ProcessorId, recipient: ProcessorId) -> usize {
-        self.index(sender, recipient)
-            .map_or(0, |idx| self.channels[idx].len())
+        let (s, r) = (sender.index(), recipient.index());
+        if s >= self.n || r >= self.n {
+            return 0;
+        }
+        match &self.layout {
+            Layout::Dense(channels) => channels[s * self.n + r].len(),
+            Layout::Sparse { lanes, .. } => lanes[s].queue(r).map_or(0, VecDeque::len),
+        }
     }
 
     /// Returns the oldest undelivered payload on the channel without removing it.
     pub fn peek(&self, sender: ProcessorId, recipient: ProcessorId) -> Option<&Payload> {
-        self.index(sender, recipient)
-            .and_then(|idx| self.channels[idx].front())
+        self.front(sender, recipient)
             .map(|entry| self.resolve(entry))
     }
 
@@ -532,9 +894,7 @@ impl MessageBuffer {
     /// clock is monotone, so the head is always the channel's oldest message;
     /// the partial-synchrony scheduler uses this to find overdue deliveries.
     pub fn head_sent_at(&self, sender: ProcessorId, recipient: ProcessorId) -> Option<u64> {
-        self.index(sender, recipient)
-            .and_then(|idx| self.channels[idx].front())
-            .map(|entry| entry.sent_at)
+        self.front(sender, recipient).map(|entry| entry.sent_at)
     }
 
     #[inline]
@@ -546,19 +906,16 @@ impl MessageBuffer {
     }
 
     /// Iterates over all `(sender, recipient, payload)` triples currently buffered,
-    /// sender-major and oldest-first within each channel.
+    /// sender-major and oldest-first within each channel. The order is
+    /// identical on both layouts (and to the `(sender, recipient)`-keyed
+    /// ordering of the original `BTreeMap` layout).
     pub fn iter(&self) -> impl Iterator<Item = (ProcessorId, ProcessorId, &Payload)> + '_ {
-        let n = self.n;
-        self.channels
-            .iter()
-            .enumerate()
-            .flat_map(move |(idx, queue)| {
-                let from = ProcessorId::new(idx / n.max(1));
-                let to = ProcessorId::new(idx % n.max(1));
-                queue
-                    .iter()
-                    .map(move |entry| (from, to, self.resolve(entry)))
-            })
+        PendingIter {
+            buf: self,
+            sender: 0,
+            slot: 0,
+            entry: 0,
+        }
     }
 
     /// The senders with at least one undelivered message to `recipient`, in
@@ -567,20 +924,105 @@ impl MessageBuffer {
         &self,
         recipient: ProcessorId,
     ) -> impl Iterator<Item = ProcessorId> + '_ {
-        let r = recipient.index();
-        let covered = if r < self.n { self.n } else { 0 };
+        let covered = if recipient.index() < self.n {
+            self.n
+        } else {
+            0
+        };
         (0..covered).filter_map(move |s| {
-            if self.channels[s * self.n + r].is_empty() {
-                None
-            } else {
+            if self.pending_on(ProcessorId::new(s), recipient) > 0 {
                 Some(ProcessorId::new(s))
+            } else {
+                None
             }
         })
     }
 
-    /// Total number of undelivered messages.
+    /// Finds the first channel with a pending message at or after `cursor`
+    /// (wrapping round-robin over the `n * n` sender-major channel space)
+    /// whose endpoints the `admit` predicate accepts. Returns the advanced
+    /// cursor — one past the hit — plus the channel's endpoints, or `None`
+    /// when no admitted channel has pending messages.
+    ///
+    /// `n` is the *caller's* channel space (the system size), which may
+    /// exceed the buffer's own coverage when the buffer was grown lazily;
+    /// cursor arithmetic always uses `n * n` so round-robin fairness is over
+    /// the system, not the traffic pattern. On the dense layout this is a
+    /// flat wrapping scan; on the sparse layout idle senders are skipped
+    /// sixty-four at a time through the live bitset and only materialized
+    /// recipients are visited, making the common adversary pattern —
+    /// resume-where-you-left-off round-robin — amortized O(1) per delivery
+    /// instead of O(n²). Both layouts return identical results for identical
+    /// contents.
+    pub fn next_pending_channel_where(
+        &self,
+        n: usize,
+        cursor: usize,
+        admit: impl Fn(ProcessorId, ProcessorId) -> bool,
+    ) -> Option<(usize, ProcessorId, ProcessorId)> {
+        let channels = n * n;
+        if channels == 0 || self.is_empty() {
+            return None;
+        }
+        match &self.layout {
+            Layout::Dense(_) => (0..channels)
+                .map(|offset| (cursor + offset) % channels)
+                .find_map(|idx| {
+                    let from = ProcessorId::new(idx / n);
+                    let to = ProcessorId::new(idx % n);
+                    if !admit(from, to) || self.pending_on(from, to) == 0 {
+                        return None;
+                    }
+                    Some(((idx + 1) % channels, from, to))
+                }),
+            Layout::Sparse { lanes, live } => {
+                let start = cursor % channels;
+                let (s0, r0) = (start / n, start % n);
+                let lane_hi = lanes.len().min(n);
+                // Phase A: the cursor lane's recipients at or after the
+                // cursor.
+                if s0 < lane_hi {
+                    if let Some(hit) = scan_lane(lanes, s0, r0, n, n, &admit) {
+                        return Some(hit);
+                    }
+                }
+                // Phase B: every other lane in cursor order — senders after
+                // the cursor, then senders before it — skipping idle senders
+                // by the word through the live bitset.
+                if let Some(hit) =
+                    scan_live_range(lanes, live, (s0 + 1).min(lane_hi), lane_hi, n, &admit)
+                {
+                    return Some(hit);
+                }
+                if let Some(hit) = scan_live_range(lanes, live, 0, s0.min(lane_hi), n, &admit) {
+                    return Some(hit);
+                }
+                // Phase C: the cursor lane's recipients before the cursor.
+                if s0 < lane_hi {
+                    if let Some(hit) = scan_lane(lanes, s0, 0, r0, n, &admit) {
+                        return Some(hit);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// [`MessageBuffer::next_pending_channel_where`] with every channel
+    /// admitted.
+    pub fn next_pending_channel(
+        &self,
+        n: usize,
+        cursor: usize,
+    ) -> Option<(usize, ProcessorId, ProcessorId)> {
+        self.next_pending_channel_where(n, cursor, |_, _| true)
+    }
+
+    /// Total number of undelivered messages. O(1): maintained as the
+    /// identity `enqueued - delivered - dropped`, which every mutation
+    /// preserves.
     pub fn pending_total(&self) -> usize {
-        self.channels.iter().map(VecDeque::len).sum()
+        (self.enqueued - self.delivered - self.dropped) as usize
     }
 
     /// Returns `true` when no messages are awaiting delivery.
@@ -601,6 +1043,141 @@ impl MessageBuffer {
     /// Number of messages dropped because their recipient crashed.
     pub fn dropped_count(&self) -> u64 {
         self.dropped
+    }
+}
+
+/// Scans lane `s` for a pending, admitted channel to a recipient in
+/// `[lo_r, hi_r)`, in ascending recipient order. Returns the advanced
+/// cursor (in the caller's `n * n` channel space) and the endpoints.
+fn scan_lane(
+    lanes: &[Lane],
+    s: usize,
+    lo_r: usize,
+    hi_r: usize,
+    n: usize,
+    admit: &impl Fn(ProcessorId, ProcessorId) -> bool,
+) -> Option<(usize, ProcessorId, ProcessorId)> {
+    let lane = lanes.get(s)?;
+    if lane.pending == 0 {
+        return None;
+    }
+    let from = ProcessorId::new(s);
+    let start = lane.recipients.partition_point(|&r| (r as usize) < lo_r);
+    for (&r, queue) in lane.recipients[start..].iter().zip(&lane.queues[start..]) {
+        let r = r as usize;
+        if r >= hi_r {
+            break;
+        }
+        if queue.is_empty() {
+            continue;
+        }
+        let to = ProcessorId::new(r);
+        if !admit(from, to) {
+            continue;
+        }
+        let idx = s * n + r;
+        return Some(((idx + 1) % (n * n), from, to));
+    }
+    None
+}
+
+/// Scans the lanes of senders in `[lo, hi)` (ascending) that the `live`
+/// bitset marks as having pending messages, word by word.
+fn scan_live_range(
+    lanes: &[Lane],
+    live: &[u64],
+    lo: usize,
+    hi: usize,
+    n: usize,
+    admit: &impl Fn(ProcessorId, ProcessorId) -> bool,
+) -> Option<(usize, ProcessorId, ProcessorId)> {
+    if lo >= hi {
+        return None;
+    }
+    let lo_word = lo / 64;
+    let hi_word = (hi - 1) / 64;
+    for (w, &bits) in live.iter().enumerate().take(hi_word + 1).skip(lo_word) {
+        let mut word = bits;
+        if w == lo_word {
+            word &= !0u64 << (lo % 64);
+        }
+        if w == hi_word {
+            let rem = hi - hi_word * 64;
+            if rem < 64 {
+                word &= (1u64 << rem) - 1;
+            }
+        }
+        while word != 0 {
+            let s = w * 64 + word.trailing_zeros() as usize;
+            word &= word - 1;
+            if let Some(hit) = scan_lane(lanes, s, 0, n, n, admit) {
+                return Some(hit);
+            }
+        }
+    }
+    None
+}
+
+/// The iterator behind [`MessageBuffer::iter`]: a sender-major walk over
+/// whichever layout the buffer holds.
+struct PendingIter<'a> {
+    buf: &'a MessageBuffer,
+    /// Current sender.
+    sender: usize,
+    /// Dense: current recipient. Sparse: current slot in the sender's lane.
+    slot: usize,
+    /// Position within the current queue.
+    entry: usize,
+}
+
+impl<'a> Iterator for PendingIter<'a> {
+    type Item = (ProcessorId, ProcessorId, &'a Payload);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.buf.n;
+        match &self.buf.layout {
+            Layout::Dense(channels) => loop {
+                if self.sender >= n {
+                    return None;
+                }
+                let queue = &channels[self.sender * n + self.slot];
+                if let Some(e) = queue.get(self.entry) {
+                    let item = (
+                        ProcessorId::new(self.sender),
+                        ProcessorId::new(self.slot),
+                        self.buf.resolve(e),
+                    );
+                    self.entry += 1;
+                    return Some(item);
+                }
+                self.entry = 0;
+                self.slot += 1;
+                if self.slot >= n {
+                    self.slot = 0;
+                    self.sender += 1;
+                }
+            },
+            Layout::Sparse { lanes, .. } => loop {
+                let lane = lanes.get(self.sender)?;
+                if lane.pending == 0 || self.slot >= lane.recipients.len() {
+                    self.sender += 1;
+                    self.slot = 0;
+                    self.entry = 0;
+                    continue;
+                }
+                if let Some(e) = lane.queues[self.slot].get(self.entry) {
+                    let item = (
+                        ProcessorId::new(self.sender),
+                        ProcessorId::new(lane.recipients[self.slot] as usize),
+                        self.buf.resolve(e),
+                    );
+                    self.entry += 1;
+                    return Some(item);
+                }
+                self.slot += 1;
+                self.entry = 0;
+            },
+        }
     }
 }
 
@@ -702,6 +1279,23 @@ mod tests {
         assert!(buf
             .drain_channel(ProcessorId::new(0), ProcessorId::new(1))
             .is_empty());
+    }
+
+    #[test]
+    fn drain_channel_into_reuses_a_scratch_buffer() {
+        let mut buf = MessageBuffer::with_processors(3);
+        let mut scratch = Vec::new();
+        for r in 1..=3 {
+            buf.enqueue(env(0, 1, r));
+        }
+        buf.drain_channel_into(ProcessorId::new(0), ProcessorId::new(1), &mut scratch);
+        assert_eq!(scratch.len(), 3);
+        assert_eq!(scratch[0].round(), Some(1));
+        scratch.clear();
+        buf.enqueue(env(0, 1, 9));
+        buf.drain_channel_into(ProcessorId::new(0), ProcessorId::new(1), &mut scratch);
+        assert_eq!(scratch.len(), 1);
+        assert_eq!(scratch[0].round(), Some(9));
     }
 
     #[test]
@@ -939,5 +1533,274 @@ mod tests {
         buf.reset(5);
         buf.enqueue(env(4, 4, 1));
         assert_eq!(buf.pending_on(ProcessorId::new(4), ProcessorId::new(4)), 1);
+    }
+
+    #[test]
+    fn auto_choice_switches_layout_at_the_threshold() {
+        assert!(!MessageBuffer::with_processors(BufferChoice::DENSE_MAX).is_sparse());
+        assert!(MessageBuffer::with_processors(BufferChoice::DENSE_MAX + 1).is_sparse());
+        let mut buf = MessageBuffer::with_processors(8);
+        assert!(!buf.is_sparse());
+        buf.set_choice(BufferChoice::Sparse);
+        assert!(buf.is_sparse());
+        assert_eq!(buf.choice(), BufferChoice::Sparse);
+        buf.enqueue(env(0, 1, 1));
+        buf.reset(8);
+        assert!(buf.is_sparse(), "reset keeps the explicit choice");
+        buf.set_choice(BufferChoice::Auto);
+        assert!(!buf.is_sparse(), "auto at n = 8 is dense again");
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_mixed_traffic() {
+        let n = 6;
+        let mut dense = MessageBuffer::with_choice(n, BufferChoice::Dense);
+        let mut sparse = MessageBuffer::with_choice(n, BufferChoice::Sparse);
+        for buf in [&mut dense, &mut sparse] {
+            buf.enqueue(env(2, 0, 1));
+            buf.enqueue(env(0, 2, 2));
+            buf.enqueue(env(0, 1, 3));
+            buf.enqueue_with_chain(env(1, 0, 4), 9);
+            let h = buf.intern(Payload::Report {
+                round: 5,
+                value: Bit::One,
+            });
+            for to in ProcessorId::all(n) {
+                buf.enqueue_ref(ProcessorId::new(3), to, h, 1);
+            }
+            buf.pop(ProcessorId::new(0), ProcessorId::new(2));
+            buf.drop_to(ProcessorId::new(0));
+        }
+        let d: Vec<_> = dense.iter().map(|(f, t, p)| (f, t, p.round())).collect();
+        let s: Vec<_> = sparse.iter().map(|(f, t, p)| (f, t, p.round())).collect();
+        assert_eq!(d, s, "identical sender-major iteration on both layouts");
+        assert_eq!(dense.pending_total(), sparse.pending_total());
+        assert_eq!(dense.enqueued_count(), sparse.enqueued_count());
+        assert_eq!(dense.delivered_count(), sparse.delivered_count());
+        assert_eq!(dense.dropped_count(), sparse.dropped_count());
+        assert_eq!(dense.distinct_payloads(), sparse.distinct_payloads());
+        for to in ProcessorId::all(n) {
+            let ds: Vec<_> = dense.senders_with_pending(to).collect();
+            let ss: Vec<_> = sparse.senders_with_pending(to).collect();
+            assert_eq!(ds, ss);
+            for from in ProcessorId::all(n) {
+                assert_eq!(dense.pending_on(from, to), sparse.pending_on(from, to));
+                assert_eq!(
+                    dense.peek(from, to).map(Payload::round),
+                    sparse.peek(from, to).map(Payload::round)
+                );
+                assert_eq!(dense.head_sent_at(from, to), sparse.head_sent_at(from, to));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_buffer_handles_out_of_range_queries_gracefully() {
+        let mut buf = MessageBuffer::with_choice(2, BufferChoice::Sparse);
+        buf.enqueue(env(0, 1, 1));
+        assert_eq!(buf.pending_on(ProcessorId::new(5), ProcessorId::new(0)), 0);
+        assert!(buf.peek(ProcessorId::new(0), ProcessorId::new(9)).is_none());
+        assert!(buf.pop(ProcessorId::new(9), ProcessorId::new(0)).is_none());
+        assert_eq!(buf.senders_with_pending(ProcessorId::new(7)).count(), 0);
+        buf.drop_to(ProcessorId::new(42));
+        assert_eq!(buf.pending_total(), 1);
+    }
+
+    #[test]
+    fn sparse_reset_clears_state_but_keeps_the_lanes_warm() {
+        let mut buf = MessageBuffer::with_choice(4, BufferChoice::Sparse);
+        buf.enqueue(env(0, 1, 1));
+        buf.enqueue(env(2, 3, 2));
+        buf.pop(ProcessorId::new(0), ProcessorId::new(1));
+        buf.reset(4);
+        assert!(buf.is_sparse());
+        assert!(buf.is_empty());
+        assert_eq!(buf.distinct_payloads(), 0);
+        assert_eq!(buf.enqueued_count(), 0);
+        assert_eq!(buf.delivered_count(), 0);
+        assert_eq!(buf.dropped_count(), 0);
+        assert!(
+            buf.next_pending_channel(4, 0).is_none(),
+            "live bits cleared"
+        );
+        buf.enqueue(env(2, 3, 7));
+        assert_eq!(buf.pending_on(ProcessorId::new(2), ProcessorId::new(3)), 1);
+        // Re-shaping to a different n works and keeps the choice.
+        buf.reset(9);
+        assert!(buf.is_sparse());
+        buf.enqueue(env(8, 8, 1));
+        assert_eq!(buf.pending_on(ProcessorId::new(8), ProcessorId::new(8)), 1);
+    }
+
+    #[test]
+    fn multicast_interns_once_and_costs_only_the_recipient_set() {
+        let mut buf = MessageBuffer::with_processors(1000);
+        assert!(buf.is_sparse());
+        let committee: Vec<ProcessorId> = [3usize, 71, 512]
+            .iter()
+            .map(|&i| ProcessorId::new(i))
+            .collect();
+        buf.multicast(
+            ProcessorId::new(71),
+            &committee,
+            Payload::Report {
+                round: 1,
+                value: Bit::One,
+            },
+            2,
+        );
+        assert_eq!(buf.pending_total(), 3);
+        assert_eq!(
+            buf.distinct_payloads(),
+            1,
+            "one interned payload for the set"
+        );
+        let targets: Vec<usize> = buf.iter().map(|(_, to, _)| to.index()).collect();
+        assert_eq!(targets, vec![3, 71, 512]);
+        for &to in &committee {
+            let (p, chain) = buf.pop_with_chain(ProcessorId::new(71), to).unwrap();
+            assert_eq!(p.round(), Some(1));
+            assert_eq!(chain, 2);
+        }
+        assert_eq!(buf.distinct_payloads(), 0, "slot retired with the last pop");
+    }
+
+    #[test]
+    fn multicast_to_one_or_zero_recipients_skips_the_arena() {
+        let mut buf = MessageBuffer::with_processors(100);
+        buf.multicast(
+            ProcessorId::new(0),
+            &[],
+            Payload::Report {
+                round: 1,
+                value: Bit::Zero,
+            },
+            0,
+        );
+        assert!(buf.is_empty());
+        assert_eq!(buf.enqueued_count(), 0, "empty set is a no-op");
+        buf.multicast(
+            ProcessorId::new(0),
+            &[ProcessorId::new(9)],
+            Payload::Report {
+                round: 2,
+                value: Bit::One,
+            },
+            5,
+        );
+        assert_eq!(buf.pending_total(), 1);
+        assert_eq!(
+            buf.distinct_payloads(),
+            0,
+            "singleton multicast stays inline"
+        );
+        let (p, chain) = buf
+            .pop_with_chain(ProcessorId::new(0), ProcessorId::new(9))
+            .unwrap();
+        assert_eq!(p.round(), Some(2));
+        assert_eq!(chain, 5);
+    }
+
+    #[test]
+    fn sparse_scan_matches_the_dense_scan_at_every_cursor() {
+        let n = 9;
+        let mut dense = MessageBuffer::with_choice(n, BufferChoice::Dense);
+        let mut sparse = MessageBuffer::with_choice(n, BufferChoice::Sparse);
+        let traffic = [
+            (0, 3),
+            (0, 3),
+            (2, 7),
+            (4, 1),
+            (4, 5),
+            (8, 0),
+            (8, 8),
+            (5, 4),
+        ];
+        for &(s, r) in &traffic {
+            dense.enqueue(env(s, r, 1));
+            sparse.enqueue(env(s, r, 1));
+        }
+        // Leave some materialized-but-empty sparse queues behind.
+        for buf in [&mut dense, &mut sparse] {
+            buf.pop(ProcessorId::new(2), ProcessorId::new(7));
+            buf.pop(ProcessorId::new(4), ProcessorId::new(1));
+        }
+        let admit = |from: ProcessorId, to: ProcessorId| from.index() != 8 && to.index() != 3;
+        for cursor in 0..n * n {
+            assert_eq!(
+                dense.next_pending_channel(n, cursor),
+                sparse.next_pending_channel(n, cursor),
+                "cursor {cursor}"
+            );
+            assert_eq!(
+                dense.next_pending_channel_where(n, cursor, admit),
+                sparse.next_pending_channel_where(n, cursor, admit),
+                "cursor {cursor} with admit"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_pop_round_robin_drains_both_layouts_identically() {
+        let n = 70; // sparse is the Auto choice out here
+        let mut dense = MessageBuffer::with_choice(n, BufferChoice::Dense);
+        let mut auto = MessageBuffer::with_processors(n);
+        assert!(auto.is_sparse());
+        for s in [0usize, 13, 13, 42, 69] {
+            for r in [5usize, 5, 31, 68] {
+                dense.enqueue(env(s, r, (s + r) as u64));
+                auto.enqueue(env(s, r, (s + r) as u64));
+            }
+        }
+        let mut cursor = 0;
+        loop {
+            let d = dense.next_pending_channel(n, cursor);
+            let s = auto.next_pending_channel(n, cursor);
+            assert_eq!(d, s);
+            match d {
+                None => break,
+                Some((next, from, to)) => {
+                    cursor = next;
+                    assert_eq!(dense.pop(from, to), auto.pop(from, to));
+                }
+            }
+        }
+        assert!(dense.is_empty() && auto.is_empty());
+    }
+
+    #[test]
+    fn drop_to_keeps_the_sparse_scan_honest() {
+        let n = 80;
+        let mut buf = MessageBuffer::with_processors(n);
+        assert!(buf.is_sparse());
+        buf.enqueue(env(10, 40, 1));
+        buf.enqueue(env(64, 40, 2));
+        buf.enqueue(env(64, 41, 3));
+        buf.drop_to(ProcessorId::new(40));
+        assert_eq!(buf.dropped_count(), 2);
+        let hit = buf.next_pending_channel(n, 0);
+        assert_eq!(
+            hit.map(|(_, f, t)| (f.index(), t.index())),
+            Some((64, 41)),
+            "sender 10's lane went idle with the drop; the scan skips it"
+        );
+        buf.pop(ProcessorId::new(64), ProcessorId::new(41));
+        assert!(buf.next_pending_channel(n, 0).is_none());
+    }
+
+    #[test]
+    fn sparse_layout_allocates_no_quadratic_state_up_front() {
+        let n = 10_000;
+        let buf = MessageBuffer::with_processors(n);
+        assert!(buf.is_sparse());
+        let Layout::Sparse { lanes, live } = &buf.layout else {
+            panic!("auto layout at n = 10000 must be sparse");
+        };
+        assert_eq!(lanes.len(), n, "one lane per sender, no n * n grid");
+        assert_eq!(live.len(), n.div_ceil(64));
+        assert!(
+            lanes.iter().all(|lane| lane.recipients.is_empty()),
+            "queues materialize lazily, on first send"
+        );
     }
 }

@@ -21,7 +21,7 @@ use agreement_model::{
 };
 
 use crate::adversary::SystemView;
-use crate::buffer::{MessageBuffer, PoppedPayload};
+use crate::buffer::{BufferChoice, MessageBuffer, PoppedPayload};
 use crate::harness::{Outgoing, ProcessorHarness};
 use crate::metrics::{Metrics, NoProbe, Probe};
 use crate::outcome::{RunLimits, RunOutcome};
@@ -68,6 +68,20 @@ pub struct ExecutionCore<P: Probe = NoProbe, R: Recorder = FullTrace> {
     view_digests: Vec<StateDigest>,
     view_outputs: Vec<Option<Bit>>,
     view_crashed: Vec<bool>,
+    /// `true` while the view snapshot buffers mirror the harnesses exactly,
+    /// up to the indices queued in `view_dirty`. Cleared whenever a wholesale
+    /// rebuild is cheaper or required (first view, `ensure_started`, or more
+    /// dirty marks than processors).
+    view_ready: bool,
+    /// Processors whose digest/output/crash entries must be re-read before
+    /// the next view is handed out. May contain duplicates.
+    view_dirty: Vec<usize>,
+    /// Number of non-crashed processors that have not decided yet. Kept
+    /// incrementally so termination checks are O(1) per adversary step
+    /// instead of an O(n) scan.
+    undecided_correct: usize,
+    /// Number of processors (crashed or not) whose output register is set.
+    decided_count: usize,
     first_decision_at: Option<u64>,
     all_decided_at: Option<u64>,
     chain_at_first_decision: Option<u64>,
@@ -140,6 +154,10 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
             view_digests: Vec::with_capacity(cfg.n()),
             view_outputs: Vec::with_capacity(cfg.n()),
             view_crashed: Vec::with_capacity(cfg.n()),
+            view_ready: false,
+            view_dirty: Vec::new(),
+            undecided_correct: cfg.n(),
+            decided_count: 0,
             cfg,
             inputs,
             harnesses,
@@ -209,6 +227,10 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
         self.depth.resize(n, 0);
         self.corrupted.clear();
         self.corrupted.resize(n, false);
+        self.view_ready = false;
+        self.view_dirty.clear();
+        self.undecided_correct = n;
+        self.decided_count = 0;
         self.cfg = cfg;
         self.inputs.clone_from(inputs);
         self.time = 0;
@@ -221,6 +243,16 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
         self.chain_at_first_decision = None;
         self.halted = false;
         self.started = false;
+    }
+
+    /// Selects the channel layout policy of the message buffer.
+    ///
+    /// Must be called while the buffer is empty (between trials); campaign
+    /// workers apply a plan's choice right after [`ExecutionCore::reinit`].
+    /// With [`BufferChoice::Auto`] the buffer itself picks dense channels for
+    /// small systems and the sparse fabric for large ones.
+    pub fn set_buffer_choice(&mut self, choice: BufferChoice) {
+        self.buffer.set_choice(choice);
     }
 
     // ----- static state & snapshots ------------------------------------------------
@@ -282,10 +314,19 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
     }
 
     /// `true` once every non-crashed processor has written its output bit.
+    ///
+    /// O(1): the core tracks the undecided-correct count across decisions and
+    /// crashes, so the campaign run loop (which checks this once per unit of
+    /// scheduled time) never rescans all `n` harnesses.
     pub fn all_correct_decided(&self) -> bool {
-        self.harnesses
-            .iter()
-            .all(|h| h.is_crashed() || h.decision().is_some())
+        debug_assert_eq!(
+            self.undecided_correct == 0,
+            self.harnesses
+                .iter()
+                .all(|h| h.is_crashed() || h.decision().is_some()),
+            "undecided-correct counter out of sync with harness state"
+        );
+        self.undecided_correct == 0
     }
 
     /// Number of faults (crashes plus corruptions) charged so far.
@@ -325,17 +366,35 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
     /// Gives a scheduler the full-information [`SystemView`] of the current
     /// state (digests, outputs, crash flags and the whole buffer).
     ///
-    /// Takes `&mut self` only to refill the core's reusable snapshot buffers;
-    /// the adversary sees an immutable view. This runs once per adversary
-    /// decision, so it must not allocate.
+    /// Takes `&mut self` only to refresh the core's reusable snapshot
+    /// buffers; the adversary sees an immutable view. This runs once per
+    /// adversary decision, so it must not allocate — and at large `n` it must
+    /// not even rescan: the snapshot is kept incrementally, re-reading only
+    /// the processors whose state changed since the previous view (an
+    /// asynchronous step touches one recipient, so the refresh is O(1)). A
+    /// full rebuild happens only when the view was never built, after
+    /// `ensure_started` (which touches everyone), or when more marks than
+    /// processors accumulated (a window's delivery phase).
     pub fn with_view<T>(&mut self, f: impl FnOnce(&SystemView<'_>) -> T) -> T {
-        self.view_digests.clear();
-        self.view_outputs.clear();
-        self.view_crashed.clear();
-        for harness in &self.harnesses {
-            self.view_digests.push(harness.digest());
-            self.view_outputs.push(harness.decision());
-            self.view_crashed.push(harness.is_crashed());
+        if self.view_ready {
+            for &i in &self.view_dirty {
+                let harness = &self.harnesses[i];
+                self.view_digests[i] = harness.digest();
+                self.view_outputs[i] = harness.decision();
+                self.view_crashed[i] = harness.is_crashed();
+            }
+            self.view_dirty.clear();
+        } else {
+            self.view_digests.clear();
+            self.view_outputs.clear();
+            self.view_crashed.clear();
+            for harness in &self.harnesses {
+                self.view_digests.push(harness.digest());
+                self.view_outputs.push(harness.decision());
+                self.view_crashed.push(harness.is_crashed());
+            }
+            self.view_dirty.clear();
+            self.view_ready = true;
         }
         let view = SystemView {
             config: self.cfg,
@@ -346,6 +405,39 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
             buffer: &self.buffer,
         };
         f(&view)
+    }
+
+    /// Queues processor `i` for a snapshot refresh before the next view.
+    ///
+    /// Once more marks than processors accumulate, a wholesale rebuild is
+    /// cheaper than replaying them, so the ready flag is dropped instead
+    /// (this is what every delivery phase of a window converges to).
+    #[inline]
+    fn mark_view_dirty(&mut self, i: usize) {
+        if !self.view_ready {
+            return;
+        }
+        if self.view_dirty.len() >= self.harnesses.len() {
+            self.view_ready = false;
+            self.view_dirty.clear();
+        } else {
+            self.view_dirty.push(i);
+        }
+    }
+
+    /// Recomputes both decision counters from scratch (used after transitions
+    /// that may touch every processor at once).
+    fn recount_decisions(&mut self) {
+        self.decided_count = self
+            .harnesses
+            .iter()
+            .filter(|h| h.decision().is_some())
+            .count();
+        self.undecided_correct = self
+            .harnesses
+            .iter()
+            .filter(|h| !h.is_crashed() && h.decision().is_none())
+            .count();
     }
 
     // ----- primitive transitions ---------------------------------------------------
@@ -359,6 +451,12 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
         for harness in &mut self.harnesses {
             harness.start();
         }
+        // `on_start` may decide, and it is the one transition that touches
+        // every processor — rebuild the view snapshot and the decision
+        // counters wholesale rather than marking all n dirty.
+        self.view_ready = false;
+        self.view_dirty.clear();
+        self.recount_decisions();
     }
 
     /// A *sending step* of processor `id`: moves its computed messages into
@@ -393,6 +491,29 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
                         buffer.enqueue_ref(id, to, handle, chain);
                     }
                 }
+                Outgoing::Multicast { to, payload } => match to.as_slice() {
+                    // An empty recipient set sends nothing; a singleton takes
+                    // the inline unicast path and skips the arena. Otherwise
+                    // the payload is interned once and enqueued by handle per
+                    // listed recipient — O(|set|) regardless of n.
+                    [] => {}
+                    [only] => {
+                        recorder.record(TraceEvent::Sent {
+                            from: id,
+                            to: *only,
+                        });
+                        probe.on_send(id, chain);
+                        buffer.enqueue_unicast(id, *only, payload, chain);
+                    }
+                    recipients => {
+                        let handle = buffer.intern(payload);
+                        for &to in recipients {
+                            recorder.record(TraceEvent::Sent { from: id, to });
+                            probe.on_send(id, chain);
+                            buffer.enqueue_ref(id, to, handle, chain);
+                        }
+                    }
+                },
             }
         }
     }
@@ -452,11 +573,14 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
                     value,
                     at: self.time,
                 });
+                self.decided_count += 1;
+                self.undecided_correct -= 1;
                 if self.chain_at_first_decision.is_none() {
                     self.chain_at_first_decision = Some(self.depth[to.index()]);
                 }
             }
         }
+        self.mark_view_dirty(to.index());
         self.flush_outbox(to);
     }
 
@@ -501,13 +625,24 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
                     value,
                     at: self.time,
                 });
+                self.decided_count += 1;
+                self.undecided_correct -= 1;
             }
         }
+        self.mark_view_dirty(recipient.index());
     }
 
     /// A *resetting step*: erases the processor's memory and counts the reset.
     pub fn reset(&mut self, id: ProcessorId) {
+        // `on_reset` runs with a full context, so a protocol's rejoin logic
+        // could in principle decide — keep the counters exact.
+        let before = self.harnesses[id.index()].decision();
         self.harnesses[id.index()].reset();
+        if before.is_none() && self.harnesses[id.index()].decision().is_some() {
+            self.decided_count += 1;
+            self.undecided_correct -= 1;
+        }
+        self.mark_view_dirty(id.index());
         self.resets_performed += 1;
         self.probe.on_reset(id);
         self.recorder.record(TraceEvent::Reset { id });
@@ -529,6 +664,11 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
             return;
         }
         self.harnesses[id.index()].crash();
+        if self.harnesses[id.index()].decision().is_none() {
+            // A crashed processor no longer counts toward termination.
+            self.undecided_correct -= 1;
+        }
+        self.mark_view_dirty(id.index());
         let dropped_before = self.buffer.dropped_count();
         self.buffer.drop_to(id);
         let dropped = self.buffer.dropped_count() - dropped_before;
@@ -603,10 +743,15 @@ impl<P: Probe, R: Recorder> ExecutionCore<P, R> {
     }
 
     /// Latches `first_decision_at` / `all_decided_at` against the current
-    /// clock. Schedulers call this once per unit of time, after its effects.
+    /// clock. Schedulers call this once per unit of time, after its effects —
+    /// O(1) via the incrementally maintained decision counters.
     pub fn record_decision_progress(&mut self) {
-        if self.first_decision_at.is_none() && self.harnesses.iter().any(|h| h.decision().is_some())
-        {
+        debug_assert_eq!(
+            self.decided_count > 0,
+            self.harnesses.iter().any(|h| h.decision().is_some()),
+            "decided counter out of sync with harness state"
+        );
+        if self.first_decision_at.is_none() && self.decided_count > 0 {
             self.first_decision_at = Some(self.time);
         }
         if self.all_decided_at.is_none() && self.all_correct_decided() {

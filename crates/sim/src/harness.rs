@@ -38,6 +38,16 @@ pub enum Outgoing {
         /// The message contents, stored once for all `n` recipients.
         payload: Payload,
     },
+    /// A message addressed to an explicit set of recipients (the sender only
+    /// if it lists itself), stored once for the whole set. The engine interns
+    /// the payload once and enqueues one shared reference per listed
+    /// recipient, so a committee multicast costs O(|set|), not O(n).
+    Multicast {
+        /// The recipients, in the order the protocol listed them.
+        to: Vec<ProcessorId>,
+        /// The message contents, stored once for the whole recipient set.
+        payload: Payload,
+    },
 }
 
 /// Durable (non-erasable) processor state plus engine-facing plumbing.
@@ -80,6 +90,16 @@ impl Context for HarnessCore {
     /// many processors it addresses.
     fn broadcast(&mut self, payload: Payload) {
         self.outbox.push(Outgoing::Broadcast { payload });
+    }
+
+    /// Stages one multicast entry instead of the default per-recipient
+    /// `send` loop: the payload is kept once for the whole recipient set and
+    /// the engine interns it once in the buffer.
+    fn multicast(&mut self, recipients: &[ProcessorId], payload: Payload) {
+        self.outbox.push(Outgoing::Multicast {
+            to: recipients.to_vec(),
+            payload,
+        });
     }
 
     fn random_bit(&mut self) -> Bit {
@@ -185,7 +205,8 @@ impl ProcessorHarness {
     }
 
     /// Number of messages waiting in the outbox for the next sending step
-    /// (a staged broadcast counts as `n` messages).
+    /// (a staged broadcast counts as `n` messages, a staged multicast as one
+    /// per listed recipient).
     pub fn outbox_len(&self) -> usize {
         let n = self.core.cfg.n();
         self.core
@@ -194,6 +215,7 @@ impl ProcessorHarness {
             .map(|out| match out {
                 Outgoing::One { .. } => 1,
                 Outgoing::Broadcast { .. } => n,
+                Outgoing::Multicast { to, .. } => to.len(),
             })
             .sum()
     }
@@ -286,6 +308,11 @@ impl ProcessorHarness {
                 }
                 Outgoing::Broadcast { payload } => {
                     for to in ProcessorId::all(n) {
+                        envelopes.push(Envelope::new(sender, to, payload.clone()));
+                    }
+                }
+                Outgoing::Multicast { to, payload } => {
+                    for to in to {
                         envelopes.push(Envelope::new(sender, to, payload.clone()));
                     }
                 }
@@ -504,6 +531,31 @@ mod tests {
         let drained: Vec<Outgoing> = h.drain_outbox().collect();
         assert_eq!(drained.len(), 1);
         assert_eq!(h.outbox_len(), 0);
+    }
+
+    #[test]
+    fn multicast_is_staged_once_and_counts_per_listed_recipient() {
+        let mut h = harness(8);
+        let set = [
+            ProcessorId::new(2),
+            ProcessorId::new(5),
+            ProcessorId::new(0),
+        ];
+        h.core.multicast(
+            &set,
+            Payload::Report {
+                round: 1,
+                value: Bit::One,
+            },
+        );
+        assert_eq!(h.core.outbox.len(), 1, "one staged entry for the set");
+        assert!(matches!(h.core.outbox[0], Outgoing::Multicast { .. }));
+        assert_eq!(h.outbox_len(), 3);
+        let out = h.take_outbox();
+        assert_eq!(out.len(), 3);
+        let recipients: Vec<usize> = out.iter().map(|e| e.recipient.index()).collect();
+        assert_eq!(recipients, vec![2, 5, 0], "slice order preserved");
+        assert!(out.iter().all(|e| e.sender == ProcessorId::new(0)));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use agreement_model::{InputAssignment, NoTrace, ProtocolBuilder, SystemConfig};
 
 use crate::adversary::{AsyncAdversary, PartialSyncAdversary, WindowAdversary};
+use crate::buffer::BufferChoice;
 use crate::engine::BuiltAdversary;
 use crate::exec::{AsyncScheduler, ExecutionCore, PartialSyncScheduler, WindowScheduler};
 use crate::metrics::NoProbe;
@@ -33,12 +34,21 @@ pub struct TrialWorkspace {
     /// Created lazily by the first trial, re-initialized in place by every
     /// trial after it.
     core: Option<ExecutionCore<NoProbe, NoTrace>>,
+    /// The channel layout applied to the core before every trial.
+    buffer_choice: BufferChoice,
 }
 
 impl TrialWorkspace {
     /// An empty workspace; the first trial pays the one-time construction.
     pub fn new() -> Self {
         TrialWorkspace::default()
+    }
+
+    /// Sets the channel layout policy every subsequent trial runs under.
+    /// The default, [`BufferChoice::Auto`], picks dense channels for small
+    /// systems and the sparse fabric for large ones.
+    pub fn set_buffer_choice(&mut self, choice: BufferChoice) {
+        self.buffer_choice = choice;
     }
 
     /// The core, re-initialized for a fresh trial with the given parameters.
@@ -62,7 +72,9 @@ impl TrialWorkspace {
                 ));
             }
         }
-        self.core.as_mut().expect("workspace core just initialized")
+        let core = self.core.as_mut().expect("workspace core just initialized");
+        core.set_buffer_choice(self.buffer_choice);
+        core
     }
 
     /// Runs one windowed (strongly adaptive) trial inside this workspace.
