@@ -22,6 +22,14 @@
 //!   --jsonl <PATH>     write one JSON line per *trial* to PATH
 //!   --check <PATH>     validate a --json file: parse with the in-tree JSON
 //!                      parser, verify the schema, and round-trip it
+//!   --workers <N>      shard every scenario's seed range across N local
+//!                      worker processes (spawned from this same binary);
+//!                      the merged output is byte-identical to a
+//!                      single-process run
+//!   --checkpoint <P>   with --workers: persist completed seed ranges to P
+//!                      (JSONL) and resume from it on restart
+//!   --worker           internal: run as an orchestration worker (requires
+//!                      --connect <ADDR>; spawned by the coordinator)
 //! ```
 //!
 //! Examples:
@@ -36,8 +44,10 @@
 use agreement_analysis::JsonValue;
 use agreement_bench::cli::{parsed_value, required_value};
 use agreement_core::experiments::Scale;
+use agreement_core::orchestrate::{worker, OrchestrateError, Orchestrator, Session};
 use agreement_core::{
-    scenario_registry, CsvSink, JsonReportSink, JsonlSink, ReportSink, ScenarioSpec, TableSink,
+    scenario_registry, stream_records, CsvSink, JsonReportSink, JsonlSink, ReportSink,
+    ScenarioSpec, TableSink,
 };
 
 struct Options {
@@ -51,6 +61,10 @@ struct Options {
     csv: Option<String>,
     jsonl: Option<String>,
     check: Option<String>,
+    workers: Option<usize>,
+    checkpoint: Option<String>,
+    worker: bool,
+    connect: Option<String>,
 }
 
 fn parse_options() -> Options {
@@ -65,6 +79,10 @@ fn parse_options() -> Options {
         csv: None,
         jsonl: None,
         check: None,
+        workers: None,
+        checkpoint: None,
+        worker: false,
+        connect: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -80,6 +98,10 @@ fn parse_options() -> Options {
             "--csv" => options.csv = Some(required_value(&mut args, "--csv")),
             "--jsonl" => options.jsonl = Some(required_value(&mut args, "--jsonl")),
             "--check" => options.check = Some(required_value(&mut args, "--check")),
+            "--workers" => options.workers = Some(parsed_value(&mut args, "--workers")),
+            "--checkpoint" => options.checkpoint = Some(required_value(&mut args, "--checkpoint")),
+            "--worker" => options.worker = true,
+            "--connect" => options.connect = Some(required_value(&mut args, "--connect")),
             "--scale" => {
                 let value = required_value(&mut args, "--scale");
                 options.scale = match value.as_str() {
@@ -97,6 +119,7 @@ fn parse_options() -> Options {
                      \x20                [--scale quick|full]\n\
                      \x20                [--trials N] [--base-seed S]\n\
                      \x20                [--json PATH] [--csv PATH] [--jsonl PATH] [--check PATH]\n\
+                     \x20                [--workers N [--checkpoint PATH]]\n\
                      Runs every registered protocol × adversary × inputs × size combination."
                 );
                 std::process::exit(0);
@@ -163,8 +186,38 @@ fn write_file(path: &str, contents: &str, what: &str) {
     eprintln!("wrote {what} to {path}");
 }
 
+/// Formats the zero-match diagnostic so the user sees exactly which
+/// `--filter`/`--exclude` arguments eliminated everything.
+fn no_match_message(filters: &[String], excludes: &[String]) -> String {
+    let mut message = String::from("no scenarios match");
+    if filters.is_empty() && excludes.is_empty() {
+        message.push_str(" (the registry is empty at this scale)");
+        return message;
+    }
+    if !filters.is_empty() {
+        message.push_str(&format!(" --filter {}", filters.join(" --filter ")));
+    }
+    if !excludes.is_empty() {
+        message.push_str(&format!(" --exclude {}", excludes.join(" --exclude ")));
+    }
+    message.push_str("; try --list with no filters to see every registered id");
+    message
+}
+
 fn main() {
     let options = parse_options();
+
+    if options.worker {
+        let Some(addr) = &options.connect else {
+            eprintln!("--worker requires --connect <addr>");
+            std::process::exit(2);
+        };
+        if let Err(err) = worker::serve(addr) {
+            eprintln!("worker: {err}");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if let Some(path) = &options.check {
         match check_document(path) {
@@ -192,6 +245,13 @@ fn main() {
         }
     }
 
+    // A selection that matches nothing is an error in every mode — a silent
+    // empty run (or empty listing) hides a typo'd filter.
+    if specs.is_empty() {
+        eprintln!("{}", no_match_message(&options.filters, &options.excludes));
+        std::process::exit(1);
+    }
+
     if options.list {
         for spec in &specs {
             let model = spec
@@ -204,10 +264,40 @@ fn main() {
         return;
     }
 
-    if specs.is_empty() {
-        eprintln!("no scenarios match the given filters");
-        std::process::exit(1);
-    }
+    // With --workers, spawn this same binary in --worker mode and shard each
+    // scenario's seed range across the pool; the merged record stream feeds
+    // the very same sinks, so every output artifact is byte-identical to a
+    // single-process run.
+    let mut session: Option<Session> = match options.workers {
+        Some(workers) => {
+            let exe = std::env::current_exe().unwrap_or_else(|err| {
+                eprintln!("cannot locate own executable for --workers: {err}");
+                std::process::exit(1);
+            });
+            let mut orchestrator = Orchestrator::new(
+                options.scale,
+                vec![exe.to_string_lossy().into_owned(), "--worker".to_string()],
+            )
+            .workers(workers);
+            if let Some(path) = &options.checkpoint {
+                orchestrator = orchestrator.checkpoint(path);
+            }
+            match orchestrator.start() {
+                Ok(session) => Some(session),
+                Err(err) => {
+                    eprintln!("could not start {workers} worker(s): {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            if options.checkpoint.is_some() {
+                eprintln!("--checkpoint requires --workers");
+                std::process::exit(2);
+            }
+            None
+        }
+    };
 
     let mut table = TableSink::new(
         "Scenario matrix results",
@@ -236,9 +326,33 @@ fn main() {
         if options.json.is_some() {
             sinks.push(&mut json);
         }
-        if let Err(err) = spec.run_with_sinks(&Default::default(), &mut sinks) {
-            failures += 1;
-            table.push_failure(spec.id(), format!("infeasible: {err}"));
+        match session.as_mut() {
+            Some(session) => match session.run_spec_records(spec) {
+                Ok(records) => {
+                    let meta = spec.meta().expect("feasible spec has metadata");
+                    stream_records(&meta, &records, &mut sinks);
+                }
+                Err(OrchestrateError::Scenario(err)) => {
+                    failures += 1;
+                    table.push_failure(spec.id(), format!("infeasible: {err}"));
+                }
+                Err(err) => {
+                    eprintln!("orchestration of '{}' failed: {err}", spec.id());
+                    std::process::exit(1);
+                }
+            },
+            None => {
+                if let Err(err) = spec.run_with_sinks(&Default::default(), &mut sinks) {
+                    failures += 1;
+                    table.push_failure(spec.id(), format!("infeasible: {err}"));
+                }
+            }
+        }
+    }
+    if let Some(session) = session.take() {
+        if let Err(err) = session.shutdown() {
+            eprintln!("worker shutdown failed: {err}");
+            std::process::exit(1);
         }
     }
     println!("{}", table.into_table());

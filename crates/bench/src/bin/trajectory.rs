@@ -1,0 +1,241 @@
+//! The persisted per-PR performance trajectory.
+//!
+//! `BENCH_trajectory.json` at the repository root records one entry per PR:
+//! the campaign-throughput numbers (trials/sec) of the canonical workloads
+//! in `agreement_bench::workloads`, as measured when that PR landed. Where
+//! the `campaign_throughput` baseline guard answers "did this change make
+//! things slower than last time?", the trajectory answers "how did we get
+//! here?" — it is the repository's own perf history, readable without
+//! spelunking through CHANGES.md prose.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p agreement-bench --bin trajectory -- <COMMAND>
+//!
+//!   --check [PATH]     validate the trajectory document: schema, strictly
+//!                      increasing PR numbers, positive finite numbers, and
+//!                      an emit → re-parse round trip (default PATH:
+//!                      BENCH_trajectory.json at the repo root)
+//!   --measure          run the canonical workloads and print one entry's
+//!                      "cases" object to stdout (no file is touched)
+//!   --append --pr N --label TEXT [PATH]
+//!                      measure and append an entry for PR N to the document
+//! ```
+//!
+//! Entries are append-only: a PR adds its own line and never rewrites
+//! history. Numbers from different machines are not comparable in absolute
+//! terms — the trajectory is meaningful within stretches recorded on the
+//! same hardware, which is why each entry carries a free-form label.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use agreement_analysis::JsonValue;
+use agreement_bench::cli::{parsed_value, required_value};
+use agreement_bench::workloads;
+
+/// The unit every case value is measured in.
+const UNIT: &str = "trials_per_sec";
+
+fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_trajectory.json")
+}
+
+/// Validates a trajectory document. Returns the number of entries.
+fn check_document(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("{}: {err}", path.display()))?;
+    let doc = JsonValue::parse(&text).map_err(|err| format!("{}: {err}", path.display()))?;
+    if doc.get("unit").and_then(JsonValue::as_str) != Some(UNIT) {
+        return Err(format!("'unit' must be \"{UNIT}\""));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "document must carry an 'entries' array".to_string())?;
+    if entries.is_empty() {
+        return Err("'entries' must not be empty".to_string());
+    }
+    let mut last_pr = 0u64;
+    for (i, entry) in entries.iter().enumerate() {
+        let pr = entry
+            .get("pr")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("entry #{i} is missing integer field 'pr'"))?;
+        if pr <= last_pr {
+            return Err(format!(
+                "entry #{i}: PR numbers must be strictly increasing ({pr} after {last_pr})"
+            ));
+        }
+        last_pr = pr;
+        match entry.get("label").and_then(JsonValue::as_str) {
+            Some(label) if !label.is_empty() => {}
+            _ => return Err(format!("entry #{i} is missing a non-empty 'label'")),
+        }
+        let cases = entry
+            .get("cases")
+            .ok_or_else(|| format!("entry #{i} is missing 'cases'"))?;
+        let mut seen = 0usize;
+        for case in workloads_superset() {
+            if let Some(value) = cases.get(case) {
+                let value = value
+                    .as_f64()
+                    .ok_or_else(|| format!("entry #{i} case '{case}' is not a number"))?;
+                if !(value.is_finite() && value > 0.0) {
+                    return Err(format!(
+                        "entry #{i} case '{case}' must be positive and finite, got {value}"
+                    ));
+                }
+                seen += 1;
+            }
+        }
+        if seen == 0 {
+            return Err(format!("entry #{i} carries no known case"));
+        }
+    }
+    let reparsed =
+        JsonValue::parse(&doc.to_string()).map_err(|err| format!("re-parse failed: {err}"))?;
+    if reparsed != doc {
+        return Err("emit → parse round trip changed the document".to_string());
+    }
+    Ok(entries.len())
+}
+
+/// Every case name an entry may carry. Kept here (not derived from a live
+/// measurement) so `--check` works without running benchmarks.
+fn workloads_superset() -> [&'static str; 7] {
+    [
+        "windowed/reset_tolerant/split_vote/13",
+        "windowed/reset_tolerant/full_delivery/25",
+        "async/ben_or/fair/8",
+        "partial_sync/ben_or/eventual/8",
+        "async/sampled_committee/fair/1000",
+        "orchestrated/split_vote/13/w2",
+        "orchestrated/subquad_fair/1000/w2",
+    ]
+}
+
+/// Runs the canonical workloads, including the orchestrated ones via the
+/// sibling `scenarios` binary in `--worker` mode.
+fn measure() -> JsonValue {
+    let worker = std::env::current_exe()
+        .expect("locate own executable")
+        .with_file_name(if cfg!(windows) {
+            "scenarios.exe"
+        } else {
+            "scenarios"
+        });
+    let cmd = vec![
+        worker.to_string_lossy().into_owned(),
+        "--worker".to_string(),
+    ];
+    let worker_cmd = worker.exists().then_some(cmd);
+    if worker_cmd.is_none() {
+        eprintln!(
+            "note: no scenarios binary next to trajectory ({}); skipping orchestrated cases",
+            worker.display()
+        );
+    }
+    let measured = workloads::measure_all(worker_cmd.as_deref());
+    let mut cases = JsonValue::object();
+    for (name, throughput) in measured.iter() {
+        // Three decimals, same precision the baseline files keep.
+        cases.push(name, (throughput * 1000.0).round() / 1000.0);
+    }
+    cases
+}
+
+fn append(path: &Path, pr: u64, label: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("{}: {err}", path.display()))?;
+    let doc = JsonValue::parse(&text).map_err(|err| format!("{}: {err}", path.display()))?;
+    let entries = doc
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "document must carry an 'entries' array".to_string())?;
+    if let Some(last) = entries.last() {
+        let last_pr = last.get("pr").and_then(JsonValue::as_u64).unwrap_or(0);
+        if pr <= last_pr {
+            return Err(format!(
+                "PR {pr} does not follow the last recorded entry (PR {last_pr})"
+            ));
+        }
+    }
+    let mut entry = JsonValue::object();
+    entry
+        .push("pr", pr)
+        .push("label", label)
+        .push("cases", measure());
+    let mut entries: Vec<JsonValue> = entries.to_vec();
+    entries.push(entry);
+    let mut out = JsonValue::object();
+    out.push("unit", UNIT)
+        .push("entries", JsonValue::Array(entries));
+    std::fs::write(path, format!("{out}\n")).map_err(|err| format!("{}: {err}", path.display()))?;
+    println!("appended PR {pr} to {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut mode: Option<&str> = None;
+    let mut path: Option<PathBuf> = None;
+    let mut pr: Option<u64> = None;
+    let mut label: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Some("check"),
+            "--measure" => mode = Some("measure"),
+            "--append" => mode = Some("append"),
+            "--pr" => pr = Some(parsed_value(&mut args, "--pr")),
+            "--label" => label = Some(required_value(&mut args, "--label")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: trajectory --check [PATH] | --measure | \
+                     --append --pr N --label TEXT [PATH]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with("--") && path.is_none() => {
+                path = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let path = path.unwrap_or_else(default_path);
+    match mode {
+        Some("check") => match check_document(&path) {
+            Ok(count) => {
+                eprintln!("{}: valid — {count} trajectory entries", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("{}: INVALID — {err}", path.display());
+                ExitCode::FAILURE
+            }
+        },
+        Some("measure") => {
+            println!("{}", measure());
+            ExitCode::SUCCESS
+        }
+        Some("append") => {
+            let (Some(pr), Some(label)) = (pr, label.as_deref()) else {
+                eprintln!("--append requires --pr N and --label TEXT");
+                return ExitCode::from(2);
+            };
+            match append(&path, pr, label) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(err) => {
+                    eprintln!("{err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("one of --check, --measure, --append is required (try --help)");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -13,3 +13,4 @@
 pub mod baseline;
 pub mod cli;
 pub mod harness;
+pub mod workloads;

@@ -62,6 +62,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod orchestrate;
 pub mod record;
 mod report;
 mod runner;

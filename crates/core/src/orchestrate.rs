@@ -1,0 +1,1106 @@
+//! Multi-process campaign orchestration: sharded seed ranges over the net
+//! transport, a bit-identical slot-ordered merge, and resumable seed-range
+//! checkpoints.
+//!
+//! The [`Campaign`](crate::Campaign) fans a scenario's trials across one
+//! machine's cores; this module fans them across **processes**. A
+//! coordinator ([`Orchestrator`] → [`Session`]) shards the trial range
+//! `0..trials` into contiguous slot ranges, dispatches them to worker
+//! processes over the framed TCP transport of `agreement_net::transport`,
+//! and workers stream one [`TrialRecord`] frame per trial back for a
+//! slot-ordered merge. Because trial `t` runs identically wherever it is
+//! executed (its seed is `base_seed + t`, its workspace leaks no state), the
+//! merged record stream — and therefore every report sink's output — is
+//! **byte-identical to a single-process run** of the same spec. That is the
+//! invariant the whole workspace has preserved across thread counts since
+//! PR 1, extended across process boundaries.
+//!
+//! # Protocol
+//!
+//! One JSON object per length-prefixed frame, coordinator-initiated:
+//!
+//! ```text
+//! worker → coordinator   {"type":"hello","pid":P}
+//! coordinator → worker   {"type":"run","job":J,"scenario":ID,"scale":S,
+//!                         "trials":T,"base_seed":B,"max_windows":W,
+//!                         "max_steps":X,"lo":L,"hi":H}
+//! worker → coordinator   {"type":"record","job":J,"record":{...}}   × (H-L)
+//! worker → coordinator   {"type":"range_done","job":J,"lo":L,"hi":H,
+//!                         "count":H-L}
+//! worker → coordinator   {"type":"error","job":J,"message":M}
+//! coordinator → worker   {"type":"shutdown"}
+//! ```
+//!
+//! Workers resolve the scenario **by registry id** at the given scale and
+//! apply the trials/seed/limits carried on the wire, so both sides agree on
+//! the exact workload without serializing protocol objects. Frames on one
+//! connection are FIFO, so a range's records always precede its
+//! `range_done`.
+//!
+//! # Fault tolerance and resumption
+//!
+//! A worker that disconnects mid-range loses the whole range: its partial
+//! records are discarded and the range is re-queued for a surviving worker
+//! (a half-range would have to be stitched; a re-run is deterministic, so
+//! re-running is both simpler and provably identical). When every worker is
+//! gone with work outstanding, the session reports
+//! [`OrchestrateError::WorkersExhausted`].
+//!
+//! With a checkpoint path configured, every completed range is appended to a
+//! JSONL file *with its records embedded*. A restarted coordinator loads the
+//! file, dispatches only the missing sub-ranges, and merges checkpointed and
+//! fresh ranges into the same byte-identical stream.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, BufRead, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use agreement_analysis::JsonValue;
+use agreement_net::transport::{bounded, BoundedReceiver, Connection, Listener, RecvError};
+use agreement_sim::RunLimits;
+
+use crate::experiments::Scale;
+use crate::record::TrialRecord;
+use crate::runner::Campaign;
+use crate::scenario::{scenario_registry, ScenarioError, ScenarioSpec};
+
+/// How long the coordinator waits for workers to dial in and say hello.
+const SPAWN_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Safety net on every coordinator receive: a worker that neither answers
+/// nor disconnects within this window is treated as a protocol failure.
+const RECV_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Why an orchestrated campaign failed.
+#[derive(Debug)]
+pub enum OrchestrateError {
+    /// Spawning, connecting, or checkpoint file I/O failed.
+    Io(io::Error),
+    /// The spec itself does not resolve (same errors as a local run).
+    Scenario(ScenarioError),
+    /// Every worker process was lost with ranges still outstanding.
+    WorkersExhausted(String),
+    /// A worker violated the wire protocol (bad frame, wrong job, bad
+    /// record) or reported an execution error.
+    Protocol(String),
+    /// The completed ranges do not tile `0..trials` exactly (a checkpoint
+    /// from a different run, or an internal dispatch bug).
+    Coverage(String),
+}
+
+impl fmt::Display for OrchestrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchestrateError::Io(err) => write!(f, "orchestration I/O error: {err}"),
+            OrchestrateError::Scenario(err) => write!(f, "{err}"),
+            OrchestrateError::WorkersExhausted(msg) => write!(f, "workers exhausted: {msg}"),
+            OrchestrateError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            OrchestrateError::Coverage(msg) => write!(f, "coverage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OrchestrateError {}
+
+impl From<io::Error> for OrchestrateError {
+    fn from(err: io::Error) -> Self {
+        OrchestrateError::Io(err)
+    }
+}
+
+impl From<ScenarioError> for OrchestrateError {
+    fn from(err: ScenarioError) -> Self {
+        OrchestrateError::Scenario(err)
+    }
+}
+
+/// The label a [`Scale`] travels under on the wire.
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    }
+}
+
+fn parse_scale(label: &str) -> Option<Scale> {
+    match label {
+        "quick" => Some(Scale::Quick),
+        "full" => Some(Scale::Full),
+        _ => None,
+    }
+}
+
+fn str_field<'a>(msg: &'a JsonValue, name: &str) -> Result<&'a str, String> {
+    msg.get(name)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing string field '{name}'"))
+}
+
+fn int_field(msg: &JsonValue, name: &str) -> Result<u64, String> {
+    msg.get(name)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing integer field '{name}'"))
+}
+
+/// One completed, persisted seed range of a scenario: the unit of resumption.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointEntry {
+    /// The scenario's registry id.
+    pub scenario: String,
+    /// The base seed the range ran under (a changed seed invalidates it).
+    pub base_seed: u64,
+    /// The campaign's total trial count (a changed count invalidates it).
+    pub trials: u64,
+    /// Range start (inclusive).
+    pub lo: u64,
+    /// Range end (exclusive).
+    pub hi: u64,
+    /// The range's records, in trial order.
+    pub records: Vec<TrialRecord>,
+}
+
+impl CheckpointEntry {
+    fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.push("scenario", self.scenario.as_str())
+            .push("base_seed", self.base_seed)
+            .push("trials", self.trials)
+            .push("lo", self.lo)
+            .push("hi", self.hi)
+            .push(
+                "records",
+                JsonValue::Array(self.records.iter().map(TrialRecord::to_json).collect()),
+            );
+        obj
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let records = value
+            .get("records")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "missing 'records' array".to_string())?
+            .iter()
+            .map(TrialRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CheckpointEntry {
+            scenario: str_field(value, "scenario")?.to_string(),
+            base_seed: int_field(value, "base_seed")?,
+            trials: int_field(value, "trials")?,
+            lo: int_field(value, "lo")?,
+            hi: int_field(value, "hi")?,
+            records,
+        })
+    }
+}
+
+/// Reads a checkpoint file: one [`CheckpointEntry`] JSON object per line.
+/// A torn final line (the coordinator died mid-append) is skipped, not an
+/// error — everything before it is still usable.
+///
+/// # Errors
+///
+/// Propagates file I/O errors and malformed *complete* lines.
+pub fn read_checkpoint(path: &Path) -> Result<Vec<CheckpointEntry>, OrchestrateError> {
+    let file = std::fs::File::open(path)?;
+    let mut entries = Vec::new();
+    let mut lines = io::BufReader::new(file).lines().peekable();
+    while let Some(line) = lines.next() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let last = lines.peek().is_none();
+        match JsonValue::parse(&line).and_then(|v| CheckpointEntry::from_json(&v)) {
+            Ok(entry) => entries.push(entry),
+            // Only the final line may be torn; corruption earlier in the
+            // file means the checkpoint cannot be trusted.
+            Err(_) if last => break,
+            Err(err) => {
+                return Err(OrchestrateError::Protocol(format!(
+                    "corrupt checkpoint line in {}: {err}",
+                    path.display()
+                )))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Appends one entry to a checkpoint file (creating it if needed), flushed
+/// before returning so a subsequent crash cannot lose the range.
+///
+/// # Errors
+///
+/// Propagates file I/O errors.
+pub fn append_checkpoint(path: &Path, entry: &CheckpointEntry) -> Result<(), OrchestrateError> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{}", entry.to_json())?;
+    file.flush()?;
+    Ok(())
+}
+
+/// The sub-ranges of `0..total` not covered by `done` ranges — the work a
+/// resumed coordinator still has to dispatch.
+fn missing_ranges(total: u64, done: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut sorted: Vec<(u64, u64)> = done.to_vec();
+    sorted.sort_unstable();
+    let mut missing = Vec::new();
+    let mut cursor = 0u64;
+    for (lo, hi) in sorted {
+        if lo > cursor {
+            missing.push((cursor, lo.min(total)));
+        }
+        cursor = cursor.max(hi);
+        if cursor >= total {
+            break;
+        }
+    }
+    if cursor < total {
+        missing.push((cursor, total));
+    }
+    missing
+}
+
+/// Splits ranges into dispatch chunks of at most `chunk` trials.
+fn chunk_ranges(ranges: &[(u64, u64)], chunk: u64) -> VecDeque<(u64, u64)> {
+    let chunk = chunk.max(1);
+    let mut out = VecDeque::new();
+    for &(lo, hi) in ranges {
+        let mut start = lo;
+        while start < hi {
+            let end = (start + chunk).min(hi);
+            out.push_back((start, end));
+            start = end;
+        }
+    }
+    out
+}
+
+/// Merges completed ranges into the full `0..total` record stream,
+/// validating that the ranges tile the interval exactly and that every
+/// record sits in its own slot. The result is the stream a single-process
+/// campaign would have produced.
+fn merge_ranges(
+    total: u64,
+    mut done: Vec<(u64, u64, Vec<TrialRecord>)>,
+) -> Result<Vec<TrialRecord>, OrchestrateError> {
+    done.sort_by_key(|&(lo, _, _)| lo);
+    let mut merged: Vec<TrialRecord> = Vec::with_capacity(total as usize);
+    let mut cursor = 0u64;
+    for (lo, hi, records) in done {
+        if lo != cursor {
+            return Err(OrchestrateError::Coverage(format!(
+                "ranges do not tile 0..{total}: expected a range starting at {cursor}, got {lo}..{hi}"
+            )));
+        }
+        if records.len() as u64 != hi - lo {
+            return Err(OrchestrateError::Coverage(format!(
+                "range {lo}..{hi} carries {} record(s)",
+                records.len()
+            )));
+        }
+        merged.extend(records);
+        cursor = hi;
+    }
+    if cursor != total {
+        return Err(OrchestrateError::Coverage(format!(
+            "ranges cover 0..{cursor} of 0..{total}"
+        )));
+    }
+    for (slot, record) in merged.iter().enumerate() {
+        if record.trial != slot as u64 {
+            return Err(OrchestrateError::Coverage(format!(
+                "slot {slot} holds trial {}",
+                record.trial
+            )));
+        }
+    }
+    Ok(merged)
+}
+
+/// Progress notifications from a dispatch loop — how tests observe (and
+/// interfere with) an in-flight orchestration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrchestrationEvent {
+    /// A range was handed to a worker.
+    RangeAssigned {
+        /// Worker index within the session.
+        worker: usize,
+        /// Range start (inclusive).
+        lo: u64,
+        /// Range end (exclusive).
+        hi: u64,
+    },
+    /// A worker delivered a complete, validated range.
+    RangeCompleted {
+        /// Worker index within the session.
+        worker: usize,
+        /// Range start (inclusive).
+        lo: u64,
+        /// Range end (exclusive).
+        hi: u64,
+    },
+    /// A range was skipped because the checkpoint already covers it.
+    RangeRestored {
+        /// Range start (inclusive).
+        lo: u64,
+        /// Range end (exclusive).
+        hi: u64,
+    },
+    /// A worker disconnected or broke protocol; its in-flight range (if
+    /// any) has been re-queued.
+    WorkerLost {
+        /// Worker index within the session.
+        worker: usize,
+    },
+}
+
+/// What a worker forwarder delivers into the coordinator's shared inbox.
+enum Delivery {
+    /// A parsed frame.
+    Frame(JsonValue),
+    /// A frame that was not valid JSON.
+    Malformed(String),
+    /// The connection closed.
+    Gone,
+}
+
+struct WorkerHandle {
+    conn: Arc<Connection>,
+    pid: u64,
+    alive: bool,
+    forwarder: Option<JoinHandle<()>>,
+}
+
+struct Inflight {
+    job: u64,
+    lo: u64,
+    hi: u64,
+    records: Vec<TrialRecord>,
+}
+
+/// Coordinator configuration: how many workers to spawn, with what command,
+/// at what scale, with what chunking and checkpointing.
+#[derive(Debug, Clone)]
+pub struct Orchestrator {
+    scale: Scale,
+    workers: usize,
+    command: Vec<String>,
+    chunk: Option<u64>,
+    checkpoint: Option<PathBuf>,
+}
+
+impl Orchestrator {
+    /// A coordinator that will spawn workers with `command` (executable plus
+    /// fixed arguments; `--connect <addr>` is appended) resolving scenarios
+    /// at `scale`.
+    pub fn new(scale: Scale, command: Vec<String>) -> Self {
+        assert!(
+            !command.is_empty(),
+            "worker command must name an executable"
+        );
+        Orchestrator {
+            scale,
+            workers: 2,
+            command,
+            chunk: None,
+            checkpoint: None,
+        }
+    }
+
+    /// Sets the worker-process count (default 2; clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the dispatch chunk size in trials. The default is
+    /// `ceil(trials / (workers · 4))` per spec: enough chunks that a lost
+    /// worker forfeits little and stragglers rebalance, few enough that
+    /// framing overhead stays negligible.
+    pub fn chunk(mut self, chunk: u64) -> Self {
+        self.chunk = Some(chunk.max(1));
+        self
+    }
+
+    /// Persists completed ranges to `path` and resumes from it when it
+    /// already exists.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Spawns the workers, waits for each to connect and say hello, and
+    /// returns the live [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestrateError::Io`] when spawning or accepting fails, and
+    /// [`OrchestrateError::Protocol`] when a worker's first frame is not a
+    /// well-formed hello within the spawn deadline.
+    pub fn start(self) -> Result<Session, OrchestrateError> {
+        let listener = Listener::bind_local()?;
+        let addr = listener.local_addr()?.to_string();
+        let mut children = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let mut cmd = Command::new(&self.command[0]);
+            cmd.args(&self.command[1..])
+                .arg("--connect")
+                .arg(&addr)
+                // Workers write records to the socket, never to stdout; a
+                // stray print must not corrupt the coordinator's own output.
+                .stdout(Stdio::null());
+            children.push(cmd.spawn()?);
+        }
+
+        let deadline = Instant::now() + SPAWN_DEADLINE;
+        let (inbox_tx, inbox) = bounded::<(usize, Delivery)>(1024);
+        let mut workers = Vec::with_capacity(children.len());
+        for index in 0..children.len() {
+            let conn = listener.accept_deadline(deadline)?;
+            let hello = conn.recv_deadline(deadline).map_err(|err| {
+                OrchestrateError::Protocol(format!("worker {index} sent no hello: {err:?}"))
+            })?;
+            let hello = parse_frame(&hello).map_err(OrchestrateError::Protocol)?;
+            if str_field(&hello, "type") != Ok("hello") {
+                return Err(OrchestrateError::Protocol(format!(
+                    "worker {index}'s first frame was not a hello"
+                )));
+            }
+            let pid = int_field(&hello, "pid").map_err(OrchestrateError::Protocol)?;
+            let conn = Arc::new(conn);
+            let forwarder_conn = Arc::clone(&conn);
+            let tx = inbox_tx.clone();
+            let forwarder = std::thread::spawn(move || loop {
+                match forwarder_conn.recv() {
+                    Some(frame) => {
+                        let delivery = match parse_frame(&frame) {
+                            Ok(msg) => Delivery::Frame(msg),
+                            Err(err) => Delivery::Malformed(err),
+                        };
+                        if tx.send((index, delivery)).is_err() {
+                            return;
+                        }
+                    }
+                    None => {
+                        let _ = tx.send((index, Delivery::Gone));
+                        return;
+                    }
+                }
+            });
+            workers.push(WorkerHandle {
+                conn,
+                pid,
+                alive: true,
+                forwarder: Some(forwarder),
+            });
+        }
+
+        Ok(Session {
+            scale: self.scale,
+            chunk: self.chunk,
+            checkpoint: self.checkpoint,
+            workers,
+            children,
+            inbox,
+            next_job: 0,
+        })
+    }
+}
+
+fn parse_frame(frame: &[u8]) -> Result<JsonValue, String> {
+    let text = std::str::from_utf8(frame).map_err(|err| format!("non-UTF-8 frame: {err}"))?;
+    JsonValue::parse(text)
+}
+
+/// A live orchestration session: connected worker processes, reusable across
+/// many specs (the `scenarios` bin runs its whole matrix through one
+/// session).
+pub struct Session {
+    scale: Scale,
+    chunk: Option<u64>,
+    checkpoint: Option<PathBuf>,
+    workers: Vec<WorkerHandle>,
+    children: Vec<Child>,
+    inbox: BoundedReceiver<(usize, Delivery)>,
+    next_job: u64,
+}
+
+impl Session {
+    /// OS process ids of the worker processes, in session order — what a
+    /// fault-injection test needs to kill one mid-range.
+    pub fn worker_pids(&self) -> Vec<u64> {
+        self.workers.iter().map(|w| w.pid).collect()
+    }
+
+    /// How many workers are still connected.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+
+    /// Removes and returns worker `index`'s OS process handle — fault
+    /// injection for tests: `kill()` it and watch the dispatch loop reroute
+    /// its range. The session stops reaping a taken child (the caller owns
+    /// the `wait`), and the index is positional, so take at most one.
+    pub fn take_worker_process(&mut self, index: usize) -> Child {
+        self.children.remove(index)
+    }
+
+    /// Runs one spec's full trial range across the workers and returns the
+    /// merged record stream, bit-identical to a single-process
+    /// [`ScenarioSpec::run_range_records`] over `0..trials`.
+    ///
+    /// # Errors
+    ///
+    /// See [`OrchestrateError`]; spec-resolution failures surface as
+    /// [`OrchestrateError::Scenario`], exactly as a local run would report
+    /// them.
+    pub fn run_spec_records(
+        &mut self,
+        spec: &ScenarioSpec,
+    ) -> Result<Vec<TrialRecord>, OrchestrateError> {
+        self.run_spec_records_with(spec, |_| {})
+    }
+
+    /// Like [`Session::run_spec_records`], with a progress callback invoked
+    /// from the dispatch loop on every assignment, completion, restoration
+    /// and worker loss.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run_spec_records`].
+    pub fn run_spec_records_with(
+        &mut self,
+        spec: &ScenarioSpec,
+        mut on_event: impl FnMut(OrchestrationEvent),
+    ) -> Result<Vec<TrialRecord>, OrchestrateError> {
+        // Fail exactly like a local run before involving any worker.
+        spec.feasibility()?;
+        let total = spec.trials;
+        let id = spec.id();
+
+        // Restore checkpointed ranges for this exact workload.
+        let mut done: Vec<(u64, u64, Vec<TrialRecord>)> = Vec::new();
+        if let Some(path) = self.checkpoint.clone() {
+            if path.exists() {
+                for entry in read_checkpoint(&path)? {
+                    if entry.scenario == id
+                        && entry.base_seed == spec.base_seed
+                        && entry.trials == total
+                        && entry.hi <= total
+                    {
+                        on_event(OrchestrationEvent::RangeRestored {
+                            lo: entry.lo,
+                            hi: entry.hi,
+                        });
+                        done.push((entry.lo, entry.hi, entry.records));
+                    }
+                }
+            }
+        }
+
+        let covered: Vec<(u64, u64)> = done.iter().map(|&(lo, hi, _)| (lo, hi)).collect();
+        let chunk = self.chunk.unwrap_or_else(|| {
+            let shards = (self.workers.len() as u64) * 4;
+            total.div_ceil(shards.max(1)).max(1)
+        });
+        let mut pending = chunk_ranges(&missing_ranges(total, &covered), chunk);
+        let mut inflight: Vec<Option<Inflight>> = (0..self.workers.len()).map(|_| None).collect();
+
+        loop {
+            // Hand pending chunks to every idle live worker.
+            for (index, slot) in inflight.iter_mut().enumerate() {
+                if slot.is_some() || !self.workers[index].alive {
+                    continue;
+                }
+                let Some((lo, hi)) = pending.pop_front() else {
+                    break;
+                };
+                let job = self.next_job;
+                self.next_job += 1;
+                let mut run = JsonValue::object();
+                run.push("type", "run")
+                    .push("job", job)
+                    .push("scenario", id.as_str())
+                    .push("scale", scale_label(self.scale))
+                    .push("trials", total)
+                    .push("base_seed", spec.base_seed)
+                    .push("max_windows", spec.limits.max_windows)
+                    .push("max_steps", spec.limits.max_steps)
+                    .push("lo", lo)
+                    .push("hi", hi);
+                if self.workers[index]
+                    .conn
+                    .send(run.to_string().into_bytes())
+                    .is_err()
+                {
+                    // The forwarder will deliver the Gone event; just skip.
+                    pending.push_front((lo, hi));
+                    continue;
+                }
+                *slot = Some(Inflight {
+                    job,
+                    lo,
+                    hi,
+                    records: Vec::with_capacity((hi - lo) as usize),
+                });
+                on_event(OrchestrationEvent::RangeAssigned {
+                    worker: index,
+                    lo,
+                    hi,
+                });
+            }
+
+            if pending.is_empty() && inflight.iter().all(Option::is_none) {
+                break;
+            }
+            if self.live_workers() == 0 {
+                return Err(OrchestrateError::WorkersExhausted(format!(
+                    "all {} worker(s) lost with {} range(s) of '{id}' unfinished",
+                    self.workers.len(),
+                    pending.len() + inflight.iter().flatten().count(),
+                )));
+            }
+
+            let (index, delivery) = self.inbox.recv_timeout(RECV_TIMEOUT).map_err(|err| {
+                OrchestrateError::Protocol(match err {
+                    RecvError::Timeout => "no worker responded within the receive timeout".into(),
+                    RecvError::Disconnected => "every worker forwarder exited".into(),
+                })
+            })?;
+            match delivery {
+                Delivery::Frame(msg) => {
+                    if let Err(reason) = handle_frame(
+                        &msg,
+                        index,
+                        &mut inflight,
+                        &mut done,
+                        self.checkpoint.as_deref(),
+                        &id,
+                        spec.base_seed,
+                        total,
+                        &mut on_event,
+                    )? {
+                        self.lose_worker(index, &mut inflight, &mut pending, &mut on_event);
+                        eprintln!("orchestrate: worker {index} dropped: {reason}");
+                    }
+                }
+                Delivery::Malformed(err) => {
+                    self.lose_worker(index, &mut inflight, &mut pending, &mut on_event);
+                    eprintln!("orchestrate: worker {index} sent a malformed frame: {err}");
+                }
+                Delivery::Gone => {
+                    self.lose_worker(index, &mut inflight, &mut pending, &mut on_event);
+                }
+            }
+        }
+
+        merge_ranges(total, done)
+    }
+
+    /// Marks a worker dead and re-queues its in-flight range (partial
+    /// records are discarded: a deterministic re-run is identical).
+    fn lose_worker(
+        &mut self,
+        index: usize,
+        inflight: &mut [Option<Inflight>],
+        pending: &mut VecDeque<(u64, u64)>,
+        on_event: &mut impl FnMut(OrchestrationEvent),
+    ) {
+        if !self.workers[index].alive {
+            return;
+        }
+        self.workers[index].alive = false;
+        if let Some(lost) = inflight[index].take() {
+            pending.push_front((lost.lo, lost.hi));
+        }
+        on_event(OrchestrationEvent::WorkerLost { worker: index });
+    }
+
+    /// Sends every live worker a shutdown frame and reaps the worker
+    /// processes. Called automatically on drop; explicit calls get the exit
+    /// error reporting.
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestrateError::Io`] when reaping a child fails.
+    pub fn shutdown(mut self) -> Result<(), OrchestrateError> {
+        self.shutdown_inner()?;
+        Ok(())
+    }
+
+    fn shutdown_inner(&mut self) -> Result<(), OrchestrateError> {
+        let mut bye = JsonValue::object();
+        bye.push("type", "shutdown");
+        let frame = bye.to_string().into_bytes();
+        for worker in &self.workers {
+            if worker.alive {
+                let _ = worker.conn.send(frame.clone());
+            }
+        }
+        for worker in &mut self.workers {
+            worker.alive = false;
+            if let Some(forwarder) = worker.forwarder.take() {
+                let _ = forwarder.join();
+            }
+        }
+        for child in &mut self.children {
+            child.wait()?;
+        }
+        self.children.clear();
+        Ok(())
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+        // A worker that ignored the shutdown frame must not outlive the
+        // session: reap whatever is left forcibly.
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Handles one worker frame inside the dispatch loop. Returns `Ok(Ok(()))`
+/// on success, `Ok(Err(reason))` when the worker must be dropped, and `Err`
+/// for coordinator-side failures (checkpoint I/O).
+#[allow(clippy::too_many_arguments)]
+fn handle_frame(
+    msg: &JsonValue,
+    index: usize,
+    inflight: &mut [Option<Inflight>],
+    done: &mut Vec<(u64, u64, Vec<TrialRecord>)>,
+    checkpoint: Option<&Path>,
+    scenario: &str,
+    base_seed: u64,
+    trials: u64,
+    on_event: &mut impl FnMut(OrchestrationEvent),
+) -> Result<Result<(), String>, OrchestrateError> {
+    let kind = match str_field(msg, "type") {
+        Ok(kind) => kind,
+        Err(err) => return Ok(Err(err)),
+    };
+    match kind {
+        "record" => {
+            let Some(current) = inflight[index].as_mut() else {
+                return Ok(Err("record frame outside any assigned range".into()));
+            };
+            match int_field(msg, "job") {
+                Ok(job) if job == current.job => {}
+                _ => return Ok(Err("record frame for a stale job".into())),
+            }
+            let Some(payload) = msg.get("record") else {
+                return Ok(Err("record frame without a 'record' object".into()));
+            };
+            let record = match TrialRecord::from_json(payload) {
+                Ok(record) => record,
+                Err(err) => return Ok(Err(format!("unparseable record: {err}"))),
+            };
+            let expected = current.lo + current.records.len() as u64;
+            if record.trial != expected {
+                return Ok(Err(format!(
+                    "out-of-order record: expected trial {expected}, got {}",
+                    record.trial
+                )));
+            }
+            current.records.push(record);
+            Ok(Ok(()))
+        }
+        "range_done" => {
+            let Some(current) = inflight[index].take() else {
+                return Ok(Err("range_done outside any assigned range".into()));
+            };
+            let job = int_field(msg, "job");
+            let lo = int_field(msg, "lo");
+            let hi = int_field(msg, "hi");
+            if job != Ok(current.job) || lo != Ok(current.lo) || hi != Ok(current.hi) {
+                return Ok(Err("range_done does not match the assigned range".into()));
+            }
+            if current.records.len() as u64 != current.hi - current.lo {
+                return Ok(Err(format!(
+                    "range {}..{} completed with {} record(s)",
+                    current.lo,
+                    current.hi,
+                    current.records.len()
+                )));
+            }
+            if let Some(path) = checkpoint {
+                append_checkpoint(
+                    path,
+                    &CheckpointEntry {
+                        scenario: scenario.to_string(),
+                        base_seed,
+                        trials,
+                        lo: current.lo,
+                        hi: current.hi,
+                        records: current.records.clone(),
+                    },
+                )?;
+            }
+            on_event(OrchestrationEvent::RangeCompleted {
+                worker: index,
+                lo: current.lo,
+                hi: current.hi,
+            });
+            done.push((current.lo, current.hi, current.records));
+            Ok(Ok(()))
+        }
+        "error" => {
+            let message = str_field(msg, "message").unwrap_or("unspecified worker error");
+            Ok(Err(format!("worker reported: {message}")))
+        }
+        other => Ok(Err(format!("unexpected frame type '{other}'"))),
+    }
+}
+
+/// The worker half: connects back to the coordinator, executes the ranges it
+/// is handed, and streams the records. This is what `scenarios --worker` and
+/// the `orchestrate_worker` binary run; it returns when the coordinator says
+/// shutdown or hangs up.
+pub mod worker {
+    use super::*;
+
+    /// Serves one coordinator at `addr` until shutdown or disconnect.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors; execution errors are reported to the
+    /// coordinator in-protocol, not returned here.
+    pub fn serve(addr: &str) -> io::Result<()> {
+        let mut conn = Connection::connect(addr)?;
+        let mut hello = JsonValue::object();
+        hello
+            .push("type", "hello")
+            .push("pid", std::process::id() as u64);
+        if conn.send(hello.to_string().into_bytes()).is_err() {
+            return Ok(());
+        }
+        // Range trials fan out across this process's cores exactly like a
+        // local campaign; determinism is per-trial, so the process/thread
+        // split never shows in the records.
+        let campaign = Campaign::parallel();
+        while let Some(frame) = conn.recv() {
+            let msg = match parse_frame(&frame) {
+                Ok(msg) => msg,
+                Err(_) => break,
+            };
+            match str_field(&msg, "type") {
+                Ok("run") => {
+                    let job = int_field(&msg, "job").unwrap_or(0);
+                    match execute(&msg, &campaign) {
+                        Ok((lo, hi, records)) => {
+                            for record in &records {
+                                let mut out = JsonValue::object();
+                                out.push("type", "record")
+                                    .push("job", job)
+                                    .push("record", record.to_json());
+                                if conn.send(out.to_string().into_bytes()).is_err() {
+                                    return Ok(());
+                                }
+                            }
+                            let mut out = JsonValue::object();
+                            out.push("type", "range_done")
+                                .push("job", job)
+                                .push("lo", lo)
+                                .push("hi", hi)
+                                .push("count", records.len() as u64);
+                            if conn.send(out.to_string().into_bytes()).is_err() {
+                                return Ok(());
+                            }
+                        }
+                        Err(message) => {
+                            let mut out = JsonValue::object();
+                            out.push("type", "error")
+                                .push("job", job)
+                                .push("message", message.as_str());
+                            if conn.send(out.to_string().into_bytes()).is_err() {
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                Ok("shutdown") => break,
+                _ => break,
+            }
+        }
+        conn.finish();
+        Ok(())
+    }
+
+    /// Resolves a run frame into a spec (registry id + wire overrides) and
+    /// executes its range.
+    fn execute(
+        msg: &JsonValue,
+        campaign: &Campaign,
+    ) -> Result<(u64, u64, Vec<TrialRecord>), String> {
+        let id = str_field(msg, "scenario")?;
+        let scale = parse_scale(str_field(msg, "scale")?)
+            .ok_or_else(|| "unknown scale label".to_string())?;
+        let lo = int_field(msg, "lo")?;
+        let hi = int_field(msg, "hi")?;
+        let mut spec = scenario_registry(scale)
+            .into_iter()
+            .find(|spec| spec.id() == id)
+            .ok_or_else(|| format!("no scenario '{id}' in the {} registry", scale_label(scale)))?;
+        spec.trials = int_field(msg, "trials")?;
+        spec.base_seed = int_field(msg, "base_seed")?;
+        spec.limits = RunLimits {
+            max_windows: int_field(msg, "max_windows")?,
+            max_steps: int_field(msg, "max_steps")?,
+        };
+        let records = spec
+            .run_range_records(campaign, lo, hi)
+            .map_err(|err| err.to_string())?;
+        Ok((lo, hi, records))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn record(trial: u64) -> TrialRecord {
+        use agreement_sim::Metrics;
+        TrialRecord {
+            trial,
+            seed: 100 + trial,
+            agreement: true,
+            validity: true,
+            terminated: true,
+            violations: 0,
+            halted: false,
+            decided: None,
+            first_decision_at: Some(trial),
+            all_decided_at: Some(trial),
+            duration: trial,
+            longest_chain: 0,
+            metrics: Metrics::default(),
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "agreement-orchestrate-{tag}-{}-{unique}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn missing_ranges_complements_arbitrary_coverage() {
+        assert_eq!(missing_ranges(10, &[]), vec![(0, 10)]);
+        assert_eq!(missing_ranges(10, &[(0, 10)]), Vec::<(u64, u64)>::new());
+        assert_eq!(
+            missing_ranges(10, &[(2, 5), (7, 9)]),
+            vec![(0, 2), (5, 7), (9, 10)]
+        );
+        assert_eq!(missing_ranges(10, &[(5, 10), (0, 2)]), vec![(2, 5)]);
+        assert_eq!(missing_ranges(0, &[]), Vec::<(u64, u64)>::new());
+    }
+
+    #[test]
+    fn chunk_ranges_splits_without_gaps() {
+        let chunks = chunk_ranges(&[(0, 7), (10, 12)], 3);
+        assert_eq!(Vec::from(chunks), vec![(0, 3), (3, 6), (6, 7), (10, 12)]);
+        // A zero chunk is clamped, not an infinite loop.
+        assert_eq!(chunk_ranges(&[(0, 2)], 0).len(), 2);
+    }
+
+    #[test]
+    fn merge_validates_tiling_and_slots() {
+        let done = vec![
+            (3u64, 5u64, vec![record(3), record(4)]),
+            (0, 3, vec![record(0), record(1), record(2)]),
+        ];
+        let merged = merge_ranges(5, done).unwrap();
+        assert_eq!(merged.len(), 5);
+        assert!(merged.iter().enumerate().all(|(i, r)| r.trial == i as u64));
+
+        let gap = vec![(0u64, 2u64, vec![record(0), record(1)])];
+        assert!(matches!(
+            merge_ranges(5, gap),
+            Err(OrchestrateError::Coverage(_))
+        ));
+        let overlap = vec![
+            (0u64, 3u64, vec![record(0), record(1), record(2)]),
+            (2, 5, vec![record(2), record(3), record(4)]),
+        ];
+        assert!(matches!(
+            merge_ranges(5, overlap),
+            Err(OrchestrateError::Coverage(_))
+        ));
+        let short = vec![(0u64, 3u64, vec![record(0)])];
+        assert!(matches!(
+            merge_ranges(3, short),
+            Err(OrchestrateError::Coverage(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_survives_a_torn_tail() {
+        let path = temp_path("roundtrip");
+        let entries = [
+            CheckpointEntry {
+                scenario: "a/b/c/n5t1".to_string(),
+                base_seed: 7,
+                trials: 10,
+                lo: 0,
+                hi: 3,
+                records: (0..3).map(record).collect(),
+            },
+            CheckpointEntry {
+                scenario: "a/b/c/n5t1".to_string(),
+                base_seed: 7,
+                trials: 10,
+                lo: 3,
+                hi: 5,
+                records: (3..5).map(record).collect(),
+            },
+        ];
+        for entry in &entries {
+            append_checkpoint(&path, entry).unwrap();
+        }
+        assert_eq!(read_checkpoint(&path).unwrap(), entries);
+
+        // A torn final line (coordinator died mid-append) is skipped.
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        contents.push_str("{\"scenario\":\"a/b/c/n5t1\",\"base_se");
+        std::fs::write(&path, contents).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), entries);
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_interior_checkpoint_lines_are_errors() {
+        let path = temp_path("corrupt");
+        let entry = CheckpointEntry {
+            scenario: "x".to_string(),
+            base_seed: 0,
+            trials: 1,
+            lo: 0,
+            hi: 1,
+            records: vec![record(0)],
+        };
+        std::fs::write(&path, "not json at all\n").unwrap();
+        append_checkpoint(&path, &entry).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(OrchestrateError::Protocol(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -147,24 +147,42 @@ impl Campaign {
         trials: u64,
         run_one: impl Fn(&mut TrialWorkspace, u64) -> T + Sync,
     ) -> Vec<T> {
-        let workers = self.worker_count(trials);
+        self.run_trials_range(0, trials, run_one)
+    }
+
+    /// Executes the trials `lo..hi` and returns their results in trial
+    /// order. The contiguous-range form of [`Campaign::run_trials`]: trial
+    /// `t` runs identically whether it is reached as part of `0..trials` or
+    /// as part of a shard `lo..hi` (its seed and workspace semantics depend
+    /// only on `t`), which is what lets a multi-process orchestrator split a
+    /// campaign into ranges and merge the streams bit-identically.
+    fn run_trials_range<T: Send>(
+        &self,
+        lo: u64,
+        hi: u64,
+        run_one: impl Fn(&mut TrialWorkspace, u64) -> T + Sync,
+    ) -> Vec<T> {
+        let count = hi.saturating_sub(lo);
+        let workers = self.worker_count(count);
         if workers <= 1 {
             let mut workspace = TrialWorkspace::new();
-            return (0..trials).map(|t| run_one(&mut workspace, t)).collect();
+            return (lo..hi).map(|t| run_one(&mut workspace, t)).collect();
         }
-        let next = AtomicU64::new(0);
-        let slots: Vec<Mutex<Option<T>>> = (0..trials).map(|_| Mutex::new(None)).collect();
+        let next = AtomicU64::new(lo);
+        let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut workspace = TrialWorkspace::new();
                     loop {
                         let trial = next.fetch_add(1, Ordering::Relaxed);
-                        if trial >= trials {
+                        if trial >= hi {
                             break;
                         }
                         let outcome = run_one(&mut workspace, trial);
-                        *slots[trial as usize].lock().expect("trial slot poisoned") = Some(outcome);
+                        *slots[(trial - lo) as usize]
+                            .lock()
+                            .expect("trial slot poisoned") = Some(outcome);
                     }
                 });
             }
@@ -194,7 +212,27 @@ impl Campaign {
     where
         F: Fn(u64) -> BuiltAdversary + Sync,
     {
-        self.run_trials(plan.trials, |workspace, trial| {
+        self.run_records_range(plan, builder, make_adversary, 0, plan.trials)
+    }
+
+    /// Runs only the trials `lo..hi` of `plan` and returns their records in
+    /// trial order — the shard a multi-process orchestrator hands one worker.
+    /// Record `t` of a range run is bit-identical to record `t` of a full
+    /// [`Campaign::run_records`] run (trial seeds are `base_seed + t`
+    /// regardless of the range), so concatenating the ranges `0..a`, `a..b`,
+    /// …, `z..trials` reproduces the single-process stream exactly.
+    pub fn run_records_range<F>(
+        &self,
+        plan: &TrialPlan,
+        builder: &dyn ProtocolBuilder,
+        make_adversary: F,
+        lo: u64,
+        hi: u64,
+    ) -> Vec<TrialRecord>
+    where
+        F: Fn(u64) -> BuiltAdversary + Sync,
+    {
+        self.run_trials_range(lo, hi.min(plan.trials), |workspace, trial| {
             let seed = plan.base_seed + trial;
             workspace.set_buffer_choice(plan.buffer);
             let mut adversary = make_adversary(seed);
@@ -559,6 +597,35 @@ mod tests {
         assert!(records.iter().all(|r| r.metrics.windows == 0));
         assert!(records.iter().all(|r| r.metrics.steps == r.duration));
         assert!(records.iter().all(|r| r.metrics.messages_sent > 0));
+    }
+
+    #[test]
+    fn range_record_shards_concatenate_to_the_full_stream() {
+        use agreement_adversary::{find_adversary, AdversaryBuildCtx};
+        let cfg = SystemConfig::new(5, 1).unwrap();
+        let plan = TrialPlan::new(cfg, InputAssignment::evenly_split(5))
+            .trials(9)
+            .limits(RunLimits::small());
+        let factory = find_adversary("fair-round-robin").unwrap();
+        let make = |seed: u64| factory.build(&AdversaryBuildCtx::new(cfg, seed));
+        let full = Campaign::serial().run_records(&plan, &BenOrBuilder::new(), make);
+        // Uneven contiguous shards, executed on different campaign shapes,
+        // must concatenate to the exact single-process stream.
+        let mut merged = Vec::new();
+        for (lo, hi) in [(0u64, 3u64), (3, 7), (7, 9)] {
+            merged.extend(Campaign::parallel().run_records_range(
+                &plan,
+                &BenOrBuilder::new(),
+                make,
+                lo,
+                hi,
+            ));
+        }
+        assert_eq!(full, merged);
+        // A hi past the plan's trial count clamps instead of running
+        // phantom trials.
+        let tail = Campaign::serial().run_records_range(&plan, &BenOrBuilder::new(), make, 7, 100);
+        assert_eq!(tail, full[7..]);
     }
 
     #[test]

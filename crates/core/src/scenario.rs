@@ -470,6 +470,38 @@ impl ScenarioSpec {
         Ok(stream_records(&meta, &records, sinks))
     }
 
+    /// Runs only the trials `lo..hi` of this spec and returns their records
+    /// in trial order — the shard one orchestration worker executes. Record
+    /// `t` is bit-identical to record `t` of a full run, so a coordinator
+    /// that concatenates contiguous ranges covering `0..trials` reproduces
+    /// the single-process record stream (and therefore every sink's output)
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] when the spec does not resolve.
+    pub fn run_range_records(
+        &self,
+        campaign: &Campaign,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<TrialRecord>, ScenarioError> {
+        let (cfg, instance, factory) = self.resolved()?;
+        let plan = TrialPlan::new(cfg, self.inputs.materialize(self.n))
+            .trials(self.trials)
+            .limits(self.limits)
+            .base_seed(self.base_seed)
+            .buffer(self.buffer);
+        let builder = instance.builder.as_ref();
+        Ok(campaign.run_records_range(
+            &plan,
+            builder,
+            |seed| factory.build(&self.build_ctx(cfg, &instance, seed)),
+            lo,
+            hi,
+        ))
+    }
+
     /// Runs a single execution with an explicit seed and returns its raw
     /// outcome (used by determinism tests and for inspecting one trace).
     ///

@@ -10,9 +10,10 @@
 //! (sender-side message drops), which models crashed processors.
 
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+use crate::transport::{self, RecvError};
 
 use agreement_model::{
     Bit, Context, InputAssignment, Payload, ProcessorId, ProcessorRng, ProtocolBuilder,
@@ -194,10 +195,11 @@ impl Cluster {
             senders.push(tx);
             receivers.push(rx);
         }
-        let (decision_tx, decision_rx) = channel::<(ProcessorId, Bit, bool)>();
-
-        let decisions: Vec<Option<Bit>> = vec![None; n];
-        let decisions = Arc::new(Mutex::new(decisions));
+        // Decision reports flow through the transport's bounded blocking
+        // channel: each node reports at most once, so capacity n means a
+        // report never blocks, and `recv_deadline` gives the collector a real
+        // blocking wait instead of a poll loop.
+        let (decision_tx, decision_rx) = transport::bounded::<(ProcessorId, Bit, bool)>(n);
 
         let mut handles = Vec::with_capacity(n);
         for (id, rx) in ProcessorId::all(n).zip(receivers) {
@@ -236,33 +238,31 @@ impl Cluster {
         }
         drop(decision_tx);
 
-        // Collect decisions until every live processor reported or the deadline.
+        // Collect decisions until every live processor reported or the
+        // deadline expires. `recv_deadline` blocks until a report arrives —
+        // no polling, no shared decision table: only this thread writes it.
         let live: Vec<ProcessorId> = ProcessorId::all(n)
             .filter(|id| !self.silenced.contains(id))
             .collect();
+        let deadline_at = started + self.deadline;
+        let mut decisions: Vec<Option<Bit>> = vec![None; n];
+        let mut decided_live = 0usize;
         let mut conflicting_write = false;
         let mut timed_out = false;
-        loop {
-            let decided_live = {
-                let decisions = decisions.lock().expect("decision lock poisoned");
-                live.iter()
-                    .filter(|id| decisions[id.index()].is_some())
-                    .count()
-            };
-            if decided_live == live.len() {
-                break;
-            }
-            if started.elapsed() > self.deadline {
-                timed_out = true;
-                break;
-            }
-            match decision_rx.recv_timeout(Duration::from_millis(20)) {
+        while decided_live < live.len() {
+            match decision_rx.recv_deadline(deadline_at) {
                 Ok((id, value, conflict)) => {
-                    decisions.lock().expect("decision lock poisoned")[id.index()] = Some(value);
+                    if decisions[id.index()].is_none() && live.contains(&id) {
+                        decided_live += 1;
+                    }
+                    decisions[id.index()] = Some(value);
                     conflicting_write |= conflict;
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvError::Timeout) => {
+                    timed_out = true;
+                    break;
+                }
+                Err(RecvError::Disconnected) => break,
             }
         }
 
@@ -275,11 +275,9 @@ impl Cluster {
         }
         // Drain any decisions that raced with the shutdown.
         while let Ok((id, value, conflict)) = decision_rx.try_recv() {
-            decisions.lock().expect("decision lock poisoned")[id.index()] = Some(value);
+            decisions[id.index()] = Some(value);
             conflicting_write |= conflict;
         }
-
-        let decisions = decisions.lock().expect("decision lock poisoned").clone();
         ClusterOutcome {
             decisions,
             silenced: ProcessorId::all(n)

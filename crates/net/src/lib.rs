@@ -8,6 +8,9 @@
 //! wall-clock benchmark target (`net_cluster` in `agreement-bench`).
 //!
 //! See [`Cluster`] for the entry point and [`ClusterOutcome`] for the result.
+//! The [`transport`] module is the lower layer: bounded blocking channels,
+//! length-prefixed framing, and coalescing socket connections, reused by the
+//! multi-process campaign orchestration in `agreement-core`.
 //!
 //! # Example
 //!
@@ -28,5 +31,6 @@
 #![warn(rust_2018_idioms)]
 
 mod cluster;
+pub mod transport;
 
 pub use cluster::{Cluster, ClusterOutcome};

@@ -1,0 +1,696 @@
+//! A grown-up message transport: bounded blocking channels, length-prefixed
+//! frames, and socket connections with coalescing writers.
+//!
+//! The original `net` crate was a thread-per-node mpsc toy; this module is
+//! the channel the distributed pieces of the workspace actually ship bytes
+//! through. Three layers, each usable on its own:
+//!
+//! * [`bounded`] — a capacity-limited blocking MPSC queue. Sends **block**
+//!   when the queue is full (backpressure, not unbounded memory), receives
+//!   block until an item or a deadline arrives ([`BoundedReceiver::recv_deadline`]
+//!   is the primitive `cluster` uses instead of its old 20 ms poll loop), and
+//!   [`BoundedReceiver::recv_many`] drains every queued item in one wakeup —
+//!   the coalescing primitive the connection writer batches frames with.
+//! * [`write_frame`]/[`read_frame`] — length-prefixed (u32 little-endian)
+//!   framing over any `Write`/`Read`, so a TCP stream carries discrete
+//!   messages instead of a byte soup. A clean EOF *between* frames is
+//!   distinguished from a truncated frame.
+//! * [`Connection`]/[`Listener`] — a TCP connection with a writer thread
+//!   (drains a bounded outbox with [`BoundedReceiver::recv_many`], writes the
+//!   whole batch, flushes **once** — many small sends become one syscall) and
+//!   a reader thread (feeds a bounded inbox; a slow consumer propagates
+//!   backpressure to the peer through TCP flow control).
+//!
+//! The orchestration layer in `agreement-core` speaks JSON inside these
+//! frames; this module neither knows nor cares — payloads are opaque bytes.
+
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Largest accepted frame payload (64 MiB): a corrupted length prefix must
+/// not become an attempted multi-gigabyte allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Why a receive returned no item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The deadline expired with the queue still empty.
+    Timeout,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+/// Why a send failed: the receiver is gone (the item is handed back).
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+struct ChannelState<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Channel<T> {
+    state: Mutex<ChannelState<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half of a [`bounded`] channel. Cloneable; dropping the last
+/// clone disconnects the receiver.
+pub struct BoundedSender<T> {
+    channel: Arc<Channel<T>>,
+}
+
+/// The receiving half of a [`bounded`] channel (single consumer).
+pub struct BoundedReceiver<T> {
+    channel: Arc<Channel<T>>,
+}
+
+/// Creates a bounded blocking MPSC channel with room for `capacity` items.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (a zero-capacity rendezvous channel is not
+/// needed anywhere in this workspace and complicates the wakeup logic).
+pub fn bounded<T>(capacity: usize) -> (BoundedSender<T>, BoundedReceiver<T>) {
+    assert!(capacity > 0, "bounded channel capacity must be positive");
+    let channel = Arc::new(Channel {
+        state: Mutex::new(ChannelState {
+            items: VecDeque::with_capacity(capacity),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        BoundedSender {
+            channel: Arc::clone(&channel),
+        },
+        BoundedReceiver { channel },
+    )
+}
+
+impl<T> BoundedSender<T> {
+    /// Enqueues `item`, **blocking while the queue is full** — the
+    /// backpressure that keeps a fast producer from ballooning memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item when the receiver is gone.
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        let mut state = self.channel.state.lock().expect("channel poisoned");
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(item));
+            }
+            if state.items.len() < self.channel.capacity {
+                state.items.push_back(item);
+                drop(state);
+                self.channel.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.channel.not_full.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Enqueues `item` if there is room, without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item when the queue is full or the receiver is gone.
+    pub fn try_send(&self, item: T) -> Result<(), SendError<T>> {
+        let mut state = self.channel.state.lock().expect("channel poisoned");
+        if !state.receiver_alive || state.items.len() >= self.channel.capacity {
+            return Err(SendError(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.channel.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for BoundedSender<T> {
+    fn clone(&self) -> Self {
+        self.channel.state.lock().expect("channel poisoned").senders += 1;
+        BoundedSender {
+            channel: Arc::clone(&self.channel),
+        }
+    }
+}
+
+impl<T> Drop for BoundedSender<T> {
+    fn drop(&mut self) {
+        let mut state = self.channel.state.lock().expect("channel poisoned");
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake a receiver blocked on an empty queue so it observes the
+            // disconnect instead of sleeping forever.
+            self.channel.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> BoundedReceiver<T> {
+    /// Dequeues the next item, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Disconnected`] when every sender is gone and the queue is
+    /// drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.channel.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.channel.not_full.notify_one();
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            state = self
+                .channel
+                .not_empty
+                .wait(state)
+                .expect("channel poisoned");
+        }
+    }
+
+    /// Dequeues the next item, blocking until `deadline` at the latest — the
+    /// bounded blocking receive that replaces hand-rolled sleep/poll loops.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] when the deadline passes with the queue empty,
+    /// [`RecvError::Disconnected`] when every sender is gone.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvError> {
+        let mut state = self.channel.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.channel.not_full.notify_one();
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvError::Timeout);
+            }
+            let (guard, _timeout) = self
+                .channel
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("channel poisoned");
+            state = guard;
+        }
+    }
+
+    /// Dequeues the next item, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BoundedReceiver::recv_deadline`].
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvError> {
+        self.recv_deadline(Instant::now() + timeout)
+    }
+
+    /// Blocks for at least one item, then moves **every queued item** into
+    /// `batch` in one wakeup and returns how many arrived. This is the
+    /// coalescing primitive: a writer thread draining its outbox with
+    /// `recv_many` turns a burst of small sends into one buffered write.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Disconnected`] when every sender is gone and nothing is
+    /// queued.
+    pub fn recv_many(&self, batch: &mut Vec<T>) -> Result<usize, RecvError> {
+        let mut state = self.channel.state.lock().expect("channel poisoned");
+        loop {
+            if !state.items.is_empty() {
+                let count = state.items.len();
+                batch.extend(state.items.drain(..));
+                drop(state);
+                // Every waiting sender can make progress now.
+                self.channel.not_full.notify_all();
+                return Ok(count);
+            }
+            if state.senders == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            state = self
+                .channel
+                .not_empty
+                .wait(state)
+                .expect("channel poisoned");
+        }
+    }
+
+    /// Dequeues an item only if one is already queued.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] when the queue is momentarily empty,
+    /// [`RecvError::Disconnected`] when every sender is gone.
+    pub fn try_recv(&self) -> Result<T, RecvError> {
+        let mut state = self.channel.state.lock().expect("channel poisoned");
+        match state.items.pop_front() {
+            Some(item) => {
+                drop(state);
+                self.channel.not_full.notify_one();
+                Ok(item)
+            }
+            None if state.senders == 0 => Err(RecvError::Disconnected),
+            None => Err(RecvError::Timeout),
+        }
+    }
+}
+
+impl<T> Drop for BoundedReceiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.channel.state.lock().expect("channel poisoned");
+        state.receiver_alive = false;
+        state.items.clear();
+        drop(state);
+        // Senders blocked on a full queue must observe the disconnect.
+        self.channel.not_full.notify_all();
+    }
+}
+
+/// Writes one length-prefixed frame (u32 little-endian length, then the
+/// payload). The caller decides when to flush — batching frames before one
+/// flush is exactly the coalescing the connection writer performs.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME_LEN`].
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
+        ));
+    }
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(payload)
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF *at a
+/// frame boundary* (the peer closed after a complete frame); an EOF inside a
+/// frame is an `UnexpectedEof` error — a truncated frame is corruption, not
+/// a shutdown.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects frames whose declared length exceeds
+/// [`MAX_FRAME_LEN`].
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match reader.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("declared frame length {len} exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// How many frames a connection queues on each side before backpressure.
+const CONNECTION_QUEUE: usize = 1024;
+
+/// A framed TCP connection with batched, backpressured queues on both sides.
+///
+/// Sends enqueue into a bounded outbox drained by a writer thread that
+/// coalesces every queued frame into one buffered write + flush; receives
+/// dequeue from a bounded inbox fed by a reader thread (when the inbox is
+/// full the reader stops reading, which pushes back on the peer through TCP
+/// flow control). Dropping the connection closes the socket and joins both
+/// threads.
+pub struct Connection {
+    outbox: Option<BoundedSender<Vec<u8>>>,
+    inbox: BoundedReceiver<Vec<u8>>,
+    stream: TcpStream,
+    peer: SocketAddr,
+    writer: Option<JoinHandle<()>>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Connection {
+    /// Connects to `addr` (e.g. `"127.0.0.1:4000"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket errors.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        Connection::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Wraps an accepted or connected stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket errors.
+    pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        let peer = stream.peer_addr()?;
+        stream.set_nodelay(true)?;
+
+        let (outbox_tx, outbox_rx) = bounded::<Vec<u8>>(CONNECTION_QUEUE);
+        let (inbox_tx, inbox_rx) = bounded::<Vec<u8>>(CONNECTION_QUEUE);
+
+        let write_stream = stream.try_clone()?;
+        let writer = std::thread::spawn(move || {
+            let mut sink = BufWriter::new(&write_stream);
+            let mut batch: Vec<Vec<u8>> = Vec::new();
+            // recv_many drains every frame queued since the last wakeup, so a
+            // burst of sends becomes one write + one flush (outbox
+            // coalescing). Exit on disconnect (sender dropped) or I/O error
+            // (peer gone — the reader side reports it).
+            while outbox_rx.recv_many(&mut batch).is_ok() {
+                for frame in batch.drain(..) {
+                    if write_frame(&mut sink, &frame).is_err() {
+                        return;
+                    }
+                }
+                if sink.flush().is_err() {
+                    return;
+                }
+            }
+            let _ = sink.flush();
+            let _ = write_stream.shutdown(Shutdown::Write);
+        });
+
+        let read_stream = stream.try_clone()?;
+        let reader = std::thread::spawn(move || {
+            let mut source = io::BufReader::new(&read_stream);
+            // A full inbox blocks this thread (bounded send), which stops the
+            // socket reads: backpressure reaches the peer via TCP.
+            while let Ok(Some(frame)) = read_frame(&mut source) {
+                if inbox_tx.send(frame).is_err() {
+                    return;
+                }
+            }
+            // Dropping inbox_tx disconnects the inbox: recv returns
+            // Disconnected and the owner knows the peer is gone.
+        });
+
+        Ok(Connection {
+            outbox: Some(outbox_tx),
+            inbox: inbox_rx,
+            stream,
+            peer,
+            writer: Some(writer),
+            reader: Some(reader),
+        })
+    }
+
+    /// The peer's socket address.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Queues `frame` for sending, blocking when the outbox is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the frame when the connection is closed.
+    pub fn send(&self, frame: Vec<u8>) -> Result<(), SendError<Vec<u8>>> {
+        match &self.outbox {
+            Some(outbox) => outbox.send(frame),
+            None => Err(SendError(frame)),
+        }
+    }
+
+    /// Receives the next frame, blocking until one arrives; `None` when the
+    /// peer closed the connection.
+    pub fn recv(&self) -> Option<Vec<u8>> {
+        self.inbox.recv().ok()
+    }
+
+    /// Receives the next frame, blocking until `deadline` at the latest.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BoundedReceiver::recv_deadline`].
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<Vec<u8>, RecvError> {
+        self.inbox.recv_deadline(deadline)
+    }
+
+    /// Flushes queued frames and closes the sending side, so the peer's
+    /// reader observes a clean EOF once everything queued has arrived.
+    pub fn finish(&mut self) {
+        // Dropping the outbox sender lets the writer thread drain the queue,
+        // flush, shut the write side down and exit.
+        self.outbox = None;
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.finish();
+        // Unblock the reader thread even if the peer never closes.
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// A listener handing out framed [`Connection`]s.
+pub struct Listener {
+    inner: TcpListener,
+}
+
+impl Listener {
+    /// Binds an ephemeral localhost port (the coordinator's listen socket:
+    /// workers are told the resulting address).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket errors.
+    pub fn bind_local() -> io::Result<Self> {
+        Ok(Listener {
+            inner: TcpListener::bind("127.0.0.1:0")?,
+        })
+    }
+
+    /// The bound address (pass this to workers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Accepts the next connection, waiting at most until `deadline` — a
+    /// worker that never dials in must not hang the coordinator forever.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut` when the deadline passes, otherwise the socket error.
+    pub fn accept_deadline(&self, deadline: Instant) -> io::Result<Connection> {
+        self.inner.set_nonblocking(true)?;
+        let result = loop {
+            match self.inner.accept() {
+                Ok((stream, _)) => break Ok(stream),
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        break Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "no connection before the deadline",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(err) => break Err(err),
+            }
+        };
+        self.inner.set_nonblocking(false)?;
+        let stream = result?;
+        stream.set_nonblocking(false)?;
+        Connection::from_stream(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn bounded_channel_delivers_in_order_across_threads() {
+        let (tx, rx) = bounded::<u64>(4);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u64> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(rx.recv(), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_send_blocks_on_full_queue_until_a_recv() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(tx.try_send(3).is_err(), "queue of 2 is full");
+
+        let blocked = Arc::new(AtomicUsize::new(0));
+        let observed = Arc::clone(&blocked);
+        let sender = std::thread::spawn(move || {
+            tx.send(3).unwrap();
+            observed.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(blocked.load(Ordering::SeqCst), 0, "send must block");
+        assert_eq!(rx.recv(), Ok(1));
+        sender.join().unwrap();
+        assert_eq!(blocked.load(Ordering::SeqCst), 1);
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn recv_deadline_times_out_and_then_disconnects() {
+        let (tx, rx) = bounded::<u8>(1);
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_deadline(start + Duration::from_millis(30)),
+            Err(RecvError::Timeout)
+        );
+        assert!(Instant::now() - start >= Duration::from_millis(30));
+        drop(tx);
+        assert_eq!(
+            rx.recv_deadline(Instant::now() + Duration::from_secs(1)),
+            Err(RecvError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_many_drains_a_burst_in_one_wakeup() {
+        let (tx, rx) = bounded::<u32>(16);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let mut batch = Vec::new();
+        assert_eq!(rx.recv_many(&mut batch), Ok(5));
+        assert_eq!(batch, vec![0, 1, 2, 3, 4]);
+        drop(tx);
+        assert_eq!(rx.recv_many(&mut batch), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn dropped_receiver_fails_sends_instead_of_blocking() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        drop(rx);
+        // The queue was full; a dropped receiver must wake/fail the send.
+        assert!(tx.send(2).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_including_empty_and_eof_between_frames() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, b"hello").unwrap();
+        write_frame(&mut buffer, b"").unwrap();
+        write_frame(&mut buffer, &[0xAB; 300]).unwrap();
+        let mut cursor = io::Cursor::new(buffer);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), vec![0xAB; 300]);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_an_eof() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, b"payload").unwrap();
+        buffer.truncate(6); // inside the payload
+        let mut cursor = io::Cursor::new(buffer);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected() {
+        let mut buffer = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        buffer.extend_from_slice(b"x");
+        let mut cursor = io::Cursor::new(buffer);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn connection_round_trips_a_burst_of_frames() {
+        let listener = Listener::bind_local().unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let client = std::thread::spawn(move || {
+            let mut conn = Connection::connect(&addr).unwrap();
+            for i in 0..200u32 {
+                conn.send(i.to_le_bytes().to_vec()).unwrap();
+            }
+            // Echo back everything the server returns doubled.
+            let mut doubled = Vec::new();
+            for _ in 0..200 {
+                let frame = conn.recv().expect("server reply");
+                doubled.push(u32::from_le_bytes(frame.try_into().unwrap()));
+            }
+            conn.finish();
+            doubled
+        });
+
+        let server = listener
+            .accept_deadline(Instant::now() + Duration::from_secs(5))
+            .unwrap();
+        for _ in 0..200 {
+            let frame = server.recv().expect("client frame");
+            let value = u32::from_le_bytes(frame.try_into().unwrap());
+            server.send((value * 2).to_le_bytes().to_vec()).unwrap();
+        }
+        let doubled = client.join().unwrap();
+        assert_eq!(doubled, (0..200u32).map(|i| i * 2).collect::<Vec<_>>());
+        // After the client's finish(), the server sees a clean close.
+        assert!(server.recv().is_none());
+    }
+
+    #[test]
+    fn accept_deadline_times_out_without_a_dialer() {
+        let listener = Listener::bind_local().unwrap();
+        match listener.accept_deadline(Instant::now() + Duration::from_millis(40)) {
+            Err(err) => assert_eq!(err.kind(), io::ErrorKind::TimedOut),
+            Ok(_) => panic!("accept without a dialer must time out"),
+        }
+    }
+}

@@ -91,6 +91,32 @@ fn bracha_cluster_matches_sim_on_unanimous_inputs() {
 }
 
 #[test]
+fn cluster_surfaces_timeout_when_quorum_is_unreachable() {
+    // The sim proves non-termination analytically; the threaded cluster can
+    // only report it via the wall clock. `ClusterOutcome::timed_out` is that
+    // report: silencing 3 of 5 processors leaves 2 < n - t = 4 senders, so
+    // Ben-Or can never assemble a quorum and the bounded blocking collector
+    // must give up at the deadline with the flag raised.
+    use agreement::model::ProcessorId;
+    use agreement::protocols::BenOrBuilder;
+    let cfg = SystemConfig::new(5, 1).unwrap();
+    let inputs = InputAssignment::unanimous(5, Bit::One);
+    let outcome = Cluster::new(cfg, inputs, 3)
+        .silence(vec![
+            ProcessorId::new(0),
+            ProcessorId::new(1),
+            ProcessorId::new(2),
+        ])
+        .deadline(Duration::from_millis(300))
+        .run(&BenOrBuilder::new());
+    assert!(
+        outcome.timed_out,
+        "unreachable quorum must surface timed_out"
+    );
+    assert!(!outcome.all_live_decided());
+}
+
+#[test]
 fn reset_tolerant_cluster_matches_sim_on_unanimous_inputs() {
     use agreement::protocols::ResetTolerantBuilder;
     let cfg = SystemConfig::with_sixth_resilience(7).unwrap();

@@ -1,0 +1,230 @@
+//! Multi-process orchestration equivalence: the coordinator's slot-ordered
+//! merge of worker-streamed records must be **byte-identical** to a
+//! single-process campaign — across worker counts, across a worker killed
+//! mid-range, and across a checkpoint-resumed coordinator.
+//!
+//! This is the process-boundary extension of the thread-count and
+//! buffer-layout equivalence suites: trial `t` of a spec is fully determined
+//! by `base_seed + t`, so *where* it runs (which thread, which process,
+//! before or after a crash) must never show in the rendered reports.
+
+use agreement::core::experiments::Scale;
+use agreement::core::orchestrate::{
+    append_checkpoint, read_checkpoint, CheckpointEntry, OrchestrationEvent, Orchestrator, Session,
+};
+use agreement::core::{
+    scenario_registry, stream_records, Campaign, JsonReportSink, JsonlSink, ReportSink,
+    ScenarioSpec,
+};
+
+fn worker_command() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_orchestrate_worker").to_string()]
+}
+
+fn start_session(workers: usize) -> Session {
+    Orchestrator::new(Scale::Quick, worker_command())
+        .workers(workers)
+        .start()
+        .expect("spawn orchestration workers")
+}
+
+/// The full legacy registry plus the n = 100 `subquad/` slice, with trials
+/// and limits cut down so the sweep stays test-sized. Cutting limits is
+/// safe: coordinator and single-process run under the same caps (the run
+/// frame carries them), and the equality below is on complete documents.
+fn equivalence_specs() -> Vec<ScenarioSpec> {
+    let specs: Vec<ScenarioSpec> = scenario_registry(Scale::Quick)
+        .into_iter()
+        .filter(|spec| !spec.id().contains("subquad/") || spec.id().contains("/n100t"))
+        .map(|mut spec| {
+            spec.trials = 2;
+            spec.limits.max_windows = spec.limits.max_windows.min(300);
+            spec.limits.max_steps = spec.limits.max_steps.min(50_000);
+            spec
+        })
+        .collect();
+    assert!(specs.len() >= 40, "registry unexpectedly small");
+    specs
+}
+
+/// Renders specs single-process through the machine-readable sinks.
+fn render_local(specs: &[ScenarioSpec]) -> (String, String) {
+    let campaign = Campaign::parallel();
+    let mut json = JsonReportSink::with_scale("quick");
+    let mut jsonl = JsonlSink::new();
+    for spec in specs {
+        let mut sinks: Vec<&mut dyn ReportSink> = vec![&mut json, &mut jsonl];
+        spec.run_with_sinks(&campaign, &mut sinks)
+            .unwrap_or_else(|err| panic!("{} failed locally: {err}", spec.id()));
+    }
+    (json.into_json().to_string(), jsonl.as_str().to_string())
+}
+
+/// Renders specs through a live worker pool and the slot-ordered merge.
+fn render_orchestrated(specs: &[ScenarioSpec], session: &mut Session) -> (String, String) {
+    let mut json = JsonReportSink::with_scale("quick");
+    let mut jsonl = JsonlSink::new();
+    for spec in specs {
+        let records = session
+            .run_spec_records(spec)
+            .unwrap_or_else(|err| panic!("{} failed orchestrated: {err}", spec.id()));
+        let meta = spec.meta().expect("feasible spec has metadata");
+        let mut sinks: Vec<&mut dyn ReportSink> = vec![&mut json, &mut jsonl];
+        stream_records(&meta, &records, &mut sinks);
+    }
+    (json.into_json().to_string(), jsonl.as_str().to_string())
+}
+
+#[test]
+fn merged_registry_reports_are_byte_identical_across_worker_counts() {
+    let specs = equivalence_specs();
+    let (local_json, local_jsonl) = render_local(&specs);
+    for workers in [1usize, 2, 4] {
+        let mut session = start_session(workers);
+        let (json, jsonl) = render_orchestrated(&specs, &mut session);
+        session.shutdown().expect("worker shutdown");
+        assert_eq!(
+            local_json, json,
+            "JSON report diverges at {workers} worker(s)"
+        );
+        assert_eq!(
+            local_jsonl, jsonl,
+            "per-trial JSONL diverges at {workers} worker(s)"
+        );
+    }
+}
+
+/// Picks one mid-sized windowed spec and gives it enough trials that the
+/// dispatch loop has several ranges to hand out.
+fn fault_spec() -> ScenarioSpec {
+    let mut spec = scenario_registry(Scale::Quick)
+        .into_iter()
+        .find(|spec| spec.id().starts_with("e2/") && spec.id().contains("n13"))
+        .expect("e2 n13 scenario registered");
+    spec.trials = 8;
+    spec.limits.max_windows = spec.limits.max_windows.min(300);
+    spec
+}
+
+/// A spec whose trials are individually slow (sampled-committee agreement at
+/// n = 1000, ~milliseconds each), so a `kill -9` issued the instant a range
+/// is assigned reliably lands while the worker is still inside it.
+fn slow_spec() -> ScenarioSpec {
+    let mut spec = scenario_registry(Scale::Quick)
+        .into_iter()
+        .find(|spec| {
+            spec.id()
+                .starts_with("subquad/sampled-committee20/fair-round-robin")
+        })
+        .expect("subquad n1000 scenario registered");
+    spec.trials = 8;
+    spec
+}
+
+#[test]
+fn killing_a_worker_mid_range_still_merges_byte_identically() {
+    let spec = slow_spec();
+    let campaign = Campaign::parallel();
+    let expected = spec
+        .run_range_records(&campaign, 0, spec.trials)
+        .expect("local run");
+
+    let mut session = Orchestrator::new(Scale::Quick, worker_command())
+        .workers(2)
+        .chunk(4)
+        .start()
+        .expect("spawn orchestration workers");
+    let mut victim = session.take_worker_process(1);
+    let mut killed = false;
+    let mut lost = 0usize;
+    let records = session
+        .run_spec_records_with(&spec, |event| {
+            // Kill worker 1 the moment it receives its first range: SIGKILL
+            // lands in microseconds, milliseconds before the worker could
+            // finish the range, so the coordinator must discard the partial
+            // range and re-run it on the survivor without any trace in the
+            // merged stream.
+            if let OrchestrationEvent::RangeAssigned { worker: 1, .. } = event {
+                if !killed {
+                    killed = true;
+                    victim.kill().expect("kill worker 1");
+                }
+            }
+            if matches!(event, OrchestrationEvent::WorkerLost { .. }) {
+                lost += 1;
+            }
+        })
+        .expect("orchestrated run survives a killed worker");
+    session.shutdown().expect("worker shutdown");
+    victim.wait().expect("reap killed worker");
+
+    assert!(killed, "worker 1 was never assigned a range");
+    assert_eq!(lost, 1, "exactly the killed worker must be reported lost");
+    assert_eq!(records, expected, "merge diverges after a worker kill");
+}
+
+#[test]
+fn checkpoint_resume_skips_completed_ranges_and_merges_identically() {
+    let spec = fault_spec();
+    let campaign = Campaign::parallel();
+    let expected = spec
+        .run_range_records(&campaign, 0, spec.trials)
+        .expect("local run");
+
+    // Simulate a coordinator that died after persisting two ranges.
+    let path = std::env::temp_dir().join(format!(
+        "agreement-orchestration-resume-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    for (lo, hi) in [(0u64, 3u64), (5, 7)] {
+        append_checkpoint(
+            &path,
+            &CheckpointEntry {
+                scenario: spec.id(),
+                base_seed: spec.base_seed,
+                trials: spec.trials,
+                lo,
+                hi,
+                records: expected[lo as usize..hi as usize].to_vec(),
+            },
+        )
+        .expect("seed checkpoint");
+    }
+
+    let mut session = Orchestrator::new(Scale::Quick, worker_command())
+        .workers(2)
+        .checkpoint(&path)
+        .start()
+        .expect("spawn orchestration workers");
+    let mut restored = Vec::new();
+    let mut assigned = Vec::new();
+    let records = session
+        .run_spec_records_with(&spec, |event| match event {
+            OrchestrationEvent::RangeRestored { lo, hi } => restored.push((lo, hi)),
+            OrchestrationEvent::RangeAssigned { lo, hi, .. } => assigned.push((lo, hi)),
+            _ => {}
+        })
+        .expect("resumed run");
+    session.shutdown().expect("worker shutdown");
+
+    assert_eq!(restored, vec![(0, 3), (5, 7)]);
+    assert!(
+        assigned
+            .iter()
+            .all(|&(lo, hi)| (hi <= 5 && lo >= 3) || lo >= 7),
+        "a checkpointed trial was re-dispatched: {assigned:?}"
+    );
+    assert_eq!(records, expected, "resumed merge diverges");
+
+    // The completed run must have persisted the missing ranges too: a second
+    // resume finds full coverage.
+    let entries = read_checkpoint(&path).expect("re-read checkpoint");
+    let covered: u64 = entries
+        .iter()
+        .filter(|e| e.scenario == spec.id())
+        .map(|e| e.hi - e.lo)
+        .sum();
+    assert_eq!(covered, spec.trials, "checkpoint does not cover all trials");
+    let _ = std::fs::remove_file(&path);
+}
