@@ -42,9 +42,10 @@
 //! A worker that disconnects mid-range loses the whole range: its partial
 //! records are discarded and the range is re-queued for a surviving worker
 //! (a half-range would have to be stitched; a re-run is deterministic, so
-//! re-running is both simpler and provably identical). When every worker is
-//! gone with work outstanding, the session reports
-//! [`OrchestrateError::WorkersExhausted`].
+//! re-running is both simpler and provably identical). A worker silent past
+//! the receive timeout is treated the same way: dropped, socket closed,
+//! range re-queued. When every worker is gone with work outstanding, the
+//! session reports [`OrchestrateError::WorkersExhausted`].
 //!
 //! With a checkpoint path configured, every completed range is appended to a
 //! JSONL file *with its records embedded*. A restarted coordinator loads the
@@ -73,8 +74,14 @@ use crate::scenario::{scenario_registry, ScenarioError, ScenarioSpec};
 const SPAWN_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Safety net on every coordinator receive: a worker that neither answers
-/// nor disconnects within this window is treated as a protocol failure.
+/// nor disconnects within this window is treated as hung — its range is
+/// re-queued on the survivors, exactly like a disconnect. Only a session
+/// with no live workers left fails the run.
 const RECV_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// How long shutdown waits for workers to exit gracefully before forcing
+/// their sockets shut and killing the processes.
+const SHUTDOWN_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Why an orchestrated campaign failed.
 #[derive(Debug)]
@@ -546,12 +553,24 @@ impl Session {
         self.workers.iter().filter(|w| w.alive).count()
     }
 
-    /// Removes and returns worker `index`'s OS process handle — fault
-    /// injection for tests: `kill()` it and watch the dispatch loop reroute
-    /// its range. The session stops reaping a taken child (the caller owns
-    /// the `wait`), and the index is positional, so take at most one.
+    /// Removes and returns the OS process handle of session worker `index` —
+    /// fault injection for tests: `kill()` it and watch the dispatch loop
+    /// reroute its range. Children are matched by the pid the worker reported
+    /// in its hello (spawn order and connection-accept order can differ), so
+    /// the handle always belongs to the worker the coordinator calls `index`.
+    /// The session stops reaping a taken child; the caller owns the `wait`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if worker `index`'s process was already taken.
     pub fn take_worker_process(&mut self, index: usize) -> Child {
-        self.children.remove(index)
+        let pid = self.workers[index].pid;
+        let position = self
+            .children
+            .iter()
+            .position(|child| u64::from(child.id()) == pid)
+            .unwrap_or_else(|| panic!("worker {index}'s process (pid {pid}) already taken"));
+        self.children.remove(position)
     }
 
     /// Runs one spec's full trial range across the workers and returns the
@@ -670,12 +689,38 @@ impl Session {
                 )));
             }
 
-            let (index, delivery) = self.inbox.recv_timeout(RECV_TIMEOUT).map_err(|err| {
-                OrchestrateError::Protocol(match err {
-                    RecvError::Timeout => "no worker responded within the receive timeout".into(),
-                    RecvError::Disconnected => "every worker forwarder exited".into(),
-                })
-            })?;
+            let (index, delivery) = match self.inbox.recv_timeout(RECV_TIMEOUT) {
+                Ok(pair) => pair,
+                Err(RecvError::Timeout) => {
+                    // Total silence this long means every worker holding a
+                    // range is hung — the same fault as a disconnect, handled
+                    // the same way: drop them, re-queue their ranges on the
+                    // survivors, and let the exhaustion check above decide
+                    // whether the run is still viable.
+                    let hung: Vec<usize> = inflight
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, slot)| slot.is_some().then_some(i))
+                        .collect();
+                    if hung.is_empty() {
+                        return Err(OrchestrateError::Protocol(
+                            "receive timeout with no range in flight".into(),
+                        ));
+                    }
+                    for i in hung {
+                        eprintln!(
+                            "orchestrate: worker {i} silent past the receive timeout; dropping it"
+                        );
+                        self.lose_worker(i, &mut inflight, &mut pending, &mut on_event);
+                    }
+                    continue;
+                }
+                Err(RecvError::Disconnected) => {
+                    return Err(OrchestrateError::Protocol(
+                        "every worker forwarder exited".into(),
+                    ))
+                }
+            };
             match delivery {
                 Delivery::Frame(msg) => {
                     if let Err(reason) = handle_frame(
@@ -719,6 +764,10 @@ impl Session {
             return;
         }
         self.workers[index].alive = false;
+        // Force the socket shut: the worker process observes the hangup and
+        // exits, and the forwarder unblocks — a dropped worker must never
+        // leave a thread or process for shutdown to hang on.
+        self.workers[index].conn.shutdown();
         if let Some(lost) = inflight[index].take() {
             pending.push_front((lost.lo, lost.hi));
         }
@@ -744,16 +793,45 @@ impl Session {
         for worker in &self.workers {
             if worker.alive {
                 let _ = worker.conn.send(frame.clone());
+            } else {
+                // A worker dropped for a violation may still hold an open
+                // socket (lose_worker closes it too, but a worker never
+                // lost through that path — e.g. a failed hello — may not);
+                // force it shut so its forwarder and process can exit.
+                worker.conn.shutdown();
             }
         }
+        let deadline = Instant::now() + SHUTDOWN_DEADLINE;
         for worker in &mut self.workers {
             worker.alive = false;
             if let Some(forwarder) = worker.forwarder.take() {
+                // A live worker exits on the shutdown frame and the
+                // forwarder observes the hangup; one that ignores the frame
+                // gets its socket forced shut at the deadline instead of
+                // hanging the join forever.
+                while !forwarder.is_finished() && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                if !forwarder.is_finished() {
+                    worker.conn.shutdown();
+                }
                 let _ = forwarder.join();
             }
         }
         for child in &mut self.children {
-            child.wait()?;
+            loop {
+                match child.try_wait()? {
+                    Some(_) => break,
+                    None if Instant::now() >= deadline => {
+                        // Ignored both the shutdown frame and a dead socket:
+                        // reap it forcibly rather than hang the coordinator.
+                        let _ = child.kill();
+                        child.wait()?;
+                        break;
+                    }
+                    None => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
         }
         self.children.clear();
         Ok(())

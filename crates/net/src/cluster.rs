@@ -241,18 +241,21 @@ impl Cluster {
         // Collect decisions until every live processor reported or the
         // deadline expires. `recv_deadline` blocks until a report arrives —
         // no polling, no shared decision table: only this thread writes it.
-        let live: Vec<ProcessorId> = ProcessorId::all(n)
-            .filter(|id| !self.silenced.contains(id))
+        // Liveness is a bool-per-processor mask so the per-report membership
+        // test is O(1), keeping collection linear in cluster size.
+        let live: Vec<bool> = ProcessorId::all(n)
+            .map(|id| !self.silenced.contains(&id))
             .collect();
+        let live_total = live.iter().filter(|&&l| l).count();
         let deadline_at = started + self.deadline;
         let mut decisions: Vec<Option<Bit>> = vec![None; n];
         let mut decided_live = 0usize;
         let mut conflicting_write = false;
         let mut timed_out = false;
-        while decided_live < live.len() {
+        while decided_live < live_total {
             match decision_rx.recv_deadline(deadline_at) {
                 Ok((id, value, conflict)) => {
-                    if decisions[id.index()].is_none() && live.contains(&id) {
+                    if decisions[id.index()].is_none() && live[id.index()] {
                         decided_live += 1;
                     }
                     decisions[id.index()] = Some(value);
@@ -280,9 +283,7 @@ impl Cluster {
         }
         ClusterOutcome {
             decisions,
-            silenced: ProcessorId::all(n)
-                .map(|id| self.silenced.contains(&id))
-                .collect(),
+            silenced: live.iter().map(|&l| !l).collect(),
             elapsed: started.elapsed(),
             timed_out,
             conflicting_write,

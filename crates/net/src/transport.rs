@@ -346,6 +346,12 @@ pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
 /// How many frames a connection queues on each side before backpressure.
 const CONNECTION_QUEUE: usize = 1024;
 
+/// How long [`Connection::finish`] (and drop) lets the writer thread drain
+/// the outbox before forcing the socket shut. A peer that stopped reading
+/// can wedge an in-flight `write_all` forever; a close must not inherit
+/// that hang.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
 /// A framed TCP connection with batched, backpressured queues on both sides.
 ///
 /// Sends enqueue into a bounded outbox drained by a writer thread that
@@ -464,14 +470,33 @@ impl Connection {
     }
 
     /// Flushes queued frames and closes the sending side, so the peer's
-    /// reader observes a clean EOF once everything queued has arrived.
+    /// reader observes a clean EOF once everything queued has arrived. If the
+    /// peer has stopped reading and the drain makes no progress within
+    /// [`DRAIN_DEADLINE`], the socket is forced shut instead — finishing a
+    /// connection never blocks forever on a wedged peer.
     pub fn finish(&mut self) {
         // Dropping the outbox sender lets the writer thread drain the queue,
         // flush, shut the write side down and exit.
         self.outbox = None;
         if let Some(writer) = self.writer.take() {
+            let deadline = Instant::now() + DRAIN_DEADLINE;
+            while !writer.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if !writer.is_finished() {
+                let _ = self.stream.shutdown(Shutdown::Both);
+            }
             let _ = writer.join();
         }
+    }
+
+    /// Forces both socket halves shut. Queued-but-unwritten frames are lost
+    /// and the peer sees a reset rather than a clean EOF; both local threads
+    /// (and a peer blocked reading this connection) unblock promptly. This is
+    /// the remedy for a peer that is wedged or has been written off — use
+    /// [`Connection::finish`] for a graceful close.
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
     }
 }
 

@@ -10,7 +10,8 @@
 
 use agreement::core::experiments::Scale;
 use agreement::core::orchestrate::{
-    append_checkpoint, read_checkpoint, CheckpointEntry, OrchestrationEvent, Orchestrator, Session,
+    append_checkpoint, read_checkpoint, CheckpointEntry, OrchestrateError, OrchestrationEvent,
+    Orchestrator, Session,
 };
 use agreement::core::{
     scenario_registry, stream_records, Campaign, JsonReportSink, JsonlSink, ReportSink,
@@ -161,6 +162,37 @@ fn killing_a_worker_mid_range_still_merges_byte_identically() {
     assert!(killed, "worker 1 was never assigned a range");
     assert_eq!(lost, 1, "exactly the killed worker must be reported lost");
     assert_eq!(records, expected, "merge diverges after a worker kill");
+}
+
+#[test]
+fn worker_error_frames_exhaust_the_pool_without_hanging_shutdown() {
+    // A spec whose id resolves locally but not in the workers' registry:
+    // every worker answers its run frame with an in-protocol error frame and
+    // is dropped with its TCP connection still established — the loss path
+    // that used to leave forwarder threads (and worker processes) blocked on
+    // open sockets, deadlocking shutdown. Losing a worker now closes its
+    // connection, so the run reports exhaustion and shutdown returns.
+    let mut spec = fault_spec();
+    spec.tag = "no-such-tag".to_string();
+
+    let mut session = start_session(2);
+    let mut lost = 0usize;
+    let err = session
+        .run_spec_records_with(&spec, |event| {
+            if matches!(event, OrchestrationEvent::WorkerLost { .. }) {
+                lost += 1;
+            }
+        })
+        .expect_err("an id unknown to the workers must exhaust the pool");
+    assert!(
+        matches!(err, OrchestrateError::WorkersExhausted(_)),
+        "expected WorkersExhausted, got: {err}"
+    );
+    assert_eq!(lost, 2, "both workers must be reported lost");
+    assert_eq!(session.live_workers(), 0);
+    session
+        .shutdown()
+        .expect("shutdown after losing every worker");
 }
 
 #[test]
