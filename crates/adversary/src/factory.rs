@@ -32,6 +32,9 @@
 //! | `adaptive-committee-killer` | async | [`AdaptiveCommitteeKiller`] on the targets (default: first `t`) |
 //! | `equivocating-byzantine` | async | [`EquivocatingAdversary`] |
 //! | `benign-eventual` | partial-sync | [`BenignEventualAdversary`] |
+//! | `search-window` | windowed | [`SearchWindowAdversary`] on a seed-derived genome |
+//! | `search-async` | async | [`SearchAsyncAdversary`] on a seed-derived genome |
+//! | `search-partial-sync` | partial-sync | [`SearchPartialSyncAdversary`] on a seed-derived genome |
 //! | `gst-procrastinator` | partial-sync | [`GstProcrastinatorAdversary`] at the documented defaults |
 //! | `post-gst-omission` | partial-sync | [`PostGstOmissionAdversary`] on the targets (default: first `t`) |
 
@@ -48,6 +51,10 @@ use crate::crash::{AdaptiveCommitteeKiller, NonAdaptiveCrashAdversary, Scheduled
 use crate::lockstep::LockstepBalancingAdversary;
 use crate::partial_sync::{GstProcrastinatorAdversary, PostGstOmissionAdversary};
 use crate::polarizing::PolarizingAdversary;
+use crate::search::{
+    Genome, SearchAsyncAdversary, SearchPartialSyncAdversary, SearchWindowAdversary,
+    DEFAULT_TAPE_LEN,
+};
 use crate::split_vote::SplitVoteAdversary;
 use crate::strongly_adaptive::{RotatingResetAdversary, TargetedResetAdversary};
 
@@ -325,8 +332,64 @@ declare_factory!(
     )))
 );
 
+declare_factory!(
+    /// Genome-decoded windowed schedule for the coverage-guided search: the
+    /// per-trial seed is expanded into a random choice tape, so every trial
+    /// of a campaign explores a different schedule (a seed-range sweep *is*
+    /// the random-walk phase of the search).
+    SearchWindowFactory,
+    "search-window",
+    WindowModel,
+    |ctx| {
+        let genome = Genome::from_seed(
+            <WindowModel as agreement_sim::ExecutionModel>::descriptor().id(),
+            ctx.seed,
+            DEFAULT_TAPE_LEN,
+        );
+        BuiltAdversary::windowed(Box::new(
+            SearchWindowAdversary::from_genome(&genome).expect("model tags match by construction"),
+        ))
+    }
+);
+
+declare_factory!(
+    /// Genome-decoded asynchronous schedule for the coverage-guided search.
+    SearchAsyncFactory,
+    "search-async",
+    AsyncModel,
+    |ctx| {
+        let genome = Genome::from_seed(
+            <AsyncModel as agreement_sim::ExecutionModel>::descriptor().id(),
+            ctx.seed,
+            DEFAULT_TAPE_LEN,
+        );
+        BuiltAdversary::asynchronous(Box::new(
+            SearchAsyncAdversary::from_genome(&genome).expect("model tags match by construction"),
+        ))
+    }
+);
+
+declare_factory!(
+    /// Genome-decoded partial-synchrony schedule (GST/Δ/omissions decoded
+    /// from the tape header) for the coverage-guided search.
+    SearchPartialSyncFactory,
+    "search-partial-sync",
+    PartialSyncModel,
+    |ctx| {
+        let genome = Genome::from_seed(
+            <PartialSyncModel as agreement_sim::ExecutionModel>::descriptor().id(),
+            ctx.seed,
+            DEFAULT_TAPE_LEN,
+        );
+        BuiltAdversary::partial_sync(Box::new(
+            SearchPartialSyncAdversary::from_genome(&genome, &ctx.cfg)
+                .expect("model tags match by construction"),
+        ))
+    }
+);
+
 /// Every adversary factory this crate ships, benign baselines included.
-static REGISTRY: [&dyn AdversaryFactory; 16] = [
+static REGISTRY: [&dyn AdversaryFactory; 19] = [
     &FullDeliveryFactory,
     &RotatingResetFactory,
     &TargetedResetFactory,
@@ -343,6 +406,9 @@ static REGISTRY: [&dyn AdversaryFactory; 16] = [
     &BenignEventualFactory,
     &GstProcrastinatorFactory,
     &PostGstOmissionFactory,
+    &SearchWindowFactory,
+    &SearchAsyncFactory,
+    &SearchPartialSyncFactory,
 ];
 
 /// The full adversary registry: every paper adversary plus the benign
@@ -379,7 +445,7 @@ mod tests {
             assert_eq!(built.model(), factory.model(), "{}", factory.name());
             assert_eq!(built.name(), factory.name(), "factory name must match");
         }
-        assert_eq!(registry().len(), 16);
+        assert_eq!(registry().len(), 19);
     }
 
     #[test]

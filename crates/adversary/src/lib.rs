@@ -14,6 +14,7 @@
 //! | [`PolarizingAdversary`] | acceptable windows | the unfair-but-legal delivery split that probes the Theorem 4 threshold constraints (experiment E8) |
 //! | [`GstProcrastinatorAdversary`] | partial synchrony | maximum pre-GST obstruction; shows the curtailed adversary's delay is additive, not exponential |
 //! | [`PostGstOmissionAdversary`] | partial synchrony | send-omission of up to `t` senders under immediate synchrony |
+//! | [`SearchWindowAdversary`], [`SearchAsyncAdversary`], [`SearchPartialSyncAdversary`] | all three | genome-decoded schedules for the coverage-guided search (`agreement-search`) — discovered rather than hand-coded strategies |
 //!
 //! The benign baselines (`FullDeliveryAdversary`, `FairAsyncAdversary`,
 //! `BenignEventualAdversary`) live in `agreement-sim` itself.
@@ -35,6 +36,7 @@ pub mod factory;
 mod lockstep;
 mod partial_sync;
 mod polarizing;
+pub mod search;
 mod split_vote;
 mod strongly_adaptive;
 
@@ -45,5 +47,9 @@ pub use factory::{find_adversary, registry, AdversaryBuildCtx, AdversaryFactory,
 pub use lockstep::LockstepBalancingAdversary;
 pub use partial_sync::{GstProcrastinatorAdversary, PostGstOmissionAdversary};
 pub use polarizing::PolarizingAdversary;
+pub use search::{
+    build_from_genome, Genome, GenomeError, SearchAsyncAdversary, SearchPartialSyncAdversary,
+    SearchWindowAdversary, TapeReader, DEFAULT_TAPE_LEN,
+};
 pub use split_vote::SplitVoteAdversary;
 pub use strongly_adaptive::{RotatingResetAdversary, TargetedResetAdversary};

@@ -1,0 +1,690 @@
+//! Genome-driven search adversaries: the decode side of the schedule-space
+//! search (`agreement-search`).
+//!
+//! The search treats an adversary's entire choice sequence — delivery
+//! ordering, stall/corrupt/crash decisions, crash timing, and for partial
+//! synchrony the GST/Δ placement — as a [`Genome`]: a bounded byte tape
+//! tagged with the execution model it drives. One decoder per model turns the
+//! tape into live scheduling decisions:
+//!
+//! * [`SearchWindowAdversary`] decodes acceptable windows (reset set +
+//!   per-processor sender exclusions) that are valid **by construction**, so
+//!   no tape can trip the window engine's Definition 1 validation panic.
+//! * [`SearchAsyncAdversary`] decodes per-step async actions: round-robin
+//!   delivery with decoded skips, blind "stall" deliveries that burn a step,
+//!   crashes, Byzantine corruption declarations and forged payloads. Illegal
+//!   decodes (over-budget crashes, corrupting an honest sender) are *allowed
+//!   out* — the execution core refuses them defensively, so they are no-ops,
+//!   never panics.
+//! * [`SearchPartialSyncAdversary`] decodes a constant GST/Δ/omission header
+//!   up front, then per-step deliver/stall/crash decisions.
+//!
+//! Every decoder degrades gracefully when the tape runs out: the window model
+//! falls back to full-delivery windows, the async and partial-sync models to
+//! fair round-robin delivery. **Every genome is therefore a valid schedule**
+//! — the search layer can mutate tapes arbitrarily without constructing an
+//! illegal adversary.
+//!
+//! Construction from an explicit genome is strict about models: a genome
+//! tagged `async` handed to the windowed decoder is a corrupted artifact or a
+//! caller bug, and silently falling back to a benign schedule would make the
+//! mistake invisible (the same failure class as the committee killer's old
+//! fair-scheduling fallback). [`SearchWindowAdversary::from_genome`] and
+//! friends return [`GenomeError::ModelMismatch`] instead, and
+//! [`build_from_genome`] rejects unknown model tags loudly.
+
+use std::error::Error;
+use std::fmt;
+
+use agreement_model::{Bit, Payload, ProcessorId, ProcessorRng, SystemConfig};
+use agreement_sim::{
+    AsyncAction, AsyncAdversary, BuiltAdversary, PartialSyncAction, PartialSyncAdversary,
+    SystemView, Window, WindowAdversary, ASYNC, PARTIAL_SYNC, WINDOWED,
+};
+
+/// Tape length of the seed-derived genomes built by the factory entries: long
+/// enough for tens of decoded windows (or hundreds of async steps) of
+/// adversarial interference, short enough that random tapes stay cheap to
+/// store and mutate. After the tape runs out the decoders fall back to benign
+/// scheduling, so the prefix is where all the adversarial power lives.
+pub const DEFAULT_TAPE_LEN: usize = 512;
+
+/// RNG stream label for [`Genome::from_seed`] (disjoint from every processor
+/// and adversary stream already in use).
+const GENOME_STREAM: u64 = 0x005E_A2C4_0001;
+
+/// A seed-addressable adversary strategy: a bounded byte tape tagged with the
+/// model descriptor id (`windowed`, `async`, `partial-sync`) it drives.
+///
+/// The tape is pure data — hex-serializable, mutable byte-by-byte, and
+/// decodable into a valid schedule no matter its contents. Equality is
+/// structural, which is what the search corpus de-duplicates on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Genome {
+    model: String,
+    tape: Vec<u8>,
+}
+
+impl Genome {
+    /// A genome from an explicit model tag and tape.
+    pub fn new(model: impl Into<String>, tape: Vec<u8>) -> Self {
+        Genome {
+            model: model.into(),
+            tape,
+        }
+    }
+
+    /// Derives a `len`-byte random tape from a seed (the "random walk" side
+    /// of the search, and what the registry factories build per trial).
+    pub fn from_seed(model: &str, seed: u64, len: usize) -> Self {
+        let mut rng = ProcessorRng::labelled(seed, GENOME_STREAM);
+        let tape = (0..len).map(|_| rng.range(256) as u8).collect();
+        Genome::new(model, tape)
+    }
+
+    /// The model descriptor id this genome is tagged with.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// The raw choice tape.
+    pub fn tape(&self) -> &[u8] {
+        &self.tape
+    }
+
+    /// Replaces the tape, keeping the model tag (the mutation entry point).
+    pub fn with_tape(&self, tape: Vec<u8>) -> Self {
+        Genome::new(self.model.clone(), tape)
+    }
+
+    /// Serializes the tape as lowercase hex (the artifact wire format).
+    pub fn to_hex(&self) -> String {
+        let mut out = String::with_capacity(self.tape.len() * 2);
+        for byte in &self.tape {
+            out.push_str(&format!("{byte:02x}"));
+        }
+        out
+    }
+
+    /// Parses a genome back from a model tag and a hex tape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::BadHex`] on odd length or non-hex characters.
+    pub fn from_hex(model: impl Into<String>, hex: &str) -> Result<Self, GenomeError> {
+        if !hex.len().is_multiple_of(2) {
+            return Err(GenomeError::BadHex {
+                detail: format!("odd hex length {}", hex.len()),
+            });
+        }
+        let mut tape = Vec::with_capacity(hex.len() / 2);
+        for i in (0..hex.len()).step_by(2) {
+            let pair = &hex[i..i + 2];
+            let byte = u8::from_str_radix(pair, 16).map_err(|_| GenomeError::BadHex {
+                detail: format!("invalid hex pair '{pair}' at offset {i}"),
+            })?;
+            tape.push(byte);
+        }
+        Ok(Genome::new(model, tape))
+    }
+}
+
+/// Why a genome could not be turned into an adversary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenomeError {
+    /// The genome's model tag names a model this decoder does not drive.
+    ModelMismatch {
+        /// The model tag the genome carries.
+        genome: String,
+        /// The model descriptor id the decoder drives.
+        expected: &'static str,
+    },
+    /// The genome's model tag names no registered execution model at all.
+    UnknownModel {
+        /// The unrecognized model tag.
+        model: String,
+    },
+    /// The hex tape could not be parsed.
+    BadHex {
+        /// What was wrong with the hex string.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GenomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenomeError::ModelMismatch { genome, expected } => write!(
+                f,
+                "genome is tagged for model '{genome}' but this decoder drives '{expected}' — \
+                 refusing to run it as a benign schedule"
+            ),
+            GenomeError::UnknownModel { model } => {
+                write!(
+                    f,
+                    "genome model tag '{model}' names no registered execution model"
+                )
+            }
+            GenomeError::BadHex { detail } => write!(f, "genome hex tape is invalid: {detail}"),
+        }
+    }
+}
+
+impl Error for GenomeError {}
+
+/// A forward-only reader over a genome tape. Every read returns `None` once
+/// the tape is exhausted; the decoders translate that into their benign
+/// fallback, so exhaustion is a schedule feature, not an error.
+#[derive(Debug, Clone)]
+pub struct TapeReader {
+    tape: Vec<u8>,
+    pos: usize,
+}
+
+impl TapeReader {
+    /// A reader at the start of `tape`.
+    pub fn new(tape: Vec<u8>) -> Self {
+        TapeReader { tape, pos: 0 }
+    }
+
+    /// The next tape byte, or `None` at the end.
+    pub fn byte(&mut self) -> Option<u8> {
+        let byte = *self.tape.get(self.pos)?;
+        self.pos += 1;
+        Some(byte)
+    }
+
+    /// Two tape bytes folded little-endian into a `u16`.
+    pub fn u16(&mut self) -> Option<u16> {
+        let lo = self.byte()?;
+        let hi = self.byte()?;
+        Some(u16::from_le_bytes([lo, hi]))
+    }
+
+    /// `true` once every byte has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.tape.len()
+    }
+}
+
+/// Decodes `k` *distinct* processor ids from the tape. Collisions are
+/// resolved by probing to the next unchosen id, so any byte sequence yields a
+/// valid distinct set (`k <= n` always holds at the call sites: `k <= t < n`).
+fn distinct_ids(reader: &mut TapeReader, n: usize, k: usize) -> Option<Vec<ProcessorId>> {
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut index = reader.byte()? as usize % n;
+        while chosen.contains(&index) {
+            index = (index + 1) % n;
+        }
+        chosen.push(index);
+    }
+    Some(chosen.into_iter().map(ProcessorId::new).collect())
+}
+
+/// The genome decoder for the strongly adaptive windowed model.
+///
+/// Each window consumes `1 + r + n * (1 + e_i)` tape bytes: a reset count
+/// `r <= t` with `r` distinct reset ids, then per processor an exclusion
+/// count `e_i <= t` with `e_i` distinct excluded senders. Windows built this
+/// way satisfy Definition 1 by construction; on tape exhaustion every further
+/// window is full delivery.
+#[derive(Debug, Clone)]
+pub struct SearchWindowAdversary {
+    reader: TapeReader,
+}
+
+impl SearchWindowAdversary {
+    /// A decoder over a raw tape.
+    pub fn from_tape(tape: Vec<u8>) -> Self {
+        SearchWindowAdversary {
+            reader: TapeReader::new(tape),
+        }
+    }
+
+    /// A decoder from a tagged genome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::ModelMismatch`] when the genome is tagged for a
+    /// different model — a corrupted artifact must fail loudly, not run as a
+    /// benign windowed schedule.
+    pub fn from_genome(genome: &Genome) -> Result<Self, GenomeError> {
+        if genome.model() != WINDOWED.id() {
+            return Err(GenomeError::ModelMismatch {
+                genome: genome.model().to_string(),
+                expected: WINDOWED.id(),
+            });
+        }
+        Ok(SearchWindowAdversary::from_tape(genome.tape().to_vec()))
+    }
+
+    fn decode_window(&mut self, view: &SystemView<'_>) -> Option<Window> {
+        let n = view.n();
+        let t = view.t();
+        let reset_count = self.reader.byte()? as usize % (t + 1);
+        let resets = distinct_ids(&mut self.reader, n, reset_count)?;
+        let all: Vec<ProcessorId> = ProcessorId::all(n).collect();
+        let mut deliveries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let excluded_count = self.reader.byte()? as usize % (t + 1);
+            let excluded = distinct_ids(&mut self.reader, n, excluded_count)?;
+            let senders: Vec<ProcessorId> = all
+                .iter()
+                .copied()
+                .filter(|p| !excluded.contains(p))
+                .collect();
+            deliveries.push(senders);
+        }
+        let window = Window::new(resets, deliveries);
+        debug_assert!(window.validate(&view.config).is_ok());
+        Some(window)
+    }
+}
+
+impl WindowAdversary for SearchWindowAdversary {
+    fn name(&self) -> &'static str {
+        "search-window"
+    }
+
+    fn next_window(&mut self, view: &SystemView<'_>) -> Window {
+        self.decode_window(view)
+            .unwrap_or_else(|| Window::full_delivery(&view.config))
+    }
+}
+
+/// The genome decoder for the fully asynchronous model.
+///
+/// Per step one op byte selects the action class (delivery-heavy so random
+/// tapes make progress), with follow-up bytes decoding its operands:
+///
+/// * ops 0–8: deliver, skipping 0–3 pending channels past the round-robin
+///   cursor (the high op bits pick the skip);
+/// * op 9: a "blind" delivery on a decoded channel — a no-op stall when that
+///   channel is empty, which is how an async genome withholds progress;
+/// * ops 10–11: crash a decoded processor (the core refuses over-budget
+///   crashes, so hostile tapes stay legal);
+/// * op 12: declare a decoded processor Byzantine-corrupted;
+/// * ops 13–15: forge a `Report` payload on a declared-corrupted sender's
+///   channel (decoded round/value), degrading to a blind delivery while no
+///   corruption has been declared.
+///
+/// On tape exhaustion the decoder becomes a fair round-robin scheduler and
+/// halts once nothing is pending.
+#[derive(Debug, Clone)]
+pub struct SearchAsyncAdversary {
+    reader: TapeReader,
+    cursor: usize,
+    corrupted: Vec<ProcessorId>,
+}
+
+impl SearchAsyncAdversary {
+    /// A decoder over a raw tape.
+    pub fn from_tape(tape: Vec<u8>) -> Self {
+        SearchAsyncAdversary {
+            reader: TapeReader::new(tape),
+            cursor: 0,
+            corrupted: Vec::new(),
+        }
+    }
+
+    /// A decoder from a tagged genome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::ModelMismatch`] when the genome is tagged for a
+    /// different model.
+    pub fn from_genome(genome: &Genome) -> Result<Self, GenomeError> {
+        if genome.model() != ASYNC.id() {
+            return Err(GenomeError::ModelMismatch {
+                genome: genome.model().to_string(),
+                expected: ASYNC.id(),
+            });
+        }
+        Ok(SearchAsyncAdversary::from_tape(genome.tape().to_vec()))
+    }
+
+    /// Fair round-robin delivery from the persistent cursor; `None` when no
+    /// channel is pending (the adversary has nothing left to schedule).
+    fn deliver_skipping(
+        &mut self,
+        view: &SystemView<'_>,
+        skip: usize,
+    ) -> Option<(ProcessorId, ProcessorId)> {
+        let mut cursor = self.cursor;
+        let mut found = None;
+        for _ in 0..=skip {
+            match view.next_pending_channel(cursor) {
+                Some((next, from, to)) => {
+                    cursor = next;
+                    found = Some((from, to));
+                }
+                None => break,
+            }
+        }
+        if found.is_some() {
+            self.cursor = cursor;
+        }
+        found
+    }
+
+    fn blind_channel(&mut self, n: usize) -> Option<(ProcessorId, ProcessorId)> {
+        let from = ProcessorId::new(self.reader.byte()? as usize % n);
+        let to = ProcessorId::new(self.reader.byte()? as usize % n);
+        Some((from, to))
+    }
+
+    fn decode_action(&mut self, view: &SystemView<'_>) -> Option<AsyncAction> {
+        let n = view.n();
+        let op = self.reader.byte()?;
+        let action = match op % 16 {
+            0..=8 => {
+                let skip = (op >> 4) as usize % 4;
+                match self.deliver_skipping(view, skip) {
+                    Some((from, to)) => AsyncAction::Deliver { from, to },
+                    None => AsyncAction::Halt,
+                }
+            }
+            9 => {
+                let (from, to) = self.blind_channel(n)?;
+                AsyncAction::Deliver { from, to }
+            }
+            10 | 11 => AsyncAction::Crash(ProcessorId::new(self.reader.byte()? as usize % n)),
+            12 => {
+                let id = ProcessorId::new(self.reader.byte()? as usize % n);
+                if !self.corrupted.contains(&id) {
+                    self.corrupted.push(id);
+                }
+                AsyncAction::CorruptProcessor(id)
+            }
+            _ => {
+                if self.corrupted.is_empty() {
+                    let (from, to) = self.blind_channel(n)?;
+                    AsyncAction::Deliver { from, to }
+                } else {
+                    let from = self.corrupted[self.reader.byte()? as usize % self.corrupted.len()];
+                    let to = ProcessorId::new(self.reader.byte()? as usize % n);
+                    let round = u64::from(self.reader.byte()?) % 64;
+                    let value = if self.reader.byte()? % 2 == 0 {
+                        Bit::Zero
+                    } else {
+                        Bit::One
+                    };
+                    AsyncAction::Corrupt {
+                        from,
+                        to,
+                        payload: Payload::Report { round, value },
+                    }
+                }
+            }
+        };
+        Some(action)
+    }
+}
+
+impl AsyncAdversary for SearchAsyncAdversary {
+    fn name(&self) -> &'static str {
+        "search-async"
+    }
+
+    fn next_action(&mut self, view: &SystemView<'_>) -> AsyncAction {
+        self.decode_action(view)
+            .unwrap_or_else(|| match self.deliver_skipping(view, 0) {
+                Some((from, to)) => AsyncAction::Deliver { from, to },
+                None => AsyncAction::Halt,
+            })
+    }
+}
+
+/// The genome decoder for the partial-synchrony model.
+///
+/// The tape opens with a constant header — GST (two bytes, `0..512`), Δ (one
+/// byte, `1..=32`) and an omitted-sender set of at most `t` ids — decoded
+/// once at construction, because the trait requires them constant over a run.
+/// The remaining bytes decode per-step actions: cursor-based delivery of
+/// admissible (non-omitted) channels, stalls, crashes and blind deliveries.
+/// On tape exhaustion the decoder delivers admissible channels fairly and
+/// halts once nothing admissible is pending (the enforced post-GST bound has
+/// the last word either way).
+#[derive(Debug, Clone)]
+pub struct SearchPartialSyncAdversary {
+    reader: TapeReader,
+    gst: u64,
+    delta: u64,
+    omitted: Vec<ProcessorId>,
+    cursor: usize,
+}
+
+impl SearchPartialSyncAdversary {
+    /// Decodes the constant GST/Δ/omission header from `tape` for a system
+    /// of `cfg.n()` processors; a tape too short for the header yields the
+    /// benign defaults (GST 0, Δ 8, no omissions).
+    pub fn from_tape(tape: Vec<u8>, cfg: &SystemConfig) -> Self {
+        let mut reader = TapeReader::new(tape);
+        let header = (|| {
+            let gst = u64::from(reader.u16()?) % 512;
+            let delta = 1 + u64::from(reader.byte()?) % 32;
+            let omission_count = reader.byte()? as usize % (cfg.t() + 1);
+            let omitted = distinct_ids(&mut reader, cfg.n(), omission_count)?;
+            Some((gst, delta, omitted))
+        })();
+        let (gst, delta, omitted) = header.unwrap_or((0, 8, Vec::new()));
+        SearchPartialSyncAdversary {
+            reader,
+            gst,
+            delta,
+            omitted,
+            cursor: 0,
+        }
+    }
+
+    /// A decoder from a tagged genome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::ModelMismatch`] when the genome is tagged for a
+    /// different model.
+    pub fn from_genome(genome: &Genome, cfg: &SystemConfig) -> Result<Self, GenomeError> {
+        if genome.model() != PARTIAL_SYNC.id() {
+            return Err(GenomeError::ModelMismatch {
+                genome: genome.model().to_string(),
+                expected: PARTIAL_SYNC.id(),
+            });
+        }
+        Ok(SearchPartialSyncAdversary::from_tape(
+            genome.tape().to_vec(),
+            cfg,
+        ))
+    }
+
+    /// The next admissible (non-omitted, non-crashed-recipient) pending
+    /// channel at or after the persistent cursor.
+    fn next_admissible(&mut self, view: &SystemView<'_>) -> Option<(ProcessorId, ProcessorId)> {
+        let omitted = &self.omitted;
+        let found =
+            view.next_pending_channel_where(self.cursor, |from, _| !omitted.contains(&from));
+        match found {
+            Some((next, from, to)) => {
+                self.cursor = next;
+                Some((from, to))
+            }
+            None => None,
+        }
+    }
+
+    fn decode_action(&mut self, view: &SystemView<'_>) -> Option<PartialSyncAction> {
+        let n = view.n();
+        let op = self.reader.byte()?;
+        let action = match op % 8 {
+            0..=4 => match self.next_admissible(view) {
+                Some((from, to)) => PartialSyncAction::Deliver { from, to },
+                None => PartialSyncAction::Stall,
+            },
+            5 => PartialSyncAction::Stall,
+            6 => PartialSyncAction::Crash(ProcessorId::new(self.reader.byte()? as usize % n)),
+            _ => {
+                let from = ProcessorId::new(self.reader.byte()? as usize % n);
+                let to = ProcessorId::new(self.reader.byte()? as usize % n);
+                PartialSyncAction::Deliver { from, to }
+            }
+        };
+        Some(action)
+    }
+}
+
+impl PartialSyncAdversary for SearchPartialSyncAdversary {
+    fn name(&self) -> &'static str {
+        "search-partial-sync"
+    }
+
+    fn gst(&self) -> u64 {
+        self.gst
+    }
+
+    fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    fn omitted_senders(&self) -> &[ProcessorId] {
+        &self.omitted
+    }
+
+    fn next_action(&mut self, view: &SystemView<'_>) -> PartialSyncAction {
+        self.decode_action(view)
+            .unwrap_or_else(|| match self.next_admissible(view) {
+                Some((from, to)) => PartialSyncAction::Deliver { from, to },
+                None => PartialSyncAction::Halt,
+            })
+    }
+}
+
+/// Builds the model-erased adversary a genome encodes, dispatching on its
+/// model tag.
+///
+/// # Errors
+///
+/// Returns [`GenomeError::UnknownModel`] when the tag matches no registered
+/// execution model — never a silent benign fallback.
+pub fn build_from_genome(
+    genome: &Genome,
+    cfg: &SystemConfig,
+) -> Result<BuiltAdversary, GenomeError> {
+    if genome.model() == WINDOWED.id() {
+        Ok(BuiltAdversary::windowed(Box::new(
+            SearchWindowAdversary::from_genome(genome)?,
+        )))
+    } else if genome.model() == ASYNC.id() {
+        Ok(BuiltAdversary::asynchronous(Box::new(
+            SearchAsyncAdversary::from_genome(genome)?,
+        )))
+    } else if genome.model() == PARTIAL_SYNC.id() {
+        Ok(BuiltAdversary::partial_sync(Box::new(
+            SearchPartialSyncAdversary::from_genome(genome, cfg)?,
+        )))
+    } else {
+        Err(GenomeError::UnknownModel {
+            model: genome.model().to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genome_hex_round_trips() {
+        let genome = Genome::from_seed(ASYNC.id(), 7, 32);
+        let back = Genome::from_hex(ASYNC.id(), &genome.to_hex()).unwrap();
+        assert_eq!(genome, back);
+    }
+
+    #[test]
+    fn genome_from_seed_is_deterministic_and_seed_sensitive() {
+        let a = Genome::from_seed(ASYNC.id(), 7, 64);
+        let b = Genome::from_seed(ASYNC.id(), 7, 64);
+        let c = Genome::from_seed(ASYNC.id(), 8, 64);
+        assert_eq!(a, b);
+        assert_ne!(a.tape(), c.tape());
+    }
+
+    #[test]
+    fn bad_hex_is_rejected() {
+        assert!(matches!(
+            Genome::from_hex("async", "abc"),
+            Err(GenomeError::BadHex { .. })
+        ));
+        assert!(matches!(
+            Genome::from_hex("async", "zz"),
+            Err(GenomeError::BadHex { .. })
+        ));
+    }
+
+    #[test]
+    fn decoders_reject_foreign_model_tags_loudly() {
+        let cfg = SystemConfig::new(5, 1).unwrap();
+        let wrong = Genome::from_seed(ASYNC.id(), 1, 16);
+        let err = SearchWindowAdversary::from_genome(&wrong).unwrap_err();
+        assert!(matches!(err, GenomeError::ModelMismatch { .. }));
+        assert!(err.to_string().contains("refusing"));
+        assert!(
+            SearchAsyncAdversary::from_genome(&Genome::from_seed(WINDOWED.id(), 1, 16)).is_err()
+        );
+        assert!(SearchPartialSyncAdversary::from_genome(
+            &Genome::from_seed(ASYNC.id(), 1, 16),
+            &cfg
+        )
+        .is_err());
+        assert!(matches!(
+            build_from_genome(&Genome::from_seed("no-such-model", 1, 16), &cfg),
+            Err(GenomeError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn build_from_genome_dispatches_on_the_tag() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        for (tag, expected) in [
+            (WINDOWED.id(), "search-window"),
+            (ASYNC.id(), "search-async"),
+            (PARTIAL_SYNC.id(), "search-partial-sync"),
+        ] {
+            let built = build_from_genome(&Genome::from_seed(tag, 3, 64), &cfg).unwrap();
+            assert_eq!(built.name(), expected);
+            assert_eq!(built.model().id(), tag);
+        }
+    }
+
+    #[test]
+    fn partial_sync_header_is_constant_and_in_range() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let genome = Genome::from_seed(PARTIAL_SYNC.id(), 11, 128);
+        let adversary = SearchPartialSyncAdversary::from_genome(&genome, &cfg).unwrap();
+        assert!(adversary.gst() < 512);
+        assert!((1..=32).contains(&adversary.delta()));
+        assert!(adversary.omitted_senders().len() <= cfg.t());
+        // The empty tape yields the benign defaults, not a panic.
+        let empty = SearchPartialSyncAdversary::from_tape(Vec::new(), &cfg);
+        assert_eq!(empty.gst(), 0);
+        assert_eq!(empty.delta(), 8);
+        assert!(empty.omitted_senders().is_empty());
+    }
+
+    #[test]
+    fn distinct_ids_resolves_collisions() {
+        let mut reader = TapeReader::new(vec![3, 3, 3, 3]);
+        let ids = distinct_ids(&mut reader, 5, 4).unwrap();
+        let mut sorted: Vec<usize> = ids.iter().map(|p| p.index()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "ids must be distinct: {ids:?}");
+    }
+
+    #[test]
+    fn tape_reader_reports_exhaustion() {
+        let mut reader = TapeReader::new(vec![1, 2]);
+        assert_eq!(reader.u16(), Some(0x0201));
+        assert!(reader.exhausted());
+        assert_eq!(reader.byte(), None);
+    }
+}

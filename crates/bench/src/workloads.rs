@@ -31,6 +31,7 @@ use agreement_core::orchestrate::Orchestrator;
 use agreement_core::{scenario_registry, Campaign, ScenarioSpec, TrialPlan};
 use agreement_model::{Bit, InputAssignment, SystemConfig};
 use agreement_protocols::{BenOrBuilder, ResetTolerantBuilder, SampledCommitteeBuilder};
+use agreement_search::{run_search, SearchConfig};
 use agreement_sim::{
     BenignEventualAdversary, BuiltAdversary, FairAsyncAdversary, FullDeliveryAdversary, RunLimits,
 };
@@ -125,6 +126,23 @@ pub fn async_sampled_committee(n: usize) -> f64 {
     stats.throughput() * TRIALS_PER_ITER as f64
 }
 
+/// The schedule-space search driver end to end — genome generation, NoTrace
+/// batch evaluation, corpus folding — on the E1 window harness at n = 7.
+/// This is the hot loop of `agreement-search`; its throughput bounds how
+/// much schedule space a fixed fuzzing time budget can cover.
+pub fn search_window_fuzz(budget: u64) -> f64 {
+    let spec = registry_spec("e1/reset-tolerant/split-vote/split/n7t1");
+    let campaign = Campaign::serial();
+    let config = SearchConfig::default()
+        .budget_trials(budget)
+        .batch(32)
+        .seed(3);
+    let stats = group().bench(format!("search/window_fuzz/7/b{budget}"), || {
+        run_search(&spec, &campaign, &config).expect("search runs")
+    });
+    stats.throughput() * budget as f64
+}
+
 /// Pulls a registry spec by id substring and pins its trial count to the
 /// bench's per-iteration budget.
 fn registry_spec(id_contains: &str) -> ScenarioSpec {
@@ -193,6 +211,7 @@ pub fn measure_all(worker_cmd: Option<&[String]>) -> Baseline {
         "async/sampled_committee/fair/1000",
         async_sampled_committee(1_000),
     );
+    measured.set("search/window_fuzz/64", search_window_fuzz(64));
     if let Some(cmd) = worker_cmd {
         measured.set(
             "orchestrated/split_vote/13/w2",

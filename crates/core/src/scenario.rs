@@ -27,7 +27,9 @@ use agreement_model::{
 use agreement_protocols::{
     BenOrBuilder, BrachaBuilder, CommitteeBuilder, ResetTolerantBuilder, SampledCommitteeBuilder,
 };
-use agreement_sim::{BufferChoice, ExecutionCore, ModelDescriptor, RunLimits, RunOutcome};
+use agreement_sim::{
+    BufferChoice, BuiltAdversary, ExecutionCore, ModelDescriptor, RunLimits, RunOutcome,
+};
 
 use crate::experiments::Scale;
 use crate::record::{stream_records, ReportSink, ScenarioMeta, TrialRecord};
@@ -510,9 +512,61 @@ impl ScenarioSpec {
     /// Returns a [`ScenarioError`] when the spec does not resolve.
     pub fn run_single(&self, seed: u64) -> Result<RunOutcome, ScenarioError> {
         let (cfg, instance, factory) = self.resolved()?;
-        let inputs = self.inputs.materialize(self.n);
         let ctx = self.build_ctx(cfg, &instance, seed);
         let mut adversary = factory.build(&ctx);
+        self.run_single_with(seed, &mut adversary)
+    }
+
+    /// Runs `trials` trials of this spec's harness — protocol, inputs,
+    /// limits, buffer choice — with a **caller-supplied adversary** per seed,
+    /// overriding the registered adversary name. This is the budgeted
+    /// campaign entry point of the schedule-space search
+    /// (`agreement-search`): the driver evaluates one genome batch per call,
+    /// with `base_seed` advancing by the batch size so every trial of the
+    /// budget has a unique seed. Records come back slot-ordered and
+    /// bit-identical across campaign thread counts, which is what makes the
+    /// search itself reproducible under `--threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] when the configuration or protocol does
+    /// not resolve (the adversary name is deliberately not consulted).
+    pub fn run_batch_records_with<F>(
+        &self,
+        campaign: &Campaign,
+        trials: u64,
+        base_seed: u64,
+        make_adversary: F,
+    ) -> Result<Vec<TrialRecord>, ScenarioError>
+    where
+        F: Fn(u64) -> BuiltAdversary + Sync,
+    {
+        let cfg = self.config()?;
+        let instance = self.protocol.instantiate(&cfg)?;
+        let plan = TrialPlan::new(cfg, self.inputs.materialize(self.n))
+            .trials(trials)
+            .limits(self.limits)
+            .base_seed(base_seed)
+            .buffer(self.buffer);
+        Ok(campaign.run_records(&plan, instance.builder.as_ref(), make_adversary))
+    }
+
+    /// Runs one traced execution of this spec's harness under a
+    /// caller-supplied adversary — the replay path for stored schedule
+    /// artifacts (`search --replay`, `scenarios --replay`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] when the configuration or protocol does
+    /// not resolve (the adversary name is deliberately not consulted).
+    pub fn run_single_with(
+        &self,
+        seed: u64,
+        adversary: &mut BuiltAdversary,
+    ) -> Result<RunOutcome, ScenarioError> {
+        let cfg = self.config()?;
+        let instance = self.protocol.instantiate(&cfg)?;
+        let inputs = self.inputs.materialize(self.n);
         let mut core = ExecutionCore::new(cfg, inputs, instance.builder.as_ref(), seed);
         core.set_buffer_choice(self.buffer);
         Ok(adversary.run_traced(&mut core, self.limits))

@@ -1,0 +1,238 @@
+//! Novelty signatures, fitness scoring and the failure predicate.
+//!
+//! The signature is the search's notion of *coverage*: two trials with equal
+//! signatures explored the same behavioural region, so only the fitter
+//! genome is worth keeping. Exact low-cardinality counters (rounds, resets,
+//! crashes) enter the hash directly; high-cardinality counters (messages,
+//! chain depth, decision time) enter as log₂ buckets so the corpus does not
+//! explode into one signature per message count.
+
+use agreement_analysis::Fnv64;
+use agreement_core::TrialRecord;
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The log₂ bucket of a counter: `0 → 0`, `1 → 1`, `2..=3 → 2`, `4..=7 → 3`,
+/// … — 65 buckets cover the whole `u64` range.
+pub fn bucket(value: u64) -> u64 {
+    64 - u64::from(value.leading_zeros())
+}
+
+/// The window/step index by which the last correct processor decided, with
+/// undecided trials charged the model's time cap — the same convention the
+/// scenario reports use for decision-time distributions.
+pub fn decision_time(record: &TrialRecord, time_cap: u64) -> u64 {
+    record.all_decided_at.unwrap_or(time_cap)
+}
+
+/// Hashes a trial's outcome shape into its 64-bit novelty signature.
+///
+/// Folded in, in order: the four outcome flags (agreement, validity,
+/// terminated, halted), the exact round/reset/crash counters, and log₂
+/// buckets of the message counts, causal chain depth and duration. The
+/// trial index and seed are deliberately **not** folded in — the signature
+/// describes behaviour, not provenance.
+pub fn novelty_signature(record: &TrialRecord) -> u64 {
+    Fnv64::new()
+        .write_u64(u64::from(record.agreement))
+        .write_u64(u64::from(record.validity))
+        .write_u64(u64::from(record.terminated))
+        .write_u64(u64::from(record.halted))
+        .write_u64(record.metrics.rounds)
+        .write_u64(record.metrics.resets_consumed)
+        .write_u64(record.metrics.crashes)
+        .write_u64(bucket(record.metrics.messages_sent))
+        .write_u64(bucket(record.metrics.messages_delivered))
+        .write_u64(bucket(record.metrics.messages_dropped))
+        .write_u64(bucket(record.metrics.max_chain))
+        .write_u64(bucket(record.duration))
+        .finish()
+}
+
+/// Fitness bonus that puts every safety violation above every
+/// non-termination, which in turn sits above every slow decision.
+const VIOLATION_BONUS: u64 = 1_000_000_000_000;
+/// Fitness bonus for non-termination (cap-out or a wedged protocol).
+const NON_TERMINATION_BONUS: u64 = 1_000_000_000;
+
+/// Scores how adversarial a trial was (higher = better for the adversary).
+///
+/// Safety violations dominate everything; non-termination dominates any
+/// decided run; among decided runs the last correct decision time leads with
+/// the protocol round count as tiebreaker. Runs where the adversary *halted*
+/// early without wedging anything interesting score below every decided run
+/// of equal duration — giving up is not an attack.
+pub fn fitness(record: &TrialRecord, time_cap: u64) -> u64 {
+    if !record.agreement || !record.validity {
+        return VIOLATION_BONUS + record.duration;
+    }
+    if !record.terminated {
+        if record.halted {
+            // The adversary stopped scheduling while undelivered work may
+            // have remained; mildly interesting at best.
+            return record.duration / 2;
+        }
+        return NON_TERMINATION_BONUS + record.duration;
+    }
+    decision_time(record, time_cap) * 16 + record.metrics.rounds
+}
+
+/// The failure property a discovered schedule is shrunk against and that a
+/// stored artifact promises to reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predicate {
+    /// Agreement or validity was violated.
+    Violation,
+    /// Some correct processor never decided (cap-out or wedged run).
+    NonTermination,
+    /// Every correct processor decided, but the last one no earlier than
+    /// the given window/step index.
+    DecisionTimeAtLeast(u64),
+}
+
+impl Predicate {
+    /// Classifies a record as the strongest predicate it witnesses.
+    pub fn classify(record: &TrialRecord, time_cap: u64) -> Predicate {
+        if !record.agreement || !record.validity {
+            Predicate::Violation
+        } else if !record.terminated {
+            Predicate::NonTermination
+        } else {
+            Predicate::DecisionTimeAtLeast(decision_time(record, time_cap))
+        }
+    }
+
+    /// Whether a record still witnesses this predicate. Stronger outcomes
+    /// count: a shrink candidate that upgrades a slow decision into a
+    /// non-termination (or a violation) is kept, never discarded.
+    pub fn holds(&self, record: &TrialRecord, time_cap: u64) -> bool {
+        let violated = !record.agreement || !record.validity;
+        match self {
+            Predicate::Violation => violated,
+            Predicate::NonTermination => violated || !record.terminated,
+            Predicate::DecisionTimeAtLeast(min) => {
+                violated || !record.terminated || decision_time(record, time_cap) >= *min
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Violation => write!(f, "violation"),
+            Predicate::NonTermination => write!(f, "non-termination"),
+            Predicate::DecisionTimeAtLeast(min) => write!(f, "decision-time>={min}"),
+        }
+    }
+}
+
+impl FromStr for Predicate {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "violation" => Ok(Predicate::Violation),
+            "non-termination" => Ok(Predicate::NonTermination),
+            other => match other.strip_prefix("decision-time>=") {
+                Some(min) => min
+                    .parse::<u64>()
+                    .map(Predicate::DecisionTimeAtLeast)
+                    .map_err(|e| format!("bad decision-time bound '{min}': {e}")),
+                None => Err(format!("unknown predicate '{other}'")),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agreement_sim::Metrics;
+
+    fn record() -> TrialRecord {
+        TrialRecord {
+            trial: 0,
+            seed: 1,
+            agreement: true,
+            validity: true,
+            terminated: true,
+            violations: 0,
+            halted: false,
+            decided: None,
+            first_decision_at: Some(3),
+            all_decided_at: Some(9),
+            duration: 12,
+            longest_chain: 4,
+            metrics: Metrics::default(),
+        }
+    }
+
+    #[test]
+    fn buckets_are_logarithmic() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn signature_separates_flags_but_not_message_noise() {
+        let base = record();
+        let mut violating = record();
+        violating.agreement = false;
+        assert_ne!(novelty_signature(&base), novelty_signature(&violating));
+        // Message counts within one log2 bucket hash identically.
+        let mut a = record();
+        let mut b = record();
+        a.metrics.messages_sent = 130;
+        b.metrics.messages_sent = 170;
+        assert_eq!(novelty_signature(&a), novelty_signature(&b));
+    }
+
+    #[test]
+    fn fitness_orders_violation_above_capout_above_slow() {
+        let cap = 1_000;
+        let mut violating = record();
+        violating.validity = false;
+        let mut capout = record();
+        capout.terminated = false;
+        capout.all_decided_at = None;
+        capout.duration = cap;
+        let slow = record();
+        let mut gave_up = record();
+        gave_up.terminated = false;
+        gave_up.halted = true;
+        gave_up.all_decided_at = None;
+        assert!(fitness(&violating, cap) > fitness(&capout, cap));
+        assert!(fitness(&capout, cap) > fitness(&slow, cap));
+        assert!(fitness(&slow, cap) > fitness(&gave_up, cap));
+    }
+
+    #[test]
+    fn predicate_classify_holds_and_round_trips() {
+        let cap = 1_000;
+        let slow = record();
+        let p = Predicate::classify(&slow, cap);
+        assert_eq!(p, Predicate::DecisionTimeAtLeast(9));
+        assert!(p.holds(&slow, cap));
+        let mut faster = record();
+        faster.all_decided_at = Some(8);
+        assert!(!p.holds(&faster, cap));
+        // Upgrades still hold.
+        let mut wedged = record();
+        wedged.terminated = false;
+        assert!(p.holds(&wedged, cap));
+
+        for p in [
+            Predicate::Violation,
+            Predicate::NonTermination,
+            Predicate::DecisionTimeAtLeast(42),
+        ] {
+            assert_eq!(p.to_string().parse::<Predicate>().unwrap(), p);
+        }
+        assert!("gibberish".parse::<Predicate>().is_err());
+    }
+}
