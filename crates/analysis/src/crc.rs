@@ -1,0 +1,140 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the integrity
+//! check the wire transport and checkpoint files use to tell corruption from
+//! content.
+//!
+//! The workspace runs in environments where bytes get damaged on purpose
+//! (the fault-injection layer flips bits mid-frame) and by accident (a torn
+//! checkpoint append). A 4-byte CRC trailer turns both from "parse garbage
+//! and hope" into a detected [`FrameCorrupt`-style] condition the recovery
+//! machinery can act on. The table is computed at compile time (`const fn`),
+//! so this stays std-only with zero startup cost.
+
+/// The reflected IEEE CRC-32 polynomial.
+const POLYNOMIAL: u32 = 0xEDB8_8320;
+
+/// Builds the byte-indexed CRC table at compile time.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut index = 0;
+    while index < 256 {
+        let mut crc = index as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLYNOMIAL
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[index] = crc;
+        index += 1;
+    }
+    table
+}
+
+/// The 256-entry lookup table for [`crc32`], baked in at compile time.
+pub const CRC32_TABLE: [u32; 256] = build_table();
+
+/// Computes the CRC-32 (IEEE) checksum of `bytes`.
+///
+/// # Examples
+///
+/// ```
+/// use agreement_analysis::crc32;
+///
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926); // the standard check value
+/// assert_eq!(crc32(b""), 0);
+/// ```
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+/// A streaming CRC-32 state, for checksumming data that arrives in pieces.
+///
+/// # Examples
+///
+/// ```
+/// use agreement_analysis::{crc32, Crc32};
+///
+/// let mut crc = Crc32::new();
+/// crc.update(b"123");
+/// crc.update(b"456789");
+/// assert_eq!(crc.finish(), crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh checksum state.
+    #[must_use]
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &byte in bytes {
+            let index = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+            crc = (crc >> 8) ^ CRC32_TABLE[index];
+        }
+        self.state = crc;
+    }
+
+    /// Finalizes and returns the checksum. The state may keep being fed; a
+    /// later `finish` reflects everything fed so far.
+    #[must_use]
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_at_every_split() {
+        let data = b"deterministic fault injection";
+        for split in 0..=data.len() {
+            let mut crc = Crc32::new();
+            crc.update(&data[..split]);
+            crc.update(&data[split..]);
+            assert_eq!(crc.finish(), crc32(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_are_detected() {
+        let data = b"payload under test";
+        let clean = crc32(data);
+        let mut copy = data.to_vec();
+        for bit in 0..copy.len() * 8 {
+            copy[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&copy), clean, "flip of bit {bit} went undetected");
+            copy[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+}

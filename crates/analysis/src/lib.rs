@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod crc;
 mod fnv;
 mod hamming;
 mod json;
@@ -32,6 +33,7 @@ mod stats;
 mod talagrand;
 mod zsets;
 
+pub use crc::{crc32, Crc32, CRC32_TABLE};
 pub use fnv::{fnv1a_64, Fnv64, FNV64_OFFSET, FNV64_PRIME};
 pub use hamming::{distance_between_sets, distance_to_set, hamming_distance, in_ball};
 pub use json::JsonValue;

@@ -37,22 +37,43 @@
 //! connection are FIFO, so a range's records always precede its
 //! `range_done`.
 //!
-//! # Fault tolerance and resumption
+//! # Fault tolerance and recovery
 //!
-//! A worker that disconnects mid-range loses the whole range: its partial
-//! records are discarded and the range is re-queued for a surviving worker
-//! (a half-range would have to be stitched; a re-run is deterministic, so
-//! re-running is both simpler and provably identical). A worker silent past
-//! the receive timeout is treated the same way: dropped, socket closed,
-//! range re-queued. When every worker is gone with work outstanding, the
-//! session reports [`OrchestrateError::WorkersExhausted`].
+//! Every failure funnels into one recovery path: **drop the worker, re-queue
+//! its range, re-run deterministically** (a half-range would have to be
+//! stitched; a re-run of trial `t` is provably identical, so re-running is
+//! both simpler and correct). What differs is only the detector:
+//!
+//! * **Disconnect / crash (SIGKILL)** — the forwarder observes the hangup
+//!   and delivers a gone notice.
+//! * **Damaged bytes** — every frame carries a CRC32 trailer (see
+//!   `agreement_net::transport`); a bit-flip or a torn frame kills the
+//!   reader with a recorded reason and surfaces as a corrupt delivery, not
+//!   as garbage JSON.
+//! * **Silence** — a worker holding a range but silent past the liveness
+//!   policy's receive timeout gets its range *speculatively re-dispatched*
+//!   to an idle worker (first completion wins, duplicates are discarded by
+//!   exact-range dedupe, so the merge stays byte-identical); one silent past
+//!   **twice** the timeout is dropped outright.
+//!
+//! Lost capacity comes back: the session respawns dead workers up to a
+//! bounded budget, with seeded exponential backoff and jitter, and only
+//! reports [`OrchestrateError::WorkersExhausted`] when no live worker
+//! remains and the budget is spent. The fault schedule of a chaos run is
+//! seeded (`agreement_net::fault::FaultPlan`), so the same seed reproduces
+//! the same failures and the same recovery sequence.
+//!
+//! # Checkpoints
 //!
 //! With a checkpoint path configured, every completed range is appended to a
-//! JSONL file *with its records embedded*. A restarted coordinator loads the
-//! file, dispatches only the missing sub-ranges, and merges checkpointed and
-//! fresh ranges into the same byte-identical stream.
+//! JSONL file *with its records embedded*, each line wrapped with a CRC32 of
+//! its body. A restarted coordinator loads the file, skips (and logs)
+//! damaged lines instead of trusting or dying on them, compacts the file via
+//! an atomic tmp+rename when damage was found, dispatches only the missing
+//! sub-ranges, and merges checkpointed and fresh ranges into the same
+//! byte-identical stream.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::io::{self, BufRead, Write as _};
 use std::path::{Path, PathBuf};
@@ -61,8 +82,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use agreement_analysis::JsonValue;
-use agreement_net::transport::{bounded, BoundedReceiver, Connection, Listener, RecvError};
+use agreement_analysis::{crc32, JsonValue};
+use agreement_model::{derive_seed, ProcessorRng};
+pub use agreement_net::fault::FaultPlan;
+use agreement_net::fault::FAULT_ENV;
+use agreement_net::transport::{
+    bounded, BoundedReceiver, BoundedSender, Connection, Listener, RecvError,
+};
 use agreement_sim::RunLimits;
 
 use crate::experiments::Scale;
@@ -73,15 +99,34 @@ use crate::scenario::{scenario_registry, ScenarioError, ScenarioSpec};
 /// How long the coordinator waits for workers to dial in and say hello.
 const SPAWN_DEADLINE: Duration = Duration::from_secs(30);
 
-/// Safety net on every coordinator receive: a worker that neither answers
-/// nor disconnects within this window is treated as hung — its range is
-/// re-queued on the survivors, exactly like a disconnect. Only a session
-/// with no live workers left fails the run.
-const RECV_TIMEOUT: Duration = Duration::from_secs(600);
+/// Default receive timeout of the liveness policy (override with
+/// [`Orchestrator::recv_timeout`]): a worker holding a range but silent this
+/// long gets the range speculatively re-dispatched; silent twice this long,
+/// it is dropped and the range re-queued on the survivors.
+const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(600);
 
 /// How long shutdown waits for workers to exit gracefully before forcing
 /// their sockets shut and killing the processes.
 const SHUTDOWN_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Default number of worker respawns a session may perform (override with
+/// [`Orchestrator::respawn_budget`]).
+const DEFAULT_RESPAWN_BUDGET: u32 = 2;
+
+/// Base of the respawn exponential backoff: attempt `k` waits
+/// `RESPAWN_BACKOFF_BASE · 2^k` (capped) plus seeded jitter.
+const RESPAWN_BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Cap on the exponential part of the respawn backoff.
+const RESPAWN_BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Upper bound (exclusive) on the seeded respawn jitter, in milliseconds.
+const RESPAWN_JITTER_MS: u64 = 25;
+
+/// How long a respawned worker gets to dial in and say hello before the
+/// attempt is counted as failed (shorter than [`SPAWN_DEADLINE`]: a respawn
+/// blocks the dispatch loop, and localhost dials are fast).
+const RESPAWN_ACCEPT_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Why an orchestrated campaign failed.
 #[derive(Debug)]
@@ -205,41 +250,100 @@ impl CheckpointEntry {
     }
 }
 
-/// Reads a checkpoint file: one [`CheckpointEntry`] JSON object per line.
-/// A torn final line (the coordinator died mid-append) is skipped, not an
-/// error — everything before it is still usable.
+/// Formats one checkpoint line: the entry's JSON wrapped with a CRC32 of
+/// exactly the bytes between `"entry":` and the closing brace. The wrapper
+/// is parsed textually on read, so verification never depends on JSON
+/// re-serialization being stable.
+fn checkpoint_line(entry: &CheckpointEntry) -> String {
+    let body = entry.to_json().to_string();
+    format!("{{\"crc\":{},\"entry\":{body}}}", crc32(body.as_bytes()))
+}
+
+/// Parses one complete checkpoint line: either the CRC-wrapped form written
+/// by [`append_checkpoint`] or a legacy bare-entry line from a pre-CRC file.
+fn parse_checkpoint_line(line: &str) -> Result<CheckpointEntry, String> {
+    let entry_body = if let Some(rest) = line.strip_prefix("{\"crc\":") {
+        let (crc_text, tail) = rest
+            .split_once(",\"entry\":")
+            .ok_or_else(|| "CRC wrapper without an 'entry' field".to_string())?;
+        let expected: u32 = crc_text
+            .trim()
+            .parse()
+            .map_err(|_| format!("unparseable checkpoint CRC '{crc_text}'"))?;
+        let body = tail
+            .strip_suffix('}')
+            .ok_or_else(|| "CRC wrapper is not brace-terminated".to_string())?;
+        let actual = crc32(body.as_bytes());
+        if actual != expected {
+            return Err(format!(
+                "checkpoint line CRC mismatch: recorded {expected}, body checksums to {actual}"
+            ));
+        }
+        body
+    } else {
+        // Legacy line: no CRC to verify, the JSON parse is the only check.
+        line
+    };
+    JsonValue::parse(entry_body).and_then(|v| CheckpointEntry::from_json(&v))
+}
+
+/// Reads a checkpoint file: one CRC-wrapped [`CheckpointEntry`] per line
+/// (legacy bare-entry lines are still accepted). A torn final line (the
+/// coordinator died mid-append) is skipped silently; a damaged *interior*
+/// line — CRC mismatch, truncated middle, unparseable JSON — is **skipped
+/// and logged to stderr**, never trusted and never fatal: the ranges it held
+/// are simply re-run. Returns the surviving entries and how many lines were
+/// skipped as damaged (callers use a nonzero count to trigger
+/// [`compact_checkpoint`]).
 ///
 /// # Errors
 ///
-/// Propagates file I/O errors and malformed *complete* lines.
-pub fn read_checkpoint(path: &Path) -> Result<Vec<CheckpointEntry>, OrchestrateError> {
+/// Propagates file I/O errors only.
+pub fn read_checkpoint_lossy(
+    path: &Path,
+) -> Result<(Vec<CheckpointEntry>, usize), OrchestrateError> {
     let file = std::fs::File::open(path)?;
     let mut entries = Vec::new();
+    let mut skipped = 0usize;
     let mut lines = io::BufReader::new(file).lines().peekable();
+    let mut number = 0u64;
     while let Some(line) = lines.next() {
         let line = line?;
+        number += 1;
         if line.trim().is_empty() {
             continue;
         }
         let last = lines.peek().is_none();
-        match JsonValue::parse(&line).and_then(|v| CheckpointEntry::from_json(&v)) {
+        match parse_checkpoint_line(&line) {
             Ok(entry) => entries.push(entry),
-            // Only the final line may be torn; corruption earlier in the
-            // file means the checkpoint cannot be trusted.
+            // A torn tail is the expected shape of a crash mid-append; skip
+            // it without ceremony.
             Err(_) if last => break,
             Err(err) => {
-                return Err(OrchestrateError::Protocol(format!(
-                    "corrupt checkpoint line in {}: {err}",
+                eprintln!(
+                    "orchestrate: skipping damaged checkpoint line {number} in {}: {err}",
                     path.display()
-                )))
+                );
+                skipped += 1;
             }
         }
     }
-    Ok(entries)
+    Ok((entries, skipped))
+}
+
+/// Reads a checkpoint file, returning the surviving entries. See
+/// [`read_checkpoint_lossy`] for the damage-tolerance contract.
+///
+/// # Errors
+///
+/// Propagates file I/O errors only.
+pub fn read_checkpoint(path: &Path) -> Result<Vec<CheckpointEntry>, OrchestrateError> {
+    Ok(read_checkpoint_lossy(path)?.0)
 }
 
 /// Appends one entry to a checkpoint file (creating it if needed), flushed
-/// before returning so a subsequent crash cannot lose the range.
+/// before returning so a subsequent crash cannot lose the range. Each line
+/// carries a CRC32 of its body, so later damage is detected on read.
 ///
 /// # Errors
 ///
@@ -249,8 +353,36 @@ pub fn append_checkpoint(path: &Path, entry: &CheckpointEntry) -> Result<(), Orc
         .create(true)
         .append(true)
         .open(path)?;
-    writeln!(file, "{}", entry.to_json())?;
+    writeln!(file, "{}", checkpoint_line(entry))?;
     file.flush()?;
+    Ok(())
+}
+
+/// Rewrites a checkpoint file to hold exactly `entries`, atomically: the new
+/// contents are written to a sibling temporary file, synced, and renamed
+/// over the original, so a crash at any point leaves either the old file or
+/// the new one — never a half-written hybrid. Called on resume when
+/// [`read_checkpoint_lossy`] found damaged lines, so the damage is shed once
+/// instead of being re-skipped (and re-logged) on every later resume.
+///
+/// # Errors
+///
+/// Propagates file I/O errors.
+pub fn compact_checkpoint(
+    path: &Path,
+    entries: &[CheckpointEntry],
+) -> Result<(), OrchestrateError> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        for entry in entries {
+            writeln!(file, "{}", checkpoint_line(entry))?;
+        }
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
     Ok(())
 }
 
@@ -362,10 +494,27 @@ pub enum OrchestrationEvent {
         /// Range end (exclusive).
         hi: u64,
     },
-    /// A worker disconnected or broke protocol; its in-flight range (if
-    /// any) has been re-queued.
+    /// A worker disconnected, broke protocol, or delivered damaged bytes;
+    /// its in-flight range (if any) has been re-queued.
     WorkerLost {
         /// Worker index within the session.
+        worker: usize,
+    },
+    /// A worker held a range past the receive timeout; the range was
+    /// re-dispatched speculatively to an idle worker. Whichever copy
+    /// finishes first wins; the other completion is discarded.
+    RangeSpeculated {
+        /// The straggling worker still holding the original assignment.
+        worker: usize,
+        /// Range start (inclusive).
+        lo: u64,
+        /// Range end (exclusive).
+        hi: u64,
+    },
+    /// A replacement worker process was spawned, connected, and joined the
+    /// pool after earlier losses.
+    WorkerRespawned {
+        /// The new worker's index within the session.
         worker: usize,
     },
 }
@@ -376,7 +525,10 @@ enum Delivery {
     Frame(JsonValue),
     /// A frame that was not valid JSON.
     Malformed(String),
-    /// The connection closed.
+    /// The connection died on damaged bytes (CRC mismatch, torn frame) —
+    /// the reason recorded by the transport's reader.
+    Corrupt(String),
+    /// The connection closed cleanly.
     Gone,
 }
 
@@ -392,10 +544,46 @@ struct Inflight {
     lo: u64,
     hi: u64,
     records: Vec<TrialRecord>,
+    /// Whether this range has already been speculatively re-dispatched —
+    /// one speculation per straggler, then the 2× deadline drops it.
+    speculated: bool,
+}
+
+/// Spawns the thread that pumps one worker connection into the shared inbox,
+/// translating the close reason: recorded read damage becomes
+/// [`Delivery::Corrupt`], a clean hangup becomes [`Delivery::Gone`].
+fn spawn_forwarder(
+    conn: &Arc<Connection>,
+    index: usize,
+    tx: BoundedSender<(usize, Delivery)>,
+) -> JoinHandle<()> {
+    let conn = Arc::clone(conn);
+    std::thread::spawn(move || loop {
+        match conn.recv() {
+            Some(frame) => {
+                let delivery = match parse_frame(&frame) {
+                    Ok(msg) => Delivery::Frame(msg),
+                    Err(err) => Delivery::Malformed(err),
+                };
+                if tx.send((index, delivery)).is_err() {
+                    return;
+                }
+            }
+            None => {
+                let delivery = match conn.read_fault() {
+                    Some(fault) => Delivery::Corrupt(fault),
+                    None => Delivery::Gone,
+                };
+                let _ = tx.send((index, delivery));
+                return;
+            }
+        }
+    })
 }
 
 /// Coordinator configuration: how many workers to spawn, with what command,
-/// at what scale, with what chunking and checkpointing.
+/// at what scale, with what chunking, checkpointing, liveness policy,
+/// respawn budget, and (for chaos runs) fault plan.
 #[derive(Debug, Clone)]
 pub struct Orchestrator {
     scale: Scale,
@@ -403,6 +591,9 @@ pub struct Orchestrator {
     command: Vec<String>,
     chunk: Option<u64>,
     checkpoint: Option<PathBuf>,
+    recv_timeout: Duration,
+    respawn_budget: u32,
+    worker_faults: Option<FaultPlan>,
 }
 
 impl Orchestrator {
@@ -420,6 +611,9 @@ impl Orchestrator {
             command,
             chunk: None,
             checkpoint: None,
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
+            respawn_budget: DEFAULT_RESPAWN_BUDGET,
+            worker_faults: None,
         }
     }
 
@@ -445,6 +639,33 @@ impl Orchestrator {
         self
     }
 
+    /// Sets the liveness policy's receive timeout (default 600 s, clamped to
+    /// at least one second). A worker holding a range but silent this long
+    /// gets the range speculatively re-dispatched; silent twice this long,
+    /// it is dropped and its range re-queued.
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout.max(Duration::from_secs(1));
+        self
+    }
+
+    /// Sets how many replacement workers the session may spawn over its
+    /// lifetime (default 2; zero disables respawning). Each respawn waits
+    /// out an exponential backoff with seeded jitter first.
+    pub fn respawn_budget(mut self, budget: u32) -> Self {
+        self.respawn_budget = budget;
+        self
+    }
+
+    /// Injects deterministic faults on every worker's outgoing connection:
+    /// each spawned worker (respawns included) receives `plan` reseeded with
+    /// a distinct derived seed through the `AGREEMENT_FAULTS` environment
+    /// hook, so one plan seed reproduces the entire multi-process fault
+    /// schedule. Production runs never set this and pay nothing.
+    pub fn worker_faults(mut self, plan: FaultPlan) -> Self {
+        self.worker_faults = Some(plan);
+        self
+    }
+
     /// Spawns the workers, waits for each to connect and say hello, and
     /// returns the live [`Session`].
     ///
@@ -457,15 +678,13 @@ impl Orchestrator {
         let listener = Listener::bind_local()?;
         let addr = listener.local_addr()?.to_string();
         let mut children = Vec::with_capacity(self.workers);
-        for _ in 0..self.workers {
-            let mut cmd = Command::new(&self.command[0]);
-            cmd.args(&self.command[1..])
-                .arg("--connect")
-                .arg(&addr)
-                // Workers write records to the socket, never to stdout; a
-                // stray print must not corrupt the coordinator's own output.
-                .stdout(Stdio::null());
-            children.push(cmd.spawn()?);
+        for spawn in 0..self.workers {
+            children.push(spawn_worker(
+                &self.command,
+                &addr,
+                self.worker_faults.as_ref(),
+                spawn as u64,
+            )?);
         }
 
         let deadline = Instant::now() + SPAWN_DEADLINE;
@@ -473,36 +692,9 @@ impl Orchestrator {
         let mut workers = Vec::with_capacity(children.len());
         for index in 0..children.len() {
             let conn = listener.accept_deadline(deadline)?;
-            let hello = conn.recv_deadline(deadline).map_err(|err| {
-                OrchestrateError::Protocol(format!("worker {index} sent no hello: {err:?}"))
-            })?;
-            let hello = parse_frame(&hello).map_err(OrchestrateError::Protocol)?;
-            if str_field(&hello, "type") != Ok("hello") {
-                return Err(OrchestrateError::Protocol(format!(
-                    "worker {index}'s first frame was not a hello"
-                )));
-            }
-            let pid = int_field(&hello, "pid").map_err(OrchestrateError::Protocol)?;
+            let pid = read_hello(&conn, deadline, index)?;
             let conn = Arc::new(conn);
-            let forwarder_conn = Arc::clone(&conn);
-            let tx = inbox_tx.clone();
-            let forwarder = std::thread::spawn(move || loop {
-                match forwarder_conn.recv() {
-                    Some(frame) => {
-                        let delivery = match parse_frame(&frame) {
-                            Ok(msg) => Delivery::Frame(msg),
-                            Err(err) => Delivery::Malformed(err),
-                        };
-                        if tx.send((index, delivery)).is_err() {
-                            return;
-                        }
-                    }
-                    None => {
-                        let _ = tx.send((index, Delivery::Gone));
-                        return;
-                    }
-                }
-            });
+            let forwarder = spawn_forwarder(&conn, index, inbox_tx.clone());
             workers.push(WorkerHandle {
                 conn,
                 pid,
@@ -511,16 +703,71 @@ impl Orchestrator {
             });
         }
 
+        // The jitter stream is seeded from the fault plan when there is one
+        // (so a chaos run's whole recovery timeline replays from one seed)
+        // and from a fixed constant otherwise.
+        let jitter_seed = self.worker_faults.as_ref().map_or(0x7E5_7A77, |p| p.seed);
         Ok(Session {
             scale: self.scale,
             chunk: self.chunk,
             checkpoint: self.checkpoint,
+            recv_timeout: self.recv_timeout,
+            respawn_budget: self.respawn_budget,
+            respawns_used: 0,
+            respawn_due: None,
+            respawn_rng: ProcessorRng::from_seed(derive_seed(jitter_seed, 0xBAC0FF)),
+            worker_faults: self.worker_faults,
+            target_workers: self.workers,
+            spawn_counter: self.workers as u64,
+            command: self.command,
+            addr,
+            listener,
             workers,
             children,
             inbox,
+            inbox_tx,
             next_job: 0,
+            retired_jobs: BTreeSet::new(),
         })
     }
+}
+
+/// Spawns one worker process dialing back to `addr`. With a fault plan
+/// configured, the worker inherits it through the environment hook,
+/// reseeded per spawn index so every worker (and every respawn) injures its
+/// frames on its own deterministic substream.
+fn spawn_worker(
+    command: &[String],
+    addr: &str,
+    faults: Option<&FaultPlan>,
+    spawn_index: u64,
+) -> io::Result<Child> {
+    let mut cmd = Command::new(&command[0]);
+    cmd.args(&command[1..])
+        .arg("--connect")
+        .arg(addr)
+        // Workers write records to the socket, never to stdout; a stray
+        // print must not corrupt the coordinator's own output.
+        .stdout(Stdio::null());
+    if let Some(plan) = faults {
+        let reseeded = plan.reseeded(derive_seed(plan.seed, spawn_index));
+        cmd.env(FAULT_ENV, reseeded.to_string());
+    }
+    cmd.spawn()
+}
+
+/// Receives and validates a worker's hello frame, returning its pid.
+fn read_hello(conn: &Connection, deadline: Instant, index: usize) -> Result<u64, OrchestrateError> {
+    let hello = conn.recv_deadline(deadline).map_err(|err| {
+        OrchestrateError::Protocol(format!("worker {index} sent no hello: {err:?}"))
+    })?;
+    let hello = parse_frame(&hello).map_err(OrchestrateError::Protocol)?;
+    if str_field(&hello, "type") != Ok("hello") {
+        return Err(OrchestrateError::Protocol(format!(
+            "worker {index}'s first frame was not a hello"
+        )));
+    }
+    int_field(&hello, "pid").map_err(OrchestrateError::Protocol)
 }
 
 fn parse_frame(frame: &[u8]) -> Result<JsonValue, String> {
@@ -530,15 +777,38 @@ fn parse_frame(frame: &[u8]) -> Result<JsonValue, String> {
 
 /// A live orchestration session: connected worker processes, reusable across
 /// many specs (the `scenarios` bin runs its whole matrix through one
-/// session).
+/// session). The session keeps its listener open so replacement workers can
+/// dial in after losses.
 pub struct Session {
     scale: Scale,
     chunk: Option<u64>,
     checkpoint: Option<PathBuf>,
+    recv_timeout: Duration,
+    respawn_budget: u32,
+    respawns_used: u32,
+    respawn_due: Option<Instant>,
+    respawn_rng: ProcessorRng,
+    worker_faults: Option<FaultPlan>,
+    target_workers: usize,
+    spawn_counter: u64,
+    command: Vec<String>,
+    addr: String,
+    listener: Listener,
     workers: Vec<WorkerHandle>,
     children: Vec<Child>,
     inbox: BoundedReceiver<(usize, Delivery)>,
+    // Kept so the inbox stays connected for forwarders spawned later
+    // (respawns) — and so a momentarily empty pool reads as a timeout, not
+    // a disconnect.
+    inbox_tx: BoundedSender<(usize, Delivery)>,
     next_job: u64,
+    // Jobs whose range has been settled (merged, or superseded by a twin).
+    // Job ids are session-unique, so a frame naming a retired job can only
+    // be a duplicated late copy — benign — while a frame naming an unknown
+    // job is a protocol violation. Without this, a duplicated final
+    // `range_done` of one spec poisons the next spec's run on the same
+    // session.
+    retired_jobs: BTreeSet<u64>,
 }
 
 impl Session {
@@ -606,15 +876,26 @@ impl Session {
         let total = spec.trials;
         let id = spec.id();
 
-        // Restore checkpointed ranges for this exact workload.
+        // Restore checkpointed ranges for this exact workload; damage found
+        // in the file is shed once via an atomic compaction.
         let mut done: Vec<(u64, u64, Vec<TrialRecord>)> = Vec::new();
+        let mut completed: BTreeSet<(u64, u64)> = BTreeSet::new();
         if let Some(path) = self.checkpoint.clone() {
             if path.exists() {
-                for entry in read_checkpoint(&path)? {
+                let (entries, skipped) = read_checkpoint_lossy(&path)?;
+                if skipped > 0 {
+                    eprintln!(
+                        "orchestrate: checkpoint {} held {skipped} damaged line(s); compacting",
+                        path.display()
+                    );
+                    compact_checkpoint(&path, &entries)?;
+                }
+                for entry in entries {
                     if entry.scenario == id
                         && entry.base_seed == spec.base_seed
                         && entry.trials == total
                         && entry.hi <= total
+                        && completed.insert((entry.lo, entry.hi))
                     {
                         on_event(OrchestrationEvent::RangeRestored {
                             lo: entry.lo,
@@ -626,21 +907,53 @@ impl Session {
             }
         }
 
-        let covered: Vec<(u64, u64)> = done.iter().map(|&(lo, hi, _)| (lo, hi)).collect();
+        let restored: Vec<(u64, u64)> = done.iter().map(|&(lo, hi, _)| (lo, hi)).collect();
+        let mut covered: u64 = restored.iter().map(|&(lo, hi)| hi - lo).sum();
         let chunk = self.chunk.unwrap_or_else(|| {
-            let shards = (self.workers.len() as u64) * 4;
+            let shards = (self.target_workers as u64) * 4;
             total.div_ceil(shards.max(1)).max(1)
         });
-        let mut pending = chunk_ranges(&missing_ranges(total, &covered), chunk);
+        let mut pending = chunk_ranges(&missing_ranges(total, &restored), chunk);
         let mut inflight: Vec<Option<Inflight>> = (0..self.workers.len()).map(|_| None).collect();
+        let mut last_heard: Vec<Instant> = vec![Instant::now(); self.workers.len()];
 
-        loop {
-            // Hand pending chunks to every idle live worker.
+        let outcome = loop {
+            // Replace lost capacity when the budget allows: schedule (or
+            // keep) a pending respawn whenever the pool is short, and
+            // perform one whose backoff has elapsed. Doing this at the loop
+            // top — not only on a receive timeout — keeps respawns timely
+            // even while the surviving workers stream frames continuously.
+            self.maybe_schedule_respawn();
+            if self.respawn_due.is_some_and(|due| Instant::now() >= due) {
+                self.respawn_due = None;
+                match self.respawn() {
+                    Ok(index) => {
+                        inflight.push(None);
+                        last_heard.push(Instant::now());
+                        on_event(OrchestrationEvent::WorkerRespawned { worker: index });
+                    }
+                    Err(err) => {
+                        // The attempt is spent; the next iteration schedules
+                        // another (with a longer backoff) if the budget
+                        // allows.
+                        eprintln!("orchestrate: respawn attempt failed: {err}");
+                    }
+                }
+            }
+
+            // Hand pending chunks to every idle live worker, skipping
+            // ranges a speculative twin already completed.
             for (index, slot) in inflight.iter_mut().enumerate() {
                 if slot.is_some() || !self.workers[index].alive {
                     continue;
                 }
-                let Some((lo, hi)) = pending.pop_front() else {
+                let assignment = loop {
+                    match pending.pop_front() {
+                        Some(range) if completed.contains(&range) => continue,
+                        other => break other,
+                    }
+                };
+                let Some((lo, hi)) = assignment else {
                     break;
                 };
                 let job = self.next_job;
@@ -670,7 +983,9 @@ impl Session {
                     lo,
                     hi,
                     records: Vec::with_capacity((hi - lo) as usize),
+                    speculated: false,
                 });
+                last_heard[index] = Instant::now();
                 on_event(OrchestrationEvent::RangeAssigned {
                     worker: index,
                     lo,
@@ -678,86 +993,227 @@ impl Session {
                 });
             }
 
-            if pending.is_empty() && inflight.iter().all(Option::is_none) {
-                break;
+            if covered >= total {
+                break Ok(());
             }
-            if self.live_workers() == 0 {
-                return Err(OrchestrateError::WorkersExhausted(format!(
-                    "all {} worker(s) lost with {} range(s) of '{id}' unfinished",
+            if self.live_workers() == 0 && !self.respawn_possible() {
+                break Err(OrchestrateError::WorkersExhausted(format!(
+                    "all {} worker(s) lost (respawn budget {} spent) with {} range(s) of '{id}' unfinished",
                     self.workers.len(),
+                    self.respawn_budget,
                     pending.len() + inflight.iter().flatten().count(),
                 )));
             }
 
-            let (index, delivery) = match self.inbox.recv_timeout(RECV_TIMEOUT) {
-                Ok(pair) => pair,
+            // Wake at the earliest of: a straggler crossing its speculation
+            // (1×) or drop (2×) deadline, a due respawn, or a liveness tick.
+            let mut deadline = Instant::now() + self.recv_timeout;
+            for (i, slot) in inflight.iter().enumerate() {
+                if let Some(range) = slot {
+                    if self.workers[i].alive {
+                        let factor = if range.speculated { 2 } else { 1 };
+                        deadline = deadline.min(last_heard[i] + self.recv_timeout * factor);
+                    }
+                }
+            }
+            if let Some(due) = self.respawn_due {
+                deadline = deadline.min(due);
+            }
+
+            match self.inbox.recv_deadline(deadline) {
+                Ok((index, delivery)) => {
+                    last_heard[index] = Instant::now();
+                    if !self.workers[index].alive {
+                        // Residue from a worker already written off.
+                        continue;
+                    }
+                    match delivery {
+                        Delivery::Frame(msg) => {
+                            if let Err(reason) = handle_frame(FrameContext {
+                                msg: &msg,
+                                index,
+                                inflight: &mut inflight,
+                                done: &mut done,
+                                completed: &mut completed,
+                                covered: &mut covered,
+                                retired: &mut self.retired_jobs,
+                                checkpoint: self.checkpoint.as_deref(),
+                                scenario: &id,
+                                base_seed: spec.base_seed,
+                                trials: total,
+                                on_event: &mut on_event,
+                            })? {
+                                self.lose_worker(
+                                    index,
+                                    &mut inflight,
+                                    &mut pending,
+                                    &completed,
+                                    &mut on_event,
+                                );
+                                eprintln!("orchestrate: worker {index} dropped: {reason}");
+                            }
+                        }
+                        Delivery::Malformed(err) => {
+                            self.lose_worker(
+                                index,
+                                &mut inflight,
+                                &mut pending,
+                                &completed,
+                                &mut on_event,
+                            );
+                            eprintln!("orchestrate: worker {index} sent a malformed frame: {err}");
+                        }
+                        Delivery::Corrupt(fault) => {
+                            self.lose_worker(
+                                index,
+                                &mut inflight,
+                                &mut pending,
+                                &completed,
+                                &mut on_event,
+                            );
+                            eprintln!(
+                                "orchestrate: worker {index} dropped on frame damage: {fault}"
+                            );
+                        }
+                        Delivery::Gone => {
+                            self.lose_worker(
+                                index,
+                                &mut inflight,
+                                &mut pending,
+                                &completed,
+                                &mut on_event,
+                            );
+                        }
+                    }
+                }
                 Err(RecvError::Timeout) => {
-                    // Total silence this long means every worker holding a
-                    // range is hung — the same fault as a disconnect, handled
-                    // the same way: drop them, re-queue their ranges on the
-                    // survivors, and let the exhaustion check above decide
-                    // whether the run is still viable.
-                    let hung: Vec<usize> = inflight
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, slot)| slot.is_some().then_some(i))
-                        .collect();
-                    if hung.is_empty() {
-                        return Err(OrchestrateError::Protocol(
-                            "receive timeout with no range in flight".into(),
-                        ));
+                    // A due respawn is handled at the loop top; here, apply
+                    // the liveness policy: speculate at 1× the timeout, drop
+                    // at 2×.
+                    let now = Instant::now();
+                    for i in 0..inflight.len() {
+                        if !self.workers[i].alive {
+                            continue;
+                        }
+                        let Some(range) = inflight[i].as_ref() else {
+                            continue;
+                        };
+                        let (lo, hi, speculated) = (range.lo, range.hi, range.speculated);
+                        if now >= last_heard[i] + self.recv_timeout * 2 {
+                            eprintln!(
+                                "orchestrate: worker {i} silent past twice the receive \
+                                 timeout; dropping it"
+                            );
+                            self.lose_worker(
+                                i,
+                                &mut inflight,
+                                &mut pending,
+                                &completed,
+                                &mut on_event,
+                            );
+                        } else if !speculated && now >= last_heard[i] + self.recv_timeout {
+                            inflight[i].as_mut().expect("checked above").speculated = true;
+                            if !completed.contains(&(lo, hi)) {
+                                eprintln!(
+                                    "orchestrate: worker {i} silent past the receive timeout; \
+                                     speculatively re-dispatching {lo}..{hi}"
+                                );
+                                pending.push_back((lo, hi));
+                                on_event(OrchestrationEvent::RangeSpeculated { worker: i, lo, hi });
+                            }
+                        }
                     }
-                    for i in hung {
-                        eprintln!(
-                            "orchestrate: worker {i} silent past the receive timeout; dropping it"
-                        );
-                        self.lose_worker(i, &mut inflight, &mut pending, &mut on_event);
-                    }
-                    continue;
                 }
                 Err(RecvError::Disconnected) => {
-                    return Err(OrchestrateError::Protocol(
+                    break Err(OrchestrateError::Protocol(
                         "every worker forwarder exited".into(),
                     ))
                 }
-            };
-            match delivery {
-                Delivery::Frame(msg) => {
-                    if let Err(reason) = handle_frame(
-                        &msg,
-                        index,
-                        &mut inflight,
-                        &mut done,
-                        self.checkpoint.as_deref(),
-                        &id,
-                        spec.base_seed,
-                        total,
-                        &mut on_event,
-                    )? {
-                        self.lose_worker(index, &mut inflight, &mut pending, &mut on_event);
-                        eprintln!("orchestrate: worker {index} dropped: {reason}");
-                    }
-                }
-                Delivery::Malformed(err) => {
-                    self.lose_worker(index, &mut inflight, &mut pending, &mut on_event);
-                    eprintln!("orchestrate: worker {index} sent a malformed frame: {err}");
-                }
-                Delivery::Gone => {
-                    self.lose_worker(index, &mut inflight, &mut pending, &mut on_event);
-                }
+            }
+        };
+
+        // A worker still holding an assignment here is a straggler whose
+        // range a twin already completed. Drop it now: left alone, its
+        // eventual frames for this spec's job would poison the next spec run
+        // on this session. The respawn budget can replace the capacity.
+        for i in 0..inflight.len() {
+            if inflight[i].is_some() && self.workers[i].alive {
+                eprintln!(
+                    "orchestrate: dropping worker {i} still holding an already-completed range"
+                );
+                self.lose_worker(i, &mut inflight, &mut pending, &completed, &mut on_event);
             }
         }
 
+        outcome?;
         merge_ranges(total, done)
     }
 
+    /// Whether lost capacity can still come back: a respawn is already
+    /// scheduled, or the budget has room for another.
+    fn respawn_possible(&self) -> bool {
+        self.respawn_due.is_some() || self.respawns_used < self.respawn_budget
+    }
+
+    /// Schedules a respawn (exponential backoff plus seeded jitter) when the
+    /// pool is below target, the budget has room, and none is pending.
+    fn maybe_schedule_respawn(&mut self) {
+        if self.respawn_due.is_none()
+            && self.respawns_used < self.respawn_budget
+            && self.live_workers() < self.target_workers
+        {
+            let attempt = self.respawns_used.min(5);
+            let backoff = RESPAWN_BACKOFF_BASE
+                .saturating_mul(1 << attempt)
+                .min(RESPAWN_BACKOFF_CAP);
+            let jitter = Duration::from_millis(self.respawn_rng.range(RESPAWN_JITTER_MS));
+            self.respawn_due = Some(Instant::now() + backoff + jitter);
+        }
+    }
+
+    /// Spawns one replacement worker, waits for its hello, and appends it to
+    /// the pool. Consumes one unit of respawn budget whether or not the
+    /// attempt succeeds.
+    fn respawn(&mut self) -> Result<usize, OrchestrateError> {
+        self.respawns_used += 1;
+        let spawn_index = self.spawn_counter;
+        self.spawn_counter += 1;
+        let child = spawn_worker(
+            &self.command,
+            &self.addr,
+            self.worker_faults.as_ref(),
+            spawn_index,
+        )?;
+        self.children.push(child);
+        let deadline = Instant::now() + RESPAWN_ACCEPT_DEADLINE;
+        let index = self.workers.len();
+        let conn = self.listener.accept_deadline(deadline)?;
+        let pid = read_hello(&conn, deadline, index)?;
+        let conn = Arc::new(conn);
+        let forwarder = spawn_forwarder(&conn, index, self.inbox_tx.clone());
+        self.workers.push(WorkerHandle {
+            conn,
+            pid,
+            alive: true,
+            forwarder: Some(forwarder),
+        });
+        eprintln!(
+            "orchestrate: respawned worker {index} (pid {pid}, {} of {} budget used)",
+            self.respawns_used, self.respawn_budget
+        );
+        Ok(index)
+    }
+
     /// Marks a worker dead and re-queues its in-flight range (partial
-    /// records are discarded: a deterministic re-run is identical).
+    /// records are discarded: a deterministic re-run is identical). A range
+    /// already completed by a speculative twin — or still in flight on one —
+    /// is not re-queued.
     fn lose_worker(
         &mut self,
         index: usize,
         inflight: &mut [Option<Inflight>],
         pending: &mut VecDeque<(u64, u64)>,
+        completed: &BTreeSet<(u64, u64)>,
         on_event: &mut impl FnMut(OrchestrationEvent),
     ) {
         if !self.workers[index].alive {
@@ -769,7 +1225,14 @@ impl Session {
         // leave a thread or process for shutdown to hang on.
         self.workers[index].conn.shutdown();
         if let Some(lost) = inflight[index].take() {
-            pending.push_front((lost.lo, lost.hi));
+            let range = (lost.lo, lost.hi);
+            let twin_running = inflight
+                .iter()
+                .flatten()
+                .any(|other| (other.lo, other.hi) == range);
+            if !completed.contains(&range) && !twin_running {
+                pending.push_front(range);
+            }
         }
         on_event(OrchestrationEvent::WorkerLost { worker: index });
     }
@@ -850,33 +1313,76 @@ impl Drop for Session {
     }
 }
 
+/// Everything one worker frame is handled against — bundled so the dispatch
+/// loop hands over one coherent view of the run.
+struct FrameContext<'a, F: FnMut(OrchestrationEvent)> {
+    msg: &'a JsonValue,
+    index: usize,
+    inflight: &'a mut [Option<Inflight>],
+    done: &'a mut Vec<(u64, u64, Vec<TrialRecord>)>,
+    /// Exact ranges already merged — the dedupe set that makes duplicated
+    /// frames and speculative twin completions idempotent.
+    completed: &'a mut BTreeSet<(u64, u64)>,
+    /// Trials covered so far (restored + completed); drives loop exit.
+    covered: &'a mut u64,
+    /// Session-wide set of settled job ids; late duplicates of their frames
+    /// are discarded instead of read as protocol violations.
+    retired: &'a mut BTreeSet<u64>,
+    checkpoint: Option<&'a Path>,
+    scenario: &'a str,
+    base_seed: u64,
+    trials: u64,
+    on_event: &'a mut F,
+}
+
 /// Handles one worker frame inside the dispatch loop. Returns `Ok(Ok(()))`
 /// on success, `Ok(Err(reason))` when the worker must be dropped, and `Err`
 /// for coordinator-side failures (checkpoint I/O).
-#[allow(clippy::too_many_arguments)]
-fn handle_frame(
-    msg: &JsonValue,
-    index: usize,
-    inflight: &mut [Option<Inflight>],
-    done: &mut Vec<(u64, u64, Vec<TrialRecord>)>,
-    checkpoint: Option<&Path>,
-    scenario: &str,
-    base_seed: u64,
-    trials: u64,
-    on_event: &mut impl FnMut(OrchestrationEvent),
+///
+/// Duplicate deliveries are idempotent by design: a record for a trial the
+/// range already holds is discarded, and a `range_done` for a range already
+/// completed (a duplicated frame, or the slower copy of a speculative
+/// re-dispatch) is discarded without touching the merge. Everything else —
+/// gaps, mismatches, unparseable records — drops the worker.
+fn handle_frame<F: FnMut(OrchestrationEvent)>(
+    ctx: FrameContext<'_, F>,
 ) -> Result<Result<(), String>, OrchestrateError> {
+    let FrameContext {
+        msg,
+        index,
+        inflight,
+        done,
+        completed,
+        covered,
+        retired,
+        checkpoint,
+        scenario,
+        base_seed,
+        trials,
+        on_event,
+    } = ctx;
     let kind = match str_field(msg, "type") {
         Ok(kind) => kind,
         Err(err) => return Ok(Err(err)),
     };
     match kind {
         "record" => {
+            let job = match int_field(msg, "job") {
+                Ok(job) => job,
+                Err(err) => return Ok(Err(err)),
+            };
             let Some(current) = inflight[index].as_mut() else {
+                if retired.contains(&job) {
+                    // A duplicated late copy of a settled job's record.
+                    return Ok(Ok(()));
+                }
                 return Ok(Err("record frame outside any assigned range".into()));
             };
-            match int_field(msg, "job") {
-                Ok(job) if job == current.job => {}
-                _ => return Ok(Err("record frame for a stale job".into())),
+            if job != current.job {
+                if retired.contains(&job) {
+                    return Ok(Ok(()));
+                }
+                return Ok(Err("record frame for a stale job".into()));
             }
             let Some(payload) = msg.get("record") else {
                 return Ok(Err("record frame without a 'record' object".into()));
@@ -886,9 +1392,17 @@ fn handle_frame(
                 Err(err) => return Ok(Err(format!("unparseable record: {err}"))),
             };
             let expected = current.lo + current.records.len() as u64;
-            if record.trial != expected {
+            if record.trial < expected {
+                // A duplicated frame re-delivering a trial already held:
+                // discard, don't punish. (A deterministic re-run is
+                // identical, so there is nothing to compare.)
+                return Ok(Ok(()));
+            }
+            if record.trial > expected {
+                // A gap means a record frame was lost in flight — the range
+                // can never complete; re-run it elsewhere.
                 return Ok(Err(format!(
-                    "out-of-order record: expected trial {expected}, got {}",
+                    "record gap: expected trial {expected}, got {}",
                     record.trial
                 )));
             }
@@ -896,22 +1410,49 @@ fn handle_frame(
             Ok(Ok(()))
         }
         "range_done" => {
-            let Some(current) = inflight[index].take() else {
-                return Ok(Err("range_done outside any assigned range".into()));
-            };
             let job = int_field(msg, "job");
             let lo = int_field(msg, "lo");
             let hi = int_field(msg, "hi");
-            if job != Ok(current.job) || lo != Ok(current.lo) || hi != Ok(current.hi) {
+            let matches_current = inflight[index].as_ref().is_some_and(|current| {
+                job == Ok(current.job) && lo == Ok(current.lo) && hi == Ok(current.hi)
+            });
+            if !matches_current {
+                // A duplicated range_done arriving after its original was
+                // already merged is benign — its job is retired (possibly by
+                // an earlier spec on this session) or its range is in this
+                // run's completed set. Any other mismatch is a violation.
+                if let Ok(job) = job {
+                    if retired.contains(&job) {
+                        return Ok(Ok(()));
+                    }
+                }
+                if let (Ok(lo), Ok(hi)) = (lo, hi) {
+                    if completed.contains(&(lo, hi)) {
+                        return Ok(Ok(()));
+                    }
+                }
                 return Ok(Err("range_done does not match the assigned range".into()));
             }
-            if current.records.len() as u64 != current.hi - current.lo {
-                return Ok(Err(format!(
-                    "range {}..{} completed with {} record(s)",
-                    current.lo,
-                    current.hi,
-                    current.records.len()
-                )));
+            {
+                // Validate before taking the slot: on failure the range must
+                // stay in flight so losing the worker re-queues it (a taken
+                // slot would leak the range and stall the run forever).
+                let current = inflight[index].as_ref().expect("matched above");
+                if current.records.len() as u64 != current.hi - current.lo {
+                    return Ok(Err(format!(
+                        "range {}..{} completed with {} record(s)",
+                        current.lo,
+                        current.hi,
+                        current.records.len()
+                    )));
+                }
+            }
+            let current = inflight[index].take().expect("matched above");
+            retired.insert(current.job);
+            if completed.contains(&(current.lo, current.hi)) {
+                // The straggler finished after its speculative twin: the
+                // range is already merged; free the worker and move on.
+                return Ok(Ok(()));
             }
             if let Some(path) = checkpoint {
                 append_checkpoint(
@@ -926,6 +1467,8 @@ fn handle_frame(
                     },
                 )?;
             }
+            completed.insert((current.lo, current.hi));
+            *covered += current.hi - current.lo;
             on_event(OrchestrationEvent::RangeCompleted {
                 worker: index,
                 lo: current.lo,
@@ -951,12 +1494,25 @@ pub mod worker {
 
     /// Serves one coordinator at `addr` until shutdown or disconnect.
     ///
+    /// When the `AGREEMENT_FAULTS` environment variable carries a
+    /// [`FaultPlan`] spec, the worker's outgoing connection runs through the
+    /// deterministic fault injector — this is the env-gated hook the
+    /// orchestrator's [`Orchestrator::worker_faults`] uses, and chaos tests
+    /// can set directly. An unset variable costs nothing; a malformed one is
+    /// a loud error, never a silently fault-free run.
+    ///
     /// # Errors
     ///
-    /// Propagates connection errors; execution errors are reported to the
-    /// coordinator in-protocol, not returned here.
+    /// Propagates connection errors and a malformed fault spec; execution
+    /// errors are reported to the coordinator in-protocol, not returned
+    /// here.
     pub fn serve(addr: &str) -> io::Result<()> {
-        let mut conn = Connection::connect(addr)?;
+        let faults = FaultPlan::from_env()
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidInput, err))?;
+        let mut conn = match &faults {
+            Some(plan) => Connection::connect_with_faults(addr, plan)?,
+            None => Connection::connect(addr)?,
+        };
         let mut hello = JsonValue::object();
         hello
             .push("type", "hello")
@@ -968,6 +1524,10 @@ pub mod worker {
         // local campaign; determinism is per-trial, so the process/thread
         // split never shows in the records.
         let campaign = Campaign::parallel();
+        // Guard against duplicated run frames (a faulted coordinator→worker
+        // leg can re-deliver one): re-executing would re-stream records the
+        // coordinator has already consumed.
+        let mut last_job: Option<u64> = None;
         while let Some(frame) = conn.recv() {
             let msg = match parse_frame(&frame) {
                 Ok(msg) => msg,
@@ -976,6 +1536,10 @@ pub mod worker {
             match str_field(&msg, "type") {
                 Ok("run") => {
                     let job = int_field(&msg, "job").unwrap_or(0);
+                    if last_job == Some(job) {
+                        continue;
+                    }
+                    last_job = Some(job);
                     match execute(&msg, &campaign) {
                         Ok((lo, hi, records)) => {
                             for record in &records {
@@ -1163,22 +1727,111 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_interior_checkpoint_lines_are_errors() {
+    fn corrupt_interior_checkpoint_lines_are_skipped_not_fatal() {
         let path = temp_path("corrupt");
-        let entry = CheckpointEntry {
+        let entry = |lo: u64| CheckpointEntry {
             scenario: "x".to_string(),
             base_seed: 0,
-            trials: 1,
-            lo: 0,
-            hi: 1,
-            records: vec![record(0)],
+            trials: 2,
+            lo,
+            hi: lo + 1,
+            records: vec![record(lo)],
         };
-        std::fs::write(&path, "not json at all\n").unwrap();
-        append_checkpoint(&path, &entry).unwrap();
-        assert!(matches!(
-            read_checkpoint(&path),
-            Err(OrchestrateError::Protocol(_))
-        ));
+        append_checkpoint(&path, &entry(0)).unwrap();
+        // Damage sandwiched between two good lines: the good ones survive.
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        contents.push_str("not json at all\n");
+        std::fs::write(&path, contents).unwrap();
+        append_checkpoint(&path, &entry(1)).unwrap();
+        let (entries, skipped) = read_checkpoint_lossy(&path).unwrap();
+        assert_eq!(entries, vec![entry(0), entry(1)]);
+        assert_eq!(skipped, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_checkpoint_line_fails_its_crc_and_is_skipped() {
+        let path = temp_path("bitflip");
+        let entry = |lo: u64| CheckpointEntry {
+            scenario: "x".to_string(),
+            base_seed: 9,
+            trials: 3,
+            lo,
+            hi: lo + 1,
+            records: vec![record(lo)],
+        };
+        for lo in 0..3 {
+            append_checkpoint(&path, &entry(lo)).unwrap();
+        }
+        // Flip one byte inside the middle line's entry body. The damaged
+        // JSON may still parse (a digit changed in place stays valid JSON) —
+        // only the CRC catches it.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        let mut middle = lines[1].to_string().into_bytes();
+        let target = middle.len() - 10;
+        middle[target] ^= 0x01;
+        let damaged = format!(
+            "{}\n{}\n{}\n",
+            lines[0],
+            String::from_utf8(middle).unwrap(),
+            lines[2]
+        );
+        std::fs::write(&path, damaged).unwrap();
+
+        let (entries, skipped) = read_checkpoint_lossy(&path).unwrap();
+        assert_eq!(entries, vec![entry(0), entry(2)]);
+        assert_eq!(skipped, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_bare_checkpoint_lines_still_load() {
+        let path = temp_path("legacy");
+        let entry = CheckpointEntry {
+            scenario: "legacy/scenario".to_string(),
+            base_seed: 4,
+            trials: 2,
+            lo: 0,
+            hi: 2,
+            records: vec![record(0), record(1)],
+        };
+        // The pre-CRC format: the bare entry JSON, no wrapper.
+        std::fs::write(&path, format!("{}\n", entry.to_json())).unwrap();
+        let (entries, skipped) = read_checkpoint_lossy(&path).unwrap();
+        assert_eq!(entries, vec![entry]);
+        assert_eq!(skipped, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_checkpoint_rewrites_atomically_and_round_trips() {
+        let path = temp_path("compact");
+        let entry = |lo: u64| CheckpointEntry {
+            scenario: "c".to_string(),
+            base_seed: 1,
+            trials: 4,
+            lo,
+            hi: lo + 2,
+            records: (lo..lo + 2).map(record).collect(),
+        };
+        // A file with damage in the middle...
+        append_checkpoint(&path, &entry(0)).unwrap();
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        contents.push_str("garbage line\n");
+        std::fs::write(&path, contents).unwrap();
+        append_checkpoint(&path, &entry(2)).unwrap();
+        let (entries, skipped) = read_checkpoint_lossy(&path).unwrap();
+        assert_eq!(skipped, 1);
+        // ...compacts to a clean file holding exactly the survivors.
+        compact_checkpoint(&path, &entries).unwrap();
+        let (clean, skipped_after) = read_checkpoint_lossy(&path).unwrap();
+        assert_eq!(clean, entries);
+        assert_eq!(skipped_after, 0);
+        // No temporary residue.
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists());
         std::fs::remove_file(&path).unwrap();
     }
 }

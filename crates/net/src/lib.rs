@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 mod cluster;
+pub mod fault;
 pub mod transport;
 
 pub use cluster::{Cluster, ClusterOutcome};

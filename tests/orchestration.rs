@@ -8,10 +8,12 @@
 //! by `base_seed + t`, so *where* it runs (which thread, which process,
 //! before or after a crash) must never show in the rendered reports.
 
+use std::time::Duration;
+
 use agreement::core::experiments::Scale;
 use agreement::core::orchestrate::{
-    append_checkpoint, read_checkpoint, CheckpointEntry, OrchestrateError, OrchestrationEvent,
-    Orchestrator, Session,
+    append_checkpoint, read_checkpoint, CheckpointEntry, FaultPlan, OrchestrateError,
+    OrchestrationEvent, Orchestrator, Session,
 };
 use agreement::core::{
     scenario_registry, stream_records, Campaign, JsonReportSink, JsonlSink, ReportSink,
@@ -130,9 +132,12 @@ fn killing_a_worker_mid_range_still_merges_byte_identically() {
         .run_range_records(&campaign, 0, spec.trials)
         .expect("local run");
 
+    // Respawn is pinned off so the loss count below is exact; respawn itself
+    // is covered by `a_killed_worker_is_respawned_and_the_pool_recovers`.
     let mut session = Orchestrator::new(Scale::Quick, worker_command())
         .workers(2)
         .chunk(4)
+        .respawn_budget(0)
         .start()
         .expect("spawn orchestration workers");
     let mut victim = session.take_worker_process(1);
@@ -165,6 +170,146 @@ fn killing_a_worker_mid_range_still_merges_byte_identically() {
 }
 
 #[test]
+fn a_killed_worker_is_respawned_and_the_pool_recovers() {
+    let spec = slow_spec();
+    let campaign = Campaign::parallel();
+    let expected = spec
+        .run_range_records(&campaign, 0, spec.trials)
+        .expect("local run");
+
+    let mut session = Orchestrator::new(Scale::Quick, worker_command())
+        .workers(2)
+        .chunk(1)
+        .respawn_budget(2)
+        .start()
+        .expect("spawn orchestration workers");
+    let mut victim = session.take_worker_process(1);
+    let mut killed = false;
+    let mut lost = 0usize;
+    let mut respawned = Vec::new();
+    let mut observe =
+        |event: OrchestrationEvent, killed: &mut bool, victim: &mut std::process::Child| {
+            if let OrchestrationEvent::RangeAssigned { worker: 1, .. } = event {
+                if !*killed {
+                    *killed = true;
+                    victim.kill().expect("kill worker 1");
+                }
+            }
+            match event {
+                OrchestrationEvent::WorkerLost { .. } => lost += 1,
+                OrchestrationEvent::WorkerRespawned { worker } => respawned.push(worker),
+                _ => {}
+            }
+        };
+    let records = session
+        .run_spec_records_with(&spec, |event| observe(event, &mut killed, &mut victim))
+        .expect("orchestrated run survives a killed worker");
+    // The respawn backoff is tens of milliseconds; if the first run drained
+    // faster than that, the pending respawn fires at the top of the next
+    // dispatch loop. Either way, by the end of this second run the pool must
+    // be back at full strength and the output still byte-identical.
+    let again = session
+        .run_spec_records_with(&spec, |event| observe(event, &mut killed, &mut victim))
+        .expect("second run on the recovered pool");
+    assert!(killed, "worker 1 was never assigned a range");
+    assert_eq!(lost, 1, "exactly the killed worker must be reported lost");
+    assert_eq!(
+        respawned.len(),
+        1,
+        "the killed worker must be respawned once"
+    );
+    assert_eq!(session.live_workers(), 2, "pool must be back at strength");
+    assert_eq!(records, expected, "merge diverges across a respawn");
+    assert_eq!(again, expected, "recovered pool diverges");
+    session.shutdown().expect("worker shutdown");
+    victim.wait().expect("reap killed worker");
+}
+
+#[test]
+fn a_stalled_worker_is_speculatively_re_dispatched() {
+    let spec = slow_spec();
+    let campaign = Campaign::parallel();
+    let expected = spec
+        .run_range_records(&campaign, 0, spec.trials)
+        .expect("local run");
+
+    // Two chunks of four trials: worker 0 takes (0,4), worker 1 takes (4,8)
+    // and is immediately SIGSTOPped — alive at the TCP level but silent, the
+    // failure mode a plain hangup detector cannot see. After one receive
+    // timeout the coordinator must re-dispatch (4,8) speculatively on the
+    // idle survivor and finish without waiting for the 2× hard drop.
+    let mut session = Orchestrator::new(Scale::Quick, worker_command())
+        .workers(2)
+        .chunk(4)
+        .recv_timeout(Duration::from_secs(2))
+        .respawn_budget(0)
+        .start()
+        .expect("spawn orchestration workers");
+    let mut victim = session.take_worker_process(1);
+    let pid = victim.id().to_string();
+    let mut stopped = false;
+    let mut speculated = Vec::new();
+    let records = session
+        .run_spec_records_with(&spec, |event| match event {
+            OrchestrationEvent::RangeAssigned { worker: 1, .. } if !stopped => {
+                stopped = true;
+                let status = std::process::Command::new("kill")
+                    .args(["-STOP", &pid])
+                    .status()
+                    .expect("run kill -STOP");
+                assert!(status.success(), "SIGSTOP worker 1");
+            }
+            OrchestrationEvent::RangeSpeculated { lo, hi, .. } => speculated.push((lo, hi)),
+            _ => {}
+        })
+        .expect("orchestrated run routes around the stalled worker");
+    assert!(stopped, "worker 1 was never assigned a range");
+    assert_eq!(
+        speculated,
+        vec![(4, 8)],
+        "the stalled range must be re-dispatched exactly once"
+    );
+    assert_eq!(records, expected, "merge diverges across speculation");
+    // Resume the stalled worker so it notices its closed socket and exits,
+    // then shut the survivor down.
+    let status = std::process::Command::new("kill")
+        .args(["-CONT", &pid])
+        .status()
+        .expect("run kill -CONT");
+    assert!(status.success(), "SIGCONT worker 1");
+    session.shutdown().expect("worker shutdown");
+    victim.wait().expect("reap stalled worker");
+}
+
+#[test]
+fn duplicated_worker_frames_merge_byte_identically() {
+    let spec = fault_spec();
+    let campaign = Campaign::parallel();
+    let expected = spec
+        .run_range_records(&campaign, 0, spec.trials)
+        .expect("local run");
+
+    // Duplicate 90% of worker frames (records and range_done alike; the
+    // hello is protected by the default grace frame). The coordinator's
+    // expected-trial cursor and completed-range set must swallow every
+    // replay without a trace in the merged stream.
+    let mut plan = FaultPlan::new(0xD0D0);
+    plan.duplicate = 0.9;
+    let mut session = Orchestrator::new(Scale::Quick, worker_command())
+        .workers(2)
+        .chunk(2)
+        .worker_faults(plan)
+        .respawn_budget(0)
+        .start()
+        .expect("spawn orchestration workers");
+    let records = session
+        .run_spec_records(&spec)
+        .expect("duplicated frames must be idempotent");
+    session.shutdown().expect("worker shutdown");
+    assert_eq!(records, expected, "merge diverges under duplicated frames");
+}
+
+#[test]
 fn worker_error_frames_exhaust_the_pool_without_hanging_shutdown() {
     // A spec whose id resolves locally but not in the workers' registry:
     // every worker answers its run frame with an in-protocol error frame and
@@ -175,7 +320,14 @@ fn worker_error_frames_exhaust_the_pool_without_hanging_shutdown() {
     let mut spec = fault_spec();
     spec.tag = "no-such-tag".to_string();
 
-    let mut session = start_session(2);
+    // With the default respawn budget the coordinator would replace the
+    // erroring workers (which then error again); pin it to zero so the pool
+    // drains exactly once.
+    let mut session = Orchestrator::new(Scale::Quick, worker_command())
+        .workers(2)
+        .respawn_budget(0)
+        .start()
+        .expect("spawn orchestration workers");
     let mut lost = 0usize;
     let err = session
         .run_spec_records_with(&spec, |event| {
