@@ -28,9 +28,11 @@ mod fnv;
 mod hamming;
 mod json;
 mod lower_bound;
+mod lz;
 mod product;
 mod stats;
 mod talagrand;
+mod varint;
 mod zsets;
 
 pub use crc::{crc32, Crc32, CRC32_TABLE};
@@ -41,11 +43,13 @@ pub use lower_bound::{
     alpha, inequality_three_rhs, paper_constant, per_window_failure, success_probability,
     window_bound,
 };
+pub use lz::{lz_compress, lz_decompress, MIN_MATCH, WINDOW};
 pub use product::ProductDistribution;
 pub use stats::{
     exponential_fit, linear_fit, ExponentialFit, Histogram, HistogramBucket, LinearFit, Summary,
 };
 pub use talagrand::{check_talagrand, eta, talagrand_bound, tau, worst_case_ratio, TalagrandCheck};
+pub use varint::{read_varint, write_varint, zigzag_decode, zigzag_encode, MAX_VARINT_LEN};
 pub use zsets::{
     AbstractConfig, AbstractState, LevelSeparation, MiniResetTolerantKernel, ProductKernel,
     TransitionKernel, UniformWindow, ZSetAnalysis,

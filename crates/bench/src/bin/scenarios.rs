@@ -38,6 +38,14 @@
 //!                      silent twice this long is dropped and respawned
 //!   --respawn-budget <N>  with --workers: how many replacement workers the
 //!                      session may spawn after losses (default 2)
+//!   --batch-records <N>  with --workers: records per columnar block frame
+//!                      (default 256; 1 = one-record blocks, 0 = legacy
+//!                      per-trial JSON frames) — output is byte-identical
+//!                      at every setting
+//!   --compress         with --workers: pass each block's columnar body
+//!                      through the std-only LZ codec (off by default: on a
+//!                      localhost wire the bytes are cheaper than the
+//!                      cycles)
 //!   --chaos <SPEC>     with --workers: deterministic fault injection on
 //!                      every worker connection, e.g.
 //!                      `seed=7,drop=0.01,dup=0.03,flip=0.005,trunc=0.003,\
@@ -83,6 +91,8 @@ struct Options {
     recv_timeout: Option<u64>,
     respawn_budget: Option<u32>,
     chaos: Option<String>,
+    batch_records: Option<u64>,
+    compress: bool,
     worker: bool,
     connect: Option<String>,
 }
@@ -105,6 +115,8 @@ fn parse_options() -> Options {
         recv_timeout: None,
         respawn_budget: None,
         chaos: None,
+        batch_records: None,
+        compress: false,
         worker: false,
         connect: None,
     };
@@ -132,6 +144,10 @@ fn parse_options() -> Options {
                 options.respawn_budget = Some(parsed_value(&mut args, "--respawn-budget"))
             }
             "--chaos" => options.chaos = Some(required_value(&mut args, "--chaos")),
+            "--batch-records" => {
+                options.batch_records = Some(parsed_value(&mut args, "--batch-records"))
+            }
+            "--compress" => options.compress = true,
             "--worker" => options.worker = true,
             "--connect" => options.connect = Some(required_value(&mut args, "--connect")),
             "--scale" => {
@@ -153,7 +169,8 @@ fn parse_options() -> Options {
                      \x20                [--json PATH] [--csv PATH] [--jsonl PATH] [--check PATH]\n\
                      \x20                [--replay PATH]\n\
                      \x20                [--workers N [--checkpoint PATH] [--recv-timeout S]\n\
-                     \x20                 [--respawn-budget N] [--chaos SPEC]]\n\
+                     \x20                 [--respawn-budget N] [--chaos SPEC]\n\
+                     \x20                 [--batch-records N] [--compress]]\n\
                      Runs every registered protocol × adversary × inputs × size combination."
                 );
                 std::process::exit(0);
@@ -350,6 +367,10 @@ fn main() {
             if let Some(budget) = options.respawn_budget {
                 orchestrator = orchestrator.respawn_budget(budget);
             }
+            if let Some(batch) = options.batch_records {
+                orchestrator = orchestrator.batch_records(batch);
+            }
+            orchestrator = orchestrator.compress(options.compress);
             if let Some(spec) = &options.chaos {
                 match FaultPlan::parse(spec) {
                     Ok(plan) => orchestrator = orchestrator.worker_faults(plan),
@@ -373,6 +394,8 @@ fn main() {
                 (options.recv_timeout.is_some(), "--recv-timeout"),
                 (options.respawn_budget.is_some(), "--respawn-budget"),
                 (options.chaos.is_some(), "--chaos"),
+                (options.batch_records.is_some(), "--batch-records"),
+                (options.compress, "--compress"),
             ] {
                 if set {
                     eprintln!("{flag} requires --workers");

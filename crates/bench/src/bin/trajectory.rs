@@ -103,7 +103,7 @@ fn check_document(path: &Path) -> Result<usize, String> {
 
 /// Every case name an entry may carry. Kept here (not derived from a live
 /// measurement) so `--check` works without running benchmarks.
-fn workloads_superset() -> [&'static str; 8] {
+fn workloads_superset() -> [&'static str; 9] {
     [
         "windowed/reset_tolerant/split_vote/13",
         "windowed/reset_tolerant/full_delivery/25",
@@ -111,6 +111,7 @@ fn workloads_superset() -> [&'static str; 8] {
         "partial_sync/ben_or/eventual/8",
         "async/sampled_committee/fair/1000",
         "search/window_fuzz/64",
+        "codec/record_block/encode+decode",
         "orchestrated/split_vote/13/w2",
         "orchestrated/subquad_fair/1000/w2",
     ]

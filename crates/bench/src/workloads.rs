@@ -26,14 +26,16 @@ use crate::baseline::Baseline;
 use crate::harness::BenchGroup;
 
 use agreement_adversary::SplitVoteAdversary;
+use agreement_core::block::{decode_block, encode_block};
 use agreement_core::experiments::Scale;
 use agreement_core::orchestrate::Orchestrator;
-use agreement_core::{scenario_registry, Campaign, ScenarioSpec, TrialPlan};
+use agreement_core::{scenario_registry, Campaign, ScenarioSpec, TrialPlan, TrialRecord};
 use agreement_model::{Bit, InputAssignment, SystemConfig};
 use agreement_protocols::{BenOrBuilder, ResetTolerantBuilder, SampledCommitteeBuilder};
 use agreement_search::{run_search, SearchConfig};
 use agreement_sim::{
-    BenignEventualAdversary, BuiltAdversary, FairAsyncAdversary, FullDeliveryAdversary, RunLimits,
+    BenignEventualAdversary, BuiltAdversary, FairAsyncAdversary, FullDeliveryAdversary, Metrics,
+    RunLimits,
 };
 
 /// Fractional slowdown tolerated before a measurement is flagged (loose: the
@@ -143,6 +145,51 @@ pub fn search_window_fuzz(budget: u64) -> f64 {
     stats.throughput() * budget as f64
 }
 
+/// The wire codec alone: one campaign-shaped batch of `count` records
+/// through columnar encode → decode twice per iteration, once raw and once
+/// through the LZ codec — the exact per-block work a streaming worker and
+/// the coordinator's forwarder split between them. Throughput is records
+/// through the codec per second.
+pub fn codec_record_block(count: u64) -> f64 {
+    let records: Vec<TrialRecord> = (0..count)
+        .map(|t| TrialRecord {
+            trial: t,
+            seed: 0x5EED + t,
+            agreement: true,
+            validity: true,
+            terminated: true,
+            violations: 0,
+            halted: false,
+            decided: Some(Bit::One),
+            first_decision_at: Some(10 + t % 7),
+            all_decided_at: Some(12 + t % 7),
+            duration: 12 + t % 7,
+            longest_chain: 3,
+            metrics: Metrics {
+                messages_sent: 400 + t % 13,
+                messages_delivered: 390 + t % 13,
+                messages_dropped: 10,
+                rounds: 4,
+                windows: 12 + t % 7,
+                steps: 0,
+                resets_consumed: 1,
+                crashes: 0,
+                coin_flips: 60 + t % 5,
+                max_chain: 3,
+            },
+        })
+        .collect();
+    let stats = group().bench(format!("codec/record_block/encode+decode/{count}"), || {
+        let raw = encode_block(7, &records, false);
+        let (_, decoded) = decode_block(&raw).expect("raw block decodes");
+        let packed = encode_block(7, &records, true);
+        let (_, redecoded) = decode_block(&packed).expect("compressed block decodes");
+        assert_eq!(decoded.len() + redecoded.len(), 2 * records.len());
+        (raw.len(), packed.len())
+    });
+    stats.throughput() * (2 * count) as f64
+}
+
 /// Pulls a registry spec by id substring and pins its trial count to the
 /// bench's per-iteration budget.
 fn registry_spec(id_contains: &str) -> ScenarioSpec {
@@ -212,6 +259,7 @@ pub fn measure_all(worker_cmd: Option<&[String]>) -> Baseline {
         async_sampled_committee(1_000),
     );
     measured.set("search/window_fuzz/64", search_window_fuzz(64));
+    measured.set("codec/record_block/encode+decode", codec_record_block(256));
     if let Some(cmd) = worker_cmd {
         measured.set(
             "orchestrated/split_vote/13/w2",

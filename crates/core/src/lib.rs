@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod block;
 pub mod experiments;
 pub mod orchestrate;
 pub mod record;

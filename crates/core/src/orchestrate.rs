@@ -7,29 +7,44 @@
 //! coordinator ([`Orchestrator`] → [`Session`]) shards the trial range
 //! `0..trials` into contiguous slot ranges, dispatches them to worker
 //! processes over the framed TCP transport of `agreement_net::transport`,
-//! and workers stream one [`TrialRecord`] frame per trial back for a
-//! slot-ordered merge. Because trial `t` runs identically wherever it is
-//! executed (its seed is `base_seed + t`, its workspace leaks no state), the
-//! merged record stream — and therefore every report sink's output — is
-//! **byte-identical to a single-process run** of the same spec. That is the
-//! invariant the whole workspace has preserved across thread counts since
-//! PR 1, extended across process boundaries.
+//! and workers stream the [`TrialRecord`]s back — batched into columnar
+//! block frames (see [`crate::block`]) by default, one JSON frame per trial
+//! on the legacy path — for a slot-ordered merge. Because trial `t` runs
+//! identically wherever it is executed (its seed is `base_seed + t`, its
+//! workspace leaks no state), the merged record stream — and therefore every
+//! report sink's output — is **byte-identical to a single-process run** of
+//! the same spec, across worker counts, batch sizes, and compression
+//! settings. That is the invariant the whole workspace has preserved across
+//! thread counts since PR 1, extended across process boundaries.
 //!
 //! # Protocol
 //!
-//! One JSON object per length-prefixed frame, coordinator-initiated:
+//! Length-prefixed frames, coordinator-initiated. A frame whose first byte
+//! is `{` is one JSON object; one whose first byte is
+//! [`BLOCK_MAGIC`](crate::block::BLOCK_MAGIC) is a binary record block:
 //!
 //! ```text
-//! worker → coordinator   {"type":"hello","pid":P}
+//! worker → coordinator   {"type":"hello","pid":P,"proto":2}
 //! coordinator → worker   {"type":"run","job":J,"scenario":ID,"scale":S,
 //!                         "trials":T,"base_seed":B,"max_windows":W,
-//!                         "max_steps":X,"lo":L,"hi":H}
-//! worker → coordinator   {"type":"record","job":J,"record":{...}}   × (H-L)
+//!                         "max_steps":X,"lo":L,"hi":H,
+//!                         "batch":N,"compress":C}
+//! worker → coordinator   <block: J, ≤N records>        × ceil((H-L)/N)
 //! worker → coordinator   {"type":"range_done","job":J,"lo":L,"hi":H,
 //!                         "count":H-L}
 //! worker → coordinator   {"type":"error","job":J,"message":M}
 //! coordinator → worker   {"type":"shutdown"}
 //! ```
+//!
+//! **Version negotiation** rides on the hello: a worker advertising
+//! `"proto":2` (or higher) understands `batch`/`compress` and ships blocks;
+//! a legacy hello without the field pins that worker to protocol 1 — the
+//! coordinator omits the new `run` fields (a v1 worker would choke on
+//! nothing, but nor would it batch) and accepts its one-JSON-frame-per-trial
+//! `{"type":"record",...}` stream exactly as before. Both frame kinds may
+//! mix freely across workers of one session; `batch` of 0 (or
+//! [`Orchestrator::batch_records`]`(0)`) forces the legacy stream even from
+//! v2 workers.
 //!
 //! Workers resolve the scenario **by registry id** at the given scale and
 //! apply the trials/seed/limits carried on the wire, so both sides agree on
@@ -67,11 +82,13 @@
 //!
 //! With a checkpoint path configured, every completed range is appended to a
 //! JSONL file *with its records embedded*, each line wrapped with a CRC32 of
-//! its body. A restarted coordinator loads the file, skips (and logs)
-//! damaged lines instead of trusting or dying on them, compacts the file via
-//! an atomic tmp+rename when damage was found, dispatches only the missing
-//! sub-ranges, and merges checkpointed and fresh ranges into the same
-//! byte-identical stream.
+//! its body. Appends are coalesced: the session holds one open
+//! [`CheckpointWriter`] and each completed range costs a single preformatted
+//! `write` — not an open/format/flush cycle per line. A restarted
+//! coordinator loads the file, skips (and logs) damaged lines instead of
+//! trusting or dying on them, compacts the file via an atomic tmp+rename
+//! when damage was found, dispatches only the missing sub-ranges, and merges
+//! checkpointed and fresh ranges into the same byte-identical stream.
 
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
@@ -91,6 +108,7 @@ use agreement_net::transport::{
 };
 use agreement_sim::RunLimits;
 
+use crate::block::{decode_block, encode_block, is_block_frame};
 use crate::experiments::Scale;
 use crate::record::TrialRecord;
 use crate::runner::Campaign;
@@ -112,6 +130,21 @@ const SHUTDOWN_DEADLINE: Duration = Duration::from_secs(30);
 /// Default number of worker respawns a session may perform (override with
 /// [`Orchestrator::respawn_budget`]).
 const DEFAULT_RESPAWN_BUDGET: u32 = 2;
+
+/// The protocol version this coordinator (and its bundled worker) speaks.
+/// Version 2 added columnar block frames and the `batch`/`compress` run
+/// fields; version 1 peers are still served with per-trial JSON records.
+const PROTO_VERSION: u64 = 2;
+
+/// Default records per block frame (override with
+/// [`Orchestrator::batch_records`]). Big enough that framing and wakeups
+/// amortize away, small enough that the coordinator sees steady liveness
+/// signals from a working worker.
+pub const DEFAULT_BATCH_RECORDS: u64 = 256;
+
+/// Worker-side clamp on the batch size: a block of this many worst-case
+/// records still fits the transport's 64 MiB frame cap.
+const MAX_BATCH_RECORDS: u64 = 65_536;
 
 /// Base of the respawn exponential backoff: attempt `k` waits
 /// `RESPAWN_BACKOFF_BASE · 2^k` (capped) plus seeded jitter.
@@ -341,21 +374,57 @@ pub fn read_checkpoint(path: &Path) -> Result<Vec<CheckpointEntry>, OrchestrateE
     Ok(read_checkpoint_lossy(path)?.0)
 }
 
-/// Appends one entry to a checkpoint file (creating it if needed), flushed
-/// before returning so a subsequent crash cannot lose the range. Each line
-/// carries a CRC32 of its body, so later damage is detected on read.
+/// An open checkpoint file accepting coalesced appends: one CRC'd line per
+/// completed range, written with a **single** `write` syscall each. The
+/// one-shot [`append_checkpoint`] pays an open + format + write per call;
+/// a [`Session`] instead keeps one of these for the whole run, which is what
+/// makes per-range checkpointing cheap on large campaigns.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: std::fs::File,
+}
+
+impl CheckpointWriter {
+    /// Opens `path` for appending, creating it if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors.
+    pub fn open(path: &Path) -> Result<Self, OrchestrateError> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(CheckpointWriter { file })
+    }
+
+    /// Appends one entry as a single newline-terminated write, so a crash
+    /// between calls can tear at most the final line — the shape
+    /// [`read_checkpoint_lossy`] already tolerates. `File::write_all` on an
+    /// append-mode descriptor needs no explicit flush: the data is in the
+    /// kernel when this returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors.
+    pub fn append(&mut self, entry: &CheckpointEntry) -> Result<(), OrchestrateError> {
+        let mut line = checkpoint_line(entry);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        Ok(())
+    }
+}
+
+/// Appends one entry to a checkpoint file (creating it if needed) — the
+/// one-shot form of [`CheckpointWriter`] for callers (and tests) seeding a
+/// file outside a session. Each line carries a CRC32 of its body, so later
+/// damage is detected on read.
 ///
 /// # Errors
 ///
 /// Propagates file I/O errors.
 pub fn append_checkpoint(path: &Path, entry: &CheckpointEntry) -> Result<(), OrchestrateError> {
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)?;
-    writeln!(file, "{}", checkpoint_line(entry))?;
-    file.flush()?;
-    Ok(())
+    CheckpointWriter::open(path)?.append(entry)
 }
 
 /// Rewrites a checkpoint file to hold exactly `entries`, atomically: the new
@@ -521,9 +590,11 @@ pub enum OrchestrationEvent {
 
 /// What a worker forwarder delivers into the coordinator's shared inbox.
 enum Delivery {
-    /// A parsed frame.
+    /// A parsed JSON frame.
     Frame(JsonValue),
-    /// A frame that was not valid JSON.
+    /// A decoded record block: the job id and its batch of records.
+    Block(u64, Vec<TrialRecord>),
+    /// A frame that was not valid JSON / not a decodable block.
     Malformed(String),
     /// The connection died on damaged bytes (CRC mismatch, torn frame) —
     /// the reason recorded by the transport's reader.
@@ -535,6 +606,9 @@ enum Delivery {
 struct WorkerHandle {
     conn: Arc<Connection>,
     pid: u64,
+    /// Protocol version from the worker's hello (1 when unstated): gates
+    /// whether run frames carry `batch`/`compress`.
+    proto: u64,
     alive: bool,
     forwarder: Option<JoinHandle<()>>,
 }
@@ -551,7 +625,9 @@ struct Inflight {
 
 /// Spawns the thread that pumps one worker connection into the shared inbox,
 /// translating the close reason: recorded read damage becomes
-/// [`Delivery::Corrupt`], a clean hangup becomes [`Delivery::Gone`].
+/// [`Delivery::Corrupt`], a clean hangup becomes [`Delivery::Gone`]. Frames
+/// are decoded here — JSON parsing and block decompression both — so the
+/// dispatch thread only ever handles ready deliveries.
 fn spawn_forwarder(
     conn: &Arc<Connection>,
     index: usize,
@@ -561,9 +637,19 @@ fn spawn_forwarder(
     std::thread::spawn(move || loop {
         match conn.recv() {
             Some(frame) => {
-                let delivery = match parse_frame(&frame) {
-                    Ok(msg) => Delivery::Frame(msg),
-                    Err(err) => Delivery::Malformed(err),
+                let delivery = if is_block_frame(&frame) {
+                    // The frame CRC already vouched for these bytes, so a
+                    // decode failure here is a protocol bug, not line noise —
+                    // but it still only costs this one worker.
+                    match decode_block(&frame) {
+                        Ok((job, records)) => Delivery::Block(job, records),
+                        Err(err) => Delivery::Malformed(format!("undecodable block: {err}")),
+                    }
+                } else {
+                    match parse_frame(&frame) {
+                        Ok(msg) => Delivery::Frame(msg),
+                        Err(err) => Delivery::Malformed(err),
+                    }
                 };
                 if tx.send((index, delivery)).is_err() {
                     return;
@@ -594,6 +680,8 @@ pub struct Orchestrator {
     recv_timeout: Duration,
     respawn_budget: u32,
     worker_faults: Option<FaultPlan>,
+    batch: u64,
+    compress: bool,
 }
 
 impl Orchestrator {
@@ -614,7 +702,28 @@ impl Orchestrator {
             recv_timeout: DEFAULT_RECV_TIMEOUT,
             respawn_budget: DEFAULT_RESPAWN_BUDGET,
             worker_faults: None,
+            batch: DEFAULT_BATCH_RECORDS,
+            compress: false,
         }
+    }
+
+    /// Sets how many records workers pack per block frame (default
+    /// [`DEFAULT_BATCH_RECORDS`]). `0` disables batching entirely and falls
+    /// back to the protocol-1 one-JSON-frame-per-trial stream; `1` ships
+    /// degenerate single-record blocks (useful to isolate framing cost).
+    /// Only protocol-2 workers batch either way.
+    pub fn batch_records(mut self, batch: u64) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Passes each block's columnar body through the std-only LZ codec
+    /// (default off: on a localhost wire the bytes are cheaper than the
+    /// cycles, see DESIGN.md; turn it on when workers cross a real network).
+    /// No effect on the legacy per-trial stream.
+    pub fn compress(mut self, compress: bool) -> Self {
+        self.compress = compress;
+        self
     }
 
     /// Sets the worker-process count (default 2; clamped to at least 1).
@@ -692,12 +801,13 @@ impl Orchestrator {
         let mut workers = Vec::with_capacity(children.len());
         for index in 0..children.len() {
             let conn = listener.accept_deadline(deadline)?;
-            let pid = read_hello(&conn, deadline, index)?;
+            let (pid, proto) = read_hello(&conn, deadline, index)?;
             let conn = Arc::new(conn);
             let forwarder = spawn_forwarder(&conn, index, inbox_tx.clone());
             workers.push(WorkerHandle {
                 conn,
                 pid,
+                proto,
                 alive: true,
                 forwarder: Some(forwarder),
             });
@@ -728,6 +838,9 @@ impl Orchestrator {
             inbox_tx,
             next_job: 0,
             retired_jobs: BTreeSet::new(),
+            batch: self.batch,
+            compress: self.compress,
+            checkpoint_writer: None,
         })
     }
 }
@@ -756,8 +869,15 @@ fn spawn_worker(
     cmd.spawn()
 }
 
-/// Receives and validates a worker's hello frame, returning its pid.
-fn read_hello(conn: &Connection, deadline: Instant, index: usize) -> Result<u64, OrchestrateError> {
+/// Receives and validates a worker's hello frame, returning its pid and
+/// protocol version. A hello without a `proto` field is a protocol-1 worker
+/// — the shape every worker sent before block frames existed — and keeps the
+/// per-trial record stream.
+fn read_hello(
+    conn: &Connection,
+    deadline: Instant,
+    index: usize,
+) -> Result<(u64, u64), OrchestrateError> {
     let hello = conn.recv_deadline(deadline).map_err(|err| {
         OrchestrateError::Protocol(format!("worker {index} sent no hello: {err:?}"))
     })?;
@@ -767,7 +887,9 @@ fn read_hello(conn: &Connection, deadline: Instant, index: usize) -> Result<u64,
             "worker {index}'s first frame was not a hello"
         )));
     }
-    int_field(&hello, "pid").map_err(OrchestrateError::Protocol)
+    let pid = int_field(&hello, "pid").map_err(OrchestrateError::Protocol)?;
+    let proto = int_field(&hello, "proto").unwrap_or(1);
+    Ok((pid, proto))
 }
 
 fn parse_frame(frame: &[u8]) -> Result<JsonValue, String> {
@@ -809,6 +931,12 @@ pub struct Session {
     // `range_done` of one spec poisons the next spec's run on the same
     // session.
     retired_jobs: BTreeSet<u64>,
+    batch: u64,
+    compress: bool,
+    // One open handle for coalesced checkpoint appends, (re)opened per spec
+    // run *after* any resume compaction (a rename would orphan the handle's
+    // inode and lose every subsequent append).
+    checkpoint_writer: Option<CheckpointWriter>,
 }
 
 impl Session {
@@ -877,7 +1005,11 @@ impl Session {
         let id = spec.id();
 
         // Restore checkpointed ranges for this exact workload; damage found
-        // in the file is shed once via an atomic compaction.
+        // in the file is shed once via an atomic compaction. The coalescing
+        // writer from any previous spec run is closed first: compaction
+        // renames a fresh file over the path, which would silently orphan an
+        // open append handle.
+        self.checkpoint_writer = None;
         let mut done: Vec<(u64, u64, Vec<TrialRecord>)> = Vec::new();
         let mut completed: BTreeSet<(u64, u64)> = BTreeSet::new();
         if let Some(path) = self.checkpoint.clone() {
@@ -905,6 +1037,7 @@ impl Session {
                     }
                 }
             }
+            self.checkpoint_writer = Some(CheckpointWriter::open(&path)?);
         }
 
         let restored: Vec<(u64, u64)> = done.iter().map(|&(lo, hi, _)| (lo, hi)).collect();
@@ -916,6 +1049,8 @@ impl Session {
         let mut pending = chunk_ranges(&missing_ranges(total, &restored), chunk);
         let mut inflight: Vec<Option<Inflight>> = (0..self.workers.len()).map(|_| None).collect();
         let mut last_heard: Vec<Instant> = vec![Instant::now(); self.workers.len()];
+        // Reused drain buffer: one wakeup consumes every queued delivery.
+        let mut drained: Vec<(usize, Delivery)> = Vec::new();
 
         let outcome = loop {
             // Replace lost capacity when the budget allows: schedule (or
@@ -969,6 +1104,13 @@ impl Session {
                     .push("max_steps", spec.limits.max_steps)
                     .push("lo", lo)
                     .push("hi", hi);
+                // Only a protocol-2 worker understands block streaming; a
+                // legacy worker gets the bare v1 frame and answers with
+                // per-trial records, which the dispatch loop still accepts.
+                if self.workers[index].proto >= 2 && self.batch > 0 {
+                    run.push("batch", self.batch.min(MAX_BATCH_RECORDS))
+                        .push("compress", self.compress);
+                }
                 if self.workers[index]
                     .conn
                     .send(run.to_string().into_bytes())
@@ -1020,29 +1162,76 @@ impl Session {
                 deadline = deadline.min(due);
             }
 
-            match self.inbox.recv_deadline(deadline) {
-                Ok((index, delivery)) => {
-                    last_heard[index] = Instant::now();
-                    if !self.workers[index].alive {
-                        // Residue from a worker already written off.
-                        continue;
-                    }
-                    match delivery {
-                        Delivery::Frame(msg) => {
-                            if let Err(reason) = handle_frame(FrameContext {
-                                msg: &msg,
-                                index,
-                                inflight: &mut inflight,
-                                done: &mut done,
-                                completed: &mut completed,
-                                covered: &mut covered,
-                                retired: &mut self.retired_jobs,
-                                checkpoint: self.checkpoint.as_deref(),
-                                scenario: &id,
-                                base_seed: spec.base_seed,
-                                trials: total,
-                                on_event: &mut on_event,
-                            })? {
+            match self.inbox.recv_many_deadline(&mut drained, deadline) {
+                Ok(_) => {
+                    // One wakeup, every queued delivery: the drain processes
+                    // a burst of frames (typical with block-streaming
+                    // workers) in a single pass instead of a lock/wake cycle
+                    // per frame.
+                    for (index, delivery) in drained.drain(..) {
+                        last_heard[index] = Instant::now();
+                        if !self.workers[index].alive {
+                            // Residue from a worker already written off —
+                            // possibly earlier in this same batch.
+                            continue;
+                        }
+                        match delivery {
+                            Delivery::Frame(msg) => {
+                                if let Err(reason) = handle_frame(
+                                    &msg,
+                                    FrameContext {
+                                        index,
+                                        inflight: &mut inflight,
+                                        done: &mut done,
+                                        completed: &mut completed,
+                                        covered: &mut covered,
+                                        retired: &mut self.retired_jobs,
+                                        checkpoint: self.checkpoint_writer.as_mut(),
+                                        scenario: &id,
+                                        base_seed: spec.base_seed,
+                                        trials: total,
+                                        on_event: &mut on_event,
+                                    },
+                                )? {
+                                    self.lose_worker(
+                                        index,
+                                        &mut inflight,
+                                        &mut pending,
+                                        &completed,
+                                        &mut on_event,
+                                    );
+                                    eprintln!("orchestrate: worker {index} dropped: {reason}");
+                                }
+                            }
+                            Delivery::Block(job, records) => {
+                                if let Err(reason) = handle_block(
+                                    job,
+                                    records,
+                                    FrameContext {
+                                        index,
+                                        inflight: &mut inflight,
+                                        done: &mut done,
+                                        completed: &mut completed,
+                                        covered: &mut covered,
+                                        retired: &mut self.retired_jobs,
+                                        checkpoint: self.checkpoint_writer.as_mut(),
+                                        scenario: &id,
+                                        base_seed: spec.base_seed,
+                                        trials: total,
+                                        on_event: &mut on_event,
+                                    },
+                                ) {
+                                    self.lose_worker(
+                                        index,
+                                        &mut inflight,
+                                        &mut pending,
+                                        &completed,
+                                        &mut on_event,
+                                    );
+                                    eprintln!("orchestrate: worker {index} dropped: {reason}");
+                                }
+                            }
+                            Delivery::Malformed(err) => {
                                 self.lose_worker(
                                     index,
                                     &mut inflight,
@@ -1050,39 +1239,31 @@ impl Session {
                                     &completed,
                                     &mut on_event,
                                 );
-                                eprintln!("orchestrate: worker {index} dropped: {reason}");
+                                eprintln!(
+                                    "orchestrate: worker {index} sent a malformed frame: {err}"
+                                );
                             }
-                        }
-                        Delivery::Malformed(err) => {
-                            self.lose_worker(
-                                index,
-                                &mut inflight,
-                                &mut pending,
-                                &completed,
-                                &mut on_event,
-                            );
-                            eprintln!("orchestrate: worker {index} sent a malformed frame: {err}");
-                        }
-                        Delivery::Corrupt(fault) => {
-                            self.lose_worker(
-                                index,
-                                &mut inflight,
-                                &mut pending,
-                                &completed,
-                                &mut on_event,
-                            );
-                            eprintln!(
-                                "orchestrate: worker {index} dropped on frame damage: {fault}"
-                            );
-                        }
-                        Delivery::Gone => {
-                            self.lose_worker(
-                                index,
-                                &mut inflight,
-                                &mut pending,
-                                &completed,
-                                &mut on_event,
-                            );
+                            Delivery::Corrupt(fault) => {
+                                self.lose_worker(
+                                    index,
+                                    &mut inflight,
+                                    &mut pending,
+                                    &completed,
+                                    &mut on_event,
+                                );
+                                eprintln!(
+                                    "orchestrate: worker {index} dropped on frame damage: {fault}"
+                                );
+                            }
+                            Delivery::Gone => {
+                                self.lose_worker(
+                                    index,
+                                    &mut inflight,
+                                    &mut pending,
+                                    &completed,
+                                    &mut on_event,
+                                );
+                            }
                         }
                     }
                 }
@@ -1188,12 +1369,13 @@ impl Session {
         let deadline = Instant::now() + RESPAWN_ACCEPT_DEADLINE;
         let index = self.workers.len();
         let conn = self.listener.accept_deadline(deadline)?;
-        let pid = read_hello(&conn, deadline, index)?;
+        let (pid, proto) = read_hello(&conn, deadline, index)?;
         let conn = Arc::new(conn);
         let forwarder = spawn_forwarder(&conn, index, self.inbox_tx.clone());
         self.workers.push(WorkerHandle {
             conn,
             pid,
+            proto,
             alive: true,
             forwarder: Some(forwarder),
         });
@@ -1316,7 +1498,6 @@ impl Drop for Session {
 /// Everything one worker frame is handled against — bundled so the dispatch
 /// loop hands over one coherent view of the run.
 struct FrameContext<'a, F: FnMut(OrchestrationEvent)> {
-    msg: &'a JsonValue,
     index: usize,
     inflight: &'a mut [Option<Inflight>],
     done: &'a mut Vec<(u64, u64, Vec<TrialRecord>)>,
@@ -1328,7 +1509,7 @@ struct FrameContext<'a, F: FnMut(OrchestrationEvent)> {
     /// Session-wide set of settled job ids; late duplicates of their frames
     /// are discarded instead of read as protocol violations.
     retired: &'a mut BTreeSet<u64>,
-    checkpoint: Option<&'a Path>,
+    checkpoint: Option<&'a mut CheckpointWriter>,
     scenario: &'a str,
     base_seed: u64,
     trials: u64,
@@ -1345,10 +1526,10 @@ struct FrameContext<'a, F: FnMut(OrchestrationEvent)> {
 /// re-dispatch) is discarded without touching the merge. Everything else —
 /// gaps, mismatches, unparseable records — drops the worker.
 fn handle_frame<F: FnMut(OrchestrationEvent)>(
+    msg: &JsonValue,
     ctx: FrameContext<'_, F>,
 ) -> Result<Result<(), String>, OrchestrateError> {
     let FrameContext {
-        msg,
         index,
         inflight,
         done,
@@ -1454,18 +1635,17 @@ fn handle_frame<F: FnMut(OrchestrationEvent)>(
                 // range is already merged; free the worker and move on.
                 return Ok(Ok(()));
             }
-            if let Some(path) = checkpoint {
-                append_checkpoint(
-                    path,
-                    &CheckpointEntry {
-                        scenario: scenario.to_string(),
-                        base_seed,
-                        trials,
-                        lo: current.lo,
-                        hi: current.hi,
-                        records: current.records.clone(),
-                    },
-                )?;
+            if let Some(writer) = checkpoint {
+                // Coalesced: the whole completed range lands as one write on
+                // the session's open handle.
+                writer.append(&CheckpointEntry {
+                    scenario: scenario.to_string(),
+                    base_seed,
+                    trials,
+                    lo: current.lo,
+                    hi: current.hi,
+                    records: current.records.clone(),
+                })?;
             }
             completed.insert((current.lo, current.hi));
             *covered += current.hi - current.lo;
@@ -1483,6 +1663,61 @@ fn handle_frame<F: FnMut(OrchestrationEvent)>(
         }
         other => Ok(Err(format!("unexpected frame type '{other}'"))),
     }
+}
+
+/// Handles one decoded record block inside the dispatch loop: the batched
+/// equivalent of the `"record"` arm of [`handle_frame`], with the same
+/// idempotence rules applied per record. Returns `Err(reason)` when the
+/// worker must be dropped.
+///
+/// A block re-delivering trials the range already holds (a duplicated frame)
+/// skips them record by record — a deterministic re-run is identical, so
+/// there is nothing to compare — while a gap or an overrun past the assigned
+/// range is unrecoverable for this worker and re-runs the range elsewhere.
+fn handle_block<F: FnMut(OrchestrationEvent)>(
+    job: u64,
+    records: Vec<TrialRecord>,
+    ctx: FrameContext<'_, F>,
+) -> Result<(), String> {
+    let FrameContext {
+        index,
+        inflight,
+        retired,
+        ..
+    } = ctx;
+    let Some(current) = inflight[index].as_mut() else {
+        if retired.contains(&job) {
+            // A duplicated late copy of a settled job's block.
+            return Ok(());
+        }
+        return Err("block frame outside any assigned range".into());
+    };
+    if job != current.job {
+        if retired.contains(&job) {
+            return Ok(());
+        }
+        return Err("block frame for a stale job".into());
+    }
+    for record in records {
+        let expected = current.lo + current.records.len() as u64;
+        if record.trial < expected {
+            continue;
+        }
+        if record.trial > expected {
+            return Err(format!(
+                "record gap: expected trial {expected}, got {}",
+                record.trial
+            ));
+        }
+        if expected >= current.hi {
+            return Err(format!(
+                "block overflows the assigned range {}..{}",
+                current.lo, current.hi
+            ));
+        }
+        current.records.push(record);
+    }
+    Ok(())
 }
 
 /// The worker half: connects back to the coordinator, executes the ranges it
@@ -1516,7 +1751,8 @@ pub mod worker {
         let mut hello = JsonValue::object();
         hello
             .push("type", "hello")
-            .push("pid", std::process::id() as u64);
+            .push("pid", std::process::id() as u64)
+            .push("proto", PROTO_VERSION);
         if conn.send(hello.to_string().into_bytes()).is_err() {
             return Ok(());
         }
@@ -1540,15 +1776,33 @@ pub mod worker {
                         continue;
                     }
                     last_job = Some(job);
+                    // Batch size and compression arrive on the run frame (a
+                    // coordinator only sends them after our proto-2 hello);
+                    // their absence — a protocol-1 coordinator — selects the
+                    // legacy one-JSON-frame-per-trial stream.
+                    let batch =
+                        int_field(&msg, "batch").unwrap_or(0).min(MAX_BATCH_RECORDS) as usize;
+                    let compress = msg
+                        .get("compress")
+                        .and_then(JsonValue::as_bool)
+                        .unwrap_or(false);
                     match execute(&msg, &campaign) {
                         Ok((lo, hi, records)) => {
-                            for record in &records {
-                                let mut out = JsonValue::object();
-                                out.push("type", "record")
-                                    .push("job", job)
-                                    .push("record", record.to_json());
-                                if conn.send(out.to_string().into_bytes()).is_err() {
-                                    return Ok(());
+                            if batch > 0 {
+                                for block in records.chunks(batch) {
+                                    if conn.send(encode_block(job, block, compress)).is_err() {
+                                        return Ok(());
+                                    }
+                                }
+                            } else {
+                                for record in &records {
+                                    let mut out = JsonValue::object();
+                                    out.push("type", "record")
+                                        .push("job", job)
+                                        .push("record", record.to_json());
+                                    if conn.send(out.to_string().into_bytes()).is_err() {
+                                        return Ok(());
+                                    }
                                 }
                             }
                             let mut out = JsonValue::object();

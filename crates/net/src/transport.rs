@@ -304,6 +304,48 @@ impl<T> BoundedReceiver<T> {
         }
     }
 
+    /// Blocks for at least one item until `deadline`, then moves **every
+    /// queued item** into `batch` in one wakeup and returns how many arrived
+    /// — [`BoundedReceiver::recv_many`] with the bounded-wait contract of
+    /// [`BoundedReceiver::recv_deadline`]. A dispatch loop draining its inbox
+    /// with this turns a burst of frames into one pass over the batch.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] when the deadline passes with the queue empty,
+    /// [`RecvError::Disconnected`] when every sender is gone and nothing is
+    /// queued.
+    pub fn recv_many_deadline(
+        &self,
+        batch: &mut Vec<T>,
+        deadline: Instant,
+    ) -> Result<usize, RecvError> {
+        let mut state = self.channel.state.lock().expect("channel poisoned");
+        loop {
+            if !state.items.is_empty() {
+                let count = state.items.len();
+                batch.extend(state.items.drain(..));
+                drop(state);
+                // Every waiting sender can make progress now.
+                self.channel.not_full.notify_all();
+                return Ok(count);
+            }
+            if state.senders == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvError::Timeout);
+            }
+            let (guard, _timeout) = self
+                .channel
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("channel poisoned");
+            state = guard;
+        }
+    }
+
     /// Dequeues an item only if one is already queued.
     ///
     /// # Errors
@@ -871,6 +913,41 @@ mod tests {
         assert_eq!(batch, vec![0, 1, 2, 3, 4]);
         drop(tx);
         assert_eq!(rx.recv_many(&mut batch), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_many_deadline_drains_bursts_and_times_out_when_idle() {
+        let (tx, rx) = bounded::<u32>(16);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        let mut batch = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        assert_eq!(rx.recv_many_deadline(&mut batch, deadline), Ok(4));
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        // Idle queue: the deadline must bound the wait.
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_many_deadline(&mut batch, start + Duration::from_millis(30)),
+            Err(RecvError::Timeout)
+        );
+        assert!(Instant::now() - start >= Duration::from_millis(30));
+        assert_eq!(batch.len(), 4, "a timeout must not disturb the batch");
+        // A sender arriving mid-wait wakes the drain before the deadline.
+        let far = Instant::now() + Duration::from_secs(5);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(9).unwrap();
+            drop(tx);
+        });
+        batch.clear();
+        assert_eq!(rx.recv_many_deadline(&mut batch, far), Ok(1));
+        assert_eq!(batch, vec![9]);
+        producer.join().unwrap();
+        assert_eq!(
+            rx.recv_many_deadline(&mut batch, far),
+            Err(RecvError::Disconnected)
+        );
     }
 
     #[test]

@@ -143,6 +143,72 @@ fn eight_seeded_fault_schedules_with_worker_kills_merge_byte_identically() {
     );
 }
 
+/// Batched + compressed record streams under a hot corruption schedule: the
+/// block frames carrying many records each are exactly where a bit flip is
+/// most damaging, and the transport's CRC trailer must catch every one
+/// before the columnar decoder runs — a corrupt block surfaces as a dropped
+/// worker and a re-queued range, never as a bad decode, so the merge stays
+/// byte-identical to a fault-free single-process run.
+#[test]
+fn four_fault_seeds_over_batched_compressed_blocks_merge_byte_identically() {
+    let specs = soak_specs();
+    let (local_json, local_jsonl) = render_local(&specs);
+    let mut total_lost = 0usize;
+    for seed in [0xB10C01u64, 0xB10C02, 0xB10C03, 0xB10C04] {
+        // Hotter flip/truncate rates than the kill soak: with batching, a
+        // sweep sends far fewer (larger) frames, and the point here is that
+        // damaged blocks are *detected*, so aim enough damage at them that
+        // several blocks are hit every sweep.
+        let mut plan = FaultPlan::new(seed);
+        plan.bit_flip = 0.02;
+        plan.truncate = 0.01;
+        plan.duplicate = 0.05;
+        plan.delay = 0.05;
+        plan.delay_ms = 3;
+        let mut session = Orchestrator::new(Scale::Quick, worker_command())
+            .workers(2)
+            .batch_records(2)
+            .compress(true)
+            .worker_faults(plan)
+            .recv_timeout(std::time::Duration::from_secs(2))
+            .respawn_budget(40)
+            .start()
+            .expect("spawn chaos workers");
+        let mut json = JsonReportSink::with_scale("quick");
+        let mut jsonl = JsonlSink::new();
+        for spec in &specs {
+            let records = session
+                .run_spec_records_with(spec, |event| {
+                    if matches!(event, OrchestrationEvent::WorkerLost { .. }) {
+                        total_lost += 1;
+                    }
+                })
+                .unwrap_or_else(|err| panic!("{} failed under chaos: {err}", spec.id()));
+            let meta = spec.meta().expect("feasible spec has metadata");
+            let mut sinks: Vec<&mut dyn ReportSink> = vec![&mut json, &mut jsonl];
+            stream_records(&meta, &records, &mut sinks);
+        }
+        session.shutdown().expect("worker shutdown");
+        assert_eq!(
+            local_json,
+            json.into_json().to_string(),
+            "JSON report diverges under seed {seed:#x}"
+        );
+        assert_eq!(
+            local_jsonl,
+            jsonl.as_str(),
+            "per-trial JSONL diverges under seed {seed:#x}"
+        );
+    }
+    // At these rates corruption must actually have felled workers — each
+    // loss is a detected damaged frame (or its fallout) whose range was
+    // re-queued and re-run. Zero losses would mean the soak proved nothing.
+    assert!(
+        total_lost >= 4,
+        "expected the corruption schedule to fell workers, saw {total_lost} losses"
+    );
+}
+
 /// With a single worker every recovery decision is sequential, so the event
 /// log is a pure function of the fault seed: running the same seed twice
 /// must reproduce the same losses, respawns, and re-dispatches in the same

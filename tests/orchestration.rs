@@ -97,6 +97,36 @@ fn merged_registry_reports_are_byte_identical_across_worker_counts() {
     }
 }
 
+#[test]
+fn batch_size_and_compression_never_show_in_the_merged_reports() {
+    // The record wire has three shapes — legacy per-trial JSON frames
+    // (batch 0), degenerate one-record blocks (batch 1), and full columnar
+    // blocks with or without LZ compression — and none of them may leave a
+    // trace in the rendered output. `batch 0` doubles as the
+    // backward-compatibility check: the coordinator sends v1 run frames and
+    // consumes the v1 record stream.
+    let specs = equivalence_specs();
+    let (local_json, local_jsonl) = render_local(&specs);
+    for (batch, compress) in [(0u64, false), (1, false), (7, true), (256, true)] {
+        let mut session = Orchestrator::new(Scale::Quick, worker_command())
+            .workers(2)
+            .batch_records(batch)
+            .compress(compress)
+            .start()
+            .expect("spawn orchestration workers");
+        let (json, jsonl) = render_orchestrated(&specs, &mut session);
+        session.shutdown().expect("worker shutdown");
+        assert_eq!(
+            local_json, json,
+            "JSON report diverges at batch {batch} compress {compress}"
+        );
+        assert_eq!(
+            local_jsonl, jsonl,
+            "per-trial JSONL diverges at batch {batch} compress {compress}"
+        );
+    }
+}
+
 /// Picks one mid-sized windowed spec and gives it enough trials that the
 /// dispatch loop has several ranges to hand out.
 fn fault_spec() -> ScenarioSpec {
@@ -410,5 +440,61 @@ fn checkpoint_resume_skips_completed_ranges_and_merges_identically() {
         .map(|e| e.hi - e.lo)
         .sum();
     assert_eq!(covered, spec.trials, "checkpoint does not cover all trials");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn coalesced_checkpoint_writes_resume_exactly_like_before() {
+    // Regression guard for the coalesced checkpoint path: a session now
+    // appends each completed range through one persistent handle as a single
+    // write, and the file it produces must still drive a resume exactly as
+    // the per-line writer did — every line CRC-parseable, full coverage, and
+    // a resumed coordinator restoring everything and dispatching nothing.
+    let spec = fault_spec();
+    let campaign = Campaign::parallel();
+    let expected = spec
+        .run_range_records(&campaign, 0, spec.trials)
+        .expect("local run");
+
+    let path = std::env::temp_dir().join(format!(
+        "agreement-orchestration-coalesce-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let mut session = Orchestrator::new(Scale::Quick, worker_command())
+        .workers(2)
+        .chunk(2)
+        .checkpoint(&path)
+        .start()
+        .expect("spawn orchestration workers");
+    let records = session.run_spec_records(&spec).expect("checkpointed run");
+    session.shutdown().expect("worker shutdown");
+    assert_eq!(records, expected, "checkpointed merge diverges");
+
+    let entries = read_checkpoint(&path).expect("session-written checkpoint parses");
+    let covered: u64 = entries.iter().map(|e| e.hi - e.lo).sum();
+    assert_eq!(covered, spec.trials, "coalesced writes missed a range");
+
+    // A fresh coordinator must restore every range and dispatch none.
+    let mut resumed = Orchestrator::new(Scale::Quick, worker_command())
+        .workers(2)
+        .chunk(2)
+        .checkpoint(&path)
+        .start()
+        .expect("spawn resumed workers");
+    let mut restored = 0u64;
+    let mut assigned = Vec::new();
+    let again = resumed
+        .run_spec_records_with(&spec, |event| match event {
+            OrchestrationEvent::RangeRestored { lo, hi } => restored += hi - lo,
+            OrchestrationEvent::RangeAssigned { lo, hi, .. } => assigned.push((lo, hi)),
+            _ => {}
+        })
+        .expect("resumed run");
+    resumed.shutdown().expect("worker shutdown");
+    assert_eq!(restored, spec.trials, "resume restored a partial range set");
+    assert!(assigned.is_empty(), "resume re-dispatched {assigned:?}");
+    assert_eq!(again, expected, "resumed merge diverges");
     let _ = std::fs::remove_file(&path);
 }
